@@ -1,0 +1,131 @@
+// Micro-benchmarks of the substrates (google-benchmark): crypto record
+// protection, GEMM backends, conv lowering, partitioning, end-to-end
+// single inference per model. These quantify the building-block costs
+// behind the figure-level experiments.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "partition/partition.h"
+#include "runtime/gemm.h"
+#include "runtime/kernels.h"
+
+namespace mvtee {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  util::Bytes key(32, 0x11), nonce(12, 0x22);
+  util::Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  crypto::AesGcm gcm(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.Seal(nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_AesGcmOpen(benchmark::State& state) {
+  util::Bytes key(32, 0x11), nonce(12, 0x22);
+  util::Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  crypto::AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, data);
+  for (auto _ : state) {
+    auto opened = gcm.Open(nonce, {}, sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmOpen)->Arg(64 * 1024);
+
+void BM_X25519(benchmark::State& state) {
+  crypto::X25519Key scalar{};
+  scalar[0] = 0x42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::X25519PublicKey(scalar));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto backend = static_cast<runtime::GemmBackend>(state.range(0));
+  const int64_t n = state.range(1);
+  std::vector<float> a(static_cast<size_t>(n * n)),
+      b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
+  util::Rng rng(1);
+  for (auto& v : a) v = rng.UniformFloat(-1, 1);
+  for (auto& v : b) v = rng.UniformFloat(-1, 1);
+  for (auto _ : state) {
+    runtime::Gemm(backend, a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(std::string(runtime::GemmBackendName(backend)));
+}
+BENCHMARK(BM_Gemm)
+    ->Args({0, 128})
+    ->Args({1, 128})
+    ->Args({2, 128})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({2, 256});
+
+void BM_ConvAlgo(benchmark::State& state) {
+  const auto algo = static_cast<runtime::ConvAlgo>(state.range(0));
+  util::Rng rng(2);
+  auto x = tensor::Tensor::RandomUniform(tensor::Shape({1, 32, 32, 32}), rng);
+  auto w = tensor::Tensor::RandomUniform(tensor::Shape({32, 32, 3, 3}), rng);
+  runtime::ConvParams params;
+  params.padding = 1;
+  for (auto _ : state) {
+    auto out = runtime::Conv2d(x, w, nullptr, params, algo,
+                               runtime::GemmBackend::kBlocked);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::string(runtime::ConvAlgoName(algo)));
+}
+BENCHMARK(BM_ConvAlgo)->Arg(0)->Arg(1);
+
+void BM_RandomContraction(benchmark::State& state) {
+  graph::Graph model = graph::BuildModel(graph::ModelKind::kResNet50,
+                                         bench::BenchZooConfig());
+  partition::PartitionOptions opts;
+  opts.target_partitions = state.range(0);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = seed++;
+    auto set = partition::RandomContraction(model, opts);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_RandomContraction)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_ModelInference(benchmark::State& state) {
+  const auto kind = static_cast<graph::ModelKind>(state.range(0));
+  graph::Graph model = graph::BuildModel(kind, bench::BenchZooConfig());
+  auto exec =
+      runtime::Executor::Create(model, runtime::OrtLikeExecutorConfig());
+  MVTEE_CHECK(exec.ok());
+  auto batches = bench::MakeBatches(model, 1, 3);
+  for (auto _ : state) {
+    auto out = (*exec)->Run(batches[0]);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(graph::ModelName(kind)));
+}
+BENCHMARK(BM_ModelInference)->DenseRange(0, 6);
+
+}  // namespace
+}  // namespace mvtee
+
+BENCHMARK_MAIN();

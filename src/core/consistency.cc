@@ -1,0 +1,110 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+
+namespace mvtee::core {
+
+using tensor::Tensor;
+
+std::string_view ConsistencyMetricName(ConsistencyMetric metric) {
+  switch (metric) {
+    case ConsistencyMetric::kCosine: return "cosine";
+    case ConsistencyMetric::kMse: return "mse";
+    case ConsistencyMetric::kMaxAbsDiff: return "max-abs-diff";
+    case ConsistencyMetric::kAllClose: return "allclose";
+  }
+  return "unknown";
+}
+
+bool OutputsConsistent(const std::vector<Tensor>& a,
+                       const std::vector<Tensor>& b,
+                       const CheckPolicy& policy) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].shape() != b[i].shape()) return false;
+    if (tensor::HasNonFinite(a[i]) || tensor::HasNonFinite(b[i])) {
+      return false;
+    }
+    switch (policy.metric) {
+      case ConsistencyMetric::kCosine:
+        if (tensor::CosineSimilarity(a[i], b[i]) < policy.threshold) {
+          return false;
+        }
+        break;
+      case ConsistencyMetric::kMse:
+        if (tensor::MeanSquaredError(a[i], b[i]) > policy.threshold) {
+          return false;
+        }
+        break;
+      case ConsistencyMetric::kMaxAbsDiff:
+        if (tensor::MaxAbsDiff(a[i], b[i]) > policy.threshold) return false;
+        break;
+      case ConsistencyMetric::kAllClose:
+        if (!tensor::AllClose(a[i], b[i], policy.rtol, policy.atol)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+VoteResult Vote(const std::vector<std::vector<Tensor>>& outputs,
+                const CheckPolicy& policy, VotePolicy vote_policy) {
+  const int n = static_cast<int>(outputs.size());
+  VoteResult result;
+  if (n == 0) return result;
+
+  // Cluster by consistency with a bloc representative (greedy; adequate
+  // because equivalence is near-transitive under calibrated thresholds).
+  std::vector<int> bloc_of(static_cast<size_t>(n), -1);
+  std::vector<int> representatives;
+  for (int i = 0; i < n; ++i) {
+    if (outputs[static_cast<size_t>(i)].empty()) continue;  // failed variant
+    for (size_t b = 0; b < representatives.size(); ++b) {
+      if (OutputsConsistent(outputs[static_cast<size_t>(i)],
+                            outputs[static_cast<size_t>(representatives[b])],
+                            policy)) {
+        bloc_of[static_cast<size_t>(i)] = static_cast<int>(b);
+        break;
+      }
+    }
+    if (bloc_of[static_cast<size_t>(i)] == -1) {
+      bloc_of[static_cast<size_t>(i)] =
+          static_cast<int>(representatives.size());
+      representatives.push_back(i);
+    }
+  }
+
+  // Bloc sizes.
+  std::vector<int> bloc_size(representatives.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    if (bloc_of[static_cast<size_t>(i)] >= 0) {
+      bloc_size[static_cast<size_t>(bloc_of[static_cast<size_t>(i)])]++;
+    }
+  }
+  int best_bloc = -1, best_size = 0;
+  for (size_t b = 0; b < bloc_size.size(); ++b) {
+    if (bloc_size[b] > best_size) {
+      best_size = bloc_size[b];
+      best_bloc = static_cast<int>(b);
+    }
+  }
+
+  const bool accepted =
+      vote_policy == VotePolicy::kUnanimous
+          ? (best_size == n && representatives.size() == 1)
+          : (best_size * 2 > n);
+
+  result.accepted = accepted;
+  result.winner = accepted ? representatives[static_cast<size_t>(best_bloc)]
+                           : -1;
+  for (int i = 0; i < n; ++i) {
+    if (bloc_of[static_cast<size_t>(i)] != best_bloc) {
+      result.dissenters.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace mvtee::core

@@ -1,0 +1,74 @@
+// Checkpoint consistency checking and cross-process voting (§4.3, §5.2).
+//
+// Diversified variants produce numerically close but bitwise different
+// outputs, so consistency is criteria-based with thresholds: the policy
+// selects a metric (cosine similarity / MSE / max-abs-diff / allclose)
+// and a tolerance calibrated to variant noise levels. Voting aggregates
+// pairwise consistency into an accept/reject decision plus a winner
+// whose outputs are replicated downstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mvtee::core {
+
+enum class ConsistencyMetric : uint8_t {
+  kCosine = 0,     // accept if cosine >= threshold
+  kMse,            // accept if MSE <= threshold
+  kMaxAbsDiff,     // accept if max |a-b| <= threshold
+  kAllClose,       // accept if allclose(rtol, atol)
+};
+
+std::string_view ConsistencyMetricName(ConsistencyMetric metric);
+
+struct CheckPolicy {
+  ConsistencyMetric metric = ConsistencyMetric::kCosine;
+  double threshold = 0.999;  // semantics depend on metric
+  double rtol = 1e-3;        // allclose only
+  double atol = 1e-4;        // allclose only
+
+  static CheckPolicy Cosine(double min_similarity = 0.999) {
+    return {ConsistencyMetric::kCosine, min_similarity, 0, 0};
+  }
+  static CheckPolicy Mse(double max_mse) {
+    return {ConsistencyMetric::kMse, max_mse, 0, 0};
+  }
+  static CheckPolicy MaxAbs(double max_diff) {
+    return {ConsistencyMetric::kMaxAbsDiff, max_diff, 0, 0};
+  }
+  static CheckPolicy AllClose(double rtol = 1e-3, double atol = 1e-4) {
+    return {ConsistencyMetric::kAllClose, 0, rtol, atol};
+  }
+};
+
+// Single-pair check over full output lists (shapes must match, every
+// tensor must pass, and non-finite values always fail).
+bool OutputsConsistent(const std::vector<tensor::Tensor>& a,
+                       const std::vector<tensor::Tensor>& b,
+                       const CheckPolicy& policy);
+
+enum class VotePolicy : uint8_t {
+  kUnanimous = 0,  // all live variants must agree (security-first default)
+  kMajority,       // > half must agree; winner from the largest bloc
+};
+
+struct VoteResult {
+  bool accepted = false;
+  // Index (into the outputs vector) whose value should be replicated
+  // downstream; -1 if rejected.
+  int winner = -1;
+  // Variants outside the winning bloc (crashed or inconsistent).
+  std::vector<int> dissenters;
+};
+
+// `outputs[i]` empty => variant i failed (crash / refused input); a
+// failed variant always dissents. Panels of one trivially accept.
+VoteResult Vote(const std::vector<std::vector<tensor::Tensor>>& outputs,
+                const CheckPolicy& policy, VotePolicy vote_policy);
+
+}  // namespace mvtee::core

@@ -1,0 +1,412 @@
+#include "core/messages.h"
+
+namespace mvtee::core {
+
+namespace {
+void AppendTensors(util::Bytes& out,
+                   const std::vector<tensor::Tensor>& tensors) {
+  util::AppendU32(out, static_cast<uint32_t>(tensors.size()));
+  for (const auto& t : tensors) util::AppendLengthPrefixed(out, t.Serialize());
+}
+
+util::Status ReadTensors(util::ByteReader& reader,
+                         std::vector<tensor::Tensor>& out) {
+  uint32_t count;
+  if (!reader.ReadU32(count) || count > 1024) {
+    return util::InvalidArgument("bad tensor count");
+  }
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    util::Bytes payload;
+    if (!reader.ReadLengthPrefixed(payload)) {
+      return util::InvalidArgument("truncated tensor");
+    }
+    MVTEE_ASSIGN_OR_RETURN(tensor::Tensor t,
+                           tensor::Tensor::Deserialize(payload));
+    out.push_back(std::move(t));
+  }
+  return util::OkStatus();
+}
+
+void AppendSlots(util::Bytes& out, const std::vector<uint32_t>& slots) {
+  util::AppendU32(out, static_cast<uint32_t>(slots.size()));
+  for (uint32_t s : slots) util::AppendU32(out, s);
+}
+
+bool ReadSlots(util::ByteReader& reader, std::vector<uint32_t>& slots) {
+  uint32_t count;
+  if (!reader.ReadU32(count) || count > 1024) return false;
+  slots.resize(count);
+  for (auto& s : slots) {
+    if (!reader.ReadU32(s)) return false;
+  }
+  return true;
+}
+
+util::Status ConsumeTag(util::ByteReader& reader, MsgType expected) {
+  uint8_t tag;
+  if (!reader.ReadU8(tag) || tag != static_cast<uint8_t>(expected)) {
+    return util::InvalidArgument("unexpected message tag");
+  }
+  return util::OkStatus();
+}
+}  // namespace
+
+util::Bytes EncodeAssignIdentity(const AssignIdentityMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kAssignIdentity));
+  util::AppendLengthPrefixedStr(out, msg.variant_id);
+  util::AppendLengthPrefixed(out, msg.variant_key);
+  return out;
+}
+
+util::Bytes EncodeIdentityAck(const IdentityAckMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kIdentityAck));
+  util::AppendLengthPrefixedStr(out, msg.variant_id);
+  util::AppendBytes(out, util::ByteSpan(msg.manifest_hash.data(),
+                                        msg.manifest_hash.size()));
+  util::AppendU8(out, msg.ok ? 1 : 0);
+  util::AppendLengthPrefixedStr(out, msg.error);
+  return out;
+}
+
+util::Bytes EncodeInfer(const InferMsg& msg) {
+  MVTEE_CHECK(msg.slots.size() == msg.inputs.size());
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kInfer));
+  util::AppendU64(out, msg.batch_id);
+  util::AppendU64(out, msg.vtime_us);
+  AppendSlots(out, msg.slots);
+  AppendTensors(out, msg.inputs);
+  return out;
+}
+
+util::Bytes EncodeInferResult(const InferResultMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kInferResult));
+  util::AppendU64(out, msg.batch_id);
+  util::AppendU64(out, msg.vtime_us);
+  util::AppendU8(out, msg.ok ? 1 : 0);
+  AppendTensors(out, msg.outputs);
+  util::AppendLengthPrefixedStr(out, msg.error);
+  return out;
+}
+
+util::Bytes EncodeShutdown() {
+  return {static_cast<uint8_t>(MsgType::kShutdown)};
+}
+
+util::Bytes EncodeSetupRoutes(const SetupRoutesMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kSetupRoutes));
+  util::AppendU32(out, static_cast<uint32_t>(msg.upstream.size()));
+  for (const auto& up : msg.upstream) util::AppendU64(out, up.pipe_id);
+  util::AppendU32(out, static_cast<uint32_t>(msg.downstream.size()));
+  for (const auto& down : msg.downstream) {
+    util::AppendU64(out, down.pipe_id);
+    util::AppendU32(out, static_cast<uint32_t>(down.output_to_slot.size()));
+    for (const auto& [output, slot] : down.output_to_slot) {
+      util::AppendU32(out, output);
+      util::AppendU32(out, slot);
+    }
+  }
+  util::AppendU8(out, msg.report_to_monitor ? 1 : 0);
+  return out;
+}
+
+util::Bytes EncodeRoutesAck(const RoutesAckMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kRoutesAck));
+  util::AppendU8(out, msg.ok ? 1 : 0);
+  util::AppendLengthPrefixedStr(out, msg.error);
+  return out;
+}
+
+util::Bytes EncodeStageData(const StageDataMsg& msg) {
+  MVTEE_CHECK(msg.slots.size() == msg.tensors.size());
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kStageData));
+  util::AppendU64(out, msg.batch_id);
+  util::AppendU64(out, msg.vtime_us);
+  AppendSlots(out, msg.slots);
+  AppendTensors(out, msg.tensors);
+  return out;
+}
+
+util::Bytes EncodeProvision(const ProvisionMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kProvision));
+  util::AppendLengthPrefixed(out, msg.nonce);
+  util::AppendLengthPrefixed(out, msg.bundle_config);
+  util::AppendU32(out, static_cast<uint32_t>(msg.stage_variant_ids.size()));
+  for (const auto& stage : msg.stage_variant_ids) {
+    util::AppendU32(out, static_cast<uint32_t>(stage.size()));
+    for (const auto& id : stage) util::AppendLengthPrefixedStr(out, id);
+  }
+  return out;
+}
+
+util::Result<ProvisionMsg> DecodeProvision(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kProvision));
+  ProvisionMsg msg;
+  uint32_t stages;
+  if (!reader.ReadLengthPrefixed(msg.nonce) ||
+      !reader.ReadLengthPrefixed(msg.bundle_config) ||
+      !reader.ReadU32(stages) || stages > 256) {
+    return util::InvalidArgument("malformed Provision");
+  }
+  for (uint32_t s = 0; s < stages; ++s) {
+    uint32_t count;
+    if (!reader.ReadU32(count) || count > 64) {
+      return util::InvalidArgument("malformed Provision stage");
+    }
+    std::vector<std::string> ids(count);
+    for (auto& id : ids) {
+      if (!reader.ReadLengthPrefixedStr(id)) {
+        return util::InvalidArgument("malformed Provision id");
+      }
+    }
+    msg.stage_variant_ids.push_back(std::move(ids));
+  }
+  if (!reader.done()) return util::InvalidArgument("Provision trailing");
+  return msg;
+}
+
+util::Bytes EncodeProvisionResult(const ProvisionResultMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kProvisionResult));
+  util::AppendLengthPrefixed(out, msg.nonce);
+  util::AppendU8(out, msg.ok ? 1 : 0);
+  util::AppendLengthPrefixedStr(out, msg.error);
+  util::AppendU32(out, static_cast<uint32_t>(msg.bound_variant_ids.size()));
+  for (const auto& id : msg.bound_variant_ids) {
+    util::AppendLengthPrefixedStr(out, id);
+  }
+  return out;
+}
+
+util::Result<ProvisionResultMsg> DecodeProvisionResult(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kProvisionResult));
+  ProvisionResultMsg msg;
+  uint8_t ok;
+  uint32_t count;
+  if (!reader.ReadLengthPrefixed(msg.nonce) || !reader.ReadU8(ok) ||
+      !reader.ReadLengthPrefixedStr(msg.error) || !reader.ReadU32(count) ||
+      count > 4096) {
+    return util::InvalidArgument("malformed ProvisionResult");
+  }
+  msg.ok = ok != 0;
+  msg.bound_variant_ids.resize(count);
+  for (auto& id : msg.bound_variant_ids) {
+    if (!reader.ReadLengthPrefixedStr(id)) {
+      return util::InvalidArgument("malformed ProvisionResult id");
+    }
+  }
+  if (!reader.done()) {
+    return util::InvalidArgument("ProvisionResult trailing");
+  }
+  return msg;
+}
+
+util::Bytes EncodeAttestQuery(const AttestQueryMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kAttestQuery));
+  util::AppendLengthPrefixed(out, msg.nonce);
+  return out;
+}
+
+util::Result<AttestQueryMsg> DecodeAttestQuery(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kAttestQuery));
+  AttestQueryMsg msg;
+  if (!reader.ReadLengthPrefixed(msg.nonce) || !reader.done()) {
+    return util::InvalidArgument("malformed AttestQuery");
+  }
+  return msg;
+}
+
+util::Bytes EncodeAttestReply(const AttestReplyMsg& msg) {
+  util::Bytes out;
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kAttestReply));
+  util::AppendLengthPrefixed(out, msg.nonce);
+  util::AppendU32(out, static_cast<uint32_t>(msg.variant_reports.size()));
+  for (const auto& r : msg.variant_reports) {
+    util::AppendLengthPrefixed(out, r);
+  }
+  return out;
+}
+
+util::Result<AttestReplyMsg> DecodeAttestReply(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kAttestReply));
+  AttestReplyMsg msg;
+  uint32_t count;
+  if (!reader.ReadLengthPrefixed(msg.nonce) || !reader.ReadU32(count) ||
+      count > 4096) {
+    return util::InvalidArgument("malformed AttestReply");
+  }
+  msg.variant_reports.resize(count);
+  for (auto& r : msg.variant_reports) {
+    if (!reader.ReadLengthPrefixed(r)) {
+      return util::InvalidArgument("malformed AttestReply report");
+    }
+  }
+  if (!reader.done()) return util::InvalidArgument("AttestReply trailing");
+  return msg;
+}
+
+void PatchVtime(util::Bytes& frame, uint64_t vtime_us) {
+  // Layout: tag (1 byte) + batch_id (8) + vtime (8).
+  MVTEE_CHECK(frame.size() >= 17);
+  for (int i = 0; i < 8; ++i) {
+    frame[9 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(vtime_us >> (56 - 8 * i));
+  }
+}
+
+util::Result<MsgType> PeekType(util::ByteSpan frame) {
+  if (frame.empty()) return util::InvalidArgument("empty frame");
+  uint8_t tag = frame[0];
+  if (tag < static_cast<uint8_t>(MsgType::kAssignIdentity) ||
+      tag > static_cast<uint8_t>(MsgType::kAttestReply)) {
+    return util::InvalidArgument("unknown message type " +
+                                 std::to_string(tag));
+  }
+  return static_cast<MsgType>(tag);
+}
+
+util::Result<AssignIdentityMsg> DecodeAssignIdentity(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kAssignIdentity));
+  AssignIdentityMsg msg;
+  if (!reader.ReadLengthPrefixedStr(msg.variant_id) ||
+      !reader.ReadLengthPrefixed(msg.variant_key) || !reader.done()) {
+    return util::InvalidArgument("malformed AssignIdentity");
+  }
+  return msg;
+}
+
+util::Result<IdentityAckMsg> DecodeIdentityAck(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kIdentityAck));
+  IdentityAckMsg msg;
+  util::Bytes digest;
+  uint8_t ok;
+  if (!reader.ReadLengthPrefixedStr(msg.variant_id) ||
+      !reader.ReadBytes(crypto::kSha256DigestSize, digest) ||
+      !reader.ReadU8(ok) || !reader.ReadLengthPrefixedStr(msg.error) ||
+      !reader.done()) {
+    return util::InvalidArgument("malformed IdentityAck");
+  }
+  std::copy(digest.begin(), digest.end(), msg.manifest_hash.begin());
+  msg.ok = ok != 0;
+  return msg;
+}
+
+util::Result<InferMsg> DecodeInfer(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kInfer));
+  InferMsg msg;
+  if (!reader.ReadU64(msg.batch_id) || !reader.ReadU64(msg.vtime_us) ||
+      !ReadSlots(reader, msg.slots)) {
+    return util::InvalidArgument("malformed Infer");
+  }
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.inputs));
+  if (msg.slots.size() != msg.inputs.size() || !reader.done()) {
+    return util::InvalidArgument("inconsistent Infer");
+  }
+  return msg;
+}
+
+util::Result<InferResultMsg> DecodeInferResult(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kInferResult));
+  InferResultMsg msg;
+  uint8_t ok;
+  if (!reader.ReadU64(msg.batch_id) || !reader.ReadU64(msg.vtime_us) ||
+      !reader.ReadU8(ok)) {
+    return util::InvalidArgument("malformed InferResult");
+  }
+  msg.ok = ok != 0;
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.outputs));
+  if (!reader.ReadLengthPrefixedStr(msg.error) || !reader.done()) {
+    return util::InvalidArgument("malformed InferResult tail");
+  }
+  return msg;
+}
+
+util::Result<SetupRoutesMsg> DecodeSetupRoutes(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kSetupRoutes));
+  SetupRoutesMsg msg;
+  uint32_t up_count;
+  if (!reader.ReadU32(up_count) || up_count > 256) {
+    return util::InvalidArgument("malformed SetupRoutes");
+  }
+  for (uint32_t i = 0; i < up_count; ++i) {
+    UpstreamRoute up;
+    if (!reader.ReadU64(up.pipe_id)) {
+      return util::InvalidArgument("truncated upstream route");
+    }
+    msg.upstream.push_back(up);
+  }
+  uint32_t down_count;
+  if (!reader.ReadU32(down_count) || down_count > 256) {
+    return util::InvalidArgument("malformed SetupRoutes downstream");
+  }
+  for (uint32_t i = 0; i < down_count; ++i) {
+    DownstreamRoute down;
+    uint32_t pairs;
+    if (!reader.ReadU64(down.pipe_id) || !reader.ReadU32(pairs) ||
+        pairs > 1024) {
+      return util::InvalidArgument("truncated downstream route");
+    }
+    for (uint32_t p = 0; p < pairs; ++p) {
+      uint32_t output, slot;
+      if (!reader.ReadU32(output) || !reader.ReadU32(slot)) {
+        return util::InvalidArgument("truncated output map");
+      }
+      down.output_to_slot.push_back({output, slot});
+    }
+    msg.downstream.push_back(std::move(down));
+  }
+  uint8_t report;
+  if (!reader.ReadU8(report) || !reader.done()) {
+    return util::InvalidArgument("malformed SetupRoutes tail");
+  }
+  msg.report_to_monitor = report != 0;
+  return msg;
+}
+
+util::Result<RoutesAckMsg> DecodeRoutesAck(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kRoutesAck));
+  RoutesAckMsg msg;
+  uint8_t ok;
+  if (!reader.ReadU8(ok) || !reader.ReadLengthPrefixedStr(msg.error) ||
+      !reader.done()) {
+    return util::InvalidArgument("malformed RoutesAck");
+  }
+  msg.ok = ok != 0;
+  return msg;
+}
+
+util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kStageData));
+  StageDataMsg msg;
+  if (!reader.ReadU64(msg.batch_id) || !reader.ReadU64(msg.vtime_us) ||
+      !ReadSlots(reader, msg.slots)) {
+    return util::InvalidArgument("malformed StageData");
+  }
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.tensors));
+  if (msg.slots.size() != msg.tensors.size() || !reader.done()) {
+    return util::InvalidArgument("inconsistent StageData");
+  }
+  return msg;
+}
+
+}  // namespace mvtee::core

@@ -1,0 +1,157 @@
+// Monitor <-> variant and variant <-> variant protocol messages
+// (carried over SecureChannel / MsgChannel frames).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "tensor/tensor.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::core {
+
+enum class MsgType : uint8_t {
+  kAssignIdentity = 1,  // monitor -> variant: id + variant key
+  kIdentityAck,         // variant -> monitor: locked manifest evidence
+  kInfer,               // monitor -> variant: slot-addressed stage inputs
+  kInferResult,         // variant -> monitor: outputs or an error
+  kShutdown,            // monitor -> variant
+  kSetupRoutes,         // monitor -> variant: fast-path wiring (Fig. 7)
+  kRoutesAck,           // variant -> monitor
+  kStageData,           // variant -> variant: direct fast-path tensors
+  kProvision,           // owner -> monitor: MVX config + keys + nonce
+  kProvisionResult,     // monitor -> owner: init outcome bound to nonce
+  kAttestQuery,         // user/owner -> monitor: combined attestation
+  kAttestReply,         // monitor -> user/owner: all bound TEE reports
+};
+
+struct AssignIdentityMsg {
+  std::string variant_id;
+  util::Bytes variant_key;
+};
+
+struct IdentityAckMsg {
+  std::string variant_id;
+  crypto::Sha256Digest manifest_hash{};  // installed second-stage manifest
+  bool ok = false;
+  std::string error;
+};
+
+// Stage inputs addressed by slot (= index into the stage subgraph's
+// input list). A message may carry any subset of slots; the variant
+// assembles a batch from monitor messages and direct upstream messages
+// and runs once every slot is filled.
+struct InferMsg {
+  uint64_t batch_id = 0;
+  // Virtual-time arrival stamp (performance model; see monitor.h).
+  uint64_t vtime_us = 0;
+  std::vector<uint32_t> slots;
+  std::vector<tensor::Tensor> inputs;  // parallel to slots
+};
+
+struct InferResultMsg {
+  uint64_t batch_id = 0;
+  uint64_t vtime_us = 0;
+  bool ok = false;
+  std::vector<tensor::Tensor> outputs;
+  std::string error;
+};
+
+// Fast-path routing (Fig. 7). Upstream entries describe pipes this
+// variant consumes from; downstream entries describe pipes it produces
+// into, with an (output index -> remote slot) map per pipe.
+struct UpstreamRoute {
+  uint64_t pipe_id = 0;
+};
+struct DownstreamRoute {
+  uint64_t pipe_id = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> output_to_slot;
+};
+struct SetupRoutesMsg {
+  std::vector<UpstreamRoute> upstream;
+  std::vector<DownstreamRoute> downstream;
+  // Whether full outputs must still be reported to the monitor (MVX
+  // panels and stages producing model outputs).
+  bool report_to_monitor = true;
+};
+
+struct RoutesAckMsg {
+  bool ok = false;
+  std::string error;
+};
+
+// Direct variant->variant payload: tensors addressed to consumer slots.
+struct StageDataMsg {
+  uint64_t batch_id = 0;
+  uint64_t vtime_us = 0;
+  std::vector<uint32_t> slots;
+  std::vector<tensor::Tensor> tensors;  // parallel to slots
+};
+
+util::Bytes EncodeAssignIdentity(const AssignIdentityMsg& msg);
+util::Bytes EncodeIdentityAck(const IdentityAckMsg& msg);
+util::Bytes EncodeInfer(const InferMsg& msg);
+util::Bytes EncodeInferResult(const InferResultMsg& msg);
+util::Bytes EncodeShutdown();
+util::Bytes EncodeSetupRoutes(const SetupRoutesMsg& msg);
+util::Bytes EncodeRoutesAck(const RoutesAckMsg& msg);
+util::Bytes EncodeStageData(const StageDataMsg& msg);
+
+// ---- owner <-> monitor provisioning (Fig. 6 steps 2-3 and 8) ----
+
+struct ProvisionMsg {
+  util::Bytes nonce;              // anti-replay (Fig. 6 step 3)
+  util::Bytes bundle_config;      // OfflineBundle::SerializeConfig()
+  std::vector<std::vector<std::string>> stage_variant_ids;  // MVX config
+};
+
+struct ProvisionResultMsg {
+  util::Bytes nonce;  // echoed for verification (Fig. 6 step 8)
+  bool ok = false;
+  std::string error;
+  // Binding summary (variant id per stage, in binding order).
+  std::vector<std::string> bound_variant_ids;
+};
+
+struct AttestQueryMsg {
+  util::Bytes nonce;
+};
+
+struct AttestReplyMsg {
+  util::Bytes nonce;
+  // Serialized AttestationReports of every bound variant TEE (launch
+  // measurements), attested collectively through the monitor.
+  std::vector<util::Bytes> variant_reports;
+};
+
+util::Bytes EncodeProvision(const ProvisionMsg& msg);
+util::Bytes EncodeProvisionResult(const ProvisionResultMsg& msg);
+util::Bytes EncodeAttestQuery(const AttestQueryMsg& msg);
+util::Bytes EncodeAttestReply(const AttestReplyMsg& msg);
+util::Result<ProvisionMsg> DecodeProvision(util::ByteSpan frame);
+util::Result<ProvisionResultMsg> DecodeProvisionResult(util::ByteSpan frame);
+util::Result<AttestQueryMsg> DecodeAttestQuery(util::ByteSpan frame);
+util::Result<AttestReplyMsg> DecodeAttestReply(util::ByteSpan frame);
+
+// Peeks the type tag; error on empty/unknown frames.
+util::Result<MsgType> PeekType(util::ByteSpan frame);
+
+// Overwrites the vtime field of an already-encoded kInfer/kInferResult/
+// kStageData frame (fixed offset) — lets senders stamp virtual arrival
+// times that depend on the encoded frame's size without re-encoding.
+void PatchVtime(util::Bytes& frame, uint64_t vtime_us);
+
+util::Result<AssignIdentityMsg> DecodeAssignIdentity(util::ByteSpan frame);
+util::Result<IdentityAckMsg> DecodeIdentityAck(util::ByteSpan frame);
+util::Result<InferMsg> DecodeInfer(util::ByteSpan frame);
+util::Result<InferResultMsg> DecodeInferResult(util::ByteSpan frame);
+util::Result<SetupRoutesMsg> DecodeSetupRoutes(util::ByteSpan frame);
+util::Result<RoutesAckMsg> DecodeRoutesAck(util::ByteSpan frame);
+util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame);
+
+}  // namespace mvtee::core

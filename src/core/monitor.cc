@@ -1,0 +1,763 @@
+#include "core/monitor.h"
+
+#include <set>
+#include <thread>
+
+#include "util/clock.h"
+
+namespace mvtee::core {
+
+using tensor::Tensor;
+
+MvxSelection MvxSelection::Uniform(const OfflineBundle& bundle,
+                                   int variants_per_stage) {
+  MvxSelection sel;
+  sel.stage_variant_ids.resize(static_cast<size_t>(bundle.num_stages));
+  for (int32_t s = 0; s < bundle.num_stages; ++s) {
+    auto ids = bundle.StageVariantIds(s);
+    const int take =
+        std::min<int>(variants_per_stage, static_cast<int>(ids.size()));
+    sel.stage_variant_ids[static_cast<size_t>(s)].assign(
+        ids.begin(), ids.begin() + take);
+  }
+  return sel;
+}
+
+MvxSelection MvxSelection::PerStage(const OfflineBundle& bundle,
+                                    const std::vector<int>& counts) {
+  MvxSelection sel;
+  sel.stage_variant_ids.resize(static_cast<size_t>(bundle.num_stages));
+  for (int32_t s = 0; s < bundle.num_stages; ++s) {
+    auto ids = bundle.StageVariantIds(s);
+    int want = s < static_cast<int32_t>(counts.size())
+                   ? counts[static_cast<size_t>(s)]
+                   : 1;
+    const int take = std::min<int>(std::max(want, 1),
+                                   static_cast<int>(ids.size()));
+    sel.stage_variant_ids[static_cast<size_t>(s)].assign(
+        ids.begin(), ids.begin() + take);
+  }
+  return sel;
+}
+
+Monitor::Monitor(std::unique_ptr<tee::Enclave> enclave,
+                 tee::SimulatedCpu* cpu, MonitorConfig config)
+    : enclave_(std::move(enclave)), cpu_(cpu), config_(config) {}
+
+Monitor::~Monitor() { (void)Shutdown(); }
+
+util::Result<std::unique_ptr<Monitor>> Monitor::Create(
+    tee::SimulatedCpu* cpu, MonitorConfig config, tee::TeeType tee_type) {
+  // The monitor is deliberately tiny: it fits the small integrity-
+  // protected SGX1 EPC (§6.5 "Monitor security").
+  MVTEE_ASSIGN_OR_RETURN(
+      auto enclave,
+      cpu->LaunchEnclave(tee_type, util::ToBytes("mvtee-monitor-v1"),
+                         tee::MonitorManifest(), 256));
+  return std::unique_ptr<Monitor>(
+      new Monitor(std::move(enclave), cpu, config));
+}
+
+util::Result<Monitor::VariantConn> Monitor::BindVariant(
+    const OfflineBundle& bundle, VariantHost& host,
+    const std::string& variant_id) {
+  const OfflineVariantEntry* entry = bundle.FindVariant(variant_id);
+  if (entry == nullptr) {
+    return util::NotFound("variant '" + variant_id + "' not in bundle");
+  }
+  MVTEE_ASSIGN_OR_RETURN(transport::Endpoint endpoint,
+                         host.SpawnVariantTee());
+
+  VariantConn conn;
+  conn.id = variant_id;
+  uint64_t report_id = 0;
+  util::Bytes report_bytes;
+  if (host.options().plaintext_channels) {
+    conn.channel =
+        std::make_unique<transport::PlainMsgChannel>(std::move(endpoint));
+  } else {
+    // Attest: the spawned TEE must measure as the public init-variant.
+    MVTEE_ASSIGN_OR_RETURN(
+        auto secure,
+        transport::SecureChannel::Handshake(
+            std::move(endpoint), transport::SecureChannel::Role::kClient,
+            *enclave_,
+            transport::ExpectMeasurement(*cpu_,
+                                         host.init_variant_measurement()),
+            config_.recv_timeout_us));
+    report_id = secure->peer_report().enclave_id;
+    report_bytes = secure->peer_report().Serialize();
+    conn.channel =
+        std::make_unique<transport::SecureMsgChannel>(std::move(secure));
+  }
+
+  // Key distribution + identity assignment.
+  AssignIdentityMsg assign;
+  assign.variant_id = variant_id;
+  assign.variant_key = entry->variant_key;
+  MVTEE_RETURN_IF_ERROR(conn.channel->Send(EncodeAssignIdentity(assign)));
+  MVTEE_ASSIGN_OR_RETURN(util::Bytes frame,
+                         conn.channel->Recv(config_.recv_timeout_us));
+  MVTEE_ASSIGN_OR_RETURN(IdentityAckMsg ack, DecodeIdentityAck(frame));
+  if (!ack.ok) {
+    return util::Internal("variant '" + variant_id +
+                          "' failed bootstrap: " + ack.error);
+  }
+  if (ack.variant_id != variant_id) {
+    return util::AttestationFailure("identity mismatch in ack");
+  }
+  // Evidence check: the locked second-stage manifest must be exactly the
+  // one sealed by the offline tool.
+  if (!util::ConstantTimeEqual(
+          util::ByteSpan(ack.manifest_hash.data(), ack.manifest_hash.size()),
+          util::ByteSpan(entry->manifest_hash.data(),
+                         entry->manifest_hash.size()))) {
+    return util::AttestationFailure("second-stage manifest evidence mismatch");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    bindings_.push_back(
+        {entry->stage, variant_id, report_id, true, std::move(report_bytes)});
+  }
+  return conn;
+}
+
+util::Status Monitor::ConfigureRoutes(VariantHost& host) {
+  const size_t num_stages = stages_.size();
+  model_input_slots_.assign(num_stages, {});
+  monitor_forwards_.assign(num_stages, {});
+  stage_reports_.assign(num_stages, true);
+  num_fast_path_stages_ = 0;
+  for (const auto& stage : stages_) {
+    if (!stage.is_mvx()) ++num_fast_path_stages_;
+  }
+
+  std::vector<bool> produces_model_output(num_stages, false);
+  for (const auto& src : model_outputs_) {
+    produces_model_output[static_cast<size_t>(src.stage)] = true;
+  }
+
+  // Per-variant routing messages (stage, variant index) -> msg.
+  std::map<std::pair<size_t, size_t>, SetupRoutesMsg> route_msgs;
+
+  for (size_t c = 0; c < num_stages; ++c) {
+    // Group consumer slots by producer stage.
+    std::map<int32_t, std::vector<std::pair<uint32_t, uint32_t>>> from_stage;
+    for (size_t j = 0; j < stage_inputs_[c].size(); ++j) {
+      const auto& src = stage_inputs_[c][j];
+      if (src.stage < 0) {
+        model_input_slots_[c].push_back(
+            {static_cast<uint32_t>(j), static_cast<uint32_t>(src.index)});
+      } else {
+        from_stage[src.stage].push_back(
+            {static_cast<uint32_t>(src.index), static_cast<uint32_t>(j)});
+      }
+    }
+    for (const auto& [p, mapping] : from_stage) {
+      const size_t ps = static_cast<size_t>(p);
+      const bool direct =
+          config_.direct_fastpath && !stages_[ps].is_mvx();
+      if (!direct) {
+        monitor_forwards_[ps].push_back(
+            {static_cast<int32_t>(c), mapping});
+        continue;
+      }
+      // One pipe from the producer's single variant to every variant of
+      // the consumer stage.
+      for (size_t vc = 0; vc < stages_[c].variants.size(); ++vc) {
+        uint64_t pipe = host.CreatePipe();
+        route_msgs[{ps, 0}].downstream.push_back({pipe, mapping});
+        route_msgs[{c, vc}].upstream.push_back({pipe});
+      }
+    }
+  }
+
+  if (config_.direct_fastpath) {
+    for (size_t s = 0; s < num_stages; ++s) {
+      stage_reports_[s] =
+          stages_[s].is_mvx() || produces_model_output[s];
+    }
+  }
+
+  // Ensure every variant whose report flag differs from the default, or
+  // that has routes, receives a message. Send everything first, then
+  // collect acks (avoids handshake ordering deadlocks).
+  std::vector<std::pair<size_t, size_t>> sent;
+  for (size_t s = 0; s < num_stages; ++s) {
+    for (size_t v = 0; v < stages_[s].variants.size(); ++v) {
+      auto it = route_msgs.find({s, v});
+      const bool has_routes = it != route_msgs.end();
+      if (!has_routes && stage_reports_[s]) continue;  // defaults suffice
+      SetupRoutesMsg msg = has_routes ? it->second : SetupRoutesMsg{};
+      msg.report_to_monitor = stage_reports_[s];
+      MVTEE_RETURN_IF_ERROR(
+          stages_[s].variants[v].channel->Send(EncodeSetupRoutes(msg)));
+      sent.push_back({s, v});
+    }
+  }
+  for (const auto& [s, v] : sent) {
+    MVTEE_ASSIGN_OR_RETURN(
+        util::Bytes frame,
+        stages_[s].variants[v].channel->Recv(config_.recv_timeout_us));
+    MVTEE_ASSIGN_OR_RETURN(RoutesAckMsg ack, DecodeRoutesAck(frame));
+    if (!ack.ok) {
+      return util::Internal("route setup failed at " +
+                            stages_[s].variants[v].id + ": " + ack.error);
+    }
+  }
+  routes_configured_ = true;
+  return util::OkStatus();
+}
+
+util::Status Monitor::Initialize(const OfflineBundle& bundle,
+                                 const MvxSelection& selection,
+                                 VariantHost& host) {
+  if (selection.stage_variant_ids.size() !=
+      static_cast<size_t>(bundle.num_stages)) {
+    return util::InvalidArgument("selection stage count mismatch");
+  }
+  std::vector<StageState> stages(static_cast<size_t>(bundle.num_stages));
+  for (int32_t s = 0; s < bundle.num_stages; ++s) {
+    const auto& ids = selection.stage_variant_ids[static_cast<size_t>(s)];
+    if (ids.empty()) {
+      return util::InvalidArgument("stage " + std::to_string(s) +
+                                   " has no variants selected");
+    }
+    for (const std::string& id : ids) {
+      const OfflineVariantEntry* entry = bundle.FindVariant(id);
+      if (entry == nullptr || entry->stage != s) {
+        return util::InvalidArgument("variant '" + id +
+                                     "' does not belong to stage " +
+                                     std::to_string(s));
+      }
+      MVTEE_ASSIGN_OR_RETURN(VariantConn conn,
+                             BindVariant(bundle, host, id));
+      stages[static_cast<size_t>(s)].variants.push_back(std::move(conn));
+    }
+  }
+  stages_ = std::move(stages);
+  stage_inputs_ = bundle.stage_inputs;
+  model_outputs_ = bundle.model_outputs;
+  num_model_inputs_ = bundle.num_model_inputs;
+  network_ = host.options().network;
+  crypto_bytes_per_us_ =
+      host.options().plaintext_channels ? 0.0
+                                        : host.options().crypto_bytes_per_us;
+  initialized_ = true;
+  MVTEE_RETURN_IF_ERROR(ConfigureRoutes(host));
+  return util::OkStatus();
+}
+
+util::Status Monitor::UpdateStage(const OfflineBundle& bundle,
+                                  VariantHost& host, int32_t stage,
+                                  const std::vector<std::string>& ids) {
+  if (!initialized_) return util::FailedPrecondition("not initialized");
+  if (config_.direct_fastpath) {
+    return util::Unimplemented(
+        "partial updates require monitor-mediated routing");
+  }
+  if (stage < 0 || static_cast<size_t>(stage) >= stages_.size()) {
+    return util::InvalidArgument("stage out of range");
+  }
+  if (ids.empty()) return util::InvalidArgument("empty variant selection");
+
+  // Bind replacements first (never reuse TEEs — §4.3).
+  std::vector<VariantConn> fresh;
+  for (const std::string& id : ids) {
+    const OfflineVariantEntry* entry = bundle.FindVariant(id);
+    if (entry == nullptr || entry->stage != stage) {
+      return util::InvalidArgument("variant '" + id +
+                                   "' does not belong to stage " +
+                                   std::to_string(stage));
+    }
+    MVTEE_ASSIGN_OR_RETURN(VariantConn conn, BindVariant(bundle, host, id));
+    fresh.push_back(std::move(conn));
+  }
+  // Retire the old TEEs.
+  StageState& st = stages_[static_cast<size_t>(stage)];
+  for (auto& conn : st.variants) {
+    (void)conn.channel->Send(EncodeShutdown());
+    conn.channel->Close();
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    for (auto& b : bindings_) {
+      if (b.stage == stage && b.variant_id == conn.id && b.active) {
+        b.active = false;
+      }
+    }
+  }
+  st.variants = std::move(fresh);
+  // Horizontal scaling may change fast/slow classification.
+  MVTEE_RETURN_IF_ERROR(ConfigureRoutes(host));
+  return util::OkStatus();
+}
+
+util::Status Monitor::FullUpdate(const OfflineBundle& bundle,
+                                 const MvxSelection& selection,
+                                 VariantHost& host) {
+  MVTEE_RETURN_IF_ERROR(Shutdown());
+  return Initialize(bundle, selection, host);
+}
+
+util::Result<std::vector<Tensor>> Monitor::RunBatch(
+    const std::vector<Tensor>& inputs) {
+  MVTEE_ASSIGN_OR_RETURN(auto outs, RunStream({inputs}, false));
+  return std::move(outs[0]);
+}
+
+util::Result<std::vector<std::vector<Tensor>>> Monitor::RunSequential(
+    const std::vector<std::vector<Tensor>>& batches) {
+  return RunStream(batches, /*pipelined=*/false);
+}
+
+util::Result<std::vector<std::vector<Tensor>>> Monitor::RunPipelined(
+    const std::vector<std::vector<Tensor>>& batches) {
+  return RunStream(batches, /*pipelined=*/true);
+}
+
+util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
+    const std::vector<std::vector<Tensor>>& batches, bool pipelined) {
+  if (!initialized_) return util::FailedPrecondition("not initialized");
+  const size_t num_batches = batches.size();
+  if (num_batches == 0) return std::vector<std::vector<Tensor>>{};
+  for (const auto& b : batches) {
+    if (static_cast<int64_t>(b.size()) != num_model_inputs_) {
+      return util::InvalidArgument("expected " +
+                                   std::to_string(num_model_inputs_) +
+                                   " model inputs per batch");
+    }
+  }
+  const size_t num_stages = stages_.size();
+  const uint64_t base = next_batch_id_.fetch_add(num_batches);
+  const int64_t run_vstart = vclock_us_;
+  // Virtual-time model of the monitor: admissions are serialized on the
+  // monitor's ingestion clock (vclock_us_), but checkpoint decisions are
+  // timed per flow — a decision happens at the latest virtual arrival of
+  // the results it used, plus the measured verification cost. This
+  // reflects a monitor that serves independent streams concurrently and
+  // keeps async cross-validation from being retarded by stragglers.
+  int64_t handling_cpu0 = util::ThreadCpuMicros();
+  int64_t send_cpu_excluded = 0;
+  // Virtual base time of the event being handled (set per event).
+  int64_t event_vbase = vclock_us_;
+  auto vnow = [&] {
+    return event_vbase +
+           (util::ThreadCpuMicros() - handling_cpu0 - send_cpu_excluded);
+  };
+  auto boundary_us = [&](size_t bytes) {
+    double us = transport::WireMicros(network_, bytes);
+    if (crypto_bytes_per_us_ > 0) {
+      us += 2.0 * static_cast<double>(bytes) / crypto_bytes_per_us_;
+    }
+    return static_cast<int64_t>(us);
+  };
+
+  // How many non-reporting fast-path stages each completed batch has
+  // silently traversed (direct routing only).
+  size_t silent_fast_stages = 0;
+  for (size_t s = 0; s < num_stages; ++s) {
+    if (!stages_[s].is_mvx() && !stage_reports_[s]) ++silent_fast_stages;
+  }
+
+  struct BatchState {
+    // Per stage: result per variant (reporting stages only).
+    std::map<size_t, std::vector<std::optional<InferResultMsg>>> reports;
+    std::map<size_t, std::vector<Tensor>> chosen;
+    std::map<size_t, int64_t> v_chosen;  // virtual decision time per stage
+    std::set<size_t> voted;  // stages whose verdict is final
+    bool complete = false;
+    int64_t admit_vus = 0;  // virtual admission time
+  };
+  std::vector<BatchState> bs(num_batches);
+
+  util::Status run_error = util::OkStatus();
+  size_t completed = 0;
+  size_t admitted = 0;
+  // Pipelined latency is reported as steady-state time-per-result
+  // (inter-completion interval): the latency a streaming client observes
+  // per answer. Sequential latency is per-batch end-to-end. Both are in
+  // virtual time.
+  int64_t last_completion_vus = run_vstart;
+
+  auto admit = [&](size_t b) {
+    event_vbase = vclock_us_;
+    handling_cpu0 = util::ThreadCpuMicros();
+    send_cpu_excluded = 0;
+    bs[b].admit_vus = vnow();
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (model_input_slots_[s].empty()) continue;
+      InferMsg msg;
+      msg.batch_id = base + b;
+      for (const auto& [slot, input_idx] : model_input_slots_[s]) {
+        msg.slots.push_back(slot);
+        msg.inputs.push_back(batches[b][input_idx]);
+      }
+      util::Bytes frame = EncodeInfer(msg);
+      for (auto& conn : stages_[s].variants) {
+        PatchVtime(frame,
+                   static_cast<uint64_t>(vnow() + boundary_us(frame.size())));
+        const int64_t send_cpu0 = util::ThreadCpuMicros();
+        util::Status st = conn.channel->Send(frame);
+        send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
+        if (!st.ok() && run_error.ok()) run_error = st;
+      }
+    }
+    vclock_us_ = vnow();  // the monitor's ingestion path is serial
+    ++admitted;
+  };
+
+  auto batch_complete = [&](const BatchState& state) {
+    for (const auto& src : model_outputs_) {
+      if (!state.chosen.count(static_cast<size_t>(src.stage))) return false;
+    }
+    return true;
+  };
+
+  // Forward declaration pattern via std::function is avoided: forwarding
+  // never recurses (targets are plain sends).
+  auto on_chosen = [&](size_t s, size_t b) {
+    BatchState& state = bs[b];
+    event_vbase = state.v_chosen.count(s) ? state.v_chosen[s] : vnow();
+    for (const auto& target : monitor_forwards_[s]) {
+      InferMsg msg;
+      msg.batch_id = base + b;
+      const auto& outputs = state.chosen[s];
+      for (const auto& [out_idx, slot] : target.output_to_slot) {
+        msg.slots.push_back(slot);
+        msg.inputs.push_back(outputs[out_idx]);
+      }
+      util::Bytes frame = EncodeInfer(msg);
+      for (auto& conn :
+           stages_[static_cast<size_t>(target.consumer_stage)].variants) {
+        PatchVtime(frame,
+                   static_cast<uint64_t>(vnow() + boundary_us(frame.size())));
+        const int64_t send_cpu0 = util::ThreadCpuMicros();
+        util::Status st = conn.channel->Send(frame);
+        send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
+        if (!st.ok() && run_error.ok()) run_error = st;
+      }
+    }
+    if (!state.complete && batch_complete(state)) {
+      state.complete = true;
+      ++completed;
+      // Completion in virtual time: the latest per-stage decision among
+      // the stages producing model outputs.
+      int64_t vcomplete = 0;
+      for (const auto& src : model_outputs_) {
+        auto it = state.v_chosen.find(static_cast<size_t>(src.stage));
+        if (it != state.v_chosen.end()) {
+          vcomplete = std::max(vcomplete, it->second);
+        }
+      }
+      if (vcomplete == 0) vcomplete = vnow();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.batch_latency_us.push_back(
+            pipelined ? std::max<int64_t>(0, vcomplete - last_completion_vus)
+                      : vcomplete - state.admit_vus);
+        stats_.fast_path_forwards += silent_fast_stages;
+      }
+      last_completion_vus = std::max(last_completion_vus, vcomplete);
+      // Sequential pacing: the next admission can only happen after this
+      // completion is observed.
+      vclock_us_ = std::max(vclock_us_, vcomplete);
+      if (!pipelined && admitted < num_batches) admit(admitted);
+    }
+  };
+
+  // Finalizes an MVX stage verdict from a full panel.
+  auto full_vote = [&](size_t s, size_t b) {
+    BatchState& state = bs[b];
+    const size_t k = stages_[s].variants.size();
+    std::vector<std::vector<Tensor>> list(k);
+    for (size_t i = 0; i < k; ++i) {
+      const auto& r = state.reports[s][i];
+      if (r.has_value() && r->ok) list[i] = r->outputs;
+    }
+    VoteResult vote = Vote(list, config_.check, config_.vote);
+    state.voted.insert(s);
+    int64_t v_decide = 0;
+    for (const auto& r : state.reports[s]) {
+      if (r.has_value()) {
+        v_decide = std::max(v_decide, static_cast<int64_t>(r->vtime_us));
+      }
+    }
+    state.v_chosen[s] =
+        v_decide + (util::ThreadCpuMicros() - handling_cpu0 -
+                    send_cpu_excluded);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.checkpoints_evaluated++;
+      stats_.divergences += vote.dissenters.size();
+    }
+    if (!vote.accepted || (config_.response == ResponsePolicy::kAbort &&
+                           !vote.dissenters.empty())) {
+      if (run_error.ok()) {
+        run_error = util::DivergenceDetected(
+            "stage " + std::to_string(s) + " batch " + std::to_string(b) +
+            ": " + std::to_string(vote.dissenters.size()) + "/" +
+            std::to_string(k) + " variants dissent");
+      }
+      return;
+    }
+    state.chosen[s] = list[static_cast<size_t>(vote.winner)];
+    on_chosen(s, b);
+  };
+
+  auto handle_result = [&](size_t s, size_t vi, InferResultMsg&& msg) {
+    if (msg.batch_id < base || msg.batch_id >= base + num_batches) {
+      return;  // stale frame from an earlier (aborted) run
+    }
+    const size_t b = static_cast<size_t>(msg.batch_id - base);
+    BatchState& state = bs[b];
+    const size_t k = stages_[s].variants.size();
+
+    if (!msg.ok) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.variant_failures++;
+    }
+
+    // Fast path: single variant — forwarded unverified, unless the
+    // slow path is forced (checkpoint rule evaluation, Fig. 10).
+    if (k == 1) {
+      if (!msg.ok) {
+        if (run_error.ok()) {
+          run_error = util::Aborted("stage " + std::to_string(s) +
+                                    " variant failed: " + msg.error);
+        }
+        return;
+      }
+      state.v_chosen[s] = static_cast<int64_t>(msg.vtime_us);
+      if (config_.verify_fast_path) {
+        bool rule_violation = false;
+        for (const auto& t : msg.outputs) {
+          if (tensor::HasNonFinite(t)) rule_violation = true;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.checkpoints_evaluated++;
+          if (rule_violation) stats_.divergences++;
+        }
+        if (rule_violation) {
+          if (run_error.ok()) {
+            run_error = util::DivergenceDetected(
+                "stage " + std::to_string(s) + " batch " +
+                std::to_string(b) + ": checkpoint rule violation");
+          }
+          return;
+        }
+      } else {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.fast_path_forwards++;
+      }
+      state.v_chosen[s] += util::ThreadCpuMicros() - handling_cpu0 -
+                           send_cpu_excluded;
+      state.chosen[s] = std::move(msg.outputs);
+      on_chosen(s, b);
+      return;
+    }
+
+    // Slow path (MVX panel).
+    auto& panel = state.reports[s];
+    if (panel.empty()) panel.resize(k);
+    panel[vi] = std::move(msg);
+
+    if (state.voted.count(s)) {
+      // Async straggler: cross-validate against the accepted value.
+      const auto& r = panel[vi];
+      bool dissent = !r->ok;
+      if (!dissent && state.chosen.count(s)) {
+        dissent = !OutputsConsistent(r->outputs, state.chosen[s],
+                                     config_.check);
+      }
+      if (dissent) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.late_divergences++;
+      }
+      return;
+    }
+
+    size_t received = 0;
+    for (const auto& r : panel) {
+      if (r.has_value()) ++received;
+    }
+
+    if (config_.mode == ExecMode::kSync) {
+      if (received == k) full_vote(s, b);
+      return;
+    }
+
+    // Async cross-validation: proceed at majority consensus among the
+    // results received so far (Fig. 8).
+    const size_t quorum = k / 2 + 1;
+    if (received >= quorum) {
+      // Largest consistent bloc among received, healthy results.
+      std::vector<size_t> healthy;
+      for (size_t i = 0; i < k; ++i) {
+        if (panel[i].has_value() && panel[i]->ok) healthy.push_back(i);
+      }
+      size_t best_rep = k, best_size = 0;
+      for (size_t rep : healthy) {
+        size_t size = 0;
+        for (size_t other : healthy) {
+          if (OutputsConsistent(panel[other]->outputs, panel[rep]->outputs,
+                                config_.check)) {
+            ++size;
+          }
+        }
+        if (size > best_size) {
+          best_size = size;
+          best_rep = rep;
+        }
+      }
+      if (best_size >= quorum) {
+        state.voted.insert(s);
+        int64_t v_decide = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (panel[i].has_value()) {
+            v_decide = std::max(v_decide,
+                                static_cast<int64_t>(panel[i]->vtime_us));
+          }
+        }
+        state.v_chosen[s] =
+            v_decide + (util::ThreadCpuMicros() - handling_cpu0 -
+                        send_cpu_excluded);
+        state.chosen[s] = panel[best_rep]->outputs;
+        size_t dissent_now = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (!panel[i].has_value()) continue;
+          if (!panel[i]->ok ||
+              !OutputsConsistent(panel[i]->outputs, state.chosen[s],
+                                 config_.check)) {
+            ++dissent_now;
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.checkpoints_evaluated++;
+          stats_.divergences += dissent_now;
+        }
+        if (dissent_now > 0 &&
+            config_.response == ResponsePolicy::kAbort) {
+          if (run_error.ok()) {
+            run_error = util::DivergenceDetected(
+                "stage " + std::to_string(s) + " batch " +
+                std::to_string(b) + ": dissent under async quorum");
+          }
+          return;
+        }
+        on_chosen(s, b);
+        return;
+      }
+    }
+    // No quorum yet; if the whole panel answered without one, decide.
+    if (received == k) full_vote(s, b);
+  };
+
+  // Admission.
+  if (pipelined) {
+    for (size_t b = 0; b < num_batches; ++b) admit(b);
+  } else {
+    admit(0);
+  }
+
+  // Event loop: poll every variant channel.
+  int64_t deadline = util::NowMicros() + config_.recv_timeout_us;
+  while (completed < num_batches && run_error.ok()) {
+    bool progressed = false;
+    for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
+      for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
+        auto frame = stages_[s].variants[vi].channel->Recv(0);
+        if (!frame.ok()) {
+          if (frame.status().code() == util::StatusCode::kUnavailable &&
+              run_error.ok()) {
+            run_error = util::Unavailable("variant " +
+                                          stages_[s].variants[vi].id +
+                                          " disconnected");
+          }
+          continue;
+        }
+        progressed = true;
+        auto type = PeekType(*frame);
+        if (!type.ok() || *type != MsgType::kInferResult) continue;
+        handling_cpu0 = util::ThreadCpuMicros();
+        send_cpu_excluded = 0;
+        auto msg = DecodeInferResult(*frame);
+        if (!msg.ok()) {
+          if (run_error.ok()) run_error = msg.status();
+          continue;
+        }
+        event_vbase = static_cast<int64_t>(msg->vtime_us);
+        handle_result(s, vi, std::move(*msg));
+      }
+    }
+    if (progressed) {
+      deadline = util::NowMicros() + config_.recv_timeout_us;
+    } else {
+      if (util::NowMicros() > deadline && run_error.ok()) {
+        run_error = util::DeadlineExceeded(
+            "no variant progress within recv_timeout (" +
+            std::to_string(completed) + "/" +
+            std::to_string(num_batches) + " batches complete)");
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.poll_slice_us));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.wall_us += std::max<int64_t>(1, last_completion_vus - run_vstart);
+    uint64_t total_bytes = 0;
+    for (const auto& stage : stages_) {
+      for (const auto& conn : stage.variants) {
+        total_bytes += conn.channel->bytes_sent();
+      }
+    }
+    stats_.bytes_sent = total_bytes;
+  }
+
+  MVTEE_RETURN_IF_ERROR(run_error);
+
+  std::vector<std::vector<Tensor>> all(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    for (const auto& src : model_outputs_) {
+      all[b].push_back(
+          bs[b].chosen[static_cast<size_t>(src.stage)]
+              [static_cast<size_t>(src.index)]);
+    }
+  }
+  return all;
+}
+
+util::Status Monitor::Shutdown() {
+  if (!initialized_) return util::OkStatus();
+  for (auto& stage : stages_) {
+    for (auto& conn : stage.variants) {
+      (void)conn.channel->Send(EncodeShutdown());
+      conn.channel->Close();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    for (auto& b : bindings_) b.active = false;
+  }
+  stages_.clear();
+  initialized_ = false;
+  routes_configured_ = false;
+  return util::OkStatus();
+}
+
+RunStats Monitor::ConsumeStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RunStats out = std::move(stats_);
+  stats_ = RunStats();
+  return out;
+}
+
+std::vector<Monitor::Binding> Monitor::bindings() const {
+  std::lock_guard<std::mutex> lock(bindings_mu_);
+  return bindings_;
+}
+
+}  // namespace mvtee::core

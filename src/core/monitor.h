@@ -1,0 +1,224 @@
+// The MVTEE monitor (paper §4.3, §5.2): security manager and dataflow
+// hub of the runtime system.
+//
+// Responsibilities implemented here:
+//  - attestable variant initialization and updates (Fig. 6): attest each
+//    init-variant, assign its key + identity, verify the locked
+//    second-stage manifest evidence, bind the connection;
+//  - input distribution, checkpoint synchronization and output
+//    replication across the partition pipeline;
+//  - the slow/fast path design (Fig. 7): stages with several active
+//    variants take the slow path (checkpoint sync + vote at the
+//    monitor); single-variant stages take the fast path, optionally with
+//    direct variant-to-variant channels that bypass the monitor
+//    entirely (`direct_fastpath`);
+//  - selective MVX (vertical/horizontal scaling of the MVX config);
+//  - sync and asynchronous cross-validation execution modes (Fig. 8);
+//  - sequential and pipelined batch execution;
+//  - divergence response (abort or continue-with-winner) and statistics.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/consistency.h"
+#include "core/messages.h"
+#include "core/offline.h"
+#include "core/variant_host.h"
+#include "tensor/tensor.h"
+#include "transport/msg_channel.h"
+#include "util/status.h"
+
+namespace mvtee::core {
+
+enum class ExecMode : uint8_t { kSync = 0, kAsync };
+enum class ResponsePolicy : uint8_t {
+  kAbort = 0,            // fail the batch on any rejected vote
+  kContinueWithWinner,   // majority verdicts proceed; rejection still aborts
+};
+
+struct MonitorConfig {
+  CheckPolicy check = CheckPolicy::Cosine(0.995);
+  VotePolicy vote = VotePolicy::kUnanimous;
+  ExecMode mode = ExecMode::kSync;
+  ResponsePolicy response = ResponsePolicy::kAbort;
+  // Fast-path stages stream outputs directly to the next partition's
+  // variants over dedicated secure channels instead of via the monitor.
+  bool direct_fastpath = false;
+  // Force the slow path on single-variant stages: the monitor suspends
+  // at every checkpoint and evaluates the outputs against predefined
+  // rules (finiteness / shape sanity) before forwarding. Used by the
+  // checkpointing-overhead ablation (Fig. 10); requires monitor-mediated
+  // routing (direct_fastpath = false).
+  bool verify_fast_path = false;
+  int64_t recv_timeout_us = 30'000'000;
+  // Idle sleep while polling for variant results.
+  int64_t poll_slice_us = 50;
+};
+
+// Which pool variants the monitor activates per stage ("MVX
+// configuration": vertical scaling = stages with >1 id, horizontal
+// scaling = number of ids per stage).
+struct MvxSelection {
+  std::vector<std::vector<std::string>> stage_variant_ids;
+
+  // Convenience: first `variants_per_stage` pool variants per stage.
+  static MvxSelection Uniform(const OfflineBundle& bundle,
+                              int variants_per_stage);
+  // `counts[i]` variants for stage i (1 = fast path only).
+  static MvxSelection PerStage(const OfflineBundle& bundle,
+                               const std::vector<int>& counts);
+};
+
+struct RunStats {
+  int64_t wall_us = 0;
+  std::vector<int64_t> batch_latency_us;
+  uint64_t checkpoints_evaluated = 0;  // slow-path votes
+  uint64_t fast_path_forwards = 0;     // unverified stage traversals
+  uint64_t divergences = 0;            // dissent observed at a checkpoint
+  uint64_t late_divergences = 0;       // async straggler dissent
+  uint64_t variant_failures = 0;       // crashed / error results
+  uint64_t bytes_sent = 0;             // monitor -> variants (wire)
+
+  double ThroughputPerSec() const {
+    if (wall_us <= 0 || batch_latency_us.empty()) return 0.0;
+    return static_cast<double>(batch_latency_us.size()) * 1e6 /
+           static_cast<double>(wall_us);
+  }
+  double MeanLatencyUs() const {
+    if (batch_latency_us.empty()) return 0.0;
+    int64_t sum = 0;
+    for (int64_t v : batch_latency_us) sum += v;
+    return static_cast<double>(sum) /
+           static_cast<double>(batch_latency_us.size());
+  }
+};
+
+class Monitor {
+ public:
+  // The monitor runs inside its own (small, integrity-protected) TEE.
+  static util::Result<std::unique_ptr<Monitor>> Create(
+      tee::SimulatedCpu* cpu, MonitorConfig config,
+      tee::TeeType tee_type = tee::TeeType::kSgx1);
+
+  ~Monitor();
+
+  // Fig. 6 steps 4-7: spawn, attest, key, bind every selected variant;
+  // then configure fast-path routing per MonitorConfig.
+  util::Status Initialize(const OfflineBundle& bundle,
+                          const MvxSelection& selection, VariantHost& host);
+
+  // Partial update (§4.3): tears down one stage's variants and rebinds a
+  // new selection for it; bindings are appended for audit. Not available
+  // with direct_fastpath routing (pipes would need re-brokering).
+  util::Status UpdateStage(const OfflineBundle& bundle, VariantHost& host,
+                           int32_t stage,
+                           const std::vector<std::string>& variant_ids);
+
+  // Full update: reinitialize every stage from a (possibly new) bundle.
+  util::Status FullUpdate(const OfflineBundle& bundle,
+                          const MvxSelection& selection, VariantHost& host);
+
+  // One batch through all stages.
+  util::Result<std::vector<tensor::Tensor>> RunBatch(
+      const std::vector<tensor::Tensor>& inputs);
+
+  // Many batches, strictly one after another (next admitted only after
+  // the previous completed; async stragglers may still overlap).
+  util::Result<std::vector<std::vector<tensor::Tensor>>> RunSequential(
+      const std::vector<std::vector<tensor::Tensor>>& batches);
+
+  // Many batches streamed through the pipeline simultaneously.
+  util::Result<std::vector<std::vector<tensor::Tensor>>> RunPipelined(
+      const std::vector<std::vector<tensor::Tensor>>& batches);
+
+  util::Status Shutdown();
+
+  RunStats ConsumeStats();
+  const MonitorConfig& config() const { return config_; }
+  const tee::Enclave& enclave() const { return *enclave_; }
+
+  // Audit log of variant bindings ("appending-only for auditing").
+  struct Binding {
+    int32_t stage;
+    std::string variant_id;
+    uint64_t enclave_report_id;
+    bool active;
+    // Serialized attestation report captured at binding time (empty on
+    // plaintext channels). Served to users via combined attestation.
+    util::Bytes report;
+  };
+  std::vector<Binding> bindings() const;
+
+ private:
+  Monitor(std::unique_ptr<tee::Enclave> enclave, tee::SimulatedCpu* cpu,
+          MonitorConfig config);
+
+  struct VariantConn {
+    std::string id;
+    std::unique_ptr<transport::MsgChannel> channel;
+  };
+  struct StageState {
+    std::vector<VariantConn> variants;
+    bool is_mvx() const { return variants.size() > 1; }
+  };
+
+  // Monitor-mediated forwarding target: consumer stage + slot map.
+  struct ForwardTarget {
+    int32_t consumer_stage;
+    // (producer output index -> consumer slot)
+    std::vector<std::pair<uint32_t, uint32_t>> output_to_slot;
+  };
+
+  util::Result<VariantConn> BindVariant(const OfflineBundle& bundle,
+                                        VariantHost& host,
+                                        const std::string& variant_id);
+
+  util::Status ConfigureRoutes(VariantHost& host);
+
+  // The unified event-driven engine behind RunBatch / RunSequential /
+  // RunPipelined.
+  util::Result<std::vector<std::vector<tensor::Tensor>>> RunStream(
+      const std::vector<std::vector<tensor::Tensor>>& batches,
+      bool pipelined);
+
+  std::unique_ptr<tee::Enclave> enclave_;
+  tee::SimulatedCpu* cpu_;
+  MonitorConfig config_;
+
+  std::vector<StageState> stages_;
+  std::vector<std::vector<partition::StageInputSource>> stage_inputs_;
+  std::vector<partition::StageInputSource> model_outputs_;
+  int64_t num_model_inputs_ = 0;
+  bool initialized_ = false;
+  bool routes_configured_ = false;
+
+  // Derived routing (built by ConfigureRoutes).
+  // Per stage: slots fed by model inputs (slot -> model input index).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> model_input_slots_;
+  // Per producer stage: monitor-mediated forwarding targets.
+  std::vector<std::vector<ForwardTarget>> monitor_forwards_;
+  // Per stage: does the monitor expect kInferResult reports from it?
+  std::vector<bool> stage_reports_;
+  size_t num_fast_path_stages_ = 0;
+
+  mutable std::mutex stats_mu_;
+  RunStats stats_;
+  std::atomic<uint64_t> next_batch_id_{0};
+
+  // Virtual-time performance model (see DESIGN.md §2): the monitor's own
+  // timeline, advanced by measured thread-CPU work; wire delays come
+  // from the host's network cost model captured at Initialize.
+  int64_t vclock_us_ = 0;
+  transport::NetworkCostModel network_{};
+  double crypto_bytes_per_us_ = 0.0;
+
+  mutable std::mutex bindings_mu_;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace mvtee::core

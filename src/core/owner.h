@@ -1,0 +1,63 @@
+// Model-owner client (Fig. 6 steps 1-3 and 8, plus the user-side
+// combined attestation of §4.3).
+//
+// The owner runs OUTSIDE any TEE. It holds the offline bundle (wiring +
+// variant keys + expected manifest hashes), attests the monitor TEE via
+// challenge-response over an RA-TLS handshake (the owner itself sends no
+// report), provisions the MVX configuration with a fresh nonce, and
+// verifies that the returned initialization evidence echoes that nonce.
+// Afterwards it can request a combined attestation of every bound
+// variant TEE through the monitor.
+#pragma once
+
+#include <memory>
+
+#include "core/monitor.h"
+#include "core/offline.h"
+#include "transport/secure_channel.h"
+
+namespace mvtee::core {
+
+class ModelOwner {
+ public:
+  explicit ModelOwner(OfflineBundle bundle) : bundle_(std::move(bundle)) {}
+
+  // Connects to the monitor's owner port, verifies the monitor's
+  // measurement, and provisions the deployment. Blocks until the monitor
+  // reports the initialization outcome; fails on attestation errors,
+  // nonce mismatch, or initialization failure.
+  util::Status ProvisionDeployment(
+      transport::Endpoint endpoint, const tee::SimulatedCpu& cpu,
+      const crypto::Sha256Digest& expected_monitor_measurement,
+      const MvxSelection& selection, int64_t timeout_us = 30'000'000);
+
+  // Combined attestation (post-provisioning): asks the monitor for the
+  // reports of every bound variant TEE and verifies each one is
+  // hardware-signed and measures as the expected init-variant. Returns
+  // the number of verified variant TEEs.
+  util::Result<size_t> VerifyDeployment(
+      const tee::SimulatedCpu& cpu,
+      const crypto::Sha256Digest& expected_variant_measurement,
+      int64_t timeout_us = 30'000'000);
+
+  // Ends the owner session (the monitor-side service returns).
+  void Disconnect();
+  ~ModelOwner() { Disconnect(); }
+
+  const OfflineBundle& bundle() const { return bundle_; }
+  OfflineBundle& bundle() { return bundle_; }
+
+ private:
+  OfflineBundle bundle_;
+  std::unique_ptr<transport::SecureChannel> channel_;
+};
+
+// Monitor-side owner service: accepts one owner connection on `endpoint`
+// (server role, owner unattested), handles provisioning and attestation
+// queries until the channel closes. Run it on its own thread; it calls
+// monitor.Initialize() when the provisioning message arrives.
+util::Status ServeOwner(Monitor& monitor, VariantHost& host,
+                        transport::Endpoint endpoint,
+                        int64_t timeout_us = 30'000'000);
+
+}  // namespace mvtee::core

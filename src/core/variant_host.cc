@@ -1,0 +1,499 @@
+#include "core/variant_host.h"
+
+#include <thread>
+
+#include "core/messages.h"
+#include "core/offline.h"
+#include "graph/ir.h"
+#include "transport/msg_channel.h"
+#include "util/clock.h"
+#include "variant/spec.h"
+
+namespace mvtee::core {
+
+namespace {
+
+constexpr std::string_view kInitVariantCode = "mvtee-init-variant-v1";
+
+// Virtual cost of moving one protected message across a TEE boundary:
+// seal + wire + open. Measured software-crypto CPU is excluded from the
+// virtual clocks; this analytic charge stands in for the testbed's
+// hardware-accelerated record protection.
+int64_t BoundaryMicros(const VariantHost::Options& options, size_t bytes) {
+  double us = transport::WireMicros(options.network, bytes);
+  if (!options.plaintext_channels && options.crypto_bytes_per_us > 0) {
+    us += 2.0 * static_cast<double>(bytes) / options.crypto_bytes_per_us;
+  }
+  return static_cast<int64_t>(us);
+}
+
+// In-enclave state of one variant service after identity assignment.
+struct VariantState {
+  std::string variant_id;
+  tee::FreshnessLedger ledger;
+  std::unique_ptr<runtime::Executor> executor;
+  size_t total_slots = 0;
+  bool report_to_monitor = true;
+
+  struct Upstream {
+    std::unique_ptr<transport::MsgChannel> channel;
+  };
+  struct Downstream {
+    std::unique_ptr<transport::MsgChannel> channel;
+    std::vector<std::pair<uint32_t, uint32_t>> output_to_slot;
+  };
+  std::vector<Upstream> upstream;
+  std::vector<Downstream> downstream;
+
+  // Slot assembly per batch.
+  struct Assembly {
+    std::vector<std::optional<tensor::Tensor>> slots;
+    size_t filled = 0;
+    int64_t ready_vtime = 0;  // max virtual arrival over contributing msgs
+  };
+  std::map<uint64_t, Assembly> pending;
+
+  // Virtual-time performance model: this variant's own timeline. Real
+  // work is measured with the thread CPU clock and advances the virtual
+  // clock, so pipeline overlap across variants is reflected even on a
+  // core-limited simulation host (see DESIGN.md §2).
+  int64_t vclock_us = 0;
+};
+
+// Handles AssignIdentity: installs the key, loads + installs the
+// second-stage manifest, decrypts the spec and stage graph, execs into
+// the main stage and builds the executor.
+util::Status AssumeIdentity(const AssignIdentityMsg& msg,
+                            tee::Enclave& enclave,
+                            tee::ProtectedStore& store, VariantHost& host,
+                            VariantState& state) {
+  state.variant_id = msg.variant_id;
+  util::Bytes file_key =
+      tee::DeriveVariantFileKey(msg.variant_key, msg.variant_id);
+  MVTEE_RETURN_IF_ERROR(enclave.InstallProtectedFsKey(file_key));
+
+  MVTEE_ASSIGN_OR_RETURN(
+      util::Bytes manifest_bytes,
+      store.Get(VariantManifestPath(msg.variant_id), file_key,
+                &state.ledger));
+  MVTEE_ASSIGN_OR_RETURN(tee::Manifest manifest,
+                         tee::Manifest::Deserialize(manifest_bytes));
+  MVTEE_RETURN_IF_ERROR(enclave.InstallSecondStageManifest(manifest));
+
+  MVTEE_ASSIGN_OR_RETURN(
+      util::Bytes spec_bytes,
+      store.Get(VariantSpecPath(msg.variant_id), file_key, &state.ledger));
+  MVTEE_ASSIGN_OR_RETURN(variant::VariantSpec spec,
+                         variant::VariantSpec::Deserialize(spec_bytes));
+
+  MVTEE_ASSIGN_OR_RETURN(
+      util::Bytes graph_bytes,
+      store.Get(VariantGraphPath(msg.variant_id), file_key, &state.ledger));
+  MVTEE_ASSIGN_OR_RETURN(graph::Graph graph,
+                         graph::Graph::Deserialize(graph_bytes));
+
+  // One-way transition into the locked-down main stage.
+  MVTEE_RETURN_IF_ERROR(enclave.Exec());
+
+  MVTEE_ASSIGN_OR_RETURN(state.executor,
+                         runtime::Executor::Create(graph, spec.exec_config));
+  state.total_slots = state.executor->graph().inputs().size();
+  // The adversary's fault hook, if the experiment set one for this id.
+  if (auto hook = host.LookupFaultHook(msg.variant_id)) {
+    state.executor->SetFaultHook(std::move(hook));
+  }
+  return util::OkStatus();
+}
+
+// Builds upstream/downstream channels per the routing message. Server
+// handshakes run concurrently (one short-lived thread per pipe) to avoid
+// cross-variant ordering deadlocks; client handshakes run inline.
+util::Status SetupRoutes(const SetupRoutesMsg& msg, tee::Enclave& enclave,
+                         VariantHost& host, tee::SimulatedCpu& cpu,
+                         const VariantHost::Options& options,
+                         VariantState& state) {
+  state.report_to_monitor = msg.report_to_monitor;
+
+  // Upstream: claim consumer ends, handshake as server concurrently.
+  struct UpstreamSetup {
+    transport::Endpoint endpoint;
+    std::unique_ptr<transport::MsgChannel> channel;
+    util::Status status = util::OkStatus();
+  };
+  std::vector<UpstreamSetup> setups(msg.upstream.size());
+  for (size_t i = 0; i < msg.upstream.size(); ++i) {
+    MVTEE_ASSIGN_OR_RETURN(
+        setups[i].endpoint,
+        host.ClaimPipeEnd(msg.upstream[i].pipe_id, /*producer_end=*/false));
+  }
+  if (options.plaintext_channels) {
+    for (auto& setup : setups) {
+      setup.channel = std::make_unique<transport::PlainMsgChannel>(
+          std::move(setup.endpoint));
+    }
+  } else {
+    std::vector<std::thread> handshakers;
+    for (auto& setup : setups) {
+      handshakers.emplace_back([&setup, &enclave, &cpu, &options] {
+        auto secure = transport::SecureChannel::Handshake(
+            std::move(setup.endpoint),
+            transport::SecureChannel::Role::kServer, enclave,
+            transport::AnyAttestedPeer(cpu), options.recv_timeout_us);
+        if (!secure.ok()) {
+          setup.status = secure.status();
+          return;
+        }
+        setup.channel = std::make_unique<transport::SecureMsgChannel>(
+            std::move(*secure));
+      });
+    }
+    for (auto& t : handshakers) t.join();
+  }
+  for (auto& setup : setups) {
+    MVTEE_RETURN_IF_ERROR(setup.status);
+    state.upstream.push_back({std::move(setup.channel)});
+  }
+
+  // Downstream: claim producer ends, handshake as client inline.
+  for (const auto& down : msg.downstream) {
+    MVTEE_ASSIGN_OR_RETURN(
+        transport::Endpoint endpoint,
+        host.ClaimPipeEnd(down.pipe_id, /*producer_end=*/true));
+    std::unique_ptr<transport::MsgChannel> channel;
+    if (options.plaintext_channels) {
+      channel = std::make_unique<transport::PlainMsgChannel>(
+          std::move(endpoint));
+    } else {
+      MVTEE_ASSIGN_OR_RETURN(
+          auto secure,
+          transport::SecureChannel::Handshake(
+              std::move(endpoint), transport::SecureChannel::Role::kClient,
+              enclave, transport::AnyAttestedPeer(cpu),
+              options.recv_timeout_us));
+      channel = std::make_unique<transport::SecureMsgChannel>(
+          std::move(secure));
+    }
+    state.downstream.push_back({std::move(channel), down.output_to_slot});
+  }
+  return util::OkStatus();
+}
+
+// Places slot data into the batch assembly; returns the batch id if it
+// became complete.
+std::optional<uint64_t> Fill(VariantState& state, uint64_t batch,
+                             const std::vector<uint32_t>& slots,
+                             std::vector<tensor::Tensor>&& tensors,
+                             int64_t arrival_vtime) {
+  auto& assembly = state.pending[batch];
+  if (assembly.slots.empty()) {
+    assembly.slots.resize(state.total_slots);
+  }
+  assembly.ready_vtime = std::max(assembly.ready_vtime, arrival_vtime);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    size_t slot = slots[i];
+    if (slot >= assembly.slots.size()) continue;  // malformed; drop
+    if (!assembly.slots[slot].has_value()) {
+      assembly.slots[slot] = std::move(tensors[i]);
+      ++assembly.filled;
+    }
+  }
+  if (assembly.filled == state.total_slots && state.total_slots > 0) {
+    return batch;
+  }
+  return std::nullopt;
+}
+
+// Runs a completed batch and distributes the results, advancing the
+// variant's virtual clock by the measured CPU cost of inference,
+// serialization and record protection, plus the modeled wire time on
+// each outgoing message.
+void RunAssembledBatch(VariantState& state, uint64_t batch,
+                       transport::MsgChannel& monitor_channel,
+                       const VariantHost::Options& options) {
+  auto it = state.pending.find(batch);
+  MVTEE_CHECK(it != state.pending.end());
+  std::vector<tensor::Tensor> inputs;
+  inputs.reserve(it->second.slots.size());
+  for (auto& slot : it->second.slots) inputs.push_back(std::move(*slot));
+  const int64_t v_start =
+      std::max(state.vclock_us, it->second.ready_vtime);
+  state.pending.erase(it);
+
+  const int64_t cpu0 = util::ThreadCpuMicros();
+  InferResultMsg result;
+  result.batch_id = batch;
+  auto outputs = state.executor->Run(inputs);
+  if (outputs.ok()) {
+    result.ok = true;
+    result.outputs = std::move(*outputs);
+  } else {
+    // A trapped exploit / crash inside this variant.
+    result.ok = false;
+    result.error = outputs.status().ToString();
+  }
+  // Diversification slowdown scales the variant's virtual compute cost
+  // (the executor's real sleep does not show up on the CPU clock).
+  const double factor = state.executor->config().slowdown_factor;
+  const int64_t v_done =
+      v_start + static_cast<int64_t>(
+                    static_cast<double>(util::ThreadCpuMicros() - cpu0) *
+                    factor);
+
+  if (result.ok) {
+    // Direct fast-path forwarding to adjacent partitions (Fig. 7).
+    for (auto& down : state.downstream) {
+      StageDataMsg data;
+      data.batch_id = batch;
+      for (const auto& [output, slot] : down.output_to_slot) {
+        data.slots.push_back(slot);
+        data.tensors.push_back(result.outputs[output]);
+      }
+      util::Bytes frame = EncodeStageData(data);
+      PatchVtime(frame, static_cast<uint64_t>(
+                            v_done + BoundaryMicros(options, frame.size())));
+      (void)down.channel->Send(frame);
+    }
+  }
+  // Failures are always surfaced to the monitor; successful outputs only
+  // when this variant is on a reporting (slow-path / model-output) role.
+  if (state.report_to_monitor || !result.ok) {
+    util::Bytes frame = EncodeInferResult(result);
+    PatchVtime(frame, static_cast<uint64_t>(
+                          v_done + BoundaryMicros(options, frame.size())));
+    (void)monitor_channel.Send(frame);
+  }
+  state.vclock_us = v_done;
+}
+
+// Variant service main loop (one per enclave/thread).
+void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
+                        transport::Endpoint endpoint, VariantHost* host,
+                        tee::SimulatedCpu* cpu,
+                        std::shared_ptr<tee::ProtectedStore> store,
+                        VariantHost::Options options) {
+  std::unique_ptr<transport::MsgChannel> monitor_channel;
+  if (options.plaintext_channels) {
+    monitor_channel = std::make_unique<transport::PlainMsgChannel>(
+        std::move(endpoint));
+  } else {
+    auto secure = transport::SecureChannel::Handshake(
+        std::move(endpoint), transport::SecureChannel::Role::kServer,
+        *enclave, transport::AnyAttestedPeer(*cpu),
+        options.recv_timeout_us);
+    if (!secure.ok()) {
+      cpu->ReleaseEnclave(*enclave);
+      return;
+    }
+    monitor_channel = std::make_unique<transport::SecureMsgChannel>(
+        std::move(*secure));
+  }
+
+  VariantState state;
+  auto teardown = [&] {
+    monitor_channel->Close();
+    for (auto& up : state.upstream) up.channel->Close();
+    for (auto& down : state.downstream) down.channel->Close();
+    cpu->ReleaseEnclave(*enclave);
+  };
+
+  const int64_t idle_sleep_us = 50;
+  int64_t last_activity = util::NowMicros();
+
+  for (;;) {
+    bool progressed = false;
+
+    // 1. Monitor channel (non-blocking poll).
+    auto frame = monitor_channel->Recv(0);
+    if (!frame.ok() &&
+        frame.status().code() == util::StatusCode::kUnavailable) {
+      teardown();
+      return;  // monitor closed the channel
+    }
+    if (frame.ok()) {
+      progressed = true;
+      auto type = PeekType(*frame);
+      if (!type.ok()) {
+        teardown();
+        return;
+      }
+      switch (*type) {
+        case MsgType::kAssignIdentity: {
+          auto msg = DecodeAssignIdentity(*frame);
+          IdentityAckMsg ack;
+          if (!msg.ok()) {
+            ack.ok = false;
+            ack.error = msg.status().ToString();
+          } else {
+            ack.variant_id = msg->variant_id;
+            util::Status status =
+                AssumeIdentity(*msg, *enclave, *store, *host, state);
+            ack.ok = status.ok();
+            if (!status.ok()) {
+              ack.error = status.ToString();
+            } else {
+              ack.manifest_hash = enclave->manifest().Hash();
+            }
+          }
+          (void)monitor_channel->Send(EncodeIdentityAck(ack));
+          break;
+        }
+        case MsgType::kSetupRoutes: {
+          auto msg = DecodeSetupRoutes(*frame);
+          RoutesAckMsg ack;
+          if (!msg.ok()) {
+            ack.ok = false;
+            ack.error = msg.status().ToString();
+          } else {
+            util::Status status =
+                SetupRoutes(*msg, *enclave, *host, *cpu, options, state);
+            ack.ok = status.ok();
+            if (!status.ok()) ack.error = status.ToString();
+          }
+          (void)monitor_channel->Send(EncodeRoutesAck(ack));
+          break;
+        }
+        case MsgType::kInfer: {
+          auto msg = DecodeInfer(*frame);
+          if (msg.ok() && state.executor) {
+            state.vclock_us = std::max(
+                state.vclock_us, static_cast<int64_t>(msg->vtime_us));
+            auto done = Fill(state, msg->batch_id, msg->slots,
+                             std::move(msg->inputs), state.vclock_us);
+            if (done) {
+              RunAssembledBatch(state, *done, *monitor_channel, options);
+            }
+          } else if (msg.ok()) {
+            InferResultMsg err;
+            err.batch_id = msg->batch_id;
+            err.ok = false;
+            err.error = "variant not initialized";
+            (void)monitor_channel->Send(EncodeInferResult(err));
+          }
+          break;
+        }
+        case MsgType::kShutdown:
+          teardown();
+          return;
+        default:
+          break;  // ignore unexpected types
+      }
+    }
+
+    // 2. Upstream fast-path pipes (non-blocking poll).
+    for (auto& up : state.upstream) {
+      auto data_frame = up.channel->Recv(0);
+      if (!data_frame.ok()) continue;
+      progressed = true;
+      auto msg = DecodeStageData(*data_frame);
+      if (!msg.ok() || !state.executor) continue;
+      state.vclock_us =
+          std::max(state.vclock_us, static_cast<int64_t>(msg->vtime_us));
+      auto done = Fill(state, msg->batch_id, msg->slots,
+                       std::move(msg->tensors), state.vclock_us);
+      if (done) {
+        RunAssembledBatch(state, *done, *monitor_channel, options);
+      }
+    }
+
+    if (progressed) {
+      last_activity = util::NowMicros();
+    } else {
+      if (util::NowMicros() - last_activity > options.recv_timeout_us) {
+        teardown();  // orphaned: monitor gone silent
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(idle_sleep_us));
+    }
+  }
+}
+
+}  // namespace
+
+VariantHost::VariantHost(tee::SimulatedCpu* cpu,
+                         std::shared_ptr<tee::ProtectedStore> store,
+                         Options options)
+    : cpu_(cpu), store_(std::move(store)), options_(options) {}
+
+VariantHost::~VariantHost() { JoinAll(); }
+
+util::Result<transport::Endpoint> VariantHost::SpawnVariantTee(
+    tee::TeeType type) {
+  MVTEE_ASSIGN_OR_RETURN(
+      auto enclave,
+      cpu_->LaunchEnclave(type, util::ToBytes(std::string(kInitVariantCode)),
+                          tee::InitVariantManifest(),
+                          options_.variant_epc_pages));
+  // Real channels carry no sleep cost — options_.network is applied as
+  // *virtual* wire time by the performance model.
+  auto [monitor_side, variant_side] =
+      transport::CreateChannel(transport::NetworkCostModel::Free());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.emplace_back(VariantServiceMain, std::move(enclave),
+                          std::move(variant_side), this, cpu_, store_,
+                          options_);
+  }
+  return monitor_side;
+}
+
+crypto::Sha256Digest VariantHost::init_variant_measurement() const {
+  crypto::Sha256 hasher;
+  hasher.Update(util::ToBytes(std::string(kInitVariantCode)));
+  auto mhash = tee::InitVariantManifest().Hash();
+  hasher.Update(util::ByteSpan(mhash.data(), mhash.size()));
+  return hasher.Finish();
+}
+
+void VariantHost::SetFaultHook(const std::string& variant_id,
+                               std::shared_ptr<runtime::FaultHook> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hooks_[variant_id] = std::move(hook);
+}
+
+std::shared_ptr<runtime::FaultHook> VariantHost::LookupFaultHook(
+    const std::string& variant_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fault_hooks_.find(variant_id);
+  return it == fault_hooks_.end() ? nullptr : it->second;
+}
+
+uint64_t VariantHost::CreatePipe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_pipe_id_++;
+  auto [producer_end, consumer_end] =
+      transport::CreateChannel(transport::NetworkCostModel::Free());
+  pipes_[id] = {std::move(producer_end), std::move(consumer_end)};
+  return id;
+}
+
+util::Result<transport::Endpoint> VariantHost::ClaimPipeEnd(
+    uint64_t pipe_id, bool producer_end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pipes_.find(pipe_id);
+  if (it == pipes_.end()) {
+    return util::NotFound("pipe " + std::to_string(pipe_id));
+  }
+  auto& slot = producer_end ? it->second.producer : it->second.consumer;
+  if (!slot.has_value()) {
+    return util::FailedPrecondition("pipe end already claimed");
+  }
+  transport::Endpoint endpoint = std::move(*slot);
+  slot.reset();
+  if (!it->second.producer.has_value() && !it->second.consumer.has_value()) {
+    pipes_.erase(it);
+  }
+  return endpoint;
+}
+
+void VariantHost::JoinAll() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace mvtee::core

@@ -1,0 +1,202 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+namespace mvtee::crypto {
+
+namespace {
+// Reduction constants for the 4-bit GHASH table method.
+constexpr uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+inline uint64_t LoadU64BE(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void StoreU64BE(uint8_t* p, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+inline void Inc32(uint8_t block[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++block[i] != 0) break;
+  }
+}
+}  // namespace
+
+AesGcm::AesGcm(util::ByteSpan key) : aes_(key) {
+  MVTEE_CHECK(key.size() == 16 || key.size() == 32);
+
+  uint8_t h[16] = {0};
+  aes_.EncryptBlock(h, h);
+
+  uint64_t vh = LoadU64BE(h);
+  uint64_t vl = LoadU64BE(h + 8);
+
+  hl_[8] = vl;
+  hh_[8] = vh;
+  hh_[0] = 0;
+  hl_[0] = 0;
+
+  for (int i = 4; i > 0; i >>= 1) {
+    uint32_t t = static_cast<uint32_t>(vl & 1) * 0xe1000000U;
+    vl = (vh << 63) | (vl >> 1);
+    vh = (vh >> 1) ^ (static_cast<uint64_t>(t) << 32);
+    hl_[i] = vl;
+    hh_[i] = vh;
+  }
+  for (int i = 2; i <= 8; i *= 2) {
+    uint64_t base_h = hh_[i], base_l = hl_[i];
+    for (int j = 1; j < i; ++j) {
+      hh_[i + j] = base_h ^ hh_[j];
+      hl_[i + j] = base_l ^ hl_[j];
+    }
+  }
+}
+
+void AesGcm::GHashBlock(uint64_t& zh, uint64_t& zl,
+                        const uint8_t block[16]) const {
+  uint8_t x[16];
+  // XOR the running value into the block (GHASH chaining).
+  uint64_t yh = zh ^ LoadU64BE(block);
+  uint64_t yl = zl ^ LoadU64BE(block + 8);
+  StoreU64BE(x, yh);
+  StoreU64BE(x + 8, yl);
+
+  uint8_t lo = x[15] & 0xf;
+  uint64_t rzh = hh_[lo];
+  uint64_t rzl = hl_[lo];
+
+  for (int i = 15; i >= 0; --i) {
+    lo = x[i] & 0xf;
+    uint8_t hi = (x[i] >> 4) & 0xf;
+
+    if (i != 15) {
+      uint8_t rem = static_cast<uint8_t>(rzl & 0xf);
+      rzl = (rzh << 60) | (rzl >> 4);
+      rzh = rzh >> 4;
+      rzh ^= kLast4[rem] << 48;
+      rzh ^= hh_[lo];
+      rzl ^= hl_[lo];
+    }
+    uint8_t rem = static_cast<uint8_t>(rzl & 0xf);
+    rzl = (rzh << 60) | (rzl >> 4);
+    rzh = rzh >> 4;
+    rzh ^= kLast4[rem] << 48;
+    rzh ^= hh_[hi];
+    rzl ^= hl_[hi];
+  }
+  zh = rzh;
+  zl = rzl;
+}
+
+void AesGcm::GHash(util::ByteSpan aad, util::ByteSpan data,
+                   uint8_t out[16]) const {
+  uint64_t zh = 0, zl = 0;
+  uint8_t block[16];
+
+  auto process = [&](util::ByteSpan d) {
+    size_t i = 0;
+    for (; i + 16 <= d.size(); i += 16) GHashBlock(zh, zl, d.data() + i);
+    if (i < d.size()) {
+      std::memset(block, 0, 16);
+      std::memcpy(block, d.data() + i, d.size() - i);
+      GHashBlock(zh, zl, block);
+    }
+  };
+
+  process(aad);
+  process(data);
+
+  StoreU64BE(block, static_cast<uint64_t>(aad.size()) * 8);
+  StoreU64BE(block + 8, static_cast<uint64_t>(data.size()) * 8);
+  GHashBlock(zh, zl, block);
+
+  StoreU64BE(out, zh);
+  StoreU64BE(out + 8, zl);
+}
+
+void AesGcm::CtrCrypt(const uint8_t j0[16], util::ByteSpan in,
+                      uint8_t* out) const {
+  uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  uint8_t keystream[16];
+  size_t i = 0;
+  while (i < in.size()) {
+    Inc32(counter);
+    aes_.EncryptBlock(counter, keystream);
+    size_t n = std::min<size_t>(16, in.size() - i);
+    for (size_t k = 0; k < n; ++k) out[i + k] = in[i + k] ^ keystream[k];
+    i += n;
+  }
+}
+
+void AesGcm::ComputeTag(util::ByteSpan nonce, util::ByteSpan aad,
+                        util::ByteSpan ciphertext, uint8_t tag[16]) const {
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  j0[12] = j0[13] = j0[14] = 0;
+  j0[15] = 1;
+
+  uint8_t s[16];
+  GHash(aad, ciphertext, s);
+
+  uint8_t e_j0[16];
+  aes_.EncryptBlock(j0, e_j0);
+  for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ e_j0[i];
+}
+
+util::Bytes AesGcm::Seal(util::ByteSpan nonce, util::ByteSpan aad,
+                         util::ByteSpan plaintext) const {
+  MVTEE_CHECK(nonce.size() == kGcmNonceSize);
+
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  j0[12] = j0[13] = j0[14] = 0;
+  j0[15] = 1;
+
+  util::Bytes out(plaintext.size() + kGcmTagSize);
+  CtrCrypt(j0, plaintext, out.data());
+
+  uint8_t tag[16];
+  ComputeTag(nonce, aad, util::ByteSpan(out.data(), plaintext.size()), tag);
+  std::memcpy(out.data() + plaintext.size(), tag, kGcmTagSize);
+  return out;
+}
+
+util::Result<util::Bytes> AesGcm::Open(
+    util::ByteSpan nonce, util::ByteSpan aad,
+    util::ByteSpan ciphertext_with_tag) const {
+  if (nonce.size() != kGcmNonceSize) {
+    return util::InvalidArgument("GCM nonce must be 12 bytes");
+  }
+  if (ciphertext_with_tag.size() < kGcmTagSize) {
+    return util::AuthenticationFailure("ciphertext shorter than tag");
+  }
+  size_t ct_len = ciphertext_with_tag.size() - kGcmTagSize;
+  util::ByteSpan ciphertext(ciphertext_with_tag.data(), ct_len);
+  util::ByteSpan tag(ciphertext_with_tag.data() + ct_len, kGcmTagSize);
+
+  uint8_t expected_tag[16];
+  ComputeTag(nonce, aad, ciphertext, expected_tag);
+  if (!util::ConstantTimeEqual(util::ByteSpan(expected_tag, 16), tag)) {
+    return util::AuthenticationFailure("GCM tag mismatch");
+  }
+
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  j0[12] = j0[13] = j0[14] = 0;
+  j0[15] = 1;
+
+  util::Bytes plaintext(ct_len);
+  CtrCrypt(j0, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace mvtee::crypto

@@ -1,0 +1,47 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// This is the record-protection AEAD used for all inter-TEE traffic and
+// the sealed/encrypted filesystem, mirroring the paper's AES-GCM-256
+// deployment. Nonces are 96-bit; tags are 128-bit and appended to the
+// ciphertext.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::crypto {
+
+inline constexpr size_t kGcmNonceSize = 12;
+inline constexpr size_t kGcmTagSize = 16;
+
+class AesGcm {
+ public:
+  // key: 16 bytes (AES-128-GCM) or 32 bytes (AES-256-GCM).
+  explicit AesGcm(util::ByteSpan key);
+
+  // Returns ciphertext || tag.
+  util::Bytes Seal(util::ByteSpan nonce, util::ByteSpan aad,
+                   util::ByteSpan plaintext) const;
+
+  // Verifies the tag and decrypts. Fails with kAuthenticationFailure on
+  // any tampering of nonce, aad, ciphertext or tag.
+  util::Result<util::Bytes> Open(util::ByteSpan nonce, util::ByteSpan aad,
+                                 util::ByteSpan ciphertext_with_tag) const;
+
+ private:
+  void GHashBlock(uint64_t& zh, uint64_t& zl, const uint8_t block[16]) const;
+  void GHash(util::ByteSpan aad, util::ByteSpan data, uint8_t out[16]) const;
+  void CtrCrypt(const uint8_t j0[16], util::ByteSpan in, uint8_t* out) const;
+  void ComputeTag(util::ByteSpan nonce, util::ByteSpan aad,
+                  util::ByteSpan ciphertext, uint8_t tag[16]) const;
+
+  Aes aes_;
+  // Shoup 4-bit GHASH tables for H = E(K, 0).
+  uint64_t hl_[16];
+  uint64_t hh_[16];
+};
+
+}  // namespace mvtee::crypto

@@ -1,0 +1,35 @@
+// AES block cipher (FIPS 197), encrypt-only key schedule.
+//
+// Only encryption is exposed: every mode used by MVTEE (CTR inside GCM)
+// requires the forward cipher exclusively.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+using AesBlock = std::array<uint8_t, kAesBlockSize>;
+
+class Aes {
+ public:
+  // key must be 16, 24 or 32 bytes (AES-128/192/256).
+  explicit Aes(util::ByteSpan key);
+
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  void ExpandKey(util::ByteSpan key);
+
+  // Maximum schedule: AES-256 has 15 round keys of 4 words each.
+  uint32_t round_keys_[60];
+  int rounds_;
+};
+
+}  // namespace mvtee::crypto

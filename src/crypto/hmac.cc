@@ -1,0 +1,68 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "util/status.h"
+
+namespace mvtee::crypto {
+
+Sha256Digest HmacSha256(util::ByteSpan key, util::ByteSpan data) {
+  uint8_t key_block[64] = {0};
+  if (key.size() > 64) {
+    auto hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(util::ByteSpan(ipad, 64));
+  inner.Update(data);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(util::ByteSpan(opad, 64));
+  outer.Update(util::ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest HkdfExtract(util::ByteSpan salt, util::ByteSpan ikm) {
+  static const uint8_t zero_salt[kSha256DigestSize] = {0};
+  if (salt.empty()) salt = util::ByteSpan(zero_salt, kSha256DigestSize);
+  return HmacSha256(salt, ikm);
+}
+
+util::Bytes HkdfExpand(util::ByteSpan prk, util::ByteSpan info,
+                       size_t length) {
+  MVTEE_CHECK(length <= 255 * kSha256DigestSize);
+  util::Bytes okm;
+  okm.reserve(length);
+  Sha256Digest t{};
+  size_t t_len = 0;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    util::Bytes block;
+    block.insert(block.end(), t.begin(), t.begin() + t_len);
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    t_len = t.size();
+    size_t take = std::min(t_len, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+  }
+  return okm;
+}
+
+util::Bytes Hkdf(util::ByteSpan salt, util::ByteSpan ikm, util::ByteSpan info,
+                 size_t length) {
+  auto prk = HkdfExtract(salt, ikm);
+  return HkdfExpand(util::ByteSpan(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace mvtee::crypto

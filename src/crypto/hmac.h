@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC backs the simulated "hardware" report signing key of the TEE
+// substrate; HKDF derives session/traffic keys in the RA-TLS-style
+// handshake and variant-specific file keys.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace mvtee::crypto {
+
+Sha256Digest HmacSha256(util::ByteSpan key, util::ByteSpan data);
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest HkdfExtract(util::ByteSpan salt, util::ByteSpan ikm);
+
+// HKDF-Expand: derive `length` bytes (length <= 255*32) from PRK and info.
+util::Bytes HkdfExpand(util::ByteSpan prk, util::ByteSpan info, size_t length);
+
+// Full extract-then-expand.
+util::Bytes Hkdf(util::ByteSpan salt, util::ByteSpan ikm, util::ByteSpan info,
+                 size_t length);
+
+}  // namespace mvtee::crypto

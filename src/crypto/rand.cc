@@ -1,0 +1,70 @@
+#include "crypto/rand.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "crypto/aes.h"
+#include "util/status.h"
+
+namespace mvtee::crypto {
+
+void SecureRandom::Fill(uint8_t* out, size_t n) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  MVTEE_CHECK(f != nullptr);
+  size_t got = std::fread(out, 1, n, f);
+  std::fclose(f);
+  MVTEE_CHECK(got == n);
+}
+
+struct DeterministicRandom::Impl {
+  explicit Impl(uint64_t seed)
+      : aes([&] {
+          uint8_t key[32] = {0};
+          for (int i = 0; i < 8; ++i) {
+            key[i] = static_cast<uint8_t>(seed >> (8 * i));
+            key[i + 8] = static_cast<uint8_t>(~seed >> (8 * i));
+          }
+          return Aes(util::ByteSpan(key, 32));
+        }()) {}
+
+  std::mutex mu;
+  Aes aes;
+  uint64_t counter = 0;
+};
+
+DeterministicRandom::DeterministicRandom(uint64_t seed)
+    : impl_(std::make_shared<Impl>(seed)) {}
+
+void DeterministicRandom::Fill(uint8_t* out, size_t n) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  uint8_t block_in[16] = {0};
+  uint8_t block_out[16];
+  size_t i = 0;
+  while (i < n) {
+    uint64_t c = impl_->counter++;
+    std::memcpy(block_in, &c, sizeof(c));
+    impl_->aes.EncryptBlock(block_in, block_out);
+    size_t take = std::min<size_t>(16, n - i);
+    std::memcpy(out + i, block_out, take);
+    i += take;
+  }
+}
+
+namespace {
+std::shared_ptr<RandomSource>& GlobalSlot() {
+  static std::shared_ptr<RandomSource> source =
+      std::make_shared<SecureRandom>();
+  return source;
+}
+}  // namespace
+
+RandomSource& GlobalRandom() { return *GlobalSlot(); }
+
+void SetGlobalRandomForTesting(std::shared_ptr<RandomSource> source) {
+  GlobalSlot() = std::move(source);
+}
+
+}  // namespace mvtee::crypto

@@ -1,0 +1,50 @@
+// Random byte generation for keys and nonces.
+//
+// SecureRandom pulls from the OS entropy pool (/dev/urandom). For
+// reproducible experiments, a DeterministicRandom (AES-CTR over a seed)
+// satisfies the same interface — the TEE simulator and tests inject it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/bytes.h"
+
+namespace mvtee::crypto {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual void Fill(uint8_t* out, size_t n) = 0;
+
+  util::Bytes Generate(size_t n) {
+    util::Bytes b(n);
+    Fill(b.data(), n);
+    return b;
+  }
+};
+
+// OS entropy.
+class SecureRandom : public RandomSource {
+ public:
+  void Fill(uint8_t* out, size_t n) override;
+};
+
+// AES-256-CTR DRBG over a fixed seed — deterministic, used in tests and
+// reproducible benchmark runs.
+class DeterministicRandom : public RandomSource {
+ public:
+  explicit DeterministicRandom(uint64_t seed);
+  void Fill(uint8_t* out, size_t n) override;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+// Process-global source used by components that do not take an injected
+// RandomSource. Defaults to SecureRandom; tests may override.
+RandomSource& GlobalRandom();
+void SetGlobalRandomForTesting(std::shared_ptr<RandomSource> source);
+
+}  // namespace mvtee::crypto

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). Used for measurements, file hashes, HMAC and HKDF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mvtee::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(util::ByteSpan data);
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(util::ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+// Digest as util::Bytes (convenience for serializers).
+util::Bytes Sha256Bytes(util::ByteSpan data);
+
+}  // namespace mvtee::crypto

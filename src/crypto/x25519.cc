@@ -1,0 +1,253 @@
+#include "crypto/x25519.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace mvtee::crypto {
+
+namespace {
+
+// Field element mod p = 2^255 - 19, five 51-bit limbs.
+struct Fe {
+  uint64_t v[5];
+};
+
+using U128 = unsigned __int128;
+
+constexpr uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe FeZero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe FeOne() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe FeAdd(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b with bias to keep limbs non-negative (2*p added).
+Fe FeSub(const Fe& a, const Fe& b) {
+  Fe r;
+  r.v[0] = a.v[0] + 0xfffffffffffdaULL - b.v[0];
+  r.v[1] = a.v[1] + 0xffffffffffffeULL - b.v[1];
+  r.v[2] = a.v[2] + 0xffffffffffffeULL - b.v[2];
+  r.v[3] = a.v[3] + 0xffffffffffffeULL - b.v[3];
+  r.v[4] = a.v[4] + 0xffffffffffffeULL - b.v[4];
+  return r;
+}
+
+void FeCarry(Fe& r, U128 t[5]) {
+  uint64_t carry;
+
+  t[1] += static_cast<uint64_t>(t[0] >> 51);
+  t[0] = static_cast<uint64_t>(t[0]) & kMask51;
+  t[2] += static_cast<uint64_t>(t[1] >> 51);
+  t[1] = static_cast<uint64_t>(t[1]) & kMask51;
+  t[3] += static_cast<uint64_t>(t[2] >> 51);
+  t[2] = static_cast<uint64_t>(t[2]) & kMask51;
+  t[4] += static_cast<uint64_t>(t[3] >> 51);
+  t[3] = static_cast<uint64_t>(t[3]) & kMask51;
+  uint64_t top = static_cast<uint64_t>(t[4] >> 51);
+  t[4] = static_cast<uint64_t>(t[4]) & kMask51;
+  t[0] += static_cast<U128>(top) * 19;
+
+  carry = static_cast<uint64_t>(t[0] >> 51);
+  t[0] = static_cast<uint64_t>(t[0]) & kMask51;
+  t[1] += carry;
+
+  for (int i = 0; i < 5; ++i) r.v[i] = static_cast<uint64_t>(t[i]);
+}
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                 a4 = a.v[4];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                 b4 = b.v[4];
+  const uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                 b4_19 = b4 * 19;
+
+  U128 t[5];
+  t[0] = static_cast<U128>(a0) * b0 + static_cast<U128>(a1) * b4_19 +
+         static_cast<U128>(a2) * b3_19 + static_cast<U128>(a3) * b2_19 +
+         static_cast<U128>(a4) * b1_19;
+  t[1] = static_cast<U128>(a0) * b1 + static_cast<U128>(a1) * b0 +
+         static_cast<U128>(a2) * b4_19 + static_cast<U128>(a3) * b3_19 +
+         static_cast<U128>(a4) * b2_19;
+  t[2] = static_cast<U128>(a0) * b2 + static_cast<U128>(a1) * b1 +
+         static_cast<U128>(a2) * b0 + static_cast<U128>(a3) * b4_19 +
+         static_cast<U128>(a4) * b3_19;
+  t[3] = static_cast<U128>(a0) * b3 + static_cast<U128>(a1) * b2 +
+         static_cast<U128>(a2) * b1 + static_cast<U128>(a3) * b0 +
+         static_cast<U128>(a4) * b4_19;
+  t[4] = static_cast<U128>(a0) * b4 + static_cast<U128>(a1) * b3 +
+         static_cast<U128>(a2) * b2 + static_cast<U128>(a3) * b1 +
+         static_cast<U128>(a4) * b0;
+
+  Fe r;
+  FeCarry(r, t);
+  return r;
+}
+
+Fe FeSquare(const Fe& a) { return FeMul(a, a); }
+
+Fe FeMulA24(const Fe& a) {
+  U128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = static_cast<U128>(a.v[i]) * 121665;
+  Fe r;
+  FeCarry(r, t);
+  return r;
+}
+
+// Inversion via Fermat: a^(p-2).
+Fe FeInvert(const Fe& z) {
+  Fe z2 = FeSquare(z);                       // 2
+  Fe z8 = FeSquare(FeSquare(z2));            // 8
+  Fe z9 = FeMul(z8, z);                      // 9
+  Fe z11 = FeMul(z9, z2);                    // 11
+  Fe z22 = FeSquare(z11);                    // 22
+  Fe z_5_0 = FeMul(z22, z9);                 // 2^5 - 2^0
+  Fe t = z_5_0;
+  for (int i = 0; i < 5; ++i) t = FeSquare(t);
+  Fe z_10_0 = FeMul(t, z_5_0);               // 2^10 - 2^0
+  t = z_10_0;
+  for (int i = 0; i < 10; ++i) t = FeSquare(t);
+  Fe z_20_0 = FeMul(t, z_10_0);              // 2^20 - 2^0
+  t = z_20_0;
+  for (int i = 0; i < 20; ++i) t = FeSquare(t);
+  Fe z_40_0 = FeMul(t, z_20_0);              // 2^40 - 2^0
+  t = z_40_0;
+  for (int i = 0; i < 10; ++i) t = FeSquare(t);
+  Fe z_50_0 = FeMul(t, z_10_0);              // 2^50 - 2^0
+  t = z_50_0;
+  for (int i = 0; i < 50; ++i) t = FeSquare(t);
+  Fe z_100_0 = FeMul(t, z_50_0);             // 2^100 - 2^0
+  t = z_100_0;
+  for (int i = 0; i < 100; ++i) t = FeSquare(t);
+  Fe z_200_0 = FeMul(t, z_100_0);            // 2^200 - 2^0
+  t = z_200_0;
+  for (int i = 0; i < 50; ++i) t = FeSquare(t);
+  Fe z_250_0 = FeMul(t, z_50_0);             // 2^250 - 2^0
+  t = z_250_0;
+  for (int i = 0; i < 5; ++i) t = FeSquare(t);
+  return FeMul(t, z11);                      // 2^255 - 21 = p - 2
+}
+
+Fe FeFromBytes(const uint8_t s[32]) {
+  auto load64 = [](const uint8_t* p) {
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  };
+  Fe r;
+  r.v[0] = load64(s) & kMask51;
+  r.v[1] = (load64(s + 6) >> 3) & kMask51;
+  r.v[2] = (load64(s + 12) >> 6) & kMask51;
+  r.v[3] = (load64(s + 19) >> 1) & kMask51;
+  r.v[4] = (load64(s + 24) >> 12) & kMask51;
+  return r;
+}
+
+void FeToBytes(uint8_t s[32], const Fe& a) {
+  // Fully reduce.
+  Fe t = a;
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t carry = 0;
+    for (int i = 0; i < 5; ++i) {
+      t.v[i] += carry;
+      carry = t.v[i] >> 51;
+      t.v[i] &= kMask51;
+    }
+    t.v[0] += carry * 19;
+  }
+  // Subtract p if >= p.
+  uint64_t carry = t.v[0] + 19;
+  carry >>= 51;
+  for (int i = 1; i < 5; ++i) {
+    carry = (t.v[i] + carry) >> 51;
+  }
+  uint64_t sub = carry * 19;
+  t.v[0] += sub;
+  for (int i = 0; i < 4; ++i) {
+    t.v[i + 1] += t.v[i] >> 51;
+    t.v[i] &= kMask51;
+  }
+  t.v[4] &= kMask51;
+
+  uint64_t out[4];
+  out[0] = t.v[0] | (t.v[1] << 51);
+  out[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  out[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  out[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      s[i * 8 + j] = static_cast<uint8_t>(out[i] >> (8 * j));
+    }
+  }
+}
+
+void FeCSwap(Fe& a, Fe& b, uint64_t swap) {
+  const uint64_t mask = 0ULL - swap;
+  for (int i = 0; i < 5; ++i) {
+    uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+}  // namespace
+
+X25519Key X25519(const X25519Key& scalar, const X25519Key& point) {
+  uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  uint8_t u[32];
+  std::memcpy(u, point.data(), 32);
+  u[31] &= 127;  // Mask the high bit per RFC 7748.
+
+  Fe x1 = FeFromBytes(u);
+  Fe x2 = FeOne(), z2 = FeZero();
+  Fe x3 = x1, z3 = FeOne();
+  uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    uint64_t k_t = (e[t / 8] >> (t % 8)) & 1;
+    swap ^= k_t;
+    FeCSwap(x2, x3, swap);
+    FeCSwap(z2, z3, swap);
+    swap = k_t;
+
+    Fe a = FeAdd(x2, z2);
+    Fe aa = FeSquare(a);
+    Fe b = FeSub(x2, z2);
+    Fe bb = FeSquare(b);
+    Fe e_ = FeSub(aa, bb);
+    Fe c = FeAdd(x3, z3);
+    Fe d = FeSub(x3, z3);
+    Fe da = FeMul(d, a);
+    Fe cb = FeMul(c, b);
+    Fe dacb = FeAdd(da, cb);
+    x3 = FeSquare(dacb);
+    Fe da_cb = FeSub(da, cb);
+    z3 = FeMul(x1, FeSquare(da_cb));
+    x2 = FeMul(aa, bb);
+    z2 = FeMul(e_, FeAdd(aa, FeMulA24(e_)));
+  }
+  FeCSwap(x2, x3, swap);
+  FeCSwap(z2, z3, swap);
+
+  Fe out = FeMul(x2, FeInvert(z2));
+  X25519Key result;
+  FeToBytes(result.data(), out);
+  return result;
+}
+
+X25519Key X25519BasePoint() {
+  X25519Key base{};
+  base[0] = 9;
+  return base;
+}
+
+}  // namespace mvtee::crypto

@@ -1,0 +1,30 @@
+// X25519 Diffie–Hellman over Curve25519 (RFC 7748).
+//
+// Provides the ephemeral key agreement underneath MVTEE's RA-TLS-style
+// secure channels: each side contributes an ephemeral public key bound
+// into its attestation report, and traffic keys are HKDF-derived from
+// the shared secret.
+#pragma once
+
+#include <array>
+
+#include "util/bytes.h"
+
+namespace mvtee::crypto {
+
+inline constexpr size_t kX25519KeySize = 32;
+using X25519Key = std::array<uint8_t, kX25519KeySize>;
+
+// scalar * point. `point` is a u-coordinate; use X25519BasePoint() for
+// public-key generation.
+X25519Key X25519(const X25519Key& scalar, const X25519Key& point);
+
+// The canonical base point u = 9.
+X25519Key X25519BasePoint();
+
+// Convenience: derive public key from private scalar.
+inline X25519Key X25519PublicKey(const X25519Key& private_key) {
+  return X25519(private_key, X25519BasePoint());
+}
+
+}  // namespace mvtee::crypto

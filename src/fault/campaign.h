@@ -1,0 +1,42 @@
+// Attack-campaign driver: reproduces the security-analysis experiments
+// (Table 1 and §6.5) end to end — inject a vulnerability class into the
+// variants that use the "vulnerable library", run MVX inference, and
+// report whether the attack was detected and whether any wrong output
+// escaped to the user.
+#pragma once
+
+#include "core/monitor.h"
+#include "fault/injectors.h"
+#include "graph/ir.h"
+#include "util/status.h"
+
+namespace mvtee::fault {
+
+struct CampaignOptions {
+  VulnClass cls = VulnClass::kOutOfBounds;
+  FaultEffect effect = FaultEffect::kCorruptSilent;  // see DefaultEffect
+  // The "vulnerable library": variants whose executor uses this GEMM
+  // backend carry the bug (FrameFlip-style library targeting).
+  runtime::GemmBackend vulnerable_gemm = runtime::GemmBackend::kBlocked;
+  int num_partitions = 3;
+  int variants_per_stage = 3;
+  int num_batches = 2;
+  uint64_t seed = 1;
+  core::VotePolicy vote = core::VotePolicy::kMajority;
+  core::ResponsePolicy response = core::ResponsePolicy::kContinueWithWinner;
+};
+
+struct CampaignReport {
+  VulnClass cls;
+  bool fault_fired = false;        // the injected bug actually executed
+  bool detected = false;           // monitor observed divergence/failure
+  bool wrong_output_released = false;  // an inconsistent output returned OK
+  bool service_survived = false;   // batches still completed
+  uint64_t divergences = 0;
+  uint64_t variant_failures = 0;
+};
+
+util::Result<CampaignReport> RunVulnerabilityCampaign(
+    const graph::Graph& model, const CampaignOptions& options);
+
+}  // namespace mvtee::fault

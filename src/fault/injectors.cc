@@ -1,0 +1,170 @@
+#include "fault/injectors.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mvtee::fault {
+
+using graph::Node;
+using graph::OpType;
+using tensor::Tensor;
+
+std::string_view VulnClassName(VulnClass cls) {
+  switch (cls) {
+    case VulnClass::kOutOfBounds: return "OOB";
+    case VulnClass::kNullPointer: return "UNP";
+    case VulnClass::kFloatingPoint: return "FPE";
+    case VulnClass::kIntegerOverflow: return "IO";
+    case VulnClass::kUseAfterFree: return "UAF";
+    case VulnClass::kAssertFailure: return "ACF";
+  }
+  return "?";
+}
+
+FaultEffect DefaultEffect(VulnClass cls) {
+  switch (cls) {
+    case VulnClass::kOutOfBounds: return FaultEffect::kCorruptSilent;
+    case VulnClass::kNullPointer: return FaultEffect::kCrash;
+    case VulnClass::kFloatingPoint: return FaultEffect::kNonFinite;
+    case VulnClass::kIntegerOverflow: return FaultEffect::kIncorrectResult;
+    case VulnClass::kUseAfterFree: return FaultEffect::kCorruptSilent;
+    case VulnClass::kAssertFailure: return FaultEffect::kCrash;
+  }
+  return FaultEffect::kCrash;
+}
+
+VulnerabilityFault::VulnerabilityFault(VulnerabilitySpec spec)
+    : spec_(spec), rng_(spec.seed) {}
+
+void VulnerabilityFault::OnAttach(const runtime::ExecutorConfig& config) {
+  armed_ = true;
+  if (spec_.vulnerable_gemm.has_value() &&
+      config.gemm != *spec_.vulnerable_gemm) {
+    armed_ = false;
+  }
+  if (spec_.vulnerable_runtime.has_value() &&
+      config.name != *spec_.vulnerable_runtime) {
+    armed_ = false;
+  }
+  // Hardened (sanitizer-style) builds trap memory-safety exploits
+  // instead of letting them corrupt state: the variant crashes cleanly.
+  trapped_ = false;
+  if (armed_ && config.bounds_checked &&
+      (spec_.cls == VulnClass::kOutOfBounds ||
+       spec_.cls == VulnClass::kUseAfterFree ||
+       spec_.cls == VulnClass::kNullPointer)) {
+    trapped_ = true;
+  }
+}
+
+bool VulnerabilityFault::Matches(const Node& node) const {
+  if (!spec_.target_op.has_value()) {
+    // First compute-heavy node: conv or gemm.
+    return node.op == OpType::kConv2d || node.op == OpType::kGemm;
+  }
+  return node.op == *spec_.target_op;
+}
+
+util::Status VulnerabilityFault::OnNodeStart(const Node& node) {
+  if (!armed_ || !Matches(node)) return util::OkStatus();
+  if (trapped_) {
+    ++fires_;
+    return util::Aborted(std::string("sanitizer trap: ") +
+                         std::string(VulnClassName(spec_.cls)) +
+                         " exploit blocked in " + node.name);
+  }
+  if (spec_.effect == FaultEffect::kCrash) {
+    ++fires_;
+    return util::Aborted(std::string(VulnClassName(spec_.cls)) +
+                         " crash in " + node.name);
+  }
+  return util::OkStatus();
+}
+
+void VulnerabilityFault::OnNodeComplete(const Node& node, Tensor& out) {
+  if (!armed_ || trapped_ || Matches(node) == false) return;
+  if (out.num_elements() == 0) return;
+  switch (spec_.effect) {
+    case FaultEffect::kCrash:
+      return;  // handled in OnNodeStart
+    case FaultEffect::kCorruptSilent: {
+      // OOB-write analog: clobber a random span of the output buffer.
+      ++fires_;
+      int64_t start = static_cast<int64_t>(
+          rng_.UniformU64(static_cast<uint64_t>(out.num_elements())));
+      int64_t len = std::min<int64_t>(out.num_elements() - start, 8);
+      for (int64_t i = 0; i < len; ++i) {
+        out.data()[start + i] =
+            static_cast<float>(spec_.corruption_magnitude) *
+            (rng_.UniformFloat(-1.0f, 1.0f));
+      }
+      return;
+    }
+    case FaultEffect::kIncorrectResult: {
+      // Integer-overflow analog: values wrap into the wrong range.
+      ++fires_;
+      for (int64_t i = 0; i < out.num_elements(); i += 16) {
+        out.data()[i] = -out.data()[i] * 3.0f;
+      }
+      return;
+    }
+    case FaultEffect::kNonFinite: {
+      ++fires_;
+      out.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      if (out.num_elements() > 1) {
+        out.data()[1] = std::numeric_limits<float>::infinity();
+      }
+      return;
+    }
+  }
+}
+
+void BitFlipFault::OnAttach(const runtime::ExecutorConfig& config) {
+  armed_ = !spec_.vulnerable_gemm.has_value() ||
+           config.gemm == *spec_.vulnerable_gemm;
+}
+
+void BitFlipFault::OnNodeComplete(const Node& node, Tensor& out) {
+  if (!armed_ || out.num_elements() == 0) return;
+  if (spec_.target_op.has_value() && node.op != *spec_.target_op) return;
+  ++seen_;
+  if (spec_.fire_every <= 0 ||
+      seen_ % static_cast<uint64_t>(spec_.fire_every) != 0) {
+    return;
+  }
+  int64_t idx = spec_.element % out.num_elements();
+  uint32_t bits;
+  std::memcpy(&bits, &out.data()[idx], sizeof(bits));
+  bits ^= (1u << (spec_.bit & 31));
+  std::memcpy(&out.data()[idx], &bits, sizeof(bits));
+  ++fires_;
+}
+
+size_t FlipRandomWeightBits(graph::Graph& graph, int num_flips, uint64_t seed,
+                            int max_bit) {
+  util::Rng rng(seed);
+  // Collect mutable initializer names first (map iteration is stable).
+  std::vector<std::string> names;
+  for (const auto& [name, t] : graph.initializers()) {
+    if (t.num_elements() > 0) names.push_back(name);
+  }
+  if (names.empty()) return 0;
+  size_t flipped = 0;
+  for (int i = 0; i < num_flips; ++i) {
+    const std::string& name =
+        names[rng.UniformU64(names.size())];
+    Tensor* t = graph.MutableInitializer(name);
+    int64_t idx = static_cast<int64_t>(
+        rng.UniformU64(static_cast<uint64_t>(t->num_elements())));
+    int bit = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(
+                  std::max(1, max_bit + 1))));
+    uint32_t bits;
+    std::memcpy(&bits, &t->data()[idx], sizeof(bits));
+    bits ^= (1u << bit);
+    std::memcpy(&t->data()[idx], &bits, sizeof(bits));
+    ++flipped;
+  }
+  return flipped;
+}
+
+}  // namespace mvtee::fault

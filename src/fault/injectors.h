@@ -1,0 +1,116 @@
+// Fault-injection substrate (security experiments, Table 1 & §6.5).
+//
+// Substitution note (DESIGN.md §2): real attacks (crafted inputs against
+// ML-framework CVEs, Rowhammer/Plundervolt bit flips, FrameFlip's
+// code-level BLAS faults) are modeled as controllable injectors that hit
+// the same decision points: a vulnerability exists only in some code
+// paths, fires during inference, and either crashes the variant (DoS),
+// silently corrupts data, or produces incorrect results. The MVX
+// detection chain downstream (divergence → vote → response) is the real
+// one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runtime/executor.h"
+#include "util/rng.h"
+
+namespace mvtee::fault {
+
+// TensorFlow-CVE-style vulnerability classes (paper Table 1).
+enum class VulnClass : uint8_t {
+  kOutOfBounds = 0,   // OOB read/write
+  kNullPointer,       // UNP: uninitialized / null pointers
+  kFloatingPoint,     // FPE
+  kIntegerOverflow,   // IO
+  kUseAfterFree,      // UAF
+  kAssertFailure,     // ACF
+};
+
+std::string_view VulnClassName(VulnClass cls);
+
+// What the fired vulnerability does inside the vulnerable variant.
+enum class FaultEffect : uint8_t {
+  kCrash = 0,        // DoS: the variant dies / errors out
+  kCorruptSilent,    // data corruption: outputs perturbed
+  kIncorrectResult,  // wrong-but-plausible outputs
+  kNonFinite,        // NaN/Inf poisoning
+};
+
+// Default effect for each class (how these CVE classes typically
+// manifest per Table 1's impact column).
+FaultEffect DefaultEffect(VulnClass cls);
+
+// A software vulnerability present only in specific implementations:
+// the fault fires only if the attached executor matches the vulnerable
+// configuration, and is *trapped* (turned into a clean crash) when the
+// variant is bounds-checked/hardened and the class is memory-safety.
+struct VulnerabilitySpec {
+  VulnClass cls = VulnClass::kOutOfBounds;
+  FaultEffect effect = FaultEffect::kCorruptSilent;
+  // Which implementations carry the bug. Unset = all.
+  std::optional<runtime::GemmBackend> vulnerable_gemm;
+  std::optional<std::string> vulnerable_runtime;  // ExecutorConfig::name
+  // Restrict to an op type (e.g. the buggy kernel). Unset = first
+  // eligible node.
+  std::optional<graph::OpType> target_op;
+  uint64_t seed = 1;
+  double corruption_magnitude = 40.0;
+};
+
+class VulnerabilityFault : public runtime::FaultHook {
+ public:
+  explicit VulnerabilityFault(VulnerabilitySpec spec);
+
+  void OnAttach(const runtime::ExecutorConfig& config) override;
+  util::Status OnNodeStart(const graph::Node& node) override;
+  void OnNodeComplete(const graph::Node& node, tensor::Tensor& out) override;
+
+  bool armed() const { return armed_; }
+  bool trapped_by_hardening() const { return trapped_; }
+  uint64_t fire_count() const { return fires_; }
+
+ private:
+  bool Matches(const graph::Node& node) const;
+
+  VulnerabilitySpec spec_;
+  util::Rng rng_;
+  bool armed_ = false;    // executor matches the vulnerable config
+  bool trapped_ = false;  // hardened build turns the bug into a trap
+  uint64_t fires_ = 0;
+};
+
+// Runtime bit-flip fault (Rowhammer/FrameFlip analog at the data level):
+// flips a chosen bit of one output element of matching nodes.
+struct BitFlipSpec {
+  std::optional<graph::OpType> target_op;  // unset = every node
+  int bit = 30;            // high-exponent bits cause Terminal-Brain-Damage
+  int64_t element = 0;     // which element of the output
+  int fire_every = 1;      // fire on every Nth matching node execution
+  std::optional<runtime::GemmBackend> vulnerable_gemm;  // backend-targeted
+};
+
+class BitFlipFault : public runtime::FaultHook {
+ public:
+  explicit BitFlipFault(BitFlipSpec spec) : spec_(spec) {}
+  void OnAttach(const runtime::ExecutorConfig& config) override;
+  void OnNodeComplete(const graph::Node& node, tensor::Tensor& out) override;
+  uint64_t fire_count() const { return fires_; }
+
+ private:
+  BitFlipSpec spec_;
+  bool armed_ = true;
+  uint64_t seen_ = 0;
+  uint64_t fires_ = 0;
+};
+
+// Model-targeted weight attack: flips `num_flips` random bits across a
+// graph's initializers (offline/at-rest analog of bit-flip weight
+// attacks). Returns the number of bits actually flipped.
+size_t FlipRandomWeightBits(graph::Graph& graph, int num_flips,
+                            uint64_t seed, int max_bit = 30);
+
+}  // namespace mvtee::fault

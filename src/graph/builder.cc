@@ -1,0 +1,163 @@
+#include "graph/builder.h"
+
+#include <cmath>
+
+namespace mvtee::graph {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string ModelBuilder::NextName(const std::string& tag) {
+  return tag + "_" + std::to_string(counter_++);
+}
+
+tensor::Shape ModelBuilder::ShapeOf(NodeId x) {
+  if (static_cast<size_t>(g_.num_nodes()) != shape_cache_.size()) {
+    auto shapes = g_.InferShapes();
+    MVTEE_CHECK(shapes.ok());
+    shape_cache_ = std::move(*shapes);
+  }
+  return shape_cache_[static_cast<size_t>(x)];
+}
+
+NodeId ModelBuilder::Unary(NodeId x, OpType op, const std::string& tag) {
+  return g_.AddNode(NextName(tag), op, {x});
+}
+
+NodeId ModelBuilder::Conv(NodeId x, int64_t out_channels, int64_t kernel,
+                          int64_t stride, int64_t padding, int64_t groups,
+                          bool bias) {
+  int64_t in_channels = ChannelsOf(x);
+  MVTEE_CHECK(in_channels % groups == 0);
+  MVTEE_CHECK(out_channels % groups == 0);
+  std::string name = NextName("conv");
+  float fan_in =
+      static_cast<float>((in_channels / groups) * kernel * kernel);
+  float stddev = std::sqrt(2.0f / fan_in);
+  Tensor w = Tensor::RandomNormal(
+      Shape({out_channels, in_channels / groups, kernel, kernel}), rng_,
+      stddev);
+  g_.AddInitializer(name + ".w", std::move(w));
+  std::vector<std::string> weights = {name + ".w"};
+  if (bias) {
+    g_.AddInitializer(name + ".b",
+                      Tensor::RandomNormal(Shape({out_channels}), rng_, 0.01f));
+    weights.push_back(name + ".b");
+  }
+  Attributes attrs;
+  attrs.SetInt("stride", stride);
+  attrs.SetInt("padding", padding);
+  attrs.SetInt("groups", groups);
+  return g_.AddNode(name, OpType::kConv2d, {x}, std::move(weights),
+                    std::move(attrs));
+}
+
+NodeId ModelBuilder::BatchNorm(NodeId x) {
+  int64_t channels = ChannelsOf(x);
+  std::string name = NextName("bn");
+  // Inference-mode statistics: near-identity transform with mild variation
+  // so BN is not a no-op but keeps activations well-scaled.
+  Tensor scale(Shape({channels})), bias(Shape({channels})),
+      mean(Shape({channels})), var(Shape({channels}));
+  for (int64_t c = 0; c < channels; ++c) {
+    scale.at(c) = 1.0f + rng_.UniformFloat(-0.1f, 0.1f);
+    bias.at(c) = rng_.UniformFloat(-0.05f, 0.05f);
+    mean.at(c) = rng_.UniformFloat(-0.05f, 0.05f);
+    var.at(c) = 1.0f + rng_.UniformFloat(-0.1f, 0.1f);
+  }
+  g_.AddInitializer(name + ".scale", std::move(scale));
+  g_.AddInitializer(name + ".bias", std::move(bias));
+  g_.AddInitializer(name + ".mean", std::move(mean));
+  g_.AddInitializer(name + ".var", std::move(var));
+  Attributes attrs;
+  attrs.SetFloat("epsilon", 1e-5f);
+  return g_.AddNode(
+      name, OpType::kBatchNorm, {x},
+      {name + ".scale", name + ".bias", name + ".mean", name + ".var"},
+      std::move(attrs));
+}
+
+NodeId ModelBuilder::MaxPool(NodeId x, int64_t kernel, int64_t stride,
+                             int64_t padding) {
+  Attributes attrs;
+  attrs.SetInt("kernel", kernel);
+  attrs.SetInt("stride", stride);
+  attrs.SetInt("padding", padding);
+  return g_.AddNode(NextName("maxpool"), OpType::kMaxPool, {x}, {},
+                    std::move(attrs));
+}
+
+NodeId ModelBuilder::AvgPool(NodeId x, int64_t kernel, int64_t stride,
+                             int64_t padding) {
+  Attributes attrs;
+  attrs.SetInt("kernel", kernel);
+  attrs.SetInt("stride", stride);
+  attrs.SetInt("padding", padding);
+  return g_.AddNode(NextName("avgpool"), OpType::kAvgPool, {x}, {},
+                    std::move(attrs));
+}
+
+NodeId ModelBuilder::GlobalAvgPool(NodeId x) {
+  return g_.AddNode(NextName("gap"), OpType::kGlobalAvgPool, {x});
+}
+
+NodeId ModelBuilder::Add(NodeId a, NodeId b) {
+  return g_.AddNode(NextName("add"), OpType::kAdd, {a, b});
+}
+
+NodeId ModelBuilder::Mul(NodeId a, NodeId b) {
+  return g_.AddNode(NextName("mul"), OpType::kMul, {a, b});
+}
+
+NodeId ModelBuilder::Concat(std::vector<NodeId> xs) {
+  Attributes attrs;
+  attrs.SetInt("axis", 1);
+  return g_.AddNode(NextName("concat"), OpType::kConcat, std::move(xs), {},
+                    std::move(attrs));
+}
+
+NodeId ModelBuilder::Flatten(NodeId x) {
+  return g_.AddNode(NextName("flatten"), OpType::kFlatten, {x});
+}
+
+NodeId ModelBuilder::Gemm(NodeId x, int64_t out_features, bool bias) {
+  int64_t in_features = ShapeOf(x).dim(1);
+  std::string name = NextName("fc");
+  float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  g_.AddInitializer(
+      name + ".w",
+      Tensor::RandomNormal(Shape({out_features, in_features}), rng_, stddev));
+  std::vector<std::string> weights = {name + ".w"};
+  if (bias) {
+    g_.AddInitializer(
+        name + ".b", Tensor::RandomNormal(Shape({out_features}), rng_, 0.01f));
+    weights.push_back(name + ".b");
+  }
+  return g_.AddNode(name, OpType::kGemm, {x}, std::move(weights));
+}
+
+NodeId ModelBuilder::ConvBnRelu(NodeId x, int64_t out_channels, int64_t kernel,
+                                int64_t stride, int64_t padding,
+                                int64_t groups) {
+  NodeId c = Conv(x, out_channels, kernel, stride, padding, groups);
+  NodeId b = BatchNorm(c);
+  return Relu(b);
+}
+
+NodeId ModelBuilder::SqueezeExcite(NodeId x, int64_t reduction) {
+  int64_t channels = ChannelsOf(x);
+  int64_t reduced = std::max<int64_t>(1, channels / reduction);
+  NodeId pooled = GlobalAvgPool(x);
+  NodeId squeeze = Conv(pooled, reduced, 1, 1, 0, 1, true);
+  NodeId act = Relu(squeeze);
+  NodeId expand = Conv(act, channels, 1, 1, 0, 1, true);
+  NodeId gate = Sigmoid(expand);
+  return Mul(x, gate);
+}
+
+Graph ModelBuilder::Build() {
+  MVTEE_CHECK(g_.Validate().ok());
+  return std::move(g_);
+}
+
+}  // namespace mvtee::graph

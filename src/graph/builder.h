@@ -1,0 +1,77 @@
+// Fluent graph construction with automatic synthetic-weight creation.
+//
+// The model zoo uses this to assemble structurally faithful versions of
+// the paper's evaluation models with deterministic pseudo-random weights
+// (He-style initialization so activations stay well-scaled through deep
+// stacks — important because checkpoint metrics compare real numerics).
+#pragma once
+
+#include <string>
+
+#include "graph/ir.h"
+#include "util/rng.h"
+
+namespace mvtee::graph {
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(uint64_t seed = 42) : rng_(seed) {}
+
+  NodeId Input(const std::string& name, tensor::Shape shape) {
+    return g_.AddInput(name, std::move(shape));
+  }
+
+  // Conv2d with optional bias; weight init: N(0, sqrt(2 / fan_in)).
+  NodeId Conv(NodeId x, int64_t out_channels, int64_t kernel, int64_t stride,
+              int64_t padding, int64_t groups = 1, bool bias = false);
+
+  // Inference-mode batch norm with randomized (but stable) parameters.
+  NodeId BatchNorm(NodeId x);
+
+  NodeId Relu(NodeId x) { return Unary(x, OpType::kRelu, "relu"); }
+  NodeId Relu6(NodeId x) { return Unary(x, OpType::kRelu6, "relu6"); }
+  NodeId Sigmoid(NodeId x) { return Unary(x, OpType::kSigmoid, "sigmoid"); }
+  NodeId HardSwish(NodeId x) { return Unary(x, OpType::kHardSwish, "hswish"); }
+  NodeId Tanh(NodeId x) { return Unary(x, OpType::kTanh, "tanh"); }
+  NodeId Softmax(NodeId x) { return Unary(x, OpType::kSoftmax, "softmax"); }
+  NodeId Identity(NodeId x) { return Unary(x, OpType::kIdentity, "id"); }
+
+  NodeId MaxPool(NodeId x, int64_t kernel, int64_t stride, int64_t padding = 0);
+  NodeId AvgPool(NodeId x, int64_t kernel, int64_t stride, int64_t padding = 0);
+  NodeId GlobalAvgPool(NodeId x);
+
+  NodeId Add(NodeId a, NodeId b);
+  NodeId Mul(NodeId a, NodeId b);
+  NodeId Concat(std::vector<NodeId> xs);
+  NodeId Flatten(NodeId x);
+  NodeId Gemm(NodeId x, int64_t out_features, bool bias = true);
+
+  // Composite blocks.
+  NodeId ConvBnRelu(NodeId x, int64_t out_channels, int64_t kernel,
+                    int64_t stride, int64_t padding, int64_t groups = 1);
+  // Squeeze-and-excitation: GAP -> 1x1 conv reduce -> relu -> 1x1 conv
+  // expand -> sigmoid -> channel-scale.
+  NodeId SqueezeExcite(NodeId x, int64_t reduction = 4);
+
+  // Current inferred output shape of `x` (aborts if graph is malformed —
+  // builder misuse is a programmer error).
+  tensor::Shape ShapeOf(NodeId x);
+  int64_t ChannelsOf(NodeId x) { return ShapeOf(x).dim(1); }
+
+  void MarkOutput(NodeId x) { g_.MarkOutput(x); }
+  Graph Build();
+
+  Graph& graph() { return g_; }
+
+ private:
+  NodeId Unary(NodeId x, OpType op, const std::string& tag);
+  std::string NextName(const std::string& tag);
+
+  Graph g_;
+  util::Rng rng_;
+  int counter_ = 0;
+  // Cached shapes; invalidated when nodes are appended.
+  std::vector<tensor::Shape> shape_cache_;
+};
+
+}  // namespace mvtee::graph

@@ -1,0 +1,568 @@
+#include "graph/ir.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace mvtee::graph {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string_view OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kInput: return "Input";
+    case OpType::kConv2d: return "Conv2d";
+    case OpType::kGemm: return "Gemm";
+    case OpType::kRelu: return "Relu";
+    case OpType::kRelu6: return "Relu6";
+    case OpType::kSigmoid: return "Sigmoid";
+    case OpType::kHardSwish: return "HardSwish";
+    case OpType::kTanh: return "Tanh";
+    case OpType::kMaxPool: return "MaxPool";
+    case OpType::kAvgPool: return "AvgPool";
+    case OpType::kGlobalAvgPool: return "GlobalAvgPool";
+    case OpType::kBatchNorm: return "BatchNorm";
+    case OpType::kAdd: return "Add";
+    case OpType::kMul: return "Mul";
+    case OpType::kConcat: return "Concat";
+    case OpType::kFlatten: return "Flatten";
+    case OpType::kSoftmax: return "Softmax";
+    case OpType::kIdentity: return "Identity";
+    case OpType::kScale: return "Scale";
+    case OpType::kReshape: return "Reshape";
+  }
+  return "Unknown";
+}
+
+int64_t Attributes::GetInt(const std::string& key, int64_t def) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return def;
+  if (auto* v = std::get_if<int64_t>(&it->second)) return *v;
+  return def;
+}
+
+float Attributes::GetFloat(const std::string& key, float def) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return def;
+  if (auto* v = std::get_if<float>(&it->second)) return *v;
+  return def;
+}
+
+std::vector<int64_t> Attributes::GetInts(const std::string& key) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return {};
+  if (auto* v = std::get_if<std::vector<int64_t>>(&it->second)) return *v;
+  return {};
+}
+
+NodeId Graph::AddInput(const std::string& name, Shape shape) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.name = name;
+  n.op = OpType::kInput;
+  nodes_.push_back(std::move(n));
+  inputs_.push_back(id);
+  input_shapes_[id] = std::move(shape);
+  return id;
+}
+
+NodeId Graph::AddNode(const std::string& name, OpType op,
+                      std::vector<NodeId> inputs,
+                      std::vector<std::string> weights, Attributes attrs) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  for (NodeId in : inputs) {
+    MVTEE_CHECK(in >= 0 && in < id);  // topological append-only invariant
+  }
+  Node n;
+  n.id = id;
+  n.name = name;
+  n.op = op;
+  n.inputs = std::move(inputs);
+  n.weights = std::move(weights);
+  n.attrs = std::move(attrs);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void Graph::AddInitializer(const std::string& name, Tensor value) {
+  initializers_[name] = std::move(value);
+}
+
+void Graph::MarkOutput(NodeId id) {
+  MVTEE_CHECK(id >= 0 && id < num_nodes());
+  outputs_.push_back(id);
+}
+
+const Tensor* Graph::FindInitializer(const std::string& name) const {
+  auto it = initializers_.find(name);
+  return it == initializers_.end() ? nullptr : &it->second;
+}
+
+Tensor* Graph::MutableInitializer(const std::string& name) {
+  auto it = initializers_.find(name);
+  return it == initializers_.end() ? nullptr : &it->second;
+}
+
+const Shape& Graph::input_shape(NodeId id) const {
+  auto it = input_shapes_.find(id);
+  MVTEE_CHECK(it != input_shapes_.end());
+  return it->second;
+}
+
+std::vector<std::vector<NodeId>> Graph::BuildConsumers() const {
+  std::vector<std::vector<NodeId>> consumers(nodes_.size());
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) {
+      consumers[static_cast<size_t>(in)].push_back(n.id);
+    }
+  }
+  return consumers;
+}
+
+std::vector<NodeId> Graph::TopologicalOrder() const {
+  std::vector<NodeId> order(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) order[i] = static_cast<NodeId>(i);
+  return order;
+}
+
+util::Status Graph::Validate() const {
+  if (inputs_.empty()) return util::InvalidArgument("graph has no inputs");
+  if (outputs_.empty()) return util::InvalidArgument("graph has no outputs");
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) {
+      if (in < 0 || in >= n.id) {
+        return util::InvalidArgument("node " + n.name +
+                                     " has non-topological input edge");
+      }
+    }
+    for (const std::string& w : n.weights) {
+      if (!initializers_.count(w)) {
+        return util::NotFound("initializer '" + w + "' for node " + n.name);
+      }
+    }
+    if (n.op == OpType::kInput && !input_shapes_.count(n.id)) {
+      return util::InvalidArgument("input node without shape: " + n.name);
+    }
+  }
+  for (NodeId out : outputs_) {
+    if (out < 0 || out >= num_nodes()) {
+      return util::InvalidArgument("output id out of range");
+    }
+  }
+  return util::OkStatus();
+}
+
+namespace {
+// Spatial output size for conv/pool.
+int64_t ConvOut(int64_t in, int64_t k, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+}  // namespace
+
+util::Result<std::vector<Shape>> Graph::InferShapes() const {
+  // Note: deliberately does not require outputs to be marked — builders
+  // call this mid-construction. Edge/weight integrity is checked inline.
+  std::vector<Shape> shapes(nodes_.size());
+
+  auto fail = [](const Node& n, const std::string& why) {
+    return util::InvalidArgument("shape inference failed at " + n.name + " (" +
+                                 std::string(OpTypeName(n.op)) + "): " + why);
+  };
+
+  for (const Node& n : nodes_) {
+    auto in_shape = [&](size_t i) -> const Shape& {
+      return shapes[static_cast<size_t>(n.inputs[i])];
+    };
+    switch (n.op) {
+      case OpType::kInput:
+        shapes[n.id] = input_shape(n.id);
+        break;
+      case OpType::kConv2d: {
+        if (n.inputs.size() != 1 || n.weights.empty()) {
+          return fail(n, "needs 1 input and weights");
+        }
+        const Shape& x = in_shape(0);
+        if (x.rank() != 4) return fail(n, "input must be 4-D");
+        const Tensor* w = FindInitializer(n.weights[0]);
+        if (w == nullptr) return fail(n, "missing initializer");
+        if (w->shape().rank() != 4) return fail(n, "weight must be 4-D");
+        int64_t groups = n.attrs.GetInt("groups", 1);
+        if (x.dim(1) != w->shape().dim(1) * groups) {
+          return fail(n, "channel mismatch: input " + x.ToString() +
+                             " vs weight " + w->shape().ToString());
+        }
+        int64_t kh = w->shape().dim(2), kw = w->shape().dim(3);
+        int64_t stride = n.attrs.GetInt("stride", 1);
+        int64_t pad = n.attrs.GetInt("padding", 0);
+        int64_t oh = ConvOut(x.dim(2), kh, stride, pad);
+        int64_t ow = ConvOut(x.dim(3), kw, stride, pad);
+        if (oh <= 0 || ow <= 0) return fail(n, "non-positive spatial output");
+        shapes[n.id] = Shape({x.dim(0), w->shape().dim(0), oh, ow});
+        break;
+      }
+      case OpType::kGemm: {
+        if (n.inputs.size() != 1 || n.weights.empty()) {
+          return fail(n, "needs 1 input and weights");
+        }
+        const Shape& x = in_shape(0);
+        if (x.rank() != 2) return fail(n, "input must be 2-D");
+        const Tensor* w = FindInitializer(n.weights[0]);
+        if (w == nullptr) return fail(n, "missing initializer");
+        if (w->shape().rank() != 2 || w->shape().dim(1) != x.dim(1)) {
+          return fail(n, "weight shape mismatch");
+        }
+        shapes[n.id] = Shape({x.dim(0), w->shape().dim(0)});
+        break;
+      }
+      case OpType::kRelu:
+      case OpType::kRelu6:
+      case OpType::kSigmoid:
+      case OpType::kHardSwish:
+      case OpType::kTanh:
+      case OpType::kSoftmax:
+      case OpType::kIdentity:
+      case OpType::kScale:
+      case OpType::kBatchNorm: {
+        if (n.inputs.size() != 1) return fail(n, "needs exactly 1 input");
+        shapes[n.id] = in_shape(0);
+        break;
+      }
+      case OpType::kMaxPool:
+      case OpType::kAvgPool: {
+        if (n.inputs.size() != 1) return fail(n, "needs exactly 1 input");
+        const Shape& x = in_shape(0);
+        if (x.rank() != 4) return fail(n, "input must be 4-D");
+        int64_t k = n.attrs.GetInt("kernel", 2);
+        int64_t stride = n.attrs.GetInt("stride", k);
+        int64_t pad = n.attrs.GetInt("padding", 0);
+        int64_t oh = ConvOut(x.dim(2), k, stride, pad);
+        int64_t ow = ConvOut(x.dim(3), k, stride, pad);
+        if (oh <= 0 || ow <= 0) return fail(n, "non-positive spatial output");
+        shapes[n.id] = Shape({x.dim(0), x.dim(1), oh, ow});
+        break;
+      }
+      case OpType::kGlobalAvgPool: {
+        if (n.inputs.size() != 1) return fail(n, "needs exactly 1 input");
+        const Shape& x = in_shape(0);
+        if (x.rank() != 4) return fail(n, "input must be 4-D");
+        shapes[n.id] = Shape({x.dim(0), x.dim(1), 1, 1});
+        break;
+      }
+      case OpType::kAdd: {
+        if (n.inputs.size() != 2) return fail(n, "needs exactly 2 inputs");
+        if (in_shape(0) != in_shape(1)) {
+          return fail(n, "operand shapes differ: " + in_shape(0).ToString() +
+                             " vs " + in_shape(1).ToString());
+        }
+        shapes[n.id] = in_shape(0);
+        break;
+      }
+      case OpType::kMul: {
+        if (n.inputs.size() != 2) return fail(n, "needs exactly 2 inputs");
+        const Shape& a = in_shape(0);
+        const Shape& b = in_shape(1);
+        bool broadcast_ok = a.rank() == 4 && b.rank() == 4 &&
+                            a.dim(0) == b.dim(0) && a.dim(1) == b.dim(1) &&
+                            b.dim(2) == 1 && b.dim(3) == 1;
+        if (a != b && !broadcast_ok) return fail(n, "incompatible shapes");
+        shapes[n.id] = a;
+        break;
+      }
+      case OpType::kConcat: {
+        if (n.inputs.size() < 2) return fail(n, "needs >= 2 inputs");
+        int64_t axis = n.attrs.GetInt("axis", 1);
+        const Shape& first = in_shape(0);
+        if (axis != 1 || first.rank() != 4) {
+          return fail(n, "only channel-axis 4-D concat supported");
+        }
+        int64_t channels = 0;
+        for (size_t i = 0; i < n.inputs.size(); ++i) {
+          const Shape& s = in_shape(i);
+          if (s.rank() != 4 || s.dim(0) != first.dim(0) ||
+              s.dim(2) != first.dim(2) || s.dim(3) != first.dim(3)) {
+            return fail(n, "concat operand mismatch");
+          }
+          channels += s.dim(1);
+        }
+        shapes[n.id] =
+            Shape({first.dim(0), channels, first.dim(2), first.dim(3)});
+        break;
+      }
+      case OpType::kFlatten: {
+        if (n.inputs.size() != 1) return fail(n, "needs exactly 1 input");
+        const Shape& x = in_shape(0);
+        if (x.rank() < 2) return fail(n, "rank must be >= 2");
+        int64_t rest = 1;
+        for (int64_t i = 1; i < x.rank(); ++i) rest *= x.dim(i);
+        shapes[n.id] = Shape({x.dim(0), rest});
+        break;
+      }
+      case OpType::kReshape: {
+        if (n.inputs.size() != 1) return fail(n, "needs exactly 1 input");
+        Shape target(n.attrs.GetInts("dims"));
+        if (target.rank() == 0 ||
+            target.num_elements() != in_shape(0).num_elements()) {
+          return fail(n, "reshape must preserve element count");
+        }
+        shapes[n.id] = target;
+        break;
+      }
+    }
+  }
+  return shapes;
+}
+
+std::vector<double> Graph::EstimateNodeCosts() const {
+  auto shapes_or = InferShapes();
+  std::vector<double> costs(nodes_.size(), 1.0);
+  if (!shapes_or.ok()) return costs;
+  const auto& shapes = *shapes_or;
+
+  for (const Node& n : nodes_) {
+    const Shape& out = shapes[static_cast<size_t>(n.id)];
+    double elems = static_cast<double>(out.num_elements());
+    switch (n.op) {
+      case OpType::kConv2d: {
+        const Tensor* w = FindInitializer(n.weights[0]);
+        double k = static_cast<double>(w->shape().dim(1) * w->shape().dim(2) *
+                                       w->shape().dim(3));
+        costs[n.id] = 2.0 * elems * k;
+        break;
+      }
+      case OpType::kGemm: {
+        const Tensor* w = FindInitializer(n.weights[0]);
+        costs[n.id] = 2.0 * elems * static_cast<double>(w->shape().dim(1));
+        break;
+      }
+      case OpType::kMaxPool:
+      case OpType::kAvgPool: {
+        double k = static_cast<double>(n.attrs.GetInt("kernel", 2));
+        costs[n.id] = elems * k * k;
+        break;
+      }
+      case OpType::kBatchNorm:
+        costs[n.id] = 2.0 * elems;
+        break;
+      case OpType::kInput:
+        costs[n.id] = 0.0;
+        break;
+      default:
+        costs[n.id] = elems;
+        break;
+    }
+  }
+  return costs;
+}
+
+size_t Graph::ParameterBytes() const {
+  size_t total = 0;
+  for (const auto& [name, t] : initializers_) total += t.byte_size();
+  return total;
+}
+
+size_t Graph::DropUnusedInitializers() {
+  std::set<std::string> used;
+  for (const Node& n : nodes_) {
+    for (const auto& w : n.weights) used.insert(w);
+  }
+  size_t removed = 0;
+  for (auto it = initializers_.begin(); it != initializers_.end();) {
+    if (!used.count(it->first)) {
+      it = initializers_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+// ------------------------------------------------------------- serialization
+
+namespace {
+constexpr uint32_t kGraphMagic = 0x4d564752;  // "MVGR"
+
+void SerializeAttrs(util::Bytes& out, const Attributes& attrs) {
+  util::AppendU32(out, static_cast<uint32_t>(attrs.raw().size()));
+  for (const auto& [key, value] : attrs.raw()) {
+    util::AppendLengthPrefixedStr(out, key);
+    if (auto* i = std::get_if<int64_t>(&value)) {
+      util::AppendU8(out, 0);
+      util::AppendU64(out, static_cast<uint64_t>(*i));
+    } else if (auto* f = std::get_if<float>(&value)) {
+      util::AppendU8(out, 1);
+      util::AppendF32(out, *f);
+    } else {
+      const auto& v = std::get<std::vector<int64_t>>(value);
+      util::AppendU8(out, 2);
+      util::AppendU32(out, static_cast<uint32_t>(v.size()));
+      for (int64_t x : v) util::AppendU64(out, static_cast<uint64_t>(x));
+    }
+  }
+}
+
+bool DeserializeAttrs(util::ByteReader& reader, Attributes& attrs) {
+  uint32_t count;
+  if (!reader.ReadU32(count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    uint8_t tag;
+    if (!reader.ReadLengthPrefixedStr(key) || !reader.ReadU8(tag)) {
+      return false;
+    }
+    if (tag == 0) {
+      uint64_t v;
+      if (!reader.ReadU64(v)) return false;
+      attrs.SetInt(key, static_cast<int64_t>(v));
+    } else if (tag == 1) {
+      float v;
+      if (!reader.ReadF32(v)) return false;
+      attrs.SetFloat(key, v);
+    } else if (tag == 2) {
+      uint32_t n;
+      if (!reader.ReadU32(n)) return false;
+      std::vector<int64_t> v(n);
+      for (auto& x : v) {
+        uint64_t u;
+        if (!reader.ReadU64(u)) return false;
+        x = static_cast<int64_t>(u);
+      }
+      attrs.SetInts(key, std::move(v));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+util::Bytes Graph::Serialize() const {
+  util::Bytes out;
+  util::AppendU32(out, kGraphMagic);
+  util::AppendU32(out, static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    util::AppendLengthPrefixedStr(out, n.name);
+    util::AppendU8(out, static_cast<uint8_t>(n.op));
+    util::AppendU32(out, static_cast<uint32_t>(n.inputs.size()));
+    for (NodeId in : n.inputs) util::AppendU32(out, static_cast<uint32_t>(in));
+    util::AppendU32(out, static_cast<uint32_t>(n.weights.size()));
+    for (const auto& w : n.weights) util::AppendLengthPrefixedStr(out, w);
+    SerializeAttrs(out, n.attrs);
+  }
+  util::AppendU32(out, static_cast<uint32_t>(inputs_.size()));
+  for (NodeId id : inputs_) {
+    util::AppendU32(out, static_cast<uint32_t>(id));
+    const Shape& s = input_shape(id);
+    util::AppendU32(out, static_cast<uint32_t>(s.rank()));
+    for (int64_t d : s.dims()) util::AppendU64(out, static_cast<uint64_t>(d));
+  }
+  util::AppendU32(out, static_cast<uint32_t>(outputs_.size()));
+  for (NodeId id : outputs_) util::AppendU32(out, static_cast<uint32_t>(id));
+  util::AppendU32(out, static_cast<uint32_t>(initializers_.size()));
+  for (const auto& [name, t] : initializers_) {
+    util::AppendLengthPrefixedStr(out, name);
+    util::AppendLengthPrefixed(out, t.Serialize());
+  }
+  return out;
+}
+
+util::Result<Graph> Graph::Deserialize(util::ByteSpan data) {
+  util::ByteReader reader(data);
+  uint32_t magic;
+  if (!reader.ReadU32(magic) || magic != kGraphMagic) {
+    return util::InvalidArgument("bad graph magic");
+  }
+  Graph g;
+  uint32_t node_count;
+  if (!reader.ReadU32(node_count)) {
+    return util::InvalidArgument("truncated node count");
+  }
+  g.nodes_.reserve(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    Node n;
+    n.id = static_cast<NodeId>(i);
+    uint8_t op;
+    uint32_t in_count, w_count;
+    if (!reader.ReadLengthPrefixedStr(n.name) || !reader.ReadU8(op) ||
+        !reader.ReadU32(in_count)) {
+      return util::InvalidArgument("truncated node header");
+    }
+    if (op > static_cast<uint8_t>(OpType::kReshape)) {
+      return util::InvalidArgument("unknown op type");
+    }
+    n.op = static_cast<OpType>(op);
+    n.inputs.resize(in_count);
+    for (auto& in : n.inputs) {
+      uint32_t v;
+      if (!reader.ReadU32(v)) return util::InvalidArgument("truncated edge");
+      if (v >= i) return util::InvalidArgument("non-topological edge");
+      in = static_cast<NodeId>(v);
+    }
+    if (!reader.ReadU32(w_count)) {
+      return util::InvalidArgument("truncated weight count");
+    }
+    n.weights.resize(w_count);
+    for (auto& w : n.weights) {
+      if (!reader.ReadLengthPrefixedStr(w)) {
+        return util::InvalidArgument("truncated weight name");
+      }
+    }
+    if (!DeserializeAttrs(reader, n.attrs)) {
+      return util::InvalidArgument("truncated attrs");
+    }
+    g.nodes_.push_back(std::move(n));
+  }
+
+  uint32_t input_count;
+  if (!reader.ReadU32(input_count)) {
+    return util::InvalidArgument("truncated input count");
+  }
+  for (uint32_t i = 0; i < input_count; ++i) {
+    uint32_t id, rank;
+    if (!reader.ReadU32(id) || !reader.ReadU32(rank) || rank > 8) {
+      return util::InvalidArgument("truncated input");
+    }
+    if (id >= node_count) return util::InvalidArgument("input id range");
+    std::vector<int64_t> dims(rank);
+    for (auto& d : dims) {
+      uint64_t v;
+      if (!reader.ReadU64(v)) return util::InvalidArgument("truncated shape");
+      d = static_cast<int64_t>(v);
+    }
+    g.inputs_.push_back(static_cast<NodeId>(id));
+    g.input_shapes_[static_cast<NodeId>(id)] = Shape(std::move(dims));
+  }
+
+  uint32_t output_count;
+  if (!reader.ReadU32(output_count)) {
+    return util::InvalidArgument("truncated output count");
+  }
+  for (uint32_t i = 0; i < output_count; ++i) {
+    uint32_t id;
+    if (!reader.ReadU32(id) || id >= node_count) {
+      return util::InvalidArgument("bad output id");
+    }
+    g.outputs_.push_back(static_cast<NodeId>(id));
+  }
+
+  uint32_t init_count;
+  if (!reader.ReadU32(init_count)) {
+    return util::InvalidArgument("truncated initializer count");
+  }
+  for (uint32_t i = 0; i < init_count; ++i) {
+    std::string name;
+    util::Bytes payload;
+    if (!reader.ReadLengthPrefixedStr(name) ||
+        !reader.ReadLengthPrefixed(payload)) {
+      return util::InvalidArgument("truncated initializer");
+    }
+    MVTEE_ASSIGN_OR_RETURN(Tensor t, Tensor::Deserialize(payload));
+    g.initializers_[name] = std::move(t);
+  }
+  MVTEE_RETURN_IF_ERROR(g.Validate());
+  return g;
+}
+
+}  // namespace mvtee::graph

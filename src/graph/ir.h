@@ -1,0 +1,152 @@
+// ONNX-like intermediate representation: a DAG of single-output operator
+// nodes plus named initializers (weights).
+//
+// This IR plays the role ONNX plays in the paper: the common format the
+// partitioner slices, the diversifier rewrites, and every inference
+// runtime consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::graph {
+
+enum class OpType : uint8_t {
+  kInput = 0,
+  kConv2d,        // attrs: kernel_h/w, stride, padding, groups; weights: W[,b]
+  kGemm,          // fully connected; weights: W [out,in] [, b]
+  kRelu,
+  kRelu6,         // clip(0, 6)
+  kSigmoid,
+  kHardSwish,     // x * relu6(x+3)/6
+  kTanh,
+  kMaxPool,       // attrs: kernel, stride, padding
+  kAvgPool,       // attrs: kernel, stride, padding
+  kGlobalAvgPool, // output [N,C,1,1]
+  kBatchNorm,     // weights: scale, bias, mean, var; attr: epsilon
+  kAdd,           // elementwise (equal shapes)
+  kMul,           // elementwise with [N,C,1,1] broadcast on rhs
+  kConcat,        // attr: axis (channel concat)
+  kFlatten,       // [N, ...] -> [N, rest]
+  kSoftmax,       // last axis
+  kIdentity,
+  kScale,         // y = x * alpha + beta (attrs); used by diversification
+  kReshape,       // attr "dims": target shape (same element count)
+};
+
+std::string_view OpTypeName(OpType op);
+
+// Attribute value: int64, float, or int64 list.
+using AttrValue = std::variant<int64_t, float, std::vector<int64_t>>;
+
+class Attributes {
+ public:
+  void SetInt(const std::string& key, int64_t v) { attrs_[key] = v; }
+  void SetFloat(const std::string& key, float v) { attrs_[key] = v; }
+  void SetInts(const std::string& key, std::vector<int64_t> v) {
+    attrs_[key] = std::move(v);
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  float GetFloat(const std::string& key, float def = 0.0f) const;
+  std::vector<int64_t> GetInts(const std::string& key) const;
+  bool Has(const std::string& key) const { return attrs_.count(key) > 0; }
+
+  const std::map<std::string, AttrValue>& raw() const { return attrs_; }
+  std::map<std::string, AttrValue>& raw() { return attrs_; }
+
+  friend bool operator==(const Attributes& a, const Attributes& b) {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  std::map<std::string, AttrValue> attrs_;
+};
+
+// NodeId indexes Graph::nodes(). Dead nodes (after rewrites) keep their
+// slot with op=kIdentity and no consumers until Compact() is called.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  OpType op = OpType::kIdentity;
+  std::vector<NodeId> inputs;            // producing nodes, in order
+  std::vector<std::string> weights;      // initializer names, op-specific order
+  Attributes attrs;
+};
+
+class Graph {
+ public:
+  // --- construction ---
+  NodeId AddInput(const std::string& name, tensor::Shape shape);
+  NodeId AddNode(const std::string& name, OpType op,
+                 std::vector<NodeId> inputs,
+                 std::vector<std::string> weights = {},
+                 Attributes attrs = {});
+  void AddInitializer(const std::string& name, tensor::Tensor value);
+  void MarkOutput(NodeId id);
+  void ClearOutputs() { outputs_.clear(); }
+
+  // --- accessors ---
+  const std::vector<Node>& nodes() const { return nodes_; }
+  Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  const std::map<std::string, tensor::Tensor>& initializers() const {
+    return initializers_;
+  }
+  const tensor::Tensor* FindInitializer(const std::string& name) const;
+  tensor::Tensor* MutableInitializer(const std::string& name);
+  const tensor::Shape& input_shape(NodeId id) const;
+
+  // Consumers of each node (recomputed on demand after mutation).
+  std::vector<std::vector<NodeId>> BuildConsumers() const;
+
+  // Nodes in a valid topological order. Graph construction is append-
+  // only with inputs preceding consumers, so this is just 0..n-1 —
+  // rewrites must preserve the invariant (they only insert after).
+  std::vector<NodeId> TopologicalOrder() const;
+
+  // --- validation & analysis ---
+  util::Status Validate() const;
+
+  // Infers the output shape of every node; fails on inconsistent wiring.
+  util::Result<std::vector<tensor::Shape>> InferShapes() const;
+
+  // Rough FLOP estimate per node (for balanced partitioning weights).
+  std::vector<double> EstimateNodeCosts() const;
+
+  // Total parameter bytes.
+  size_t ParameterBytes() const;
+
+  // Drops initializers no longer referenced by any node (rewrites may
+  // orphan weights). Returns the number of initializers removed.
+  size_t DropUnusedInitializers();
+
+  // --- serialization ---
+  util::Bytes Serialize() const;
+  static util::Result<Graph> Deserialize(util::ByteSpan data);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::map<std::string, tensor::Tensor> initializers_;
+  std::map<NodeId, tensor::Shape> input_shapes_;
+};
+
+}  // namespace mvtee::graph

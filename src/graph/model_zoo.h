@@ -1,0 +1,49 @@
+// Synthetic model zoo: structurally faithful, scaled versions of the
+// seven models the paper evaluates (EfficientNet-b7, GoogleNet,
+// Inception V3, MnasNet, MobileNet V3, ResNet-152, ResNet-50).
+//
+// Substitution note (see DESIGN.md §2): pre-trained weights are not
+// required to reproduce the paper's *performance* experiments — those
+// measure partitioning/MVX/crypto overheads, which depend on topology
+// and tensor sizes, not on learned weight values. Weights here are
+// deterministic He-initialized pseudo-random tensors; widths and depths
+// are scaled by ZooConfig so the full benchmark suite completes on a
+// laptop-class machine while preserving each model's block structure
+// (residual bottlenecks, inception branches, depthwise+SE blocks, …)
+// and relative size ordering.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/ir.h"
+
+namespace mvtee::graph {
+
+enum class ModelKind {
+  kEfficientNetB7 = 0,
+  kGoogleNet,
+  kInceptionV3,
+  kMnasNet,
+  kMobileNetV3,
+  kResNet152,
+  kResNet50,
+};
+
+struct ZooConfig {
+  int64_t batch = 1;
+  int64_t input_hw = 64;      // paper default 224; scaled for simulation
+  double width_mult = 0.25;   // channel width multiplier
+  double depth_mult = 0.5;    // block repeat multiplier
+  int64_t num_classes = 100;
+  uint64_t seed = 42;
+};
+
+std::string_view ModelName(ModelKind kind);
+std::vector<ModelKind> AllModels();
+
+// Builds the requested model; the result validates and shape-infers.
+Graph BuildModel(ModelKind kind, const ZooConfig& config = {});
+
+}  // namespace mvtee::graph

@@ -1,0 +1,480 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <set>
+
+namespace mvtee::partition {
+
+using graph::Graph;
+using graph::Node;
+using graph::NodeId;
+using graph::OpType;
+
+double PartitionSet::CostImbalance() const {
+  if (partitions.empty()) return 0.0;
+  double total = 0.0, max_cost = 0.0;
+  for (const Partition& p : partitions) {
+    total += p.cost;
+    max_cost = std::max(max_cost, p.cost);
+  }
+  if (total <= 0.0) return 1.0;
+  return max_cost / (total / static_cast<double>(partitions.size()));
+}
+
+namespace {
+
+// Union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct EdgeList {
+  std::vector<std::pair<NodeId, NodeId>> edges;  // producer -> consumer
+};
+
+EdgeList CollectEdges(const Graph& g) {
+  EdgeList list;
+  for (const Node& n : g.nodes()) {
+    for (NodeId in : n.inputs) list.edges.push_back({in, n.id});
+  }
+  return list;
+}
+
+// Quotient adjacency (partition rep -> set of successor reps).
+std::map<size_t, std::set<size_t>> QuotientAdjacency(const EdgeList& edges,
+                                                     UnionFind& uf) {
+  std::map<size_t, std::set<size_t>> adj;
+  for (const auto& [u, v] : edges.edges) {
+    size_t pu = uf.Find(static_cast<size_t>(u));
+    size_t pv = uf.Find(static_cast<size_t>(v));
+    if (pu != pv) adj[pu].insert(pv);
+  }
+  return adj;
+}
+
+// Would merging partitions a and b (with an existing edge a->b) create a
+// cycle in the quotient graph? True iff some path a -> ... -> b passes
+// through a third partition.
+bool MergeCreatesCycle(const std::map<size_t, std::set<size_t>>& adj, size_t a,
+                       size_t b) {
+  std::queue<size_t> frontier;
+  std::set<size_t> visited;
+  auto it = adj.find(a);
+  if (it == adj.end()) return false;
+  for (size_t succ : it->second) {
+    if (succ != b) {
+      frontier.push(succ);
+      visited.insert(succ);
+    }
+  }
+  while (!frontier.empty()) {
+    size_t cur = frontier.front();
+    frontier.pop();
+    if (cur == b) return true;
+    auto cit = adj.find(cur);
+    if (cit == adj.end()) continue;
+    for (size_t succ : cit->second) {
+      if (visited.insert(succ).second) frontier.push(succ);
+    }
+  }
+  return false;
+}
+
+// Orders final partitions topologically (Kahn; deterministic tie-break by
+// smallest member node id).
+std::vector<std::vector<NodeId>> TopoOrderPartitions(const Graph& g,
+                                                     UnionFind& uf) {
+  std::map<size_t, std::vector<NodeId>> members;
+  for (const Node& n : g.nodes()) {
+    members[uf.Find(static_cast<size_t>(n.id))].push_back(n.id);
+  }
+  EdgeList edges = CollectEdges(g);
+  auto adj = QuotientAdjacency(edges, uf);
+  std::map<size_t, int> indegree;
+  for (const auto& [rep, _] : members) indegree[rep] = 0;
+  for (const auto& [rep, succs] : adj) {
+    (void)rep;
+    for (size_t s : succs) indegree[s]++;
+  }
+  // Min-heap on smallest member id for determinism.
+  auto cmp = [&](size_t a, size_t b) {
+    return members[a].front() > members[b].front();
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> ready(cmp);
+  for (const auto& [rep, deg] : indegree) {
+    if (deg == 0) ready.push(rep);
+  }
+  std::vector<std::vector<NodeId>> ordered;
+  while (!ready.empty()) {
+    size_t rep = ready.top();
+    ready.pop();
+    ordered.push_back(members[rep]);
+    auto it = adj.find(rep);
+    if (it == adj.end()) continue;
+    for (size_t s : it->second) {
+      if (--indegree[s] == 0) ready.push(s);
+    }
+  }
+  MVTEE_CHECK(ordered.size() == members.size());  // acyclic by invariant
+  return ordered;
+}
+
+PartitionSet MakePartitionSet(const Graph& g, UnionFind& uf,
+                              const std::vector<double>& node_costs) {
+  PartitionSet set;
+  for (auto& nodes : TopoOrderPartitions(g, uf)) {
+    Partition p;
+    std::sort(nodes.begin(), nodes.end());
+    p.nodes = std::move(nodes);
+    for (NodeId id : p.nodes) p.cost += node_costs[static_cast<size_t>(id)];
+    set.partitions.push_back(std::move(p));
+  }
+  return set;
+}
+
+util::Result<PartitionSet> RandomContractionAttempt(
+    const Graph& g, const PartitionOptions& options, uint64_t seed,
+    double cost_cap_fraction) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  const std::vector<double> node_costs = g.EstimateNodeCosts();
+  const double total_cost =
+      std::accumulate(node_costs.begin(), node_costs.end(), 0.0);
+
+  util::Rng rng(seed);
+  UnionFind uf(n);
+  std::map<size_t, double> part_cost;
+  for (size_t i = 0; i < n; ++i) part_cost[i] = node_costs[i];
+  size_t num_partitions = n;
+
+  EdgeList edges = CollectEdges(g);
+
+  auto default_weight = [](double a, double b, double total) {
+    // Favor merging small partitions: weight decays with merged cost.
+    double frac = (a + b) / std::max(total, 1e-12);
+    return 1.0 / (0.02 + frac);
+  };
+  auto weight_fn = options.weight_fn ? options.weight_fn : default_weight;
+
+  while (num_partitions > static_cast<size_t>(options.target_partitions)) {
+    // Candidate super-edges between distinct partitions.
+    auto adj = QuotientAdjacency(edges, uf);
+    std::vector<std::pair<size_t, size_t>> candidates;
+    std::vector<double> weights;
+    for (const auto& [pu, succs] : adj) {
+      for (size_t pv : succs) {
+        candidates.push_back({pu, pv});
+        weights.push_back(
+            std::max(1e-12, weight_fn(part_cost[pu], part_cost[pv],
+                                      total_cost)));
+      }
+    }
+    bool merged = false;
+    // Rejection sampling over the weighted candidates.
+    while (!candidates.empty()) {
+      size_t idx = rng.SampleIndexByWeight(weights);
+      auto [pu, pv] = candidates[idx];
+
+      bool ok = true;
+      if (cost_cap_fraction > 0.0 &&
+          part_cost[pu] + part_cost[pv] > cost_cap_fraction * total_cost) {
+        ok = false;
+      }
+      if (ok && MergeCreatesCycle(adj, pu, pv)) ok = false;
+      if (ok && options.constraint_fn) {
+        // Materialize the two partitions for the user constraint.
+        Partition a, bpart;
+        for (size_t i = 0; i < n; ++i) {
+          size_t rep = uf.Find(i);
+          if (rep == pu) a.nodes.push_back(static_cast<NodeId>(i));
+          if (rep == pv) bpart.nodes.push_back(static_cast<NodeId>(i));
+        }
+        a.cost = part_cost[pu];
+        bpart.cost = part_cost[pv];
+        if (!options.constraint_fn(a, bpart)) ok = false;
+      }
+      if (ok) {
+        double merged_cost = part_cost[pu] + part_cost[pv];
+        uf.Union(pu, pv);
+        size_t rep = uf.Find(pu);
+        part_cost.erase(pu);
+        part_cost.erase(pv);
+        part_cost[rep] = merged_cost;
+        --num_partitions;
+        merged = true;
+        break;
+      }
+      candidates.erase(candidates.begin() + static_cast<int64_t>(idx));
+      weights.erase(weights.begin() + static_cast<int64_t>(idx));
+    }
+    if (!merged) {
+      return util::FailedPrecondition(
+          "no contractible edge satisfies the constraints at " +
+          std::to_string(num_partitions) + " partitions");
+    }
+  }
+  return MakePartitionSet(g, uf, node_costs);
+}
+
+}  // namespace
+
+util::Result<PartitionSet> RandomContraction(const Graph& g,
+                                             const PartitionOptions& options) {
+  MVTEE_RETURN_IF_ERROR(g.Validate());
+  if (options.target_partitions < 1) {
+    return util::InvalidArgument("target_partitions must be >= 1");
+  }
+  if (options.target_partitions > g.num_nodes()) {
+    return util::InvalidArgument("more partitions than nodes");
+  }
+  // Default cost cap: twice the ideal share (gives the sampler room while
+  // preventing one partition from swallowing the model).
+  double cap = options.max_cost_fraction > 0.0
+                   ? options.max_cost_fraction
+                   : 2.0 / static_cast<double>(options.target_partitions);
+  util::Status last_error = util::Internal("no attempts made");
+  for (int attempt = 0; attempt < std::max(1, options.max_attempts);
+       ++attempt) {
+    uint64_t seed = options.seed * 1000003ULL + static_cast<uint64_t>(attempt);
+    auto result = RandomContractionAttempt(g, options, seed, cap);
+    if (result.ok()) return result;
+    last_error = result.status();
+    cap = std::min(1.0, cap * 1.3);  // progressively relax the soft cap
+  }
+  return last_error;
+}
+
+util::Result<PartitionSet> BestOfRandomContraction(
+    const Graph& g, const PartitionOptions& options, int trials) {
+  util::Status last_error = util::Internal("no trials run");
+  PartitionSet best;
+  double best_imbalance = 0.0;
+  bool have_best = false;
+  for (int t = 0; t < std::max(1, trials); ++t) {
+    PartitionOptions opts = options;
+    opts.seed = options.seed + static_cast<uint64_t>(t) * 7919ULL;
+    auto result = RandomContraction(g, opts);
+    if (!result.ok()) {
+      last_error = result.status();
+      continue;
+    }
+    double imbalance = result->CostImbalance();
+    if (!have_best || imbalance < best_imbalance) {
+      best = std::move(*result);
+      best_imbalance = imbalance;
+      have_best = true;
+    }
+  }
+  if (!have_best) return last_error;
+  return best;
+}
+
+util::Result<PartitionSet> ManualSlice(
+    const Graph& g, const std::vector<std::vector<NodeId>>& groups) {
+  MVTEE_RETURN_IF_ERROR(g.Validate());
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<int> assignment(n, -1);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (NodeId id : groups[gi]) {
+      if (id < 0 || static_cast<size_t>(id) >= n) {
+        return util::InvalidArgument("node id out of range");
+      }
+      if (assignment[static_cast<size_t>(id)] != -1) {
+        return util::InvalidArgument("node assigned to multiple groups");
+      }
+      assignment[static_cast<size_t>(id)] = static_cast<int>(gi);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (assignment[i] == -1) {
+      return util::InvalidArgument("node " + std::to_string(i) +
+                                   " not covered by any group");
+    }
+  }
+  // Verify quotient acyclicity via union-find reuse.
+  UnionFind uf(n);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (size_t k = 1; k < groups[gi].size(); ++k) {
+      uf.Union(static_cast<size_t>(groups[gi][0]),
+               static_cast<size_t>(groups[gi][k]));
+    }
+  }
+  // Kahn over the quotient detects cycles (TopoOrderPartitions aborts on
+  // cycle, so check here first).
+  {
+    EdgeList edges = CollectEdges(g);
+    auto adj = QuotientAdjacency(edges, uf);
+    std::map<size_t, int> indegree;
+    for (const Node& node : g.nodes()) {
+      indegree[uf.Find(static_cast<size_t>(node.id))] = 0;
+    }
+    for (const auto& [rep, succs] : adj) {
+      (void)rep;
+      for (size_t s : succs) indegree[s]++;
+    }
+    std::queue<size_t> ready;
+    for (const auto& [rep, deg] : indegree) {
+      if (deg == 0) ready.push(rep);
+    }
+    size_t seen = 0;
+    while (!ready.empty()) {
+      size_t rep = ready.front();
+      ready.pop();
+      ++seen;
+      auto it = adj.find(rep);
+      if (it == adj.end()) continue;
+      for (size_t s : it->second) {
+        if (--indegree[s] == 0) ready.push(s);
+      }
+    }
+    if (seen != indegree.size()) {
+      return util::InvalidArgument(
+          "manual slice produces a cyclic partition graph");
+    }
+  }
+  return MakePartitionSet(g, uf, g.EstimateNodeCosts());
+}
+
+util::Result<PartitionedModel> BuildPartitionedModel(const Graph& g,
+                                                     const PartitionSet& set) {
+  MVTEE_RETURN_IF_ERROR(g.Validate());
+  auto shapes_or = g.InferShapes();
+  if (!shapes_or.ok()) return shapes_or.status();
+  const auto& shapes = *shapes_or;
+
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<int32_t> stage_of(n, -1);
+  for (size_t si = 0; si < set.partitions.size(); ++si) {
+    for (NodeId id : set.partitions[si].nodes) {
+      if (id < 0 || static_cast<size_t>(id) >= n) {
+        return util::InvalidArgument("partition node id out of range");
+      }
+      if (stage_of[static_cast<size_t>(id)] != -1) {
+        return util::InvalidArgument("node in multiple partitions");
+      }
+      stage_of[static_cast<size_t>(id)] = static_cast<int32_t>(si);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (stage_of[i] == -1) {
+      return util::InvalidArgument("node not covered by partitions");
+    }
+  }
+
+  auto consumers = g.BuildConsumers();
+  std::set<NodeId> model_output_nodes(g.outputs().begin(), g.outputs().end());
+
+  // Which nodes must each stage export?
+  //   - consumed by a node in a different stage, or
+  //   - a model output.
+  std::vector<std::vector<NodeId>> stage_exports(set.partitions.size());
+  for (const Node& node : g.nodes()) {
+    const int32_t si = stage_of[static_cast<size_t>(node.id)];
+    bool exported = model_output_nodes.count(node.id) > 0;
+    for (NodeId c : consumers[static_cast<size_t>(node.id)]) {
+      if (stage_of[static_cast<size_t>(c)] != si) {
+        exported = true;
+        break;
+      }
+    }
+    if (exported) stage_exports[static_cast<size_t>(si)].push_back(node.id);
+  }
+  // Export order: ascending original node id (deterministic).
+  std::map<NodeId, StageInputSource> export_slot;
+  for (size_t si = 0; si < stage_exports.size(); ++si) {
+    std::sort(stage_exports[si].begin(), stage_exports[si].end());
+    for (size_t k = 0; k < stage_exports[si].size(); ++k) {
+      export_slot[stage_exports[si][k]] = {static_cast<int32_t>(si),
+                                           static_cast<int32_t>(k)};
+    }
+  }
+
+  // Model input index per input node.
+  std::map<NodeId, int32_t> model_input_index;
+  for (size_t k = 0; k < g.inputs().size(); ++k) {
+    model_input_index[g.inputs()[k]] = static_cast<int32_t>(k);
+  }
+
+  PartitionedModel pm;
+  pm.partition_set = set;
+  pm.stages.reserve(set.partitions.size());
+  pm.stage_inputs.resize(set.partitions.size());
+
+  for (size_t si = 0; si < set.partitions.size(); ++si) {
+    const Partition& part = set.partitions[si];
+    std::set<NodeId> members(part.nodes.begin(), part.nodes.end());
+
+    // Subgraph inputs: in-stage original model inputs, plus producers from
+    // other stages — together, sorted by original id.
+    std::set<NodeId> input_nodes;
+    for (NodeId id : part.nodes) {
+      const Node& node = g.node(id);
+      if (node.op == OpType::kInput) input_nodes.insert(id);
+      for (NodeId in : node.inputs) {
+        if (!members.count(in)) input_nodes.insert(in);
+      }
+    }
+
+    Graph sub;
+    std::map<NodeId, NodeId> remap;
+    for (NodeId id : input_nodes) {
+      NodeId new_id = sub.AddInput(g.node(id).name,
+                                   shapes[static_cast<size_t>(id)]);
+      remap[id] = new_id;
+      StageInputSource src;
+      if (members.count(id) && g.node(id).op == OpType::kInput) {
+        src.stage = -1;
+        src.index = model_input_index.at(id);
+      } else {
+        src = export_slot.at(id);
+        MVTEE_CHECK(src.stage < static_cast<int32_t>(si));
+      }
+      pm.stage_inputs[si].push_back(src);
+    }
+
+    for (NodeId id : part.nodes) {
+      const Node& node = g.node(id);
+      if (node.op == OpType::kInput) continue;  // already an input
+      std::vector<NodeId> mapped_inputs;
+      mapped_inputs.reserve(node.inputs.size());
+      for (NodeId in : node.inputs) mapped_inputs.push_back(remap.at(in));
+      for (const std::string& w : node.weights) {
+        if (!sub.FindInitializer(w)) {
+          sub.AddInitializer(w, *g.FindInitializer(w));
+        }
+      }
+      remap[id] = sub.AddNode(node.name, node.op, std::move(mapped_inputs),
+                              node.weights, node.attrs);
+    }
+
+    for (NodeId out : stage_exports[si]) {
+      sub.MarkOutput(remap.at(out));
+    }
+    MVTEE_RETURN_IF_ERROR(sub.Validate());
+    pm.stages.push_back(std::move(sub));
+  }
+
+  pm.model_outputs.reserve(g.outputs().size());
+  for (NodeId out : g.outputs()) {
+    pm.model_outputs.push_back(export_slot.at(out));
+  }
+  return pm;
+}
+
+}  // namespace mvtee::partition

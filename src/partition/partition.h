@@ -1,0 +1,97 @@
+// Model partitioning (paper §4.1, Algorithm 1).
+//
+// Divides a model graph into subgraphs whose boundaries become MVX
+// checkpoints. Two modes mirror the implementation in §5.1:
+//  - RandomContraction: Karger-style randomized edge contraction with a
+//    customizable soft-preference weight function (default: bias toward
+//    balanced partition costs) and hard constraints (default: partition
+//    cost cap + quotient-graph acyclicity, which pipelining requires).
+//  - ManualSlice: expert-provided partition boundaries.
+//
+// BuildPartitionedModel extracts one executable stage subgraph per
+// partition plus the inter-stage wiring needed by the pipeline engine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/ir.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mvtee::partition {
+
+struct Partition {
+  std::vector<graph::NodeId> nodes;  // sorted ascending
+  double cost = 0.0;                 // estimated FLOPs
+};
+
+struct PartitionSet {
+  // Topological (pipeline) order: stage i only consumes from stages < i.
+  std::vector<Partition> partitions;
+
+  int64_t num_partitions() const {
+    return static_cast<int64_t>(partitions.size());
+  }
+  // Balance metric: max partition cost / mean partition cost (1.0 =
+  // perfectly balanced).
+  double CostImbalance() const;
+};
+
+struct PartitionOptions {
+  int64_t target_partitions = 5;
+  uint64_t seed = 0;
+  // Soft preference: sampling weight for contracting an edge whose
+  // endpoint partitions currently have costs (cost_a, cost_b) out of
+  // `total`. Higher = more likely. Default biases toward merging small
+  // partitions (balanced result).
+  std::function<double(double cost_a, double cost_b, double total)> weight_fn;
+  // Extra hard constraint on a candidate merge (beyond built-in
+  // acyclicity): return false to forbid. Optional.
+  std::function<bool(const Partition& a, const Partition& b)> constraint_fn;
+  // Built-in hard constraint: merged partition cost must not exceed this
+  // fraction of total model cost. <= 0 disables.
+  double max_cost_fraction = 0.0;  // default: derived from target count
+  // Retries of the whole contraction before giving up (each with a
+  // different derived seed).
+  int max_attempts = 8;
+};
+
+// Algorithm 1: random contraction until `target_partitions` remain.
+util::Result<PartitionSet> RandomContraction(const graph::Graph& graph,
+                                             const PartitionOptions& options);
+
+// Runs RandomContraction `trials` times and returns the set with the
+// best (lowest) cost imbalance — the paper's "run multiple times to
+// identify globally optimal configurations".
+util::Result<PartitionSet> BestOfRandomContraction(
+    const graph::Graph& graph, const PartitionOptions& options, int trials);
+
+// Manual mode: caller supplies the node groups. Groups must exactly
+// cover all nodes and the quotient graph must be acyclic.
+util::Result<PartitionSet> ManualSlice(
+    const graph::Graph& graph,
+    const std::vector<std::vector<graph::NodeId>>& groups);
+
+// Where a stage input comes from.
+struct StageInputSource {
+  int32_t stage = -1;         // producing stage; -1 = external model input
+  int32_t index = 0;          // output index in that stage / model input idx
+};
+
+struct PartitionedModel {
+  std::vector<graph::Graph> stages;                  // pipeline order
+  std::vector<std::vector<StageInputSource>> stage_inputs;
+  // For each original model output: (stage, output index within stage).
+  std::vector<StageInputSource> model_outputs;
+  PartitionSet partition_set;
+
+  int64_t num_stages() const { return static_cast<int64_t>(stages.size()); }
+};
+
+// Extracts per-partition subgraphs and wiring. Boundary tensors keep
+// their producing node's inferred shape.
+util::Result<PartitionedModel> BuildPartitionedModel(
+    const graph::Graph& graph, const PartitionSet& set);
+
+}  // namespace mvtee::partition

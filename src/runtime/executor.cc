@@ -1,0 +1,305 @@
+#include "runtime/executor.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace mvtee::runtime {
+
+using graph::Graph;
+using graph::Node;
+using graph::NodeId;
+using graph::OpType;
+using tensor::Tensor;
+
+ExecutorConfig ReferenceExecutorConfig() {
+  ExecutorConfig cfg;
+  cfg.name = "reference";
+  cfg.conv_algo = ConvAlgo::kDirect;
+  cfg.gemm = GemmBackend::kNaive;
+  return cfg;
+}
+
+ExecutorConfig OrtLikeExecutorConfig() {
+  ExecutorConfig cfg;
+  cfg.name = "ort";
+  cfg.conv_algo = ConvAlgo::kIm2col;
+  cfg.gemm = GemmBackend::kBlocked;
+  cfg.fold_batch_norm = true;
+  cfg.inplace_activations = true;
+  return cfg;
+}
+
+ExecutorConfig TvmLikeExecutorConfig() {
+  ExecutorConfig cfg;
+  cfg.name = "tvm";
+  cfg.conv_algo = ConvAlgo::kIm2col;
+  cfg.gemm = GemmBackend::kTransposed;
+  cfg.fold_batch_norm = true;
+  cfg.inplace_activations = true;
+  return cfg;
+}
+
+ExecutorConfig HardenedExecutorConfig() {
+  ExecutorConfig cfg;
+  cfg.name = "hardened";
+  cfg.conv_algo = ConvAlgo::kIm2col;
+  // Deliberately its own GEMM backend: presets must not share a
+  // "library", or one library bug impacts several panel members at once.
+  cfg.gemm = GemmBackend::kNaive;
+  cfg.bounds_checked = true;
+  cfg.slowdown_factor = 1.3;
+  return cfg;
+}
+
+size_t FoldBatchNormPass(graph::Graph& g) {
+  return FoldBatchNormPass(g, [](NodeId) { return true; });
+}
+
+size_t FoldBatchNormPass(graph::Graph& g,
+                         const std::function<bool(NodeId)>& filter) {
+  auto consumers = g.BuildConsumers();
+  size_t folds = 0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    Node& bn = g.node(id);
+    if (bn.op != OpType::kBatchNorm) continue;
+    if (!filter(id)) continue;
+    NodeId conv_id = bn.inputs[0];
+    Node& conv = g.node(conv_id);
+    if (conv.op != OpType::kConv2d) continue;
+    if (consumers[static_cast<size_t>(conv_id)].size() != 1) continue;
+
+    const Tensor* scale = g.FindInitializer(bn.weights[0]);
+    const Tensor* bias = g.FindInitializer(bn.weights[1]);
+    const Tensor* mean = g.FindInitializer(bn.weights[2]);
+    const Tensor* var = g.FindInitializer(bn.weights[3]);
+    const float eps = bn.attrs.GetFloat("epsilon", 1e-5f);
+    Tensor* w = g.MutableInitializer(conv.weights[0]);
+    const int64_t oc = w->shape().dim(0);
+    const int64_t per_oc = w->num_elements() / oc;
+    MVTEE_CHECK(scale->num_elements() == oc);
+
+    // Conv bias: create if absent.
+    std::string bias_name;
+    if (conv.weights.size() >= 2) {
+      bias_name = conv.weights[1];
+    } else {
+      bias_name = conv.name + ".folded_bias";
+      g.AddInitializer(bias_name, Tensor(tensor::Shape({oc})));
+      conv.weights.push_back(bias_name);
+    }
+    Tensor* b = g.MutableInitializer(bias_name);
+
+    for (int64_t c = 0; c < oc; ++c) {
+      const float a = scale->at(c) / std::sqrt(var->at(c) + eps);
+      const float shift = bias->at(c) - mean->at(c) * a;
+      float* w_slice = w->data() + c * per_oc;
+      for (int64_t i = 0; i < per_oc; ++i) w_slice[i] *= a;
+      b->at(c) = b->at(c) * a + shift;
+    }
+    bn.op = OpType::kIdentity;
+    bn.weights.clear();
+    ++folds;
+  }
+  if (folds > 0) g.DropUnusedInitializers();
+  return folds;
+}
+
+Executor::Executor(Graph graph, ExecutorConfig config)
+    : graph_(std::move(graph)), config_(std::move(config)) {
+  const size_t n = static_cast<size_t>(graph_.num_nodes());
+  last_use_.assign(n, graph::kInvalidNode);
+  for (const Node& node : graph_.nodes()) {
+    for (NodeId in : node.inputs) {
+      last_use_[static_cast<size_t>(in)] = node.id;
+    }
+  }
+  is_output_.assign(n, false);
+  for (NodeId out : graph_.outputs()) is_output_[static_cast<size_t>(out)] = true;
+}
+
+util::Result<std::unique_ptr<Executor>> Executor::Create(
+    const Graph& graph, ExecutorConfig config) {
+  MVTEE_RETURN_IF_ERROR(graph.Validate());
+  {
+    auto shapes = graph.InferShapes();
+    if (!shapes.ok()) return shapes.status();
+  }
+  Graph private_copy = graph;  // value copy; passes mutate it
+  if (config.fold_batch_norm) FoldBatchNormPass(private_copy);
+  return std::unique_ptr<Executor>(
+      new Executor(std::move(private_copy), std::move(config)));
+}
+
+util::Result<Tensor> Executor::ExecuteNode(
+    const Node& node, std::vector<std::optional<Tensor>>& env) {
+  auto in = [&](size_t i) -> const Tensor& {
+    return *env[static_cast<size_t>(node.inputs[i])];
+  };
+  auto weight = [&](size_t i) -> const Tensor* {
+    return graph_.FindInitializer(node.weights[i]);
+  };
+
+  switch (node.op) {
+    case OpType::kInput:
+      return util::Internal("input node executed");
+    case OpType::kConv2d: {
+      ConvParams params;
+      params.stride = node.attrs.GetInt("stride", 1);
+      params.padding = node.attrs.GetInt("padding", 0);
+      params.groups = node.attrs.GetInt("groups", 1);
+      const Tensor* bias = node.weights.size() >= 2 ? weight(1) : nullptr;
+      if (config_.bounds_checked) {
+        // Hardened path: validate operand extents before the kernel runs
+        // (aborts on contract violation instead of corrupting memory),
+        // and touch every element — modeling sanitizer instrumentation.
+        const Tensor& x = in(0);
+        const Tensor* w = weight(0);
+        MVTEE_CHECK(static_cast<int64_t>(x.vec().size()) ==
+                    x.shape().num_elements());
+        MVTEE_CHECK(static_cast<int64_t>(w->vec().size()) ==
+                    w->shape().num_elements());
+        float guard = 0.0f;
+        for (int64_t i = 0; i < x.num_elements(); ++i) {
+          guard = guard + x.data()[i] * 0.0f;
+        }
+        static volatile float g_guard_sink [[maybe_unused]];
+  g_guard_sink = guard;
+      }
+      return Conv2d(in(0), *weight(0), bias, params, config_.conv_algo,
+                    config_.gemm);
+    }
+    case OpType::kGemm: {
+      const Tensor* bias = node.weights.size() >= 2 ? weight(1) : nullptr;
+      return FullyConnected(in(0), *weight(0), bias, config_.gemm);
+    }
+    case OpType::kRelu: return Relu(in(0));
+    case OpType::kRelu6: return Relu6(in(0));
+    case OpType::kSigmoid: return Sigmoid(in(0));
+    case OpType::kHardSwish: return HardSwish(in(0));
+    case OpType::kTanh: return Tanh(in(0));
+    case OpType::kMaxPool:
+      return MaxPool(in(0), node.attrs.GetInt("kernel", 2),
+                     node.attrs.GetInt("stride", 2),
+                     node.attrs.GetInt("padding", 0));
+    case OpType::kAvgPool:
+      return AvgPool(in(0), node.attrs.GetInt("kernel", 2),
+                     node.attrs.GetInt("stride", 2),
+                     node.attrs.GetInt("padding", 0));
+    case OpType::kGlobalAvgPool: return GlobalAvgPool(in(0));
+    case OpType::kBatchNorm:
+      return BatchNorm(in(0), *weight(0), *weight(1), *weight(2), *weight(3),
+                       node.attrs.GetFloat("epsilon", 1e-5f));
+    case OpType::kAdd: return Add(in(0), in(1));
+    case OpType::kMul: return Mul(in(0), in(1));
+    case OpType::kConcat: {
+      std::vector<const Tensor*> xs;
+      xs.reserve(node.inputs.size());
+      for (size_t i = 0; i < node.inputs.size(); ++i) xs.push_back(&in(i));
+      return Concat(xs);
+    }
+    case OpType::kFlatten: return Flatten(in(0));
+    case OpType::kSoftmax: return Softmax(in(0));
+    case OpType::kIdentity: return Tensor(in(0));
+    case OpType::kScale:
+      return Scale(in(0), node.attrs.GetFloat("alpha", 1.0f),
+                   node.attrs.GetFloat("beta", 0.0f));
+    case OpType::kReshape:
+      return Tensor(tensor::Shape(node.attrs.GetInts("dims")),
+                    in(0).vec());
+  }
+  return util::Internal("unknown op");
+}
+
+util::Result<std::vector<Tensor>> Executor::Run(
+    const std::vector<Tensor>& inputs) {
+  const auto start = std::chrono::steady_clock::now();
+
+  if (inputs.size() != graph_.inputs().size()) {
+    return util::InvalidArgument("expected " +
+                                 std::to_string(graph_.inputs().size()) +
+                                 " inputs, got " +
+                                 std::to_string(inputs.size()));
+  }
+  std::vector<std::optional<Tensor>> env(
+      static_cast<size_t>(graph_.num_nodes()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    NodeId id = graph_.inputs()[i];
+    if (inputs[i].shape() != graph_.input_shape(id)) {
+      return util::InvalidArgument(
+          "input shape mismatch: got " + inputs[i].shape().ToString() +
+          " want " + graph_.input_shape(id).ToString());
+    }
+    env[static_cast<size_t>(id)] = inputs[i];
+  }
+
+  for (const Node& node : graph_.nodes()) {
+    if (node.op == OpType::kInput) continue;
+    if (fault_hook_) {
+      MVTEE_RETURN_IF_ERROR(fault_hook_->OnNodeStart(node));
+    }
+
+    // In-place / move fast path for unary ops whose input dies here.
+    const bool input_dies =
+        node.inputs.size() == 1 &&
+        last_use_[static_cast<size_t>(node.inputs[0])] == node.id &&
+        !is_output_[static_cast<size_t>(node.inputs[0])];
+    if (config_.inplace_activations && input_dies &&
+        (node.op == OpType::kRelu || node.op == OpType::kRelu6 ||
+         node.op == OpType::kHardSwish || node.op == OpType::kIdentity)) {
+      Tensor t = std::move(*env[static_cast<size_t>(node.inputs[0])]);
+      env[static_cast<size_t>(node.inputs[0])].reset();
+      float* d = t.data();
+      switch (node.op) {
+        case OpType::kRelu:
+          for (int64_t i = 0; i < t.num_elements(); ++i) {
+            d[i] = d[i] > 0 ? d[i] : 0.0f;
+          }
+          break;
+        case OpType::kRelu6:
+          for (int64_t i = 0; i < t.num_elements(); ++i) {
+            d[i] = std::min(6.0f, std::max(0.0f, d[i]));
+          }
+          break;
+        case OpType::kHardSwish:
+          for (int64_t i = 0; i < t.num_elements(); ++i) {
+            d[i] = d[i] * std::min(6.0f, std::max(0.0f, d[i] + 3.0f)) / 6.0f;
+          }
+          break;
+        default:
+          break;
+      }
+      if (fault_hook_) fault_hook_->OnNodeComplete(node, t);
+      env[static_cast<size_t>(node.id)] = std::move(t);
+    } else {
+      MVTEE_ASSIGN_OR_RETURN(Tensor out, ExecuteNode(node, env));
+      if (fault_hook_) fault_hook_->OnNodeComplete(node, out);
+      env[static_cast<size_t>(node.id)] = std::move(out);
+    }
+
+    // Reclaim buffers whose last consumer was this node.
+    for (NodeId in : node.inputs) {
+      if (last_use_[static_cast<size_t>(in)] == node.id &&
+          !is_output_[static_cast<size_t>(in)]) {
+        env[static_cast<size_t>(in)].reset();
+      }
+    }
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph_.outputs().size());
+  for (NodeId out : graph_.outputs()) {
+    if (!env[static_cast<size_t>(out)].has_value()) {
+      return util::Internal("output not computed");
+    }
+    outputs.push_back(*env[static_cast<size_t>(out)]);
+  }
+
+  if (config_.slowdown_factor > 1.0) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    std::this_thread::sleep_for(elapsed * (config_.slowdown_factor - 1.0));
+  }
+  return outputs;
+}
+
+}  // namespace mvtee::runtime

@@ -1,0 +1,109 @@
+// Inference executors over graph::Graph.
+//
+// One Executor ≈ one "inference instance" in the paper's terms: the
+// combination of runtime lowering (BN folding, in-place activations),
+// conv algorithm, GEMM backend, and hardening flags defines the
+// instance-level diversity of a variant. Three presets mirror the
+// paper's runtimes: "reference" (un-optimized interpreter), "ort"
+// (ONNX-Runtime-like optimized CPU EP) and "tvm" (compiler-style tiled
+// lowering).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/ir.h"
+#include "runtime/kernels.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mvtee::runtime {
+
+struct ExecutorConfig {
+  std::string name = "reference";
+  ConvAlgo conv_algo = ConvAlgo::kDirect;
+  GemmBackend gemm = GemmBackend::kNaive;
+  bool fold_batch_norm = false;    // graph-level optimization pass
+  bool inplace_activations = false;
+  bool bounds_checked = false;     // sanitizer-style hardened kernels
+  // Simulated cost multiplier for heavy diversification (e.g. a variant
+  // compiled with expensive instrumentation). 1.0 = none.
+  double slowdown_factor = 1.0;
+};
+
+// Well-known presets (instance-level diversification axes).
+ExecutorConfig ReferenceExecutorConfig();
+ExecutorConfig OrtLikeExecutorConfig();      // optimized: fold + fuse + blocked
+ExecutorConfig TvmLikeExecutorConfig();      // tiled/compiled: transposed GEMM
+ExecutorConfig HardenedExecutorConfig();     // bounds-checked, slower
+
+// Fault hook: the seam where the fault-injection substrate attaches.
+// Production variants run with no hook installed.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  // Called when the hook is attached; lets backend-targeted faults (a
+  // bug in one BLAS library, a sanitizer that traps) see which code
+  // paths this variant actually runs.
+  virtual void OnAttach(const ExecutorConfig& config) { (void)config; }
+  // Before node execution; a non-OK status models a crash / trapped
+  // exploit inside this variant (DoS-style CVE classes).
+  virtual util::Status OnNodeStart(const graph::Node& node) {
+    (void)node;
+    return util::OkStatus();
+  }
+  // After node execution; the hook may silently corrupt the output
+  // (bit-flip / data-corruption fault classes).
+  virtual void OnNodeComplete(const graph::Node& node, tensor::Tensor& out) {
+    (void)node;
+    (void)out;
+  }
+};
+
+class Executor {
+ public:
+  // Validates and shape-infers the graph; applies config-driven passes
+  // (BN folding) to a private copy.
+  static util::Result<std::unique_ptr<Executor>> Create(
+      const graph::Graph& graph, ExecutorConfig config);
+
+  // Runs one inference. `inputs` are bound to graph inputs in order;
+  // returns tensors for the graph outputs in order.
+  util::Result<std::vector<tensor::Tensor>> Run(
+      const std::vector<tensor::Tensor>& inputs);
+
+  void SetFaultHook(std::shared_ptr<FaultHook> hook) {
+    fault_hook_ = std::move(hook);
+    if (fault_hook_) fault_hook_->OnAttach(config_);
+  }
+
+  const ExecutorConfig& config() const { return config_; }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  Executor(graph::Graph graph, ExecutorConfig config);
+
+  util::Result<tensor::Tensor> ExecuteNode(
+      const graph::Node& node, std::vector<std::optional<tensor::Tensor>>& env);
+
+  graph::Graph graph_;
+  ExecutorConfig config_;
+  std::shared_ptr<FaultHook> fault_hook_;
+  // Per-node index of its last consumer in topological order (for buffer
+  // reclamation).
+  std::vector<graph::NodeId> last_use_;
+  std::vector<bool> is_output_;
+};
+
+// Folds inference-mode BatchNorm into a directly preceding Conv2d when
+// the conv's only consumer is the BN (the BN node becomes Identity).
+// Returns the number of folds applied. Exposed for the variant
+// generator's "selective optimization" diversification. The filtered
+// overload folds only BN nodes for which `filter(bn_id)` is true.
+size_t FoldBatchNormPass(graph::Graph& graph);
+size_t FoldBatchNormPass(graph::Graph& graph,
+                         const std::function<bool(graph::NodeId)>& filter);
+
+}  // namespace mvtee::runtime

@@ -1,0 +1,119 @@
+#include "runtime/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mvtee::runtime {
+
+std::string_view GemmBackendName(GemmBackend backend) {
+  switch (backend) {
+    case GemmBackend::kNaive: return "naive";
+    case GemmBackend::kBlocked: return "blocked";
+    case GemmBackend::kTransposed: return "transposed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void GemmNaive(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
+                 int64_t n, int64_t k) {
+  constexpr int64_t kTile = 64;
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
+    const int64_t i_end = std::min(i0 + kTile, m);
+    for (int64_t p0 = 0; p0 < k; p0 += kTile) {
+      const int64_t p_end = std::min(p0 + kTile, k);
+      for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+        const int64_t j_end = std::min(j0 + kTile, n);
+        for (int64_t i = i0; i < i_end; ++i) {
+          for (int64_t p = p0; p < p_end; ++p) {
+            const float a_ip = a[i * k + p];
+            const float* b_row = b + p * n;
+            float* c_row = c + i * n;
+            for (int64_t j = j0; j < j_end; ++j) {
+              c_row[j] += a_ip * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
+                    int64_t n, int64_t k) {
+  std::vector<float> bt(static_cast<size_t>(n * k));
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      bt[j * k + p] = b[p * n + j];
+    }
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_col = bt.data() + j * k;
+      // Four-way partial sums: a distinct accumulation order from the
+      // other backends (and measurably faster than strict sequential).
+      float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        s0 += a_row[p] * b_col[p];
+        s1 += a_row[p + 1] * b_col[p + 1];
+        s2 += a_row[p + 2] * b_col[p + 2];
+        s3 += a_row[p + 3] * b_col[p + 3];
+      }
+      float acc = (s0 + s1) + (s2 + s3);
+      for (; p < k; ++p) acc += a_row[p] * b_col[p];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
+          int64_t m, int64_t n, int64_t k) {
+  switch (backend) {
+    case GemmBackend::kNaive: GemmNaive(a, b, c, m, n, k); return;
+    case GemmBackend::kBlocked: GemmBlocked(a, b, c, m, n, k); return;
+    case GemmBackend::kTransposed: GemmTransposed(a, b, c, m, n, k); return;
+  }
+  MVTEE_CHECK(false);
+}
+
+void GemmChecked(GemmBackend backend, const float* a, size_t a_size,
+                 const float* b, size_t b_size, float* c, size_t c_size,
+                 int64_t m, int64_t n, int64_t k) {
+  MVTEE_CHECK(m >= 0 && n >= 0 && k >= 0);
+  MVTEE_CHECK(a_size >= static_cast<size_t>(m * k));
+  MVTEE_CHECK(b_size >= static_cast<size_t>(k * n));
+  MVTEE_CHECK(c_size >= static_cast<size_t>(m * n));
+  // With extents proven, reuse the unchecked kernels; the checked entry
+  // point also pays a deliberate per-element validation pass to model
+  // sanitizer-instrumented builds.
+  float guard = 0.0f;
+  for (size_t i = 0; i < static_cast<size_t>(m * k); ++i) guard = guard + a[i] * 0.0f;
+  for (size_t i = 0; i < static_cast<size_t>(k * n); ++i) guard = guard + b[i] * 0.0f;
+  static volatile float g_guard_sink [[maybe_unused]];
+  g_guard_sink = guard;
+  Gemm(backend, a, b, c, m, n, k);
+}
+
+}  // namespace mvtee::runtime

@@ -1,0 +1,37 @@
+// GEMM backends: C[M,N] = A[M,K] x B[K,N].
+//
+// The paper's instance-level diversity comes from different acceleration
+// libraries (OpenBLAS vs Eigen vs MKL) under different runtimes. Here the
+// same role is played by three genuinely distinct GEMM implementations
+// with different loop orders, memory access patterns and floating-point
+// accumulation orders — so diversified variants produce *bitwise
+// different but numerically close* results, exactly the situation
+// MVTEE's threshold-based checkpoint checks are designed for.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mvtee::runtime {
+
+enum class GemmBackend : uint8_t {
+  kNaive = 0,      // textbook i-j-k ("reference BLAS")
+  kBlocked,        // cache-tiled i-k-j ("OpenBLAS-like")
+  kTransposed,     // B transposed then row-dot ("Eigen-like")
+};
+
+std::string_view GemmBackendName(GemmBackend backend);
+
+// Plain GEMM. C is fully overwritten.
+void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
+          int64_t m, int64_t n, int64_t k);
+
+// Bounds-checked GEMM used by hardened ("sanitizer") variants: every
+// access is validated against the declared extents; out-of-contract
+// calls abort instead of corrupting memory. a_size/b_size/c_size are the
+// element counts of the underlying buffers.
+void GemmChecked(GemmBackend backend, const float* a, size_t a_size,
+                 const float* b, size_t b_size, float* c, size_t c_size,
+                 int64_t m, int64_t n, int64_t k);
+
+}  // namespace mvtee::runtime

@@ -1,0 +1,375 @@
+#include "runtime/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mvtee::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string_view ConvAlgoName(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kDirect: return "direct";
+    case ConvAlgo::kIm2col: return "im2col";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int64_t OutDim(int64_t in, int64_t k, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+void ConvDirect(const Tensor& input, const Tensor& weight, const float* bias,
+                const ConvParams& p, Tensor& out) {
+  const int64_t N = input.shape().dim(0), C = input.shape().dim(1),
+                H = input.shape().dim(2), W = input.shape().dim(3);
+  const int64_t OC = weight.shape().dim(0), CG = weight.shape().dim(1),
+                KH = weight.shape().dim(2), KW = weight.shape().dim(3);
+  const int64_t OH = out.shape().dim(2), OW = out.shape().dim(3);
+  const int64_t oc_per_group = OC / p.groups;
+
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t oc = 0; oc < OC; ++oc) {
+      const int64_t g = oc / oc_per_group;
+      const float b = bias ? bias[oc] : 0.0f;
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow) {
+          float acc = b;
+          for (int64_t cg = 0; cg < CG; ++cg) {
+            const int64_t c = g * CG + cg;
+            for (int64_t kh = 0; kh < KH; ++kh) {
+              const int64_t ih = oh * p.stride + kh - p.padding;
+              if (ih < 0 || ih >= H) continue;
+              for (int64_t kw = 0; kw < KW; ++kw) {
+                const int64_t iw = ow * p.stride + kw - p.padding;
+                if (iw < 0 || iw >= W) continue;
+                acc += input.data()[((n * C + c) * H + ih) * W + iw] *
+                       weight.data()[((oc * CG + cg) * KH + kh) * KW + kw];
+              }
+            }
+          }
+          out.data()[((n * OC + oc) * OH + oh) * OW + ow] = acc;
+        }
+      }
+    }
+  }
+}
+
+void ConvIm2col(const Tensor& input, const Tensor& weight, const float* bias,
+                const ConvParams& p, GemmBackend gemm, Tensor& out) {
+  const int64_t N = input.shape().dim(0), C = input.shape().dim(1),
+                H = input.shape().dim(2), W = input.shape().dim(3);
+  const int64_t OC = weight.shape().dim(0), CG = weight.shape().dim(1),
+                KH = weight.shape().dim(2), KW = weight.shape().dim(3);
+  const int64_t OH = out.shape().dim(2), OW = out.shape().dim(3);
+  const int64_t oc_per_group = OC / p.groups;
+  const int64_t patch = CG * KH * KW;
+  const int64_t cols = OH * OW;
+
+  std::vector<float> col(static_cast<size_t>(patch * cols));
+  std::vector<float> result(static_cast<size_t>(oc_per_group * cols));
+
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t g = 0; g < p.groups; ++g) {
+      // im2col for this (batch, group).
+      for (int64_t cg = 0; cg < CG; ++cg) {
+        const int64_t c = g * CG + cg;
+        const float* in_plane = input.data() + (n * C + c) * H * W;
+        for (int64_t kh = 0; kh < KH; ++kh) {
+          for (int64_t kw = 0; kw < KW; ++kw) {
+            float* col_row =
+                col.data() + ((cg * KH + kh) * KW + kw) * cols;
+            for (int64_t oh = 0; oh < OH; ++oh) {
+              const int64_t ih = oh * p.stride + kh - p.padding;
+              if (ih < 0 || ih >= H) {
+                std::fill(col_row + oh * OW, col_row + (oh + 1) * OW, 0.0f);
+                continue;
+              }
+              for (int64_t ow = 0; ow < OW; ++ow) {
+                const int64_t iw = ow * p.stride + kw - p.padding;
+                col_row[oh * OW + ow] =
+                    (iw < 0 || iw >= W) ? 0.0f : in_plane[ih * W + iw];
+              }
+            }
+          }
+        }
+      }
+      // GEMM: weight[g] (oc_per_group x patch) * col (patch x cols).
+      const float* w_group = weight.data() + g * oc_per_group * patch;
+      Gemm(gemm, w_group, col.data(), result.data(), oc_per_group, cols,
+           patch);
+      // Scatter into output with bias.
+      for (int64_t ocg = 0; ocg < oc_per_group; ++ocg) {
+        const int64_t oc = g * oc_per_group + ocg;
+        const float b = bias ? bias[oc] : 0.0f;
+        float* out_plane = out.data() + (n * OC + oc) * OH * OW;
+        const float* res_row = result.data() + ocg * cols;
+        for (int64_t i = 0; i < cols; ++i) out_plane[i] = res_row[i] + b;
+      }
+    }
+  }
+}
+
+template <typename F>
+Tensor ElementwiseUnary(const Tensor& x, F f) {
+  Tensor out(x.shape());
+  const float* in = x.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < x.num_elements(); ++i) o[i] = f(in[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
+              const ConvParams& params, ConvAlgo algo, GemmBackend gemm) {
+  MVTEE_CHECK(input.shape().rank() == 4 && weight.shape().rank() == 4);
+  MVTEE_CHECK(input.shape().dim(1) ==
+              weight.shape().dim(1) * params.groups);
+  const int64_t OH = OutDim(input.shape().dim(2), weight.shape().dim(2),
+                            params.stride, params.padding);
+  const int64_t OW = OutDim(input.shape().dim(3), weight.shape().dim(3),
+                            params.stride, params.padding);
+  MVTEE_CHECK(OH > 0 && OW > 0);
+  Tensor out(
+      Shape({input.shape().dim(0), weight.shape().dim(0), OH, OW}));
+  const float* b = bias ? bias->data() : nullptr;
+  if (algo == ConvAlgo::kDirect) {
+    ConvDirect(input, weight, b, params, out);
+  } else {
+    ConvIm2col(input, weight, b, params, gemm, out);
+  }
+  return out;
+}
+
+Tensor FullyConnected(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, GemmBackend gemm) {
+  MVTEE_CHECK(input.shape().rank() == 2 && weight.shape().rank() == 2);
+  const int64_t N = input.shape().dim(0), IN = input.shape().dim(1),
+                OUT = weight.shape().dim(0);
+  MVTEE_CHECK(weight.shape().dim(1) == IN);
+  // Transpose W to [IN, OUT] then GEMM x[N,IN] * wt[IN,OUT].
+  std::vector<float> wt(static_cast<size_t>(IN * OUT));
+  for (int64_t o = 0; o < OUT; ++o) {
+    for (int64_t i = 0; i < IN; ++i) {
+      wt[i * OUT + o] = weight.data()[o * IN + i];
+    }
+  }
+  Tensor out(Shape({N, OUT}));
+  Gemm(gemm, input.data(), wt.data(), out.data(), N, OUT, IN);
+  if (bias) {
+    for (int64_t n = 0; n < N; ++n) {
+      for (int64_t o = 0; o < OUT; ++o) out.data()[n * OUT + o] += bias->at(o);
+    }
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return v > 0 ? v : 0.0f; });
+}
+
+Tensor Relu6(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::min(6.0f, std::max(0.0f, v)); });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor HardSwish(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) {
+    return v * std::min(6.0f, std::max(0.0f, v + 3.0f)) / 6.0f;
+  });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return std::tanh(v); });
+}
+
+namespace {
+template <bool kMax>
+Tensor Pool(const Tensor& x, int64_t kernel, int64_t stride, int64_t padding) {
+  MVTEE_CHECK(x.shape().rank() == 4);
+  const int64_t N = x.shape().dim(0), C = x.shape().dim(1),
+                H = x.shape().dim(2), W = x.shape().dim(3);
+  const int64_t OH = OutDim(H, kernel, stride, padding);
+  const int64_t OW = OutDim(W, kernel, stride, padding);
+  MVTEE_CHECK(OH > 0 && OW > 0);
+  Tensor out(Shape({N, C, OH, OW}));
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* in_plane = x.data() + (n * C + c) * H * W;
+      float* out_plane = out.data() + (n * C + c) * OH * OW;
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow) {
+          float acc = kMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+          for (int64_t kh = 0; kh < kernel; ++kh) {
+            const int64_t ih = oh * stride + kh - padding;
+            if (ih < 0 || ih >= H) continue;
+            for (int64_t kw = 0; kw < kernel; ++kw) {
+              const int64_t iw = ow * stride + kw - padding;
+              if (iw < 0 || iw >= W) continue;
+              const float v = in_plane[ih * W + iw];
+              if constexpr (kMax) {
+                acc = std::max(acc, v);
+              } else {
+                acc += v;
+              }
+            }
+          }
+          if constexpr (!kMax) {
+            acc /= static_cast<float>(kernel * kernel);
+          }
+          out_plane[oh * OW + ow] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Tensor MaxPool(const Tensor& x, int64_t kernel, int64_t stride,
+               int64_t padding) {
+  return Pool<true>(x, kernel, stride, padding);
+}
+
+Tensor AvgPool(const Tensor& x, int64_t kernel, int64_t stride,
+               int64_t padding) {
+  return Pool<false>(x, kernel, stride, padding);
+}
+
+Tensor GlobalAvgPool(const Tensor& x) {
+  MVTEE_CHECK(x.shape().rank() == 4);
+  const int64_t N = x.shape().dim(0), C = x.shape().dim(1),
+                HW = x.shape().dim(2) * x.shape().dim(3);
+  Tensor out(Shape({N, C, 1, 1}));
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* plane = x.data() + (n * C + c) * HW;
+      double acc = 0;
+      for (int64_t i = 0; i < HW; ++i) acc += plane[i];
+      out.data()[n * C + c] = static_cast<float>(acc / HW);
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm(const Tensor& x, const Tensor& scale, const Tensor& bias,
+                 const Tensor& mean, const Tensor& var, float epsilon) {
+  MVTEE_CHECK(x.shape().rank() == 4);
+  const int64_t N = x.shape().dim(0), C = x.shape().dim(1),
+                HW = x.shape().dim(2) * x.shape().dim(3);
+  MVTEE_CHECK(scale.num_elements() == C);
+  Tensor out(x.shape());
+  for (int64_t c = 0; c < C; ++c) {
+    const float inv_std = 1.0f / std::sqrt(var.at(c) + epsilon);
+    const float a = scale.at(c) * inv_std;
+    const float b = bias.at(c) - mean.at(c) * a;
+    for (int64_t n = 0; n < N; ++n) {
+      const float* in_plane = x.data() + (n * C + c) * HW;
+      float* out_plane = out.data() + (n * C + c) * HW;
+      for (int64_t i = 0; i < HW; ++i) out_plane[i] = in_plane[i] * a + b;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  MVTEE_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    out.data()[i] = a.at(i) + b.at(i);
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    for (int64_t i = 0; i < a.num_elements(); ++i) {
+      out.data()[i] = a.at(i) * b.at(i);
+    }
+    return out;
+  }
+  // Channel broadcast: b is [N,C,1,1].
+  MVTEE_CHECK(a.shape().rank() == 4 && b.shape().rank() == 4);
+  MVTEE_CHECK(b.shape().dim(2) == 1 && b.shape().dim(3) == 1);
+  MVTEE_CHECK(a.shape().dim(0) == b.shape().dim(0) &&
+              a.shape().dim(1) == b.shape().dim(1));
+  const int64_t N = a.shape().dim(0), C = a.shape().dim(1),
+                HW = a.shape().dim(2) * a.shape().dim(3);
+  Tensor out(a.shape());
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float s = b.data()[n * C + c];
+      const float* in_plane = a.data() + (n * C + c) * HW;
+      float* out_plane = out.data() + (n * C + c) * HW;
+      for (int64_t i = 0; i < HW; ++i) out_plane[i] = in_plane[i] * s;
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<const Tensor*>& xs) {
+  MVTEE_CHECK(xs.size() >= 2);
+  const Shape& first = xs[0]->shape();
+  MVTEE_CHECK(first.rank() == 4);
+  int64_t channels = 0;
+  for (const Tensor* t : xs) channels += t->shape().dim(1);
+  const int64_t N = first.dim(0), H = first.dim(2), W = first.dim(3);
+  Tensor out(Shape({N, channels, H, W}));
+  const int64_t hw = H * W;
+  for (int64_t n = 0; n < N; ++n) {
+    int64_t c_off = 0;
+    for (const Tensor* t : xs) {
+      const int64_t tc = t->shape().dim(1);
+      MVTEE_CHECK(t->shape().dim(0) == N && t->shape().dim(2) == H &&
+                  t->shape().dim(3) == W);
+      std::copy(t->data() + n * tc * hw, t->data() + (n + 1) * tc * hw,
+                out.data() + (n * channels + c_off) * hw);
+      c_off += tc;
+    }
+  }
+  return out;
+}
+
+Tensor Flatten(const Tensor& x) {
+  MVTEE_CHECK(x.shape().rank() >= 2);
+  int64_t rest = 1;
+  for (int64_t i = 1; i < x.shape().rank(); ++i) rest *= x.shape().dim(i);
+  return Tensor(Shape({x.shape().dim(0), rest}), x.vec());
+}
+
+Tensor Softmax(const Tensor& x) {
+  MVTEE_CHECK(x.shape().rank() == 2);
+  const int64_t N = x.shape().dim(0), D = x.shape().dim(1);
+  Tensor out(x.shape());
+  for (int64_t n = 0; n < N; ++n) {
+    const float* row = x.data() + n * D;
+    float* out_row = out.data() + n * D;
+    float max_v = row[0];
+    for (int64_t i = 1; i < D; ++i) max_v = std::max(max_v, row[i]);
+    double sum = 0;
+    for (int64_t i = 0; i < D; ++i) {
+      out_row[i] = std::exp(row[i] - max_v);
+      sum += out_row[i];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t i = 0; i < D; ++i) out_row[i] *= inv;
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& x, float alpha, float beta) {
+  return ElementwiseUnary(x, [=](float v) { return v * alpha + beta; });
+}
+
+}  // namespace mvtee::runtime

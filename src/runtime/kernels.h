@@ -1,0 +1,60 @@
+// Operator kernels. Each kernel is a pure function Tensor(s) -> Tensor.
+//
+// Conv offers two algorithms (direct loops vs im2col+GEMM) — another
+// diversification axis mirroring different inference-runtime lowerings.
+#pragma once
+
+#include "graph/ir.h"
+#include "runtime/gemm.h"
+#include "tensor/tensor.h"
+
+namespace mvtee::runtime {
+
+enum class ConvAlgo : uint8_t {
+  kDirect = 0,   // straightforward 7-deep loop nest
+  kIm2col,       // lower to GEMM via column matrix
+};
+
+std::string_view ConvAlgoName(ConvAlgo algo);
+
+struct ConvParams {
+  int64_t stride = 1;
+  int64_t padding = 0;
+  int64_t groups = 1;
+};
+
+tensor::Tensor Conv2d(const tensor::Tensor& input, const tensor::Tensor& weight,
+                      const tensor::Tensor* bias, const ConvParams& params,
+                      ConvAlgo algo, GemmBackend gemm);
+
+// y = x W^T + b, x:[N,IN], w:[OUT,IN].
+tensor::Tensor FullyConnected(const tensor::Tensor& input,
+                              const tensor::Tensor& weight,
+                              const tensor::Tensor* bias, GemmBackend gemm);
+
+tensor::Tensor Relu(const tensor::Tensor& x);
+tensor::Tensor Relu6(const tensor::Tensor& x);
+tensor::Tensor Sigmoid(const tensor::Tensor& x);
+tensor::Tensor HardSwish(const tensor::Tensor& x);
+tensor::Tensor Tanh(const tensor::Tensor& x);
+
+tensor::Tensor MaxPool(const tensor::Tensor& x, int64_t kernel, int64_t stride,
+                       int64_t padding);
+tensor::Tensor AvgPool(const tensor::Tensor& x, int64_t kernel, int64_t stride,
+                       int64_t padding);
+tensor::Tensor GlobalAvgPool(const tensor::Tensor& x);
+
+tensor::Tensor BatchNorm(const tensor::Tensor& x, const tensor::Tensor& scale,
+                         const tensor::Tensor& bias,
+                         const tensor::Tensor& mean, const tensor::Tensor& var,
+                         float epsilon);
+
+tensor::Tensor Add(const tensor::Tensor& a, const tensor::Tensor& b);
+// Elementwise mul; rhs may be [N,C,1,1] against lhs [N,C,H,W].
+tensor::Tensor Mul(const tensor::Tensor& a, const tensor::Tensor& b);
+tensor::Tensor Concat(const std::vector<const tensor::Tensor*>& xs);
+tensor::Tensor Flatten(const tensor::Tensor& x);
+tensor::Tensor Softmax(const tensor::Tensor& x);
+tensor::Tensor Scale(const tensor::Tensor& x, float alpha, float beta);
+
+}  // namespace mvtee::runtime

@@ -1,0 +1,193 @@
+#include "tee/enclave.h"
+
+#include "crypto/rand.h"
+
+namespace mvtee::tee {
+
+std::string_view TeeTypeName(TeeType type) {
+  switch (type) {
+    case TeeType::kSgx1: return "sgx1";
+    case TeeType::kSgx2: return "sgx2";
+    case TeeType::kTdx: return "tdx";
+  }
+  return "unknown";
+}
+
+util::Bytes AttestationReport::SignedPortion() const {
+  util::Bytes out;
+  util::AppendU64(out, enclave_id);
+  util::AppendU8(out, static_cast<uint8_t>(tee_type));
+  util::AppendBytes(out, util::ByteSpan(measurement.data(), measurement.size()));
+  util::AppendBytes(out, util::ByteSpan(report_data.data(), report_data.size()));
+  return out;
+}
+
+util::Bytes AttestationReport::Serialize() const {
+  util::Bytes out = SignedPortion();
+  util::AppendBytes(out, util::ByteSpan(mac.data(), mac.size()));
+  return out;
+}
+
+util::Result<AttestationReport> AttestationReport::Deserialize(
+    util::ByteSpan data) {
+  util::ByteReader reader(data);
+  AttestationReport r;
+  uint8_t type;
+  util::Bytes measurement, report_data, mac;
+  if (!reader.ReadU64(r.enclave_id) || !reader.ReadU8(type) ||
+      !reader.ReadBytes(crypto::kSha256DigestSize, measurement) ||
+      !reader.ReadBytes(kReportDataSize, report_data) ||
+      !reader.ReadBytes(crypto::kSha256DigestSize, mac) || !reader.done()) {
+    return util::InvalidArgument("malformed attestation report");
+  }
+  if (type > static_cast<uint8_t>(TeeType::kTdx)) {
+    return util::InvalidArgument("bad tee type");
+  }
+  r.tee_type = static_cast<TeeType>(type);
+  std::copy(measurement.begin(), measurement.end(), r.measurement.begin());
+  std::copy(report_data.begin(), report_data.end(), r.report_data.begin());
+  std::copy(mac.begin(), mac.end(), r.mac.begin());
+  return r;
+}
+
+AttestationReport Enclave::CreateReport(
+    const std::array<uint8_t, kReportDataSize>& report_data) const {
+  AttestationReport report;
+  report.enclave_id = id_;
+  report.tee_type = tee_type_;
+  report.measurement = measurement_;
+  report.report_data = report_data;
+  report.mac = cpu_->SignReport(report);
+  return report;
+}
+
+util::Status Enclave::CheckSyscall(const std::string& name) const {
+  if (!manifest().SyscallAllowed(name)) {
+    return util::PermissionDenied("syscall '" + name +
+                                  "' blocked by manifest (stage " +
+                                  (stage_ == Stage::kInit ? "init" : "main") +
+                                  ")");
+  }
+  return util::OkStatus();
+}
+
+util::Status Enclave::VerifyTrustedFile(const std::string& path,
+                                        util::ByteSpan contents) const {
+  const Manifest& m = manifest();
+  auto it = m.trusted_files.find(path);
+  if (it == m.trusted_files.end()) {
+    return util::PermissionDenied("file '" + path + "' not in trusted set");
+  }
+  auto digest = crypto::Sha256::Hash(contents);
+  if (!util::ConstantTimeEqual(
+          util::ByteSpan(digest.data(), digest.size()),
+          util::ByteSpan(it->second.data(), it->second.size()))) {
+    return util::DataLoss("trusted file '" + path + "' hash mismatch");
+  }
+  return util::OkStatus();
+}
+
+util::Status Enclave::InstallProtectedFsKey(util::Bytes key) {
+  MVTEE_RETURN_IF_ERROR(CheckSyscall("pf_install_key"));
+  if (stage_ != Stage::kInit) {
+    return util::PermissionDenied(
+        "protected-FS key manipulation prohibited after exec()");
+  }
+  pf_key_ = std::move(key);
+  return util::OkStatus();
+}
+
+util::Status Enclave::InstallSecondStageManifest(const Manifest& manifest) {
+  MVTEE_RETURN_IF_ERROR(CheckSyscall("manifest_install_second_stage"));
+  if (!manifest_.two_stage_enabled) {
+    return util::FailedPrecondition(
+        "two-stage manifests not enabled at boot");
+  }
+  if (second_stage_locked_ || second_stage_.has_value()) {
+    return util::PermissionDenied(
+        "second-stage manifest already installed (one-time)");
+  }
+  if (stage_ != Stage::kInit) {
+    return util::PermissionDenied("install interface disabled after exec()");
+  }
+  second_stage_ = manifest;
+  second_stage_locked_ = true;
+  return util::OkStatus();
+}
+
+util::Status Enclave::Exec() {
+  MVTEE_RETURN_IF_ERROR(CheckSyscall("exec"));
+  if (stage_ != Stage::kInit) {
+    return util::FailedPrecondition("exec(): stage transition is one-way");
+  }
+  if (manifest_.two_stage_enabled && !second_stage_.has_value()) {
+    return util::FailedPrecondition(
+        "exec() before second-stage manifest installation");
+  }
+  // Reset init-stage state "as thoroughly as possible" — everything but
+  // the installed protected-FS key, which the TEE OS retains for the
+  // encrypted filesystem.
+  stage_ = Stage::kMain;
+  return util::OkStatus();
+}
+
+SimulatedCpu::SimulatedCpu(const Options& options)
+    : total_epc_(options.total_epc_pages) {
+  if (options.hardware_key_seed != 0) {
+    crypto::DeterministicRandom rng(options.hardware_key_seed);
+    hardware_key_ = rng.Generate(32);
+  } else {
+    hardware_key_ = crypto::GlobalRandom().Generate(32);
+  }
+}
+
+crypto::Sha256Digest SimulatedCpu::SignReport(
+    const AttestationReport& report) const {
+  return crypto::HmacSha256(hardware_key_, report.SignedPortion());
+}
+
+util::Result<std::unique_ptr<Enclave>> SimulatedCpu::LaunchEnclave(
+    TeeType type, util::ByteSpan code_identity, const Manifest& manifest,
+    size_t epc_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_epc_ + epc_pages > total_epc_) {
+    return util::Unavailable("EPC exhausted: " + std::to_string(used_epc_) +
+                             " + " + std::to_string(epc_pages) + " > " +
+                             std::to_string(total_epc_));
+  }
+  // SGX1 models a small integrity-protected EPC: cap per-enclave size.
+  if (type == TeeType::kSgx1 && epc_pages > (64u << 10)) {
+    return util::InvalidArgument("enclave too large for SGX1 EPC");
+  }
+  used_epc_ += epc_pages;
+
+  crypto::Sha256 hasher;
+  hasher.Update(code_identity);
+  auto mhash = manifest.Hash();
+  hasher.Update(util::ByteSpan(mhash.data(), mhash.size()));
+
+  return std::unique_ptr<Enclave>(new Enclave(
+      next_enclave_id_++, type, hasher.Finish(), manifest, epc_pages, this));
+}
+
+void SimulatedCpu::ReleaseEnclave(const Enclave& enclave) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_epc_ -= std::min(used_epc_, enclave.epc_pages());
+}
+
+util::Status SimulatedCpu::VerifyReport(const AttestationReport& report) const {
+  auto expected = SignReport(report);
+  if (!util::ConstantTimeEqual(
+          util::ByteSpan(expected.data(), expected.size()),
+          util::ByteSpan(report.mac.data(), report.mac.size()))) {
+    return util::AttestationFailure("report MAC verification failed");
+  }
+  return util::OkStatus();
+}
+
+size_t SimulatedCpu::used_epc_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_epc_;
+}
+
+}  // namespace mvtee::tee

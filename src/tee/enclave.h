@@ -1,0 +1,159 @@
+// Simulated CPU package + enclave abstraction.
+//
+// Substitution note (DESIGN.md §2): real SGX/TDX hardware is replaced by
+// a software model that reproduces the *interfaces* MVTEE builds on —
+// measured launch, hardware-keyed attestation reports, EPC accounting,
+// per-enclave manifest enforcement, the one-time second-stage manifest
+// installation, and the one-way exec() stage transition. The "hardware"
+// signing key lives in SimulatedCpu and is never exposed; report
+// verification goes through the CPU (standing in for the vendor's quote
+// verification infrastructure).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "tee/manifest.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::tee {
+
+enum class TeeType : uint8_t {
+  kSgx1 = 0,  // small integrity-protected EPC (MAC + integrity tree)
+  kSgx2,      // large EPC with dynamic memory management (EDMM)
+  kTdx,       // VM-based
+};
+
+std::string_view TeeTypeName(TeeType type);
+
+inline constexpr size_t kReportDataSize = 64;
+
+// Hardware-signed attestation report.
+struct AttestationReport {
+  uint64_t enclave_id = 0;
+  TeeType tee_type = TeeType::kSgx2;
+  crypto::Sha256Digest measurement{};   // code identity + manifest
+  std::array<uint8_t, kReportDataSize> report_data{};  // caller-bound data
+  crypto::Sha256Digest mac{};           // "hardware" signature
+
+  util::Bytes SignedPortion() const;
+  util::Bytes Serialize() const;
+  static util::Result<AttestationReport> Deserialize(util::ByteSpan data);
+};
+
+class SimulatedCpu;
+
+// One enclave = one TEE = one process = one variant (the paper's enclave
+// abstraction). Created through SimulatedCpu::LaunchEnclave.
+class Enclave {
+ public:
+  enum class Stage { kInit, kMain };
+
+  uint64_t id() const { return id_; }
+  TeeType tee_type() const { return tee_type_; }
+  Stage stage() const { return stage_; }
+  const Manifest& manifest() const {
+    return stage_ == Stage::kMain && second_stage_ ? *second_stage_
+                                                   : manifest_;
+  }
+  const crypto::Sha256Digest& measurement() const { return measurement_; }
+  size_t epc_pages() const { return epc_pages_; }
+
+  // Attestation: hardware-signed report binding `report_data` (e.g. a
+  // public key) to this enclave's measurement.
+  AttestationReport CreateReport(
+      const std::array<uint8_t, kReportDataSize>& report_data) const;
+
+  // --- TEE OS surface (manifest-enforced) ---
+
+  // Each "syscall" is checked against the active manifest.
+  util::Status CheckSyscall(const std::string& name) const;
+
+  // Integrity check of a trusted file against the active manifest.
+  util::Status VerifyTrustedFile(const std::string& path,
+                                 util::ByteSpan contents) const;
+
+  // Installs the protected-FS key (init stage only; the main stage
+  // prohibits key manipulation by design).
+  util::Status InstallProtectedFsKey(util::Bytes key);
+  const std::optional<util::Bytes>& protected_fs_key() const {
+    return pf_key_;
+  }
+
+  // One-time installation of the second-stage manifest. Fails if the
+  // boot manifest did not enable two-stage mode, if already installed,
+  // or after exec().
+  util::Status InstallSecondStageManifest(const Manifest& manifest);
+  bool second_stage_installed() const { return second_stage_.has_value(); }
+
+  // The one-way stage transition triggered by the first exec(). Resets
+  // init-stage state and enforces the second-stage manifest thereafter.
+  util::Status Exec();
+
+ private:
+  friend class SimulatedCpu;
+  Enclave(uint64_t id, TeeType type, crypto::Sha256Digest measurement,
+          Manifest manifest, size_t epc_pages, const SimulatedCpu* cpu)
+      : id_(id),
+        tee_type_(type),
+        measurement_(measurement),
+        manifest_(std::move(manifest)),
+        epc_pages_(epc_pages),
+        cpu_(cpu) {}
+
+  uint64_t id_;
+  TeeType tee_type_;
+  crypto::Sha256Digest measurement_;
+  Manifest manifest_;             // boot (first-stage) manifest
+  std::optional<Manifest> second_stage_;
+  bool second_stage_locked_ = false;
+  Stage stage_ = Stage::kInit;
+  std::optional<util::Bytes> pf_key_;
+  size_t epc_pages_;
+  const SimulatedCpu* cpu_;
+};
+
+// The platform: launches enclaves, accounts EPC, signs and verifies
+// reports with the per-platform hardware key.
+class SimulatedCpu {
+ public:
+  struct Options {
+    size_t total_epc_pages = 1 << 20;  // "128 GB EPC" testbed analog
+    uint64_t hardware_key_seed = 0;    // 0 = random key
+  };
+
+  SimulatedCpu() : SimulatedCpu(Options{}) {}
+  explicit SimulatedCpu(const Options& options);
+
+  // Measured launch: measurement = H(code_identity || H(manifest)).
+  util::Result<std::unique_ptr<Enclave>> LaunchEnclave(
+      TeeType type, util::ByteSpan code_identity, const Manifest& manifest,
+      size_t epc_pages);
+
+  // Frees the enclave's EPC (call when tearing an enclave down).
+  void ReleaseEnclave(const Enclave& enclave);
+
+  // Quote verification (vendor-infrastructure stand-in).
+  util::Status VerifyReport(const AttestationReport& report) const;
+
+  size_t used_epc_pages() const;
+  size_t total_epc_pages() const { return total_epc_; }
+
+ private:
+  friend class Enclave;
+  crypto::Sha256Digest SignReport(const AttestationReport& report) const;
+
+  util::Bytes hardware_key_;
+  size_t total_epc_;
+  mutable std::mutex mu_;
+  size_t used_epc_ = 0;
+  uint64_t next_enclave_id_ = 1;
+};
+
+}  // namespace mvtee::tee

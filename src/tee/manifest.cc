@@ -1,0 +1,107 @@
+#include "tee/manifest.h"
+
+namespace mvtee::tee {
+
+util::Bytes Manifest::Serialize() const {
+  util::Bytes out;
+  util::AppendU32(out, 0x4d564d46);  // "MVMF"
+  util::AppendLengthPrefixedStr(out, entrypoint);
+  util::AppendU32(out, static_cast<uint32_t>(trusted_files.size()));
+  for (const auto& [path, digest] : trusted_files) {
+    util::AppendLengthPrefixedStr(out, path);
+    util::AppendBytes(out, util::ByteSpan(digest.data(), digest.size()));
+  }
+  auto append_string_set = [&](const std::set<std::string>& s) {
+    util::AppendU32(out, static_cast<uint32_t>(s.size()));
+    for (const auto& item : s) util::AppendLengthPrefixedStr(out, item);
+  };
+  append_string_set(encrypted_files);
+  append_string_set(allowed_syscalls);
+  append_string_set(allowed_env);
+  util::AppendU8(out, allow_host_args ? 1 : 0);
+  util::AppendU8(out, two_stage_enabled ? 1 : 0);
+  util::AppendU8(out, exec_from_encrypted_only ? 1 : 0);
+  return out;
+}
+
+util::Result<Manifest> Manifest::Deserialize(util::ByteSpan data) {
+  util::ByteReader reader(data);
+  uint32_t magic;
+  if (!reader.ReadU32(magic) || magic != 0x4d564d46) {
+    return util::InvalidArgument("bad manifest magic");
+  }
+  Manifest m;
+  uint32_t n;
+  if (!reader.ReadLengthPrefixedStr(m.entrypoint) || !reader.ReadU32(n)) {
+    return util::InvalidArgument("truncated manifest");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string path;
+    util::Bytes digest;
+    if (!reader.ReadLengthPrefixedStr(path) ||
+        !reader.ReadBytes(crypto::kSha256DigestSize, digest)) {
+      return util::InvalidArgument("truncated trusted file");
+    }
+    crypto::Sha256Digest d;
+    std::copy(digest.begin(), digest.end(), d.begin());
+    m.trusted_files[path] = d;
+  }
+  auto read_string_set = [&](std::set<std::string>& s) {
+    uint32_t count;
+    if (!reader.ReadU32(count)) return false;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string item;
+      if (!reader.ReadLengthPrefixedStr(item)) return false;
+      s.insert(std::move(item));
+    }
+    return true;
+  };
+  if (!read_string_set(m.encrypted_files) ||
+      !read_string_set(m.allowed_syscalls) ||
+      !read_string_set(m.allowed_env)) {
+    return util::InvalidArgument("truncated manifest sets");
+  }
+  uint8_t args, two_stage, enc_only;
+  if (!reader.ReadU8(args) || !reader.ReadU8(two_stage) ||
+      !reader.ReadU8(enc_only)) {
+    return util::InvalidArgument("truncated manifest flags");
+  }
+  m.allow_host_args = args != 0;
+  m.two_stage_enabled = two_stage != 0;
+  m.exec_from_encrypted_only = enc_only != 0;
+  return m;
+}
+
+crypto::Sha256Digest Manifest::Hash() const {
+  return crypto::Sha256::Hash(Serialize());
+}
+
+Manifest MonitorManifest() {
+  Manifest m;
+  m.entrypoint = "mvtee-monitor";
+  m.allowed_syscalls = {"read", "write", "socket", "connect", "accept",
+                        "close", "clock_gettime", "futex"};
+  return m;
+}
+
+Manifest InitVariantManifest() {
+  Manifest m;
+  m.entrypoint = "mvtee-init-variant";
+  m.allowed_syscalls = {"read",  "write", "socket",         "connect",
+                        "close", "open",  "clock_gettime",  "futex",
+                        "exec",  "pf_install_key",
+                        "manifest_install_second_stage"};
+  m.two_stage_enabled = true;
+  return m;
+}
+
+Manifest MainVariantManifest() {
+  Manifest m;
+  m.entrypoint = "mvtee-variant";
+  m.allowed_syscalls = {"read", "write", "socket", "connect",
+                        "close", "clock_gettime", "futex"};
+  m.exec_from_encrypted_only = true;
+  return m;
+}
+
+}  // namespace mvtee::tee

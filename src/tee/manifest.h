@@ -1,0 +1,60 @@
+// TEE OS manifest (Gramine-manifest analog).
+//
+// A manifest pins what an enclave may do: its entrypoint, the hashes of
+// trusted files, which files are encrypted, the syscall allow-list, and
+// the environment policy. It is measured into the enclave identity at
+// boot, and MVTEE's two-stage design installs a second, stricter
+// manifest that takes effect at exec() (§4.3, §5.2).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::tee {
+
+struct Manifest {
+  std::string entrypoint;
+  // Integrity-protected plaintext files: path -> SHA-256 of contents.
+  std::map<std::string, crypto::Sha256Digest> trusted_files;
+  // Confidentiality-protected files (must be opened through the
+  // protected store with the installed key).
+  std::set<std::string> encrypted_files;
+  // Syscall allow-list; empty set = deny everything.
+  std::set<std::string> allowed_syscalls;
+  // Host environment variables passed through (default: none).
+  std::set<std::string> allowed_env;
+  // Host-provided command-line arguments allowed?
+  bool allow_host_args = false;
+  // Whether a second-stage manifest may be installed (init-variants only).
+  bool two_stage_enabled = false;
+  // Execute only from encrypted files (enforced on the second stage).
+  bool exec_from_encrypted_only = false;
+
+  util::Bytes Serialize() const;
+  static util::Result<Manifest> Deserialize(util::ByteSpan data);
+
+  // Measurement contribution.
+  crypto::Sha256Digest Hash() const;
+
+  bool SyscallAllowed(const std::string& name) const {
+    return allowed_syscalls.count(name) > 0;
+  }
+  bool EnvAllowed(const std::string& name) const {
+    return allowed_env.count(name) > 0;
+  }
+};
+
+// Convenience factories mirroring MVTEE's deployment:
+//  - monitor: minimal network-only surface;
+//  - init-variant: adds protected-FS setup syscalls + two-stage install;
+//  - main variant: inference-only surface, no key or manifest syscalls.
+Manifest MonitorManifest();
+Manifest InitVariantManifest();
+Manifest MainVariantManifest();
+
+}  // namespace mvtee::tee

@@ -1,0 +1,136 @@
+#include "tee/sealed_fs.h"
+
+#include "crypto/hmac.h"
+#include "crypto/rand.h"
+#include "crypto/sha256.h"
+
+namespace mvtee::tee {
+
+util::Bytes DeriveVariantFileKey(util::ByteSpan master_key,
+                                 const std::string& variant_id) {
+  return crypto::Hkdf({}, master_key,
+                      util::ToBytes("mvtee-pf-key:" + variant_id), 32);
+}
+
+namespace {
+// One-time data key per (path, version) — keeps ciphertext volume under
+// any single key small (NIST usage-threshold note in §6.5).
+util::Bytes DataKey(util::ByteSpan file_key, const std::string& path,
+                    uint64_t version) {
+  util::Bytes info = util::ToBytes("mvtee-pf-data:" + path + ":");
+  util::AppendU64(info, version);
+  return crypto::Hkdf({}, file_key, info, 32);
+}
+
+util::Bytes Aad(const std::string& path, uint64_t version) {
+  util::Bytes aad = util::ToBytes(path);
+  util::AppendU64(aad, version);
+  return aad;
+}
+}  // namespace
+
+void FreshnessLedger::Record(const std::string& path, uint64_t version,
+                             util::ByteSpan ciphertext) {
+  entries_[path] = {version, crypto::Sha256::Hash(ciphertext)};
+}
+
+util::Status FreshnessLedger::Check(const std::string& path, uint64_t version,
+                                    util::ByteSpan ciphertext) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return util::OkStatus();  // first sighting
+  if (version < it->second.version) {
+    return util::ReplayDetected("rollback: '" + path + "' version " +
+                                std::to_string(version) + " < recorded " +
+                                std::to_string(it->second.version));
+  }
+  if (version == it->second.version) {
+    auto digest = crypto::Sha256::Hash(ciphertext);
+    if (!util::ConstantTimeEqual(
+            util::ByteSpan(digest.data(), digest.size()),
+            util::ByteSpan(it->second.digest.data(),
+                           it->second.digest.size()))) {
+      return util::ReplayDetected("same-version substitution on '" + path +
+                                  "'");
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status ProtectedStore::Put(const std::string& path,
+                                 util::ByteSpan plaintext,
+                                 util::ByteSpan key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RawEntry& entry = entries_[path];
+  entry.version += 1;
+  entry.nonce = crypto::GlobalRandom().Generate(crypto::kGcmNonceSize);
+  crypto::AesGcm gcm(DataKey(key, path, entry.version));
+  entry.ciphertext = gcm.Seal(entry.nonce, Aad(path, entry.version),
+                              plaintext);
+  return util::OkStatus();
+}
+
+util::Result<util::Bytes> ProtectedStore::Get(const std::string& path,
+                                              util::ByteSpan key,
+                                              FreshnessLedger* ledger) const {
+  RawEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(path);
+    if (it == entries_.end()) {
+      return util::NotFound("protected file '" + path + "'");
+    }
+    entry = it->second;
+  }
+  if (ledger != nullptr) {
+    MVTEE_RETURN_IF_ERROR(ledger->Check(path, entry.version,
+                                        entry.ciphertext));
+  }
+  crypto::AesGcm gcm(DataKey(key, path, entry.version));
+  auto plaintext = gcm.Open(entry.nonce, Aad(path, entry.version),
+                            entry.ciphertext);
+  if (!plaintext.ok()) {
+    return util::AuthenticationFailure("protected file '" + path +
+                                       "' failed authentication");
+  }
+  if (ledger != nullptr) {
+    ledger->Record(path, entry.version, entry.ciphertext);
+  }
+  return plaintext;
+}
+
+bool ProtectedStore::Contains(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(path) > 0;
+}
+
+size_t ProtectedStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool ProtectedStore::TamperCiphertext(const std::string& path,
+                                      size_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.ciphertext.empty()) return false;
+  it->second.ciphertext[offset % it->second.ciphertext.size()] ^= 0x01;
+  return true;
+}
+
+std::optional<ProtectedStore::RawEntry> ProtectedStore::Snapshot(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ProtectedStore::Restore(const std::string& path, const RawEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return false;
+  it->second = entry;
+  return true;
+}
+
+}  // namespace mvtee::tee

@@ -1,0 +1,83 @@
+// Protected (encrypted) file store — gramine-sgx-pf-crypt analog.
+//
+// The store itself models *host-side* storage: an attacker may tamper
+// with or roll back entries, and tests do exactly that through the
+// Tamper/Snapshot interfaces. Confidentiality and integrity come from
+// AES-GCM with the file path and version bound as AAD; rollback
+// detection comes from a FreshnessLedger held inside the consuming
+// enclave (the paper's "freshness metadata at runtime" — full defense
+// would need hardware monotonic counters, same caveat as the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::tee {
+
+// Derives the per-variant file key from the master key (the monitor's
+// "variant-specific key acts as a key derivation key").
+util::Bytes DeriveVariantFileKey(util::ByteSpan master_key,
+                                 const std::string& variant_id);
+
+// Enclave-held freshness metadata: file -> expected (version, tag).
+class FreshnessLedger {
+ public:
+  void Record(const std::string& path, uint64_t version,
+              util::ByteSpan ciphertext);
+  // OK if the entry matches the recorded freshness state.
+  util::Status Check(const std::string& path, uint64_t version,
+                     util::ByteSpan ciphertext) const;
+  bool Has(const std::string& path) const {
+    return entries_.count(path) > 0;
+  }
+
+ private:
+  struct Entry {
+    uint64_t version;
+    crypto::Sha256Digest digest;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+class ProtectedStore {
+ public:
+  struct RawEntry {
+    uint64_t version = 0;
+    util::Bytes nonce;       // 12 bytes
+    util::Bytes ciphertext;  // includes GCM tag
+  };
+
+  // Encrypts and stores; bumps the version. `key` is the (derived) file
+  // key; one-time data keys are derived per (path, version).
+  util::Status Put(const std::string& path, util::ByteSpan plaintext,
+                   util::ByteSpan key);
+
+  // Decrypts and verifies. If a ledger is supplied, additionally checks
+  // freshness and records the entry on success.
+  util::Result<util::Bytes> Get(const std::string& path, util::ByteSpan key,
+                                FreshnessLedger* ledger = nullptr) const;
+
+  bool Contains(const std::string& path) const;
+  size_t size() const;
+
+  // ---- host-attacker surface (tests / security experiments) ----
+  // Flips a ciphertext byte; false if absent.
+  bool TamperCiphertext(const std::string& path, size_t offset);
+  // Snapshot/restore models rollback attacks.
+  std::optional<RawEntry> Snapshot(const std::string& path) const;
+  bool Restore(const std::string& path, const RawEntry& entry);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RawEntry> entries_;
+};
+
+}  // namespace mvtee::tee

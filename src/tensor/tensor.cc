@@ -1,0 +1,156 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mvtee::tensor {
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ",";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.UniformFloat(lo, hi);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Normal()) * stddev;
+  return t;
+}
+
+float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+  MVTEE_CHECK(shape_.rank() == 4);
+  const int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+  return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+float& Tensor::at2(int64_t r, int64_t c) {
+  MVTEE_CHECK(shape_.rank() == 2);
+  return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+}
+
+float Tensor::at2(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+util::Bytes Tensor::Serialize() const {
+  util::Bytes out;
+  out.reserve(16 + shape_.rank() * 8 + byte_size());
+  util::AppendU32(out, 0x4d565431);  // "MVT1"
+  util::AppendU32(out, static_cast<uint32_t>(shape_.rank()));
+  for (int64_t d : shape_.dims()) {
+    util::AppendU64(out, static_cast<uint64_t>(d));
+  }
+  util::AppendU64(out, static_cast<uint64_t>(data_.size()));
+  // Bulk-copy float payload (little-endian host assumed; this is an
+  // intra-deployment wire format, not an archival one).
+  size_t off = out.size();
+  out.resize(off + byte_size());
+  std::memcpy(out.data() + off, data_.data(), byte_size());
+  return out;
+}
+
+util::Result<Tensor> Tensor::Deserialize(util::ByteSpan data) {
+  util::ByteReader reader(data);
+  uint32_t magic = 0, rank = 0;
+  if (!reader.ReadU32(magic) || magic != 0x4d565431) {
+    return util::InvalidArgument("bad tensor magic");
+  }
+  if (!reader.ReadU32(rank) || rank > 8) {
+    return util::InvalidArgument("bad tensor rank");
+  }
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) {
+    uint64_t v;
+    if (!reader.ReadU64(v)) return util::InvalidArgument("truncated dims");
+    if (v > (1ULL << 32)) return util::InvalidArgument("dim too large");
+    d = static_cast<int64_t>(v);
+  }
+  Shape shape(std::move(dims));
+  uint64_t count;
+  if (!reader.ReadU64(count)) return util::InvalidArgument("truncated count");
+  if (static_cast<int64_t>(count) != shape.num_elements()) {
+    return util::InvalidArgument("element count mismatch");
+  }
+  if (reader.remaining() != count * sizeof(float)) {
+    return util::InvalidArgument("payload size mismatch");
+  }
+  std::vector<float> values(count);
+  std::memcpy(values.data(), data.data() + reader.position(),
+              count * sizeof(float));
+  return Tensor(std::move(shape), std::move(values));
+}
+
+double CosineSimilarity(const Tensor& a, const Tensor& b) {
+  MVTEE_CHECK(a.shape() == b.shape());
+  double dot = 0, na = 0, nb = 0;
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    double x = a.at(i), y = b.at(i);
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
+  if (na == 0 && nb == 0) return 1.0;
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double MeanSquaredError(const Tensor& a, const Tensor& b) {
+  MVTEE_CHECK(a.shape() == b.shape());
+  if (a.num_elements() == 0) return 0.0;
+  double sum = 0;
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    double d = static_cast<double>(a.at(i)) - b.at(i);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.num_elements());
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  MVTEE_CHECK(a.shape() == b.shape());
+  double max_diff = 0;
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    double d = std::fabs(static_cast<double>(a.at(i)) - b.at(i));
+    if (d > max_diff) max_diff = d;
+  }
+  return max_diff;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    double x = a.at(i), y = b.at(i);
+    if (std::isnan(x) || std::isnan(y)) return false;
+    if (std::fabs(x - y) > atol + rtol * std::fabs(y)) return false;
+  }
+  return true;
+}
+
+bool HasNonFinite(const Tensor& t) {
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    if (!std::isfinite(t.at(i))) return true;
+  }
+  return false;
+}
+
+}  // namespace mvtee::tensor

@@ -1,0 +1,126 @@
+// Dense float32 tensor with NCHW-style row-major layout.
+//
+// This is the single value type flowing through the inference runtime,
+// the monitor checkpoints and the inter-TEE transport. Kept deliberately
+// small: shape + contiguous float storage + (de)serialization + the
+// consistency metrics MVTEE's checkpoint verifier uses.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mvtee::tensor {
+
+// Shape: list of non-negative dimensions. Rank 0 = scalar (1 element).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t i) const {
+    MVTEE_CHECK(i >= 0 && i < rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t num_elements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    MVTEE_CHECK(static_cast<int64_t>(data_.size()) == shape_.num_elements());
+  }
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  // Uniform in [lo, hi).
+  static Tensor RandomUniform(Shape shape, util::Rng& rng, float lo = -1.0f,
+                              float hi = 1.0f);
+  // N(0, stddev) — used for synthetic weights (He/Xavier style scaling is
+  // applied by the model zoo).
+  static Tensor RandomNormal(Shape shape, util::Rng& rng,
+                             float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  int64_t num_elements() const { return shape_.num_elements(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // 4-D accessors for NCHW tensors.
+  float& at4(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at4(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  // 2-D accessor for matrices.
+  float& at2(int64_t r, int64_t c);
+  float at2(int64_t r, int64_t c) const;
+
+  size_t byte_size() const { return data_.size() * sizeof(float); }
+
+  util::Bytes Serialize() const;
+  static util::Result<Tensor> Deserialize(util::ByteSpan data);
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- Consistency metrics (the checkpoint verifier's vocabulary, §5.2) ----
+
+// Cosine similarity in [-1, 1]; returns 1 for two all-zero tensors and 0
+// when exactly one is all-zero. Requires equal shapes.
+double CosineSimilarity(const Tensor& a, const Tensor& b);
+
+// Mean squared error.
+double MeanSquaredError(const Tensor& a, const Tensor& b);
+
+// max_i |a_i - b_i|.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+// np.testing.assert_allclose semantics: |a-b| <= atol + rtol*|b| per
+// element; false if shapes differ or any element is NaN.
+bool AllClose(const Tensor& a, const Tensor& b, double rtol = 1e-5,
+              double atol = 1e-8);
+
+// True if any element is NaN or Inf — a cheap "crashed math" detector.
+bool HasNonFinite(const Tensor& t);
+
+}  // namespace mvtee::tensor

@@ -1,0 +1,100 @@
+#include "transport/channel.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mvtee::transport {
+
+namespace internal {
+
+void MessageQueue::Push(util::Bytes frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // silently dropped, like writing to a dead socket
+    frames_.push_back(std::move(frame));
+  }
+  cv_.notify_one();
+}
+
+std::optional<util::Bytes> MessageQueue::Pop(int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+               [&] { return !frames_.empty() || closed_; });
+  if (frames_.empty()) return std::nullopt;
+  util::Bytes frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void MessageQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MessageQueue::closed_and_empty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_ && frames_.empty();
+}
+
+}  // namespace internal
+
+util::Status Endpoint::Send(util::ByteSpan frame) {
+  if (!valid()) return util::FailedPrecondition("endpoint not connected");
+  util::Bytes payload(frame.begin(), frame.end());
+  if (interceptor_) {
+    auto result = interceptor_(payload);
+    if (!result.has_value()) return util::OkStatus();  // dropped on the wire
+    payload = std::move(*result);
+  }
+  if (cost_.latency_us > 0 || cost_.bytes_per_us > 0) {
+    double us = cost_.latency_us;
+    if (cost_.bytes_per_us > 0) {
+      us += static_cast<double>(payload.size()) / cost_.bytes_per_us;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(us)));
+  }
+  bytes_sent_ += payload.size();
+  frames_sent_ += 1;
+  tx_->Push(std::move(payload));
+  return util::OkStatus();
+}
+
+util::Result<util::Bytes> Endpoint::Recv(int64_t timeout_us) {
+  if (!valid()) return util::FailedPrecondition("endpoint not connected");
+  auto frame = rx_->Pop(timeout_us);
+  if (!frame.has_value()) {
+    if (rx_->closed_and_empty()) {
+      return util::Unavailable("peer closed the channel");
+    }
+    return util::DeadlineExceeded("recv timeout");
+  }
+  return *frame;
+}
+
+void Endpoint::Close() {
+  if (tx_) tx_->Close();
+  if (rx_) rx_->Close();
+}
+
+void Endpoint::InjectRaw(util::Bytes frame) {
+  if (tx_) tx_->Push(std::move(frame));
+}
+
+std::pair<Endpoint, Endpoint> CreateChannel(const NetworkCostModel& cost) {
+  auto a_to_b = std::make_shared<internal::MessageQueue>();
+  auto b_to_a = std::make_shared<internal::MessageQueue>();
+  Endpoint a, b;
+  a.tx_ = a_to_b;
+  a.rx_ = b_to_a;
+  a.cost_ = cost;
+  b.tx_ = b_to_a;
+  b.rx_ = a_to_b;
+  b.cost_ = cost;
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace mvtee::transport

@@ -1,0 +1,108 @@
+// In-process duplex message channels.
+//
+// Substitution note (DESIGN.md §2): stands in for the testbed's TCP/IP
+// sockets. A channel is *untrusted*: it models the host network, so it
+// supports a per-endpoint interceptor (tamper/drop) and raw injection —
+// the attacker surface the secure channel layer must defeat. An optional
+// cost model charges per-message latency and per-byte serialization time
+// so benchmarks reflect 10 GbE-like transfer costs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace mvtee::transport {
+
+struct NetworkCostModel {
+  double latency_us = 0.0;     // per message
+  double bytes_per_us = 0.0;   // serialization rate; 0 = infinite
+  // 10 GbE + loopback-ish latency, the paper's testbed fabric.
+  static NetworkCostModel TenGbE() { return {30.0, 1250.0}; }
+  static NetworkCostModel Free() { return {0.0, 0.0}; }
+};
+
+// Modeled wire time for one message of `bytes` (virtual-time model).
+inline double WireMicros(const NetworkCostModel& m, size_t bytes) {
+  double us = m.latency_us;
+  if (m.bytes_per_us > 0) {
+    us += static_cast<double>(bytes) / m.bytes_per_us;
+  }
+  return us;
+}
+
+namespace internal {
+class MessageQueue {
+ public:
+  void Push(util::Bytes frame);
+  // Blocks up to timeout; nullopt on timeout, error state on close+empty
+  // is signalled via closed() by the caller.
+  std::optional<util::Bytes> Pop(int64_t timeout_us);
+  void Close();
+  bool closed_and_empty();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<util::Bytes> frames_;
+  bool closed_ = false;
+};
+}  // namespace internal
+
+// Interceptor: invoked on every outgoing frame. Return the (possibly
+// modified) frame to forward, or nullopt to drop it.
+using Interceptor =
+    std::function<std::optional<util::Bytes>(const util::Bytes&)>;
+
+class Endpoint {
+ public:
+  Endpoint() = default;
+
+  // Sends one frame (applies cost model + interceptor).
+  util::Status Send(util::ByteSpan frame);
+
+  // Receives one frame; kDeadlineExceeded on timeout, kUnavailable if
+  // the peer closed and the queue drained.
+  util::Result<util::Bytes> Recv(int64_t timeout_us = 5'000'000);
+
+  void Close();
+  bool valid() const { return tx_ != nullptr; }
+
+  void SetInterceptor(Interceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+
+  // Host-attacker primitive: injects a raw frame into the peer's
+  // receive queue, bypassing cost model and interceptor.
+  void InjectRaw(util::Bytes frame);
+
+  // Total bytes pushed through Send (post-interceptor), for overhead
+  // accounting in benchmarks.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  friend std::pair<Endpoint, Endpoint> CreateChannel(
+      const NetworkCostModel& cost);
+
+  std::shared_ptr<internal::MessageQueue> tx_;
+  std::shared_ptr<internal::MessageQueue> rx_;
+  NetworkCostModel cost_;
+  Interceptor interceptor_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t frames_sent_ = 0;
+};
+
+// Creates the two ends of a duplex channel.
+std::pair<Endpoint, Endpoint> CreateChannel(
+    const NetworkCostModel& cost = NetworkCostModel::Free());
+
+}  // namespace mvtee::transport

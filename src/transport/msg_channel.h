@@ -1,0 +1,58 @@
+// Uniform message-channel interface over secure (RA-TLS) or plaintext
+// transports. The plaintext form exists solely for the encryption-
+// overhead ablation (Fig. 10 baseline); production paths always use the
+// secure form.
+#pragma once
+
+#include <memory>
+
+#include "transport/channel.h"
+#include "transport/secure_channel.h"
+
+namespace mvtee::transport {
+
+class MsgChannel {
+ public:
+  virtual ~MsgChannel() = default;
+  virtual util::Status Send(util::ByteSpan frame) = 0;
+  virtual util::Result<util::Bytes> Recv(int64_t timeout_us) = 0;
+  virtual void Close() = 0;
+  virtual uint64_t bytes_sent() const = 0;
+};
+
+class PlainMsgChannel : public MsgChannel {
+ public:
+  explicit PlainMsgChannel(Endpoint endpoint)
+      : endpoint_(std::move(endpoint)) {}
+  util::Status Send(util::ByteSpan frame) override {
+    return endpoint_.Send(frame);
+  }
+  util::Result<util::Bytes> Recv(int64_t timeout_us) override {
+    return endpoint_.Recv(timeout_us);
+  }
+  void Close() override { endpoint_.Close(); }
+  uint64_t bytes_sent() const override { return endpoint_.bytes_sent(); }
+
+ private:
+  Endpoint endpoint_;
+};
+
+class SecureMsgChannel : public MsgChannel {
+ public:
+  explicit SecureMsgChannel(std::unique_ptr<SecureChannel> channel)
+      : channel_(std::move(channel)) {}
+  util::Status Send(util::ByteSpan frame) override {
+    return channel_->Send(frame);
+  }
+  util::Result<util::Bytes> Recv(int64_t timeout_us) override {
+    return channel_->Recv(timeout_us);
+  }
+  void Close() override { channel_->Close(); }
+  uint64_t bytes_sent() const override { return channel_->bytes_sent(); }
+  SecureChannel& secure() { return *channel_; }
+
+ private:
+  std::unique_ptr<SecureChannel> channel_;
+};
+
+}  // namespace mvtee::transport

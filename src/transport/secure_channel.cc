@@ -1,0 +1,224 @@
+#include "transport/secure_channel.h"
+
+#include "crypto/hmac.h"
+#include "crypto/rand.h"
+#include "crypto/sha256.h"
+
+namespace mvtee::transport {
+
+namespace {
+
+std::array<uint8_t, tee::kReportDataSize> BindKeyToReportData(
+    const crypto::X25519Key& pubkey, SecureChannel::Role role) {
+  crypto::Sha256 hasher;
+  hasher.Update(util::ByteSpan(pubkey.data(), pubkey.size()));
+  uint8_t role_byte = static_cast<uint8_t>(role);
+  hasher.Update(util::ByteSpan(&role_byte, 1));
+  auto digest = hasher.Finish();
+  std::array<uint8_t, tee::kReportDataSize> report_data{};
+  std::copy(digest.begin(), digest.end(), report_data.begin());
+  return report_data;
+}
+
+struct HelloMessage {
+  crypto::X25519Key pubkey;
+  util::Bytes report;
+
+  util::Bytes Serialize() const {
+    util::Bytes out;
+    util::AppendU32(out, 0x4d564853);  // "MVHS"
+    util::AppendBytes(out, util::ByteSpan(pubkey.data(), pubkey.size()));
+    util::AppendLengthPrefixed(out, report);
+    return out;
+  }
+
+  static util::Result<HelloMessage> Deserialize(util::ByteSpan data) {
+    util::ByteReader reader(data);
+    uint32_t magic;
+    if (!reader.ReadU32(magic) || magic != 0x4d564853) {
+      return util::InvalidArgument("bad hello magic");
+    }
+    HelloMessage msg;
+    util::Bytes key;
+    if (!reader.ReadBytes(crypto::kX25519KeySize, key) ||
+        !reader.ReadLengthPrefixed(msg.report) || !reader.done()) {
+      return util::InvalidArgument("malformed hello");
+    }
+    std::copy(key.begin(), key.end(), msg.pubkey.begin());
+    return msg;
+  }
+};
+
+}  // namespace
+
+ReportVerifier ExpectMeasurement(const tee::SimulatedCpu& cpu,
+                                 const crypto::Sha256Digest& expected) {
+  return [&cpu, expected](const tee::AttestationReport& report) {
+    MVTEE_RETURN_IF_ERROR(cpu.VerifyReport(report));
+    if (!util::ConstantTimeEqual(
+            util::ByteSpan(report.measurement.data(),
+                           report.measurement.size()),
+            util::ByteSpan(expected.data(), expected.size()))) {
+      return util::AttestationFailure("unexpected enclave measurement");
+    }
+    return util::OkStatus();
+  };
+}
+
+ReportVerifier AnyAttestedPeer(const tee::SimulatedCpu& cpu) {
+  return [&cpu](const tee::AttestationReport& report) {
+    return cpu.VerifyReport(report);
+  };
+}
+
+ReportVerifier AllowUnattestedPeer() {
+  return [](const tee::AttestationReport&) { return util::OkStatus(); };
+}
+
+SecureChannel::SecureChannel(Endpoint endpoint, util::Bytes send_key,
+                             util::Bytes recv_key,
+                             tee::AttestationReport peer_report)
+    : endpoint_(std::move(endpoint)),
+      send_cipher_(send_key),
+      recv_cipher_(recv_key),
+      peer_report_(peer_report) {}
+
+util::Result<std::unique_ptr<SecureChannel>> SecureChannel::Handshake(
+    Endpoint endpoint, Role role, const tee::Enclave& self,
+    ReportVerifier verify_peer, int64_t timeout_us) {
+  return HandshakeInternal(std::move(endpoint), role, &self,
+                           std::move(verify_peer), timeout_us);
+}
+
+util::Result<std::unique_ptr<SecureChannel>>
+SecureChannel::HandshakeUnattested(Endpoint endpoint, Role role,
+                                   ReportVerifier verify_peer,
+                                   int64_t timeout_us) {
+  return HandshakeInternal(std::move(endpoint), role, nullptr,
+                           std::move(verify_peer), timeout_us);
+}
+
+util::Result<std::unique_ptr<SecureChannel>> SecureChannel::HandshakeInternal(
+    Endpoint endpoint, Role role, const tee::Enclave* self,
+    ReportVerifier verify_peer, int64_t timeout_us) {
+  // Ephemeral key pair.
+  crypto::X25519Key private_key;
+  crypto::GlobalRandom().Fill(private_key.data(), private_key.size());
+  crypto::X25519Key public_key = crypto::X25519PublicKey(private_key);
+
+  HelloMessage my_hello;
+  my_hello.pubkey = public_key;
+  if (self != nullptr) {
+    my_hello.report =
+        self->CreateReport(BindKeyToReportData(public_key, role)).Serialize();
+  }
+  const util::Bytes my_hello_bytes = my_hello.Serialize();
+
+  // Client speaks first; server answers.
+  util::Bytes peer_hello_bytes;
+  if (role == Role::kClient) {
+    MVTEE_RETURN_IF_ERROR(endpoint.Send(my_hello_bytes));
+    MVTEE_ASSIGN_OR_RETURN(peer_hello_bytes, endpoint.Recv(timeout_us));
+  } else {
+    MVTEE_ASSIGN_OR_RETURN(peer_hello_bytes, endpoint.Recv(timeout_us));
+    MVTEE_RETURN_IF_ERROR(endpoint.Send(my_hello_bytes));
+  }
+
+  MVTEE_ASSIGN_OR_RETURN(HelloMessage peer_hello,
+                         HelloMessage::Deserialize(peer_hello_bytes));
+  tee::AttestationReport peer_report;
+  if (!peer_hello.report.empty()) {
+    MVTEE_ASSIGN_OR_RETURN(peer_report, tee::AttestationReport::Deserialize(
+                                            peer_hello.report));
+    // The peer's report must bind the peer's ephemeral key under the
+    // opposite role — a spliced key breaks this binding.
+    const Role peer_role =
+        role == Role::kClient ? Role::kServer : Role::kClient;
+    auto expected_binding =
+        BindKeyToReportData(peer_hello.pubkey, peer_role);
+    if (!util::ConstantTimeEqual(
+            util::ByteSpan(peer_report.report_data.data(),
+                           peer_report.report_data.size()),
+            util::ByteSpan(expected_binding.data(),
+                           expected_binding.size()))) {
+      return util::AttestationFailure("report does not bind handshake key");
+    }
+  }
+  // An absent report reaches the verifier as an all-zero report, which
+  // no attestation-requiring verifier accepts (its MAC cannot verify).
+  MVTEE_RETURN_IF_ERROR(verify_peer(peer_report));
+
+  // Shared secret + transcript-bound key schedule.
+  crypto::X25519Key shared = crypto::X25519(private_key, peer_hello.pubkey);
+  crypto::Sha256 transcript;
+  if (role == Role::kClient) {
+    transcript.Update(my_hello_bytes);
+    transcript.Update(peer_hello_bytes);
+  } else {
+    transcript.Update(peer_hello_bytes);
+    transcript.Update(my_hello_bytes);
+  }
+  auto transcript_hash = transcript.Finish();
+
+  util::Bytes keys = crypto::Hkdf(
+      util::ByteSpan(transcript_hash.data(), transcript_hash.size()),
+      util::ByteSpan(shared.data(), shared.size()),
+      util::ToBytes("mvtee-ratls-v1"), 64);
+  util::Bytes client_key(keys.begin(), keys.begin() + 32);
+  util::Bytes server_key(keys.begin() + 32, keys.end());
+
+  util::Bytes send_key = role == Role::kClient ? client_key : server_key;
+  util::Bytes recv_key = role == Role::kClient ? server_key : client_key;
+  return std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(endpoint), std::move(send_key), std::move(recv_key),
+      peer_report));
+}
+
+namespace {
+util::Bytes RecordNonce(uint64_t seq) {
+  util::Bytes nonce(crypto::kGcmNonceSize, 0);
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<uint8_t>(seq >> (56 - 8 * i));
+  }
+  return nonce;
+}
+
+util::Bytes RecordAad(uint64_t seq) {
+  util::Bytes aad;
+  util::AppendU64(aad, seq);
+  return aad;
+}
+}  // namespace
+
+util::Status SecureChannel::Send(util::ByteSpan plaintext) {
+  const uint64_t seq = send_seq_++;
+  util::Bytes record;
+  util::AppendU64(record, seq);
+  util::Bytes sealed =
+      send_cipher_.Seal(RecordNonce(seq), RecordAad(seq), plaintext);
+  util::AppendBytes(record, sealed);
+  return endpoint_.Send(record);
+}
+
+util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us) {
+  MVTEE_ASSIGN_OR_RETURN(util::Bytes record, endpoint_.Recv(timeout_us));
+  util::ByteReader reader(record);
+  uint64_t seq;
+  if (!reader.ReadU64(seq)) {
+    return util::AuthenticationFailure("malformed record");
+  }
+  if (seq != recv_seq_) {
+    return util::ReplayDetected("record sequence " + std::to_string(seq) +
+                                " != expected " +
+                                std::to_string(recv_seq_));
+  }
+  util::Bytes sealed;
+  reader.ReadBytes(reader.remaining(), sealed);
+  auto plaintext =
+      recv_cipher_.Open(RecordNonce(seq), RecordAad(seq), sealed);
+  if (!plaintext.ok()) return plaintext.status();
+  recv_seq_ += 1;
+  return plaintext;
+}
+
+}  // namespace mvtee::transport

@@ -1,0 +1,91 @@
+// RA-TLS-style secure channel (paper §4.3, §5.2).
+//
+// Handshake: each side sends an ephemeral X25519 public key plus a
+// hardware-signed attestation report whose report_data binds that key
+// (H(pubkey || role)), so a man-in-the-middle cannot splice keys without
+// breaking the report MAC. Traffic keys are HKDF-derived from the ECDH
+// shared secret and the handshake transcript; records are AES-GCM-256
+// with per-direction monotonic sequence numbers (replay/reorder
+// detection — the paper's "unique sequence numbers for freshness").
+//
+// This is enforced at the socket level: all application traffic goes
+// through Send/Recv, there is no plaintext bypass.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "crypto/aead.h"
+#include "crypto/x25519.h"
+#include "tee/enclave.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace mvtee::transport {
+
+// Verifies the peer's attestation report (measurement policy is the
+// caller's: expected-measurement equality, registry lookup, …). Return
+// non-OK to abort the handshake.
+using ReportVerifier =
+    std::function<util::Status(const tee::AttestationReport&)>;
+
+// Convenience verifier: hardware MAC valid (via `cpu`) and measurement
+// equal to `expected`.
+ReportVerifier ExpectMeasurement(const tee::SimulatedCpu& cpu,
+                                 const crypto::Sha256Digest& expected);
+// Verifier that only checks the hardware MAC (caller inspects
+// measurement afterwards via peer_report()).
+ReportVerifier AnyAttestedPeer(const tee::SimulatedCpu& cpu);
+// Accepts a peer WITHOUT an attestation report — only for endpoints that
+// talk to parties outside TEEs (the model owner / user side of the
+// monitor). A stripped report on any other channel still fails its
+// verifier (the MAC check cannot pass on an empty report).
+ReportVerifier AllowUnattestedPeer();
+
+class SecureChannel {
+ public:
+  enum class Role : uint8_t { kClient = 0, kServer = 1 };
+
+  // Runs the handshake over `endpoint`. `self` provides the local
+  // attestation report; `verify_peer` decides whether the remote report
+  // is acceptable. On success the channel owns the endpoint.
+  static util::Result<std::unique_ptr<SecureChannel>> Handshake(
+      Endpoint endpoint, Role role, const tee::Enclave& self,
+      ReportVerifier verify_peer, int64_t timeout_us = 5'000'000);
+
+  // Handshake for a party outside any TEE (e.g. the model owner): sends
+  // no report of its own; the peer must be configured to accept
+  // unattested clients or the handshake fails there.
+  static util::Result<std::unique_ptr<SecureChannel>> HandshakeUnattested(
+      Endpoint endpoint, Role role, ReportVerifier verify_peer,
+      int64_t timeout_us = 5'000'000);
+
+  // AEAD-protected, sequence-numbered application messages.
+  util::Status Send(util::ByteSpan plaintext);
+  util::Result<util::Bytes> Recv(int64_t timeout_us = 5'000'000);
+
+  void Close() { endpoint_.Close(); }
+
+  const tee::AttestationReport& peer_report() const { return peer_report_; }
+  uint64_t bytes_sent() const { return endpoint_.bytes_sent(); }
+
+  // Testing hook: the underlying (untrusted) endpoint.
+  Endpoint& raw_endpoint() { return endpoint_; }
+
+ private:
+  SecureChannel(Endpoint endpoint, util::Bytes send_key,
+                util::Bytes recv_key, tee::AttestationReport peer_report);
+
+  static util::Result<std::unique_ptr<SecureChannel>> HandshakeInternal(
+      Endpoint endpoint, Role role, const tee::Enclave* self,
+      ReportVerifier verify_peer, int64_t timeout_us);
+
+  Endpoint endpoint_;
+  crypto::AesGcm send_cipher_;
+  crypto::AesGcm recv_cipher_;
+  uint64_t send_seq_ = 0;
+  uint64_t recv_seq_ = 0;
+  tee::AttestationReport peer_report_;
+};
+
+}  // namespace mvtee::transport

@@ -1,0 +1,157 @@
+#include "util/bytes.h"
+
+namespace mvtee::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(std::string_view hex, Bytes& out) {
+  if (hex.size() % 2 != 0) return false;
+  Bytes result;
+  result.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    result.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  out = std::move(result);
+  return true;
+}
+
+void AppendU8(Bytes& out, uint8_t v) { out.push_back(v); }
+
+void AppendU16(Bytes& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void AppendU32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void AppendU64(Bytes& out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendF32(Bytes& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU32(out, bits);
+}
+
+void AppendBytes(Bytes& out, ByteSpan data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+void AppendLengthPrefixed(Bytes& out, ByteSpan data) {
+  AppendU32(out, static_cast<uint32_t>(data.size()));
+  AppendBytes(out, data);
+}
+
+void AppendLengthPrefixedStr(Bytes& out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool ByteReader::ReadU8(uint8_t& v) {
+  if (remaining() < 1) return false;
+  v = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::ReadU16(uint16_t& v) {
+  if (remaining() < 2) return false;
+  v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t& v) {
+  if (remaining() < 4) return false;
+  v = static_cast<uint32_t>(data_[pos_]) << 24 |
+      static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+      static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
+      static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t& v) {
+  uint32_t hi, lo;
+  size_t save = pos_;
+  if (!ReadU32(hi) || !ReadU32(lo)) {
+    pos_ = save;
+    return false;
+  }
+  v = (static_cast<uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+bool ByteReader::ReadF32(float& v) {
+  uint32_t bits;
+  if (!ReadU32(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool ByteReader::ReadBytes(size_t n, Bytes& out) {
+  if (remaining() < n) return false;
+  out.assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::ReadLengthPrefixed(Bytes& out) {
+  size_t save = pos_;
+  uint32_t len;
+  if (!ReadU32(len) || remaining() < len) {
+    pos_ = save;
+    return false;
+  }
+  return ReadBytes(len, out);
+}
+
+bool ByteReader::ReadLengthPrefixedStr(std::string& out) {
+  Bytes tmp;
+  if (!ReadLengthPrefixed(tmp)) return false;
+  out.assign(tmp.begin(), tmp.end());
+  return true;
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace mvtee::util

@@ -1,0 +1,68 @@
+// Byte-buffer utilities shared by the crypto, transport and TEE layers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvtee::util {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string HexEncode(ByteSpan data);
+// Returns empty vector on malformed input (odd length / non-hex chars) with
+// ok=false; use the two-arg form when failure must be distinguished.
+bool HexDecode(std::string_view hex, Bytes& out);
+
+// Append helpers used by serializers.
+void AppendU8(Bytes& out, uint8_t v);
+void AppendU16(Bytes& out, uint16_t v);
+void AppendU32(Bytes& out, uint32_t v);
+void AppendU64(Bytes& out, uint64_t v);
+void AppendF32(Bytes& out, float v);
+void AppendBytes(Bytes& out, ByteSpan data);
+// Length-prefixed (u32) byte string.
+void AppendLengthPrefixed(Bytes& out, ByteSpan data);
+void AppendLengthPrefixedStr(Bytes& out, std::string_view s);
+
+// Cursor-based reader with bounds checking; all Read* return false on
+// underflow and leave the output untouched.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+  bool ReadU8(uint8_t& v);
+  bool ReadU16(uint16_t& v);
+  bool ReadU32(uint32_t& v);
+  bool ReadU64(uint64_t& v);
+  bool ReadF32(float& v);
+  bool ReadBytes(size_t n, Bytes& out);
+  bool ReadLengthPrefixed(Bytes& out);
+  bool ReadLengthPrefixedStr(std::string& out);
+  bool Skip(size_t n);
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+// Constant-time comparison (crypto-safe): true iff equal.
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+}  // namespace mvtee::util

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+namespace mvtee::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  using namespace std::chrono;
+  auto now = duration_cast<microseconds>(
+                 steady_clock::now().time_since_epoch())
+                 .count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %10lld.%06lld %s:%d] %s\n", LevelTag(level),
+               static_cast<long long>(now / 1000000),
+               static_cast<long long>(now % 1000000), Basename(file), line,
+               message.c_str());
+}
+}  // namespace internal
+
+}  // namespace mvtee::util

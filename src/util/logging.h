@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mvtee::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace mvtee::util
+
+#define MVTEE_LOG(level)                                              \
+  if (::mvtee::util::LogLevel::level >= ::mvtee::util::GetLogLevel()) \
+  ::mvtee::util::internal::LogMessage(::mvtee::util::LogLevel::level, \
+                                      __FILE__, __LINE__)
+
+#define MVTEE_DLOG MVTEE_LOG(kDebug)
+#define MVTEE_ILOG MVTEE_LOG(kInfo)
+#define MVTEE_WLOG MVTEE_LOG(kWarning)
+#define MVTEE_ELOG MVTEE_LOG(kError)

@@ -1,0 +1,37 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace mvtee::util {
+
+double Rng::Normal() {
+  // Box–Muller; discard the second value for simplicity.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::SampleIndexByWeight(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    MVTEE_CHECK(w >= 0.0);
+    total += w;
+  }
+  MVTEE_CHECK(total > 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point edge: return last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace mvtee::util

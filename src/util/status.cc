@@ -1,0 +1,28 @@
+#include "util/status.h"
+
+namespace mvtee::util {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kAuthenticationFailure: return "AUTHENTICATION_FAILURE";
+    case StatusCode::kAttestationFailure: return "ATTESTATION_FAILURE";
+    case StatusCode::kReplayDetected: return "REPLAY_DETECTED";
+    case StatusCode::kDivergenceDetected: return "DIVERGENCE_DETECTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace mvtee::util

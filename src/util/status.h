@@ -1,0 +1,192 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// MVTEE uses explicit status propagation rather than exceptions on all
+// distributed/protocol paths: a monitor must treat a misbehaving variant
+// as data, not as a control-flow anomaly. Exceptions are reserved for
+// programmer errors (checked via MVTEE_CHECK, which aborts).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mvtee::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kDataLoss,
+  kPermissionDenied,
+  kDeadlineExceeded,
+  kAborted,
+  // Security-specific codes surfaced by the TEE / crypto layers.
+  kAuthenticationFailure,  // AEAD tag or MAC mismatch
+  kAttestationFailure,     // quote/report verification failed
+  kReplayDetected,         // stale nonce or sequence number
+  kDivergenceDetected,     // MVX checkpoint cross-check failed
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status AuthenticationFailure(std::string msg) {
+  return Status(StatusCode::kAuthenticationFailure, std::move(msg));
+}
+inline Status AttestationFailure(std::string msg) {
+  return Status(StatusCode::kAttestationFailure, std::move(msg));
+}
+inline Status ReplayDetected(std::string msg) {
+  return Status(StatusCode::kReplayDetected, std::move(msg));
+}
+inline Status DivergenceDetected(std::string msg) {
+  return Status(StatusCode::kDivergenceDetected, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> data_;
+};
+
+}  // namespace mvtee::util
+
+// Propagate a non-OK Status from the current function.
+#define MVTEE_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::mvtee::util::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#define MVTEE_CONCAT_INNER(a, b) a##b
+#define MVTEE_CONCAT(a, b) MVTEE_CONCAT_INNER(a, b)
+
+// Assign a Result's value to `lhs`, or propagate its status.
+#define MVTEE_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto MVTEE_CONCAT(_res_, __LINE__) = (expr);                  \
+  if (!MVTEE_CONCAT(_res_, __LINE__).ok())                      \
+    return MVTEE_CONCAT(_res_, __LINE__).status();              \
+  lhs = std::move(MVTEE_CONCAT(_res_, __LINE__)).value()
+
+// Invariant check: aborts on violation (programmer error, not input error).
+#define MVTEE_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MVTEE_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,219 @@
+#include "variant/spec.h"
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace mvtee::variant {
+
+using graph::Graph;
+using runtime::Executor;
+using runtime::ExecutorConfig;
+using tensor::Tensor;
+
+namespace {
+constexpr uint32_t kSpecMagic = 0x4d565653;  // "MVVS"
+}
+
+util::Bytes VariantSpec::Serialize() const {
+  util::Bytes out;
+  util::AppendU32(out, kSpecMagic);
+  util::AppendLengthPrefixedStr(out, id);
+  util::AppendU32(out, static_cast<uint32_t>(graph_transforms.size()));
+  for (GraphTransform t : graph_transforms) {
+    util::AppendU8(out, static_cast<uint8_t>(t));
+  }
+  util::AppendU64(out, transform_seed);
+  util::AppendU32(out, static_cast<uint32_t>(transform_sites));
+  util::AppendLengthPrefixedStr(out, exec_config.name);
+  util::AppendU8(out, static_cast<uint8_t>(exec_config.conv_algo));
+  util::AppendU8(out, static_cast<uint8_t>(exec_config.gemm));
+  util::AppendU8(out, exec_config.fold_batch_norm ? 1 : 0);
+  util::AppendU8(out, exec_config.inplace_activations ? 1 : 0);
+  util::AppendU8(out, exec_config.bounds_checked ? 1 : 0);
+  uint64_t slowdown_bits;
+  static_assert(sizeof(slowdown_bits) == sizeof(exec_config.slowdown_factor));
+  std::memcpy(&slowdown_bits, &exec_config.slowdown_factor,
+              sizeof(slowdown_bits));
+  util::AppendU64(out, slowdown_bits);
+  return out;
+}
+
+util::Result<VariantSpec> VariantSpec::Deserialize(util::ByteSpan data) {
+  util::ByteReader reader(data);
+  uint32_t magic;
+  if (!reader.ReadU32(magic) || magic != kSpecMagic) {
+    return util::InvalidArgument("bad variant spec magic");
+  }
+  VariantSpec spec;
+  uint32_t n_transforms;
+  if (!reader.ReadLengthPrefixedStr(spec.id) ||
+      !reader.ReadU32(n_transforms) || n_transforms > 64) {
+    return util::InvalidArgument("truncated variant spec");
+  }
+  for (uint32_t i = 0; i < n_transforms; ++i) {
+    uint8_t t;
+    if (!reader.ReadU8(t) ||
+        t > static_cast<uint8_t>(GraphTransform::kConvToFc)) {
+      return util::InvalidArgument("bad transform tag");
+    }
+    spec.graph_transforms.push_back(static_cast<GraphTransform>(t));
+  }
+  uint32_t sites;
+  if (!reader.ReadU64(spec.transform_seed) || !reader.ReadU32(sites)) {
+    return util::InvalidArgument("truncated variant spec");
+  }
+  spec.transform_sites = static_cast<int>(sites);
+  uint8_t conv_algo, gemm, fold, inplace, bounds;
+  uint64_t slowdown_bits;
+  if (!reader.ReadLengthPrefixedStr(spec.exec_config.name) ||
+      !reader.ReadU8(conv_algo) || !reader.ReadU8(gemm) ||
+      !reader.ReadU8(fold) || !reader.ReadU8(inplace) ||
+      !reader.ReadU8(bounds) || !reader.ReadU64(slowdown_bits)) {
+    return util::InvalidArgument("truncated exec config");
+  }
+  if (conv_algo > static_cast<uint8_t>(runtime::ConvAlgo::kIm2col) ||
+      gemm > static_cast<uint8_t>(runtime::GemmBackend::kTransposed)) {
+    return util::InvalidArgument("bad exec config enums");
+  }
+  spec.exec_config.conv_algo = static_cast<runtime::ConvAlgo>(conv_algo);
+  spec.exec_config.gemm = static_cast<runtime::GemmBackend>(gemm);
+  spec.exec_config.fold_batch_norm = fold != 0;
+  spec.exec_config.inplace_activations = inplace != 0;
+  spec.exec_config.bounds_checked = bounds != 0;
+  std::memcpy(&spec.exec_config.slowdown_factor, &slowdown_bits,
+              sizeof(slowdown_bits));
+  return spec;
+}
+
+util::Result<Graph> BuildVariantGraph(const Graph& base,
+                                      const VariantSpec& spec) {
+  Graph g = base;
+  for (size_t i = 0; i < spec.graph_transforms.size(); ++i) {
+    MVTEE_ASSIGN_OR_RETURN(
+        g, ApplyGraphTransform(g, spec.graph_transforms[i],
+                               spec.transform_seed + i * 97,
+                               spec.transform_sites));
+  }
+  return g;
+}
+
+util::Result<bool> VerifyVariantEquivalence(const Graph& base,
+                                            const Graph& variant_graph,
+                                            const VariantSpec& spec,
+                                            uint64_t input_seed,
+                                            double min_cosine) {
+  MVTEE_ASSIGN_OR_RETURN(auto base_exec,
+                         Executor::Create(base, runtime::ReferenceExecutorConfig()));
+  MVTEE_ASSIGN_OR_RETURN(auto var_exec,
+                         Executor::Create(variant_graph, spec.exec_config));
+
+  util::Rng rng(input_seed);
+  std::vector<Tensor> inputs;
+  for (graph::NodeId in : base.inputs()) {
+    inputs.push_back(
+        Tensor::RandomUniform(base.input_shape(in), rng, -1.0f, 1.0f));
+  }
+  MVTEE_ASSIGN_OR_RETURN(auto base_out, base_exec->Run(inputs));
+  MVTEE_ASSIGN_OR_RETURN(auto var_out, var_exec->Run(inputs));
+  if (base_out.size() != var_out.size()) return false;
+  for (size_t i = 0; i < base_out.size(); ++i) {
+    if (base_out[i].shape() != var_out[i].shape()) return false;
+    if (tensor::CosineSimilarity(base_out[i], var_out[i]) < min_cosine) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Diversification recipes cycled through by the pool builder. Each
+// combines an instance-level runtime with graph-level transforms —
+// "multi-level diversification".
+struct Recipe {
+  const char* tag;
+  ExecutorConfig (*exec)();
+  std::vector<GraphTransform> transforms;
+};
+
+const std::vector<Recipe>& Recipes() {
+  static const std::vector<Recipe> recipes = {
+      {"ort-plain", runtime::OrtLikeExecutorConfig, {}},
+      {"tvm-shuffled",
+       runtime::TvmLikeExecutorConfig,
+       {GraphTransform::kShuffleChannels, GraphTransform::kInsertDummyOps}},
+      {"hardened-split",
+       runtime::HardenedExecutorConfig,
+       {GraphTransform::kSplitConv}},
+      {"ref-folded",
+       runtime::ReferenceExecutorConfig,
+       {GraphTransform::kSelectiveBnFold,
+        GraphTransform::kReorderCommutative, GraphTransform::kConvToFc}},
+      {"ort-decomposed",
+       runtime::OrtLikeExecutorConfig,
+       {GraphTransform::kInsertDummyOps, GraphTransform::kSplitConv}},
+  };
+  return recipes;
+}
+
+}  // namespace
+
+util::Result<std::vector<StageVariantPool>> BuildVariantPool(
+    const partition::PartitionedModel& model, const PoolConfig& config) {
+  if (config.variants_per_stage < 1) {
+    return util::InvalidArgument("variants_per_stage must be >= 1");
+  }
+  std::vector<StageVariantPool> pools;
+  pools.reserve(static_cast<size_t>(model.num_stages()));
+
+  for (int64_t si = 0; si < model.num_stages(); ++si) {
+    const Graph& stage = model.stages[static_cast<size_t>(si)];
+    StageVariantPool pool;
+    const int total = config.variants_per_stage +
+                      (config.include_slow_variant ? 1 : 0);
+    for (int vi = 0; vi < total; ++vi) {
+      VariantSpec spec;
+      const bool is_slow = config.include_slow_variant &&
+                           vi == config.variants_per_stage;
+      if (config.replicated && !is_slow) {
+        spec.id = "stage" + std::to_string(si) + ".replica" +
+                  std::to_string(vi);
+        spec.exec_config = runtime::OrtLikeExecutorConfig();
+      } else if (is_slow) {
+        spec.id = "stage" + std::to_string(si) + ".slow-tvm";
+        spec.exec_config = runtime::TvmLikeExecutorConfig();
+        spec.exec_config.slowdown_factor = config.slow_variant_factor;
+        spec.graph_transforms = {GraphTransform::kShuffleChannels,
+                                 GraphTransform::kInsertDummyOps,
+                                 GraphTransform::kSplitConv};
+      } else {
+        const Recipe& recipe =
+            Recipes()[static_cast<size_t>(vi) % Recipes().size()];
+        spec.id = "stage" + std::to_string(si) + "." + recipe.tag + ".v" +
+                  std::to_string(vi);
+        spec.exec_config = recipe.exec();
+        spec.graph_transforms = recipe.transforms;
+      }
+      spec.transform_seed =
+          config.seed * 2654435761ULL + static_cast<uint64_t>(si) * 131 +
+          static_cast<uint64_t>(vi);
+
+      MVTEE_ASSIGN_OR_RETURN(Graph vgraph, BuildVariantGraph(stage, spec));
+      if (config.verify) {
+        MVTEE_ASSIGN_OR_RETURN(
+            bool equivalent,
+            VerifyVariantEquivalence(stage, vgraph, spec,
+                                     spec.transform_seed ^ 0xabcdef));
+        if (!equivalent) {
+          return util::Internal("variant " + spec.id +
+                                " failed equivalence verification");
+        }
+      }
+      pool.variants.push_back({std::move(spec), std::move(vgraph)});
+    }
+    pools.push_back(std::move(pool));
+  }
+  return pools;
+}
+
+}  // namespace mvtee::variant

@@ -1,0 +1,76 @@
+// Variant specification and pool construction (paper §4.2, §5.1).
+//
+// A VariantSpec = graph-level transforms + an inference-instance
+// configuration. The pool builder produces, per pipeline stage, the set
+// of diversified variants the monitor will later select from (the
+// "pre-established variant pool" of Figure 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/ir.h"
+#include "partition/partition.h"
+#include "runtime/executor.h"
+#include "variant/transforms.h"
+
+namespace mvtee::variant {
+
+struct VariantSpec {
+  std::string id;
+  // Graph-level transforms, applied in order with `transform_seed`.
+  std::vector<GraphTransform> graph_transforms;
+  uint64_t transform_seed = 0;
+  int transform_sites = 4;
+  // Inference-instance level (runtime/EP/library analog).
+  runtime::ExecutorConfig exec_config;
+
+  util::Bytes Serialize() const;
+  static util::Result<VariantSpec> Deserialize(util::ByteSpan data);
+};
+
+// Applies the spec's graph transforms to `base`.
+util::Result<graph::Graph> BuildVariantGraph(const graph::Graph& base,
+                                             const VariantSpec& spec);
+
+// Offline correctness check ("partitions are tested for correctness
+// before evaluation"): runs base and variant on a deterministic random
+// input and compares outputs with a cosine-similarity threshold.
+util::Result<bool> VerifyVariantEquivalence(const graph::Graph& base,
+                                            const graph::Graph& variant_graph,
+                                            const VariantSpec& spec,
+                                            uint64_t input_seed,
+                                            double min_cosine = 0.999);
+
+struct VariantBundle {
+  VariantSpec spec;
+  graph::Graph graph;  // transformed stage graph
+};
+
+// All variants generated for one pipeline stage.
+struct StageVariantPool {
+  std::vector<VariantBundle> variants;
+};
+
+struct PoolConfig {
+  // Maximum variants generated per stage (the monitor picks a subset at
+  // init time).
+  int variants_per_stage = 3;
+  uint64_t seed = 0;
+  // Replicated mode: identical ORT-like variants, no diversification —
+  // used for the paper's "fundamental performance" experiments where
+  // execution-time variation between variants must be minimized.
+  bool replicated = false;
+  // Adds one deliberately slow, heavily diversified TVM-style variant
+  // per stage (the lagging variant of the Fig. 13 async experiments).
+  bool include_slow_variant = false;
+  double slow_variant_factor = 1.8;
+  // Verify each generated variant against its base stage graph.
+  bool verify = true;
+};
+
+// Builds a pool for every stage of a partitioned model.
+util::Result<std::vector<StageVariantPool>> BuildVariantPool(
+    const partition::PartitionedModel& model, const PoolConfig& config);
+
+}  // namespace mvtee::variant

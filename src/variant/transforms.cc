@@ -1,0 +1,483 @@
+#include "variant/transforms.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "runtime/executor.h"
+
+namespace mvtee::variant {
+
+using graph::Attributes;
+using graph::Graph;
+using graph::Node;
+using graph::NodeId;
+using graph::OpType;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string_view GraphTransformName(GraphTransform t) {
+  switch (t) {
+    case GraphTransform::kInsertDummyOps: return "insert-dummy-ops";
+    case GraphTransform::kSplitConv: return "split-conv";
+    case GraphTransform::kShuffleChannels: return "shuffle-channels";
+    case GraphTransform::kReorderCommutative: return "reorder-commutative";
+    case GraphTransform::kSelectiveBnFold: return "selective-bn-fold";
+    case GraphTransform::kConvToFc: return "conv-to-fc";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Chooses up to k distinct elements from candidates.
+std::set<NodeId> PickSites(std::vector<NodeId> candidates, util::Rng& rng,
+                           int k) {
+  rng.Shuffle(candidates);
+  if (static_cast<int>(candidates.size()) > k) {
+    candidates.resize(static_cast<size_t>(k));
+  }
+  return std::set<NodeId>(candidates.begin(), candidates.end());
+}
+
+// ------------------------------------------------------------- dummy ops
+
+std::vector<NodeId> DummyOpCandidates(const Graph& g) {
+  std::vector<NodeId> out;
+  for (const Node& n : g.nodes()) out.push_back(n.id);
+  return out;
+}
+
+Graph InsertDummyOps(const Graph& g, util::Rng& rng, int max_sites) {
+  std::set<NodeId> sites = PickSites(DummyOpCandidates(g), rng, max_sites);
+  Graph out;
+  for (const auto& [name, t] : g.initializers()) out.AddInitializer(name, t);
+  std::map<NodeId, NodeId> remap;
+  for (const Node& n : g.nodes()) {
+    NodeId nid;
+    if (n.op == OpType::kInput) {
+      nid = out.AddInput(n.name, g.input_shape(n.id));
+    } else {
+      std::vector<NodeId> ins;
+      for (NodeId in : n.inputs) ins.push_back(remap.at(in));
+      nid = out.AddNode(n.name, n.op, std::move(ins), n.weights, n.attrs);
+    }
+    if (sites.count(n.id)) {
+      if (rng.NextU64() & 1) {
+        nid = out.AddNode(n.name + ".dummy_id", OpType::kIdentity, {nid});
+      } else {
+        Attributes attrs;
+        attrs.SetFloat("alpha", 1.0f);
+        attrs.SetFloat("beta", 0.0f);
+        nid = out.AddNode(n.name + ".dummy_scale", OpType::kScale, {nid}, {},
+                          std::move(attrs));
+      }
+    }
+    remap[n.id] = nid;
+  }
+  for (NodeId o : g.outputs()) out.MarkOutput(remap.at(o));
+  out.DropUnusedInitializers();
+  return out;
+}
+
+// ------------------------------------------------------------ split conv
+
+std::vector<NodeId> SplitConvCandidates(const Graph& g) {
+  std::vector<NodeId> out;
+  for (const Node& n : g.nodes()) {
+    if (n.op != OpType::kConv2d) continue;
+    if (n.attrs.GetInt("groups", 1) != 1) continue;
+    const Tensor* w = g.FindInitializer(n.weights[0]);
+    if (w && w->shape().dim(0) >= 2) out.push_back(n.id);
+  }
+  return out;
+}
+
+Graph SplitConv(const Graph& g, util::Rng& rng, int max_sites) {
+  std::set<NodeId> sites = PickSites(SplitConvCandidates(g), rng, max_sites);
+  Graph out;
+  for (const auto& [name, t] : g.initializers()) out.AddInitializer(name, t);
+  std::map<NodeId, NodeId> remap;
+
+  auto slice_rows = [](const Tensor& t, int64_t begin, int64_t end) {
+    const int64_t per_row = t.num_elements() / t.shape().dim(0);
+    std::vector<int64_t> dims = t.shape().dims();
+    dims[0] = end - begin;
+    std::vector<float> data(t.data() + begin * per_row,
+                            t.data() + end * per_row);
+    return Tensor(Shape(std::move(dims)), std::move(data));
+  };
+
+  for (const Node& n : g.nodes()) {
+    if (n.op == OpType::kInput) {
+      remap[n.id] = out.AddInput(n.name, g.input_shape(n.id));
+      continue;
+    }
+    std::vector<NodeId> ins;
+    for (NodeId in : n.inputs) ins.push_back(remap.at(in));
+
+    if (!sites.count(n.id)) {
+      remap[n.id] = out.AddNode(n.name, n.op, std::move(ins), n.weights,
+                                n.attrs);
+      continue;
+    }
+    // Decompose: conv -> [conv_a ; conv_b] -> concat.
+    const Tensor* w = g.FindInitializer(n.weights[0]);
+    const Tensor* b =
+        n.weights.size() >= 2 ? g.FindInitializer(n.weights[1]) : nullptr;
+    const int64_t oc = w->shape().dim(0);
+    const int64_t oc_a = oc / 2;
+
+    out.AddInitializer(n.name + ".split_a.w", slice_rows(*w, 0, oc_a));
+    out.AddInitializer(n.name + ".split_b.w", slice_rows(*w, oc_a, oc));
+    std::vector<std::string> wa = {n.name + ".split_a.w"};
+    std::vector<std::string> wb = {n.name + ".split_b.w"};
+    if (b) {
+      out.AddInitializer(n.name + ".split_a.b", slice_rows(*b, 0, oc_a));
+      out.AddInitializer(n.name + ".split_b.b", slice_rows(*b, oc_a, oc));
+      wa.push_back(n.name + ".split_a.b");
+      wb.push_back(n.name + ".split_b.b");
+    }
+    NodeId ca = out.AddNode(n.name + ".split_a", OpType::kConv2d, ins,
+                            std::move(wa), n.attrs);
+    NodeId cb = out.AddNode(n.name + ".split_b", OpType::kConv2d, ins,
+                            std::move(wb), n.attrs);
+    Attributes cat_attrs;
+    cat_attrs.SetInt("axis", 1);
+    remap[n.id] = out.AddNode(n.name + ".split_cat", OpType::kConcat,
+                              {ca, cb}, {}, std::move(cat_attrs));
+  }
+  for (NodeId o : g.outputs()) out.MarkOutput(remap.at(o));
+  out.DropUnusedInitializers();
+  return out;
+}
+
+// ------------------------------------------------------- channel shuffle
+
+bool IsChannelwiseChainOp(OpType op) {
+  switch (op) {
+    case OpType::kBatchNorm:
+    case OpType::kRelu:
+    case OpType::kRelu6:
+    case OpType::kSigmoid:
+    case OpType::kHardSwish:
+    case OpType::kTanh:
+    case OpType::kIdentity:
+    case OpType::kScale:
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+    case OpType::kGlobalAvgPool:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// A shuffle site: conv1 -> (channelwise single-consumer chain) ->
+// terminal, where the terminal is either a Conv2d (permute its
+// input-channel axis) or a Gemm reached through a Flatten of a
+// [N,C,1,1] tensor (permute its input-feature axis). The chain may
+// contain Flatten only in that degenerate spatial case.
+struct ShuffleSite {
+  NodeId conv1;
+  std::vector<NodeId> chain;  // channelwise nodes between (may be empty)
+  NodeId terminal;
+  bool terminal_is_gemm = false;
+};
+
+std::vector<ShuffleSite> ShuffleSites(const Graph& g) {
+  auto consumers = g.BuildConsumers();
+  auto shapes_or = g.InferShapes();
+  if (!shapes_or.ok()) return {};
+  const auto& shapes = *shapes_or;
+  std::set<NodeId> outputs(g.outputs().begin(), g.outputs().end());
+  std::vector<ShuffleSite> sites;
+  for (const Node& n : g.nodes()) {
+    if (n.op != OpType::kConv2d || n.attrs.GetInt("groups", 1) != 1) continue;
+    ShuffleSite site;
+    site.conv1 = n.id;
+    NodeId cur = n.id;
+    bool ok = true;
+    for (;;) {
+      if (outputs.count(cur) ||
+          consumers[static_cast<size_t>(cur)].size() != 1) {
+        ok = false;
+        break;
+      }
+      NodeId next = consumers[static_cast<size_t>(cur)][0];
+      const Node& next_node = g.node(next);
+      if (next_node.op == OpType::kConv2d) {
+        if (next_node.attrs.GetInt("groups", 1) != 1) ok = false;
+        site.terminal = next;
+        break;
+      }
+      if (next_node.op == OpType::kGemm) {
+        site.terminal = next;
+        site.terminal_is_gemm = true;
+        break;
+      }
+      if (next_node.op == OpType::kFlatten) {
+        // Only safe when flattening [N,C,1,1]: features == channels.
+        const tensor::Shape& in_shape = shapes[static_cast<size_t>(cur)];
+        if (in_shape.rank() != 4 || in_shape.dim(2) != 1 ||
+            in_shape.dim(3) != 1) {
+          ok = false;
+          break;
+        }
+      } else if (!IsChannelwiseChainOp(next_node.op)) {
+        ok = false;
+        break;
+      }
+      site.chain.push_back(next);
+      cur = next;
+    }
+    if (ok) sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+Graph ShuffleChannels(const Graph& g, util::Rng& rng, int max_sites) {
+  auto sites = ShuffleSites(g);
+  rng.Shuffle(sites);
+  if (static_cast<int>(sites.size()) > max_sites) {
+    sites.resize(static_cast<size_t>(max_sites));
+  }
+  // Sites must not overlap (sharing a chain node or conv would compose
+  // permutations incorrectly). Greedily keep non-overlapping ones.
+  std::set<NodeId> touched;
+  std::vector<ShuffleSite> kept;
+  for (const auto& s : sites) {
+    std::vector<NodeId> all = {s.conv1, s.terminal};
+    all.insert(all.end(), s.chain.begin(), s.chain.end());
+    bool overlap = false;
+    for (NodeId id : all) {
+      if (touched.count(id)) overlap = true;
+    }
+    if (overlap) continue;
+    touched.insert(all.begin(), all.end());
+    kept.push_back(s);
+  }
+
+  Graph out = g;  // weight permutation only; structure unchanged
+  for (const auto& site : kept) {
+    const Node& conv1 = out.node(site.conv1);
+    Tensor* w1 = out.MutableInitializer(conv1.weights[0]);
+    const int64_t oc = w1->shape().dim(0);
+    std::vector<int64_t> perm(static_cast<size_t>(oc));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(perm);
+
+    auto permute_rows = [&](Tensor& t) {
+      const int64_t per_row = t.num_elements() / t.shape().dim(0);
+      Tensor copy = t;
+      for (int64_t c = 0; c < oc; ++c) {
+        std::copy(copy.data() + perm[static_cast<size_t>(c)] * per_row,
+                  copy.data() + (perm[static_cast<size_t>(c)] + 1) * per_row,
+                  t.data() + c * per_row);
+      }
+    };
+
+    permute_rows(*w1);
+    if (conv1.weights.size() >= 2) {
+      permute_rows(*out.MutableInitializer(conv1.weights[1]));
+    }
+    for (NodeId cid : site.chain) {
+      const Node& chain_node = out.node(cid);
+      if (chain_node.op == OpType::kBatchNorm) {
+        for (const std::string& wname : chain_node.weights) {
+          permute_rows(*out.MutableInitializer(wname));
+        }
+      }
+    }
+    // Terminal: permute the input-channel / input-feature axis (dim 1).
+    const Node& terminal = out.node(site.terminal);
+    Tensor* w2 = out.MutableInitializer(terminal.weights[0]);
+    const int64_t oc2 = w2->shape().dim(0), ic = w2->shape().dim(1);
+    const int64_t khw = site.terminal_is_gemm
+                            ? 1
+                            : w2->shape().dim(2) * w2->shape().dim(3);
+    MVTEE_CHECK(ic == oc);
+    Tensor copy = *w2;
+    for (int64_t o = 0; o < oc2; ++o) {
+      for (int64_t c = 0; c < ic; ++c) {
+        std::copy(
+            copy.data() + (o * ic + perm[static_cast<size_t>(c)]) * khw,
+            copy.data() + (o * ic + perm[static_cast<size_t>(c)] + 1) * khw,
+            w2->data() + (o * ic + c) * khw);
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------- commutative reorder
+
+std::vector<NodeId> CommutativeCandidates(const Graph& g) {
+  std::vector<NodeId> out;
+  for (const Node& n : g.nodes()) {
+    if (n.op == OpType::kAdd) out.push_back(n.id);
+  }
+  return out;
+}
+
+Graph ReorderCommutative(const Graph& g, util::Rng& rng, int max_sites) {
+  std::set<NodeId> sites =
+      PickSites(CommutativeCandidates(g), rng, max_sites);
+  Graph out = g;
+  for (NodeId id : sites) {
+    Node& n = out.node(id);
+    std::swap(n.inputs[0], n.inputs[1]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------- selective BN fold
+
+std::vector<NodeId> BnFoldCandidates(const Graph& g) {
+  auto consumers = g.BuildConsumers();
+  std::vector<NodeId> out;
+  for (const Node& n : g.nodes()) {
+    if (n.op != OpType::kBatchNorm) continue;
+    NodeId conv = n.inputs[0];
+    if (g.node(conv).op == OpType::kConv2d &&
+        consumers[static_cast<size_t>(conv)].size() == 1) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+Graph SelectiveBnFold(const Graph& g, util::Rng& rng, int max_sites) {
+  std::set<NodeId> sites = PickSites(BnFoldCandidates(g), rng, max_sites);
+  Graph out = g;
+  runtime::FoldBatchNormPass(
+      out, [&](NodeId id) { return sites.count(id) > 0; });
+  return out;
+}
+
+// ------------------------------------------------------- conv -> FC
+
+// Candidates: 1x1 stride-1 pad-0 ungrouped convs whose input tensor is
+// [N, C, 1, 1] (SE squeeze/expand convs, classifier heads).
+std::vector<NodeId> ConvToFcCandidates(const Graph& g) {
+  auto shapes_or = g.InferShapes();
+  if (!shapes_or.ok()) return {};
+  const auto& shapes = *shapes_or;
+  std::vector<NodeId> out;
+  for (const Node& n : g.nodes()) {
+    if (n.op != OpType::kConv2d) continue;
+    if (n.attrs.GetInt("groups", 1) != 1) continue;
+    if (n.attrs.GetInt("stride", 1) != 1) continue;
+    if (n.attrs.GetInt("padding", 0) != 0) continue;
+    const Tensor* w = g.FindInitializer(n.weights[0]);
+    if (!w || w->shape().dim(2) != 1 || w->shape().dim(3) != 1) continue;
+    const tensor::Shape& x = shapes[static_cast<size_t>(n.inputs[0])];
+    if (x.rank() == 4 && x.dim(2) == 1 && x.dim(3) == 1) out.push_back(n.id);
+  }
+  return out;
+}
+
+Graph ConvToFc(const Graph& g, util::Rng& rng, int max_sites) {
+  std::set<NodeId> sites = PickSites(ConvToFcCandidates(g), rng, max_sites);
+  auto shapes_or = g.InferShapes();
+  MVTEE_CHECK(shapes_or.ok());
+  const auto& shapes = *shapes_or;
+
+  Graph out;
+  for (const auto& [name, t] : g.initializers()) out.AddInitializer(name, t);
+  std::map<NodeId, NodeId> remap;
+  for (const Node& n : g.nodes()) {
+    if (n.op == OpType::kInput) {
+      remap[n.id] = out.AddInput(n.name, g.input_shape(n.id));
+      continue;
+    }
+    std::vector<NodeId> ins;
+    for (NodeId in : n.inputs) ins.push_back(remap.at(in));
+    if (!sites.count(n.id)) {
+      remap[n.id] =
+          out.AddNode(n.name, n.op, std::move(ins), n.weights, n.attrs);
+      continue;
+    }
+    // conv1x1 over [N,C,1,1]  ==  reshape -> gemm -> reshape.
+    const Tensor* w = g.FindInitializer(n.weights[0]);
+    const int64_t oc = w->shape().dim(0), ic = w->shape().dim(1);
+    const tensor::Shape& x = shapes[static_cast<size_t>(n.inputs[0])];
+    const int64_t batch = x.dim(0);
+
+    out.AddInitializer(n.name + ".fc.w",
+                       Tensor(tensor::Shape({oc, ic}), w->vec()));
+    std::vector<std::string> weights = {n.name + ".fc.w"};
+    if (n.weights.size() >= 2) weights.push_back(n.weights[1]);
+
+    Attributes to_2d;
+    to_2d.SetInts("dims", {batch, ic});
+    NodeId flat = out.AddNode(n.name + ".fc.in", OpType::kReshape, ins, {},
+                              std::move(to_2d));
+    NodeId fc = out.AddNode(n.name + ".fc", OpType::kGemm, {flat},
+                            std::move(weights));
+    Attributes to_4d;
+    to_4d.SetInts("dims", {batch, oc, 1, 1});
+    remap[n.id] = out.AddNode(n.name + ".fc.out", OpType::kReshape, {fc}, {},
+                              std::move(to_4d));
+  }
+  for (NodeId o : g.outputs()) out.MarkOutput(remap.at(o));
+  out.DropUnusedInitializers();
+  return out;
+}
+
+}  // namespace
+
+int CountApplicableSites(const Graph& g, GraphTransform t) {
+  switch (t) {
+    case GraphTransform::kInsertDummyOps:
+      return static_cast<int>(DummyOpCandidates(g).size());
+    case GraphTransform::kSplitConv:
+      return static_cast<int>(SplitConvCandidates(g).size());
+    case GraphTransform::kShuffleChannels:
+      return static_cast<int>(ShuffleSites(g).size());
+    case GraphTransform::kReorderCommutative:
+      return static_cast<int>(CommutativeCandidates(g).size());
+    case GraphTransform::kSelectiveBnFold:
+      return static_cast<int>(BnFoldCandidates(g).size());
+    case GraphTransform::kConvToFc:
+      return static_cast<int>(ConvToFcCandidates(g).size());
+  }
+  return 0;
+}
+
+util::Result<Graph> ApplyGraphTransform(const Graph& g, GraphTransform t,
+                                        uint64_t seed, int max_sites) {
+  MVTEE_RETURN_IF_ERROR(g.Validate());
+  if (max_sites < 1) return util::InvalidArgument("max_sites must be >= 1");
+  util::Rng rng(seed ^ (static_cast<uint64_t>(t) << 56));
+  Graph out;
+  switch (t) {
+    case GraphTransform::kInsertDummyOps:
+      out = InsertDummyOps(g, rng, max_sites);
+      break;
+    case GraphTransform::kSplitConv:
+      out = SplitConv(g, rng, max_sites);
+      break;
+    case GraphTransform::kShuffleChannels:
+      out = ShuffleChannels(g, rng, max_sites);
+      break;
+    case GraphTransform::kReorderCommutative:
+      out = ReorderCommutative(g, rng, max_sites);
+      break;
+    case GraphTransform::kSelectiveBnFold:
+      out = SelectiveBnFold(g, rng, max_sites);
+      break;
+    case GraphTransform::kConvToFc:
+      out = ConvToFc(g, rng, max_sites);
+      break;
+  }
+  MVTEE_RETURN_IF_ERROR(out.Validate());
+  {
+    auto shapes = out.InferShapes();
+    if (!shapes.ok()) return shapes.status();
+  }
+  return out;
+}
+
+}  // namespace mvtee::variant

@@ -1,0 +1,55 @@
+// Model-graph-level diversification transforms (paper §4.2).
+//
+// Every transform produces a *functionally equivalent* graph — most are
+// exactly equivalent in float arithmetic (identity insertion, channel
+// permutation, conv output split, commutative reorder); BN folding is
+// equivalent up to rounding. They change the graph's structure, weight
+// layout and execution order, which is what denies an attacker a single
+// stable target across variants.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ir.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mvtee::variant {
+
+enum class GraphTransform : uint8_t {
+  // Insert Identity / Scale(1,0) pass-through nodes on random edges
+  // ("dummy operators").
+  kInsertDummyOps = 0,
+  // Split a Conv2d into two half-output-channel convs + Concat
+  // ("equivalent operator replacement": decomposition).
+  kSplitConv,
+  // Permute a conv's output channels and the downstream consumers'
+  // weights accordingly ("channel manipulation").
+  kShuffleChannels,
+  // Swap the operands of Add nodes ("mathematical-property-based graph
+  // rewriting": commutativity).
+  kReorderCommutative,
+  // Fold a random subset of BatchNorms into their convs ("selective
+  // optimization").
+  kSelectiveBnFold,
+  // Replace a 1x1 convolution over a [N,C,1,1] tensor with an exactly
+  // equivalent fully-connected (Gemm) operator ("equivalent operator
+  // replacement": conv -> linear), via Reshape on both sides.
+  kConvToFc,
+};
+
+std::string_view GraphTransformName(GraphTransform t);
+
+// Applies one transform at up to `max_sites` sites chosen by `seed`.
+// Returns the transformed graph (the input is not modified). Transforms
+// that find no applicable site return the graph unchanged — callers that
+// need guaranteed structural change should check ApplicableSites first.
+util::Result<graph::Graph> ApplyGraphTransform(const graph::Graph& g,
+                                               GraphTransform t,
+                                               uint64_t seed,
+                                               int max_sites = 4);
+
+// Number of sites where `t` could apply.
+int CountApplicableSites(const graph::Graph& g, GraphTransform t);
+
+}  // namespace mvtee::variant

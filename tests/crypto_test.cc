@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/rand.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "util/bytes.h"
+
+namespace mvtee::crypto {
+namespace {
+
+using util::Bytes;
+using util::ByteSpan;
+using util::HexDecode;
+using util::HexEncode;
+
+Bytes FromHex(std::string_view hex) {
+  Bytes out;
+  EXPECT_TRUE(HexDecode(hex, out));
+  return out;
+}
+
+std::string DigestHex(const Sha256Digest& d) {
+  return HexEncode(ByteSpan(d.data(), d.size()));
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  auto msg = util::ToBytes("abc");
+  EXPECT_EQ(DigestHex(Sha256::Hash(msg)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  auto msg = util::ToBytes(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(DigestHex(Sha256::Hash(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes msg;
+  for (int i = 0; i < 300; ++i) msg.push_back(static_cast<uint8_t>(i * 7));
+  // Feed in irregular chunk sizes to exercise buffering.
+  Sha256 h;
+  size_t pos = 0;
+  for (size_t chunk : {1u, 3u, 63u, 64u, 65u, 100u, 4u}) {
+    size_t take = std::min(chunk, msg.size() - pos);
+    h.Update(ByteSpan(msg.data() + pos, take));
+    pos += take;
+  }
+  h.Update(ByteSpan(msg.data() + pos, msg.size() - pos));
+  EXPECT_EQ(h.Finish(), Sha256::Hash(msg));
+}
+
+// -------------------------------------------------------------- HMAC/HKDF
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto mac = HmacSha256(key, util::ToBytes("Hi There"));
+  EXPECT_EQ(DigestHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  auto mac = HmacSha256(util::ToBytes("Jefe"),
+                        util::ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(DigestHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(DigestHex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);  // RFC 4231 case 6
+  auto mac = HmacSha256(
+      key, util::ToBytes("Test Using Larger Than Block-Size Key - Hash "
+                         "Key First"));
+  EXPECT_EQ(DigestHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = FromHex("000102030405060708090a0b0c");
+  Bytes info = FromHex("f0f1f2f3f4f5f6f7f8f9");
+  auto okm = Hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case3NoSaltNoInfo) {
+  Bytes ikm(22, 0x0b);
+  auto okm = Hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, ExpandLengths) {
+  Bytes prk(32, 0x42);
+  for (size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 100u, 255u}) {
+    auto okm = HkdfExpand(prk, util::ToBytes("info"), len);
+    EXPECT_EQ(okm.size(), len);
+  }
+  // Prefix property: a longer expansion extends a shorter one.
+  auto short_okm = HkdfExpand(prk, util::ToBytes("ctx"), 16);
+  auto long_okm = HkdfExpand(prk, util::ToBytes("ctx"), 48);
+  EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(),
+                         long_okm.begin()));
+}
+
+// -------------------------------------------------------------------- AES
+
+TEST(AesTest, Fips197Aes128) {
+  auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  auto pt = FromHex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(ByteSpan(ct, 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  auto key =
+      FromHex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  auto pt = FromHex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(ByteSpan(ct, 16)),
+            "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, Aes256EcbNistVector) {
+  // NIST AESAVS: key = 256-bit zero... use SP 800-38A F.1.5 vector instead.
+  auto key =
+      FromHex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  auto pt = FromHex("6bc1bee22e409f96e93d7e117393172a");
+  Aes aes(key);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(ByteSpan(ct, 16)),
+            "f3eed1bdb5d2a03c064b5a7e3db181f8");
+}
+
+// -------------------------------------------------------------- AES-GCM
+
+TEST(GcmTest, NistTestCase1EmptyAes128) {
+  // GCM spec test case 1: K=0^128, IV=0^96, empty PT/AAD.
+  Bytes key(16, 0);
+  Bytes nonce(12, 0);
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, {});
+  EXPECT_EQ(HexEncode(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(GcmTest, NistTestCase2SingleBlockAes128) {
+  Bytes key(16, 0);
+  Bytes nonce(12, 0);
+  Bytes pt(16, 0);
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, pt);
+  EXPECT_EQ(HexEncode(sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(GcmTest, NistTestCase4WithAadAes128) {
+  auto key = FromHex("feffe9928665731c6d6a8f9467308308");
+  auto nonce = FromHex("cafebabefacedbaddecaf888");
+  auto pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  auto aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, aad, pt);
+  EXPECT_EQ(HexEncode(sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(GcmTest, NistTestCase13EmptyAes256) {
+  Bytes key(32, 0);
+  Bytes nonce(12, 0);
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, {});
+  EXPECT_EQ(HexEncode(sealed), "530f8afbc74536b9a963b4f1c4cb738b");
+}
+
+TEST(GcmTest, NistTestCase16Aes256) {
+  auto key = FromHex(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+  auto nonce = FromHex("cafebabefacedbaddecaf888");
+  auto pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  auto aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, aad, pt);
+  EXPECT_EQ(HexEncode(sealed),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+            "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+            "76fc6ece0f4e1768cddf8853bb2d551b");
+}
+
+TEST(GcmTest, SealOpenRoundTrip) {
+  Bytes key(32, 0x11);
+  Bytes nonce(12, 0x22);
+  auto pt = util::ToBytes("the quick brown fox jumps over the lazy dog");
+  auto aad = util::ToBytes("header");
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, aad, pt);
+  auto opened = gcm.Open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(GcmTest, TamperedCiphertextRejected) {
+  Bytes key(32, 0x11);
+  Bytes nonce(12, 0x22);
+  auto pt = util::ToBytes("sensitive tensor bytes");
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, pt);
+
+  for (size_t i : {size_t{0}, sealed.size() / 2, sealed.size() - 1}) {
+    auto corrupt = sealed;
+    corrupt[i] ^= 0x01;
+    auto r = gcm.Open(nonce, {}, corrupt);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kAuthenticationFailure);
+  }
+}
+
+TEST(GcmTest, WrongAadRejected) {
+  Bytes key(32, 0x11);
+  Bytes nonce(12, 0x22);
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, util::ToBytes("aad1"), util::ToBytes("data"));
+  EXPECT_FALSE(gcm.Open(nonce, util::ToBytes("aad2"), sealed).ok());
+}
+
+TEST(GcmTest, WrongNonceRejected) {
+  Bytes key(32, 0x11);
+  AesGcm gcm(key);
+  Bytes nonce1(12, 1), nonce2(12, 2);
+  auto sealed = gcm.Seal(nonce1, {}, util::ToBytes("data"));
+  EXPECT_FALSE(gcm.Open(nonce2, {}, sealed).ok());
+}
+
+TEST(GcmTest, WrongKeyRejected) {
+  Bytes key1(32, 0x11), key2(32, 0x12);
+  Bytes nonce(12, 0);
+  auto sealed = AesGcm(key1).Seal(nonce, {}, util::ToBytes("data"));
+  EXPECT_FALSE(AesGcm(key2).Open(nonce, {}, sealed).ok());
+}
+
+TEST(GcmTest, TruncatedInputRejectedGracefully) {
+  Bytes key(32, 0x11);
+  Bytes nonce(12, 0);
+  AesGcm gcm(key);
+  Bytes too_short(10, 0);
+  auto r = gcm.Open(nonce, {}, too_short);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GcmTest, LargePayloadRoundTrip) {
+  Bytes key(32, 0x33);
+  Bytes nonce(12, 0x44);
+  Bytes pt(1 << 16);
+  for (size_t i = 0; i < pt.size(); ++i) pt[i] = static_cast<uint8_t>(i * 31);
+  AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, pt);
+  auto opened = gcm.Open(nonce, {}, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+// ----------------------------------------------------------------- X25519
+
+TEST(X25519Test, Rfc7748Vector1) {
+  X25519Key scalar, point;
+  Bytes s = FromHex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  Bytes u = FromHex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  std::copy(s.begin(), s.end(), scalar.begin());
+  std::copy(u.begin(), u.end(), point.begin());
+  auto out = X25519(scalar, point);
+  EXPECT_EQ(HexEncode(ByteSpan(out.data(), out.size())),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748Vector2) {
+  X25519Key scalar, point;
+  Bytes s = FromHex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  Bytes u = FromHex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  std::copy(s.begin(), s.end(), scalar.begin());
+  std::copy(u.begin(), u.end(), point.begin());
+  auto out = X25519(scalar, point);
+  EXPECT_EQ(HexEncode(ByteSpan(out.data(), out.size())),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519Test, DiffieHellmanAgreement) {
+  // RFC 7748 §6.1 test keys.
+  X25519Key alice_priv, bob_priv;
+  Bytes a = FromHex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  Bytes b = FromHex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  std::copy(a.begin(), a.end(), alice_priv.begin());
+  std::copy(b.begin(), b.end(), bob_priv.begin());
+
+  auto alice_pub = X25519PublicKey(alice_priv);
+  auto bob_pub = X25519PublicKey(bob_priv);
+  EXPECT_EQ(HexEncode(ByteSpan(alice_pub.data(), 32)),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(HexEncode(ByteSpan(bob_pub.data(), 32)),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  auto shared_a = X25519(alice_priv, bob_pub);
+  auto shared_b = X25519(bob_priv, alice_pub);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(HexEncode(ByteSpan(shared_a.data(), 32)),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519Test, IteratedRfc7748) {
+  // RFC 7748 §5.2: after 1 iteration of k = X25519(k, u); u = old k.
+  X25519Key k{}, u{};
+  k[0] = 9;
+  u[0] = 9;
+  auto result = X25519(k, u);
+  EXPECT_EQ(HexEncode(ByteSpan(result.data(), 32)),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+// ------------------------------------------------------------------ rand
+
+TEST(RandTest, DeterministicIsReproducible) {
+  DeterministicRandom a(99), b(99);
+  auto x = a.Generate(64);
+  auto y = b.Generate(64);
+  EXPECT_EQ(x, y);
+}
+
+TEST(RandTest, DeterministicDiffersBySeed) {
+  DeterministicRandom a(1), b(2);
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(RandTest, SequentialCallsDiffer) {
+  DeterministicRandom a(7);
+  EXPECT_NE(a.Generate(32), a.Generate(32));
+}
+
+TEST(RandTest, SecureRandomProducesNonConstantOutput) {
+  SecureRandom sr;
+  auto x = sr.Generate(32);
+  auto y = sr.Generate(32);
+  EXPECT_NE(x, y);
+}
+
+}  // namespace
+}  // namespace mvtee::crypto

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "fault/injectors.h"
+#include "graph/builder.h"
+#include "runtime/executor.h"
+
+namespace mvtee::fault {
+namespace {
+
+using graph::Graph;
+using graph::ModelBuilder;
+using graph::NodeId;
+using tensor::Shape;
+using tensor::Tensor;
+
+Graph SmallNet(uint64_t seed = 3) {
+  ModelBuilder b(seed);
+  NodeId x = b.Input("img", Shape({1, 3, 12, 12}));
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 10);
+  x = b.Softmax(x);
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+Tensor RunWithHook(const Graph& g, runtime::ExecutorConfig cfg,
+                   std::shared_ptr<runtime::FaultHook> hook,
+                   util::Status* status_out = nullptr) {
+  auto exec = runtime::Executor::Create(g, cfg);
+  MVTEE_CHECK(exec.ok());
+  if (hook) (*exec)->SetFaultHook(hook);
+  util::Rng rng(1);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 12, 12}), rng);
+  auto out = (*exec)->Run({input});
+  if (status_out) *status_out = out.status();
+  if (!out.ok()) return Tensor();
+  return (*out)[0];
+}
+
+TEST(VulnerabilityFaultTest, FiresOnlyOnVulnerableBackend) {
+  Graph g = SmallNet();
+  VulnerabilitySpec spec;
+  spec.cls = VulnClass::kOutOfBounds;
+  spec.effect = FaultEffect::kCorruptSilent;
+  spec.vulnerable_gemm = runtime::GemmBackend::kBlocked;
+
+  // Vulnerable backend (blocked GEMM = "OpenBLAS"): corrupted output.
+  auto hook1 = std::make_shared<VulnerabilityFault>(spec);
+  auto clean = RunWithHook(g, runtime::OrtLikeExecutorConfig(), nullptr);
+  auto dirty = RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook1);
+  EXPECT_TRUE(hook1->armed());
+  EXPECT_GT(hook1->fire_count(), 0u);
+  EXPECT_GT(tensor::MaxAbsDiff(clean, dirty), 0.0);
+
+  // Different backend (transposed GEMM = "Eigen"): unaffected.
+  auto hook2 = std::make_shared<VulnerabilityFault>(spec);
+  auto clean_tvm = RunWithHook(g, runtime::TvmLikeExecutorConfig(), nullptr);
+  auto same = RunWithHook(g, runtime::TvmLikeExecutorConfig(), hook2);
+  EXPECT_FALSE(hook2->armed());
+  EXPECT_EQ(hook2->fire_count(), 0u);
+  EXPECT_EQ(tensor::MaxAbsDiff(clean_tvm, same), 0.0);
+}
+
+TEST(VulnerabilityFaultTest, HardenedVariantTrapsMemorySafetyBugs) {
+  Graph g = SmallNet();
+  VulnerabilitySpec spec;
+  spec.cls = VulnClass::kOutOfBounds;
+  spec.effect = FaultEffect::kCorruptSilent;
+  spec.vulnerable_gemm = runtime::GemmBackend::kNaive;  // hardened's GEMM
+
+  auto hook = std::make_shared<VulnerabilityFault>(spec);
+  util::Status status;
+  // Hardened config uses the vulnerable GEMM — but traps the exploit.
+  (void)RunWithHook(g, runtime::HardenedExecutorConfig(), hook, &status);
+  EXPECT_TRUE(hook->trapped_by_hardening());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kAborted);
+  EXPECT_NE(status.message().find("sanitizer trap"), std::string::npos);
+}
+
+TEST(VulnerabilityFaultTest, CrashEffectAborts) {
+  Graph g = SmallNet();
+  VulnerabilitySpec spec;
+  spec.cls = VulnClass::kNullPointer;
+  spec.effect = FaultEffect::kCrash;
+  auto hook = std::make_shared<VulnerabilityFault>(spec);
+  util::Status status;
+  (void)RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook, &status);
+  EXPECT_EQ(status.code(), util::StatusCode::kAborted);
+  EXPECT_NE(status.message().find("UNP"), std::string::npos);
+}
+
+TEST(VulnerabilityFaultTest, NonFiniteEffectPoisonsOutput) {
+  Graph g = SmallNet();
+  VulnerabilitySpec spec;
+  spec.cls = VulnClass::kFloatingPoint;
+  spec.effect = FaultEffect::kNonFinite;
+  auto hook = std::make_shared<VulnerabilityFault>(spec);
+  util::Status status;
+  auto out = RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook, &status);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(tensor::HasNonFinite(out));
+}
+
+TEST(VulnerabilityFaultTest, DefaultEffectsMatchTable1Impacts) {
+  EXPECT_EQ(DefaultEffect(VulnClass::kNullPointer), FaultEffect::kCrash);
+  EXPECT_EQ(DefaultEffect(VulnClass::kAssertFailure), FaultEffect::kCrash);
+  EXPECT_EQ(DefaultEffect(VulnClass::kOutOfBounds),
+            FaultEffect::kCorruptSilent);
+  EXPECT_EQ(DefaultEffect(VulnClass::kFloatingPoint),
+            FaultEffect::kNonFinite);
+}
+
+TEST(BitFlipFaultTest, FlipsExactBit) {
+  Graph g = SmallNet();
+  BitFlipSpec spec;
+  spec.target_op = graph::OpType::kGemm;
+  spec.bit = 30;
+  auto hook = std::make_shared<BitFlipFault>(spec);
+  auto clean = RunWithHook(g, runtime::OrtLikeExecutorConfig(), nullptr);
+  auto flipped = RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook);
+  EXPECT_EQ(hook->fire_count(), 1u);
+  // Exponent-bit flip on the logits propagates through softmax.
+  EXPECT_GT(tensor::MaxAbsDiff(clean, flipped), 0.0);
+}
+
+TEST(BitFlipFaultTest, BackendTargetingDisarms) {
+  Graph g = SmallNet();
+  BitFlipSpec spec;
+  spec.vulnerable_gemm = runtime::GemmBackend::kNaive;
+  auto hook = std::make_shared<BitFlipFault>(spec);
+  (void)RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook);  // blocked
+  EXPECT_EQ(hook->fire_count(), 0u);
+}
+
+TEST(WeightBitFlipTest, FlipsChangeWeights) {
+  Graph g = SmallNet();
+  Graph original = g;
+  size_t flipped = FlipRandomWeightBits(g, 16, 7);
+  EXPECT_EQ(flipped, 16u);
+  bool any_changed = false;
+  for (const auto& [name, t] : original.initializers()) {
+    if (!(*g.FindInitializer(name) == t)) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(WeightBitFlipTest, DeterministicBySeed) {
+  Graph a = SmallNet(), b = SmallNet();
+  FlipRandomWeightBits(a, 8, 5);
+  FlipRandomWeightBits(b, 8, 5);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+// ----------------------------------------------------------- campaigns
+
+class CampaignTest : public ::testing::TestWithParam<VulnClass> {};
+
+TEST_P(CampaignTest, MvxDetectsEveryVulnClass) {
+  Graph g = SmallNet();
+  CampaignOptions opts;
+  opts.cls = GetParam();
+  opts.effect = DefaultEffect(GetParam());
+  opts.seed = 21;
+  auto report = RunVulnerabilityCampaign(g, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->fault_fired) << VulnClassName(GetParam());
+  EXPECT_TRUE(report->detected) << VulnClassName(GetParam());
+  // The MVX promise: no wrong output is ever released as OK.
+  EXPECT_FALSE(report->wrong_output_released);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, CampaignTest,
+    ::testing::Values(VulnClass::kOutOfBounds, VulnClass::kNullPointer,
+                      VulnClass::kFloatingPoint, VulnClass::kIntegerOverflow,
+                      VulnClass::kUseAfterFree, VulnClass::kAssertFailure),
+    [](const auto& info) {
+      return std::string(VulnClassName(info.param));
+    });
+
+TEST(CampaignTest, UnusedLibraryMeansNoDetectionEvents) {
+  // Control: plant the bug in a GEMM backend NO pool recipe combines
+  // with these stages' variants, by restricting it to a runtime name
+  // that never matches. The campaign must report a quiet system.
+  Graph g = SmallNet();
+  CampaignOptions opts;
+  opts.cls = VulnClass::kOutOfBounds;
+  opts.seed = 22;
+  auto report = RunVulnerabilityCampaign(g, opts);
+  ASSERT_TRUE(report.ok());
+  // With the default pool, the blocked-GEMM library IS used, so this is
+  // a positive control; detection correlates exactly with firing.
+  EXPECT_EQ(report->detected, report->fault_fired);
+}
+
+TEST(CampaignTest, ServiceSurvivesUnderMajorityVote) {
+  Graph g = SmallNet();
+  CampaignOptions opts;
+  opts.cls = VulnClass::kNullPointer;
+  opts.effect = FaultEffect::kCrash;
+  opts.seed = 23;
+  auto report = RunVulnerabilityCampaign(g, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->detected);
+  // Crashing variants are outvoted; healthy majority keeps serving.
+  EXPECT_TRUE(report->service_survived);
+  EXPECT_FALSE(report->wrong_output_released);
+}
+
+}  // namespace
+}  // namespace mvtee::fault

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/ir.h"
+#include "graph/model_zoo.h"
+
+namespace mvtee::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Graph TinyMlp() {
+  ModelBuilder b(1);
+  NodeId x = b.Input("x", Shape({1, 8}));
+  x = b.Gemm(x, 16);
+  x = b.Relu(x);
+  x = b.Gemm(x, 4);
+  x = b.Softmax(x);
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+TEST(GraphTest, BuildAndValidate) {
+  Graph g = TinyMlp();
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.num_nodes(), 5);
+}
+
+TEST(GraphTest, ValidateRejectsNoOutputs) {
+  ModelBuilder b(1);
+  NodeId x = b.Input("x", Shape({1, 4}));
+  b.Relu(x);
+  Graph& g = b.graph();
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphTest, ValidateRejectsMissingInitializer) {
+  Graph g;
+  NodeId x = g.AddInput("x", Shape({1, 4}));
+  g.AddNode("fc", OpType::kGemm, {x}, {"nonexistent.w"});
+  g.MarkOutput(1);
+  EXPECT_EQ(g.Validate().code(), util::StatusCode::kNotFound);
+}
+
+TEST(GraphTest, ShapeInferenceMlp) {
+  Graph g = TinyMlp();
+  auto shapes = g.InferShapes();
+  ASSERT_TRUE(shapes.ok());
+  EXPECT_EQ((*shapes)[0], Shape({1, 8}));
+  EXPECT_EQ((*shapes)[1], Shape({1, 16}));
+  EXPECT_EQ((*shapes)[4], Shape({1, 4}));
+}
+
+TEST(GraphTest, ShapeInferenceConvChain) {
+  ModelBuilder b(2);
+  NodeId x = b.Input("img", Shape({2, 3, 32, 32}));
+  x = b.Conv(x, 8, 3, 1, 1);       // same spatial
+  x = b.MaxPool(x, 2, 2);          // halve
+  x = b.Conv(x, 16, 3, 2, 1);      // stride 2
+  NodeId gap = b.GlobalAvgPool(x);
+  b.MarkOutput(gap);
+  Graph g = b.Build();
+  auto shapes = g.InferShapes();
+  ASSERT_TRUE(shapes.ok());
+  EXPECT_EQ((*shapes)[1], Shape({2, 8, 32, 32}));
+  EXPECT_EQ((*shapes)[2], Shape({2, 8, 16, 16}));
+  EXPECT_EQ((*shapes)[3], Shape({2, 16, 8, 8}));
+  EXPECT_EQ((*shapes)[4], Shape({2, 16, 1, 1}));
+}
+
+TEST(GraphTest, ShapeInferenceGroupedConv) {
+  ModelBuilder b(3);
+  NodeId x = b.Input("img", Shape({1, 16, 8, 8}));
+  x = b.Conv(x, 16, 3, 1, 1, /*groups=*/16);  // depthwise
+  b.MarkOutput(x);
+  Graph g = b.Build();
+  auto shapes = g.InferShapes();
+  ASSERT_TRUE(shapes.ok());
+  EXPECT_EQ((*shapes)[1], Shape({1, 16, 8, 8}));
+}
+
+TEST(GraphTest, ShapeInferenceRejectsChannelMismatch) {
+  Graph g;
+  NodeId x = g.AddInput("x", Shape({1, 3, 8, 8}));
+  g.AddInitializer("w", Tensor(Shape({8, 4, 3, 3})));  // wants 4 channels
+  Attributes attrs;
+  attrs.SetInt("stride", 1);
+  attrs.SetInt("padding", 1);
+  attrs.SetInt("groups", 1);
+  NodeId c = g.AddNode("conv", OpType::kConv2d, {x}, {"w"}, attrs);
+  g.MarkOutput(c);
+  EXPECT_FALSE(g.InferShapes().ok());
+}
+
+TEST(GraphTest, ShapeInferenceRejectsBadConcat) {
+  ModelBuilder b(4);
+  NodeId x = b.Input("x", Shape({1, 4, 8, 8}));
+  NodeId a = b.Conv(x, 4, 3, 1, 1);
+  NodeId c = b.Conv(x, 4, 3, 2, 1);  // different spatial dims
+  Graph& g = b.graph();
+  Attributes attrs;
+  attrs.SetInt("axis", 1);
+  NodeId cat = g.AddNode("bad_cat", OpType::kConcat, {a, c}, {}, attrs);
+  g.MarkOutput(cat);
+  EXPECT_FALSE(g.InferShapes().ok());
+}
+
+TEST(GraphTest, SerializeRoundTrip) {
+  Graph g = TinyMlp();
+  auto bytes = g.Serialize();
+  auto back = Graph::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), g.num_nodes());
+  EXPECT_EQ(back->inputs(), g.inputs());
+  EXPECT_EQ(back->outputs(), g.outputs());
+  EXPECT_EQ(back->initializers().size(), g.initializers().size());
+  for (const auto& [name, t] : g.initializers()) {
+    const Tensor* other = back->FindInitializer(name);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(*other, t);
+  }
+  // Node-level equality.
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    EXPECT_EQ(back->node(id).op, g.node(id).op);
+    EXPECT_EQ(back->node(id).inputs, g.node(id).inputs);
+    EXPECT_EQ(back->node(id).weights, g.node(id).weights);
+    EXPECT_EQ(back->node(id).attrs, g.node(id).attrs);
+  }
+}
+
+TEST(GraphTest, DeserializeRejectsCorruption) {
+  auto bytes = TinyMlp().Serialize();
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(Graph::Deserialize(bad).ok());
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(Graph::Deserialize(truncated).ok());
+}
+
+TEST(GraphTest, EstimateNodeCostsConvDominates) {
+  ModelBuilder b(5);
+  NodeId x = b.Input("x", Shape({1, 8, 16, 16}));
+  NodeId conv = b.Conv(x, 16, 3, 1, 1);
+  NodeId relu = b.Relu(conv);
+  b.MarkOutput(relu);
+  Graph g = b.Build();
+  auto costs = g.EstimateNodeCosts();
+  EXPECT_GT(costs[1], costs[2] * 10);  // conv >> relu
+  EXPECT_EQ(costs[0], 0.0);            // input free
+}
+
+TEST(GraphTest, DropUnusedInitializers) {
+  Graph g = TinyMlp();
+  g.AddInitializer("orphan", Tensor(Shape({4})));
+  EXPECT_EQ(g.DropUnusedInitializers(), 1u);
+  EXPECT_EQ(g.FindInitializer("orphan"), nullptr);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, BuildConsumers) {
+  ModelBuilder b(6);
+  NodeId x = b.Input("x", Shape({1, 4, 8, 8}));
+  NodeId a = b.Relu(x);
+  NodeId c = b.Sigmoid(x);
+  NodeId add = b.Add(a, c);
+  b.MarkOutput(add);
+  Graph g = b.Build();
+  auto consumers = g.BuildConsumers();
+  EXPECT_EQ(consumers[0].size(), 2u);  // x feeds relu and sigmoid
+  EXPECT_EQ(consumers[1], std::vector<NodeId>{add});
+}
+
+// ------------------------------------------------------------- model zoo
+
+class ModelZooTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelZooTest, BuildsAndInfersShapes) {
+  ZooConfig cfg;
+  cfg.input_hw = 32;  // small: structure checks only
+  Graph g = BuildModel(GetParam(), cfg);
+  EXPECT_TRUE(g.Validate().ok());
+  auto shapes = g.InferShapes();
+  ASSERT_TRUE(shapes.ok()) << shapes.status().ToString();
+  // Classifier output: [batch, classes].
+  const auto& out_shape = (*shapes)[static_cast<size_t>(g.outputs()[0])];
+  EXPECT_EQ(out_shape, Shape({cfg.batch, cfg.num_classes}));
+}
+
+TEST_P(ModelZooTest, DeterministicAcrossBuilds) {
+  ZooConfig cfg;
+  cfg.input_hw = 32;
+  Graph a = BuildModel(GetParam(), cfg);
+  Graph b = BuildModel(GetParam(), cfg);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST_P(ModelZooTest, SerializeRoundTrip) {
+  ZooConfig cfg;
+  cfg.input_hw = 32;
+  Graph g = BuildModel(GetParam(), cfg);
+  auto back = Graph::Deserialize(g.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Serialize(), g.Serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooTest,
+                         ::testing::ValuesIn(AllModels()),
+                         [](const auto& info) {
+                           std::string name(ModelName(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ModelZooTest, ModelSizesAreOrdered) {
+  // EfficientNet-B7 should be the largest model by parameter bytes and
+  // MobileNetV3/MnasNet the smallest — preserving the paper's ordering.
+  ZooConfig cfg;
+  cfg.input_hw = 32;
+  size_t b7 = BuildModel(ModelKind::kEfficientNetB7, cfg).ParameterBytes();
+  size_t r152 = BuildModel(ModelKind::kResNet152, cfg).ParameterBytes();
+  size_t r50 = BuildModel(ModelKind::kResNet50, cfg).ParameterBytes();
+  size_t mobile = BuildModel(ModelKind::kMobileNetV3, cfg).ParameterBytes();
+  EXPECT_GT(r152, r50);
+  EXPECT_GT(b7, mobile);
+  EXPECT_GT(r50, mobile);
+}
+
+TEST(ModelZooTest, DepthScalingChangesNodeCount) {
+  ZooConfig small, big;
+  small.input_hw = big.input_hw = 32;
+  small.depth_mult = 0.34;
+  big.depth_mult = 1.0;
+  Graph a = BuildModel(ModelKind::kResNet152, small);
+  Graph b = BuildModel(ModelKind::kResNet152, big);
+  EXPECT_LT(a.num_nodes(), b.num_nodes());
+}
+
+}  // namespace
+}  // namespace mvtee::graph

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/model_zoo.h"
+#include "partition/partition.h"
+#include "runtime/executor.h"
+
+namespace mvtee::partition {
+namespace {
+
+using graph::Graph;
+using graph::ModelBuilder;
+using graph::NodeId;
+using graph::OpType;
+using tensor::MaxAbsDiff;
+using tensor::Shape;
+using tensor::Tensor;
+
+Graph LinearChain(int num_convs) {
+  ModelBuilder b(3);
+  NodeId x = b.Input("img", Shape({1, 4, 16, 16}));
+  for (int i = 0; i < num_convs; ++i) {
+    x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  }
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 10);
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+Graph DiamondNet() {
+  ModelBuilder b(4);
+  NodeId x = b.Input("img", Shape({1, 4, 8, 8}));
+  NodeId stem = b.ConvBnRelu(x, 8, 3, 1, 1);
+  NodeId left = b.ConvBnRelu(stem, 8, 3, 1, 1);
+  NodeId right = b.ConvBnRelu(stem, 8, 3, 1, 1);
+  NodeId join = b.Add(left, right);
+  NodeId out = b.GlobalAvgPool(join);
+  b.MarkOutput(out);
+  return b.Build();
+}
+
+void ExpectValidPartitionSet(const Graph& g, const PartitionSet& set,
+                             int64_t expected_count) {
+  EXPECT_EQ(set.num_partitions(), expected_count);
+  // Exact cover.
+  std::set<NodeId> seen;
+  for (const auto& p : set.partitions) {
+    for (NodeId id : p.nodes) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate node " << id;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), g.num_nodes());
+  // Topological order between partitions: every cross-partition edge goes
+  // forward.
+  std::map<NodeId, size_t> stage_of;
+  for (size_t si = 0; si < set.partitions.size(); ++si) {
+    for (NodeId id : set.partitions[si].nodes) stage_of[id] = si;
+  }
+  for (const auto& node : g.nodes()) {
+    for (NodeId in : node.inputs) {
+      EXPECT_LE(stage_of[in], stage_of[node.id])
+          << "backward edge " << in << "->" << node.id;
+    }
+  }
+}
+
+TEST(RandomContractionTest, ProducesRequestedPartitionCounts) {
+  Graph g = LinearChain(10);
+  for (int64_t t : {1, 2, 3, 5, 7, 9}) {
+    PartitionOptions opts;
+    opts.target_partitions = t;
+    opts.seed = 11;
+    auto set = RandomContraction(g, opts);
+    ASSERT_TRUE(set.ok()) << "t=" << t << ": " << set.status().ToString();
+    ExpectValidPartitionSet(g, *set, t);
+  }
+}
+
+TEST(RandomContractionTest, WorksOnBranchyGraph) {
+  Graph g = DiamondNet();
+  PartitionOptions opts;
+  opts.target_partitions = 3;
+  opts.seed = 5;
+  auto set = RandomContraction(g, opts);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ExpectValidPartitionSet(g, *set, 3);
+}
+
+TEST(RandomContractionTest, DeterministicForSeed) {
+  Graph g = LinearChain(8);
+  PartitionOptions opts;
+  opts.target_partitions = 4;
+  opts.seed = 77;
+  auto a = RandomContraction(g, opts);
+  auto b = RandomContraction(g, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->partitions.size(), b->partitions.size());
+  for (size_t i = 0; i < a->partitions.size(); ++i) {
+    EXPECT_EQ(a->partitions[i].nodes, b->partitions[i].nodes);
+  }
+}
+
+TEST(RandomContractionTest, DifferentSeedsGiveDifferentCuts) {
+  Graph g = LinearChain(12);
+  PartitionOptions opts;
+  opts.target_partitions = 4;
+  bool any_different = false;
+  opts.seed = 1;
+  auto first = RandomContraction(g, opts);
+  ASSERT_TRUE(first.ok());
+  for (uint64_t s = 2; s < 10 && !any_different; ++s) {
+    opts.seed = s;
+    auto other = RandomContraction(g, opts);
+    ASSERT_TRUE(other.ok());
+    for (size_t i = 0; i < first->partitions.size(); ++i) {
+      if (first->partitions[i].nodes != other->partitions[i].nodes) {
+        any_different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RandomContractionTest, BalanceBiasBeatsUnbiased) {
+  // With the default balanced weight function, average imbalance across
+  // seeds should be no worse than with a uniform weight function.
+  Graph g = graph::BuildModel(graph::ModelKind::kResNet50,
+                              {.input_hw = 32, .depth_mult = 0.34});
+  double balanced_total = 0, uniform_total = 0;
+  const int kTrials = 5;
+  for (int s = 0; s < kTrials; ++s) {
+    PartitionOptions balanced;
+    balanced.target_partitions = 5;
+    balanced.seed = static_cast<uint64_t>(s);
+    auto bs = RandomContraction(g, balanced);
+    ASSERT_TRUE(bs.ok());
+    balanced_total += bs->CostImbalance();
+
+    PartitionOptions uniform = balanced;
+    uniform.weight_fn = [](double, double, double) { return 1.0; };
+    uniform.max_cost_fraction = 1.0;  // disable the balancing cap too
+    auto us = RandomContraction(g, uniform);
+    ASSERT_TRUE(us.ok());
+    uniform_total += us->CostImbalance();
+  }
+  EXPECT_LE(balanced_total, uniform_total * 1.05);
+}
+
+TEST(RandomContractionTest, CustomConstraintRespected) {
+  Graph g = LinearChain(10);
+  PartitionOptions opts;
+  opts.target_partitions = 5;
+  opts.seed = 3;
+  // Forbid any partition from holding more than 12 nodes.
+  opts.constraint_fn = [](const Partition& a, const Partition& b) {
+    return a.nodes.size() + b.nodes.size() <= 12;
+  };
+  auto set = RandomContraction(g, opts);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  for (const auto& p : set->partitions) EXPECT_LE(p.nodes.size(), 12u);
+}
+
+TEST(RandomContractionTest, RejectsBadTargets) {
+  Graph g = LinearChain(3);
+  PartitionOptions opts;
+  opts.target_partitions = 0;
+  EXPECT_FALSE(RandomContraction(g, opts).ok());
+  opts.target_partitions = g.num_nodes() + 1;
+  EXPECT_FALSE(RandomContraction(g, opts).ok());
+}
+
+TEST(BestOfRandomContractionTest, NeverWorseThanSingle) {
+  Graph g = LinearChain(12);
+  PartitionOptions opts;
+  opts.target_partitions = 4;
+  opts.seed = 9;
+  auto single = RandomContraction(g, opts);
+  auto best = BestOfRandomContraction(g, opts, 8);
+  ASSERT_TRUE(single.ok() && best.ok());
+  EXPECT_LE(best->CostImbalance(), single->CostImbalance() + 1e-9);
+}
+
+TEST(ManualSliceTest, ValidSlice) {
+  Graph g = LinearChain(4);  // nodes: input + 4*(conv,bn,relu) + gap+flat+fc
+  std::vector<std::vector<NodeId>> groups;
+  std::vector<NodeId> first, second;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    (id < g.num_nodes() / 2 ? first : second).push_back(id);
+  }
+  groups = {first, second};
+  auto set = ManualSlice(g, groups);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ExpectValidPartitionSet(g, *set, 2);
+}
+
+TEST(ManualSliceTest, RejectsIncompleteCover) {
+  Graph g = LinearChain(2);
+  auto set = ManualSlice(g, {{0, 1, 2}});
+  EXPECT_FALSE(set.ok());
+}
+
+TEST(ManualSliceTest, RejectsDoubleAssignment) {
+  Graph g = LinearChain(2);
+  std::vector<NodeId> all(static_cast<size_t>(g.num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  auto set = ManualSlice(g, {all, {0}});
+  EXPECT_FALSE(set.ok());
+}
+
+TEST(ManualSliceTest, RejectsCyclicQuotient) {
+  Graph g = DiamondNet();
+  // Put stem+join in one group, branches in another: stem->branch->join
+  // makes the two groups mutually dependent.
+  // Node layout: 0 input, stem = 1..3 (conv,bn,relu), left = 4..6,
+  // right = 7..9, add = 10, gap = 11.
+  std::vector<NodeId> a = {0, 1, 2, 3, 10, 11};
+  std::vector<NodeId> b = {4, 5, 6, 7, 8, 9};
+  auto set = ManualSlice(g, {a, b});
+  EXPECT_FALSE(set.ok());
+}
+
+// -------------------------------------------------- partitioned execution
+
+// Runs a PartitionedModel stage by stage sequentially and returns the
+// model outputs (reference harness for equivalence tests; the real
+// pipeline engine lives in core).
+std::vector<Tensor> RunPartitioned(const PartitionedModel& pm,
+                                   const std::vector<Tensor>& model_inputs) {
+  std::vector<std::vector<Tensor>> stage_outputs(pm.stages.size());
+  for (size_t si = 0; si < pm.stages.size(); ++si) {
+    auto exec = runtime::Executor::Create(pm.stages[si],
+                                          runtime::ReferenceExecutorConfig());
+    MVTEE_CHECK(exec.ok());
+    std::vector<Tensor> inputs;
+    for (const StageInputSource& src : pm.stage_inputs[si]) {
+      if (src.stage < 0) {
+        inputs.push_back(model_inputs[static_cast<size_t>(src.index)]);
+      } else {
+        inputs.push_back(
+            stage_outputs[static_cast<size_t>(src.stage)]
+                         [static_cast<size_t>(src.index)]);
+      }
+    }
+    auto out = (*exec)->Run(inputs);
+    MVTEE_CHECK(out.ok());
+    stage_outputs[si] = std::move(*out);
+  }
+  std::vector<Tensor> outputs;
+  for (const StageInputSource& src : pm.model_outputs) {
+    outputs.push_back(stage_outputs[static_cast<size_t>(src.stage)]
+                                   [static_cast<size_t>(src.index)]);
+  }
+  return outputs;
+}
+
+TEST(PartitionedModelTest, EquivalentToWholeModelLinear) {
+  Graph g = LinearChain(6);
+  util::Rng rng(21);
+  auto input = Tensor::RandomUniform(Shape({1, 4, 16, 16}), rng);
+
+  auto whole = runtime::Executor::Create(g, runtime::ReferenceExecutorConfig());
+  ASSERT_TRUE(whole.ok());
+  auto expected = (*whole)->Run({input});
+  ASSERT_TRUE(expected.ok());
+
+  for (int64_t t : {2, 3, 5}) {
+    PartitionOptions opts;
+    opts.target_partitions = t;
+    opts.seed = 31;
+    auto set = RandomContraction(g, opts);
+    ASSERT_TRUE(set.ok());
+    auto pm = BuildPartitionedModel(g, *set);
+    ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+    auto actual = RunPartitioned(*pm, {input});
+    ASSERT_EQ(actual.size(), 1u);
+    EXPECT_LT(MaxAbsDiff(actual[0], (*expected)[0]), 1e-5) << "t=" << t;
+  }
+}
+
+TEST(PartitionedModelTest, EquivalentToWholeModelDiamond) {
+  Graph g = DiamondNet();
+  util::Rng rng(22);
+  auto input = Tensor::RandomUniform(Shape({1, 4, 8, 8}), rng);
+  auto whole = runtime::Executor::Create(g, runtime::ReferenceExecutorConfig());
+  ASSERT_TRUE(whole.ok());
+  auto expected = (*whole)->Run({input});
+  ASSERT_TRUE(expected.ok());
+
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    PartitionOptions opts;
+    opts.target_partitions = 3;
+    opts.seed = seed;
+    auto set = RandomContraction(g, opts);
+    ASSERT_TRUE(set.ok());
+    auto pm = BuildPartitionedModel(g, *set);
+    ASSERT_TRUE(pm.ok());
+    auto actual = RunPartitioned(*pm, {input});
+    EXPECT_LT(MaxAbsDiff(actual[0], (*expected)[0]), 1e-5);
+  }
+}
+
+TEST(PartitionedModelTest, EquivalentOnRealModel) {
+  graph::ZooConfig cfg;
+  cfg.input_hw = 32;
+  cfg.depth_mult = 0.34;
+  Graph g = graph::BuildModel(graph::ModelKind::kGoogleNet, cfg);
+  util::Rng rng(23);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 32, 32}), rng);
+
+  auto whole = runtime::Executor::Create(g, runtime::ReferenceExecutorConfig());
+  ASSERT_TRUE(whole.ok());
+  auto expected = (*whole)->Run({input});
+  ASSERT_TRUE(expected.ok());
+
+  PartitionOptions opts;
+  opts.target_partitions = 5;
+  opts.seed = 13;
+  auto set = RandomContraction(g, opts);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  auto pm = BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  EXPECT_EQ(pm->num_stages(), 5);
+  auto actual = RunPartitioned(*pm, {input});
+  EXPECT_LT(MaxAbsDiff(actual[0], (*expected)[0]), 1e-4);
+}
+
+TEST(PartitionedModelTest, StageGraphsValidateAndSerialize) {
+  Graph g = LinearChain(6);
+  PartitionOptions opts;
+  opts.target_partitions = 3;
+  opts.seed = 17;
+  auto set = RandomContraction(g, opts);
+  ASSERT_TRUE(set.ok());
+  auto pm = BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+  for (const Graph& stage : pm->stages) {
+    EXPECT_TRUE(stage.Validate().ok());
+    auto round = Graph::Deserialize(stage.Serialize());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(round->Serialize(), stage.Serialize());
+  }
+}
+
+TEST(PartitionedModelTest, SinglePartitionIsWholeModel) {
+  Graph g = LinearChain(4);
+  PartitionOptions opts;
+  opts.target_partitions = 1;
+  opts.seed = 1;
+  auto set = RandomContraction(g, opts);
+  ASSERT_TRUE(set.ok());
+  auto pm = BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm->num_stages(), 1);
+  util::Rng rng(2);
+  auto input = Tensor::RandomUniform(Shape({1, 4, 16, 16}), rng);
+  auto whole = runtime::Executor::Create(g, runtime::ReferenceExecutorConfig());
+  auto expected = (*whole)->Run({input});
+  ASSERT_TRUE(expected.ok());
+  auto actual = RunPartitioned(*pm, {input});
+  EXPECT_LT(MaxAbsDiff(actual[0], (*expected)[0]), 1e-6);
+}
+
+TEST(PartitionSetTest, CostImbalanceComputation) {
+  PartitionSet set;
+  set.partitions.push_back({.nodes = {0}, .cost = 10});
+  set.partitions.push_back({.nodes = {1}, .cost = 10});
+  EXPECT_NEAR(set.CostImbalance(), 1.0, 1e-9);
+  set.partitions.push_back({.nodes = {2}, .cost = 40});
+  EXPECT_NEAR(set.CostImbalance(), 2.0, 1e-9);  // 40 / mean(20)
+}
+
+}  // namespace
+}  // namespace mvtee::partition

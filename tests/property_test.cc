@@ -1,0 +1,325 @@
+// Property-based and fuzz-style tests across module boundaries:
+// parameterized sweeps over sizes, partition counts and transform
+// compositions, plus decoder robustness against truncation/corruption.
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/messages.h"
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+#include "graph/builder.h"
+#include "graph/model_zoo.h"
+#include "partition/partition.h"
+#include "runtime/executor.h"
+#include "tee/enclave.h"
+#include "variant/spec.h"
+
+namespace mvtee {
+namespace {
+
+using graph::Graph;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ------------------------------------------------------------ crypto sweep
+
+class GcmSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GcmSizeSweep, SealOpenRoundTrip) {
+  util::Bytes key(32, 0x5a), nonce(12, 0x21);
+  util::Rng rng(GetParam() + 1);
+  util::Bytes pt(GetParam());
+  for (auto& b : pt) b = static_cast<uint8_t>(rng.NextU64());
+  crypto::AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, util::ToBytes("aad"), pt);
+  EXPECT_EQ(sealed.size(), pt.size() + crypto::kGcmTagSize);
+  auto opened = gcm.Open(nonce, util::ToBytes("aad"), sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST_P(GcmSizeSweep, SingleBitFlipAnywhereDetected) {
+  if (GetParam() > 4096) GTEST_SKIP() << "bit sweep too slow";
+  util::Bytes key(32, 0x5a), nonce(12, 0x22);
+  util::Bytes pt(GetParam(), 0x77);
+  crypto::AesGcm gcm(key);
+  auto sealed = gcm.Seal(nonce, {}, pt);
+  util::Rng rng(3);
+  // Sample up to 32 random byte positions (plus first/last).
+  std::vector<size_t> positions = {0, sealed.size() - 1};
+  for (int i = 0; i < 32; ++i) {
+    positions.push_back(rng.UniformU64(sealed.size()));
+  }
+  for (size_t pos : positions) {
+    auto corrupt = sealed;
+    corrupt[pos] ^= static_cast<uint8_t>(1u << rng.UniformU64(8));
+    EXPECT_FALSE(gcm.Open(nonce, {}, corrupt).ok()) << "pos " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 33, 255,
+                                           256, 1000, 65536));
+
+TEST(Sha256Property, DistinctInputsDistinctDigests) {
+  // Sanity over a family of near-identical messages.
+  std::set<std::string> digests;
+  util::Bytes msg(128, 0);
+  for (int i = 0; i < 200; ++i) {
+    msg[static_cast<size_t>(i) % msg.size()] ^= 1;
+    digests.insert(util::HexEncode(crypto::Sha256Bytes(msg)));
+  }
+  EXPECT_EQ(digests.size(), 200u);
+}
+
+// -------------------------------------------------------- partition sweep
+
+struct PartitionCase {
+  graph::ModelKind model;
+  int64_t parts;
+};
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<graph::ModelKind, int>> {};
+
+TEST_P(PartitionSweep, ValidCoverAndOrdering) {
+  auto [kind, parts] = GetParam();
+  graph::ZooConfig cfg;
+  cfg.input_hw = 32;
+  Graph g = graph::BuildModel(kind, cfg);
+  partition::PartitionOptions opts;
+  opts.target_partitions = parts;
+  opts.seed = 97;
+  auto set = partition::RandomContraction(g, opts);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->num_partitions(), parts);
+
+  // Exact cover.
+  std::set<graph::NodeId> seen;
+  for (const auto& p : set->partitions) {
+    for (auto id : p.nodes) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), g.num_nodes());
+
+  // Forward-only cross-partition edges.
+  std::map<graph::NodeId, size_t> stage_of;
+  for (size_t si = 0; si < set->partitions.size(); ++si) {
+    for (auto id : set->partitions[si].nodes) stage_of[id] = si;
+  }
+  for (const auto& node : g.nodes()) {
+    for (auto in : node.inputs) {
+      EXPECT_LE(stage_of[in], stage_of[node.id]);
+    }
+  }
+
+  // The partitioned model stays executable and equivalent.
+  auto pm = partition::BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  for (const auto& stage : pm->stages) {
+    EXPECT_TRUE(stage.Validate().ok());
+    EXPECT_TRUE(stage.InferShapes().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweep,
+    ::testing::Combine(::testing::Values(graph::ModelKind::kResNet50,
+                                         graph::ModelKind::kGoogleNet,
+                                         graph::ModelKind::kEfficientNetB7),
+                       ::testing::Values(2, 4, 6, 9)),
+    [](const auto& info) {
+      std::string name(graph::ModelName(std::get<0>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_p" + std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------------- transform compositions
+
+TEST(TransformComposition, RandomOrdersStayEquivalent) {
+  graph::ModelBuilder b(77);
+  auto x = b.Input("in", Shape({1, 4, 12, 12}));
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  auto skip = x;
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  x = b.Relu(b.Add(x, skip));
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 6);
+  b.MarkOutput(x);
+  Graph g = b.Build();
+
+  util::Rng rng(5);
+  auto input = Tensor::RandomUniform(Shape({1, 4, 12, 12}), rng);
+  auto ref_exec =
+      runtime::Executor::Create(g, runtime::ReferenceExecutorConfig());
+  ASSERT_TRUE(ref_exec.ok());
+  auto expected = (*ref_exec)->Run({input});
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<variant::GraphTransform> all = {
+      variant::GraphTransform::kInsertDummyOps,
+      variant::GraphTransform::kSplitConv,
+      variant::GraphTransform::kShuffleChannels,
+      variant::GraphTransform::kReorderCommutative,
+      variant::GraphTransform::kSelectiveBnFold,
+      variant::GraphTransform::kConvToFc,
+  };
+  for (uint64_t trial = 0; trial < 6; ++trial) {
+    auto order = all;
+    util::Rng order_rng(trial);
+    order_rng.Shuffle(order);
+    variant::VariantSpec spec;
+    spec.id = "trial" + std::to_string(trial);
+    spec.graph_transforms = order;
+    spec.transform_seed = trial * 31 + 7;
+    spec.exec_config = runtime::OrtLikeExecutorConfig();
+    auto vg = variant::BuildVariantGraph(g, spec);
+    ASSERT_TRUE(vg.ok()) << trial << ": " << vg.status().ToString();
+    auto exec = runtime::Executor::Create(*vg, spec.exec_config);
+    ASSERT_TRUE(exec.ok());
+    auto out = (*exec)->Run({input});
+    ASSERT_TRUE(out.ok());
+    EXPECT_GT(tensor::CosineSimilarity((*expected)[0], (*out)[0]), 0.9999)
+        << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------- decoder fuzz (truncation)
+
+template <typename Decoder>
+void TruncationNeverCrashes(const util::Bytes& frame, Decoder decode) {
+  // Every prefix must be rejected cleanly (the full frame is valid).
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    util::Bytes prefix(frame.begin(), frame.begin() + static_cast<long>(cut));
+    auto result = decode(prefix);
+    EXPECT_FALSE(result.ok()) << "cut " << cut;
+  }
+  EXPECT_TRUE(decode(frame).ok());
+}
+
+TEST(DecoderFuzz, InferMsgTruncation) {
+  core::InferMsg msg;
+  msg.batch_id = 5;
+  msg.vtime_us = 9;
+  msg.slots = {0, 1};
+  util::Rng rng(1);
+  msg.inputs.push_back(Tensor::RandomUniform(Shape({2, 3}), rng));
+  msg.inputs.push_back(Tensor::RandomUniform(Shape({4}), rng));
+  TruncationNeverCrashes(core::EncodeInfer(msg), [](util::ByteSpan f) {
+    return core::DecodeInfer(f);
+  });
+}
+
+TEST(DecoderFuzz, InferResultTruncation) {
+  core::InferResultMsg msg;
+  msg.batch_id = 5;
+  msg.ok = true;
+  util::Rng rng(2);
+  msg.outputs.push_back(Tensor::RandomUniform(Shape({3, 3}), rng));
+  TruncationNeverCrashes(core::EncodeInferResult(msg),
+                         [](util::ByteSpan f) {
+                           return core::DecodeInferResult(f);
+                         });
+}
+
+TEST(DecoderFuzz, GraphTruncation) {
+  graph::ModelBuilder b(3);
+  auto x = b.Input("in", Shape({1, 4}));
+  x = b.Gemm(x, 4);
+  b.MarkOutput(x);
+  Graph g = b.Build();
+  auto frame = g.Serialize();
+  // Sample cuts (full sweep is large for graphs with weights).
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    size_t cut = rng.UniformU64(frame.size());
+    util::Bytes prefix(frame.begin(), frame.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Graph::Deserialize(prefix).ok());
+  }
+  EXPECT_TRUE(Graph::Deserialize(frame).ok());
+}
+
+TEST(DecoderFuzz, ManifestRandomCorruption) {
+  tee::Manifest m = tee::InitVariantManifest();
+  m.trusted_files["x"] = crypto::Sha256::Hash(util::ToBytes("x"));
+  auto frame = m.Serialize();
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    auto corrupt = frame;
+    size_t pos = rng.UniformU64(corrupt.size());
+    corrupt[pos] ^= static_cast<uint8_t>(1 + rng.UniformU64(255));
+    // Must never crash; may or may not decode (some bytes are payload).
+    auto result = tee::Manifest::Deserialize(corrupt);
+    if (result.ok()) {
+      // Either the corruption changed the manifest semantics (hash
+      // differs, the measurement chain catches it), or it only changed
+      // a non-canonical encoding (e.g. a boolean byte 0x01 -> 0x03) and
+      // the canonical re-serialization equals the original.
+      if (result->Hash() == m.Hash()) {
+        EXPECT_EQ(result->Serialize(), frame);
+      }
+    }
+  }
+}
+
+TEST(DecoderFuzz, AttestationReportRandomCorruption) {
+  tee::SimulatedCpu cpu{tee::SimulatedCpu::Options{.hardware_key_seed = 9}};
+  auto enclave = cpu.LaunchEnclave(tee::TeeType::kSgx2,
+                                   util::ToBytes("code"),
+                                   tee::MonitorManifest(), 16);
+  ASSERT_TRUE(enclave.ok());
+  auto report = (*enclave)->CreateReport({});
+  auto frame = report.Serialize();
+  util::Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    auto corrupt = frame;
+    size_t pos = rng.UniformU64(corrupt.size());
+    corrupt[pos] ^= static_cast<uint8_t>(1 + rng.UniformU64(255));
+    auto parsed = tee::AttestationReport::Deserialize(corrupt);
+    if (parsed.ok()) {
+      // Any parsed-but-corrupted report must fail verification.
+      EXPECT_FALSE(cpu.VerifyReport(*parsed).ok()) << "pos " << pos;
+    }
+  }
+}
+
+// --------------------------------------------------- consistency property
+
+TEST(ConsistencyProperty, MetricsAgreeOnIdenticalAndDisjoint) {
+  util::Rng rng(8);
+  auto t = Tensor::RandomUniform(Shape({64}), rng);
+  auto far = Tensor::RandomUniform(Shape({64}), rng, 50.0f, 100.0f);
+  for (auto policy :
+       {core::CheckPolicy::Cosine(0.999), core::CheckPolicy::Mse(1e-6),
+        core::CheckPolicy::MaxAbs(1e-5),
+        core::CheckPolicy::AllClose(1e-5, 1e-7)}) {
+    EXPECT_TRUE(core::OutputsConsistent({t}, {t}, policy))
+        << core::ConsistencyMetricName(policy.metric);
+    EXPECT_FALSE(core::OutputsConsistent({t}, {far}, policy))
+        << core::ConsistencyMetricName(policy.metric);
+  }
+}
+
+TEST(ConsistencyProperty, ThresholdMonotonicity) {
+  // If outputs pass at a strict cosine threshold they pass at any looser
+  // one.
+  util::Rng rng(9);
+  auto a = Tensor::RandomUniform(Shape({128}), rng);
+  Tensor b = a;
+  for (int64_t i = 0; i < b.num_elements(); ++i) {
+    b.data()[i] += rng.UniformFloat(-0.01f, 0.01f);
+  }
+  bool strict = core::OutputsConsistent({a}, {b},
+                                        core::CheckPolicy::Cosine(0.9999));
+  if (strict) {
+    for (double th : {0.999, 0.99, 0.9, 0.5}) {
+      EXPECT_TRUE(core::OutputsConsistent({a}, {b},
+                                          core::CheckPolicy::Cosine(th)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvtee

@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/model_zoo.h"
+#include "runtime/executor.h"
+#include "runtime/gemm.h"
+#include "runtime/kernels.h"
+#include "util/rng.h"
+
+namespace mvtee::runtime {
+namespace {
+
+using graph::Graph;
+using graph::ModelBuilder;
+using graph::NodeId;
+using tensor::AllClose;
+using tensor::CosineSimilarity;
+using tensor::MaxAbsDiff;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ------------------------------------------------------------------- GEMM
+
+class GemmBackendTest : public ::testing::TestWithParam<GemmBackend> {};
+
+TEST_P(GemmBackendTest, SmallKnownProduct) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]]
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4] = {};
+  Gemm(GetParam(), a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST_P(GemmBackendTest, IdentityMatrix) {
+  const int64_t n = 17;
+  std::vector<float> eye(n * n, 0.0f), x(n * n), out(n * n);
+  for (int64_t i = 0; i < n; ++i) eye[i * n + i] = 1.0f;
+  util::Rng rng(3);
+  for (auto& v : x) v = rng.UniformFloat(-1, 1);
+  Gemm(GetParam(), eye.data(), x.data(), out.data(), n, n, n);
+  for (int64_t i = 0; i < n * n; ++i) EXPECT_FLOAT_EQ(out[i], x[i]);
+}
+
+TEST_P(GemmBackendTest, NonSquareAndOddSizes) {
+  // Verify against naive for irregular shapes (exercises tile edges).
+  for (auto [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {3, 5, 7}, {65, 63, 66}, {128, 1, 130}}) {
+    std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+    util::Rng rng(m * 1000 + n * 100 + k);
+    for (auto& v : a) v = rng.UniformFloat(-1, 1);
+    for (auto& v : b) v = rng.UniformFloat(-1, 1);
+    Gemm(GetParam(), a.data(), b.data(), c.data(), m, n, k);
+    Gemm(GemmBackend::kNaive, a.data(), b.data(), ref.data(), m, n, k);
+    for (int i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(c[i], ref[i], 1e-4) << "backend "
+                                      << GemmBackendName(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GemmBackendTest,
+                         ::testing::Values(GemmBackend::kNaive,
+                                           GemmBackend::kBlocked,
+                                           GemmBackend::kTransposed),
+                         [](const auto& info) {
+                           return std::string(GemmBackendName(info.param));
+                         });
+
+TEST(GemmCheckedTest, MatchesUnchecked) {
+  std::vector<float> a(6), b(6), c1(4), c2(4);
+  util::Rng rng(1);
+  for (auto& v : a) v = rng.UniformFloat(-1, 1);
+  for (auto& v : b) v = rng.UniformFloat(-1, 1);
+  Gemm(GemmBackend::kBlocked, a.data(), b.data(), c1.data(), 2, 2, 3);
+  GemmChecked(GemmBackend::kBlocked, a.data(), a.size(), b.data(), b.size(),
+              c2.data(), c2.size(), 2, 2, 3);
+  EXPECT_EQ(c1, c2);
+}
+
+// ---------------------------------------------------------------- kernels
+
+TEST(KernelTest, Conv1x1IsChannelMix) {
+  // 1x1 conv = per-pixel linear map over channels.
+  Tensor x(Shape({1, 2, 2, 2}), {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor w(Shape({1, 2, 1, 1}), {2.0f, 0.5f});  // out = 2*c0 + 0.5*c1
+  ConvParams p;
+  auto out = Conv2d(x, w, nullptr, p, ConvAlgo::kDirect, GemmBackend::kNaive);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 2 * 1 + 0.5f * 5);
+  EXPECT_FLOAT_EQ(out.at(3), 2 * 4 + 0.5f * 8);
+}
+
+TEST(KernelTest, Conv3x3KnownValues) {
+  // 3x3 all-ones kernel over a 3x3 all-ones image, pad 1: counts of the
+  // overlapping window = [[4,6,4],[6,9,6],[4,6,4]].
+  Tensor x = Tensor::Full(Shape({1, 1, 3, 3}), 1.0f);
+  Tensor w = Tensor::Full(Shape({1, 1, 3, 3}), 1.0f);
+  ConvParams p;
+  p.padding = 1;
+  auto out = Conv2d(x, w, nullptr, p, ConvAlgo::kDirect, GemmBackend::kNaive);
+  const float expected[] = {4, 6, 4, 6, 9, 6, 4, 6, 4};
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(out.at(i), expected[i]);
+}
+
+TEST(KernelTest, ConvBiasApplied) {
+  Tensor x = Tensor::Full(Shape({1, 1, 2, 2}), 0.0f);
+  Tensor w = Tensor::Full(Shape({3, 1, 1, 1}), 1.0f);
+  Tensor b(Shape({3}), {1.0f, 2.0f, 3.0f});
+  ConvParams p;
+  auto out = Conv2d(x, w, &b, p, ConvAlgo::kDirect, GemmBackend::kNaive);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 2, 0, 0), 3.0f);
+}
+
+TEST(KernelTest, ConvDirectMatchesIm2col) {
+  util::Rng rng(11);
+  for (int64_t groups : {int64_t{1}, int64_t{4}}) {
+    Tensor x = Tensor::RandomUniform(Shape({2, 8, 9, 9}), rng);
+    Tensor w = Tensor::RandomUniform(Shape({8, 8 / groups, 3, 3}), rng);
+    Tensor b = Tensor::RandomUniform(Shape({8}), rng);
+    ConvParams p;
+    p.stride = 2;
+    p.padding = 1;
+    p.groups = groups;
+    auto direct =
+        Conv2d(x, w, &b, p, ConvAlgo::kDirect, GemmBackend::kNaive);
+    for (GemmBackend backend : {GemmBackend::kNaive, GemmBackend::kBlocked,
+                                GemmBackend::kTransposed}) {
+      auto gemm = Conv2d(x, w, &b, p, ConvAlgo::kIm2col, backend);
+      EXPECT_EQ(gemm.shape(), direct.shape());
+      EXPECT_LT(MaxAbsDiff(direct, gemm), 1e-4);
+    }
+  }
+}
+
+TEST(KernelTest, DepthwiseConv) {
+  // groups == channels: each output channel sees only its own input.
+  Tensor x(Shape({1, 2, 2, 2}), {1, 1, 1, 1, 2, 2, 2, 2});
+  Tensor w(Shape({2, 1, 1, 1}), {3.0f, 5.0f});
+  ConvParams p;
+  p.groups = 2;
+  auto out = Conv2d(x, w, nullptr, p, ConvAlgo::kDirect, GemmBackend::kNaive);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 10.0f);
+}
+
+TEST(KernelTest, FullyConnectedKnown) {
+  Tensor x(Shape({1, 3}), {1, 2, 3});
+  Tensor w(Shape({2, 3}), {1, 0, 0, 0, 1, 1});  // y0 = x0, y1 = x1+x2
+  Tensor b(Shape({2}), {10, 20});
+  auto out = FullyConnected(x, w, &b, GemmBackend::kNaive);
+  EXPECT_FLOAT_EQ(out.at(0), 11);
+  EXPECT_FLOAT_EQ(out.at(1), 25);
+}
+
+TEST(KernelTest, Activations) {
+  Tensor x(Shape({5}), {-2, -0.5f, 0, 1, 8});
+  auto relu = Relu(x);
+  EXPECT_FLOAT_EQ(relu.at(0), 0);
+  EXPECT_FLOAT_EQ(relu.at(3), 1);
+  auto relu6 = Relu6(x);
+  EXPECT_FLOAT_EQ(relu6.at(4), 6);
+  auto sig = Sigmoid(x);
+  EXPECT_NEAR(sig.at(2), 0.5, 1e-6);
+  EXPECT_GT(sig.at(4), 0.999);
+  auto hs = HardSwish(x);
+  EXPECT_FLOAT_EQ(hs.at(0), -2 * 1.0f / 6.0f);  // relu6(-2+3)=1
+  EXPECT_FLOAT_EQ(hs.at(4), 8);                 // saturated: 8*6/6
+  auto th = Tanh(x);
+  EXPECT_NEAR(th.at(2), 0.0, 1e-7);
+}
+
+TEST(KernelTest, MaxPoolKnown) {
+  Tensor x(Shape({1, 1, 4, 4}),
+           {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  auto out = MaxPool(x, 2, 2, 0);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 6);
+  EXPECT_FLOAT_EQ(out.at(1), 8);
+  EXPECT_FLOAT_EQ(out.at(2), 14);
+  EXPECT_FLOAT_EQ(out.at(3), 16);
+}
+
+TEST(KernelTest, AvgPoolKnown) {
+  Tensor x(Shape({1, 1, 2, 2}), {1, 3, 5, 7});
+  auto out = AvgPool(x, 2, 2, 0);
+  EXPECT_FLOAT_EQ(out.at(0), 4.0f);
+}
+
+TEST(KernelTest, GlobalAvgPool) {
+  Tensor x(Shape({1, 2, 2, 2}), {1, 2, 3, 4, 10, 20, 30, 40});
+  auto out = GlobalAvgPool(x);
+  EXPECT_EQ(out.shape(), Shape({1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(1), 25.0f);
+}
+
+TEST(KernelTest, BatchNormIdentityParams) {
+  util::Rng rng(5);
+  Tensor x = Tensor::RandomUniform(Shape({1, 3, 4, 4}), rng);
+  Tensor ones = Tensor::Full(Shape({3}), 1.0f);
+  Tensor zeros = Tensor::Zeros(Shape({3}));
+  auto out = BatchNorm(x, ones, zeros, zeros, ones, 0.0f);
+  EXPECT_LT(MaxAbsDiff(x, out), 1e-6);
+}
+
+TEST(KernelTest, BatchNormNormalizes) {
+  Tensor x(Shape({1, 1, 1, 2}), {4.0f, 8.0f});
+  Tensor scale = Tensor::Full(Shape({1}), 2.0f);
+  Tensor bias = Tensor::Full(Shape({1}), 1.0f);
+  Tensor mean = Tensor::Full(Shape({1}), 6.0f);
+  Tensor var = Tensor::Full(Shape({1}), 4.0f);  // stddev 2
+  auto out = BatchNorm(x, scale, bias, mean, var, 0.0f);
+  EXPECT_NEAR(out.at(0), 2.0f * (4 - 6) / 2 + 1, 1e-5);  // -1
+  EXPECT_NEAR(out.at(1), 2.0f * (8 - 6) / 2 + 1, 1e-5);  // 3
+}
+
+TEST(KernelTest, MulChannelBroadcast) {
+  Tensor a(Shape({1, 2, 1, 2}), {1, 2, 3, 4});
+  Tensor gate(Shape({1, 2, 1, 1}), {10.0f, 100.0f});
+  auto out = Mul(a, gate);
+  EXPECT_FLOAT_EQ(out.at(0), 10);
+  EXPECT_FLOAT_EQ(out.at(1), 20);
+  EXPECT_FLOAT_EQ(out.at(2), 300);
+  EXPECT_FLOAT_EQ(out.at(3), 400);
+}
+
+TEST(KernelTest, ConcatChannels) {
+  Tensor a = Tensor::Full(Shape({1, 1, 2, 2}), 1.0f);
+  Tensor b = Tensor::Full(Shape({1, 2, 2, 2}), 2.0f);
+  auto out = Concat({&a, &b});
+  EXPECT_EQ(out.shape(), Shape({1, 3, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 2, 0, 1), 2.0f);
+}
+
+TEST(KernelTest, SoftmaxRowsSumToOne) {
+  Tensor x(Shape({2, 3}), {1, 2, 3, -1, 0, 1});
+  auto out = Softmax(x);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 3; ++c) sum += out.at2(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  // Monotone in logits.
+  EXPECT_GT(out.at2(0, 2), out.at2(0, 1));
+}
+
+TEST(KernelTest, SoftmaxNumericallyStable) {
+  Tensor x(Shape({1, 2}), {1000.0f, 1001.0f});
+  auto out = Softmax(x);
+  EXPECT_FALSE(tensor::HasNonFinite(out));
+  EXPECT_NEAR(out.at(0) + out.at(1), 1.0, 1e-6);
+}
+
+// --------------------------------------------------------------- executor
+
+Graph SmallConvNet(uint64_t seed = 9) {
+  ModelBuilder b(seed);
+  NodeId x = b.Input("img", Shape({1, 3, 16, 16}));
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  NodeId branch = b.Conv(x, 8, 3, 1, 1);
+  x = b.Relu(b.Add(b.BatchNorm(branch), x));
+  x = b.MaxPool(x, 2, 2);
+  x = b.SqueezeExcite(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 10);
+  x = b.Softmax(x);
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+TEST(ExecutorTest, RunsSmallNet) {
+  Graph g = SmallConvNet();
+  auto exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  util::Rng rng(1);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto out = (*exec)->Run({input});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].shape(), Shape({1, 10}));
+  EXPECT_FALSE(tensor::HasNonFinite((*out)[0]));
+}
+
+TEST(ExecutorTest, RejectsWrongInputCount) {
+  Graph g = SmallConvNet();
+  auto exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  EXPECT_FALSE((*exec)->Run({}).ok());
+}
+
+TEST(ExecutorTest, RejectsWrongInputShape) {
+  Graph g = SmallConvNet();
+  auto exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  util::Rng rng(1);
+  auto bad = Tensor::RandomUniform(Shape({1, 3, 8, 8}), rng);
+  EXPECT_FALSE((*exec)->Run({bad}).ok());
+}
+
+TEST(ExecutorTest, AllPresetsAgreeNumerically) {
+  Graph g = SmallConvNet();
+  util::Rng rng(2);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+
+  std::vector<Tensor> results;
+  for (const auto& cfg :
+       {ReferenceExecutorConfig(), OrtLikeExecutorConfig(),
+        TvmLikeExecutorConfig(), HardenedExecutorConfig()}) {
+    auto exec = Executor::Create(g, cfg);
+    ASSERT_TRUE(exec.ok());
+    auto out = (*exec)->Run({input});
+    ASSERT_TRUE(out.ok()) << cfg.name << ": " << out.status().ToString();
+    results.push_back((*out)[0]);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GT(CosineSimilarity(results[0], results[i]), 0.9999);
+    EXPECT_LT(MaxAbsDiff(results[0], results[i]), 1e-3);
+  }
+}
+
+TEST(ExecutorTest, DiversifiedBackendsDifferBitwise) {
+  // The whole premise of threshold-based checking: different backends
+  // produce close-but-not-identical floats on deep nets.
+  Graph g = SmallConvNet();
+  util::Rng rng(2);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto ref = Executor::Create(g, ReferenceExecutorConfig());
+  auto tvm = Executor::Create(g, TvmLikeExecutorConfig());
+  ASSERT_TRUE(ref.ok() && tvm.ok());
+  auto a = (*ref)->Run({input});
+  auto b = (*tvm)->Run({input});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)[0].vec(), (*b)[0].vec());
+}
+
+TEST(ExecutorTest, DeterministicRepeatedRuns) {
+  Graph g = SmallConvNet();
+  auto exec = Executor::Create(g, OrtLikeExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  util::Rng rng(3);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto a = (*exec)->Run({input});
+  auto b = (*exec)->Run({input});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)[0], (*b)[0]);
+}
+
+TEST(ExecutorTest, FoldBatchNormPreservesOutputs) {
+  Graph g = SmallConvNet();
+  util::Rng rng(4);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+
+  auto plain = ReferenceExecutorConfig();
+  auto folded = ReferenceExecutorConfig();
+  folded.fold_batch_norm = true;
+  auto e1 = Executor::Create(g, plain);
+  auto e2 = Executor::Create(g, folded);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  auto a = (*e1)->Run({input});
+  auto b = (*e2)->Run({input});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(MaxAbsDiff((*a)[0], (*b)[0]), 1e-4);
+}
+
+TEST(ExecutorTest, FoldBatchNormPassCountsFolds) {
+  Graph g = SmallConvNet();
+  size_t folds = FoldBatchNormPass(g);
+  EXPECT_GE(folds, 2u);  // ConvBnRelu + branch BN
+  EXPECT_TRUE(g.Validate().ok());
+  // Folded graph still executes.
+  auto exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+}
+
+TEST(ExecutorTest, SlowdownFactorDelaysExecution) {
+  Graph g = SmallConvNet();
+  auto fast_cfg = OrtLikeExecutorConfig();
+  auto slow_cfg = OrtLikeExecutorConfig();
+  slow_cfg.slowdown_factor = 3.0;
+  auto fast = Executor::Create(g, fast_cfg);
+  auto slow = Executor::Create(g, slow_cfg);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  util::Rng rng(5);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  // Warm up.
+  (void)(*fast)->Run({input});
+  auto t0 = std::chrono::steady_clock::now();
+  (void)(*fast)->Run({input});
+  auto t1 = std::chrono::steady_clock::now();
+  (void)(*slow)->Run({input});
+  auto t2 = std::chrono::steady_clock::now();
+  EXPECT_GT((t2 - t1).count(), (t1 - t0).count());
+}
+
+// Fault hook: corruption and crash are observable.
+class CorruptOutputHook : public FaultHook {
+ public:
+  explicit CorruptOutputHook(std::string target) : target_(std::move(target)) {}
+  void OnNodeComplete(const graph::Node& node, Tensor& out) override {
+    if (node.name == target_ && out.num_elements() > 0) {
+      out.data()[0] += 1000.0f;
+      fired = true;
+    }
+  }
+  std::string target_;
+  bool fired = false;
+};
+
+class CrashHook : public FaultHook {
+ public:
+  explicit CrashHook(std::string target) : target_(std::move(target)) {}
+  util::Status OnNodeStart(const graph::Node& node) override {
+    if (node.name == target_) {
+      return util::Aborted("simulated crash in " + node.name);
+    }
+    return util::OkStatus();
+  }
+  std::string target_;
+};
+
+TEST(ExecutorTest, FaultHookCorruptsOutput) {
+  Graph g = SmallConvNet();
+  util::Rng rng(6);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+
+  auto clean_exec = Executor::Create(g, ReferenceExecutorConfig());
+  auto faulty_exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(clean_exec.ok() && faulty_exec.ok());
+  // Corrupt the first conv's output.
+  auto hook = std::make_shared<CorruptOutputHook>("conv_0");
+  (*faulty_exec)->SetFaultHook(hook);
+
+  auto clean = (*clean_exec)->Run({input});
+  auto faulty = (*faulty_exec)->Run({input});
+  ASSERT_TRUE(clean.ok() && faulty.ok());
+  EXPECT_TRUE(hook->fired);
+  EXPECT_GT(MaxAbsDiff((*clean)[0], (*faulty)[0]), 0.0);
+}
+
+TEST(ExecutorTest, FaultHookCrashPropagates) {
+  Graph g = SmallConvNet();
+  auto exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  (*exec)->SetFaultHook(std::make_shared<CrashHook>("conv_0"));
+  util::Rng rng(7);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto out = (*exec)->Run({input});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kAborted);
+}
+
+// Full zoo end-to-end under the optimized executor.
+class ZooExecutionTest : public ::testing::TestWithParam<graph::ModelKind> {};
+
+TEST_P(ZooExecutionTest, ProducesFiniteDistribution) {
+  graph::ZooConfig cfg;
+  cfg.input_hw = 32;
+  cfg.width_mult = 0.25;
+  cfg.depth_mult = 0.34;
+  Graph g = BuildModel(GetParam(), cfg);
+  auto exec = Executor::Create(g, OrtLikeExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  util::Rng rng(8);
+  auto input =
+      Tensor::RandomUniform(Shape({cfg.batch, 3, cfg.input_hw, cfg.input_hw}),
+                            rng);
+  auto out = (*exec)->Run({input});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const Tensor& probs = (*out)[0];
+  EXPECT_FALSE(tensor::HasNonFinite(probs));
+  double sum = 0;
+  for (int64_t i = 0; i < probs.num_elements(); ++i) {
+    EXPECT_GE(probs.at(i), 0.0f);
+    sum += probs.at(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooExecutionTest,
+                         ::testing::ValuesIn(graph::AllModels()),
+                         [](const auto& info) {
+                           std::string name(graph::ModelName(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace mvtee::runtime

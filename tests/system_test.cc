@@ -1,0 +1,383 @@
+// System-level integration and property tests: full deployments across
+// zoo models, virtual-time engine properties, attack-surface behaviour,
+// and resource-exhaustion edges.
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "core/offline.h"
+#include "core/variant_host.h"
+#include "fault/injectors.h"
+#include "graph/model_zoo.h"
+#include "runtime/executor.h"
+#include "transport/channel.h"
+
+namespace mvtee::core {
+namespace {
+
+using graph::Graph;
+using tensor::Shape;
+using tensor::Tensor;
+
+graph::ZooConfig SmallZoo() {
+  graph::ZooConfig cfg;
+  cfg.input_hw = 32;
+  cfg.width_mult = 0.25;
+  cfg.depth_mult = 0.34;
+  return cfg;
+}
+
+OfflineOptions Offline(int partitions, int variants, bool replicated,
+                       uint64_t seed = 41) {
+  OfflineOptions opts;
+  opts.num_partitions = partitions;
+  opts.partition_seed = seed;
+  opts.key_seed = seed + 1;
+  opts.pool.variants_per_stage = variants;
+  opts.pool.replicated = replicated;
+  opts.pool.verify = false;
+  opts.pool.seed = seed + 2;
+  return opts;
+}
+
+std::vector<Tensor> ReferenceRun(const Graph& model,
+                                 const std::vector<Tensor>& inputs) {
+  auto exec =
+      runtime::Executor::Create(model, runtime::ReferenceExecutorConfig());
+  MVTEE_CHECK(exec.ok());
+  auto out = (*exec)->Run(inputs);
+  MVTEE_CHECK(out.ok());
+  return *out;
+}
+
+// Full deployment across real zoo models with a diversified pool.
+class ZooDeploymentTest : public ::testing::TestWithParam<graph::ModelKind> {
+};
+
+TEST_P(ZooDeploymentTest, DiversifiedMvxMatchesReference) {
+  Graph model = graph::BuildModel(GetParam(), SmallZoo());
+  auto bundle = RunOfflineTool(model, Offline(4, 3, /*replicated=*/false));
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  tee::SimulatedCpu cpu{tee::SimulatedCpu::Options{.hardware_key_seed = 5}};
+  VariantHost host(&cpu, bundle->store);
+  MonitorConfig config;
+  config.check = CheckPolicy::Cosine(0.99);
+  config.vote = VotePolicy::kMajority;
+  config.response = ResponsePolicy::kContinueWithWinner;
+  config.direct_fastpath = true;
+  auto monitor = Monitor::Create(&cpu, config);
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE((*monitor)
+                  ->Initialize(*bundle, MvxSelection::Uniform(*bundle, 3),
+                               host)
+                  .ok());
+
+  util::Rng rng(1);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 32, 32}), rng);
+  auto out = (*monitor)->RunBatch({input});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto expected = ReferenceRun(model, {input});
+  EXPECT_GT(tensor::CosineSimilarity((*out)[0], expected[0]), 0.999);
+
+  auto stats = (*monitor)->ConsumeStats();
+  EXPECT_EQ(stats.divergences, 0u);
+  EXPECT_EQ(stats.variant_failures, 0u);
+  ASSERT_TRUE((*monitor)->Shutdown().ok());
+  host.JoinAll();
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ZooDeploymentTest,
+                         ::testing::Values(graph::ModelKind::kResNet50,
+                                           graph::ModelKind::kGoogleNet,
+                                           graph::ModelKind::kMobileNetV3),
+                         [](const auto& info) {
+                           std::string name(graph::ModelName(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Fixture for virtual-time and attack-surface tests on a small model.
+class VirtualTimeTest : public ::testing::Test {
+ protected:
+  void Boot(MonitorConfig config, int partitions = 4, int variants = 1,
+            VariantHost::Options host_options = VariantHost::Options{}) {
+    model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+    auto bundle =
+        RunOfflineTool(model_, Offline(partitions, 5, /*replicated=*/true));
+    ASSERT_TRUE(bundle.ok());
+    bundle_ = std::move(*bundle);
+    host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store,
+                                          host_options);
+    auto monitor = Monitor::Create(&cpu_, config);
+    ASSERT_TRUE(monitor.ok());
+    monitor_ = std::move(*monitor);
+    ASSERT_TRUE(monitor_
+                    ->Initialize(bundle_,
+                                 MvxSelection::Uniform(bundle_, variants),
+                                 *host_)
+                    .ok());
+  }
+
+  std::vector<std::vector<Tensor>> MakeBatches(int n) {
+    util::Rng rng(9);
+    std::vector<std::vector<Tensor>> batches;
+    for (int i = 0; i < n; ++i) {
+      batches.push_back({Tensor::RandomUniform(Shape({1, 3, 32, 32}), rng)});
+    }
+    return batches;
+  }
+
+  void TearDown() override {
+    if (monitor_) ASSERT_TRUE(monitor_->Shutdown().ok());
+    if (host_) host_->JoinAll();
+  }
+
+  tee::SimulatedCpu cpu_{tee::SimulatedCpu::Options{.hardware_key_seed = 7}};
+  Graph model_;
+  OfflineBundle bundle_;
+  std::unique_ptr<VariantHost> host_;
+  std::unique_ptr<Monitor> monitor_;
+};
+
+TEST_F(VirtualTimeTest, PipelinedBeatsSequentialThroughput) {
+  MonitorConfig config;
+  config.direct_fastpath = true;
+  Boot(config);
+  auto batches = MakeBatches(10);
+
+  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  auto seq = monitor_->ConsumeStats();
+  ASSERT_TRUE(monitor_->RunPipelined(batches).ok());
+  auto pipe = monitor_->ConsumeStats();
+
+  EXPECT_GT(seq.ThroughputPerSec(), 0.0);
+  // With 4 stages on independent (virtual) executors, pipelining must
+  // improve steady-state throughput materially.
+  EXPECT_GT(pipe.ThroughputPerSec(), seq.ThroughputPerSec() * 1.3);
+}
+
+TEST_F(VirtualTimeTest, StatsAreMeaningful) {
+  MonitorConfig config;
+  Boot(config, 3, 3);
+  auto batches = MakeBatches(4);
+  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  auto stats = monitor_->ConsumeStats();
+  EXPECT_EQ(stats.batch_latency_us.size(), 4u);
+  for (int64_t lat : stats.batch_latency_us) EXPECT_GT(lat, 0);
+  EXPECT_GT(stats.wall_us, 0);
+  EXPECT_EQ(stats.checkpoints_evaluated, 3u * 4u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  // Mean latency consistent with the list.
+  double mean = stats.MeanLatencyUs();
+  EXPECT_GT(mean, 0.0);
+  // Consuming resets.
+  auto empty = monitor_->ConsumeStats();
+  EXPECT_TRUE(empty.batch_latency_us.empty());
+}
+
+TEST_F(VirtualTimeTest, SlowVariantDelaysSyncButNotAsyncQuorum) {
+  // Diversified pool with an extra-slow variant on one stage's panel.
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto opts = Offline(3, 2, /*replicated=*/false);
+  opts.pool.include_slow_variant = true;
+  opts.pool.slow_variant_factor = 6.0;
+  auto bundle = RunOfflineTool(model_, opts);
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  auto run_mode = [&](ExecMode mode) -> double {
+    host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store);
+    MonitorConfig config;
+    config.mode = mode;
+    config.check = CheckPolicy::Cosine(0.99);
+    config.vote = VotePolicy::kMajority;
+    config.response = ResponsePolicy::kContinueWithWinner;
+    auto monitor = Monitor::Create(&cpu_, config);
+    MVTEE_CHECK(monitor.ok());
+    monitor_ = std::move(*monitor);
+    MVTEE_CHECK(monitor_
+                    ->Initialize(bundle_,
+                                 MvxSelection::PerStage(bundle_, {1, 3, 1}),
+                                 *host_)
+                    .ok());
+    auto batches = MakeBatches(6);
+    MVTEE_CHECK(monitor_->RunSequential(batches).ok());
+    auto stats = monitor_->ConsumeStats();
+    MVTEE_CHECK(monitor_->Shutdown().ok());
+    host_->JoinAll();
+    return stats.ThroughputPerSec();
+  };
+
+  double sync_tput = run_mode(ExecMode::kSync);
+  double async_tput = run_mode(ExecMode::kAsync);
+  // The 6x-slow panel member throttles sync but not the async quorum.
+  EXPECT_GT(async_tput, sync_tput * 1.2);
+}
+
+TEST_F(VirtualTimeTest, AsyncLateDivergenceDetected) {
+  // Corrupt ONLY the slow variant: async proceeds on the healthy quorum,
+  // then flags the straggler at the next checkpoint (late divergence).
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto opts = Offline(3, 2, /*replicated=*/false);
+  opts.pool.include_slow_variant = true;
+  opts.pool.slow_variant_factor = 6.0;
+  auto bundle = RunOfflineTool(model_, opts);
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  class Corrupt : public runtime::FaultHook {
+   public:
+    void OnNodeComplete(const graph::Node&, Tensor& out) override {
+      if (out.num_elements() > 0) out.data()[0] += 100.0f;
+    }
+  };
+  host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store);
+  host_->SetFaultHook("s1.v2", std::make_shared<Corrupt>());  // slow variant
+
+  MonitorConfig config;
+  config.mode = ExecMode::kAsync;
+  config.check = CheckPolicy::Cosine(0.99);
+  config.vote = VotePolicy::kMajority;
+  config.response = ResponsePolicy::kContinueWithWinner;
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  monitor_ = std::move(*monitor);
+  ASSERT_TRUE(monitor_
+                  ->Initialize(bundle_,
+                               MvxSelection::PerStage(bundle_, {1, 3, 1}),
+                               *host_)
+                  .ok());
+  auto batches = MakeBatches(6);
+  auto out = monitor_->RunSequential(batches);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto stats = monitor_->ConsumeStats();
+  // Dissent observed — either at a checkpoint or via late validation.
+  EXPECT_GT(stats.divergences + stats.late_divergences, 0u);
+  // And every released output matches the healthy reference.
+  for (size_t b = 0; b < batches.size(); ++b) {
+    auto expected = ReferenceRun(model_, batches[b]);
+    EXPECT_GT(tensor::CosineSimilarity((*out)[b][0], expected[0]), 0.999);
+  }
+}
+
+TEST_F(VirtualTimeTest, VerifyFastPathCatchesNonFinitePoisoning) {
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(3, 1, /*replicated=*/true));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  class Poison : public runtime::FaultHook {
+   public:
+    void OnNodeComplete(const graph::Node& node, Tensor& out) override {
+      if (node.op == graph::OpType::kConv2d && out.num_elements() > 0) {
+        out.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+  };
+  host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store);
+  host_->SetFaultHook("s1.v0", std::make_shared<Poison>());
+
+  MonitorConfig config;
+  config.verify_fast_path = true;  // single-variant rule evaluation
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  monitor_ = std::move(*monitor);
+  ASSERT_TRUE(monitor_
+                  ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 1),
+                               *host_)
+                  .ok());
+  auto out = monitor_->RunBatch(MakeBatches(1)[0]);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kDivergenceDetected);
+}
+
+TEST_F(VirtualTimeTest, EpcExhaustionFailsInitializationGracefully) {
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(3, 3, /*replicated=*/true));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  // Enough EPC for the monitor and a couple of variants only.
+  tee::SimulatedCpu tiny_cpu{
+      tee::SimulatedCpu::Options{.total_epc_pages = 9000,
+                                 .hardware_key_seed = 11}};
+  VariantHost host(&tiny_cpu, bundle_.store);
+  auto monitor = Monitor::Create(&tiny_cpu, MonitorConfig{});
+  ASSERT_TRUE(monitor.ok());
+  auto status = (*monitor)->Initialize(
+      bundle_, MvxSelection::Uniform(bundle_, 3), host);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+  (void)(*monitor)->Shutdown();
+  host.JoinAll();
+}
+
+TEST_F(VirtualTimeTest, ExplicitSelectionPicksNamedVariants) {
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(3, 4, /*replicated=*/false));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+  host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store);
+  auto monitor = Monitor::Create(&cpu_, MonitorConfig{});
+  ASSERT_TRUE(monitor.ok());
+  monitor_ = std::move(*monitor);
+  MvxSelection sel;
+  sel.stage_variant_ids = {{"s0.v3"}, {"s1.v1", "s1.v2"}, {"s2.v0"}};
+  ASSERT_TRUE(monitor_->Initialize(bundle_, sel, *host_).ok());
+  auto bindings = monitor_->bindings();
+  ASSERT_EQ(bindings.size(), 4u);
+  EXPECT_EQ(bindings[0].variant_id, "s0.v3");
+  EXPECT_EQ(bindings[1].variant_id, "s1.v1");
+  auto out = monitor_->RunBatch(MakeBatches(1)[0]);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+}
+
+TEST_F(VirtualTimeTest, RepeatedRunsAccumulateIndependentStats) {
+  MonitorConfig config;
+  Boot(config, 3, 1);
+  auto batches = MakeBatches(3);
+  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  auto first = monitor_->ConsumeStats();
+  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  auto second = monitor_->ConsumeStats();
+  EXPECT_EQ(first.batch_latency_us.size(), 3u);
+  EXPECT_EQ(second.batch_latency_us.size(), 3u);
+  // Virtual clocks persist across runs but latencies stay per-run sane:
+  // within an order of magnitude of each other.
+  EXPECT_LT(second.MeanLatencyUs(), first.MeanLatencyUs() * 10);
+  EXPECT_GT(second.MeanLatencyUs(), first.MeanLatencyUs() / 10);
+}
+
+TEST_F(VirtualTimeTest, PlaintextAblationIsNotSlower) {
+  // Encryption can only add (virtual) cost.
+  auto batches = MakeBatches(8);
+
+  MonitorConfig config;
+  config.direct_fastpath = true;
+  Boot(config);
+  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  auto encrypted = monitor_->ConsumeStats();
+  ASSERT_TRUE(monitor_->Shutdown().ok());
+  host_->JoinAll();
+
+  VariantHost::Options plain;
+  plain.plaintext_channels = true;
+  host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store, plain);
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  monitor_ = std::move(*monitor);
+  ASSERT_TRUE(monitor_
+                  ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 1),
+                               *host_)
+                  .ok());
+  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  auto plaintext = monitor_->ConsumeStats();
+
+  // Allow generous noise margin; the point is no systematic inversion.
+  EXPECT_LT(plaintext.MeanLatencyUs(), encrypted.MeanLatencyUs() * 1.25);
+}
+
+}  // namespace
+}  // namespace mvtee::core

@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include "tee/enclave.h"
+#include "tee/manifest.h"
+#include "tee/sealed_fs.h"
+
+namespace mvtee::tee {
+namespace {
+
+using util::Bytes;
+using util::StatusCode;
+using util::ToBytes;
+
+// ---------------------------------------------------------------- manifest
+
+TEST(ManifestTest, SerializeRoundTrip) {
+  Manifest m = InitVariantManifest();
+  m.trusted_files["init.bin"] = crypto::Sha256::Hash(ToBytes("init code"));
+  m.encrypted_files.insert("variant.graph");
+  m.allowed_env.insert("MVTEE_STAGE");
+  auto back = Manifest::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entrypoint, m.entrypoint);
+  EXPECT_EQ(back->trusted_files, m.trusted_files);
+  EXPECT_EQ(back->encrypted_files, m.encrypted_files);
+  EXPECT_EQ(back->allowed_syscalls, m.allowed_syscalls);
+  EXPECT_EQ(back->allowed_env, m.allowed_env);
+  EXPECT_EQ(back->two_stage_enabled, m.two_stage_enabled);
+  EXPECT_EQ(back->Hash(), m.Hash());
+}
+
+TEST(ManifestTest, HashChangesWithContent) {
+  Manifest a = MonitorManifest();
+  Manifest b = a;
+  b.allowed_syscalls.insert("exec");
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(ManifestTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Manifest::Deserialize({}).ok());
+  Bytes junk(64, 0x5a);
+  EXPECT_FALSE(Manifest::Deserialize(junk).ok());
+}
+
+TEST(ManifestTest, FactoriesHaveDistinctSurfaces) {
+  EXPECT_TRUE(InitVariantManifest().two_stage_enabled);
+  EXPECT_FALSE(MonitorManifest().two_stage_enabled);
+  EXPECT_TRUE(InitVariantManifest().SyscallAllowed("exec"));
+  EXPECT_FALSE(MonitorManifest().SyscallAllowed("exec"));
+  EXPECT_FALSE(MainVariantManifest().SyscallAllowed("pf_install_key"));
+  EXPECT_TRUE(MainVariantManifest().exec_from_encrypted_only);
+}
+
+// ---------------------------------------------------------------- enclave
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  SimulatedCpu cpu_{SimulatedCpu::Options{.hardware_key_seed = 42}};
+};
+
+TEST_F(EnclaveTest, MeasuredLaunch) {
+  auto e1 = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code-v1"),
+                               InitVariantManifest(), 100);
+  auto e2 = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code-v1"),
+                               InitVariantManifest(), 100);
+  auto e3 = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code-v2"),
+                               InitVariantManifest(), 100);
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  EXPECT_EQ((*e1)->measurement(), (*e2)->measurement());
+  EXPECT_NE((*e1)->measurement(), (*e3)->measurement());
+  EXPECT_NE((*e1)->id(), (*e2)->id());
+}
+
+TEST_F(EnclaveTest, ManifestChangesMeasurement) {
+  Manifest m1 = InitVariantManifest();
+  Manifest m2 = m1;
+  m2.allowed_syscalls.insert("evil_syscall");
+  auto e1 = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code"), m1, 10);
+  auto e2 = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code"), m2, 10);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_NE((*e1)->measurement(), (*e2)->measurement());
+}
+
+TEST_F(EnclaveTest, ReportSignAndVerify) {
+  auto e = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code"),
+                              MonitorManifest(), 10);
+  ASSERT_TRUE(e.ok());
+  std::array<uint8_t, kReportDataSize> data{};
+  data[0] = 0xaa;
+  auto report = (*e)->CreateReport(data);
+  EXPECT_TRUE(cpu_.VerifyReport(report).ok());
+
+  // Any field tamper breaks the MAC.
+  auto tampered = report;
+  tampered.measurement[0] ^= 1;
+  EXPECT_EQ(cpu_.VerifyReport(tampered).code(),
+            StatusCode::kAttestationFailure);
+  tampered = report;
+  tampered.report_data[5] ^= 1;
+  EXPECT_FALSE(cpu_.VerifyReport(tampered).ok());
+  tampered = report;
+  tampered.enclave_id += 1;
+  EXPECT_FALSE(cpu_.VerifyReport(tampered).ok());
+}
+
+TEST_F(EnclaveTest, ForgedReportFromOtherPlatformRejected) {
+  SimulatedCpu other{SimulatedCpu::Options{.hardware_key_seed = 43}};
+  auto e = other.LaunchEnclave(TeeType::kSgx2, ToBytes("code"),
+                               MonitorManifest(), 10);
+  ASSERT_TRUE(e.ok());
+  auto report = (*e)->CreateReport({});
+  EXPECT_FALSE(cpu_.VerifyReport(report).ok());
+}
+
+TEST_F(EnclaveTest, ReportSerializeRoundTrip) {
+  auto e = cpu_.LaunchEnclave(TeeType::kTdx, ToBytes("code"),
+                              MonitorManifest(), 10);
+  ASSERT_TRUE(e.ok());
+  std::array<uint8_t, kReportDataSize> data{};
+  data[63] = 7;
+  auto report = (*e)->CreateReport(data);
+  auto back = AttestationReport::Deserialize(report.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->enclave_id, report.enclave_id);
+  EXPECT_EQ(back->tee_type, TeeType::kTdx);
+  EXPECT_EQ(back->measurement, report.measurement);
+  EXPECT_EQ(back->report_data, report.report_data);
+  EXPECT_TRUE(cpu_.VerifyReport(*back).ok());
+}
+
+TEST_F(EnclaveTest, EpcAccounting) {
+  SimulatedCpu cpu{SimulatedCpu::Options{.total_epc_pages = 100,
+                                         .hardware_key_seed = 1}};
+  auto e1 = cpu.LaunchEnclave(TeeType::kSgx2, ToBytes("a"),
+                              MonitorManifest(), 60);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(cpu.used_epc_pages(), 60u);
+  auto e2 = cpu.LaunchEnclave(TeeType::kSgx2, ToBytes("b"),
+                              MonitorManifest(), 60);
+  EXPECT_FALSE(e2.ok());  // would exceed total
+  EXPECT_EQ(e2.status().code(), StatusCode::kUnavailable);
+  cpu.ReleaseEnclave(**e1);
+  EXPECT_EQ(cpu.used_epc_pages(), 0u);
+  auto e3 = cpu.LaunchEnclave(TeeType::kSgx2, ToBytes("b"),
+                              MonitorManifest(), 60);
+  EXPECT_TRUE(e3.ok());
+}
+
+TEST_F(EnclaveTest, Sgx1SizeCap) {
+  auto big = cpu_.LaunchEnclave(TeeType::kSgx1, ToBytes("big"),
+                                MonitorManifest(), 1u << 20);
+  EXPECT_FALSE(big.ok());
+  auto small = cpu_.LaunchEnclave(TeeType::kSgx1, ToBytes("small"),
+                                  MonitorManifest(), 1024);
+  EXPECT_TRUE(small.ok());
+}
+
+TEST_F(EnclaveTest, SyscallFiltering) {
+  auto e = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code"),
+                              MonitorManifest(), 10);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->CheckSyscall("read").ok());
+  EXPECT_EQ((*e)->CheckSyscall("exec").code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE((*e)->CheckSyscall("ptrace").ok());
+}
+
+TEST_F(EnclaveTest, TrustedFileVerification) {
+  Manifest m = InitVariantManifest();
+  Bytes contents = ToBytes("the init-variant binary");
+  m.trusted_files["init.bin"] = crypto::Sha256::Hash(contents);
+  auto e = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("code"), m, 10);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->VerifyTrustedFile("init.bin", contents).ok());
+  // Tampered file.
+  Bytes tampered = contents;
+  tampered[0] ^= 1;
+  EXPECT_EQ((*e)->VerifyTrustedFile("init.bin", tampered).code(),
+            StatusCode::kDataLoss);
+  // Unknown file.
+  EXPECT_EQ((*e)->VerifyTrustedFile("other.bin", contents).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(EnclaveTest, TwoStageLifecycle) {
+  auto e = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("init"),
+                              InitVariantManifest(), 10);
+  ASSERT_TRUE(e.ok());
+  Enclave& enclave = **e;
+  EXPECT_EQ(enclave.stage(), Enclave::Stage::kInit);
+
+  // Install PF key (allowed in init stage).
+  EXPECT_TRUE(enclave.InstallProtectedFsKey(Bytes(32, 0x77)).ok());
+
+  // exec() before second-stage install fails (two-stage enabled).
+  EXPECT_EQ(enclave.Exec().code(), StatusCode::kFailedPrecondition);
+
+  Manifest second = MainVariantManifest();
+  EXPECT_TRUE(enclave.InstallSecondStageManifest(second).ok());
+  // One-time: a second install is rejected.
+  EXPECT_EQ(enclave.InstallSecondStageManifest(second).code(),
+            StatusCode::kPermissionDenied);
+
+  // Transition.
+  EXPECT_TRUE(enclave.Exec().ok());
+  EXPECT_EQ(enclave.stage(), Enclave::Stage::kMain);
+  // Second-stage manifest now governs: exec and installs are blocked.
+  EXPECT_FALSE(enclave.Exec().ok());
+  EXPECT_FALSE(enclave.InstallSecondStageManifest(second).ok());
+  EXPECT_EQ(enclave.InstallProtectedFsKey(Bytes(32, 1)).code(),
+            StatusCode::kPermissionDenied);
+  // Key survives the transition for the encrypted FS.
+  ASSERT_TRUE(enclave.protected_fs_key().has_value());
+  EXPECT_EQ((*enclave.protected_fs_key())[0], 0x77);
+  // The stricter syscall surface is active.
+  EXPECT_FALSE(enclave.CheckSyscall("pf_install_key").ok());
+  EXPECT_TRUE(enclave.CheckSyscall("read").ok());
+}
+
+TEST_F(EnclaveTest, TwoStageRequiresBootFlag) {
+  auto e = cpu_.LaunchEnclave(TeeType::kSgx2, ToBytes("mon"),
+                              MonitorManifest(), 10);
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE((*e)->InstallSecondStageManifest(MainVariantManifest()).ok());
+}
+
+// --------------------------------------------------------------- sealed fs
+
+TEST(SealedFsTest, PutGetRoundTrip) {
+  ProtectedStore store;
+  Bytes key(32, 0x11);
+  ASSERT_TRUE(store.Put("model.graph", ToBytes("weights..."), key).ok());
+  auto got = store.Get("model.graph", key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("weights..."));
+}
+
+TEST(SealedFsTest, WrongKeyRejected) {
+  ProtectedStore store;
+  Bytes key(32, 0x11), wrong(32, 0x12);
+  ASSERT_TRUE(store.Put("f", ToBytes("secret"), key).ok());
+  EXPECT_EQ(store.Get("f", wrong).status().code(),
+            StatusCode::kAuthenticationFailure);
+}
+
+TEST(SealedFsTest, MissingFile) {
+  ProtectedStore store;
+  Bytes key(32, 0x11);
+  EXPECT_EQ(store.Get("nope", key).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SealedFsTest, TamperDetected) {
+  ProtectedStore store;
+  Bytes key(32, 0x11);
+  ASSERT_TRUE(store.Put("f", ToBytes("integrity matters"), key).ok());
+  ASSERT_TRUE(store.TamperCiphertext("f", 3));
+  EXPECT_EQ(store.Get("f", key).status().code(),
+            StatusCode::kAuthenticationFailure);
+}
+
+TEST(SealedFsTest, VersionsUseDistinctKeys) {
+  ProtectedStore store;
+  Bytes key(32, 0x11);
+  ASSERT_TRUE(store.Put("f", ToBytes("v1"), key).ok());
+  auto snapshot_v1 = store.Snapshot("f");
+  ASSERT_TRUE(snapshot_v1.has_value());
+  ASSERT_TRUE(store.Put("f", ToBytes("v2"), key).ok());
+  auto got = store.Get("f", key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("v2"));
+}
+
+TEST(SealedFsTest, RollbackDetectedWithLedger) {
+  ProtectedStore store;
+  FreshnessLedger ledger;
+  Bytes key(32, 0x11);
+  ASSERT_TRUE(store.Put("f", ToBytes("v1"), key).ok());
+  ASSERT_TRUE(store.Get("f", key, &ledger).ok());  // records v1
+  auto old = store.Snapshot("f");
+  ASSERT_TRUE(old.has_value());
+  ASSERT_TRUE(store.Put("f", ToBytes("v2"), key).ok());
+  ASSERT_TRUE(store.Get("f", key, &ledger).ok());  // records v2
+  // Host rolls the file back to v1.
+  ASSERT_TRUE(store.Restore("f", *old));
+  auto got = store.Get("f", key, &ledger);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kReplayDetected);
+  // Without a ledger the rollback is NOT caught (the paper's stated
+  // limitation absent monotonic counters).
+  EXPECT_TRUE(store.Get("f", key).ok());
+}
+
+TEST(SealedFsTest, SameVersionSubstitutionDetected) {
+  // Two stores, same path+version, different content: swapping entries
+  // between them must be caught by the ledger (and by the key if keys
+  // differ).
+  ProtectedStore store;
+  FreshnessLedger ledger;
+  Bytes key(32, 0x11);
+  ASSERT_TRUE(store.Put("f", ToBytes("genuine"), key).ok());
+  ASSERT_TRUE(store.Get("f", key, &ledger).ok());
+
+  ProtectedStore other;
+  ASSERT_TRUE(other.Put("f", ToBytes("malicious"), key).ok());
+  auto foreign = other.Snapshot("f");
+  ASSERT_TRUE(foreign.has_value());
+  ASSERT_TRUE(store.Restore("f", *foreign));
+  EXPECT_EQ(store.Get("f", key, &ledger).status().code(),
+            StatusCode::kReplayDetected);
+}
+
+TEST(SealedFsTest, DerivedKeysDifferPerVariant) {
+  Bytes master(32, 0x42);
+  auto k1 = DeriveVariantFileKey(master, "variant-1");
+  auto k2 = DeriveVariantFileKey(master, "variant-2");
+  EXPECT_NE(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+  EXPECT_EQ(k1, DeriveVariantFileKey(master, "variant-1"));
+}
+
+TEST(SealedFsTest, AadBindsPath) {
+  // Copying ciphertext from one path to another must fail even with the
+  // right key, because the path is bound as AAD.
+  ProtectedStore store;
+  Bytes key(32, 0x11);
+  ASSERT_TRUE(store.Put("a", ToBytes("for path a"), key).ok());
+  ASSERT_TRUE(store.Put("b", ToBytes("for path b"), key).ok());
+  auto a_entry = store.Snapshot("a");
+  ASSERT_TRUE(a_entry.has_value());
+  ASSERT_TRUE(store.Restore("b", *a_entry));
+  EXPECT_FALSE(store.Get("b", key).ok());
+}
+
+}  // namespace
+}  // namespace mvtee::tee

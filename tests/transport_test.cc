@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tee/enclave.h"
+#include "transport/channel.h"
+#include "transport/secure_channel.h"
+#include "util/clock.h"
+
+namespace mvtee::transport {
+namespace {
+
+using util::Bytes;
+using util::StatusCode;
+using util::ToBytes;
+
+// ---------------------------------------------------------------- channel
+
+TEST(ChannelTest, SendRecvBothDirections) {
+  auto [a, b] = CreateChannel();
+  ASSERT_TRUE(a.Send(ToBytes("ping")).ok());
+  auto got = b.Recv(100'000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("ping"));
+  ASSERT_TRUE(b.Send(ToBytes("pong")).ok());
+  auto back = a.Recv(100'000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ToBytes("pong"));
+}
+
+TEST(ChannelTest, RecvTimesOut) {
+  auto [a, b] = CreateChannel();
+  (void)a;
+  auto got = b.Recv(10'000);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ChannelTest, CloseUnblocksReceiver) {
+  auto [a, b] = CreateChannel();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a.Close();
+  });
+  auto got = b.Recv(2'000'000);
+  closer.join();
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ChannelTest, QueuedFramesSurviveClose) {
+  auto [a, b] = CreateChannel();
+  ASSERT_TRUE(a.Send(ToBytes("last words")).ok());
+  a.Close();
+  auto got = b.Recv(100'000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("last words"));
+  EXPECT_FALSE(b.Recv(10'000).ok());
+}
+
+TEST(ChannelTest, InterceptorCanDropAndTamper) {
+  auto [a, b] = CreateChannel();
+  int count = 0;
+  a.SetInterceptor([&count](const Bytes& frame) -> std::optional<Bytes> {
+    ++count;
+    if (count == 1) return std::nullopt;  // drop first
+    Bytes tampered = frame;
+    tampered[0] ^= 0xff;
+    return tampered;
+  });
+  ASSERT_TRUE(a.Send(ToBytes("dropped")).ok());
+  ASSERT_TRUE(a.Send(ToBytes("tampered")).ok());
+  auto got = b.Recv(100'000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE((*got)[0], 't');
+  EXPECT_EQ((*got)[1], 'a');
+}
+
+TEST(ChannelTest, InjectRawBypassesEverything) {
+  auto [a, b] = CreateChannel();
+  a.SetInterceptor([](const Bytes&) { return std::nullopt; });  // drop all
+  a.InjectRaw(ToBytes("smuggled"));
+  auto got = b.Recv(100'000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("smuggled"));
+}
+
+TEST(ChannelTest, CostModelAddsLatency) {
+  NetworkCostModel cost{2000.0, 0.0};  // 2 ms per message
+  auto [a, b] = CreateChannel(cost);
+  int64_t start = util::NowMicros();
+  ASSERT_TRUE(a.Send(ToBytes("x")).ok());
+  int64_t elapsed = util::NowMicros() - start;
+  EXPECT_GE(elapsed, 1500);
+  auto got = b.Recv(100'000);
+  EXPECT_TRUE(got.ok());
+}
+
+TEST(ChannelTest, TracksBytesAndFrames) {
+  auto [a, b] = CreateChannel();
+  (void)b;
+  ASSERT_TRUE(a.Send(Bytes(100, 1)).ok());
+  ASSERT_TRUE(a.Send(Bytes(50, 2)).ok());
+  EXPECT_EQ(a.bytes_sent(), 150u);
+  EXPECT_EQ(a.frames_sent(), 2u);
+}
+
+// --------------------------------------------------------- secure channel
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto monitor = cpu_.LaunchEnclave(tee::TeeType::kSgx1,
+                                      ToBytes("monitor-code"),
+                                      tee::MonitorManifest(), 64);
+    auto variant = cpu_.LaunchEnclave(tee::TeeType::kSgx2,
+                                      ToBytes("variant-code"),
+                                      tee::InitVariantManifest(), 1024);
+    ASSERT_TRUE(monitor.ok() && variant.ok());
+    monitor_ = std::move(*monitor);
+    variant_ = std::move(*variant);
+  }
+
+  // Handshakes both sides on threads; returns the two channels.
+  std::pair<std::unique_ptr<SecureChannel>, std::unique_ptr<SecureChannel>>
+  Connect(ReportVerifier client_verify, ReportVerifier server_verify,
+          Interceptor client_interceptor = nullptr) {
+    auto [a, b] = CreateChannel();
+    if (client_interceptor) a.SetInterceptor(client_interceptor);
+    util::Result<std::unique_ptr<SecureChannel>> client_result(
+        util::Internal("unset"));
+    std::thread client_thread([&, ep = std::move(a)]() mutable {
+      client_result = SecureChannel::Handshake(
+          std::move(ep), SecureChannel::Role::kClient, *monitor_,
+          client_verify, 1'000'000);
+    });
+    auto server_result = SecureChannel::Handshake(
+        std::move(b), SecureChannel::Role::kServer, *variant_, server_verify,
+        1'000'000);
+    client_thread.join();
+    if (!client_result.ok() || !server_result.ok()) return {nullptr, nullptr};
+    return {std::move(*client_result), std::move(*server_result)};
+  }
+
+  tee::SimulatedCpu cpu_{tee::SimulatedCpu::Options{.hardware_key_seed = 7}};
+  std::unique_ptr<tee::Enclave> monitor_;
+  std::unique_ptr<tee::Enclave> variant_;
+};
+
+TEST_F(SecureChannelTest, HandshakeAndExchange) {
+  auto [client, server] =
+      Connect(ExpectMeasurement(cpu_, variant_->measurement()),
+              ExpectMeasurement(cpu_, monitor_->measurement()));
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  ASSERT_TRUE(client->Send(ToBytes("hello variant")).ok());
+  auto got = server->Recv(100'000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("hello variant"));
+
+  ASSERT_TRUE(server->Send(ToBytes("hello monitor")).ok());
+  auto back = client->Recv(100'000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ToBytes("hello monitor"));
+}
+
+TEST_F(SecureChannelTest, PeerReportExposed) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->peer_report().measurement, variant_->measurement());
+  EXPECT_EQ(server->peer_report().measurement, monitor_->measurement());
+}
+
+TEST_F(SecureChannelTest, WrongMeasurementRejected) {
+  auto [client, server] =
+      Connect(ExpectMeasurement(cpu_, monitor_->measurement()),  // wrong!
+              AnyAttestedPeer(cpu_));
+  EXPECT_EQ(client, nullptr);
+}
+
+TEST_F(SecureChannelTest, TamperedHandshakeRejected) {
+  // Flip one byte of the client hello — either the report MAC breaks or
+  // the key-binding check fails.
+  auto [client, server] = Connect(
+      AnyAttestedPeer(cpu_), AnyAttestedPeer(cpu_),
+      [](const Bytes& frame) -> std::optional<Bytes> {
+        Bytes tampered = frame;
+        tampered[8] ^= 0x01;  // inside the X25519 public key
+        return tampered;
+      });
+  EXPECT_EQ(client, nullptr);
+  EXPECT_EQ(server, nullptr);
+}
+
+TEST_F(SecureChannelTest, TamperedRecordRejected) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  client->raw_endpoint().SetInterceptor(
+      [](const Bytes& frame) -> std::optional<Bytes> {
+        Bytes tampered = frame;
+        tampered[tampered.size() - 1] ^= 0x01;
+        return tampered;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("data")).ok());
+  auto got = server->Recv(100'000);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kAuthenticationFailure);
+}
+
+TEST_F(SecureChannelTest, ReplayDetected) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  // Capture the wire frame of the first message.
+  Bytes captured;
+  client->raw_endpoint().SetInterceptor(
+      [&captured](const Bytes& frame) -> std::optional<Bytes> {
+        captured = frame;
+        return frame;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("one-time command")).ok());
+  ASSERT_TRUE(server->Recv(100'000).ok());
+  // Replay the captured frame.
+  client->raw_endpoint().InjectRaw(captured);
+  auto replayed = server->Recv(100'000);
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kReplayDetected);
+}
+
+TEST_F(SecureChannelTest, ReorderDetected) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  // Hold back the first frame, deliver the second first.
+  Bytes held;
+  client->raw_endpoint().SetInterceptor(
+      [&held](const Bytes& frame) -> std::optional<Bytes> {
+        if (held.empty()) {
+          held = frame;
+          return std::nullopt;
+        }
+        return frame;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("first")).ok());
+  ASSERT_TRUE(client->Send(ToBytes("second")).ok());
+  auto got = server->Recv(100'000);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kReplayDetected);
+}
+
+TEST_F(SecureChannelTest, ConfidentialityOnTheWire) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  Bytes wire;
+  client->raw_endpoint().SetInterceptor(
+      [&wire](const Bytes& frame) -> std::optional<Bytes> {
+        wire = frame;
+        return frame;
+      });
+  const std::string secret = "super secret model weights";
+  ASSERT_TRUE(client->Send(ToBytes(secret)).ok());
+  ASSERT_TRUE(server->Recv(100'000).ok());
+  // The plaintext must not appear anywhere in the wire frame.
+  std::string wire_str(wire.begin(), wire.end());
+  EXPECT_EQ(wire_str.find(secret), std::string::npos);
+}
+
+TEST_F(SecureChannelTest, LargePayload) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(client->Send(big).ok());
+  auto got = server->Recv(1'000'000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST_F(SecureChannelTest, ManyMessagesKeepSequence) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    Bytes msg = ToBytes("msg " + std::to_string(i));
+    ASSERT_TRUE(client->Send(msg).ok());
+    auto got = server->Recv(100'000);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, msg);
+  }
+}
+
+}  // namespace
+}  // namespace mvtee::transport

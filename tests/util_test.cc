@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mvtee::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_NE(s.ToString().find("INVALID_ARGUMENT"), std::string::npos);
+}
+
+TEST(StatusTest, SecuritySpecificCodes) {
+  EXPECT_EQ(AuthenticationFailure("x").code(),
+            StatusCode::kAuthenticationFailure);
+  EXPECT_EQ(AttestationFailure("x").code(), StatusCode::kAttestationFailure);
+  EXPECT_EQ(ReplayDetected("x").code(), StatusCode::kReplayDetected);
+  EXPECT_EQ(DivergenceDetected("x").code(), StatusCode::kDivergenceDetected);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Status HelperReturnsError() { return DataLoss("oops"); }
+
+Status UsesReturnIfError() {
+  MVTEE_RETURN_IF_ERROR(HelperReturnsError());
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kDataLoss);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Internal("nope");
+  return 5;
+}
+
+Status UsesAssignOrReturn(bool fail, int& out) {
+  MVTEE_ASSIGN_OR_RETURN(int v, MakeValue(fail));
+  out = v;
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(false, out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UsesAssignOrReturn(true, out).code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformU64(17);
+    EXPECT_LT(v, 17u);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasPlausibleMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleIndexByWeightRespectsZeros) {
+  Rng rng(13);
+  std::vector<double> weights = {0.0, 1.0, 0.0, 3.0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.SampleIndexByWeight(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_GT(counts[3], counts[1]);  // 3:1 weight ratio
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff7e");
+  Bytes back;
+  ASSERT_TRUE(HexDecode(hex, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(BytesTest, HexDecodeRejectsMalformed) {
+  Bytes out;
+  EXPECT_FALSE(HexDecode("abc", out));   // odd length
+  EXPECT_FALSE(HexDecode("zz", out));    // non-hex
+  EXPECT_TRUE(HexDecode("", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BytesTest, AppendAndReadRoundTrip) {
+  Bytes buf;
+  AppendU8(buf, 0x12);
+  AppendU16(buf, 0x3456);
+  AppendU32(buf, 0x789abcde);
+  AppendU64(buf, 0x0123456789abcdefULL);
+  AppendF32(buf, 3.5f);
+  AppendLengthPrefixedStr(buf, "hello");
+
+  ByteReader reader(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  float f;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU8(u8));
+  ASSERT_TRUE(reader.ReadU16(u16));
+  ASSERT_TRUE(reader.ReadU32(u32));
+  ASSERT_TRUE(reader.ReadU64(u64));
+  ASSERT_TRUE(reader.ReadF32(f));
+  ASSERT_TRUE(reader.ReadLengthPrefixedStr(s));
+  EXPECT_EQ(u8, 0x12);
+  EXPECT_EQ(u16, 0x3456);
+  EXPECT_EQ(u32, 0x789abcdeu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(f, 3.5f);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(BytesTest, ReaderUnderflowIsSafe) {
+  Bytes buf = {1, 2};
+  ByteReader reader(buf);
+  uint32_t v = 0xdead;
+  EXPECT_FALSE(reader.ReadU32(v));
+  EXPECT_EQ(v, 0xdeadu);  // untouched
+  uint16_t v16;
+  EXPECT_TRUE(reader.ReadU16(v16));
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(BytesTest, LengthPrefixTruncationRejected) {
+  Bytes buf;
+  AppendU32(buf, 100);  // claims 100 bytes, provides 2
+  buf.push_back(1);
+  buf.push_back(2);
+  ByteReader reader(buf);
+  Bytes out;
+  EXPECT_FALSE(reader.ReadLengthPrefixed(out));
+  // Position restored so caller can handle the error.
+  EXPECT_EQ(reader.position(), 0u);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3}, b = {1, 2, 3}, c = {1, 2, 4}, d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+}  // namespace
+}  // namespace mvtee::util

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/model_zoo.h"
+#include "partition/partition.h"
+#include "runtime/executor.h"
+#include "variant/spec.h"
+#include "variant/transforms.h"
+
+namespace mvtee::variant {
+namespace {
+
+using graph::Graph;
+using graph::ModelBuilder;
+using graph::NodeId;
+using graph::OpType;
+using tensor::CosineSimilarity;
+using tensor::MaxAbsDiff;
+using tensor::Shape;
+using tensor::Tensor;
+
+Graph TestNet(uint64_t seed = 5) {
+  ModelBuilder b(seed);
+  NodeId x = b.Input("img", Shape({1, 3, 16, 16}));
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  NodeId left = b.ConvBnRelu(x, 8, 3, 1, 1);
+  x = b.Relu(b.Add(left, x));
+  x = b.ConvBnRelu(x, 16, 3, 2, 1);
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 10);
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+Tensor RunGraph(const Graph& g, const Tensor& input,
+                runtime::ExecutorConfig cfg = runtime::ReferenceExecutorConfig()) {
+  auto exec = runtime::Executor::Create(g, cfg);
+  MVTEE_CHECK(exec.ok());
+  auto out = (*exec)->Run({input});
+  MVTEE_CHECK(out.ok());
+  return (*out)[0];
+}
+
+class TransformEquivalenceTest
+    : public ::testing::TestWithParam<GraphTransform> {};
+
+TEST_P(TransformEquivalenceTest, PreservesOutputs) {
+  Graph g = TestNet();
+  util::Rng rng(1);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  Tensor expected = RunGraph(g, input);
+
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    auto transformed = ApplyGraphTransform(g, GetParam(), seed);
+    ASSERT_TRUE(transformed.ok()) << transformed.status().ToString();
+    Tensor actual = RunGraph(*transformed, input);
+    EXPECT_LT(MaxAbsDiff(expected, actual), 1e-3)
+        << GraphTransformName(GetParam()) << " seed " << seed;
+    EXPECT_GT(CosineSimilarity(expected, actual), 0.99999);
+  }
+}
+
+TEST_P(TransformEquivalenceTest, TransformedGraphValidates) {
+  Graph g = TestNet();
+  auto transformed = ApplyGraphTransform(g, GetParam(), 3);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_TRUE(transformed->Validate().ok());
+  EXPECT_TRUE(transformed->InferShapes().ok());
+  // And survives serialization.
+  auto round = Graph::Deserialize(transformed->Serialize());
+  EXPECT_TRUE(round.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransforms, TransformEquivalenceTest,
+    ::testing::Values(GraphTransform::kInsertDummyOps,
+                      GraphTransform::kSplitConv,
+                      GraphTransform::kShuffleChannels,
+                      GraphTransform::kReorderCommutative,
+                      GraphTransform::kSelectiveBnFold),
+    [](const auto& info) {
+      std::string name(GraphTransformName(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(TransformTest, DummyOpsAddNodes) {
+  Graph g = TestNet();
+  auto transformed =
+      ApplyGraphTransform(g, GraphTransform::kInsertDummyOps, 7, 3);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_EQ(transformed->num_nodes(), g.num_nodes() + 3);
+}
+
+TEST(TransformTest, SplitConvAddsConcat) {
+  Graph g = TestNet();
+  auto transformed = ApplyGraphTransform(g, GraphTransform::kSplitConv, 7, 2);
+  ASSERT_TRUE(transformed.ok());
+  int concats_before = 0, concats_after = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.op == OpType::kConcat) ++concats_before;
+  }
+  for (const auto& n : transformed->nodes()) {
+    if (n.op == OpType::kConcat) ++concats_after;
+  }
+  EXPECT_EQ(concats_after, concats_before + 2);
+}
+
+TEST(TransformTest, ShuffleChannelsChangesWeightsNotStructure) {
+  Graph g = TestNet();
+  auto transformed =
+      ApplyGraphTransform(g, GraphTransform::kShuffleChannels, 7, 2);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_EQ(transformed->num_nodes(), g.num_nodes());
+  bool any_weight_changed = false;
+  for (const auto& [name, t] : g.initializers()) {
+    const Tensor* other = transformed->FindInitializer(name);
+    ASSERT_NE(other, nullptr);
+    if (!(*other == t)) any_weight_changed = true;
+  }
+  EXPECT_TRUE(any_weight_changed);
+}
+
+TEST(TransformTest, ReorderSwapsAddInputs) {
+  Graph g = TestNet();
+  auto transformed =
+      ApplyGraphTransform(g, GraphTransform::kReorderCommutative, 7, 8);
+  ASSERT_TRUE(transformed.ok());
+  bool any_swapped = false;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).op == OpType::kAdd &&
+        g.node(id).inputs != transformed->node(id).inputs) {
+      any_swapped = true;
+    }
+  }
+  EXPECT_TRUE(any_swapped);
+}
+
+TEST(TransformTest, SelectiveFoldRemovesSomeBatchNorms) {
+  Graph g = TestNet();
+  auto transformed =
+      ApplyGraphTransform(g, GraphTransform::kSelectiveBnFold, 7, 2);
+  ASSERT_TRUE(transformed.ok());
+  int bn_before = 0, bn_after = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.op == OpType::kBatchNorm) ++bn_before;
+  }
+  for (const auto& n : transformed->nodes()) {
+    if (n.op == OpType::kBatchNorm) ++bn_after;
+  }
+  EXPECT_EQ(bn_after, bn_before - 2);
+}
+
+TEST(TransformTest, ConvToFcEquivalentOnSqueezeExcite) {
+  // SE blocks contain exactly the 1x1-conv-over-[N,C,1,1] pattern the
+  // conv->FC replacement targets.
+  graph::ModelBuilder b(21);
+  NodeId x = b.Input("img", Shape({2, 3, 8, 8}));
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  x = b.SqueezeExcite(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 5);
+  b.MarkOutput(x);
+  Graph g = b.Build();
+
+  EXPECT_GE(CountApplicableSites(g, GraphTransform::kConvToFc), 2);
+  util::Rng rng(3);
+  auto input = Tensor::RandomUniform(Shape({2, 3, 8, 8}), rng);
+  Tensor expected = RunGraph(g, input);
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto transformed =
+        ApplyGraphTransform(g, GraphTransform::kConvToFc, seed, 2);
+    ASSERT_TRUE(transformed.ok()) << transformed.status().ToString();
+    // Structure changed: Gemm + Reshape nodes appear.
+    int gemms = 0, reshapes = 0;
+    for (const auto& n : transformed->nodes()) {
+      if (n.op == OpType::kGemm) ++gemms;
+      if (n.op == OpType::kReshape) ++reshapes;
+    }
+    EXPECT_GE(gemms, 2);     // original classifier Gemm + converted conv
+    EXPECT_GE(reshapes, 2);  // in/out reshapes
+    Tensor actual = RunGraph(*transformed, input);
+    EXPECT_LT(MaxAbsDiff(expected, actual), 1e-4);
+    // Survives serialization (Reshape round-trips).
+    auto round = Graph::Deserialize(transformed->Serialize());
+    ASSERT_TRUE(round.ok());
+  }
+}
+
+TEST(TransformTest, ConvToFcNoSitesIsIdentity) {
+  Graph g = TestNet();  // no [N,C,1,1] 1x1 convs before GAP
+  int sites = CountApplicableSites(g, GraphTransform::kConvToFc);
+  auto transformed = ApplyGraphTransform(g, GraphTransform::kConvToFc, 1);
+  ASSERT_TRUE(transformed.ok());
+  if (sites == 0) {
+    EXPECT_EQ(transformed->num_nodes(), g.num_nodes());
+  }
+}
+
+TEST(TransformTest, CountApplicableSites) {
+  Graph g = TestNet();
+  EXPECT_EQ(CountApplicableSites(g, GraphTransform::kInsertDummyOps),
+            static_cast<int>(g.num_nodes()));
+  EXPECT_GE(CountApplicableSites(g, GraphTransform::kSplitConv), 3);
+  EXPECT_GE(CountApplicableSites(g, GraphTransform::kShuffleChannels), 1);
+  EXPECT_EQ(CountApplicableSites(g, GraphTransform::kReorderCommutative), 1);
+  EXPECT_GE(CountApplicableSites(g, GraphTransform::kSelectiveBnFold), 3);
+}
+
+TEST(TransformTest, RejectsBadMaxSites) {
+  Graph g = TestNet();
+  EXPECT_FALSE(
+      ApplyGraphTransform(g, GraphTransform::kInsertDummyOps, 1, 0).ok());
+}
+
+TEST(TransformTest, ComposedTransformsStillEquivalent) {
+  Graph g = TestNet();
+  util::Rng rng(2);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  Tensor expected = RunGraph(g, input);
+
+  VariantSpec spec;
+  spec.id = "composed";
+  spec.graph_transforms = {
+      GraphTransform::kShuffleChannels, GraphTransform::kInsertDummyOps,
+      GraphTransform::kSplitConv, GraphTransform::kReorderCommutative,
+      GraphTransform::kSelectiveBnFold};
+  spec.transform_seed = 17;
+  auto vgraph = BuildVariantGraph(g, spec);
+  ASSERT_TRUE(vgraph.ok()) << vgraph.status().ToString();
+  Tensor actual = RunGraph(*vgraph, input);
+  EXPECT_GT(CosineSimilarity(expected, actual), 0.99999);
+}
+
+// ----------------------------------------------------------------- specs
+
+TEST(VariantSpecTest, SerializeRoundTrip) {
+  VariantSpec spec;
+  spec.id = "stage2.tvm-shuffled.v1";
+  spec.graph_transforms = {GraphTransform::kShuffleChannels,
+                           GraphTransform::kInsertDummyOps};
+  spec.transform_seed = 12345;
+  spec.transform_sites = 6;
+  spec.exec_config = runtime::TvmLikeExecutorConfig();
+  spec.exec_config.slowdown_factor = 1.75;
+
+  auto back = VariantSpec::Deserialize(spec.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, spec.id);
+  EXPECT_EQ(back->graph_transforms, spec.graph_transforms);
+  EXPECT_EQ(back->transform_seed, spec.transform_seed);
+  EXPECT_EQ(back->transform_sites, spec.transform_sites);
+  EXPECT_EQ(back->exec_config.name, spec.exec_config.name);
+  EXPECT_EQ(back->exec_config.gemm, spec.exec_config.gemm);
+  EXPECT_EQ(back->exec_config.conv_algo, spec.exec_config.conv_algo);
+  EXPECT_EQ(back->exec_config.slowdown_factor, 1.75);
+}
+
+TEST(VariantSpecTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(VariantSpec::Deserialize({}).ok());
+  util::Bytes junk(32, 0xee);
+  EXPECT_FALSE(VariantSpec::Deserialize(junk).ok());
+}
+
+TEST(VariantSpecTest, VerifyEquivalenceDetectsBrokenVariant) {
+  Graph g = TestNet();
+  VariantSpec spec;
+  spec.id = "broken";
+  spec.exec_config = runtime::OrtLikeExecutorConfig();
+  Graph broken = g;
+  // Corrupt a weight severely.
+  for (auto& [name, t] : *const_cast<std::map<std::string, Tensor>*>(
+           &broken.initializers())) {
+    if (name.find("fc") != std::string::npos && name.ends_with(".w")) {
+      for (int64_t i = 0; i < t.num_elements(); ++i) t.data()[i] = -t.at(i);
+    }
+  }
+  auto equivalent = VerifyVariantEquivalence(g, broken, spec, 1);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_FALSE(*equivalent);
+}
+
+// ------------------------------------------------------------------ pool
+
+TEST(VariantPoolTest, BuildsDiversifiedPool) {
+  Graph g = TestNet();
+  partition::PartitionOptions popts;
+  popts.target_partitions = 3;
+  popts.seed = 7;
+  auto set = partition::RandomContraction(g, popts);
+  ASSERT_TRUE(set.ok());
+  auto pm = partition::BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+
+  PoolConfig cfg;
+  cfg.variants_per_stage = 3;
+  cfg.seed = 11;
+  auto pools = BuildVariantPool(*pm, cfg);
+  ASSERT_TRUE(pools.ok()) << pools.status().ToString();
+  ASSERT_EQ(pools->size(), 3u);
+  for (const auto& pool : *pools) {
+    EXPECT_EQ(pool.variants.size(), 3u);
+    // Distinct runtime configs across first three recipes.
+    EXPECT_NE(pool.variants[0].spec.exec_config.name,
+              pool.variants[1].spec.exec_config.name);
+  }
+}
+
+TEST(VariantPoolTest, ReplicatedPoolIsUniform) {
+  Graph g = TestNet();
+  partition::PartitionOptions popts;
+  popts.target_partitions = 2;
+  popts.seed = 7;
+  auto set = partition::RandomContraction(g, popts);
+  ASSERT_TRUE(set.ok());
+  auto pm = partition::BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+
+  PoolConfig cfg;
+  cfg.variants_per_stage = 3;
+  cfg.replicated = true;
+  auto pools = BuildVariantPool(*pm, cfg);
+  ASSERT_TRUE(pools.ok());
+  for (const auto& pool : *pools) {
+    for (const auto& v : pool.variants) {
+      EXPECT_TRUE(v.spec.graph_transforms.empty());
+      EXPECT_EQ(v.spec.exec_config.name, "ort");
+    }
+    // Replicated graphs are bit-identical.
+    EXPECT_EQ(pool.variants[0].graph.Serialize(),
+              pool.variants[1].graph.Serialize());
+  }
+}
+
+TEST(VariantPoolTest, SlowVariantAppended) {
+  Graph g = TestNet();
+  partition::PartitionOptions popts;
+  popts.target_partitions = 2;
+  popts.seed = 3;
+  auto set = partition::RandomContraction(g, popts);
+  ASSERT_TRUE(set.ok());
+  auto pm = partition::BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+
+  PoolConfig cfg;
+  cfg.variants_per_stage = 2;
+  cfg.include_slow_variant = true;
+  cfg.slow_variant_factor = 2.5;
+  auto pools = BuildVariantPool(*pm, cfg);
+  ASSERT_TRUE(pools.ok()) << pools.status().ToString();
+  for (const auto& pool : *pools) {
+    ASSERT_EQ(pool.variants.size(), 3u);
+    const auto& slow = pool.variants.back();
+    EXPECT_NE(slow.spec.id.find("slow"), std::string::npos);
+    EXPECT_EQ(slow.spec.exec_config.slowdown_factor, 2.5);
+  }
+}
+
+TEST(VariantPoolTest, PoolVariantsProduceConsistentStageOutputs) {
+  // Every variant of a stage must produce outputs consistent with the
+  // base stage graph — this is the property checkpoint verification
+  // relies on.
+  Graph g = TestNet();
+  partition::PartitionOptions popts;
+  popts.target_partitions = 2;
+  popts.seed = 19;
+  auto set = partition::RandomContraction(g, popts);
+  ASSERT_TRUE(set.ok());
+  auto pm = partition::BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+
+  PoolConfig cfg;
+  cfg.variants_per_stage = 5;  // all recipes
+  cfg.seed = 23;
+  auto pools = BuildVariantPool(*pm, cfg);
+  ASSERT_TRUE(pools.ok()) << pools.status().ToString();
+
+  // Feed stage 0 with a random input and compare all variants pairwise.
+  const auto& stage0 = pm->stages[0];
+  util::Rng rng(29);
+  std::vector<Tensor> inputs;
+  for (auto in : stage0.inputs()) {
+    inputs.push_back(Tensor::RandomUniform(stage0.input_shape(in), rng));
+  }
+  std::vector<std::vector<Tensor>> all_outputs;
+  for (const auto& v : (*pools)[0].variants) {
+    auto exec = runtime::Executor::Create(v.graph, v.spec.exec_config);
+    ASSERT_TRUE(exec.ok());
+    auto out = (*exec)->Run(inputs);
+    ASSERT_TRUE(out.ok()) << v.spec.id;
+    all_outputs.push_back(std::move(*out));
+  }
+  for (size_t i = 1; i < all_outputs.size(); ++i) {
+    ASSERT_EQ(all_outputs[i].size(), all_outputs[0].size());
+    for (size_t k = 0; k < all_outputs[0].size(); ++k) {
+      EXPECT_GT(CosineSimilarity(all_outputs[0][k], all_outputs[i][k]),
+                0.9999);
+    }
+  }
+}
+
+TEST(VariantPoolTest, WorksOnZooModelPartitions) {
+  graph::ZooConfig zcfg;
+  zcfg.input_hw = 32;
+  zcfg.depth_mult = 0.34;
+  Graph g = graph::BuildModel(graph::ModelKind::kResNet50, zcfg);
+  partition::PartitionOptions popts;
+  popts.target_partitions = 5;
+  popts.seed = 2;
+  auto set = partition::RandomContraction(g, popts);
+  ASSERT_TRUE(set.ok());
+  auto pm = partition::BuildPartitionedModel(g, *set);
+  ASSERT_TRUE(pm.ok());
+  PoolConfig cfg;
+  cfg.variants_per_stage = 3;
+  auto pools = BuildVariantPool(*pm, cfg);
+  ASSERT_TRUE(pools.ok()) << pools.status().ToString();
+  EXPECT_EQ(pools->size(), 5u);
+}
+
+}  // namespace
+}  // namespace mvtee::variant
