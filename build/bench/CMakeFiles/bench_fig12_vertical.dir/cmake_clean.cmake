@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vertical.dir/bench_fig12_vertical.cc.o"
+  "CMakeFiles/bench_fig12_vertical.dir/bench_fig12_vertical.cc.o.d"
+  "bench_fig12_vertical"
+  "bench_fig12_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

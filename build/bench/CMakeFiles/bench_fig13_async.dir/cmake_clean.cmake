@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_async.dir/bench_fig13_async.cc.o"
+  "CMakeFiles/bench_fig13_async.dir/bench_fig13_async.cc.o.d"
+  "bench_fig13_async"
+  "bench_fig13_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_real_setup.dir/bench_fig14_real_setup.cc.o"
+  "CMakeFiles/bench_fig14_real_setup.dir/bench_fig14_real_setup.cc.o.d"
+  "bench_fig14_real_setup"
+  "bench_fig14_real_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_real_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vulnerabilities.dir/bench_table1_vulnerabilities.cc.o"
+  "CMakeFiles/bench_table1_vulnerabilities.dir/bench_table1_vulnerabilities.cc.o.d"
+  "bench_table1_vulnerabilities"
+  "bench_table1_vulnerabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vulnerabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

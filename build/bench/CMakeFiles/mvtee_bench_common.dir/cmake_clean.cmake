@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mvtee_bench_common.dir/bench_common.cc.o.d"
+  "libmvtee_bench_common.a"
+  "libmvtee_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

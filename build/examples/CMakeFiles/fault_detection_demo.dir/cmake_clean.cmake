@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_detection_demo.dir/fault_detection_demo.cpp.o"
+  "CMakeFiles/fault_detection_demo.dir/fault_detection_demo.cpp.o.d"
+  "fault_detection_demo"
+  "fault_detection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_detection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_inference_service.dir/secure_inference_service.cpp.o"
+  "CMakeFiles/secure_inference_service.dir/secure_inference_service.cpp.o.d"
+  "secure_inference_service"
+  "secure_inference_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_inference_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/selective_mvx_tuning.cpp" "examples/CMakeFiles/selective_mvx_tuning.dir/selective_mvx_tuning.cpp.o" "gcc" "examples/CMakeFiles/selective_mvx_tuning.dir/selective_mvx_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mvtee_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mvtee_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mvtee_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/variant/CMakeFiles/mvtee_variant.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mvtee_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mvtee_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvtee_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mvtee_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mvtee_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/mvtee_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvtee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvtee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

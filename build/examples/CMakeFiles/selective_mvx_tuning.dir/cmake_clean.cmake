@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_mvx_tuning.dir/selective_mvx_tuning.cpp.o"
+  "CMakeFiles/selective_mvx_tuning.dir/selective_mvx_tuning.cpp.o.d"
+  "selective_mvx_tuning"
+  "selective_mvx_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_mvx_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

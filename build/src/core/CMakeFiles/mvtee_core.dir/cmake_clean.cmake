@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_core.dir/consistency.cc.o"
+  "CMakeFiles/mvtee_core.dir/consistency.cc.o.d"
+  "CMakeFiles/mvtee_core.dir/messages.cc.o"
+  "CMakeFiles/mvtee_core.dir/messages.cc.o.d"
+  "CMakeFiles/mvtee_core.dir/monitor.cc.o"
+  "CMakeFiles/mvtee_core.dir/monitor.cc.o.d"
+  "CMakeFiles/mvtee_core.dir/offline.cc.o"
+  "CMakeFiles/mvtee_core.dir/offline.cc.o.d"
+  "CMakeFiles/mvtee_core.dir/owner.cc.o"
+  "CMakeFiles/mvtee_core.dir/owner.cc.o.d"
+  "CMakeFiles/mvtee_core.dir/variant_host.cc.o"
+  "CMakeFiles/mvtee_core.dir/variant_host.cc.o.d"
+  "libmvtee_core.a"
+  "libmvtee_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_crypto.dir/aead.cc.o"
+  "CMakeFiles/mvtee_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/mvtee_crypto.dir/aes.cc.o"
+  "CMakeFiles/mvtee_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/mvtee_crypto.dir/hmac.cc.o"
+  "CMakeFiles/mvtee_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/mvtee_crypto.dir/rand.cc.o"
+  "CMakeFiles/mvtee_crypto.dir/rand.cc.o.d"
+  "CMakeFiles/mvtee_crypto.dir/sha256.cc.o"
+  "CMakeFiles/mvtee_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/mvtee_crypto.dir/x25519.cc.o"
+  "CMakeFiles/mvtee_crypto.dir/x25519.cc.o.d"
+  "libmvtee_crypto.a"
+  "libmvtee_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_fault.dir/campaign.cc.o"
+  "CMakeFiles/mvtee_fault.dir/campaign.cc.o.d"
+  "CMakeFiles/mvtee_fault.dir/injectors.cc.o"
+  "CMakeFiles/mvtee_fault.dir/injectors.cc.o.d"
+  "libmvtee_fault.a"
+  "libmvtee_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvtee_fault.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_graph.dir/builder.cc.o"
+  "CMakeFiles/mvtee_graph.dir/builder.cc.o.d"
+  "CMakeFiles/mvtee_graph.dir/ir.cc.o"
+  "CMakeFiles/mvtee_graph.dir/ir.cc.o.d"
+  "CMakeFiles/mvtee_graph.dir/model_zoo.cc.o"
+  "CMakeFiles/mvtee_graph.dir/model_zoo.cc.o.d"
+  "libmvtee_graph.a"
+  "libmvtee_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

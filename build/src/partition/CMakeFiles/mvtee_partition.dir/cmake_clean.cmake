@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_partition.dir/partition.cc.o"
+  "CMakeFiles/mvtee_partition.dir/partition.cc.o.d"
+  "libmvtee_partition.a"
+  "libmvtee_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/mvtee_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/mvtee_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/gemm.cc" "src/runtime/CMakeFiles/mvtee_runtime.dir/gemm.cc.o" "gcc" "src/runtime/CMakeFiles/mvtee_runtime.dir/gemm.cc.o.d"
+  "/root/repo/src/runtime/kernels.cc" "src/runtime/CMakeFiles/mvtee_runtime.dir/kernels.cc.o" "gcc" "src/runtime/CMakeFiles/mvtee_runtime.dir/kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvtee_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mvtee_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvtee_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_runtime.dir/executor.cc.o"
+  "CMakeFiles/mvtee_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/mvtee_runtime.dir/gemm.cc.o"
+  "CMakeFiles/mvtee_runtime.dir/gemm.cc.o.d"
+  "CMakeFiles/mvtee_runtime.dir/kernels.cc.o"
+  "CMakeFiles/mvtee_runtime.dir/kernels.cc.o.d"
+  "libmvtee_runtime.a"
+  "libmvtee_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

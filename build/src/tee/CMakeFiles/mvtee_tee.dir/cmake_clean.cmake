@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_tee.dir/enclave.cc.o"
+  "CMakeFiles/mvtee_tee.dir/enclave.cc.o.d"
+  "CMakeFiles/mvtee_tee.dir/manifest.cc.o"
+  "CMakeFiles/mvtee_tee.dir/manifest.cc.o.d"
+  "CMakeFiles/mvtee_tee.dir/sealed_fs.cc.o"
+  "CMakeFiles/mvtee_tee.dir/sealed_fs.cc.o.d"
+  "libmvtee_tee.a"
+  "libmvtee_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

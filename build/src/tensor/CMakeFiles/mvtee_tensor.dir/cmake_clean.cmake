@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mvtee_tensor.dir/tensor.cc.o.d"
+  "libmvtee_tensor.a"
+  "libmvtee_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/channel.cc" "src/transport/CMakeFiles/mvtee_transport.dir/channel.cc.o" "gcc" "src/transport/CMakeFiles/mvtee_transport.dir/channel.cc.o.d"
+  "/root/repo/src/transport/secure_channel.cc" "src/transport/CMakeFiles/mvtee_transport.dir/secure_channel.cc.o" "gcc" "src/transport/CMakeFiles/mvtee_transport.dir/secure_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvtee_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvtee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/mvtee_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

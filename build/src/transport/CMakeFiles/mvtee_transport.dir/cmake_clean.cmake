@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_transport.dir/channel.cc.o"
+  "CMakeFiles/mvtee_transport.dir/channel.cc.o.d"
+  "CMakeFiles/mvtee_transport.dir/secure_channel.cc.o"
+  "CMakeFiles/mvtee_transport.dir/secure_channel.cc.o.d"
+  "libmvtee_transport.a"
+  "libmvtee_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_util.dir/bytes.cc.o"
+  "CMakeFiles/mvtee_util.dir/bytes.cc.o.d"
+  "CMakeFiles/mvtee_util.dir/logging.cc.o"
+  "CMakeFiles/mvtee_util.dir/logging.cc.o.d"
+  "CMakeFiles/mvtee_util.dir/rng.cc.o"
+  "CMakeFiles/mvtee_util.dir/rng.cc.o.d"
+  "CMakeFiles/mvtee_util.dir/status.cc.o"
+  "CMakeFiles/mvtee_util.dir/status.cc.o.d"
+  "libmvtee_util.a"
+  "libmvtee_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtee_variant.dir/spec.cc.o"
+  "CMakeFiles/mvtee_variant.dir/spec.cc.o.d"
+  "CMakeFiles/mvtee_variant.dir/transforms.cc.o"
+  "CMakeFiles/mvtee_variant.dir/transforms.cc.o.d"
+  "libmvtee_variant.a"
+  "libmvtee_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtee_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

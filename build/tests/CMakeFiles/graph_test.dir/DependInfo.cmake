@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/mvtee_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mvtee_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/variant/CMakeFiles/mvtee_variant.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mvtee_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mvtee_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvtee_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mvtee_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mvtee_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/mvtee_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvtee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvtee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owner_test.dir/owner_test.cc.o"
+  "CMakeFiles/owner_test.dir/owner_test.cc.o.d"
+  "owner_test"
+  "owner_test.pdb"
+  "owner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
