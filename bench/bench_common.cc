@@ -1,5 +1,7 @@
 #include "bench/bench_common.h"
 
+#include <cstdlib>
+
 namespace mvtee::bench {
 
 using tensor::Shape;
@@ -101,23 +103,45 @@ util::Result<Outcome> RunMvtee(
   MVTEE_RETURN_IF_ERROR(monitor->Initialize(bundle, selection, host));
 
   // Warm-up batch.
-  MVTEE_RETURN_IF_ERROR(monitor->RunBatch(batches[0]).status());
-  (void)monitor->ConsumeStats();
+  MVTEE_RETURN_IF_ERROR(monitor->Run({batches[0]}).status());
 
-  util::Status run_status =
-      (pipelined ? monitor->RunPipelined(batches)
-                 : monitor->RunSequential(batches))
-          .status();
-  MVTEE_RETURN_IF_ERROR(run_status);
-
+  // The per-call stats handle carries exactly this run's numbers; the
+  // warm-up above never pollutes them.
   Outcome outcome;
-  outcome.stats = monitor->ConsumeStats();
+  MVTEE_RETURN_IF_ERROR(
+      monitor
+          ->Run(batches, core::RunOptions{.pipelined = pipelined,
+                                          .stats = &outcome.stats})
+          .status());
   outcome.throughput = outcome.stats.ThroughputPerSec();
   outcome.mean_latency_ms = outcome.stats.MeanLatencyUs() / 1000.0;
 
   MVTEE_RETURN_IF_ERROR(monitor->Shutdown());
   host.JoinAll();
   return outcome;
+}
+
+obs::RegistrySnapshot MetricsBaseline() {
+  return obs::Registry::Default().Snapshot();
+}
+
+void DumpMetricsJson(const std::string& label,
+                     const obs::RegistrySnapshot* base) {
+  obs::RegistrySnapshot snap = obs::Registry::Default().Snapshot();
+  if (base != nullptr) snap = snap.DeltaSince(*base);
+  // Compact form: one machine-parseable line per dump (JSONL-friendly).
+  const std::string json = snap.ToJson(0);
+  const char* path = std::getenv("MVTEE_METRICS_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "a");
+    if (f != nullptr) {
+      std::fprintf(f, "{\"label\": \"%s\", \"metrics\": %s}\n", label.c_str(),
+                   json.c_str());
+      std::fclose(f);
+      return;
+    }
+  }
+  std::printf("metrics[%s] = %s\n", label.c_str(), json.c_str());
 }
 
 void PrintFigureHeader(const std::string& figure,

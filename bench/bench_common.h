@@ -15,6 +15,7 @@
 #include "core/offline.h"
 #include "core/variant_host.h"
 #include "graph/model_zoo.h"
+#include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "transport/channel.h"
 #include "util/clock.h"
@@ -63,6 +64,17 @@ util::Result<Outcome> RunMvtee(
 // Default fundamental-performance setup: replicated ORT-like variants,
 // encrypted channels, direct fast path, 10GbE-like cost model.
 MvteeSetup FundamentalSetup(int partitions, uint64_t seed = 1);
+
+// Current cumulative snapshot of the default metrics registry; pass it
+// back to DumpMetricsJson as `base` to dump only what one run added.
+obs::RegistrySnapshot MetricsBaseline();
+
+// Dumps the default metrics registry (optionally as a delta since
+// `base`) as labeled JSON: to the file named by $MVTEE_METRICS_JSON
+// (appending one {"label", "metrics"} object per line) when set,
+// otherwise to stdout.
+void DumpMetricsJson(const std::string& label,
+                     const obs::RegistrySnapshot* base = nullptr);
 
 // Printing helpers.
 void PrintFigureHeader(const std::string& figure,

@@ -45,7 +45,17 @@ int Main() {
     for (bool pipelined : {false, true}) {
       auto a = RunMvtee(*bundle, plain, batches, pipelined);
       auto b = RunMvtee(*bundle, enc, batches, pipelined);
+      // Metrics dump for the fully protected run: the delta isolates its
+      // per-stage checkpoint-verify (monitor.stageN.verify_us), crypto
+      // (monitor.stageN.crypto_us, channel.seal_us/open_us) and wire
+      // (monitor.stageN.wire_us) breakdowns.
+      const auto metrics_base = MetricsBaseline();
       auto c = RunMvtee(*bundle, ckpt, batches, pipelined);
+      if (c.ok()) {
+        DumpMetricsJson(std::string(graph::ModelName(kind)) + "/" +
+                            (pipelined ? "pipe" : "seq") + "/enc+ckpt",
+                        &metrics_base);
+      }
       if (!a.ok() || !b.ok() || !c.ok()) {
         std::printf("%-16s %4s | run failed\n",
                     std::string(graph::ModelName(kind)).c_str(),

@@ -73,8 +73,9 @@ int main() {
                     ->Initialize(bundle,
                                  core::MvxSelection::Uniform(bundle, 3), host)
                     .ok());
-    auto out = (*monitor)->RunBatch({input});
-    auto stats = (*monitor)->ConsumeStats();
+    core::RunStats stats;
+    auto out =
+        (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
     std::printf("     result: %s\n",
                 out.ok() ? "ACCEPTED (!!)" : out.status().ToString().c_str());
     std::printf("     divergences observed: %llu — attack detected before "
@@ -101,8 +102,9 @@ int main() {
                     ->Initialize(bundle,
                                  core::MvxSelection::Uniform(bundle, 3), host)
                     .ok());
-    auto out = (*monitor)->RunBatch({input});
-    auto stats = (*monitor)->ConsumeStats();
+    core::RunStats stats;
+    auto out =
+        (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
     MVTEE_CHECK(out.ok());
 
     // Compare against the unprotected reference.
@@ -112,7 +114,7 @@ int main() {
     auto expected = (*ref_exec)->Run({input});
     MVTEE_CHECK(expected.ok());
     std::printf("     result: served (cosine vs ground truth: %.6f)\n",
-                tensor::CosineSimilarity((*out)[0], (*expected)[0]));
+                tensor::CosineSimilarity((*out)[0][0], (*expected)[0]));
     std::printf("     divergences: %llu — corrupted variant outvoted\n\n",
                 static_cast<unsigned long long>(stats.divergences));
     (void)(*monitor)->Shutdown();
@@ -142,8 +144,9 @@ int main() {
                     ->Initialize(bundle,
                                  core::MvxSelection::Uniform(bundle, 3), host)
                     .ok());
-    auto out = (*monitor)->RunBatch({input});
-    auto stats = (*monitor)->ConsumeStats();
+    core::RunStats stats;
+    auto out =
+        (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
     std::printf("     result: %s | variant failures: %llu | service "
                 "survived: %s\n",
                 out.ok() ? "served" : "refused",

@@ -60,11 +60,14 @@ int main() {
   std::printf("initialized: %zu attested variant bindings\n",
               (*monitor)->bindings().size());
 
-  // 5. Protected inference.
+  // 5. Protected inference through the unified Run entry point; the
+  //    stats handle returns this call's own counters.
   util::Rng rng(1);
   auto input = tensor::Tensor::RandomUniform(
       tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng);
-  auto output = (*monitor)->RunBatch({input});
+  core::RunStats stats;
+  auto output =
+      (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
   if (!output.ok()) {
     std::printf("inference failed: %s\n",
                 output.status().ToString().c_str());
@@ -72,12 +75,11 @@ int main() {
   }
 
   // Top-1 class of the (softmax) output.
-  const tensor::Tensor& probs = (*output)[0];
+  const tensor::Tensor& probs = (*output)[0][0];
   int64_t best = 0;
   for (int64_t i = 1; i < probs.num_elements(); ++i) {
     if (probs.at(i) > probs.at(best)) best = i;
   }
-  auto stats = (*monitor)->ConsumeStats();
   std::printf(
       "inference OK: top-1 class %lld (p=%.4f), %llu checkpoints verified, "
       "0 divergences\n",

@@ -104,12 +104,13 @@ int main() {
     batches.push_back({tensor::Tensor::RandomUniform(
         tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng)});
   }
-  auto outputs = (*monitor)->RunPipelined(batches);
+  core::RunStats stats;
+  auto outputs = (*monitor)->Run(
+      batches, core::RunOptions{.pipelined = true, .stats = &stats});
   if (!outputs.ok()) {
     std::printf("service failed: %s\n", outputs.status().ToString().c_str());
     return 1;
   }
-  auto stats = (*monitor)->ConsumeStats();
   std::printf("[service] %zu results | %.1f batches/s (virtual) | "
               "%.2f ms/result | %llu checkpoints | %llu divergences\n",
               outputs->size(), stats.ThroughputPerSec(),
@@ -125,7 +126,7 @@ int main() {
     std::printf("update failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  auto post_update = (*monitor)->RunBatch(batches[0]);
+  auto post_update = (*monitor)->Run({batches[0]});
   std::printf("[service] post-update inference: %s\n",
               post_update.ok() ? "OK" : post_update.status().ToString().c_str());
 

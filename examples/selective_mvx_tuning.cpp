@@ -30,16 +30,23 @@ int main() {
     return 1;
   }
 
+  // MVX configurations via the fluent selection builder: Uniform() sets
+  // the default panel size, Stage() overrides individual partitions.
+  using Builder = core::MvxSelection::Builder;
   struct Config {
     const char* name;
-    std::vector<int> counts;
+    core::MvxSelection selection;
   };
   const std::vector<Config> configs = {
-      {"fast path only (0 MVX)", {1, 1, 1, 1, 1}},
-      {"1 stage x3 variants", {1, 1, 3, 1, 1}},
-      {"1 stage x5 variants", {1, 1, 5, 1, 1}},
-      {"3 stages x3 variants", {1, 1, 3, 3, 3}},
-      {"full MVX x3 variants", {3, 3, 3, 3, 3}},
+      {"fast path only (0 MVX)", Builder().Uniform(1).Build(*bundle)},
+      {"1 stage x3 variants",
+       Builder().Uniform(1).Stage(2, 3).Build(*bundle)},
+      {"1 stage x5 variants",
+       Builder().Uniform(1).Stage(2, 5).Build(*bundle)},
+      {"3 stages x3 variants",
+       Builder().Uniform(1).Stage(2, 3).Stage(3, 3).Stage(4, 3).Build(
+           *bundle)},
+      {"full MVX x3 variants", Builder().Uniform(3).Build(*bundle)},
   };
 
   // Per-stage compute share for the coverage column.
@@ -57,11 +64,13 @@ int main() {
   PrintRule();
   for (const auto& cfg : configs) {
     double covered = 0;
-    for (size_t s = 0; s < cfg.counts.size(); ++s) {
-      if (cfg.counts[s] > 1) covered += stage_cost[s];
+    for (size_t s = 0; s < cfg.selection.stage_variant_ids.size(); ++s) {
+      if (cfg.selection.stage_variant_ids[s].size() > 1) {
+        covered += stage_cost[s];
+      }
     }
     MvteeSetup run_setup = setup;
-    run_setup.variant_counts = cfg.counts;
+    run_setup.explicit_selection = cfg.selection.stage_variant_ids;
     auto seq = RunMvtee(*bundle, run_setup, batches, false);
     auto pipe = RunMvtee(*bundle, run_setup, batches, true);
     if (!seq.ok() || !pipe.ok()) {

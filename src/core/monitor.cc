@@ -40,9 +40,88 @@ MvxSelection MvxSelection::PerStage(const OfflineBundle& bundle,
   return sel;
 }
 
+MvxSelection::Builder& MvxSelection::Builder::Stage(
+    int32_t stage, std::vector<std::string> ids) {
+  explicit_ids_[stage] = std::move(ids);
+  counts_.erase(stage);
+  return *this;
+}
+
+MvxSelection::Builder& MvxSelection::Builder::Stage(int32_t stage,
+                                                    int count) {
+  counts_[stage] = count;
+  explicit_ids_.erase(stage);
+  return *this;
+}
+
+MvxSelection::Builder& MvxSelection::Builder::Uniform(
+    int variants_per_stage) {
+  default_count_ = variants_per_stage;
+  return *this;
+}
+
+MvxSelection MvxSelection::Builder::Build(const OfflineBundle& bundle) const {
+  MvxSelection sel;
+  sel.stage_variant_ids.resize(static_cast<size_t>(bundle.num_stages));
+  for (int32_t s = 0; s < bundle.num_stages; ++s) {
+    auto& out = sel.stage_variant_ids[static_cast<size_t>(s)];
+    if (auto it = explicit_ids_.find(s); it != explicit_ids_.end()) {
+      out = it->second;
+      continue;
+    }
+    auto ids = bundle.StageVariantIds(s);
+    auto cit = counts_.find(s);
+    const int want = cit != counts_.end() ? cit->second : default_count_;
+    const int take =
+        std::min<int>(std::max(want, 1), static_cast<int>(ids.size()));
+    out.assign(ids.begin(), ids.begin() + take);
+  }
+  return sel;
+}
+
 Monitor::Monitor(std::unique_ptr<tee::Enclave> enclave,
                  tee::SimulatedCpu* cpu, MonitorConfig config)
-    : enclave_(std::move(enclave)), cpu_(cpu), config_(config) {}
+    : enclave_(std::move(enclave)), cpu_(cpu), config_(config) {
+  BindMetrics();
+  // The registry is process-wide and cumulative; remember what was
+  // already there so ConsumeStats() only reports this monitor's work.
+  consumed_base_ = RegistryBaseline();
+}
+
+void Monitor::BindMetrics() {
+  m_.checkpoints_evaluated =
+      &metrics_->GetCounter("monitor.checkpoints_evaluated");
+  m_.fast_path_forwards = &metrics_->GetCounter("monitor.fast_path_forwards");
+  m_.divergences = &metrics_->GetCounter("monitor.divergences");
+  m_.late_divergences = &metrics_->GetCounter("monitor.late_divergences");
+  m_.variant_failures = &metrics_->GetCounter("monitor.variant_failures");
+  m_.bytes_sent = &metrics_->GetCounter("monitor.bytes_sent");
+  m_.wall_us = &metrics_->GetCounter("monitor.wall_us");
+  m_.batches_completed = &metrics_->GetCounter("monitor.batches_completed");
+  m_.batch_latency_us = &metrics_->GetHistogram("monitor.batch_latency_us");
+  m_.attest_us = &metrics_->GetHistogram("monitor.attest_us");
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const std::string prefix = "monitor.stage" + std::to_string(s) + ".";
+    StageMetrics& sm = stages_[s].metrics;
+    sm.verify_us = &metrics_->GetHistogram(prefix + "verify_us");
+    sm.forward_us = &metrics_->GetHistogram(prefix + "forward_us");
+    sm.wire_us = &metrics_->GetCounter(prefix + "wire_us");
+    sm.crypto_us = &metrics_->GetCounter(prefix + "crypto_us");
+    sm.bytes = &metrics_->GetCounter(prefix + "bytes");
+  }
+}
+
+RunStats Monitor::RegistryBaseline() const {
+  RunStats s;
+  s.wall_us = static_cast<int64_t>(m_.wall_us->value());
+  s.checkpoints_evaluated = m_.checkpoints_evaluated->value();
+  s.fast_path_forwards = m_.fast_path_forwards->value();
+  s.divergences = m_.divergences->value();
+  s.late_divergences = m_.late_divergences->value();
+  s.variant_failures = m_.variant_failures->value();
+  s.bytes_sent = m_.bytes_sent->value();
+  return s;
+}
 
 Monitor::~Monitor() { (void)Shutdown(); }
 
@@ -65,6 +144,9 @@ util::Result<Monitor::VariantConn> Monitor::BindVariant(
   if (entry == nullptr) {
     return util::NotFound("variant '" + variant_id + "' not in bundle");
   }
+  obs::ScopedSpan attest_span("monitor/attest",
+                              {.stage = entry->stage, .tag = variant_id},
+                              &obs::TraceBuffer::Default(), m_.attest_us);
   MVTEE_ASSIGN_OR_RETURN(transport::Endpoint endpoint,
                          host.SpawnVariantTee());
 
@@ -245,6 +327,7 @@ util::Status Monitor::Initialize(const OfflineBundle& bundle,
       host.options().plaintext_channels ? 0.0
                                         : host.options().crypto_bytes_per_us;
   initialized_ = true;
+  BindMetrics();  // resolves the per-stage instruments
   MVTEE_RETURN_IF_ERROR(ConfigureRoutes(host));
   return util::OkStatus();
 }
@@ -299,24 +382,32 @@ util::Status Monitor::FullUpdate(const OfflineBundle& bundle,
   return Initialize(bundle, selection, host);
 }
 
+util::Result<std::vector<std::vector<Tensor>>> Monitor::Run(
+    const std::vector<std::vector<Tensor>>& batches,
+    const RunOptions& options) {
+  return RunStream(batches, options);
+}
+
 util::Result<std::vector<Tensor>> Monitor::RunBatch(
     const std::vector<Tensor>& inputs) {
-  MVTEE_ASSIGN_OR_RETURN(auto outs, RunStream({inputs}, false));
+  MVTEE_ASSIGN_OR_RETURN(auto outs, RunStream({inputs}, RunOptions{}));
   return std::move(outs[0]);
 }
 
 util::Result<std::vector<std::vector<Tensor>>> Monitor::RunSequential(
     const std::vector<std::vector<Tensor>>& batches) {
-  return RunStream(batches, /*pipelined=*/false);
+  return RunStream(batches, RunOptions{.pipelined = false});
 }
 
 util::Result<std::vector<std::vector<Tensor>>> Monitor::RunPipelined(
     const std::vector<std::vector<Tensor>>& batches) {
-  return RunStream(batches, /*pipelined=*/true);
+  return RunStream(batches, RunOptions{.pipelined = true});
 }
 
 util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
-    const std::vector<std::vector<Tensor>>& batches, bool pipelined) {
+    const std::vector<std::vector<Tensor>>& batches,
+    const RunOptions& options) {
+  const bool pipelined = options.pipelined;
   if (!initialized_) return util::FailedPrecondition("not initialized");
   const size_t num_batches = batches.size();
   if (num_batches == 0) return std::vector<std::vector<Tensor>>{};
@@ -330,6 +421,22 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   const size_t num_stages = stages_.size();
   const uint64_t base = next_batch_id_.fetch_add(num_batches);
   const int64_t run_vstart = vclock_us_;
+  const int64_t wall_start = util::NowMicros();
+  obs::ScopedSpan run_span("monitor/run",
+                           {.tag = pipelined ? "pipelined" : "sequential"});
+  // This call's own statistics; merged into the metrics registry (and
+  // the ConsumeStats() backlog) when the run finishes.
+  RunStats rstats;
+  auto channel_bytes = [&] {
+    uint64_t total = 0;
+    for (const auto& stage : stages_) {
+      for (const auto& conn : stage.variants) {
+        total += conn.channel->bytes_sent();
+      }
+    }
+    return total;
+  };
+  const uint64_t bytes0 = channel_bytes();
   // Virtual-time model of the monitor: admissions are serialized on the
   // monitor's ingestion clock (vclock_us_), but checkpoint decisions are
   // timed per flow — a decision happens at the latest virtual arrival of
@@ -344,12 +451,21 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     return event_vbase +
            (util::ThreadCpuMicros() - handling_cpu0 - send_cpu_excluded);
   };
-  auto boundary_us = [&](size_t bytes) {
-    double us = transport::WireMicros(network_, bytes);
+  // Models the stage-boundary crossing cost of one frame and charges it
+  // to the destination stage's wire/crypto/bytes instruments.
+  auto charge_boundary = [&](size_t dest, size_t bytes) {
+    const auto wire =
+        static_cast<int64_t>(transport::WireMicros(network_, bytes));
+    int64_t crypto = 0;
     if (crypto_bytes_per_us_ > 0) {
-      us += 2.0 * static_cast<double>(bytes) / crypto_bytes_per_us_;
+      crypto = static_cast<int64_t>(2.0 * static_cast<double>(bytes) /
+                                    crypto_bytes_per_us_);
     }
-    return static_cast<int64_t>(us);
+    StageMetrics& sm = stages_[dest].metrics;
+    sm.wire_us->Add(static_cast<uint64_t>(wire));
+    sm.crypto_us->Add(static_cast<uint64_t>(crypto));
+    sm.bytes->Add(bytes);
+    return wire + crypto;
   };
 
   // How many non-reporting fast-path stages each completed batch has
@@ -380,6 +496,8 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   int64_t last_completion_vus = run_vstart;
 
   auto admit = [&](size_t b) {
+    obs::ScopedSpan span("monitor/admit",
+                         {.batch = static_cast<int64_t>(base + b), .tag = {}});
     event_vbase = vclock_us_;
     handling_cpu0 = util::ThreadCpuMicros();
     send_cpu_excluded = 0;
@@ -394,8 +512,8 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       }
       util::Bytes frame = EncodeInfer(msg);
       for (auto& conn : stages_[s].variants) {
-        PatchVtime(frame,
-                   static_cast<uint64_t>(vnow() + boundary_us(frame.size())));
+        PatchVtime(frame, static_cast<uint64_t>(
+                              vnow() + charge_boundary(s, frame.size())));
         const int64_t send_cpu0 = util::ThreadCpuMicros();
         util::Status st = conn.channel->Send(frame);
         send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
@@ -418,23 +536,32 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   auto on_chosen = [&](size_t s, size_t b) {
     BatchState& state = bs[b];
     event_vbase = state.v_chosen.count(s) ? state.v_chosen[s] : vnow();
-    for (const auto& target : monitor_forwards_[s]) {
-      InferMsg msg;
-      msg.batch_id = base + b;
-      const auto& outputs = state.chosen[s];
-      for (const auto& [out_idx, slot] : target.output_to_slot) {
-        msg.slots.push_back(slot);
-        msg.inputs.push_back(outputs[out_idx]);
-      }
-      util::Bytes frame = EncodeInfer(msg);
-      for (auto& conn :
-           stages_[static_cast<size_t>(target.consumer_stage)].variants) {
-        PatchVtime(frame,
-                   static_cast<uint64_t>(vnow() + boundary_us(frame.size())));
-        const int64_t send_cpu0 = util::ThreadCpuMicros();
-        util::Status st = conn.channel->Send(frame);
-        send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
-        if (!st.ok() && run_error.ok()) run_error = st;
+    if (!monitor_forwards_[s].empty()) {
+      obs::ScopedSpan span("monitor/forward",
+                           {.stage = static_cast<int32_t>(s),
+                            .batch = static_cast<int64_t>(base + b),
+                            .tag = {}},
+                           &obs::TraceBuffer::Default(),
+                           stages_[s].metrics.forward_us);
+      for (const auto& target : monitor_forwards_[s]) {
+        InferMsg msg;
+        msg.batch_id = base + b;
+        const auto& outputs = state.chosen[s];
+        for (const auto& [out_idx, slot] : target.output_to_slot) {
+          msg.slots.push_back(slot);
+          msg.inputs.push_back(outputs[out_idx]);
+        }
+        util::Bytes frame = EncodeInfer(msg);
+        const auto consumer = static_cast<size_t>(target.consumer_stage);
+        for (auto& conn : stages_[consumer].variants) {
+          PatchVtime(frame,
+                     static_cast<uint64_t>(
+                         vnow() + charge_boundary(consumer, frame.size())));
+          const int64_t send_cpu0 = util::ThreadCpuMicros();
+          util::Status st = conn.channel->Send(frame);
+          send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
+          if (!st.ok() && run_error.ok()) run_error = st;
+        }
       }
     }
     if (!state.complete && batch_complete(state)) {
@@ -450,13 +577,10 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         }
       }
       if (vcomplete == 0) vcomplete = vnow();
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.batch_latency_us.push_back(
-            pipelined ? std::max<int64_t>(0, vcomplete - last_completion_vus)
-                      : vcomplete - state.admit_vus);
-        stats_.fast_path_forwards += silent_fast_stages;
-      }
+      rstats.batch_latency_us.push_back(
+          pipelined ? std::max<int64_t>(0, vcomplete - last_completion_vus)
+                    : vcomplete - state.admit_vus);
+      rstats.fast_path_forwards += silent_fast_stages;
       last_completion_vus = std::max(last_completion_vus, vcomplete);
       // Sequential pacing: the next admission can only happen after this
       // completion is observed.
@@ -474,7 +598,16 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       const auto& r = state.reports[s][i];
       if (r.has_value() && r->ok) list[i] = r->outputs;
     }
-    VoteResult vote = Vote(list, config_.check, config_.vote);
+    VoteResult vote;
+    {
+      obs::ScopedSpan span("monitor/verify",
+                           {.stage = static_cast<int32_t>(s),
+                            .batch = static_cast<int64_t>(base + b),
+                            .tag = "vote"},
+                           &obs::TraceBuffer::Default(),
+                           stages_[s].metrics.verify_us);
+      vote = Vote(list, config_.check, config_.vote);
+    }
     state.voted.insert(s);
     int64_t v_decide = 0;
     for (const auto& r : state.reports[s]) {
@@ -485,11 +618,8 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     state.v_chosen[s] =
         v_decide + (util::ThreadCpuMicros() - handling_cpu0 -
                     send_cpu_excluded);
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.checkpoints_evaluated++;
-      stats_.divergences += vote.dissenters.size();
-    }
+    rstats.checkpoints_evaluated++;
+    rstats.divergences += vote.dissenters.size();
     if (!vote.accepted || (config_.response == ResponsePolicy::kAbort &&
                            !vote.dissenters.empty())) {
       if (run_error.ok()) {
@@ -512,10 +642,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     BatchState& state = bs[b];
     const size_t k = stages_[s].variants.size();
 
-    if (!msg.ok) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.variant_failures++;
-    }
+    if (!msg.ok) rstats.variant_failures++;
 
     // Fast path: single variant — forwarded unverified, unless the
     // slow path is forced (checkpoint rule evaluation, Fig. 10).
@@ -530,14 +657,19 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       state.v_chosen[s] = static_cast<int64_t>(msg.vtime_us);
       if (config_.verify_fast_path) {
         bool rule_violation = false;
-        for (const auto& t : msg.outputs) {
-          if (tensor::HasNonFinite(t)) rule_violation = true;
-        }
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          stats_.checkpoints_evaluated++;
-          if (rule_violation) stats_.divergences++;
+          obs::ScopedSpan span("monitor/verify",
+                               {.stage = static_cast<int32_t>(s),
+                                .batch = static_cast<int64_t>(msg.batch_id),
+                                .tag = "rule"},
+                               &obs::TraceBuffer::Default(),
+                               stages_[s].metrics.verify_us);
+          for (const auto& t : msg.outputs) {
+            if (tensor::HasNonFinite(t)) rule_violation = true;
+          }
         }
+        rstats.checkpoints_evaluated++;
+        if (rule_violation) rstats.divergences++;
         if (rule_violation) {
           if (run_error.ok()) {
             run_error = util::DivergenceDetected(
@@ -547,8 +679,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           return;
         }
       } else {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.fast_path_forwards++;
+        rstats.fast_path_forwards++;
       }
       state.v_chosen[s] += util::ThreadCpuMicros() - handling_cpu0 -
                            send_cpu_excluded;
@@ -570,10 +701,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         dissent = !OutputsConsistent(r->outputs, state.chosen[s],
                                      config_.check);
       }
-      if (dissent) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.late_divergences++;
-      }
+      if (dissent) rstats.late_divergences++;
       return;
     }
 
@@ -597,17 +725,25 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         if (panel[i].has_value() && panel[i]->ok) healthy.push_back(i);
       }
       size_t best_rep = k, best_size = 0;
-      for (size_t rep : healthy) {
-        size_t size = 0;
-        for (size_t other : healthy) {
-          if (OutputsConsistent(panel[other]->outputs, panel[rep]->outputs,
-                                config_.check)) {
-            ++size;
+      {
+        obs::ScopedSpan span("monitor/verify",
+                             {.stage = static_cast<int32_t>(s),
+                              .batch = static_cast<int64_t>(base + b),
+                              .tag = "quorum"},
+                             &obs::TraceBuffer::Default(),
+                             stages_[s].metrics.verify_us);
+        for (size_t rep : healthy) {
+          size_t size = 0;
+          for (size_t other : healthy) {
+            if (OutputsConsistent(panel[other]->outputs, panel[rep]->outputs,
+                                  config_.check)) {
+              ++size;
+            }
           }
-        }
-        if (size > best_size) {
-          best_size = size;
-          best_rep = rep;
+          if (size > best_size) {
+            best_size = size;
+            best_rep = rep;
+          }
         }
       }
       if (best_size >= quorum) {
@@ -632,11 +768,8 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
             ++dissent_now;
           }
         }
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          stats_.checkpoints_evaluated++;
-          stats_.divergences += dissent_now;
-        }
+        rstats.checkpoints_evaluated++;
+        rstats.divergences += dissent_now;
         if (dissent_now > 0 &&
             config_.response == ResponsePolicy::kAbort) {
           if (run_error.ok()) {
@@ -664,6 +797,14 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // Event loop: poll every variant channel.
   int64_t deadline = util::NowMicros() + config_.recv_timeout_us;
   while (completed < num_batches && run_error.ok()) {
+    if (options.deadline_us > 0 &&
+        util::NowMicros() - wall_start > options.deadline_us) {
+      run_error = util::DeadlineExceeded(
+          "run deadline of " + std::to_string(options.deadline_us) +
+          "us exceeded (" + std::to_string(completed) + "/" +
+          std::to_string(num_batches) + " batches complete)");
+      break;
+    }
     bool progressed = false;
     for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
       for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
@@ -705,17 +846,28 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
   }
 
+  // Merge this run into the registry (even on error: partial work shows
+  // up in the dump) and into the ConsumeStats() backlog.
+  rstats.wall_us = std::max<int64_t>(1, last_completion_vus - run_vstart);
+  rstats.bytes_sent = channel_bytes() - bytes0;
+  m_.wall_us->Add(static_cast<uint64_t>(rstats.wall_us));
+  m_.checkpoints_evaluated->Add(rstats.checkpoints_evaluated);
+  m_.fast_path_forwards->Add(rstats.fast_path_forwards);
+  m_.divergences->Add(rstats.divergences);
+  m_.late_divergences->Add(rstats.late_divergences);
+  m_.variant_failures->Add(rstats.variant_failures);
+  m_.bytes_sent->Add(rstats.bytes_sent);
+  m_.batches_completed->Add(rstats.batch_latency_us.size());
+  for (int64_t lat : rstats.batch_latency_us) {
+    m_.batch_latency_us->Observe(lat);
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.wall_us += std::max<int64_t>(1, last_completion_vus - run_vstart);
-    uint64_t total_bytes = 0;
-    for (const auto& stage : stages_) {
-      for (const auto& conn : stage.variants) {
-        total_bytes += conn.channel->bytes_sent();
-      }
-    }
-    stats_.bytes_sent = total_bytes;
+    pending_latencies_.insert(pending_latencies_.end(),
+                              rstats.batch_latency_us.begin(),
+                              rstats.batch_latency_us.end());
   }
+  if (options.stats != nullptr) *options.stats = rstats;
 
   MVTEE_RETURN_IF_ERROR(run_error);
 
@@ -750,8 +902,22 @@ util::Status Monitor::Shutdown() {
 
 RunStats Monitor::ConsumeStats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  RunStats out = std::move(stats_);
-  stats_ = RunStats();
+  const RunStats now = RegistryBaseline();
+  RunStats out;
+  out.wall_us = now.wall_us - consumed_base_.wall_us;
+  out.checkpoints_evaluated =
+      now.checkpoints_evaluated - consumed_base_.checkpoints_evaluated;
+  out.fast_path_forwards =
+      now.fast_path_forwards - consumed_base_.fast_path_forwards;
+  out.divergences = now.divergences - consumed_base_.divergences;
+  out.late_divergences =
+      now.late_divergences - consumed_base_.late_divergences;
+  out.variant_failures =
+      now.variant_failures - consumed_base_.variant_failures;
+  out.bytes_sent = now.bytes_sent - consumed_base_.bytes_sent;
+  out.batch_latency_us = std::move(pending_latencies_);
+  pending_latencies_.clear();
+  consumed_base_ = now;
   return out;
 }
 

@@ -29,6 +29,8 @@
 #include "core/messages.h"
 #include "core/offline.h"
 #include "core/variant_host.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "transport/msg_channel.h"
 #include "util/status.h"
@@ -72,6 +74,33 @@ struct MvxSelection {
   // `counts[i]` variants for stage i (1 = fast path only).
   static MvxSelection PerStage(const OfflineBundle& bundle,
                                const std::vector<int>& counts);
+
+  // Fluent construction for selective-MVX tuning:
+  //
+  //   auto sel = MvxSelection::Builder()
+  //                  .Uniform(1)                    // default per stage
+  //                  .Stage(2, 3)                   // 3-variant panel
+  //                  .Stage(0, {"s0.v1", "s0.v3"})  // named variants
+  //                  .Build(bundle);
+  //
+  // Unspecified stages take the Uniform() default (1 when unset);
+  // counts are clamped to the pool size like PerStage().
+  class Builder {
+   public:
+    // Explicit variant ids for one stage (overrides any count).
+    Builder& Stage(int32_t stage, std::vector<std::string> ids);
+    // Panel size for one stage.
+    Builder& Stage(int32_t stage, int count);
+    // Default panel size for every stage not named explicitly.
+    Builder& Uniform(int variants_per_stage);
+
+    MvxSelection Build(const OfflineBundle& bundle) const;
+
+   private:
+    int default_count_ = 1;
+    std::map<int32_t, std::vector<std::string>> explicit_ids_;
+    std::map<int32_t, int> counts_;
+  };
 };
 
 struct RunStats {
@@ -96,6 +125,23 @@ struct RunStats {
     return static_cast<double>(sum) /
            static_cast<double>(batch_latency_us.size());
   }
+};
+
+// Per-call options for Monitor::Run — the unified execution entry point
+// that replaced the RunBatch / RunSequential / RunPipelined triplet.
+struct RunOptions {
+  // false: batches admitted strictly one after another (next admitted
+  // only once the previous completed). true: all batches streamed
+  // through the pipeline simultaneously.
+  bool pipelined = false;
+  // Per-call wall-clock budget for the whole run, microseconds. 0 =
+  // unbounded (the config's idle recv_timeout_us still applies either
+  // way). Exceeding it fails the run with kDeadlineExceeded.
+  int64_t deadline_us = 0;
+  // Optional stats-snapshot handle: filled with this call's own stats
+  // (a per-run delta) without consuming the monitor's cumulative
+  // stats — ConsumeStats() is unaffected.
+  RunStats* stats = nullptr;
 };
 
 class Monitor {
@@ -123,22 +169,33 @@ class Monitor {
   util::Status FullUpdate(const OfflineBundle& bundle,
                           const MvxSelection& selection, VariantHost& host);
 
-  // One batch through all stages.
+  // Unified execution entry point: runs `batches` through the pipeline
+  // under the given per-call options (sequential or pipelined
+  // admission, optional deadline, optional stats-snapshot handle).
+  util::Result<std::vector<std::vector<tensor::Tensor>>> Run(
+      const std::vector<std::vector<tensor::Tensor>>& batches,
+      const RunOptions& options = RunOptions{});
+
+  // --- deprecated entry points (thin wrappers over Run) ---
+  [[deprecated("use Monitor::Run({inputs}, RunOptions{})")]]
   util::Result<std::vector<tensor::Tensor>> RunBatch(
       const std::vector<tensor::Tensor>& inputs);
 
-  // Many batches, strictly one after another (next admitted only after
-  // the previous completed; async stragglers may still overlap).
+  [[deprecated("use Monitor::Run(batches, RunOptions{.pipelined = false})")]]
   util::Result<std::vector<std::vector<tensor::Tensor>>> RunSequential(
       const std::vector<std::vector<tensor::Tensor>>& batches);
 
-  // Many batches streamed through the pipeline simultaneously.
+  [[deprecated("use Monitor::Run(batches, RunOptions{.pipelined = true})")]]
   util::Result<std::vector<std::vector<tensor::Tensor>>> RunPipelined(
       const std::vector<std::vector<tensor::Tensor>>& batches);
 
   util::Status Shutdown();
 
+  // Snapshot-and-reset of the cumulative run statistics, sourced from
+  // the metrics registry (delta since the previous consume).
   RunStats ConsumeStats();
+  // Registry every monitor metric is recorded into (process default).
+  obs::Registry& metrics() const { return *metrics_; }
   const MonitorConfig& config() const { return config_; }
   const tee::Enclave& enclave() const { return *enclave_; }
 
@@ -162,8 +219,18 @@ class Monitor {
     std::string id;
     std::unique_ptr<transport::MsgChannel> channel;
   };
+  // Per-stage observability instruments, resolved once at Initialize so
+  // the event loop updates them without registry lookups.
+  struct StageMetrics {
+    obs::Histogram* verify_us = nullptr;   // checkpoint-verify time
+    obs::Histogram* forward_us = nullptr;  // monitor-mediated forward time
+    obs::Counter* wire_us = nullptr;       // modeled wire time, outbound
+    obs::Counter* crypto_us = nullptr;     // modeled seal+open time, outbound
+    obs::Counter* bytes = nullptr;         // outbound payload bytes
+  };
   struct StageState {
     std::vector<VariantConn> variants;
+    StageMetrics metrics;
     bool is_mvx() const { return variants.size() > 1; }
   };
 
@@ -180,11 +247,17 @@ class Monitor {
 
   util::Status ConfigureRoutes(VariantHost& host);
 
-  // The unified event-driven engine behind RunBatch / RunSequential /
-  // RunPipelined.
+  // The event-driven engine behind Run.
   util::Result<std::vector<std::vector<tensor::Tensor>>> RunStream(
       const std::vector<std::vector<tensor::Tensor>>& batches,
-      bool pipelined);
+      const RunOptions& options);
+
+  // Resolves the monitor-level and per-stage metric instruments.
+  void BindMetrics();
+
+  // Current cumulative counter values (no latencies); the baseline that
+  // ConsumeStats() subtracts.
+  RunStats RegistryBaseline() const;
 
   std::unique_ptr<tee::Enclave> enclave_;
   tee::SimulatedCpu* cpu_;
@@ -206,8 +279,27 @@ class Monitor {
   std::vector<bool> stage_reports_;
   size_t num_fast_path_stages_ = 0;
 
+  // Observability: all monitor counters live in the metrics registry;
+  // ConsumeStats() reads them as a delta against `consumed_base_`.
+  // Per-batch latencies additionally keep an exact per-run list (the
+  // registry histogram only retains aggregates).
+  obs::Registry* metrics_ = &obs::Registry::Default();
+  struct MonitorMetrics {
+    obs::Counter* checkpoints_evaluated = nullptr;
+    obs::Counter* fast_path_forwards = nullptr;
+    obs::Counter* divergences = nullptr;
+    obs::Counter* late_divergences = nullptr;
+    obs::Counter* variant_failures = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* wall_us = nullptr;
+    obs::Counter* batches_completed = nullptr;
+    obs::Histogram* batch_latency_us = nullptr;
+    obs::Histogram* attest_us = nullptr;
+  };
+  MonitorMetrics m_{};
   mutable std::mutex stats_mu_;
-  RunStats stats_;
+  std::vector<int64_t> pending_latencies_;  // since last ConsumeStats
+  RunStats consumed_base_;                  // counter values at last consume
   std::atomic<uint64_t> next_batch_id_{0};
 
   // Virtual-time performance model (see DESIGN.md §2): the monitor's own

@@ -5,6 +5,8 @@
 #include "core/messages.h"
 #include "core/offline.h"
 #include "graph/ir.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "transport/msg_channel.h"
 #include "util/clock.h"
 #include "variant/spec.h"
@@ -27,13 +29,31 @@ int64_t BoundaryMicros(const VariantHost::Options& options, size_t bytes) {
   return static_cast<int64_t>(us);
 }
 
+// Pipeline stage encoded in a pool variant id ("s<N>.v<M>"); -1 when
+// the id does not follow that convention.
+int32_t StageFromVariantId(const std::string& id) {
+  if (id.size() < 3 || id[0] != 's') return -1;
+  int32_t stage = 0;
+  size_t i = 1;
+  for (; i < id.size() && id[i] >= '0' && id[i] <= '9'; ++i) {
+    stage = stage * 10 + (id[i] - '0');
+  }
+  if (i == 1 || i >= id.size() || id[i] != '.') return -1;
+  return stage;
+}
+
 // In-enclave state of one variant service after identity assignment.
 struct VariantState {
   std::string variant_id;
+  int32_t stage = -1;  // parsed from variant_id, for metric labels
   tee::FreshnessLedger ledger;
   std::unique_ptr<runtime::Executor> executor;
   size_t total_slots = 0;
   bool report_to_monitor = true;
+
+  // Observability instruments, resolved once at identity assignment.
+  obs::Histogram* infer_us = nullptr;        // variant.infer_us
+  obs::Histogram* stage_infer_us = nullptr;  // variant.stage<N>.infer_us
 
   struct Upstream {
     std::unique_ptr<transport::MsgChannel> channel;
@@ -68,6 +88,17 @@ util::Status AssumeIdentity(const AssignIdentityMsg& msg,
                             tee::ProtectedStore& store, VariantHost& host,
                             VariantState& state) {
   state.variant_id = msg.variant_id;
+  state.stage = StageFromVariantId(msg.variant_id);
+  obs::Registry& reg = obs::Registry::Default();
+  state.infer_us = &reg.GetHistogram("variant.infer_us");
+  if (state.stage >= 0) {
+    state.stage_infer_us = &reg.GetHistogram(
+        "variant.stage" + std::to_string(state.stage) + ".infer_us");
+  }
+  obs::ScopedSpan span("variant/bootstrap",
+                       {.stage = state.stage, .tag = msg.variant_id},
+                       &obs::TraceBuffer::Default(),
+                       &reg.GetHistogram("variant.bootstrap_us"));
   util::Bytes file_key =
       tee::DeriveVariantFileKey(msg.variant_key, msg.variant_id);
   MVTEE_RETURN_IF_ERROR(enclave.InstallProtectedFsKey(file_key));
@@ -222,7 +253,18 @@ void RunAssembledBatch(VariantState& state, uint64_t batch,
   const int64_t cpu0 = util::ThreadCpuMicros();
   InferResultMsg result;
   result.batch_id = batch;
-  auto outputs = state.executor->Run(inputs);
+  auto outputs = [&] {
+    obs::ScopedSpan span("variant/infer",
+                         {.stage = state.stage,
+                          .batch = static_cast<int64_t>(batch),
+                          .tag = state.variant_id});
+    return state.executor->Run(inputs);
+  }();
+  const int64_t infer_cpu_us = util::ThreadCpuMicros() - cpu0;
+  if (state.infer_us != nullptr) state.infer_us->Observe(infer_cpu_us);
+  if (state.stage_infer_us != nullptr) {
+    state.stage_infer_us->Observe(infer_cpu_us);
+  }
   if (outputs.ok()) {
     result.ok = true;
     result.outputs = std::move(*outputs);
@@ -418,6 +460,10 @@ VariantHost::~VariantHost() { JoinAll(); }
 
 util::Result<transport::Endpoint> VariantHost::SpawnVariantTee(
     tee::TeeType type) {
+  obs::ScopedSpan span(
+      "host/spawn", {},
+      &obs::TraceBuffer::Default(),
+      &obs::Registry::Default().GetHistogram("host.spawn_us"));
   MVTEE_ASSIGN_OR_RETURN(
       auto enclave,
       cpu_->LaunchEnclave(type, util::ToBytes(std::string(kInitVariantCode)),

@@ -65,12 +65,12 @@ util::Result<CampaignReport> RunVulnerabilityCampaign(
       inputs.push_back(
           Tensor::RandomUniform(model.input_shape(in), rng, -1.0f, 1.0f));
     }
-    auto out = monitor->RunBatch(inputs);
+    auto out = monitor->Run({inputs});
     if (out.ok()) {
       ++completed;
       MVTEE_ASSIGN_OR_RETURN(auto expected, reference->Run(inputs));
       for (size_t i = 0; i < expected.size(); ++i) {
-        if (tensor::CosineSimilarity((*out)[i], expected[i]) < 0.99) {
+        if (tensor::CosineSimilarity((*out)[0][i], expected[i]) < 0.99) {
           report.wrong_output_released = true;
         }
       }

@@ -1,0 +1,305 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mvtee::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonEscape(std::string_view s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void AppendNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; exporters emit 0
+    out += "0";
+    return;
+  }
+  // Integers (the common case for counters) print without a fraction.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void Newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    AppendNumber(as_number(), out);
+  } else if (is_string()) {
+    out += '"';
+    JsonEscape(as_string(), out);
+    out += '"';
+  } else if (is_array()) {
+    const Array& a = as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i) out += ',';
+      Newline(out, indent, depth + 1);
+      a[i].DumpTo(out, indent, depth + 1);
+    }
+    Newline(out, indent, depth);
+    out += ']';
+  } else {
+    const Object& o = as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (size_t i = 0; i < o.size(); ++i) {
+      if (i) out += ',';
+      Newline(out, indent, depth + 1);
+      out += '"';
+      JsonEscape(o[i].first, out);
+      out += "\":";
+      if (indent > 0) out += ' ';
+      o[i].second.DumpTo(out, indent, depth + 1);
+    }
+    Newline(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<JsonValue> Parse() {
+    MVTEE_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return util::InvalidArgument("trailing characters at offset " +
+                                   std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Status Fail(const std::string& what) {
+    return util::InvalidArgument(what + " at offset " + std::to_string(pos_));
+  }
+
+  util::Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        MVTEE_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return JsonValue(true);
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return JsonValue(false);
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return JsonValue(nullptr);
+        }
+        return Fail("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  util::Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0;
+    auto [end, ec] = std::from_chars(text_.data() + start,
+                                     text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      return Fail("bad number");
+    }
+    return JsonValue(value);
+  }
+
+  util::Result<std::string> ParseString() {
+    if (!Consume('"')) return Fail("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Exporters only escape control characters; encode BMP code
+          // points as UTF-8 (surrogate pairs are out of scope).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  util::Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue::Array items;
+    SkipWs();
+    if (Consume(']')) return JsonValue(std::move(items));
+    for (;;) {
+      MVTEE_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      items.push_back(std::move(v));
+      SkipWs();
+      if (Consume(']')) return JsonValue(std::move(items));
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  util::Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue::Object fields;
+    SkipWs();
+    if (Consume('}')) return JsonValue(std::move(fields));
+    for (;;) {
+      SkipWs();
+      MVTEE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      MVTEE_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      fields.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) return JsonValue(std::move(fields));
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace mvtee::obs

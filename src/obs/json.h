@@ -1,0 +1,74 @@
+// Minimal JSON value model, writer and parser for the observability
+// exporters (metrics registry snapshots, trace dumps).
+//
+// Scope is deliberately small: UTF-8 pass-through strings with the
+// standard escapes, doubles for all numbers (exact for the integer
+// ranges the exporters emit), objects with insertion-ordered keys so
+// dumps are stable and diffable. Not a general-purpose JSON library.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mvtee::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  // Ordered map keeps exporter output deterministic.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : data_(b) {}                        // NOLINT
+  JsonValue(double d) : data_(d) {}                      // NOLINT
+  JsonValue(int64_t i) : data_(static_cast<double>(i)) {}    // NOLINT
+  JsonValue(uint64_t u) : data_(static_cast<double>(u)) {}   // NOLINT
+  JsonValue(int i) : data_(static_cast<double>(i)) {}        // NOLINT
+  JsonValue(std::string s) : data_(std::move(s)) {}      // NOLINT
+  JsonValue(const char* s) : data_(std::string(s)) {}    // NOLINT
+  JsonValue(Array a) : data_(std::move(a)) {}            // NOLINT
+  JsonValue(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  // Object lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  // Serializes this value. `indent` > 0 pretty-prints with that many
+  // spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+};
+
+// Appends `s` JSON-escaped (without surrounding quotes) to `out`.
+void JsonEscape(std::string_view s, std::string& out);
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+util::Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace mvtee::obs

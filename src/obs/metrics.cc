@@ -1,0 +1,280 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace mvtee::obs {
+
+namespace {
+
+// Geometric bucket bounds, built once. bounds[i] is the inclusive upper
+// bound of bucket i; samples above the last bound land in the overflow
+// bucket.
+const std::array<int64_t, Histogram::kNumBuckets>& BucketBounds() {
+  static const auto bounds = [] {
+    std::array<int64_t, Histogram::kNumBuckets> b{};
+    int64_t prev = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+      int64_t next = std::max(prev + 1, prev + prev / 2);
+      if (prev == 0) next = 1;
+      b[i] = next;
+      prev = next;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+void AtomicMin(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int64_t Histogram::BucketBound(size_t i) {
+  MVTEE_CHECK(i < kNumBuckets);
+  return BucketBounds()[i];
+}
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) value = 0;
+  const auto& bounds = BucketBounds();
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<uint64_t>(value), std::memory_order_relaxed);
+  // First observation seeds min/max; count_ is incremented last so a
+  // racing Stats() never divides by a count ahead of sum_.
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    AtomicMin(min_, value);
+    AtomicMax(max_, value);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  const int64_t lo = min_.load(std::memory_order_relaxed);
+  const int64_t hi = max_.load(std::memory_order_relaxed);
+  // Rank of the q-th sample, 1-based.
+  const double rank = q * static_cast<double>(n - 1) + 1.0;
+  const auto& bounds = BucketBounds();
+  double cumulative = 0;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Interpolate within [bucket lower, bucket upper].
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = i < kNumBuckets ? static_cast<double>(bounds[i])
+                                           : static_cast<double>(hi);
+      const double frac = (rank - cumulative) / in_bucket;
+      const double est = lower + (upper - lower) * frac;
+      return std::clamp(est, static_cast<double>(lo),
+                        static_cast<double>(hi));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(hi);
+}
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = Percentile(0.50);
+  s.p95 = Percentile(0.95);
+  s.p99 = Percentile(0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MVTEE_CHECK(gauges_.find(name) == gauges_.end() &&
+              histograms_.find(name) == histograms_.end());
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MVTEE_CHECK(counters_.find(name) == counters_.end() &&
+              histograms_.find(name) == histograms_.end());
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MVTEE_CHECK(counters_.find(name) == counters_.end() &&
+              gauges_.find(name) == gauges_.end());
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Stats();
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();  // leaked: outlives teardown
+  return *registry;
+}
+
+std::string RegistrySnapshot::ToJson(int indent) const {
+  JsonValue::Object counters_obj;
+  for (const auto& [name, v] : counters) counters_obj.emplace_back(name, v);
+  JsonValue::Object gauges_obj;
+  for (const auto& [name, v] : gauges) gauges_obj.emplace_back(name, v);
+  JsonValue::Object hists_obj;
+  for (const auto& [name, h] : histograms) {
+    JsonValue::Object fields;
+    fields.emplace_back("count", h.count);
+    fields.emplace_back("sum", h.sum);
+    fields.emplace_back("mean", h.mean());
+    fields.emplace_back("min", h.min);
+    fields.emplace_back("max", h.max);
+    fields.emplace_back("p50", h.p50);
+    fields.emplace_back("p95", h.p95);
+    fields.emplace_back("p99", h.p99);
+    hists_obj.emplace_back(name, JsonValue(std::move(fields)));
+  }
+  JsonValue::Object root;
+  root.emplace_back("counters", JsonValue(std::move(counters_obj)));
+  root.emplace_back("gauges", JsonValue(std::move(gauges_obj)));
+  root.emplace_back("histograms", JsonValue(std::move(hists_obj)));
+  return JsonValue(std::move(root)).Dump(indent);
+}
+
+util::Result<RegistrySnapshot> RegistrySnapshot::FromJson(
+    std::string_view json) {
+  MVTEE_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (!root.is_object()) {
+    return util::InvalidArgument("snapshot root must be an object");
+  }
+  RegistrySnapshot snap;
+  if (const JsonValue* counters = root.Find("counters")) {
+    if (!counters->is_object()) {
+      return util::InvalidArgument("'counters' must be an object");
+    }
+    for (const auto& [name, v] : counters->as_object()) {
+      if (!v.is_number()) {
+        return util::InvalidArgument("counter '" + name + "' not a number");
+      }
+      snap.counters[name] = static_cast<uint64_t>(v.as_number());
+    }
+  }
+  if (const JsonValue* gauges = root.Find("gauges")) {
+    if (!gauges->is_object()) {
+      return util::InvalidArgument("'gauges' must be an object");
+    }
+    for (const auto& [name, v] : gauges->as_object()) {
+      if (!v.is_number()) {
+        return util::InvalidArgument("gauge '" + name + "' not a number");
+      }
+      snap.gauges[name] = static_cast<int64_t>(v.as_number());
+    }
+  }
+  if (const JsonValue* hists = root.Find("histograms")) {
+    if (!hists->is_object()) {
+      return util::InvalidArgument("'histograms' must be an object");
+    }
+    for (const auto& [name, v] : hists->as_object()) {
+      if (!v.is_object()) {
+        return util::InvalidArgument("histogram '" + name + "' not an object");
+      }
+      HistogramStats h;
+      auto num = [&v](const char* key, double fallback = 0) {
+        const JsonValue* f = v.Find(key);
+        return f != nullptr && f->is_number() ? f->as_number() : fallback;
+      };
+      h.count = static_cast<uint64_t>(num("count"));
+      h.sum = num("sum");
+      h.min = static_cast<int64_t>(num("min"));
+      h.max = static_cast<int64_t>(num("max"));
+      h.p50 = num("p50");
+      h.p95 = num("p95");
+      h.p99 = num("p99");
+      snap.histograms[name] = h;
+    }
+  }
+  return snap;
+}
+
+RegistrySnapshot RegistrySnapshot::DeltaSince(
+    const RegistrySnapshot& base) const {
+  RegistrySnapshot delta = *this;
+  for (auto& [name, v] : delta.counters) {
+    auto it = base.counters.find(name);
+    if (it != base.counters.end()) {
+      v = v >= it->second ? v - it->second : 0;
+    }
+  }
+  for (auto& [name, h] : delta.histograms) {
+    auto it = base.histograms.find(name);
+    if (it == base.histograms.end()) continue;
+    h.count = h.count >= it->second.count ? h.count - it->second.count : 0;
+    h.sum -= it->second.sum;
+    // min/max/percentiles are not delta-able from aggregates; the
+    // cumulative values are kept as an approximation of the window.
+  }
+  return delta;
+}
+
+}  // namespace mvtee::obs

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace mvtee::obs {
+
+namespace {
+// Innermost live span depth on this thread; -1 = no live span.
+thread_local int32_t t_span_depth = -1;
+}  // namespace
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceBuffer::Record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_ % capacity_] = std::move(span);
+  }
+  ++next_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ % capacity_ is the oldest slot once the ring has wrapped.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string TraceBuffer::ToJson(int indent) const {
+  JsonValue::Array spans;
+  for (const SpanRecord& s : Snapshot()) {
+    JsonValue::Object fields;
+    fields.emplace_back("name", s.name);
+    if (!s.tag.empty()) fields.emplace_back("tag", s.tag);
+    fields.emplace_back("stage", static_cast<int64_t>(s.stage));
+    fields.emplace_back("batch", s.batch);
+    fields.emplace_back("depth", static_cast<int64_t>(s.depth));
+    fields.emplace_back("start_us", s.start_us);
+    fields.emplace_back("dur_us", s.dur_us);
+    spans.push_back(JsonValue(std::move(fields)));
+  }
+  return JsonValue(std::move(spans)).Dump(indent);
+}
+
+TraceBuffer& TraceBuffer::Default() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: see Registry
+  return *buffer;
+}
+
+ScopedSpan::ScopedSpan(std::string name, SpanTags tags, TraceBuffer* buffer,
+                       Histogram* histogram)
+    : buffer_(buffer), histogram_(histogram) {
+  record_.name = std::move(name);
+  record_.tag = std::move(tags.tag);
+  record_.stage = tags.stage;
+  record_.batch = tags.batch;
+  record_.depth = ++t_span_depth;
+  record_.start_us = util::NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  record_.dur_us = util::NowMicros() - record_.start_us;
+  --t_span_depth;
+  if (histogram_ != nullptr) histogram_->Observe(record_.dur_us);
+  if (buffer_ != nullptr) buffer_->Record(std::move(record_));
+}
+
+int32_t ScopedSpan::CurrentDepth() { return t_span_depth; }
+
+}  // namespace mvtee::obs

@@ -1,0 +1,86 @@
+// Lightweight trace spans: scoped RAII timers tagged with stage /
+// variant / batch ids, recorded into a bounded ring buffer.
+//
+// Spans capture *real* wall-clock durations of host-side work (attest,
+// verify, forward, infer); they complement the virtual-time performance
+// model, which accounts simulated wire/crypto costs separately. Nesting
+// is tracked per thread: a span opened while another span is live on
+// the same thread records depth = parent depth + 1.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace mvtee::obs {
+
+struct SpanRecord {
+  std::string name;     // taxonomy: "component/operation"
+  std::string tag;      // free-form (variant id, model name); may be empty
+  int32_t stage = -1;   // pipeline stage, -1 when not applicable
+  int64_t batch = -1;   // batch id, -1 when not applicable
+  int32_t depth = 0;    // nesting depth on the recording thread
+  int64_t start_us = 0; // wall clock (util::NowMicros)
+  int64_t dur_us = 0;
+};
+
+// Fixed-capacity ring of completed spans (oldest overwritten first).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 4096);
+
+  void Record(SpanRecord span);
+
+  // Completed spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+  // Total spans ever recorded (>= Snapshot().size() once wrapped).
+  uint64_t total_recorded() const;
+  void Clear();
+
+  // JSON array of {name, tag, stage, batch, depth, start_us, dur_us}.
+  std::string ToJson(int indent = 2) const;
+
+  // Process-wide buffer the production wiring records into.
+  static TraceBuffer& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  size_t capacity_;
+  uint64_t next_ = 0;  // monotonically increasing write index
+};
+
+struct SpanTags {
+  int32_t stage = -1;
+  int64_t batch = -1;
+  std::string tag;
+};
+
+// RAII span: times construction → destruction, then records into the
+// buffer (and optionally a latency histogram).
+class ScopedSpan {
+ public:
+  using Tags = SpanTags;
+
+  explicit ScopedSpan(std::string name, SpanTags tags = {},
+                      TraceBuffer* buffer = &TraceBuffer::Default(),
+                      Histogram* histogram = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Depth of the innermost live span on this thread (testing hook).
+  static int32_t CurrentDepth();
+
+ private:
+  TraceBuffer* buffer_;
+  Histogram* histogram_;
+  SpanRecord record_;
+};
+
+}  // namespace mvtee::obs

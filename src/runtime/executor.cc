@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "util/clock.h"
+
 namespace mvtee::runtime {
 
 using graph::Graph;
@@ -116,6 +118,15 @@ Executor::Executor(Graph graph, ExecutorConfig config)
   }
   is_output_.assign(n, false);
   for (NodeId out : graph_.outputs()) is_output_[static_cast<size_t>(out)] = true;
+  // Only resolve instruments for op types this graph actually uses, so
+  // the registry dump stays free of never-observed kernels.
+  for (const Node& node : graph_.nodes()) {
+    const auto op = static_cast<size_t>(node.op);
+    if (op_us_[op] == nullptr) {
+      op_us_[op] = &obs::Registry::Default().GetHistogram(
+          "executor.op." + std::string(graph::OpTypeName(node.op)) + "_us");
+    }
+  }
 }
 
 util::Result<std::unique_ptr<Executor>> Executor::Create(
@@ -238,6 +249,7 @@ util::Result<std::vector<Tensor>> Executor::Run(
     if (fault_hook_) {
       MVTEE_RETURN_IF_ERROR(fault_hook_->OnNodeStart(node));
     }
+    const int64_t node_cpu0 = util::ThreadCpuMicros();
 
     // In-place / move fast path for unary ops whose input dies here.
     const bool input_dies =
@@ -276,6 +288,8 @@ util::Result<std::vector<Tensor>> Executor::Run(
       if (fault_hook_) fault_hook_->OnNodeComplete(node, out);
       env[static_cast<size_t>(node.id)] = std::move(out);
     }
+    op_us_[static_cast<size_t>(node.op)]->Observe(util::ThreadCpuMicros() -
+                                                  node_cpu0);
 
     // Reclaim buffers whose last consumer was this node.
     for (NodeId in : node.inputs) {

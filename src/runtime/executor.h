@@ -9,12 +9,14 @@
 // lowering).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "graph/ir.h"
+#include "obs/metrics.h"
 #include "runtime/kernels.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
@@ -91,6 +93,11 @@ class Executor {
   graph::Graph graph_;
   ExecutorConfig config_;
   std::shared_ptr<FaultHook> fault_hook_;
+  // Per-op-type kernel-time histograms ("executor.op.<Name>_us" in the
+  // default registry), indexed by OpType and resolved at construction.
+  static constexpr size_t kNumOpTypes =
+      static_cast<size_t>(graph::OpType::kReshape) + 1;
+  std::array<obs::Histogram*, kNumOpTypes> op_us_{};
   // Per-node index of its last consumer in topological order (for buffer
   // reclamation).
   std::vector<graph::NodeId> last_use_;

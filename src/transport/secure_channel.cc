@@ -3,10 +3,38 @@
 #include "crypto/hmac.h"
 #include "crypto/rand.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 
 namespace mvtee::transport {
 
 namespace {
+
+// Process-wide AEAD/byte accounting across every secure channel. The
+// instruments are resolved once; per-record updates are relaxed atomics.
+struct ChannelMetrics {
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_recvd;
+  obs::Counter* seal_us;
+  obs::Counter* open_us;
+  obs::Counter* records_sealed;
+  obs::Counter* records_opened;
+
+  static ChannelMetrics& Get() {
+    static ChannelMetrics* m = [] {
+      obs::Registry& reg = obs::Registry::Default();
+      auto* out = new ChannelMetrics();
+      out->bytes_sent = &reg.GetCounter("channel.bytes_sent");
+      out->bytes_recvd = &reg.GetCounter("channel.bytes_recvd");
+      out->seal_us = &reg.GetCounter("channel.seal_us");
+      out->open_us = &reg.GetCounter("channel.open_us");
+      out->records_sealed = &reg.GetCounter("channel.records_sealed");
+      out->records_opened = &reg.GetCounter("channel.records_opened");
+      return out;
+    }();
+    return *m;
+  }
+};
 
 std::array<uint8_t, tee::kReportDataSize> BindKeyToReportData(
     const crypto::X25519Key& pubkey, SecureChannel::Role role) {
@@ -194,9 +222,14 @@ util::Status SecureChannel::Send(util::ByteSpan plaintext) {
   const uint64_t seq = send_seq_++;
   util::Bytes record;
   util::AppendU64(record, seq);
+  ChannelMetrics& cm = ChannelMetrics::Get();
+  const int64_t cpu0 = util::ThreadCpuMicros();
   util::Bytes sealed =
       send_cipher_.Seal(RecordNonce(seq), RecordAad(seq), plaintext);
+  cm.seal_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
+  cm.records_sealed->Add(1);
   util::AppendBytes(record, sealed);
+  cm.bytes_sent->Add(record.size());
   return endpoint_.Send(record);
 }
 
@@ -214,9 +247,14 @@ util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us) {
   }
   util::Bytes sealed;
   reader.ReadBytes(reader.remaining(), sealed);
+  ChannelMetrics& cm = ChannelMetrics::Get();
+  const int64_t cpu0 = util::ThreadCpuMicros();
   auto plaintext =
       recv_cipher_.Open(RecordNonce(seq), RecordAad(seq), sealed);
+  cm.open_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
+  cm.records_opened->Add(1);
   if (!plaintext.ok()) return plaintext.status();
+  cm.bytes_recvd->Add(record.size());
   recv_seq_ += 1;
   return plaintext;
 }

@@ -10,6 +10,10 @@
 #include "graph/builder.h"
 #include "runtime/executor.h"
 
+// The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
+// test until their removal; silence the migration nudge here only.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace mvtee::core {
 namespace {
 
@@ -662,6 +666,126 @@ TEST_F(MvteeSystemTest, UpdateStageRejectedUnderDirectRouting) {
   Boot(3, 1, cfg);
   auto status = monitor_->UpdateStage(bundle_, *host_, 1, {"s1.v2"});
   EXPECT_EQ(status.code(), util::StatusCode::kUnimplemented);
+}
+
+// ------------------------------------------- MvxSelection::Builder
+
+TEST(MvxSelectionBuilderTest, DefaultsToSingleVariantPerStage) {
+  auto bundle = RunOfflineTool(TestModel(), SmallOffline(3, 3));
+  ASSERT_TRUE(bundle.ok());
+  MvxSelection sel = MvxSelection::Builder().Build(*bundle);
+  ASSERT_EQ(sel.stage_variant_ids.size(), 3u);
+  for (const auto& ids : sel.stage_variant_ids) EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(MvxSelectionBuilderTest, UniformCountAndExplicitIdsCompose) {
+  auto bundle = RunOfflineTool(TestModel(), SmallOffline(3, 3));
+  ASSERT_TRUE(bundle.ok());
+  MvxSelection sel = MvxSelection::Builder()
+                         .Uniform(2)
+                         .Stage(1, 3)
+                         .Stage(2, {"s2.v2", "s2.v0"})
+                         .Build(*bundle);
+  ASSERT_EQ(sel.stage_variant_ids.size(), 3u);
+  EXPECT_EQ(sel.stage_variant_ids[0].size(), 2u);  // Uniform default
+  EXPECT_EQ(sel.stage_variant_ids[1].size(), 3u);  // per-stage count
+  EXPECT_EQ(sel.stage_variant_ids[2],
+            (std::vector<std::string>{"s2.v2", "s2.v0"}));
+}
+
+TEST(MvxSelectionBuilderTest, CountsClampToPoolBounds) {
+  auto bundle = RunOfflineTool(TestModel(), SmallOffline(3, 3));
+  ASSERT_TRUE(bundle.ok());
+  MvxSelection sel =
+      MvxSelection::Builder().Stage(0, 99).Stage(1, 0).Build(*bundle);
+  EXPECT_EQ(sel.stage_variant_ids[0].size(), 3u);  // clamped to pool size
+  EXPECT_EQ(sel.stage_variant_ids[1].size(), 1u);  // floor of one
+}
+
+TEST(MvxSelectionBuilderTest, ExplicitIdsOverrideCount) {
+  auto bundle = RunOfflineTool(TestModel(), SmallOffline(3, 3));
+  ASSERT_TRUE(bundle.ok());
+  MvxSelection sel = MvxSelection::Builder()
+                         .Stage(1, 3)
+                         .Stage(1, {"s1.v2"})
+                         .Build(*bundle);
+  EXPECT_EQ(sel.stage_variant_ids[1],
+            (std::vector<std::string>{"s1.v2"}));
+}
+
+TEST_F(MvteeSystemTest, BuilderSelectionRunsEndToEnd) {
+  model_ = TestModel();
+  auto bundle = RunOfflineTool(model_, SmallOffline(3, 5));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+  host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store);
+  auto monitor = Monitor::Create(&cpu_, MonitorConfig{});
+  ASSERT_TRUE(monitor.ok());
+  monitor_ = std::move(*monitor);
+  MvxSelection sel =
+      MvxSelection::Builder().Uniform(1).Stage(1, 3).Build(bundle_);
+  ASSERT_TRUE(monitor_->Initialize(bundle_, sel, *host_).ok());
+
+  util::Rng rng(20);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto out = monitor_->Run({{input}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto expected = ReferenceRun({input});
+  EXPECT_GT(tensor::CosineSimilarity((*out)[0][0], expected[0]), 0.999);
+  auto stats = monitor_->ConsumeStats();
+  EXPECT_EQ(stats.checkpoints_evaluated, 1u);  // only stage 1 is MVX
+  EXPECT_EQ(stats.fast_path_forwards, 2u);
+}
+
+// ---------------------------------------------- Monitor::Run options
+
+TEST_F(MvteeSystemTest, RunRecordsPerStageMetrics) {
+  Boot(2, 2, MonitorConfig{});
+  const obs::RegistrySnapshot base = monitor_->metrics().Snapshot();
+
+  util::Rng rng(17);
+  std::vector<std::vector<Tensor>> batches;
+  for (int i = 0; i < 2; ++i) {
+    batches.push_back({Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
+  }
+  RunStats stats;
+  auto outs = monitor_->Run(batches, RunOptions{.stats = &stats});
+  ASSERT_TRUE(outs.ok()) << outs.status().ToString();
+  ASSERT_EQ(outs->size(), 2u);
+
+  // The per-call stats handle reflects just this run.
+  EXPECT_EQ(stats.batch_latency_us.size(), 2u);
+  EXPECT_EQ(stats.checkpoints_evaluated, 4u);  // 2 stages x 2 batches
+  EXPECT_GT(stats.wall_us, 0);
+  EXPECT_GT(stats.bytes_sent, 0u);
+
+  const obs::RegistrySnapshot delta =
+      monitor_->metrics().Snapshot().DeltaSince(base);
+  // One checkpoint-verify observation per (stage, batch).
+  EXPECT_EQ(delta.histograms.at("monitor.stage0.verify_us").count, 2u);
+  EXPECT_EQ(delta.histograms.at("monitor.stage1.verify_us").count, 2u);
+  EXPECT_EQ(delta.counters.at("monitor.checkpoints_evaluated"), 4u);
+  EXPECT_EQ(delta.counters.at("monitor.batches_completed"), 2u);
+  EXPECT_EQ(delta.histograms.at("monitor.batch_latency_us").count, 2u);
+  // Both stage boundaries carried payload bytes.
+  EXPECT_GT(delta.counters.at("monitor.stage0.bytes"), 0u);
+  EXPECT_GT(delta.counters.at("monitor.stage1.bytes"), 0u);
+
+  // The stats handle is a snapshot, not a consume: the cumulative
+  // ConsumeStats() still reports the same run.
+  EXPECT_EQ(monitor_->ConsumeStats().checkpoints_evaluated, 4u);
+}
+
+TEST_F(MvteeSystemTest, RunEnforcesDeadline) {
+  Boot(3, 3, MonitorConfig{});
+  util::Rng rng(18);
+  std::vector<std::vector<Tensor>> batches;
+  for (int i = 0; i < 3; ++i) {
+    batches.push_back({Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
+  }
+  auto outs = monitor_->Run(batches, RunOptions{.deadline_us = 1});
+  ASSERT_FALSE(outs.ok());
+  EXPECT_EQ(outs.status().code(), util::StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(MvteeSystemTest, BindingsRecordAttestation) {

@@ -1,0 +1,296 @@
+// Tests for the observability subsystem: metrics registry (counters,
+// gauges, histograms with percentile estimation), JSON snapshot
+// round-trips, and trace spans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mvtee::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonTest, DumpAndParseRoundTrip) {
+  JsonValue::Object obj;
+  obj.emplace_back("name", std::string("hello \"world\"\n"));
+  obj.emplace_back("count", static_cast<int64_t>(42));
+  obj.emplace_back("ratio", 0.25);
+  obj.emplace_back("flag", true);
+  obj.emplace_back("nothing", JsonValue());
+  JsonValue::Array arr;
+  arr.push_back(JsonValue(static_cast<int64_t>(1)));
+  arr.push_back(JsonValue(static_cast<int64_t>(2)));
+  obj.emplace_back("items", JsonValue(std::move(arr)));
+  const JsonValue value(std::move(obj));
+
+  for (int indent : {0, 2}) {
+    auto parsed = ParseJson(value.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const JsonValue::Object& o = parsed->as_object();
+    ASSERT_EQ(o.size(), 6u);
+    EXPECT_EQ(o[0].second.as_string(), "hello \"world\"\n");
+    EXPECT_EQ(o[1].second.as_number(), 42.0);
+    EXPECT_EQ(o[2].second.as_number(), 0.25);
+    EXPECT_TRUE(o[3].second.as_bool());
+    EXPECT_TRUE(o[4].second.is_null());
+    EXPECT_EQ(o[5].second.as_array().size(), 2u);
+  }
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+// ------------------------------------------------------------- counters
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, PointerStableAcrossLookups) {
+  Registry registry;
+  Counter* a = &registry.GetCounter("stable");
+  registry.GetCounter("other");
+  EXPECT_EQ(a, &registry.GetCounter("stable"));
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Registry registry;
+  Gauge& g = registry.GetGauge("depth");
+  g.Set(5);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// ------------------------------------------------------------ histogram
+
+TEST(HistogramTest, BucketBoundsAreMonotonic) {
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(Histogram::BucketBound(i), Histogram::BucketBound(i - 1))
+        << "bucket " << i;
+  }
+  EXPECT_GE(Histogram::BucketBound(Histogram::kNumBuckets - 1),
+            int64_t{3'000'000'000});
+}
+
+TEST(HistogramTest, PercentilesOnUniformSamples) {
+  Histogram h;
+  // 1..1000: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990. The geometric buckets
+  // carry at most ~25% relative error inside one bucket.
+  for (int64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 1000u);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.max, 1000);
+  EXPECT_DOUBLE_EQ(stats.sum, 500500.0);
+  EXPECT_NEAR(stats.p50, 500.0, 500.0 * 0.30);
+  EXPECT_NEAR(stats.p95, 950.0, 950.0 * 0.30);
+  EXPECT_NEAR(stats.p99, 990.0, 990.0 * 0.30);
+  EXPECT_DOUBLE_EQ(stats.mean(), 500.5);
+}
+
+TEST(HistogramTest, PercentileClampsToObservedRange) {
+  Histogram h;
+  h.Observe(70);
+  h.Observe(70);
+  h.Observe(70);
+  // All mass in one bucket: every percentile must stay inside [min,max].
+  EXPECT_EQ(h.Percentile(0.0), 70.0);
+  EXPECT_EQ(h.Percentile(0.5), 70.0);
+  EXPECT_EQ(h.Percentile(1.0), 70.0);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Observe(-5);
+  HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.min, 0);
+  EXPECT_EQ(stats.max, 0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.p50, 0.0);
+  EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(t * 100 + i % 97);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(RegistryTest, SnapshotCapturesAllKinds) {
+  Registry registry;
+  registry.GetCounter("c").Add(7);
+  registry.GetGauge("g").Set(-3);
+  registry.GetHistogram("h").Observe(100);
+
+  RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 7u);
+  EXPECT_EQ(snap.gauges.at("g"), -3);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistrations) {
+  Registry registry;
+  Counter* c = &registry.GetCounter("c");
+  c->Add(5);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(&registry.GetCounter("c"), c);
+}
+
+TEST(RegistrySnapshotTest, JsonRoundTrip) {
+  Registry registry;
+  registry.GetCounter("monitor.bytes_sent").Add(4096);
+  registry.GetGauge("queue.depth").Set(12);
+  Histogram& h = registry.GetHistogram("monitor.stage0.verify_us");
+  for (int64_t v : {10, 20, 30, 40, 50}) h.Observe(v);
+
+  RegistrySnapshot snap = registry.Snapshot();
+  auto parsed = RegistrySnapshot::FromJson(snap.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->counters, snap.counters);
+  EXPECT_EQ(parsed->gauges, snap.gauges);
+  ASSERT_EQ(parsed->histograms.size(), 1u);
+  const HistogramStats& a = parsed->histograms.at("monitor.stage0.verify_us");
+  const HistogramStats& b = snap.histograms.at("monitor.stage0.verify_us");
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(RegistrySnapshotTest, CompactJsonAlsoParses) {
+  Registry registry;
+  registry.GetCounter("a.b").Add(1);
+  registry.GetHistogram("c.d").Observe(5);
+  auto parsed = RegistrySnapshot::FromJson(registry.Snapshot().ToJson(0));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->counters.at("a.b"), 1u);
+}
+
+TEST(RegistrySnapshotTest, DeltaSinceSubtractsCounters) {
+  Registry registry;
+  Counter& c = registry.GetCounter("events");
+  Histogram& h = registry.GetHistogram("lat_us");
+  c.Add(10);
+  h.Observe(100);
+  RegistrySnapshot base = registry.Snapshot();
+  c.Add(5);
+  h.Observe(200);
+  RegistrySnapshot delta = registry.Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.counters.at("events"), 5u);
+  EXPECT_EQ(delta.histograms.at("lat_us").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("lat_us").sum, 200.0);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(TraceTest, SpanNestingDepthsAreRecorded) {
+  TraceBuffer buffer(16);
+  {
+    ScopedSpan outer("a/outer", {}, &buffer);
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+    {
+      ScopedSpan inner("a/inner", {.stage = 1, .batch = 7, .tag = "x"},
+                       &buffer);
+      EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+      {
+        ScopedSpan innermost("a/innermost", {}, &buffer);
+        EXPECT_EQ(ScopedSpan::CurrentDepth(), 2);
+      }
+      EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+    }
+  }
+  EXPECT_EQ(ScopedSpan::CurrentDepth(), -1);
+
+  // Spans complete innermost-first.
+  auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "a/innermost");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(spans[1].name, "a/inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].stage, 1);
+  EXPECT_EQ(spans[1].batch, 7);
+  EXPECT_EQ(spans[1].tag, "x");
+  EXPECT_EQ(spans[2].name, "a/outer");
+  EXPECT_EQ(spans[2].depth, 0);
+}
+
+TEST(TraceTest, SpanFeedsHistogram) {
+  TraceBuffer buffer(4);
+  Histogram h;
+  { ScopedSpan span("timed", {}, &buffer, &h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(TraceTest, RingBufferKeepsNewestSpans) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("span" + std::to_string(i), {}, &buffer);
+  }
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first among the surviving (newest) four.
+  EXPECT_EQ(spans[0].name, "span6");
+  EXPECT_EQ(spans[3].name, "span9");
+}
+
+TEST(TraceTest, ToJsonIsParseable) {
+  TraceBuffer buffer(4);
+  { ScopedSpan span("x/y", {.stage = 2, .batch = 3, .tag = "v"}, &buffer); }
+  auto parsed = ParseJson(buffer.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->as_array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mvtee::obs

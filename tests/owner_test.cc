@@ -9,6 +9,10 @@
 #include "crypto/rand.h"
 #include "graph/builder.h"
 
+// The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
+// test until their removal; silence the migration nudge here only.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace mvtee::core {
 namespace {
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "graph/builder.h"
 #include "graph/model_zoo.h"
 #include "runtime/executor.h"
