@@ -1,0 +1,104 @@
+// Evented-monitor micro-benchmark: the blocking event loop and the
+// digest prefilter on replicated 3-variant panels.
+//
+// Two runs of the same pipelined deployment, digest prefilter off vs
+// on. Replicated panels produce byte-identical outputs, so with the
+// prefilter every checkpoint vote degenerates to O(k) hashes; the
+// verify-time column must drop accordingly. The wait column shows the
+// loop blocking on the transport WaitSet (time formerly burned
+// busy-polling), and the prefilter columns show hit/full-check counts
+// from the consistency layer.
+#include "bench/bench_common.h"
+
+namespace mvtee::bench {
+namespace {
+
+double HistSum(const obs::RegistrySnapshot& s, const std::string& name) {
+  auto it = s.histograms.find(name);
+  return it == s.histograms.end() ? 0.0 : it->second.sum;
+}
+
+uint64_t HistCount(const obs::RegistrySnapshot& s, const std::string& name) {
+  auto it = s.histograms.find(name);
+  return it == s.histograms.end() ? 0 : it->second.count;
+}
+
+uint64_t CounterOf(const obs::RegistrySnapshot& s, const std::string& name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+int Main() {
+  PrintFigureHeader("Evented monitor",
+                    "Blocking WaitSet loop + digest prefilter on "
+                    "replicated k=3 panels (pipelined)");
+
+  const int kBatches = 12;
+  graph::Graph model =
+      graph::BuildModel(graph::ModelKind::kResNet50, BenchZooConfig());
+  auto batches = MakeBatches(model, kBatches, 23);
+
+  MvteeSetup setup;
+  setup.partitions = 4;
+  setup.seed = 23;
+  setup.pool.replicated = true;  // byte-identical panel outputs
+  setup.pool.variants_per_stage = 3;
+  setup.pool.verify = false;
+  setup.variant_counts = {3, 3, 3, 3};
+  setup.monitor.vote = core::VotePolicy::kMajority;
+  setup.monitor.response = core::ResponsePolicy::kContinueWithWinner;
+  setup.host.network = transport::NetworkCostModel::TenGbE();
+
+  auto bundle = BuildBenchBundle(model, setup);
+  if (!bundle.ok()) {
+    std::printf("offline failed: %s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s | %8s %8s | %10s %10s | %10s %6s | %9s %6s\n",
+              "prefilter", "tput b/s", "lat ms", "verify ms", "jobs",
+              "wait ms", "waits", "hits", "full");
+  PrintRule();
+
+  double verify_ms[2] = {0, 0};
+  for (bool prefilter : {false, true}) {
+    setup.monitor.digest_prefilter = prefilter;
+    auto base = MetricsBaseline();
+    auto out = RunMvtee(*bundle, setup, batches, /*pipelined=*/true);
+    if (!out.ok()) {
+      std::printf("run failed: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    auto delta = obs::Registry::Default().Snapshot().DeltaSince(base);
+    const double vms = HistSum(delta, "monitor.verify_job_us") / 1000.0;
+    verify_ms[prefilter ? 1 : 0] = vms;
+    std::printf("%-10s | %8.1f %8.2f | %10.2f %10llu | %10.2f %6llu | "
+                "%9llu %6llu\n",
+                prefilter ? "on" : "off", out->throughput,
+                out->mean_latency_ms, vms,
+                static_cast<unsigned long long>(
+                    HistCount(delta, "monitor.verify_job_us")),
+                HistSum(delta, "monitor.wait_us") / 1000.0,
+                static_cast<unsigned long long>(
+                    HistCount(delta, "monitor.wait_us")),
+                static_cast<unsigned long long>(
+                    CounterOf(delta, "monitor.prefilter_hits")),
+                static_cast<unsigned long long>(
+                    CounterOf(delta, "monitor.full_checks")));
+    DumpMetricsJson(prefilter ? "evented_monitor/prefilter_on"
+                              : "evented_monitor/prefilter_off",
+                    &base);
+  }
+  PrintRule();
+  if (verify_ms[0] > 0) {
+    std::printf("prefilter verify-time: %.2f ms -> %.2f ms (%.1fx)\n",
+                verify_ms[0], verify_ms[1],
+                verify_ms[1] > 0 ? verify_ms[0] / verify_ms[1] : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvtee::bench
+
+int main() { return mvtee::bench::Main(); }

@@ -1,6 +1,9 @@
 #include "core/consistency.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
 
 namespace mvtee::core {
 
@@ -49,8 +52,24 @@ bool OutputsConsistent(const std::vector<Tensor>& a,
   return true;
 }
 
-VoteResult Vote(const std::vector<std::vector<Tensor>>& outputs,
-                const CheckPolicy& policy, VotePolicy vote_policy) {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline void FnvMix(uint64_t& h, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+// Shared bloc-clustering vote: `consistent(i, j)` decides pairwise
+// equivalence between live variants i and j.
+VoteResult VoteImpl(const std::vector<std::vector<Tensor>>& outputs,
+                    VotePolicy vote_policy,
+                    const std::function<bool(int, int)>& consistent) {
   const int n = static_cast<int>(outputs.size());
   VoteResult result;
   if (n == 0) return result;
@@ -62,9 +81,7 @@ VoteResult Vote(const std::vector<std::vector<Tensor>>& outputs,
   for (int i = 0; i < n; ++i) {
     if (outputs[static_cast<size_t>(i)].empty()) continue;  // failed variant
     for (size_t b = 0; b < representatives.size(); ++b) {
-      if (OutputsConsistent(outputs[static_cast<size_t>(i)],
-                            outputs[static_cast<size_t>(representatives[b])],
-                            policy)) {
+      if (consistent(i, representatives[b])) {
         bloc_of[static_cast<size_t>(i)] = static_cast<int>(b);
         break;
       }
@@ -105,6 +122,79 @@ VoteResult Vote(const std::vector<std::vector<Tensor>>& outputs,
     }
   }
   return result;
+}
+
+}  // namespace
+
+OutputsSummary SummarizeOutputs(const std::vector<Tensor>& outputs) {
+  OutputsSummary s;
+  if (outputs.empty()) return s;
+  s.valid = true;
+  uint64_t h = kFnvOffset;
+  for (const Tensor& t : outputs) {
+    const auto& dims = t.shape().dims();
+    uint64_t rank = static_cast<uint64_t>(dims.size());
+    FnvMix(h, &rank, sizeof(rank));
+    if (!dims.empty()) {
+      FnvMix(h, dims.data(), dims.size() * sizeof(dims[0]));
+    }
+    const float* data = t.data();
+    const size_t count = t.vec().size();
+    if (count > 0) FnvMix(h, data, count * sizeof(float));
+    for (size_t i = 0; i < count; ++i) {
+      if (!std::isfinite(data[i])) {
+        s.nonfinite = true;
+        break;
+      }
+    }
+  }
+  s.digest = h;
+  return s;
+}
+
+bool OutputsConsistent(const std::vector<Tensor>& a, const OutputsSummary& sa,
+                       const std::vector<Tensor>& b, const OutputsSummary& sb,
+                       const CheckPolicy& policy, CheckStats* stats) {
+  if (sa.valid && sb.valid) {
+    if (sa.nonfinite || sb.nonfinite) {
+      if (stats) stats->prefilter_hits += 1;
+      return false;  // non-finite always fails, no scan needed
+    }
+    if (sa.digest == sb.digest && a.size() == b.size()) {
+      // Byte-identical (modulo a hash collision, acceptable for a
+      // performance filter over trusted variant replicas) => consistent
+      // under every metric.
+      if (stats) stats->prefilter_hits += 1;
+      return true;
+    }
+  }
+  if (stats) stats->full_checks += 1;
+  return OutputsConsistent(a, b, policy);
+}
+
+VoteResult Vote(const std::vector<std::vector<Tensor>>& outputs,
+                const CheckPolicy& policy, VotePolicy vote_policy) {
+  return VoteImpl(outputs, vote_policy, [&](int i, int j) {
+    return OutputsConsistent(outputs[static_cast<size_t>(i)],
+                             outputs[static_cast<size_t>(j)], policy);
+  });
+}
+
+VoteResult Vote(const std::vector<std::vector<Tensor>>& outputs,
+                const std::vector<OutputsSummary>& summaries,
+                const CheckPolicy& policy, VotePolicy vote_policy,
+                CheckStats* stats) {
+  static const OutputsSummary kInvalid;
+  auto summary_of = [&](int i) -> const OutputsSummary& {
+    return static_cast<size_t>(i) < summaries.size()
+               ? summaries[static_cast<size_t>(i)]
+               : kInvalid;
+  };
+  return VoteImpl(outputs, vote_policy, [&](int i, int j) {
+    return OutputsConsistent(outputs[static_cast<size_t>(i)], summary_of(i),
+                             outputs[static_cast<size_t>(j)], summary_of(j),
+                             policy, stats);
+  });
 }
 
 }  // namespace mvtee::core

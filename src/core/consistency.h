@@ -52,6 +52,36 @@ bool OutputsConsistent(const std::vector<tensor::Tensor>& a,
                        const std::vector<tensor::Tensor>& b,
                        const CheckPolicy& policy);
 
+// Digest prefilter (one pass per report, computed on ingestion): FNV-1a
+// over shapes + raw bytes of every output tensor, plus a non-finite
+// flag from the same pass. Byte-identical, all-finite output lists are
+// consistent under every metric/threshold, so equal digests
+// short-circuit the element-wise scan — the common all-agree case for
+// replicated variants costs O(k) hashes instead of O(k²) tensor scans.
+struct OutputsSummary {
+  uint64_t digest = 0;
+  bool nonfinite = false;
+  bool valid = false;  // false for failed variants (empty outputs)
+};
+
+OutputsSummary SummarizeOutputs(const std::vector<tensor::Tensor>& outputs);
+
+// Counters a caller can aggregate into obs (prefilter effectiveness).
+struct CheckStats {
+  uint64_t prefilter_hits = 0;   // pairs decided by digest equality
+  uint64_t full_checks = 0;      // pairs that needed the element-wise scan
+};
+
+// Summary-accelerated pair check. Falls back to the element-wise metric
+// when digests differ (close-but-not-identical outputs of diversified
+// variants). Exactly equivalent to the plain overload for all-finite
+// data; non-finite data fails either way.
+bool OutputsConsistent(const std::vector<tensor::Tensor>& a,
+                       const OutputsSummary& sa,
+                       const std::vector<tensor::Tensor>& b,
+                       const OutputsSummary& sb, const CheckPolicy& policy,
+                       CheckStats* stats = nullptr);
+
 enum class VotePolicy : uint8_t {
   kUnanimous = 0,  // all live variants must agree (security-first default)
   kMajority,       // > half must agree; winner from the largest bloc
@@ -70,5 +100,14 @@ struct VoteResult {
 // failed variant always dissents. Panels of one trivially accept.
 VoteResult Vote(const std::vector<std::vector<tensor::Tensor>>& outputs,
                 const CheckPolicy& policy, VotePolicy vote_policy);
+
+// Summary-accelerated vote: `summaries[i]` must be SummarizeOutputs of
+// `outputs[i]` (invalid summaries are recomputed). Same decision as the
+// plain overload; `stats` reports how many pairwise checks the digest
+// prefilter absorbed.
+VoteResult Vote(const std::vector<std::vector<tensor::Tensor>>& outputs,
+                const std::vector<OutputsSummary>& summaries,
+                const CheckPolicy& policy, VotePolicy vote_policy,
+                CheckStats* stats = nullptr);
 
 }  // namespace mvtee::core

@@ -3,6 +3,7 @@
 #include <set>
 #include <thread>
 
+#include "core/verify_pool.h"
 #include "util/clock.h"
 
 namespace mvtee::core {
@@ -100,6 +101,11 @@ void Monitor::BindMetrics() {
   m_.batches_completed = &metrics_->GetCounter("monitor.batches_completed");
   m_.batch_latency_us = &metrics_->GetHistogram("monitor.batch_latency_us");
   m_.attest_us = &metrics_->GetHistogram("monitor.attest_us");
+  m_.wait_us = &metrics_->GetHistogram("monitor.wait_us");
+  m_.verify_job_us = &metrics_->GetHistogram("monitor.verify_job_us");
+  m_.verify_queue_depth = &metrics_->GetGauge("monitor.verify_queue_depth");
+  m_.prefilter_hits = &metrics_->GetCounter("monitor.prefilter_hits");
+  m_.full_checks = &metrics_->GetCounter("monitor.full_checks");
   for (size_t s = 0; s < stages_.size(); ++s) {
     const std::string prefix = "monitor.stage" + std::to_string(s) + ".";
     StageMetrics& sm = stages_[s].metrics;
@@ -207,6 +213,13 @@ util::Result<Monitor::VariantConn> Monitor::BindVariant(
 
 util::Status Monitor::ConfigureRoutes(VariantHost& host) {
   const size_t num_stages = stages_.size();
+  // Every variant channel feeds the shared readiness set; the run loop
+  // blocks on it instead of spinning over Recv(0).
+  for (auto& stage : stages_) {
+    for (auto& conn : stage.variants) {
+      conn.channel->AttachWaiter(wait_set_);
+    }
+  }
   model_input_slots_.assign(num_stages, {});
   monitor_forwards_.assign(num_stages, {});
   stage_reports_.assign(num_stages, true);
@@ -476,15 +489,29 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   }
 
   struct BatchState {
-    // Per stage: result per variant (reporting stages only).
+    // Per stage: result per variant (reporting stages only). Slots are
+    // written at most once (duplicate frames are dropped), so a settled
+    // slot can be read from a verify worker without racing the
+    // ingestion thread writing other slots.
     std::map<size_t, std::vector<std::optional<InferResultMsg>>> reports;
+    // Per stage: digest summary per panel slot (prefilter, computed
+    // once on ingestion).
+    std::map<size_t, std::vector<OutputsSummary>> summaries;
     std::map<size_t, std::vector<Tensor>> chosen;
+    // Lazily cached summary of the chosen outputs (straggler checks).
+    std::map<size_t, OutputsSummary> chosen_summary;
     std::map<size_t, int64_t> v_chosen;  // virtual decision time per stage
     std::set<size_t> voted;  // stages whose verdict is final
+    std::set<size_t> verify_inflight;  // stages with a pool job running
+    std::set<size_t> verify_dirty;     // reports arrived while in flight
     bool complete = false;
     int64_t admit_vus = 0;  // virtual admission time
   };
   std::vector<BatchState> bs(num_batches);
+  // Cross-validation worker pool (declared after `bs`: destroyed first,
+  // so in-flight jobs never outlive the state they read). Completed
+  // jobs notify the wait set so the loop below wakes up.
+  VerifyPool pool(config_.verify_threads, wait_set_);
 
   util::Status run_error = util::OkStatus();
   size_t completed = 0;
@@ -498,6 +525,12 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   auto admit = [&](size_t b) {
     obs::ScopedSpan span("monitor/admit",
                          {.batch = static_cast<int64_t>(base + b), .tag = {}});
+    // Admission is its own virtual-time event: save/restore the bases
+    // so a caller mid-event (defensive; the loop only admits top-level)
+    // keeps its own timeline intact.
+    const int64_t saved_vbase = event_vbase;
+    const int64_t saved_cpu0 = handling_cpu0;
+    const int64_t saved_excluded = send_cpu_excluded;
     event_vbase = vclock_us_;
     handling_cpu0 = util::ThreadCpuMicros();
     send_cpu_excluded = 0;
@@ -522,6 +555,9 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
     vclock_us_ = vnow();  // the monitor's ingestion path is serial
     ++admitted;
+    event_vbase = saved_vbase;
+    handling_cpu0 = saved_cpu0;
+    send_cpu_excluded = saved_excluded;
   };
 
   auto batch_complete = [&](const BatchState& state) {
@@ -583,55 +619,265 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       rstats.fast_path_forwards += silent_fast_stages;
       last_completion_vus = std::max(last_completion_vus, vcomplete);
       // Sequential pacing: the next admission can only happen after this
-      // completion is observed.
+      // completion is observed. The admission itself is deferred to the
+      // event loop (its own top-level event) — calling admit() here
+      // would clobber the virtual-time bases of the result event still
+      // being handled.
       vclock_us_ = std::max(vclock_us_, vcomplete);
-      if (!pipelined && admitted < num_batches) admit(admitted);
     }
   };
 
-  // Finalizes an MVX stage verdict from a full panel.
-  auto full_vote = [&](size_t s, size_t b) {
-    BatchState& state = bs[b];
-    const size_t k = stages_[s].variants.size();
-    std::vector<std::vector<Tensor>> list(k);
-    for (size_t i = 0; i < k; ++i) {
-      const auto& r = state.reports[s][i];
-      if (r.has_value() && r->ok) list[i] = r->outputs;
-    }
-    VoteResult vote;
-    {
-      obs::ScopedSpan span("monitor/verify",
-                           {.stage = static_cast<int32_t>(s),
-                            .batch = static_cast<int64_t>(base + b),
-                            .tag = "vote"},
-                           &obs::TraceBuffer::Default(),
-                           stages_[s].metrics.verify_us);
-      vote = Vote(list, config_.check, config_.vote);
-    }
-    state.voted.insert(s);
+  // Aggregate prefilter/verify-cost bookkeeping (applied on the
+  // monitor thread by job appliers).
+  auto note_verify_job = [&](int64_t verify_cpu, const CheckStats& cstats) {
+    m_.verify_job_us->Observe(verify_cpu);
+    m_.prefilter_hits->Add(cstats.prefilter_hits);
+    m_.full_checks->Add(cstats.full_checks);
+  };
+
+  // The decision verdict is its own virtual-time event, parallel to
+  // ingestion: it lands at the latest virtual arrival of the reports it
+  // used plus the verification CPU measured on the worker.
+  auto begin_decision_event = [&](BatchState& state, size_t s,
+                                  int64_t verify_cpu) {
     int64_t v_decide = 0;
     for (const auto& r : state.reports[s]) {
       if (r.has_value()) {
         v_decide = std::max(v_decide, static_cast<int64_t>(r->vtime_us));
       }
     }
-    state.v_chosen[s] =
-        v_decide + (util::ThreadCpuMicros() - handling_cpu0 -
-                    send_cpu_excluded);
-    rstats.checkpoints_evaluated++;
-    rstats.divergences += vote.dissenters.size();
-    if (!vote.accepted || (config_.response == ResponsePolicy::kAbort &&
-                           !vote.dissenters.empty())) {
-      if (run_error.ok()) {
-        run_error = util::DivergenceDetected(
-            "stage " + std::to_string(s) + " batch " + std::to_string(b) +
-            ": " + std::to_string(vote.dissenters.size()) + "/" +
-            std::to_string(k) + " variants dissent");
-      }
-      return;
+    state.v_chosen[s] = v_decide + verify_cpu;
+    event_vbase = state.v_chosen[s];
+    handling_cpu0 = util::ThreadCpuMicros();
+    send_cpu_excluded = 0;
+  };
+
+  // Inline straggler/backfill consistency check against the accepted
+  // outputs (prefiltered; cheap enough for the ingestion thread).
+  auto dissents_from_chosen = [&](BatchState& state, size_t s,
+                                  const InferResultMsg& r,
+                                  const OutputsSummary& rsum) {
+    if (!r.ok) return true;
+    if (!state.chosen.count(s)) return false;
+    if (!config_.digest_prefilter) {
+      return !OutputsConsistent(r.outputs, state.chosen[s], config_.check);
     }
-    state.chosen[s] = list[static_cast<size_t>(vote.winner)];
-    on_chosen(s, b);
+    auto it = state.chosen_summary.find(s);
+    if (it == state.chosen_summary.end() || !it->second.valid) {
+      it = state.chosen_summary
+               .insert_or_assign(s, SummarizeOutputs(state.chosen[s]))
+               .first;
+    }
+    CheckStats cstats;
+    const bool ok = OutputsConsistent(r.outputs, rsum, state.chosen[s],
+                                      it->second, config_.check, &cstats);
+    m_.prefilter_hits->Add(cstats.prefilter_hits);
+    m_.full_checks->Add(cstats.full_checks);
+    return !ok;
+  };
+
+  // Finalizes an MVX stage verdict from a full panel. The O(k²) Vote
+  // runs on the verify pool; the applier (monitor thread) commits the
+  // verdict. Settled panel slots are captured by pointer — they are
+  // final once written (duplicate frames are dropped on ingestion), so
+  // workers never race the ingestion thread writing other slots.
+  auto schedule_full_vote = [&](size_t s, size_t b) {
+    BatchState& state = bs[b];
+    BatchState* st = &state;
+    const size_t k = stages_[s].variants.size();
+    std::vector<const InferResultMsg*> settled(k, nullptr);
+    std::vector<OutputsSummary> sums(k);
+    for (size_t i = 0; i < k; ++i) {
+      const auto& r = state.reports[s][i];
+      if (r.has_value()) settled[i] = &*r;
+      if (i < state.summaries[s].size()) sums[i] = state.summaries[s][i];
+    }
+    const bool prefilter = config_.digest_prefilter;
+    const CheckPolicy check = config_.check;
+    const VotePolicy vote_policy = config_.vote;
+    obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
+    pool.Submit([this, s, b, k, st, base, settled = std::move(settled),
+                 sums = std::move(sums), prefilter, check, vote_policy,
+                 verify_hist, &rstats, &run_error, &on_chosen,
+                 &note_verify_job,
+                 &begin_decision_event]() -> VerifyPool::Apply {
+      std::vector<std::vector<Tensor>> list(k);
+      for (size_t i = 0; i < k; ++i) {
+        if (settled[i] != nullptr && settled[i]->ok) {
+          list[i] = settled[i]->outputs;
+        }
+      }
+      const int64_t cpu0 = util::ThreadCpuMicros();
+      VoteResult vote;
+      CheckStats cstats;
+      {
+        obs::ScopedSpan span("monitor/verify",
+                             {.stage = static_cast<int32_t>(s),
+                              .batch = static_cast<int64_t>(base + b),
+                              .tag = "vote"},
+                             &obs::TraceBuffer::Default(), verify_hist);
+        vote = prefilter ? Vote(list, sums, check, vote_policy, &cstats)
+                         : Vote(list, check, vote_policy);
+      }
+      const int64_t verify_cpu = util::ThreadCpuMicros() - cpu0;
+      return [this, s, b, k, st, vote, cstats, verify_cpu,
+              list = std::move(list), sums = std::move(sums), &rstats,
+              &run_error, &on_chosen, &note_verify_job,
+              &begin_decision_event]() mutable {
+        if (st->voted.count(s)) return;  // quorum decided meanwhile
+        st->voted.insert(s);
+        note_verify_job(verify_cpu, cstats);
+        begin_decision_event(*st, s, verify_cpu);
+        rstats.checkpoints_evaluated++;
+        rstats.divergences += vote.dissenters.size();
+        if (!vote.accepted ||
+            (config_.response == ResponsePolicy::kAbort &&
+             !vote.dissenters.empty())) {
+          if (run_error.ok()) {
+            run_error = util::DivergenceDetected(
+                "stage " + std::to_string(s) + " batch " +
+                std::to_string(b) + ": " +
+                std::to_string(vote.dissenters.size()) + "/" +
+                std::to_string(k) + " variants dissent");
+          }
+          return;
+        }
+        st->chosen[s] = std::move(list[static_cast<size_t>(vote.winner)]);
+        st->chosen_summary[s] = sums[static_cast<size_t>(vote.winner)];
+        on_chosen(s, b);
+      };
+    });
+  };
+
+  // Async quorum attempt over the reports received so far (Fig. 8): the
+  // largest-consistent-bloc scan runs on the pool; the applier decides,
+  // reschedules when new reports arrived mid-flight, or falls back to a
+  // full vote once the whole panel answered. std::function so the
+  // applier can reschedule recursively.
+  std::function<void(size_t, size_t)> schedule_quorum =
+      [&](size_t s, size_t b) {
+    BatchState& state = bs[b];
+    BatchState* st = &state;
+    const size_t k = stages_[s].variants.size();
+    state.verify_inflight.insert(s);
+    state.verify_dirty.erase(s);
+    // Snapshot of settled slots: healthy outputs go to the worker;
+    // in-snapshot flags let the applier treat later arrivals as
+    // stragglers.
+    std::vector<const std::vector<Tensor>*> outs;
+    std::vector<OutputsSummary> sums;
+    std::vector<char> in_snapshot(k, 0);
+    size_t settled_count = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const auto& r = state.reports[s][i];
+      if (!r.has_value()) continue;
+      in_snapshot[i] = 1;
+      ++settled_count;
+      if (!r->ok) continue;
+      outs.push_back(&r->outputs);
+      sums.push_back(i < state.summaries[s].size() ? state.summaries[s][i]
+                                                   : OutputsSummary{});
+    }
+    const bool prefilter = config_.digest_prefilter;
+    const CheckPolicy check = config_.check;
+    obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
+    pool.Submit([this, s, b, k, st, base, outs = std::move(outs),
+                 sums = std::move(sums), in_snapshot = std::move(in_snapshot),
+                 settled_count, prefilter, check, verify_hist, &rstats,
+                 &run_error, &on_chosen, &note_verify_job,
+                 &begin_decision_event, &dissents_from_chosen,
+                 &schedule_quorum,
+                 &schedule_full_vote]() -> VerifyPool::Apply {
+      const int64_t cpu0 = util::ThreadCpuMicros();
+      CheckStats cstats;
+      size_t best_pos = outs.size(), best_size = 0;
+      std::vector<char> best_bloc;
+      {
+        obs::ScopedSpan span("monitor/verify",
+                             {.stage = static_cast<int32_t>(s),
+                              .batch = static_cast<int64_t>(base + b),
+                              .tag = "quorum"},
+                             &obs::TraceBuffer::Default(), verify_hist);
+        for (size_t rp = 0; rp < outs.size(); ++rp) {
+          size_t size = 0;
+          std::vector<char> bloc(outs.size(), 0);
+          for (size_t o = 0; o < outs.size(); ++o) {
+            const bool consistent =
+                prefilter ? OutputsConsistent(*outs[o], sums[o], *outs[rp],
+                                              sums[rp], check, &cstats)
+                          : OutputsConsistent(*outs[o], *outs[rp], check);
+            if (consistent) {
+              bloc[o] = 1;
+              ++size;
+            }
+          }
+          if (size > best_size) {
+            best_size = size;
+            best_pos = rp;
+            best_bloc = std::move(bloc);
+          }
+        }
+      }
+      const int64_t verify_cpu = util::ThreadCpuMicros() - cpu0;
+      return [this, s, b, k, st, outs, sums, in_snapshot, settled_count,
+              cstats, verify_cpu, best_pos, best_size,
+              best_bloc = std::move(best_bloc), &rstats, &run_error,
+              &on_chosen, &note_verify_job, &begin_decision_event,
+              &dissents_from_chosen, &schedule_quorum,
+              &schedule_full_vote]() {
+        st->verify_inflight.erase(s);
+        const bool was_dirty = st->verify_dirty.count(s) > 0;
+        st->verify_dirty.erase(s);
+        if (st->voted.count(s)) return;
+        note_verify_job(verify_cpu, cstats);
+        const size_t quorum = k / 2 + 1;
+        size_t received_now = 0;
+        for (const auto& r : st->reports[s]) {
+          if (r.has_value()) ++received_now;
+        }
+        if (best_size >= quorum) {
+          st->voted.insert(s);
+          begin_decision_event(*st, s, verify_cpu);
+          st->chosen[s] = *outs[best_pos];
+          st->chosen_summary[s] = sums[best_pos];
+          size_t dissent_now = settled_count - outs.size();
+          for (size_t o = 0; o < outs.size(); ++o) {
+            if (!best_bloc[o]) ++dissent_now;
+          }
+          rstats.checkpoints_evaluated++;
+          rstats.divergences += dissent_now;
+          if (dissent_now > 0 &&
+              config_.response == ResponsePolicy::kAbort) {
+            if (run_error.ok()) {
+              run_error = util::DivergenceDetected(
+                  "stage " + std::to_string(s) + " batch " +
+                  std::to_string(b) + ": dissent under async quorum");
+            }
+            return;
+          }
+          // Reports that landed between snapshot and decision are
+          // cross-validated as stragglers.
+          for (size_t i = 0; i < k; ++i) {
+            const auto& r = st->reports[s][i];
+            if (!r.has_value() || in_snapshot[i]) continue;
+            const OutputsSummary rsum =
+                i < st->summaries[s].size() ? st->summaries[s][i]
+                                            : OutputsSummary{};
+            if (dissents_from_chosen(*st, s, *r, rsum)) {
+              rstats.late_divergences++;
+            }
+          }
+          on_chosen(s, b);
+          return;
+        }
+        // No quorum in this snapshot.
+        if (received_now == k) {
+          schedule_full_vote(s, b);
+          return;
+        }
+        if (was_dirty && received_now >= quorum) schedule_quorum(s, b);
+      };
+    });
   };
 
   auto handle_result = [&](size_t s, size_t vi, InferResultMsg&& msg) {
@@ -690,18 +936,27 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
 
     // Slow path (MVX panel).
     auto& panel = state.reports[s];
-    if (panel.empty()) panel.resize(k);
+    auto& sums = state.summaries[s];
+    if (panel.empty()) {
+      panel.resize(k);
+      sums.resize(k);
+    }
+    if (panel[vi].has_value()) {
+      return;  // duplicate frame: slots settle exactly once (workers
+               // hold pointers into settled slots)
+    }
+    if (config_.digest_prefilter && msg.ok) {
+      // One hashing pass per report; equal digests short-circuit the
+      // pairwise element-wise checks downstream.
+      sums[vi] = SummarizeOutputs(msg.outputs);
+    }
     panel[vi] = std::move(msg);
 
     if (state.voted.count(s)) {
       // Async straggler: cross-validate against the accepted value.
-      const auto& r = panel[vi];
-      bool dissent = !r->ok;
-      if (!dissent && state.chosen.count(s)) {
-        dissent = !OutputsConsistent(r->outputs, state.chosen[s],
-                                     config_.check);
+      if (dissents_from_chosen(state, s, *panel[vi], sums[vi])) {
+        rstats.late_divergences++;
       }
-      if (dissent) rstats.late_divergences++;
       return;
     }
 
@@ -711,80 +966,22 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
 
     if (config_.mode == ExecMode::kSync) {
-      if (received == k) full_vote(s, b);
+      if (received == k) schedule_full_vote(s, b);
       return;
     }
 
     // Async cross-validation: proceed at majority consensus among the
-    // results received so far (Fig. 8).
+    // results received so far (Fig. 8). The bloc scan runs on the
+    // verify pool; if one is already in flight for this stage, mark it
+    // dirty so its applier re-examines the grown panel.
     const size_t quorum = k / 2 + 1;
     if (received >= quorum) {
-      // Largest consistent bloc among received, healthy results.
-      std::vector<size_t> healthy;
-      for (size_t i = 0; i < k; ++i) {
-        if (panel[i].has_value() && panel[i]->ok) healthy.push_back(i);
-      }
-      size_t best_rep = k, best_size = 0;
-      {
-        obs::ScopedSpan span("monitor/verify",
-                             {.stage = static_cast<int32_t>(s),
-                              .batch = static_cast<int64_t>(base + b),
-                              .tag = "quorum"},
-                             &obs::TraceBuffer::Default(),
-                             stages_[s].metrics.verify_us);
-        for (size_t rep : healthy) {
-          size_t size = 0;
-          for (size_t other : healthy) {
-            if (OutputsConsistent(panel[other]->outputs, panel[rep]->outputs,
-                                  config_.check)) {
-              ++size;
-            }
-          }
-          if (size > best_size) {
-            best_size = size;
-            best_rep = rep;
-          }
-        }
-      }
-      if (best_size >= quorum) {
-        state.voted.insert(s);
-        int64_t v_decide = 0;
-        for (size_t i = 0; i < k; ++i) {
-          if (panel[i].has_value()) {
-            v_decide = std::max(v_decide,
-                                static_cast<int64_t>(panel[i]->vtime_us));
-          }
-        }
-        state.v_chosen[s] =
-            v_decide + (util::ThreadCpuMicros() - handling_cpu0 -
-                        send_cpu_excluded);
-        state.chosen[s] = panel[best_rep]->outputs;
-        size_t dissent_now = 0;
-        for (size_t i = 0; i < k; ++i) {
-          if (!panel[i].has_value()) continue;
-          if (!panel[i]->ok ||
-              !OutputsConsistent(panel[i]->outputs, state.chosen[s],
-                                 config_.check)) {
-            ++dissent_now;
-          }
-        }
-        rstats.checkpoints_evaluated++;
-        rstats.divergences += dissent_now;
-        if (dissent_now > 0 &&
-            config_.response == ResponsePolicy::kAbort) {
-          if (run_error.ok()) {
-            run_error = util::DivergenceDetected(
-                "stage " + std::to_string(s) + " batch " +
-                std::to_string(b) + ": dissent under async quorum");
-          }
-          return;
-        }
-        on_chosen(s, b);
-        return;
+      if (state.verify_inflight.count(s)) {
+        state.verify_dirty.insert(s);
+      } else {
+        schedule_quorum(s, b);
       }
     }
-    // No quorum yet; if the whole panel answered without one, decide.
-    if (received == k) full_vote(s, b);
   };
 
   // Admission.
@@ -794,9 +991,15 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     admit(0);
   }
 
-  // Event loop: poll every variant channel.
-  int64_t deadline = util::NowMicros() + config_.recv_timeout_us;
-  while (completed < num_batches && run_error.ok()) {
+  // Evented loop: drain completed verify verdicts, run any deferred
+  // sequential admission, poll every variant channel without blocking,
+  // then — only if nothing happened — block on the shared wait set
+  // until a frame lands or a verify job completes. The run is done when
+  // every batch completed AND the verify pool drained (pending verdicts
+  // still carry stats).
+  int64_t idle_deadline = util::NowMicros() + config_.recv_timeout_us;
+  while ((completed < num_batches || pool.pending() > 0) &&
+         run_error.ok()) {
     if (options.deadline_us > 0 &&
         util::NowMicros() - wall_start > options.deadline_us) {
       run_error = util::DeadlineExceeded(
@@ -805,16 +1008,53 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           std::to_string(num_batches) + " batches complete)");
       break;
     }
+    // Epoch snapshot BEFORE polling: an event landing after the
+    // snapshot advances the epoch, so the wait below returns
+    // immediately instead of losing the wakeup.
+    const uint64_t epoch = wait_set_->Epoch();
     bool progressed = false;
+
+    // 1) Completed cross-validation verdicts (appliers mutate run
+    //    state, so they execute here, on the monitor thread).
+    while (auto apply = pool.TryPopCompleted()) {
+      if (*apply) (*apply)();
+      progressed = true;
+    }
+    m_.verify_queue_depth->Set(static_cast<int64_t>(pool.queued()));
+
+    // 2) Deferred sequential admission: its own top-level event (never
+    //    nested inside the result event that completed the previous
+    //    batch — that would clobber the virtual-time bases).
+    if (!pipelined && run_error.ok() && admitted < num_batches &&
+        completed == admitted) {
+      admit(admitted);
+      progressed = true;
+    }
+
+    // 3) Frames.
     for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
       for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
         auto frame = stages_[s].variants[vi].channel->Recv(0);
         if (!frame.ok()) {
-          if (frame.status().code() == util::StatusCode::kUnavailable &&
-              run_error.ok()) {
-            run_error = util::Unavailable("variant " +
-                                          stages_[s].variants[vi].id +
-                                          " disconnected");
+          const auto code = frame.status().code();
+          if (code == util::StatusCode::kDeadlineExceeded) {
+            continue;  // no frame pending — the only benign case
+          }
+          if (run_error.ok()) {
+            if (code == util::StatusCode::kUnavailable) {
+              run_error = util::Unavailable("variant " +
+                                            stages_[s].variants[vi].id +
+                                            " disconnected");
+            } else {
+              // Security taxonomy (DESIGN.md): authentication /
+              // replay / decode failures on a variant channel abort
+              // the run — a tampered or replayed frame must never be
+              // treated as "no frame arrived".
+              run_error = util::Status(
+                  frame.status().code(),
+                  "variant " + stages_[s].variants[vi].id + ": " +
+                      frame.status().message());
+            }
           }
           continue;
         }
@@ -832,19 +1072,31 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         handle_result(s, vi, std::move(*msg));
       }
     }
+
+    // 4) Idle: block until the wait set's epoch moves on.
     if (progressed) {
-      deadline = util::NowMicros() + config_.recv_timeout_us;
-    } else {
-      if (util::NowMicros() > deadline && run_error.ok()) {
+      idle_deadline = util::NowMicros() + config_.recv_timeout_us;
+    } else if (run_error.ok()) {
+      const int64_t now = util::NowMicros();
+      if (now > idle_deadline) {
         run_error = util::DeadlineExceeded(
             "no variant progress within recv_timeout (" +
             std::to_string(completed) + "/" +
             std::to_string(num_batches) + " batches complete)");
+        break;
       }
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(config_.poll_slice_us));
+      int64_t slice = idle_deadline - now;
+      if (options.deadline_us > 0) {
+        slice = std::min(slice, options.deadline_us - (now - wall_start));
+      }
+      // Bounded so deadline checks stay live even without events.
+      slice = std::max<int64_t>(1, std::min<int64_t>(slice, 100'000));
+      const int64_t wait0 = util::NowMicros();
+      wait_set_->WaitFor(epoch, slice);
+      m_.wait_us->Observe(util::NowMicros() - wait0);
     }
   }
+  m_.verify_queue_depth->Set(0);
 
   // Merge this run into the registry (even on error: partial work shows
   // up in the dump) and into the ConsumeStats() backlog.

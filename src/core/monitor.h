@@ -58,8 +58,18 @@ struct MonitorConfig {
   // routing (direct_fastpath = false).
   bool verify_fast_path = false;
   int64_t recv_timeout_us = 30'000'000;
-  // Idle sleep while polling for variant results.
+  // Legacy busy-poll slice. Unused since the event loop became evented
+  // (it blocks on a transport::WaitSet instead of sleeping); kept so
+  // existing configs still compile.
   int64_t poll_slice_us = 50;
+  // Worker threads for MVX cross-validation (Vote / pairwise
+  // consistency). 0 runs verification inline on the ingestion thread
+  // (deterministic; the pre-evented behavior).
+  int verify_threads = 2;
+  // Hash each reported output list once on ingestion and short-circuit
+  // pairwise element-wise checks when digests match (byte-identical
+  // replicas) — the all-agree case becomes O(k) hashes, not O(k²) scans.
+  bool digest_prefilter = true;
 };
 
 // Which pool variants the monitor activates per stage ("MVX
@@ -295,12 +305,25 @@ class Monitor {
     obs::Counter* batches_completed = nullptr;
     obs::Histogram* batch_latency_us = nullptr;
     obs::Histogram* attest_us = nullptr;
+    // Evented-loop instruments: time spent blocked waiting for events
+    // vs. cross-validation work, verify-pool backlog, and digest
+    // prefilter effectiveness.
+    obs::Histogram* wait_us = nullptr;
+    obs::Histogram* verify_job_us = nullptr;
+    obs::Gauge* verify_queue_depth = nullptr;
+    obs::Counter* prefilter_hits = nullptr;
+    obs::Counter* full_checks = nullptr;
   };
   MonitorMetrics m_{};
   mutable std::mutex stats_mu_;
   std::vector<int64_t> pending_latencies_;  // since last ConsumeStats
   RunStats consumed_base_;                  // counter values at last consume
   std::atomic<uint64_t> next_batch_id_{0};
+
+  // Readiness set shared by every variant channel and the verify pool;
+  // the run loop blocks on it instead of busy-polling.
+  std::shared_ptr<transport::WaitSet> wait_set_ =
+      std::make_shared<transport::WaitSet>();
 
   // Virtual-time performance model (see DESIGN.md §2): the monitor's own
   // timeline, advanced by measured thread-CPU work; wire delays come

@@ -473,6 +473,9 @@ util::Result<transport::Endpoint> VariantHost::SpawnVariantTee(
   // *virtual* wire time by the performance model.
   auto [monitor_side, variant_side] =
       transport::CreateChannel(transport::NetworkCostModel::Free());
+  if (options_.tamper_variant_tx) {
+    variant_side.SetInterceptor(options_.tamper_variant_tx);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     threads_.emplace_back(VariantServiceMain, std::move(enclave),

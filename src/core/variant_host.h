@@ -41,6 +41,12 @@ class VariantHost {
     bool plaintext_channels = false;
     size_t variant_epc_pages = 4096;
     int64_t recv_timeout_us = 30'000'000;
+    // Host-attacker hook: installed on every variant-side endpoint's
+    // transmit path before the service thread starts (models a
+    // compromised host tampering with / dropping frames on the wire).
+    // The secure channel layer must surface such tampering as an
+    // AuthenticationFailure at the monitor.
+    transport::Interceptor tamper_variant_tx;
   };
 
   VariantHost(tee::SimulatedCpu* cpu,

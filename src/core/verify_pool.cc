@@ -1,0 +1,78 @@
+#include "core/verify_pool.h"
+
+namespace mvtee::core {
+
+VerifyPool::VerifyPool(int threads, std::shared_ptr<transport::WaitSet> waiter)
+    : waiter_(std::move(waiter)) {
+  workers_.reserve(static_cast<size_t>(threads > 0 ? threads : 0));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void VerifyPool::Submit(Task task) {
+  if (workers_.empty()) {
+    // Inline mode: deterministic, single-threaded. The applier runs
+    // right away — Submit is only ever called from the consumer thread.
+    Apply apply = task();
+    if (apply) apply();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    pending_ += 1;
+  }
+  cv_.notify_one();
+}
+
+std::optional<VerifyPool::Apply> VerifyPool::TryPopCompleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completed_.empty()) return std::nullopt;
+  Apply apply = std::move(completed_.front());
+  completed_.pop_front();
+  pending_ -= 1;
+  return apply;
+}
+
+size_t VerifyPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+size_t VerifyPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+void VerifyPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    Apply apply = task();
+    std::shared_ptr<transport::WaitSet> waiter;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_.push_back(std::move(apply));
+      waiter = waiter_;
+    }
+    if (waiter) waiter->Notify();
+  }
+}
+
+}  // namespace mvtee::core

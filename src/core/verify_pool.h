@@ -1,0 +1,66 @@
+// Worker pool that takes cross-validation off the monitor's ingestion
+// thread (paper Fig. 8/13: hide MVX cross-checking overhead behind
+// pipelining). The threading contract keeps all monitor state
+// single-threaded: a Task runs the heavy, side-effect-free compute on a
+// worker (Vote / OutputsConsistent over a snapshot of settled reports)
+// and returns an *applier* closure; the applier is executed later on
+// the monitor thread via TryPopCompleted and is the only place state is
+// mutated. With zero threads the pool degrades to deterministic inline
+// execution (task + applier run inside Submit).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "transport/channel.h"
+
+namespace mvtee::core {
+
+class VerifyPool {
+ public:
+  using Apply = std::function<void()>;
+  // Runs on a worker; the returned applier runs on the consumer thread.
+  using Task = std::function<Apply()>;
+
+  // `waiter` (optional) is notified whenever a completed applier becomes
+  // available, so an evented consumer blocked in WaitAny wakes up.
+  VerifyPool(int threads, std::shared_ptr<transport::WaitSet> waiter);
+  ~VerifyPool();
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  void Submit(Task task);
+
+  // Pops one completed applier, if any. The caller runs it.
+  std::optional<Apply> TryPopCompleted();
+
+  // Tasks whose applier has not been popped yet (queued + running +
+  // completed). Zero means the pool is drained.
+  size_t pending() const;
+
+  // Tasks waiting for a worker (obs queue-depth gauge).
+  size_t queued() const;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::shared_ptr<transport::WaitSet> waiter_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  std::deque<Apply> completed_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mvtee::core

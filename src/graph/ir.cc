@@ -301,12 +301,33 @@ util::Result<std::vector<Shape>> Graph::InferShapes() const {
       }
       case OpType::kReshape: {
         if (n.inputs.size() != 1) return fail(n, "needs exactly 1 input");
-        Shape target(n.attrs.GetInts("dims"));
-        if (target.rank() == 0 ||
-            target.num_elements() != in_shape(0).num_elements()) {
+        std::vector<int64_t> dims = n.attrs.GetInts("dims");
+        if (dims.empty()) return fail(n, "reshape needs dims");
+        // One dim may be -1: inferred from the remaining element count.
+        const int64_t total = in_shape(0).num_elements();
+        int64_t known = 1;
+        int infer = -1;
+        for (size_t i = 0; i < dims.size(); ++i) {
+          if (dims[i] == -1) {
+            if (infer >= 0) return fail(n, "reshape allows at most one -1");
+            infer = static_cast<int>(i);
+          } else if (dims[i] <= 0) {
+            return fail(n, "reshape dims must be positive (or one -1)");
+          } else {
+            known *= dims[i];
+          }
+        }
+        if (infer >= 0) {
+          if (known <= 0 || total % known != 0) {
+            return fail(n, "reshape cannot infer -1 dim");
+          }
+          dims[static_cast<size_t>(infer)] = total / known;
+          known = total;
+        }
+        if (known != total) {
           return fail(n, "reshape must preserve element count");
         }
-        shapes[n.id] = target;
+        shapes[n.id] = Shape(std::move(dims));
         break;
       }
     }

@@ -71,26 +71,43 @@ size_t FoldBatchNormPass(graph::Graph& g,
     if (conv.op != OpType::kConv2d) continue;
     if (consumers[static_cast<size_t>(conv_id)].size() != 1) continue;
 
+    // BN/conv params that are not graph initializers (or have the wrong
+    // extents) cannot be folded — skip the fold, never crash, and never
+    // mutate the graph before every operand has been validated.
+    if (bn.weights.size() < 4 || conv.weights.empty()) continue;
     const Tensor* scale = g.FindInitializer(bn.weights[0]);
     const Tensor* bias = g.FindInitializer(bn.weights[1]);
     const Tensor* mean = g.FindInitializer(bn.weights[2]);
     const Tensor* var = g.FindInitializer(bn.weights[3]);
-    const float eps = bn.attrs.GetFloat("epsilon", 1e-5f);
     Tensor* w = g.MutableInitializer(conv.weights[0]);
+    if (scale == nullptr || bias == nullptr || mean == nullptr ||
+        var == nullptr || w == nullptr) {
+      continue;
+    }
+    const float eps = bn.attrs.GetFloat("epsilon", 1e-5f);
+    if (w->shape().rank() < 1) continue;
     const int64_t oc = w->shape().dim(0);
+    if (oc <= 0) continue;
     const int64_t per_oc = w->num_elements() / oc;
-    MVTEE_CHECK(scale->num_elements() == oc);
+    if (scale->num_elements() != oc || bias->num_elements() != oc ||
+        mean->num_elements() != oc || var->num_elements() != oc) {
+      continue;
+    }
 
-    // Conv bias: create if absent.
+    // Conv bias: create if absent; an existing bias that is not an
+    // initializer (or mis-sized) also blocks the fold.
     std::string bias_name;
+    Tensor* b = nullptr;
     if (conv.weights.size() >= 2) {
       bias_name = conv.weights[1];
+      b = g.MutableInitializer(bias_name);
+      if (b == nullptr || b->num_elements() != oc) continue;
     } else {
       bias_name = conv.name + ".folded_bias";
       g.AddInitializer(bias_name, Tensor(tensor::Shape({oc})));
       conv.weights.push_back(bias_name);
+      b = g.MutableInitializer(bias_name);
     }
-    Tensor* b = g.MutableInitializer(bias_name);
 
     for (int64_t c = 0; c < oc; ++c) {
       const float a = scale->at(c) / std::sqrt(var->at(c) + eps);
@@ -215,9 +232,51 @@ util::Result<Tensor> Executor::ExecuteNode(
     case OpType::kScale:
       return Scale(in(0), node.attrs.GetFloat("alpha", 1.0f),
                    node.attrs.GetFloat("beta", 0.0f));
-    case OpType::kReshape:
-      return Tensor(tensor::Shape(node.attrs.GetInts("dims")),
-                    in(0).vec());
+    case OpType::kReshape: {
+      std::vector<int64_t> dims = node.attrs.GetInts("dims");
+      const int64_t total = in(0).num_elements();
+      int64_t known = 1;
+      int infer = -1;
+      for (size_t i = 0; i < dims.size(); ++i) {
+        if (dims[i] == -1) {
+          if (infer >= 0) {
+            return util::InvalidArgument(
+                "reshape: more than one -1 (inferred) dim");
+          }
+          infer = static_cast<int>(i);
+        } else if (dims[i] <= 0) {
+          return util::InvalidArgument("reshape: non-positive dim " +
+                                       std::to_string(dims[i]));
+        } else {
+          known *= dims[i];
+        }
+      }
+      if (infer >= 0) {
+        if (known <= 0 || total % known != 0) {
+          return util::InvalidArgument(
+              "reshape: cannot infer -1 dim (" + std::to_string(total) +
+              " elements not divisible by " + std::to_string(known) + ")");
+        }
+        dims[static_cast<size_t>(infer)] = total / known;
+        known = total;
+      }
+      if (known != total) {
+        return util::InvalidArgument(
+            "reshape: dims product " + std::to_string(known) +
+            " != input element count " + std::to_string(total));
+      }
+      // Reshape is a metadata change: steal the buffer when the input
+      // dies at this node instead of copying it.
+      const NodeId src = node.inputs[0];
+      if (last_use_[static_cast<size_t>(src)] == node.id &&
+          !is_output_[static_cast<size_t>(src)]) {
+        std::vector<float> data =
+            std::move(env[static_cast<size_t>(src)]->vec());
+        env[static_cast<size_t>(src)].reset();
+        return Tensor(tensor::Shape(std::move(dims)), std::move(data));
+      }
+      return Tensor(tensor::Shape(std::move(dims)), in(0).vec());
+    }
   }
   return util::Internal("unknown op");
 }

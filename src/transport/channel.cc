@@ -5,15 +5,40 @@
 
 namespace mvtee::transport {
 
+uint64_t WaitSet::Epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void WaitSet::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+}
+
+uint64_t WaitSet::WaitFor(uint64_t epoch, int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_us > 0) {
+    cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                 [&] { return epoch_ != epoch; });
+  }
+  return epoch_;
+}
+
 namespace internal {
 
 void MessageQueue::Push(util::Bytes frame) {
+  std::shared_ptr<WaitSet> waiter;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;  // silently dropped, like writing to a dead socket
     frames_.push_back(std::move(frame));
+    waiter = waiter_;
   }
   cv_.notify_one();
+  if (waiter) waiter->Notify();
 }
 
 std::optional<util::Bytes> MessageQueue::Pop(int64_t timeout_us) {
@@ -27,16 +52,36 @@ std::optional<util::Bytes> MessageQueue::Pop(int64_t timeout_us) {
 }
 
 void MessageQueue::Close() {
+  std::shared_ptr<WaitSet> waiter;
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
+    waiter = waiter_;
   }
   cv_.notify_all();
+  if (waiter) waiter->Notify();
 }
 
 bool MessageQueue::closed_and_empty() {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_ && frames_.empty();
+}
+
+bool MessageQueue::readable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !frames_.empty() || closed_;
+}
+
+void MessageQueue::SetWaiter(std::shared_ptr<WaitSet> waiter) {
+  std::shared_ptr<WaitSet> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiter_ = std::move(waiter);
+    // If data is already queued (or we're closed), the new waiter must
+    // learn about it — it may have snapshotted its epoch before attach.
+    if (waiter_ && (!frames_.empty() || closed_)) notify = waiter_;
+  }
+  if (notify) notify->Notify();
 }
 
 }  // namespace internal
@@ -82,6 +127,14 @@ void Endpoint::Close() {
 
 void Endpoint::InjectRaw(util::Bytes frame) {
   if (tx_) tx_->Push(std::move(frame));
+}
+
+void Endpoint::AttachWaiter(std::shared_ptr<WaitSet> waiter) {
+  if (rx_) rx_->SetWaiter(std::move(waiter));
+}
+
+bool Endpoint::Readable() const {
+  return rx_ && rx_->readable();
 }
 
 std::pair<Endpoint, Endpoint> CreateChannel(const NetworkCostModel& cost) {

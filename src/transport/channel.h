@@ -22,6 +22,31 @@
 
 namespace mvtee::transport {
 
+// Condition-variable-backed poll set: the readiness/wakeup primitive
+// behind the evented monitor loop. Producers (message queues, worker
+// pools) call Notify() whenever something becomes consumable; a consumer
+// snapshots Epoch(), polls its sources, and — if it found nothing —
+// blocks in WaitFor() until the epoch advances. An event that lands
+// between the snapshot and the wait advances the epoch first, so the
+// wait returns immediately instead of losing the wakeup.
+class WaitSet {
+ public:
+  // Current event epoch (bumped by every Notify).
+  uint64_t Epoch() const;
+
+  // Bumps the epoch and wakes all waiters.
+  void Notify();
+
+  // Blocks until Epoch() != epoch or the timeout elapses. Returns the
+  // epoch observed on wakeup (== `epoch` means timeout).
+  uint64_t WaitFor(uint64_t epoch, int64_t timeout_us);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t epoch_ = 0;
+};
+
 struct NetworkCostModel {
   double latency_us = 0.0;     // per message
   double bytes_per_us = 0.0;   // serialization rate; 0 = infinite
@@ -48,12 +73,17 @@ class MessageQueue {
   std::optional<util::Bytes> Pop(int64_t timeout_us);
   void Close();
   bool closed_and_empty();
+  // True if a Pop(0) would yield a frame or an error (closed + drained).
+  bool readable();
+  // Registers a WaitSet notified on every Push and on Close.
+  void SetWaiter(std::shared_ptr<WaitSet> waiter);
 
  private:
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<util::Bytes> frames_;
   bool closed_ = false;
+  std::shared_ptr<WaitSet> waiter_;
 };
 }  // namespace internal
 
@@ -83,6 +113,12 @@ class Endpoint {
   // Host-attacker primitive: injects a raw frame into the peer's
   // receive queue, bypassing cost model and interceptor.
   void InjectRaw(util::Bytes frame);
+
+  // Evented receive support: the waiter is notified whenever a frame
+  // lands in (or the peer closes) this endpoint's receive queue.
+  void AttachWaiter(std::shared_ptr<WaitSet> waiter);
+  // True if Recv(0) would return a frame or a terminal error.
+  bool Readable() const;
 
   // Total bytes pushed through Send (post-interceptor), for overhead
   // accounting in benchmarks.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "transport/channel.h"
 #include "transport/secure_channel.h"
@@ -18,6 +19,10 @@ class MsgChannel {
   virtual util::Result<util::Bytes> Recv(int64_t timeout_us) = 0;
   virtual void Close() = 0;
   virtual uint64_t bytes_sent() const = 0;
+  // Evented receive: register a WaitSet notified when this channel
+  // becomes readable, and poll readiness without consuming.
+  virtual void AttachWaiter(std::shared_ptr<WaitSet> waiter) = 0;
+  virtual bool Readable() const = 0;
 };
 
 class PlainMsgChannel : public MsgChannel {
@@ -32,6 +37,10 @@ class PlainMsgChannel : public MsgChannel {
   }
   void Close() override { endpoint_.Close(); }
   uint64_t bytes_sent() const override { return endpoint_.bytes_sent(); }
+  void AttachWaiter(std::shared_ptr<WaitSet> waiter) override {
+    endpoint_.AttachWaiter(std::move(waiter));
+  }
+  bool Readable() const override { return endpoint_.Readable(); }
 
  private:
   Endpoint endpoint_;
@@ -49,10 +58,32 @@ class SecureMsgChannel : public MsgChannel {
   }
   void Close() override { channel_->Close(); }
   uint64_t bytes_sent() const override { return channel_->bytes_sent(); }
+  void AttachWaiter(std::shared_ptr<WaitSet> waiter) override {
+    channel_->AttachWaiter(std::move(waiter));
+  }
+  bool Readable() const override { return channel_->Readable(); }
   SecureChannel& secure() { return *channel_; }
 
  private:
   std::unique_ptr<SecureChannel> channel_;
 };
+
+// Blocks until any channel in `channels` is readable, `set`'s epoch
+// advances for another reason (e.g. a worker pool completion), or the
+// timeout elapses. Returns the index of the first readable channel, or
+// -1 if none is readable on wakeup. The caller must have attached `set`
+// to every channel beforehand.
+inline int WaitAny(const std::vector<MsgChannel*>& channels,
+                   WaitSet& set, int64_t timeout_us) {
+  uint64_t epoch = set.Epoch();
+  for (size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i] && channels[i]->Readable()) return static_cast<int>(i);
+  }
+  set.WaitFor(epoch, timeout_us);
+  for (size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i] && channels[i]->Readable()) return static_cast<int>(i);
+  }
+  return -1;
+}
 
 }  // namespace mvtee::transport

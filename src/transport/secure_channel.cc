@@ -19,6 +19,7 @@ struct ChannelMetrics {
   obs::Counter* open_us;
   obs::Counter* records_sealed;
   obs::Counter* records_opened;
+  obs::Counter* auth_failures;
 
   static ChannelMetrics& Get() {
     static ChannelMetrics* m = [] {
@@ -30,6 +31,7 @@ struct ChannelMetrics {
       out->open_us = &reg.GetCounter("channel.open_us");
       out->records_sealed = &reg.GetCounter("channel.records_sealed");
       out->records_opened = &reg.GetCounter("channel.records_opened");
+      out->auth_failures = &reg.GetCounter("channel.auth_failures");
       return out;
     }();
     return *m;
@@ -235,25 +237,32 @@ util::Status SecureChannel::Send(util::ByteSpan plaintext) {
 
 util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us) {
   MVTEE_ASSIGN_OR_RETURN(util::Bytes record, endpoint_.Recv(timeout_us));
+  ChannelMetrics& cm = ChannelMetrics::Get();
   util::ByteReader reader(record);
   uint64_t seq;
   if (!reader.ReadU64(seq)) {
+    cm.auth_failures->Add(1);
     return util::AuthenticationFailure("malformed record");
   }
   if (seq != recv_seq_) {
+    cm.auth_failures->Add(1);
     return util::ReplayDetected("record sequence " + std::to_string(seq) +
                                 " != expected " +
                                 std::to_string(recv_seq_));
   }
   util::Bytes sealed;
   reader.ReadBytes(reader.remaining(), sealed);
-  ChannelMetrics& cm = ChannelMetrics::Get();
   const int64_t cpu0 = util::ThreadCpuMicros();
   auto plaintext =
       recv_cipher_.Open(RecordNonce(seq), RecordAad(seq), sealed);
   cm.open_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
+  if (!plaintext.ok()) {
+    // A record that fails to open is an authentication failure, not a
+    // successfully opened record.
+    cm.auth_failures->Add(1);
+    return plaintext.status();
+  }
   cm.records_opened->Add(1);
-  if (!plaintext.ok()) return plaintext.status();
   cm.bytes_recvd->Add(record.size());
   recv_seq_ += 1;
   return plaintext;

@@ -69,6 +69,14 @@ class SecureChannel {
   const tee::AttestationReport& peer_report() const { return peer_report_; }
   uint64_t bytes_sent() const { return endpoint_.bytes_sent(); }
 
+  // Evented receive: readiness of the underlying endpoint. A readable
+  // endpoint means Recv(0) yields a record (possibly failing to open —
+  // still an event the consumer must see) or a terminal error.
+  void AttachWaiter(std::shared_ptr<WaitSet> waiter) {
+    endpoint_.AttachWaiter(std::move(waiter));
+  }
+  bool Readable() const { return endpoint_.Readable(); }
+
   // Testing hook: the underlying (untrusted) endpoint.
   Endpoint& raw_endpoint() { return endpoint_; }
 

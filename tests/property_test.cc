@@ -3,6 +3,8 @@
 // compositions, plus decoder robustness against truncation/corruption.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/consistency.h"
 #include "core/messages.h"
 #include "crypto/aead.h"
@@ -318,6 +320,118 @@ TEST(ConsistencyProperty, ThresholdMonotonicity) {
       EXPECT_TRUE(core::OutputsConsistent({a}, {b},
                                           core::CheckPolicy::Cosine(th)));
     }
+  }
+}
+
+// ---------------------------------------------------------- vote property
+
+TEST(VoteProperty, FailedVariantsAlwaysDissent) {
+  util::Rng rng(10);
+  auto t = Tensor::RandomUniform(Shape({32}), rng);
+  // Variant 1 crashed (empty output list).
+  std::vector<std::vector<Tensor>> outputs = {{t}, {}, {t}};
+  auto policy = core::CheckPolicy::Cosine(0.999);
+  auto una = core::Vote(outputs, policy, core::VotePolicy::kUnanimous);
+  EXPECT_FALSE(una.accepted);
+  auto maj = core::Vote(outputs, policy, core::VotePolicy::kMajority);
+  EXPECT_TRUE(maj.accepted);
+  EXPECT_TRUE(maj.winner == 0 || maj.winner == 2);
+  ASSERT_EQ(maj.dissenters.size(), 1u);
+  EXPECT_EQ(maj.dissenters[0], 1);
+}
+
+TEST(VoteProperty, AllFailedPanelRejects) {
+  std::vector<std::vector<Tensor>> outputs = {{}, {}, {}};
+  for (auto vp : {core::VotePolicy::kUnanimous, core::VotePolicy::kMajority}) {
+    auto r = core::Vote(outputs, core::CheckPolicy::Cosine(0.999), vp);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.winner, -1);
+  }
+}
+
+TEST(VoteProperty, SummaryVoteMatchesPlainVote) {
+  // Random panels mixing identical replicas, close diversified outputs,
+  // divergent outputs and crashed variants: the digest-accelerated vote
+  // must reach exactly the plain vote's decision.
+  util::Rng rng(11);
+  auto policy = core::CheckPolicy::Cosine(0.999);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int k = 2 + trial % 4;
+    auto base = Tensor::RandomUniform(Shape({24}), rng);
+    std::vector<std::vector<Tensor>> outputs;
+    for (int i = 0; i < k; ++i) {
+      switch (rng.UniformU64(4)) {
+        case 0:
+          outputs.push_back({base});
+          break;
+        case 1: {
+          Tensor close = base;
+          for (int64_t j = 0; j < close.num_elements(); ++j) {
+            close.data()[j] += rng.UniformFloat(-1e-6f, 1e-6f);
+          }
+          outputs.push_back({std::move(close)});
+          break;
+        }
+        case 2:
+          outputs.push_back(
+              {Tensor::RandomUniform(Shape({24}), rng, 50.0f, 100.0f)});
+          break;
+        default:
+          outputs.push_back({});  // crashed
+          break;
+      }
+    }
+    std::vector<core::OutputsSummary> sums;
+    sums.reserve(outputs.size());
+    for (const auto& o : outputs) sums.push_back(core::SummarizeOutputs(o));
+    for (auto vp :
+         {core::VotePolicy::kUnanimous, core::VotePolicy::kMajority}) {
+      auto plain = core::Vote(outputs, policy, vp);
+      core::CheckStats stats;
+      auto fast = core::Vote(outputs, sums, policy, vp, &stats);
+      EXPECT_EQ(plain.accepted, fast.accepted) << "trial " << trial;
+      EXPECT_EQ(plain.winner, fast.winner) << "trial " << trial;
+      EXPECT_EQ(plain.dissenters, fast.dissenters) << "trial " << trial;
+    }
+  }
+}
+
+TEST(VoteProperty, PrefilterAbsorbsIdenticalPanels) {
+  // A fully replicated panel must be decided by digests alone: O(k)
+  // hashes, zero element-wise scans.
+  util::Rng rng(12);
+  auto t = Tensor::RandomUniform(Shape({64}), rng);
+  std::vector<std::vector<Tensor>> outputs(4, std::vector<Tensor>{t});
+  std::vector<core::OutputsSummary> sums;
+  for (const auto& o : outputs) sums.push_back(core::SummarizeOutputs(o));
+  core::CheckStats stats;
+  auto r = core::Vote(outputs, sums, core::CheckPolicy::Cosine(0.999),
+                      core::VotePolicy::kUnanimous, &stats);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.winner, 0);
+  EXPECT_EQ(stats.full_checks, 0u);
+  EXPECT_EQ(stats.prefilter_hits, 3u);  // each follower joins rep 0 by digest
+}
+
+TEST(VoteProperty, NonFiniteVariantDissentsUnderSummary) {
+  util::Rng rng(13);
+  auto t = Tensor::RandomUniform(Shape({16}), rng);
+  Tensor bad = t;
+  bad.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<std::vector<Tensor>> outputs = {{t}, {t}, {bad}};
+  std::vector<core::OutputsSummary> sums;
+  for (const auto& o : outputs) sums.push_back(core::SummarizeOutputs(o));
+  EXPECT_TRUE(sums[2].nonfinite);
+  for (auto vp :
+       {core::VotePolicy::kUnanimous, core::VotePolicy::kMajority}) {
+    auto plain = core::Vote(outputs, core::CheckPolicy::Cosine(0.999), vp);
+    core::CheckStats stats;
+    auto fast = core::Vote(outputs, sums, core::CheckPolicy::Cosine(0.999),
+                           vp, &stats);
+    EXPECT_EQ(plain.accepted, fast.accepted);
+    EXPECT_EQ(plain.dissenters, fast.dissenters);
+    ASSERT_EQ(fast.dissenters.size(), 1u);
+    EXPECT_EQ(fast.dissenters[0], 2);
   }
 }
 

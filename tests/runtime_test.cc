@@ -383,6 +383,106 @@ TEST(ExecutorTest, FoldBatchNormPassCountsFolds) {
   ASSERT_TRUE(exec.ok());
 }
 
+// Hand-built single-reshape graph: Input [1,3,4,4] (48 elements) ->
+// Reshape(dims) -> output.
+Graph ReshapeGraph(std::vector<int64_t> dims) {
+  Graph g;
+  NodeId x = g.AddInput("x", Shape({1, 3, 4, 4}));
+  graph::Attributes attrs;
+  attrs.SetInts("dims", std::move(dims));
+  NodeId r = g.AddNode("reshape", graph::OpType::kReshape, {x}, {}, attrs);
+  g.MarkOutput(r);
+  return g;
+}
+
+TEST(ExecutorTest, ReshapeInfersMinusOneDim) {
+  Graph g = ReshapeGraph({2, -1});
+  auto shapes = g.InferShapes();
+  ASSERT_TRUE(shapes.ok()) << shapes.status().ToString();
+  EXPECT_EQ((*shapes)[1], Shape({2, 24}));
+
+  auto exec = Executor::Create(g, ReferenceExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  util::Rng rng(11);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 4, 4}), rng);
+  auto out = (*exec)->Run({input});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ((*out)[0].shape(), Shape({2, 24}));
+  // Reshape is a metadata change: element order must survive untouched.
+  EXPECT_EQ((*out)[0].vec(), input.vec());
+}
+
+TEST(ExecutorTest, ReshapeRejectsProductMismatch) {
+  Graph g = ReshapeGraph({5, 7});  // 35 != 48
+  EXPECT_FALSE(g.InferShapes().ok());
+  EXPECT_FALSE(Executor::Create(g, ReferenceExecutorConfig()).ok());
+}
+
+TEST(ExecutorTest, ReshapeRejectsNonPositiveDims) {
+  EXPECT_FALSE(ReshapeGraph({0, 48}).InferShapes().ok());
+  EXPECT_FALSE(ReshapeGraph({-2, 24}).InferShapes().ok());
+}
+
+TEST(ExecutorTest, ReshapeRejectsMultipleInferredDims) {
+  EXPECT_FALSE(ReshapeGraph({-1, -1}).InferShapes().ok());
+}
+
+TEST(ExecutorTest, ReshapeRejectsUninferrableMinusOne) {
+  EXPECT_FALSE(ReshapeGraph({5, -1}).InferShapes().ok());  // 48 % 5 != 0
+}
+
+// Hand-built conv->bn chain for exercising the fold pass's operand
+// validation. `scale_elems` sizes the BN params; `register_bn_params`
+// controls whether they exist as initializers at all.
+Graph ConvBnChain(bool register_bn_params, int64_t scale_elems) {
+  Graph g;
+  NodeId x = g.AddInput("x", Shape({1, 2, 4, 4}));
+  g.AddInitializer("w", Tensor::Full(Shape({2, 2, 3, 3}), 0.1f));
+  graph::Attributes cattrs;
+  cattrs.SetInt("stride", 1);
+  cattrs.SetInt("padding", 1);
+  NodeId c = g.AddNode("conv", graph::OpType::kConv2d, {x}, {"w"}, cattrs);
+  if (register_bn_params) {
+    for (const char* name : {"scale", "bias", "mean", "var"}) {
+      g.AddInitializer(name, Tensor::Full(Shape({scale_elems}), 1.0f));
+    }
+  }
+  graph::Attributes battrs;
+  battrs.SetFloat("epsilon", 1e-5f);
+  NodeId bn = g.AddNode("bn", graph::OpType::kBatchNorm, {c},
+                        {"scale", "bias", "mean", "var"}, battrs);
+  g.MarkOutput(bn);
+  return g;
+}
+
+TEST(ExecutorTest, FoldBatchNormSkipsMissingInitializers) {
+  // BN params reference names with no backing initializer (a state
+  // rewrite passes can produce mid-flight): the pass must skip the
+  // fold, not crash.
+  Graph g = ConvBnChain(/*register_bn_params=*/false, 2);
+  EXPECT_EQ(FoldBatchNormPass(g), 0u);
+  EXPECT_EQ(g.node(2).op, graph::OpType::kBatchNorm);  // untouched
+  // Conv weight must not have been scaled by a partial fold.
+  EXPECT_FLOAT_EQ(g.FindInitializer("w")->at(0), 0.1f);
+}
+
+TEST(ExecutorTest, FoldBatchNormSkipsMisSizedParams) {
+  // 3-element BN params against 2 conv output channels.
+  Graph g = ConvBnChain(/*register_bn_params=*/true, 3);
+  EXPECT_EQ(FoldBatchNormPass(g), 0u);
+  EXPECT_EQ(g.node(2).op, graph::OpType::kBatchNorm);
+  EXPECT_FLOAT_EQ(g.FindInitializer("w")->at(0), 0.1f);
+}
+
+TEST(ExecutorTest, FoldBatchNormStillFoldsValidChain) {
+  // Sanity check the guards did not over-reject: a well-formed chain
+  // still folds and the BN node degrades to identity.
+  Graph g = ConvBnChain(/*register_bn_params=*/true, 2);
+  EXPECT_EQ(FoldBatchNormPass(g), 1u);
+  EXPECT_EQ(g.node(2).op, graph::OpType::kIdentity);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
 TEST(ExecutorTest, SlowdownFactorDelaysExecution) {
   Graph g = SmallConvNet();
   auto fast_cfg = OrtLikeExecutorConfig();

@@ -10,6 +10,9 @@
 #include "graph/model_zoo.h"
 #include "runtime/executor.h"
 #include "transport/channel.h"
+#include "util/clock.h"
+
+#include <algorithm>
 
 // The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
 // test until their removal; silence the migration nudge here only.
@@ -295,6 +298,103 @@ TEST_F(VirtualTimeTest, VerifyFastPathCatchesNonFinitePoisoning) {
   auto out = monitor_->RunBatch(MakeBatches(1)[0]);
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), util::StatusCode::kDivergenceDetected);
+}
+
+TEST_F(VirtualTimeTest, EventedMonitorExposesWaitAndPrefilterMetrics) {
+  // Replicated 3-variant panels produce byte-identical outputs, so the
+  // digest prefilter must absorb every pairwise check; the evented loop
+  // must record blocking waits instead of busy-poll sleeps.
+  MonitorConfig config;
+  Boot(config, 3, 3);
+  auto before = obs::Registry::Default().Snapshot();
+  auto batches = MakeBatches(4);
+  ASSERT_TRUE(monitor_->Run(batches).ok());
+  auto delta = obs::Registry::Default().Snapshot().DeltaSince(before);
+  EXPECT_GT(delta.counters.at("monitor.prefilter_hits"), 0u);
+  EXPECT_EQ(delta.counters.at("monitor.full_checks"), 0u);
+  EXPECT_GT(delta.histograms.at("monitor.wait_us").count, 0u);
+  EXPECT_GT(delta.histograms.at("monitor.verify_job_us").count, 0u);
+  // The pool drained before Run returned.
+  EXPECT_EQ(delta.gauges.at("monitor.verify_queue_depth"), 0);
+}
+
+TEST_F(VirtualTimeTest, InlineVerifyAndPrefilterOffStillCorrect) {
+  // verify_threads = 0 degrades to deterministic inline verification
+  // and digest_prefilter = false forces full element-wise votes; both
+  // must preserve results and checkpoint accounting.
+  MonitorConfig config;
+  config.verify_threads = 0;
+  config.digest_prefilter = false;
+  Boot(config, 3, 3);
+  auto batches = MakeBatches(3);
+  auto out = monitor_->Run(batches);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto stats = monitor_->ConsumeStats();
+  EXPECT_EQ(stats.checkpoints_evaluated, 3u * 3u);
+  EXPECT_EQ(stats.divergences, 0u);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    auto expected = ReferenceRun(model_, batches[b]);
+    EXPECT_GT(tensor::CosineSimilarity((*out)[b][0], expected[0]), 0.999);
+  }
+}
+
+TEST_F(VirtualTimeTest, SequentialPacingKeepsVirtualTimeSane) {
+  // Regression: sequential admission used to run inside the decision
+  // handler and clobber the in-flight event's virtual-time bases,
+  // skewing per-batch latencies. Latencies must stay positive and
+  // mutually sane.
+  Boot(MonitorConfig{}, 3, 3);
+  auto batches = MakeBatches(5);
+  RunStats run_stats;
+  RunOptions opts;
+  opts.stats = &run_stats;
+  ASSERT_TRUE(monitor_->Run(batches, opts).ok());
+  ASSERT_EQ(run_stats.batch_latency_us.size(), 5u);
+  int64_t lo = *std::min_element(run_stats.batch_latency_us.begin(),
+                                 run_stats.batch_latency_us.end());
+  int64_t hi = *std::max_element(run_stats.batch_latency_us.begin(),
+                                 run_stats.batch_latency_us.end());
+  EXPECT_GT(lo, 0);
+  EXPECT_LT(hi, lo * 100);  // no batch pays another's clobbered baseline
+}
+
+TEST_F(VirtualTimeTest, TamperedResultFrameAbortsRun) {
+  // Host-level attacker: flip one ciphertext byte in every large
+  // variant-to-monitor frame (inference results; handshake and init
+  // acks are small and pass untouched). The secure channel reports
+  // AuthenticationFailure and the monitor must abort the run with that
+  // code instead of swallowing it and spinning until the deadline.
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(3, 1, /*replicated=*/true));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  VariantHost::Options hostile;
+  hostile.tamper_variant_tx =
+      [](const util::Bytes& frame) -> std::optional<util::Bytes> {
+    if (frame.size() <= 2048) return frame;
+    util::Bytes tampered = frame;
+    tampered[tampered.size() / 2] ^= 0x01;
+    return tampered;
+  };
+  VariantHost host(&cpu_, bundle_.store, hostile);
+
+  MonitorConfig config;
+  config.recv_timeout_us = 5'000'000;
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE((*monitor)
+                  ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 1),
+                               host)
+                  .ok());
+  const int64_t wall0 = util::NowMicros();
+  auto out = (*monitor)->RunBatch(MakeBatches(1)[0]);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kAuthenticationFailure);
+  // Aborted on detection, not by burning the full recv deadline.
+  EXPECT_LT(util::NowMicros() - wall0, 4'000'000);
+  (void)(*monitor)->Shutdown();
+  host.JoinAll();
 }
 
 TEST_F(VirtualTimeTest, EpcExhaustionFailsInitializationGracefully) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "tee/enclave.h"
 #include "transport/channel.h"
+#include "transport/msg_channel.h"
 #include "transport/secure_channel.h"
 #include "util/clock.h"
 
@@ -103,6 +106,112 @@ TEST(ChannelTest, TracksBytesAndFrames) {
   ASSERT_TRUE(a.Send(Bytes(50, 2)).ok());
   EXPECT_EQ(a.bytes_sent(), 150u);
   EXPECT_EQ(a.frames_sent(), 2u);
+}
+
+// ---------------------------------------------------------------- waitset
+
+TEST(WaitSetTest, NotifyBumpsEpochAndWakesWaiter) {
+  WaitSet set;
+  const uint64_t e0 = set.Epoch();
+  std::thread notifier([&set] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    set.Notify();
+  });
+  int64_t start = util::NowMicros();
+  uint64_t e1 = set.WaitFor(e0, 2'000'000);
+  notifier.join();
+  EXPECT_GT(e1, e0);
+  EXPECT_LT(util::NowMicros() - start, 1'000'000);  // woke well before timeout
+}
+
+TEST(WaitSetTest, NotifyBetweenSnapshotAndWaitIsNotLost) {
+  WaitSet set;
+  const uint64_t e0 = set.Epoch();
+  set.Notify();  // event lands before the wait starts
+  int64_t start = util::NowMicros();
+  uint64_t e1 = set.WaitFor(e0, 2'000'000);
+  EXPECT_GT(e1, e0);
+  EXPECT_LT(util::NowMicros() - start, 500'000);  // returned immediately
+}
+
+TEST(WaitSetTest, TimeoutReturnsUnchangedEpoch) {
+  WaitSet set;
+  const uint64_t e0 = set.Epoch();
+  EXPECT_EQ(set.WaitFor(e0, 5'000), e0);
+}
+
+TEST(WaitSetTest, EndpointPushNotifiesAttachedWaiter) {
+  auto set = std::make_shared<WaitSet>();
+  auto [a, b] = CreateChannel();
+  b.AttachWaiter(set);
+  EXPECT_FALSE(b.Readable());
+  const uint64_t e0 = set->Epoch();
+  std::thread sender([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(a.Send(ToBytes("wake")).ok());
+  });
+  set->WaitFor(e0, 2'000'000);
+  sender.join();
+  EXPECT_TRUE(b.Readable());
+  EXPECT_TRUE(b.Recv(10'000).ok());
+}
+
+TEST(WaitSetTest, AttachAfterQueuedFramesNotifies) {
+  auto set = std::make_shared<WaitSet>();
+  auto [a, b] = CreateChannel();
+  ASSERT_TRUE(a.Send(ToBytes("early")).ok());
+  const uint64_t e0 = set->Epoch();
+  b.AttachWaiter(set);  // frame already queued — must not strand a waiter
+  EXPECT_GT(set->WaitFor(e0, 100'000), e0);
+  EXPECT_TRUE(b.Readable());
+}
+
+TEST(WaitSetTest, CloseNotifiesWaiter) {
+  auto set = std::make_shared<WaitSet>();
+  auto [a, b] = CreateChannel();
+  b.AttachWaiter(set);
+  const uint64_t e0 = set->Epoch();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a.Close();
+  });
+  uint64_t e1 = set->WaitFor(e0, 2'000'000);
+  closer.join();
+  EXPECT_GT(e1, e0);
+}
+
+TEST(WaitAnyTest, ReturnsIndexOfReadableChannel) {
+  auto set = std::make_shared<WaitSet>();
+  auto [a0, b0] = CreateChannel();
+  auto [a1, b1] = CreateChannel();
+  PlainMsgChannel c0(std::move(b0));
+  PlainMsgChannel c1(std::move(b1));
+  std::vector<MsgChannel*> channels{&c0, &c1};
+  for (auto* c : channels) c->AttachWaiter(set);
+
+  EXPECT_EQ(WaitAny(channels, *set, 5'000), -1);  // nothing readable
+  ASSERT_TRUE(a1.Send(ToBytes("x")).ok());
+  EXPECT_EQ(WaitAny(channels, *set, 1'000'000), 1);
+  (void)c1.Recv(0);
+  ASSERT_TRUE(a0.Send(ToBytes("y")).ok());
+  EXPECT_EQ(WaitAny(channels, *set, 1'000'000), 0);
+}
+
+TEST(WaitAnyTest, BlocksUntilCrossThreadSend) {
+  auto set = std::make_shared<WaitSet>();
+  auto [a, b] = CreateChannel();
+  PlainMsgChannel c(std::move(b));
+  std::vector<MsgChannel*> channels{&c};
+  c.AttachWaiter(set);
+  std::thread sender([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(a.Send(ToBytes("late")).ok());
+  });
+  int64_t start = util::NowMicros();
+  int idx = WaitAny(channels, *set, 2'000'000);
+  sender.join();
+  EXPECT_EQ(idx, 0);
+  EXPECT_LT(util::NowMicros() - start, 1'000'000);
 }
 
 // --------------------------------------------------------- secure channel
@@ -279,6 +388,53 @@ TEST_F(SecureChannelTest, LargePayload) {
   auto got = server->Recv(1'000'000);
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, big);
+}
+
+TEST_F(SecureChannelTest, AuthFailureMetricsCountOnlyRealOpens) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  // ChannelMetrics is process-cumulative; measure deltas.
+  auto& reg = obs::Registry::Default();
+  const uint64_t opened0 = reg.GetCounter("channel.records_opened").value();
+  const uint64_t auth0 = reg.GetCounter("channel.auth_failures").value();
+
+  // 1. Replay: deliver one good record, then inject it again. (The good
+  // record is the only genuine open in this test; the receiver's
+  // sequence counter only advances on success, so the attacks below
+  // leave it in sync with the sender.)
+  Bytes captured;
+  client->raw_endpoint().SetInterceptor(
+      [&captured](const Bytes& frame) -> std::optional<Bytes> {
+        captured = frame;
+        return frame;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("good")).ok());
+  ASSERT_TRUE(server->Recv(100'000).ok());
+  client->raw_endpoint().InjectRaw(captured);
+  auto replayed = server->Recv(100'000);
+  EXPECT_EQ(replayed.status().code(), StatusCode::kReplayDetected);
+
+  // 2. Malformed record: too short to even carry a header.
+  client->raw_endpoint().InjectRaw(ToBytes("junk"));
+  auto malformed = server->Recv(100'000);
+  EXPECT_EQ(malformed.status().code(), StatusCode::kAuthenticationFailure);
+
+  // 3. MAC failure: flip a ciphertext byte of a well-formed record.
+  client->raw_endpoint().SetInterceptor(
+      [](const Bytes& frame) -> std::optional<Bytes> {
+        Bytes tampered = frame;
+        tampered[tampered.size() - 1] ^= 0x01;
+        return tampered;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("data")).ok());
+  auto tampered = server->Recv(100'000);
+  EXPECT_EQ(tampered.status().code(), StatusCode::kAuthenticationFailure);
+
+  // Exactly one record was genuinely opened; all three attacks counted
+  // as auth failures, none as opens.
+  EXPECT_EQ(reg.GetCounter("channel.records_opened").value() - opened0, 1u);
+  EXPECT_EQ(reg.GetCounter("channel.auth_failures").value() - auth0, 3u);
 }
 
 TEST_F(SecureChannelTest, ManyMessagesKeepSequence) {
