@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/exporters.h"
+
 namespace mvtee::bench {
 
 using tensor::Shape;
@@ -129,15 +131,27 @@ void DumpMetricsJson(const std::string& label,
                      const obs::RegistrySnapshot* base) {
   obs::RegistrySnapshot snap = obs::Registry::Default().Snapshot();
   if (base != nullptr) snap = snap.DeltaSince(*base);
-  // Compact form: one machine-parseable line per dump (JSONL-friendly).
+  // JSONL schema — one self-contained object per line:
+  //   {"label": "<bench label>",
+  //    "metrics": {"counters": {name: u64, ...},
+  //                "gauges": {name: i64, ...},
+  //                "histograms": {name: {count, sum, min, max,
+  //                                      p50, p95, p99}, ...}}}
+  // When `base` was given, metrics are the delta since that snapshot.
   const std::string json = snap.ToJson(0);
   const char* path = std::getenv("MVTEE_METRICS_JSON");
   if (path != nullptr && path[0] != '\0') {
-    std::FILE* f = std::fopen(path, "a");
+    // Opened once per process and line-buffered: each dump is appended
+    // as one atomic-enough write() per line, so interleaved bench
+    // phases (or a crashed run) never leave a torn record behind.
+    static std::FILE* f = [] {
+      std::FILE* file = std::fopen(std::getenv("MVTEE_METRICS_JSON"), "a");
+      if (file != nullptr) setvbuf(file, nullptr, _IOLBF, 1 << 16);
+      return file;
+    }();
     if (f != nullptr) {
       std::fprintf(f, "{\"label\": \"%s\", \"metrics\": %s}\n", label.c_str(),
                    json.c_str());
-      std::fclose(f);
       return;
     }
   }
@@ -146,6 +160,9 @@ void DumpMetricsJson(const std::string& label,
 
 void PrintFigureHeader(const std::string& figure,
                        const std::string& description) {
+  // Every bench honors MVTEE_TRACE_JSON / MVTEE_PROM_TEXT: register the
+  // exit-time exporter dumps once, on the first figure header.
+  obs::InstallExitDumps();
   std::printf("\n");
   PrintRule();
   std::printf("%s — %s\n", figure.c_str(), description.c_str());

@@ -409,4 +409,22 @@ util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame) {
   return msg;
 }
 
+util::Bytes EncodeTraceContext(const obs::TraceContext& ctx) {
+  util::Bytes out;
+  util::AppendU64(out, ctx.trace_id);
+  util::AppendU64(out, ctx.span_id);
+  return out;
+}
+
+util::Result<obs::TraceContext> DecodeTraceContext(util::ByteSpan header) {
+  obs::TraceContext ctx;
+  if (header.empty()) return ctx;  // headerless frame: no context
+  util::ByteReader reader(header);
+  if (!reader.ReadU64(ctx.trace_id) || !reader.ReadU64(ctx.span_id) ||
+      !reader.done()) {
+    return util::InvalidArgument("malformed trace-context header");
+  }
+  return ctx;
+}
+
 }  // namespace mvtee::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "util/bytes.h"
 #include "util/status.h"
@@ -140,6 +141,16 @@ util::Result<AttestReplyMsg> DecodeAttestReply(util::ByteSpan frame);
 
 // Peeks the type tag; error on empty/unknown frames.
 util::Result<MsgType> PeekType(util::ByteSpan frame);
+
+// ---- cross-TEE trace-context header (DESIGN.md §8) ----
+//
+// Carried as the secure channel's *authenticated plaintext* record
+// header alongside kInfer / kInferResult / kStageData frames: 16 bytes,
+// trace_id(8) || span_id(8), big-endian. Integrity-protected via the
+// record AAD; contains ids only, never model data. An empty header
+// decodes to an invalid (all-zero) context.
+util::Bytes EncodeTraceContext(const obs::TraceContext& ctx);
+util::Result<obs::TraceContext> DecodeTraceContext(util::ByteSpan header);
 
 // Overwrites the vtime field of an already-encoded kInfer/kInferResult/
 // kStageData frame (fixed offset) — lets senders stamp virtual arrival

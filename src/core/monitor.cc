@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/verify_pool.h"
+#include "obs/flight_recorder.h"
 #include "util/clock.h"
 
 namespace mvtee::core {
@@ -87,6 +88,11 @@ Monitor::Monitor(std::unique_ptr<tee::Enclave> enclave,
   // The registry is process-wide and cumulative; remember what was
   // already there so ConsumeStats() only reports this monitor's work.
   consumed_base_ = RegistryBaseline();
+  // The monitor records into the (immortal) process-default ring; expose
+  // it to the collector as the "monitor" timeline for the merged trace.
+  obs::TraceCollector::Default().Register(
+      "monitor", std::shared_ptr<obs::TraceBuffer>(
+                     &obs::TraceBuffer::Default(), [](obs::TraceBuffer*) {}));
 }
 
 void Monitor::BindMetrics() {
@@ -106,6 +112,9 @@ void Monitor::BindMetrics() {
   m_.verify_queue_depth = &metrics_->GetGauge("monitor.verify_queue_depth");
   m_.prefilter_hits = &metrics_->GetCounter("monitor.prefilter_hits");
   m_.full_checks = &metrics_->GetCounter("monitor.full_checks");
+  m_.divergences_total = &metrics_->GetCounter("monitor.divergences_total");
+  m_.verify_queue_depth_hwm =
+      &metrics_->GetGauge("monitor.verify_queue_depth_hwm");
   for (size_t s = 0; s < stages_.size(); ++s) {
     const std::string prefix = "monitor.stage" + std::to_string(s) + ".";
     StageMetrics& sm = stages_[s].metrics;
@@ -433,6 +442,11 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   }
   const size_t num_stages = stages_.size();
   const uint64_t base = next_batch_id_.fetch_add(num_batches);
+  // One distributed trace per inference batch (DESIGN.md §8): the
+  // monitor's admit/forward/verify spans and — via the authenticated
+  // channel headers — every variant-side span share a batch's id.
+  std::vector<uint64_t> trace_ids(num_batches);
+  for (auto& t : trace_ids) t = obs::NewTraceId();
   const int64_t run_vstart = vclock_us_;
   const int64_t wall_start = util::NowMicros();
   obs::ScopedSpan run_span("monitor/run",
@@ -513,6 +527,59 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // jobs notify the wait set so the loop below wakes up.
   VerifyPool pool(config_.verify_threads, wait_set_);
 
+  // Flight recorder (DESIGN.md §8): every committed verdict is noted
+  // into the bounded ring; on divergence / auth failure / abort the
+  // retained ring plus the affected batch's trace slice is dumped as a
+  // self-contained evidence bundle ($MVTEE_EVIDENCE_DIR).
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+  bool evidence_dumped = false;
+  // Records one checkpoint verdict. `fast` supplies the report on the
+  // fast path (k == 1), where the panel-report map is never populated.
+  auto note_checkpoint = [&](size_t s, size_t b, std::string verdict,
+                             int64_t v_decide,
+                             const std::vector<int>& dissenters = {},
+                             const InferResultMsg* fast = nullptr) {
+    obs::CheckpointEvidence ev;
+    ev.trace_id = trace_ids[b];
+    ev.batch = base + b;
+    ev.stage = static_cast<int32_t>(s);
+    ev.verdict = std::move(verdict);
+    ev.v_decide_us = v_decide;
+    BatchState& state = bs[b];
+    const size_t k = stages_[s].variants.size();
+    const auto rit = state.reports.find(s);
+    const auto sit = state.summaries.find(s);
+    for (size_t i = 0; i < k; ++i) {
+      obs::VariantEvidence ve;
+      ve.variant_id = stages_[s].variants[i].id;
+      if (fast != nullptr && k == 1) {
+        ve.ok = fast->ok;
+        ve.vtime_us = fast->vtime_us;
+      } else if (rit != state.reports.end() && i < rit->second.size() &&
+                 rit->second[i].has_value()) {
+        ve.ok = rit->second[i]->ok;
+        ve.vtime_us = rit->second[i]->vtime_us;
+      }
+      if (sit != state.summaries.end() && i < sit->second.size()) {
+        ve.digest = sit->second[i].digest;
+        ve.nonfinite = sit->second[i].nonfinite;
+      }
+      for (int d : dissenters) {
+        if (d == static_cast<int>(i)) ve.dissent = true;
+      }
+      ev.variants.push_back(std::move(ve));
+    }
+    recorder.Note(std::move(ev));
+  };
+  // First incident wins; later failures in the same run ride along in
+  // the already-written ring.
+  auto dump_evidence = [&](const std::string& trigger, size_t b,
+                           const std::string& detail) {
+    if (evidence_dumped) return;
+    evidence_dumped = true;
+    (void)recorder.DumpBundle(trigger, trace_ids[b], detail);
+  };
+
   util::Status run_error = util::OkStatus();
   size_t completed = 0;
   size_t admitted = 0;
@@ -523,8 +590,12 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   int64_t last_completion_vus = run_vstart;
 
   auto admit = [&](size_t b) {
+    // Root of batch b's distributed trace; the span's context rides to
+    // every variant in the sends' authenticated plaintext headers.
+    obs::TraceContextScope troot(trace_ids[b], 0);
     obs::ScopedSpan span("monitor/admit",
                          {.batch = static_cast<int64_t>(base + b), .tag = {}});
+    const util::Bytes tctx = EncodeTraceContext(span.context());
     // Admission is its own virtual-time event: save/restore the bases
     // so a caller mid-event (defensive; the loop only admits top-level)
     // keeps its own timeline intact.
@@ -548,7 +619,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         PatchVtime(frame, static_cast<uint64_t>(
                               vnow() + charge_boundary(s, frame.size())));
         const int64_t send_cpu0 = util::ThreadCpuMicros();
-        util::Status st = conn.channel->Send(frame);
+        util::Status st = conn.channel->Send(frame, tctx);
         send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
         if (!st.ok() && run_error.ok()) run_error = st;
       }
@@ -573,12 +644,14 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     BatchState& state = bs[b];
     event_vbase = state.v_chosen.count(s) ? state.v_chosen[s] : vnow();
     if (!monitor_forwards_[s].empty()) {
+      obs::TraceContextScope troot(trace_ids[b], 0);
       obs::ScopedSpan span("monitor/forward",
                            {.stage = static_cast<int32_t>(s),
                             .batch = static_cast<int64_t>(base + b),
                             .tag = {}},
                            &obs::TraceBuffer::Default(),
                            stages_[s].metrics.forward_us);
+      const util::Bytes tctx = EncodeTraceContext(span.context());
       for (const auto& target : monitor_forwards_[s]) {
         InferMsg msg;
         msg.batch_id = base + b;
@@ -594,7 +667,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
                      static_cast<uint64_t>(
                          vnow() + charge_boundary(consumer, frame.size())));
           const int64_t send_cpu0 = util::ThreadCpuMicros();
-          util::Status st = conn.channel->Send(frame);
+          util::Status st = conn.channel->Send(frame, tctx);
           send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
           if (!st.ok() && run_error.ok()) run_error = st;
         }
@@ -696,10 +769,11 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     const CheckPolicy check = config_.check;
     const VotePolicy vote_policy = config_.vote;
     obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
-    pool.Submit([this, s, b, k, st, base, settled = std::move(settled),
+    pool.Submit([this, s, b, k, st, base, tid = trace_ids[b],
+                 settled = std::move(settled),
                  sums = std::move(sums), prefilter, check, vote_policy,
                  verify_hist, &rstats, &run_error, &on_chosen,
-                 &note_verify_job,
+                 &note_verify_job, &note_checkpoint, &dump_evidence,
                  &begin_decision_event]() -> VerifyPool::Apply {
       std::vector<std::vector<Tensor>> list(k);
       for (size_t i = 0; i < k; ++i) {
@@ -711,6 +785,9 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       VoteResult vote;
       CheckStats cstats;
       {
+        // Worker thread: adopt the batch's trace so the verify span
+        // lands on the same timeline as admit/forward.
+        obs::TraceContextScope tscope(tid, 0);
         obs::ScopedSpan span("monitor/verify",
                              {.stage = static_cast<int32_t>(s),
                               .batch = static_cast<int64_t>(base + b),
@@ -722,14 +799,18 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       const int64_t verify_cpu = util::ThreadCpuMicros() - cpu0;
       return [this, s, b, k, st, vote, cstats, verify_cpu,
               list = std::move(list), sums = std::move(sums), &rstats,
-              &run_error, &on_chosen, &note_verify_job,
-              &begin_decision_event]() mutable {
+              &run_error, &on_chosen, &note_verify_job, &note_checkpoint,
+              &dump_evidence, &begin_decision_event]() mutable {
         if (st->voted.count(s)) return;  // quorum decided meanwhile
         st->voted.insert(s);
         note_verify_job(verify_cpu, cstats);
         begin_decision_event(*st, s, verify_cpu);
         rstats.checkpoints_evaluated++;
         rstats.divergences += vote.dissenters.size();
+        m_.divergences_total->Add(vote.dissenters.size());
+        note_checkpoint(s, b,
+                        vote.dissenters.empty() ? "accepted" : "divergence",
+                        st->v_chosen[s], vote.dissenters);
         if (!vote.accepted ||
             (config_.response == ResponsePolicy::kAbort &&
              !vote.dissenters.empty())) {
@@ -740,6 +821,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
                 std::to_string(vote.dissenters.size()) + "/" +
                 std::to_string(k) + " variants dissent");
           }
+          dump_evidence("vote-divergence", b, run_error.message());
           return;
         }
         st->chosen[s] = std::move(list[static_cast<size_t>(vote.winner)]);
@@ -781,10 +863,12 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     const bool prefilter = config_.digest_prefilter;
     const CheckPolicy check = config_.check;
     obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
-    pool.Submit([this, s, b, k, st, base, outs = std::move(outs),
+    pool.Submit([this, s, b, k, st, base, tid = trace_ids[b],
+                 outs = std::move(outs),
                  sums = std::move(sums), in_snapshot = std::move(in_snapshot),
                  settled_count, prefilter, check, verify_hist, &rstats,
-                 &run_error, &on_chosen, &note_verify_job,
+                 &run_error, &on_chosen, &note_verify_job, &note_checkpoint,
+                 &dump_evidence,
                  &begin_decision_event, &dissents_from_chosen,
                  &schedule_quorum,
                  &schedule_full_vote]() -> VerifyPool::Apply {
@@ -793,6 +877,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       size_t best_pos = outs.size(), best_size = 0;
       std::vector<char> best_bloc;
       {
+        obs::TraceContextScope tscope(tid, 0);
         obs::ScopedSpan span("monitor/verify",
                              {.stage = static_cast<int32_t>(s),
                               .batch = static_cast<int64_t>(base + b),
@@ -822,7 +907,8 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       return [this, s, b, k, st, outs, sums, in_snapshot, settled_count,
               cstats, verify_cpu, best_pos, best_size,
               best_bloc = std::move(best_bloc), &rstats, &run_error,
-              &on_chosen, &note_verify_job, &begin_decision_event,
+              &on_chosen, &note_verify_job, &note_checkpoint,
+              &dump_evidence, &begin_decision_event,
               &dissents_from_chosen, &schedule_quorum,
               &schedule_full_vote]() {
         st->verify_inflight.erase(s);
@@ -841,11 +927,34 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           st->chosen[s] = *outs[best_pos];
           st->chosen_summary[s] = sums[best_pos];
           size_t dissent_now = settled_count - outs.size();
+          // Dissenting panel indices for the evidence trail: settled
+          // slots outside the winning bloc (failed slots always
+          // dissent; `o` walks healthy snapshot slots in panel order).
+          std::vector<int> dissent_idx;
+          {
+            size_t o = 0;
+            for (size_t i = 0; i < k; ++i) {
+              if (!in_snapshot[i]) continue;
+              const auto& r = st->reports[s][i];
+              if (!r.has_value() || !r->ok) {
+                dissent_idx.push_back(static_cast<int>(i));
+              } else {
+                if (o < best_bloc.size() && !best_bloc[o]) {
+                  dissent_idx.push_back(static_cast<int>(i));
+                }
+                ++o;
+              }
+            }
+          }
           for (size_t o = 0; o < outs.size(); ++o) {
             if (!best_bloc[o]) ++dissent_now;
           }
           rstats.checkpoints_evaluated++;
           rstats.divergences += dissent_now;
+          m_.divergences_total->Add(dissent_now);
+          note_checkpoint(s, b,
+                          dissent_now > 0 ? "divergence" : "accepted",
+                          st->v_chosen[s], dissent_idx);
           if (dissent_now > 0 &&
               config_.response == ResponsePolicy::kAbort) {
             if (run_error.ok()) {
@@ -853,6 +962,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
                   "stage " + std::to_string(s) + " batch " +
                   std::to_string(b) + ": dissent under async quorum");
             }
+            dump_evidence("vote-divergence", b, run_error.message());
             return;
           }
           // Reports that landed between snapshot and decision are
@@ -865,6 +975,9 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
                                             : OutputsSummary{};
             if (dissents_from_chosen(*st, s, *r, rsum)) {
               rstats.late_divergences++;
+              m_.divergences_total->Add(1);
+              note_checkpoint(s, b, "late-divergence", st->v_chosen[s],
+                              {static_cast<int>(i)});
             }
           }
           on_chosen(s, b);
@@ -894,16 +1007,20 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     // slow path is forced (checkpoint rule evaluation, Fig. 10).
     if (k == 1) {
       if (!msg.ok) {
+        note_checkpoint(s, b, "variant-failure",
+                        static_cast<int64_t>(msg.vtime_us), {0}, &msg);
         if (run_error.ok()) {
           run_error = util::Aborted("stage " + std::to_string(s) +
                                     " variant failed: " + msg.error);
         }
+        dump_evidence("run-abort", b, run_error.message());
         return;
       }
       state.v_chosen[s] = static_cast<int64_t>(msg.vtime_us);
       if (config_.verify_fast_path) {
         bool rule_violation = false;
         {
+          obs::TraceContextScope troot(trace_ids[b], 0);
           obs::ScopedSpan span("monitor/verify",
                                {.stage = static_cast<int32_t>(s),
                                 .batch = static_cast<int64_t>(msg.batch_id),
@@ -915,13 +1032,21 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           }
         }
         rstats.checkpoints_evaluated++;
-        if (rule_violation) rstats.divergences++;
+        note_checkpoint(s, b,
+                        rule_violation ? "rule-violation" : "accepted",
+                        state.v_chosen[s],
+                        rule_violation ? std::vector<int>{0}
+                                       : std::vector<int>{},
+                        &msg);
         if (rule_violation) {
+          rstats.divergences++;
+          m_.divergences_total->Add(1);
           if (run_error.ok()) {
             run_error = util::DivergenceDetected(
                 "stage " + std::to_string(s) + " batch " +
                 std::to_string(b) + ": checkpoint rule violation");
           }
+          dump_evidence("vote-divergence", b, run_error.message());
           return;
         }
       } else {
@@ -956,6 +1081,10 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       // Async straggler: cross-validate against the accepted value.
       if (dissents_from_chosen(state, s, *panel[vi], sums[vi])) {
         rstats.late_divergences++;
+        m_.divergences_total->Add(1);
+        note_checkpoint(s, b, "late-divergence",
+                        static_cast<int64_t>(panel[vi]->vtime_us),
+                        {static_cast<int>(vi)});
       }
       return;
     }
@@ -1020,7 +1149,11 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       if (*apply) (*apply)();
       progressed = true;
     }
-    m_.verify_queue_depth->Set(static_cast<int64_t>(pool.queued()));
+    const int64_t qdepth = static_cast<int64_t>(pool.queued());
+    m_.verify_queue_depth->Set(qdepth);
+    if (qdepth > m_.verify_queue_depth_hwm->value()) {
+      m_.verify_queue_depth_hwm->Set(qdepth);
+    }
 
     // 2) Deferred sequential admission: its own top-level event (never
     //    nested inside the result event that completed the previous
@@ -1097,6 +1230,21 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
   }
   m_.verify_queue_depth->Set(0);
+
+  // Incidents that never reached a verdict site (authentication /
+  // replay failures, disconnects, deadlines) still leave evidence: one
+  // bundle for the run, attributed to the last admitted batch's trace.
+  if (!run_error.ok() && !evidence_dumped) {
+    const auto code = run_error.code();
+    const char* trigger =
+        (code == util::StatusCode::kAuthenticationFailure ||
+         code == util::StatusCode::kReplayDetected ||
+         code == util::StatusCode::kPermissionDenied)
+            ? "auth-failure"
+            : "run-abort";
+    dump_evidence(trigger, admitted > 0 ? admitted - 1 : 0,
+                  run_error.message());
+  }
 
   // Merge this run into the registry (even on error: partial work shows
   // up in the dump) and into the ConsumeStats() backlog.

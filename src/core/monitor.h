@@ -313,6 +313,11 @@ class Monitor {
     obs::Gauge* verify_queue_depth = nullptr;
     obs::Counter* prefilter_hits = nullptr;
     obs::Counter* full_checks = nullptr;
+    // Lifetime instruments, never reset by ConsumeStats: cumulative
+    // divergence count (all classes) and the deepest verify-pool
+    // backlog ever observed.
+    obs::Counter* divergences_total = nullptr;
+    obs::Gauge* verify_queue_depth_hwm = nullptr;
   };
   MonitorMetrics m_{};
   mutable std::mutex stats_mu_;

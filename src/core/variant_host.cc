@@ -54,6 +54,9 @@ struct VariantState {
   // Observability instruments, resolved once at identity assignment.
   obs::Histogram* infer_us = nullptr;        // variant.infer_us
   obs::Histogram* stage_infer_us = nullptr;  // variant.stage<N>.infer_us
+  // This TEE's own span ring, registered as "tee/<variant_id>" with the
+  // process collector so the merged timeline shows one row per TEE.
+  std::shared_ptr<obs::TraceBuffer> trace;
 
   struct Upstream {
     std::unique_ptr<transport::MsgChannel> channel;
@@ -70,6 +73,9 @@ struct VariantState {
     std::vector<std::optional<tensor::Tensor>> slots;
     size_t filled = 0;
     int64_t ready_vtime = 0;  // max virtual arrival over contributing msgs
+    // Received trace context (authenticated channel header): the remote
+    // parent this batch's infer span attaches under.
+    obs::TraceContext ctx;
   };
   std::map<uint64_t, Assembly> pending;
 
@@ -95,9 +101,12 @@ util::Status AssumeIdentity(const AssignIdentityMsg& msg,
     state.stage_infer_us = &reg.GetHistogram(
         "variant.stage" + std::to_string(state.stage) + ".infer_us");
   }
+  state.trace = std::make_shared<obs::TraceBuffer>();
+  obs::TraceCollector::Default().Register("tee/" + msg.variant_id,
+                                          state.trace);
   obs::ScopedSpan span("variant/bootstrap",
                        {.stage = state.stage, .tag = msg.variant_id},
-                       &obs::TraceBuffer::Default(),
+                       state.trace.get(),
                        &reg.GetHistogram("variant.bootstrap_us"));
   util::Bytes file_key =
       tee::DeriveVariantFileKey(msg.variant_key, msg.variant_id);
@@ -128,6 +137,7 @@ util::Status AssumeIdentity(const AssignIdentityMsg& msg,
 
   MVTEE_ASSIGN_OR_RETURN(state.executor,
                          runtime::Executor::Create(graph, spec.exec_config));
+  state.executor->SetTraceBuffer(state.trace.get());
   state.total_slots = state.executor->graph().inputs().size();
   // The adversary's fault hook, if the experiment set one for this id.
   if (auto hook = host.LookupFaultHook(msg.variant_id)) {
@@ -214,12 +224,15 @@ util::Status SetupRoutes(const SetupRoutesMsg& msg, tee::Enclave& enclave,
 std::optional<uint64_t> Fill(VariantState& state, uint64_t batch,
                              const std::vector<uint32_t>& slots,
                              std::vector<tensor::Tensor>&& tensors,
-                             int64_t arrival_vtime) {
+                             int64_t arrival_vtime,
+                             const obs::TraceContext& ctx) {
   auto& assembly = state.pending[batch];
   if (assembly.slots.empty()) {
     assembly.slots.resize(state.total_slots);
   }
   assembly.ready_vtime = std::max(assembly.ready_vtime, arrival_vtime);
+  // All contributors carry the same trace id; keep the latest parent.
+  if (ctx.valid()) assembly.ctx = ctx;
   for (size_t i = 0; i < slots.size(); ++i) {
     size_t slot = slots[i];
     if (slot >= assembly.slots.size()) continue;  // malformed; drop
@@ -248,16 +261,25 @@ void RunAssembledBatch(VariantState& state, uint64_t batch,
   for (auto& slot : it->second.slots) inputs.push_back(std::move(*slot));
   const int64_t v_start =
       std::max(state.vclock_us, it->second.ready_vtime);
+  const obs::TraceContext remote_ctx = it->second.ctx;
   state.pending.erase(it);
 
   const int64_t cpu0 = util::ThreadCpuMicros();
   InferResultMsg result;
   result.batch_id = batch;
+  // Infer span: parents under the monitor's dispatch span (or the
+  // upstream variant's infer span) via the received context; its own
+  // context is echoed on everything sent for this batch.
+  obs::TraceContext infer_ctx;
   auto outputs = [&] {
+    obs::TraceContextScope remote(remote_ctx);
     obs::ScopedSpan span("variant/infer",
                          {.stage = state.stage,
                           .batch = static_cast<int64_t>(batch),
-                          .tag = state.variant_id});
+                          .tag = state.variant_id},
+                         state.trace ? state.trace.get()
+                                     : &obs::TraceBuffer::Default());
+    infer_ctx = span.context();
     return state.executor->Run(inputs);
   }();
   const int64_t infer_cpu_us = util::ThreadCpuMicros() - cpu0;
@@ -281,6 +303,7 @@ void RunAssembledBatch(VariantState& state, uint64_t batch,
                     static_cast<double>(util::ThreadCpuMicros() - cpu0) *
                     factor);
 
+  const util::Bytes tctx = EncodeTraceContext(infer_ctx);
   if (result.ok) {
     // Direct fast-path forwarding to adjacent partitions (Fig. 7).
     for (auto& down : state.downstream) {
@@ -293,7 +316,7 @@ void RunAssembledBatch(VariantState& state, uint64_t batch,
       util::Bytes frame = EncodeStageData(data);
       PatchVtime(frame, static_cast<uint64_t>(
                             v_done + BoundaryMicros(options, frame.size())));
-      (void)down.channel->Send(frame);
+      (void)down.channel->Send(frame, tctx);
     }
   }
   // Failures are always surfaced to the monitor; successful outputs only
@@ -302,7 +325,7 @@ void RunAssembledBatch(VariantState& state, uint64_t batch,
     util::Bytes frame = EncodeInferResult(result);
     PatchVtime(frame, static_cast<uint64_t>(
                           v_done + BoundaryMicros(options, frame.size())));
-    (void)monitor_channel.Send(frame);
+    (void)monitor_channel.Send(frame, tctx);
   }
   state.vclock_us = v_done;
 }
@@ -345,7 +368,8 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
     bool progressed = false;
 
     // 1. Monitor channel (non-blocking poll).
-    auto frame = monitor_channel->Recv(0);
+    util::Bytes header;
+    auto frame = monitor_channel->Recv(0, &header);
     if (!frame.ok() &&
         frame.status().code() == util::StatusCode::kUnavailable) {
       teardown();
@@ -399,8 +423,10 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
           if (msg.ok() && state.executor) {
             state.vclock_us = std::max(
                 state.vclock_us, static_cast<int64_t>(msg->vtime_us));
+            obs::TraceContext ctx;
+            if (auto c = DecodeTraceContext(header); c.ok()) ctx = *c;
             auto done = Fill(state, msg->batch_id, msg->slots,
-                             std::move(msg->inputs), state.vclock_us);
+                             std::move(msg->inputs), state.vclock_us, ctx);
             if (done) {
               RunAssembledBatch(state, *done, *monitor_channel, options);
             }
@@ -423,15 +449,18 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
 
     // 2. Upstream fast-path pipes (non-blocking poll).
     for (auto& up : state.upstream) {
-      auto data_frame = up.channel->Recv(0);
+      util::Bytes up_header;
+      auto data_frame = up.channel->Recv(0, &up_header);
       if (!data_frame.ok()) continue;
       progressed = true;
       auto msg = DecodeStageData(*data_frame);
       if (!msg.ok() || !state.executor) continue;
       state.vclock_us =
           std::max(state.vclock_us, static_cast<int64_t>(msg->vtime_us));
+      obs::TraceContext ctx;
+      if (auto c = DecodeTraceContext(up_header); c.ok()) ctx = *c;
       auto done = Fill(state, msg->batch_id, msg->slots,
-                       std::move(msg->tensors), state.vclock_us);
+                       std::move(msg->tensors), state.vclock_us, ctx);
       if (done) {
         RunAssembledBatch(state, *done, *monitor_channel, options);
       }

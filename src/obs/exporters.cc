@@ -1,0 +1,146 @@
+#include "obs/exporters.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace mvtee::obs {
+
+util::Status Exporter::WriteTo(const std::string& path) const {
+  const std::string doc = Export();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Internal("cannot open '" + path + "' for export");
+  }
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return util::Internal("short write exporting to '" + path + "'");
+  }
+  return util::OkStatus();
+}
+
+std::string ChromeTraceExporter::Export() const {
+  return FromMerged(collector_->Merge());
+}
+
+std::string ChromeTraceExporter::FromMerged(
+    const TraceCollector::MergedTrace& merged) {
+  JsonValue::Array events;
+  int64_t pid = 0;
+  for (const auto& proc : merged.processes) {
+    ++pid;  // Perfetto renders one process row per pid, 1-based
+    {
+      JsonValue::Object meta;
+      meta.emplace_back("name", "process_name");
+      meta.emplace_back("ph", "M");
+      meta.emplace_back("pid", pid);
+      meta.emplace_back("tid", 0);
+      JsonValue::Object args;
+      args.emplace_back("name", proc.process);
+      meta.emplace_back("args", JsonValue(std::move(args)));
+      events.push_back(JsonValue(std::move(meta)));
+    }
+    for (const SpanRecord& s : proc.spans) {
+      JsonValue::Object ev;
+      ev.emplace_back("name", s.name);
+      ev.emplace_back("cat", s.tag.empty() ? std::string("span") : s.tag);
+      ev.emplace_back("ph", "X");  // complete event: ts + dur, both in µs
+      ev.emplace_back("ts", s.start_us);
+      ev.emplace_back("dur", s.dur_us);
+      ev.emplace_back("pid", pid);
+      ev.emplace_back("tid", static_cast<int64_t>(s.tid));
+      JsonValue::Object args;
+      args.emplace_back("stage", static_cast<int64_t>(s.stage));
+      args.emplace_back("batch", s.batch);
+      // Ids as strings: JSON numbers are doubles and must not round.
+      args.emplace_back("trace_id", std::to_string(s.trace_id));
+      args.emplace_back("span_id", std::to_string(s.span_id));
+      args.emplace_back("parent_span_id", std::to_string(s.parent_span_id));
+      ev.emplace_back("args", JsonValue(std::move(args)));
+      events.push_back(JsonValue(std::move(ev)));
+    }
+  }
+  JsonValue::Object root;
+  root.emplace_back("traceEvents", JsonValue(std::move(events)));
+  root.emplace_back("displayTimeUnit", "ms");
+  return JsonValue(std::move(root)).Dump(0);
+}
+
+std::string PrometheusExporter::MetricName(const std::string& dotted) {
+  std::string out = "mvtee_";
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusExporter::Export() const {
+  return FromSnapshot(registry_->Snapshot());
+}
+
+std::string PrometheusExporter::FromSnapshot(const RegistrySnapshot& snap) {
+  std::string out;
+  char line[256];
+  auto append_num = [&](const std::string& name, double v) {
+    std::snprintf(line, sizeof(line), "%s %.17g\n", name.c_str(), v);
+    out += line;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = MetricName(name);
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = MetricName(name);
+    out += "# TYPE " + n + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %lld\n", n.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  // Histograms expose their precomputed percentiles, so the summary
+  // type (quantile labels) is the faithful mapping — the geometric
+  // buckets themselves are an implementation detail.
+  for (const auto& [name, st] : snap.histograms) {
+    const std::string n = MetricName(name);
+    out += "# TYPE " + n + " summary\n";
+    append_num(n + "{quantile=\"0.5\"}", st.p50);
+    append_num(n + "{quantile=\"0.95\"}", st.p95);
+    append_num(n + "{quantile=\"0.99\"}", st.p99);
+    append_num(n + "_sum", st.sum);
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(st.count));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+void DumpOnExit() {
+  if (const char* path = std::getenv("MVTEE_TRACE_JSON");
+      path != nullptr && path[0] != '\0') {
+    (void)ChromeTraceExporter().WriteTo(path);
+  }
+  if (const char* path = std::getenv("MVTEE_PROM_TEXT");
+      path != nullptr && path[0] != '\0') {
+    (void)PrometheusExporter().WriteTo(path);
+  }
+}
+
+}  // namespace
+
+void InstallExitDumps() {
+  static const bool installed = [] {
+    std::atexit(DumpOnExit);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace mvtee::obs

@@ -1,0 +1,69 @@
+// Standard-format exporters over the observability core (DESIGN.md §8):
+//
+//   ChromeTraceExporter  — Chrome/Perfetto trace-event JSON from the
+//                          TraceCollector's merged timeline; one
+//                          "process" row per registered TEE buffer.
+//                          Loadable in ui.perfetto.dev / chrome://tracing.
+//   PrometheusExporter   — Prometheus text exposition (version 0.0.4)
+//                          from a metrics registry snapshot. Histograms
+//                          are exposed as summaries (quantile labels).
+//
+// Plus env-driven dump-on-exit used by the benches: set MVTEE_TRACE_JSON
+// and/or MVTEE_PROM_TEXT to file paths and call InstallExitDumps() once.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace mvtee::obs {
+
+// A self-contained textual export of some observability surface.
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+  virtual std::string name() const = 0;
+  // The full export document (never partial; callers own persistence).
+  virtual std::string Export() const = 0;
+  // Convenience: Export() into `path`, overwriting.
+  util::Status WriteTo(const std::string& path) const;
+};
+
+class ChromeTraceExporter : public Exporter {
+ public:
+  explicit ChromeTraceExporter(
+      const TraceCollector* collector = &TraceCollector::Default())
+      : collector_(collector) {}
+  std::string name() const override { return "chrome-trace"; }
+  std::string Export() const override;
+
+  // Export a pre-merged (possibly sliced) timeline.
+  static std::string FromMerged(const TraceCollector::MergedTrace& merged);
+
+ private:
+  const TraceCollector* collector_;
+};
+
+class PrometheusExporter : public Exporter {
+ public:
+  explicit PrometheusExporter(const Registry* registry = &Registry::Default())
+      : registry_(registry) {}
+  std::string name() const override { return "prometheus"; }
+  std::string Export() const override;
+
+  static std::string FromSnapshot(const RegistrySnapshot& snap);
+  // "monitor.stage0.verify_us" -> "mvtee_monitor_stage0_verify_us".
+  static std::string MetricName(const std::string& dotted);
+
+ private:
+  const Registry* registry_;
+};
+
+// Registers an atexit hook (once) that writes the default collector's
+// Chrome trace to $MVTEE_TRACE_JSON and the default registry's
+// Prometheus text to $MVTEE_PROM_TEXT, when set and non-empty.
+void InstallExitDumps();
+
+}  // namespace mvtee::obs

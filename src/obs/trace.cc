@@ -1,5 +1,8 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "obs/json.h"
 
 namespace mvtee::obs {
@@ -7,7 +10,37 @@ namespace mvtee::obs {
 namespace {
 // Innermost live span depth on this thread; -1 = no live span.
 thread_local int32_t t_span_depth = -1;
+// Trace context a child span on this thread parents under. Maintained
+// by ScopedSpan (own ids while live) and TraceContextScope (remote
+// parent adopted from a secure-channel header).
+thread_local TraceContext t_context{};
+
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<int32_t> g_next_tid{1};
 }  // namespace
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NewSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+int32_t CurrentTid() {
+  thread_local int32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceContext CurrentTraceContext() { return t_context; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : saved_(t_context) {
+  t_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_context = saved_; }
 
 TraceBuffer::TraceBuffer(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -48,18 +81,28 @@ void TraceBuffer::Clear() {
   next_ = 0;
 }
 
+namespace {
+JsonValue SpanToJson(const SpanRecord& s) {
+  JsonValue::Object fields;
+  fields.emplace_back("name", s.name);
+  if (!s.tag.empty()) fields.emplace_back("tag", s.tag);
+  fields.emplace_back("stage", static_cast<int64_t>(s.stage));
+  fields.emplace_back("batch", s.batch);
+  fields.emplace_back("depth", static_cast<int64_t>(s.depth));
+  fields.emplace_back("tid", static_cast<int64_t>(s.tid));
+  fields.emplace_back("start_us", s.start_us);
+  fields.emplace_back("dur_us", s.dur_us);
+  fields.emplace_back("trace_id", s.trace_id);
+  fields.emplace_back("span_id", s.span_id);
+  fields.emplace_back("parent_span_id", s.parent_span_id);
+  return JsonValue(std::move(fields));
+}
+}  // namespace
+
 std::string TraceBuffer::ToJson(int indent) const {
   JsonValue::Array spans;
   for (const SpanRecord& s : Snapshot()) {
-    JsonValue::Object fields;
-    fields.emplace_back("name", s.name);
-    if (!s.tag.empty()) fields.emplace_back("tag", s.tag);
-    fields.emplace_back("stage", static_cast<int64_t>(s.stage));
-    fields.emplace_back("batch", s.batch);
-    fields.emplace_back("depth", static_cast<int64_t>(s.depth));
-    fields.emplace_back("start_us", s.start_us);
-    fields.emplace_back("dur_us", s.dur_us);
-    spans.push_back(JsonValue(std::move(fields)));
+    spans.push_back(SpanToJson(s));
   }
   return JsonValue(std::move(spans)).Dump(indent);
 }
@@ -71,22 +114,107 @@ TraceBuffer& TraceBuffer::Default() {
 
 ScopedSpan::ScopedSpan(std::string name, SpanTags tags, TraceBuffer* buffer,
                        Histogram* histogram)
-    : buffer_(buffer), histogram_(histogram) {
+    : buffer_(buffer), histogram_(histogram), saved_(t_context) {
   record_.name = std::move(name);
   record_.tag = std::move(tags.tag);
   record_.stage = tags.stage;
   record_.batch = tags.batch;
   record_.depth = ++t_span_depth;
+  record_.tid = CurrentTid();
+  record_.trace_id = saved_.trace_id;
+  record_.parent_span_id = saved_.span_id;
+  record_.span_id = NewSpanId();
+  t_context = {record_.trace_id, record_.span_id};
   record_.start_us = util::NowMicros();
 }
 
 ScopedSpan::~ScopedSpan() {
   record_.dur_us = util::NowMicros() - record_.start_us;
   --t_span_depth;
+  t_context = saved_;
   if (histogram_ != nullptr) histogram_->Observe(record_.dur_us);
   if (buffer_ != nullptr) buffer_->Record(std::move(record_));
 }
 
 int32_t ScopedSpan::CurrentDepth() { return t_span_depth; }
+
+TraceCollector::MergedTrace TraceCollector::MergedTrace::Slice(
+    uint64_t trace_id) const {
+  MergedTrace out;
+  for (const ProcessTrace& p : processes) {
+    ProcessTrace filtered;
+    filtered.process = p.process;
+    for (const SpanRecord& s : p.spans) {
+      if (s.trace_id == trace_id) filtered.spans.push_back(s);
+    }
+    if (!filtered.spans.empty()) out.processes.push_back(std::move(filtered));
+  }
+  return out;
+}
+
+size_t TraceCollector::MergedTrace::total_spans() const {
+  size_t n = 0;
+  for (const ProcessTrace& p : processes) n += p.spans.size();
+  return n;
+}
+
+JsonValue TraceCollector::MergedTrace::ToJsonValue() const {
+  JsonValue::Array procs;
+  for (const ProcessTrace& p : processes) {
+    JsonValue::Object fields;
+    fields.emplace_back("process", p.process);
+    JsonValue::Array spans;
+    for (const SpanRecord& s : p.spans) spans.push_back(SpanToJson(s));
+    fields.emplace_back("spans", JsonValue(std::move(spans)));
+    procs.push_back(JsonValue(std::move(fields)));
+  }
+  JsonValue::Object root;
+  root.emplace_back("processes", JsonValue(std::move(procs)));
+  return JsonValue(std::move(root));
+}
+
+std::string TraceCollector::MergedTrace::ToJson(int indent) const {
+  return ToJsonValue().Dump(indent);
+}
+
+void TraceCollector::Register(const std::string& name,
+                              std::shared_ptr<TraceBuffer> buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, b] : buffers_) {
+    if (n == name) {
+      b = std::move(buffer);
+      return;
+    }
+  }
+  buffers_.emplace_back(name, std::move(buffer));
+}
+
+void TraceCollector::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.erase(
+      std::remove_if(buffers_.begin(), buffers_.end(),
+                     [&](const auto& e) { return e.first == name; }),
+      buffers_.end());
+}
+
+TraceCollector::MergedTrace TraceCollector::Merge() const {
+  std::vector<std::pair<std::string, std::shared_ptr<TraceBuffer>>> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy = buffers_;
+  }
+  std::sort(copy.begin(), copy.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  MergedTrace out;
+  for (const auto& [name, buffer] : copy) {
+    out.processes.push_back({name, buffer->Snapshot()});
+  }
+  return out;
+}
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();  // leaked
+  return *collector;
+}
 
 }  // namespace mvtee::obs

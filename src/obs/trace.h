@@ -6,9 +6,19 @@
 // model, which accounts simulated wire/crypto costs separately. Nesting
 // is tracked per thread: a span opened while another span is live on
 // the same thread records depth = parent depth + 1.
+//
+// Distributed tracing (DESIGN.md §8): every span additionally carries a
+// trace id (one per inference batch), its own span id, and its parent's
+// span id. The parent is tracked through a per-thread context that
+// ScopedSpan maintains automatically; TraceContextScope installs a
+// *remote* parent (received over a secure-channel header) so spans in a
+// variant TEE parent correctly under the monitor's dispatch span. A
+// TraceCollector merges the per-TEE ring buffers into one causally
+// linked timeline for the exporters and the flight recorder.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -18,14 +28,59 @@
 
 namespace mvtee::obs {
 
+class JsonValue;
+
 struct SpanRecord {
   std::string name;     // taxonomy: "component/operation"
   std::string tag;      // free-form (variant id, model name); may be empty
   int32_t stage = -1;   // pipeline stage, -1 when not applicable
   int64_t batch = -1;   // batch id, -1 when not applicable
   int32_t depth = 0;    // nesting depth on the recording thread
+  int32_t tid = 0;      // small per-thread id (see CurrentTid)
   int64_t start_us = 0; // wall clock (util::NowMicros)
   int64_t dur_us = 0;
+  uint64_t trace_id = 0;        // 0 = not part of a distributed trace
+  uint64_t span_id = 0;         // unique per span within the process set
+  uint64_t parent_span_id = 0;  // 0 = root of its trace on this timeline
+};
+
+// Process-unique, monotonically increasing ids (never 0).
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+// Small sequential id of the calling thread, assigned on first use.
+// Stable for the thread's lifetime; dense enough for Perfetto rows.
+int32_t CurrentTid();
+
+// The (trace id, span id) pair a child span on this thread would parent
+// under — what gets propagated across TEE boundaries.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+// Context of the calling thread (innermost live span, or whatever a
+// TraceContextScope installed).
+TraceContext CurrentTraceContext();
+
+// Installs `ctx` as the calling thread's trace context for its lifetime
+// (restores the previous context on destruction). Used at both ends:
+// the monitor roots a batch's trace before dispatching, and a variant
+// service adopts the received context so its spans parent under the
+// monitor's dispatch span.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  TraceContextScope(uint64_t trace_id, uint64_t span_id)
+      : TraceContextScope(TraceContext{trace_id, span_id}) {}
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 // Fixed-capacity ring of completed spans (oldest overwritten first).
@@ -41,7 +96,8 @@ class TraceBuffer {
   uint64_t total_recorded() const;
   void Clear();
 
-  // JSON array of {name, tag, stage, batch, depth, start_us, dur_us}.
+  // JSON array of {name, tag, stage, batch, depth, tid, start_us,
+  // dur_us, trace_id, span_id, parent_span_id}.
   std::string ToJson(int indent = 2) const;
 
   // Process-wide buffer the production wiring records into.
@@ -61,7 +117,9 @@ struct SpanTags {
 };
 
 // RAII span: times construction → destruction, then records into the
-// buffer (and optionally a latency histogram).
+// buffer (and optionally a latency histogram). Inherits the thread's
+// trace context as its parent and installs itself as the context for
+// spans opened underneath it.
 class ScopedSpan {
  public:
   using Tags = SpanTags;
@@ -74,6 +132,11 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  // Context a remote child should parent under: this span's ids.
+  TraceContext context() const {
+    return {record_.trace_id, record_.span_id};
+  }
+
   // Depth of the innermost live span on this thread (testing hook).
   static int32_t CurrentDepth();
 
@@ -81,6 +144,45 @@ class ScopedSpan {
   TraceBuffer* buffer_;
   Histogram* histogram_;
   SpanRecord record_;
+  TraceContext saved_;
+};
+
+// Registry of named per-TEE trace buffers ("monitor", "tee/s1.v2", …).
+// Each simulated TEE registers its own ring at bootstrap; the monitor
+// (or an exporter) merges them into one timeline. Registration replaces
+// any previous buffer under the same name — rebinding a variant id in a
+// later run supersedes the retired TEE's buffer.
+class TraceCollector {
+ public:
+  struct ProcessTrace {
+    std::string process;  // registration name (one Perfetto "process")
+    std::vector<SpanRecord> spans;
+  };
+  struct MergedTrace {
+    std::vector<ProcessTrace> processes;
+
+    // Only the spans belonging to `trace_id`, buffers with none dropped.
+    MergedTrace Slice(uint64_t trace_id) const;
+    size_t total_spans() const;
+    // {"processes": [{"process": name, "spans": [...]}]}
+    JsonValue ToJsonValue() const;
+    std::string ToJson(int indent = 2) const;
+  };
+
+  void Register(const std::string& name,
+                std::shared_ptr<TraceBuffer> buffer);
+  void Unregister(const std::string& name);
+
+  // Snapshot of every registered buffer, processes in name order.
+  MergedTrace Merge() const;
+
+  // Process-wide collector the production wiring registers into.
+  static TraceCollector& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<TraceBuffer>>>
+      buffers_;
 };
 
 }  // namespace mvtee::obs

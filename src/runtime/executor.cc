@@ -284,6 +284,9 @@ util::Result<Tensor> Executor::ExecuteNode(
 util::Result<std::vector<Tensor>> Executor::Run(
     const std::vector<Tensor>& inputs) {
   const auto start = std::chrono::steady_clock::now();
+  // Parents under the caller's live span (variant/infer inside a TEE)
+  // through the thread's trace context.
+  obs::ScopedSpan run_span("executor/run", {.tag = config_.name}, trace_);
 
   if (inputs.size() != graph_.inputs().size()) {
     return util::InvalidArgument("expected " +

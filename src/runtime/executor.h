@@ -17,6 +17,7 @@
 
 #include "graph/ir.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/kernels.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
@@ -81,6 +82,12 @@ class Executor {
     if (fault_hook_) fault_hook_->OnAttach(config_);
   }
 
+  // Ring buffer Run() records its "executor/run" span into. Defaults to
+  // the process-wide buffer; a variant TEE points it at its own per-TEE
+  // ring so the merged timeline attributes executor work to the right
+  // "process" (DESIGN.md §8).
+  void SetTraceBuffer(obs::TraceBuffer* buffer) { trace_ = buffer; }
+
   const ExecutorConfig& config() const { return config_; }
   const graph::Graph& graph() const { return graph_; }
 
@@ -93,6 +100,7 @@ class Executor {
   graph::Graph graph_;
   ExecutorConfig config_;
   std::shared_ptr<FaultHook> fault_hook_;
+  obs::TraceBuffer* trace_ = &obs::TraceBuffer::Default();
   // Per-op-type kernel-time histograms ("executor.op.<Name>_us" in the
   // default registry), indexed by OpType and resolved at construction.
   static constexpr size_t kNumOpTypes =

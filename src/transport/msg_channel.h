@@ -2,6 +2,11 @@
 // transports. The plaintext form exists solely for the encryption-
 // overhead ablation (Fig. 10 baseline); production paths always use the
 // secure form.
+//
+// Both forms carry an optional per-frame *header* alongside the frame:
+// small plaintext metadata (the cross-TEE trace context, DESIGN.md §8)
+// that the secure form binds into the record's AAD — integrity-
+// protected, never confidential, never model data.
 #pragma once
 
 #include <memory>
@@ -15,8 +20,17 @@ namespace mvtee::transport {
 class MsgChannel {
  public:
   virtual ~MsgChannel() = default;
-  virtual util::Status Send(util::ByteSpan frame) = 0;
-  virtual util::Result<util::Bytes> Recv(int64_t timeout_us) = 0;
+  virtual util::Status Send(util::ByteSpan frame,
+                            util::ByteSpan header) = 0;
+  // On success, `*header` (when non-null) receives the frame's header
+  // (empty when the sender attached none).
+  virtual util::Result<util::Bytes> Recv(int64_t timeout_us,
+                                         util::Bytes* header) = 0;
+  // Headerless convenience forms (the common call shape).
+  util::Status Send(util::ByteSpan frame) { return Send(frame, {}); }
+  util::Result<util::Bytes> Recv(int64_t timeout_us) {
+    return Recv(timeout_us, nullptr);
+  }
   virtual void Close() = 0;
   virtual uint64_t bytes_sent() const = 0;
   // Evented receive: register a WaitSet notified when this channel
@@ -29,11 +43,34 @@ class PlainMsgChannel : public MsgChannel {
  public:
   explicit PlainMsgChannel(Endpoint endpoint)
       : endpoint_(std::move(endpoint)) {}
-  util::Status Send(util::ByteSpan frame) override {
-    return endpoint_.Send(frame);
+  using MsgChannel::Recv;
+  using MsgChannel::Send;
+  // Plaintext framing: header_len(2) || header || frame inside the
+  // endpoint message (no integrity protection — ablation only).
+  util::Status Send(util::ByteSpan frame, util::ByteSpan header) override {
+    if (header.size() > 0xffff) {
+      return util::InvalidArgument("frame header exceeds 64 KiB");
+    }
+    util::Bytes wire;
+    wire.reserve(2 + header.size() + frame.size());
+    util::AppendU16(wire, static_cast<uint16_t>(header.size()));
+    util::AppendBytes(wire, header);
+    util::AppendBytes(wire, frame);
+    return endpoint_.Send(wire);
   }
-  util::Result<util::Bytes> Recv(int64_t timeout_us) override {
-    return endpoint_.Recv(timeout_us);
+  util::Result<util::Bytes> Recv(int64_t timeout_us,
+                                 util::Bytes* header) override {
+    MVTEE_ASSIGN_OR_RETURN(util::Bytes wire, endpoint_.Recv(timeout_us));
+    util::ByteReader reader(wire);
+    uint16_t header_len;
+    util::Bytes hdr;
+    if (!reader.ReadU16(header_len) || !reader.ReadBytes(header_len, hdr)) {
+      return util::InvalidArgument("malformed plaintext frame header");
+    }
+    util::Bytes frame;
+    reader.ReadBytes(reader.remaining(), frame);
+    if (header != nullptr) *header = std::move(hdr);
+    return frame;
   }
   void Close() override { endpoint_.Close(); }
   uint64_t bytes_sent() const override { return endpoint_.bytes_sent(); }
@@ -50,11 +87,14 @@ class SecureMsgChannel : public MsgChannel {
  public:
   explicit SecureMsgChannel(std::unique_ptr<SecureChannel> channel)
       : channel_(std::move(channel)) {}
-  util::Status Send(util::ByteSpan frame) override {
-    return channel_->Send(frame);
+  using MsgChannel::Recv;
+  using MsgChannel::Send;
+  util::Status Send(util::ByteSpan frame, util::ByteSpan header) override {
+    return channel_->Send(frame, header);
   }
-  util::Result<util::Bytes> Recv(int64_t timeout_us) override {
-    return channel_->Recv(timeout_us);
+  util::Result<util::Bytes> Recv(int64_t timeout_us,
+                                 util::Bytes* header) override {
+    return channel_->Recv(timeout_us, header);
   }
   void Close() override { channel_->Close(); }
   uint64_t bytes_sent() const override { return channel_->bytes_sent(); }

@@ -213,21 +213,34 @@ util::Bytes RecordNonce(uint64_t seq) {
   return nonce;
 }
 
-util::Bytes RecordAad(uint64_t seq) {
+// AAD = seq || header: the sequence number pins the record's position
+// in the stream and the authenticated plaintext header is integrity-
+// bound without being encrypted. A header flipped on the wire makes the
+// AEAD open fail exactly like ciphertext tampering.
+util::Bytes RecordAad(uint64_t seq, util::ByteSpan header) {
   util::Bytes aad;
   util::AppendU64(aad, seq);
+  util::AppendBytes(aad, header);
   return aad;
 }
 }  // namespace
 
-util::Status SecureChannel::Send(util::ByteSpan plaintext) {
+// Record layout: seq(8) || header_len(2) || header || sealed. The
+// header travels in the clear but is covered by the AAD above.
+util::Status SecureChannel::Send(util::ByteSpan plaintext,
+                                 util::ByteSpan header) {
+  if (header.size() > 0xffff) {
+    return util::InvalidArgument("record header exceeds 64 KiB");
+  }
   const uint64_t seq = send_seq_++;
   util::Bytes record;
   util::AppendU64(record, seq);
+  util::AppendU16(record, static_cast<uint16_t>(header.size()));
+  util::AppendBytes(record, header);
   ChannelMetrics& cm = ChannelMetrics::Get();
   const int64_t cpu0 = util::ThreadCpuMicros();
   util::Bytes sealed =
-      send_cipher_.Seal(RecordNonce(seq), RecordAad(seq), plaintext);
+      send_cipher_.Seal(RecordNonce(seq), RecordAad(seq, header), plaintext);
   cm.seal_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
   cm.records_sealed->Add(1);
   util::AppendBytes(record, sealed);
@@ -235,12 +248,14 @@ util::Status SecureChannel::Send(util::ByteSpan plaintext) {
   return endpoint_.Send(record);
 }
 
-util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us) {
+util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us,
+                                              util::Bytes* header) {
   MVTEE_ASSIGN_OR_RETURN(util::Bytes record, endpoint_.Recv(timeout_us));
   ChannelMetrics& cm = ChannelMetrics::Get();
   util::ByteReader reader(record);
   uint64_t seq;
-  if (!reader.ReadU64(seq)) {
+  uint16_t header_len;
+  if (!reader.ReadU64(seq) || !reader.ReadU16(header_len)) {
     cm.auth_failures->Add(1);
     return util::AuthenticationFailure("malformed record");
   }
@@ -250,21 +265,28 @@ util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us) {
                                 " != expected " +
                                 std::to_string(recv_seq_));
   }
+  util::Bytes hdr;
+  if (!reader.ReadBytes(header_len, hdr)) {
+    cm.auth_failures->Add(1);
+    return util::AuthenticationFailure("truncated record header");
+  }
   util::Bytes sealed;
   reader.ReadBytes(reader.remaining(), sealed);
   const int64_t cpu0 = util::ThreadCpuMicros();
   auto plaintext =
-      recv_cipher_.Open(RecordNonce(seq), RecordAad(seq), sealed);
+      recv_cipher_.Open(RecordNonce(seq), RecordAad(seq, hdr), sealed);
   cm.open_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
   if (!plaintext.ok()) {
     // A record that fails to open is an authentication failure, not a
-    // successfully opened record.
+    // successfully opened record — this includes any bit flipped in the
+    // plaintext header, which only participates via the AAD.
     cm.auth_failures->Add(1);
     return plaintext.status();
   }
   cm.records_opened->Add(1);
   cm.bytes_recvd->Add(record.size());
   recv_seq_ += 1;
+  if (header != nullptr) *header = std::move(hdr);
   return plaintext;
 }
 

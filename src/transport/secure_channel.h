@@ -60,9 +60,18 @@ class SecureChannel {
       Endpoint endpoint, Role role, ReportVerifier verify_peer,
       int64_t timeout_us = 5'000'000);
 
-  // AEAD-protected, sequence-numbered application messages.
-  util::Status Send(util::ByteSpan plaintext);
-  util::Result<util::Bytes> Recv(int64_t timeout_us = 5'000'000);
+  // AEAD-protected, sequence-numbered application messages. `header` is
+  // an optional *authenticated plaintext* header: it travels in the
+  // clear (so intermediaries and the receiver can read it before
+  // decrypting) but is bound into the record's AAD, so any tampering
+  // fails the AEAD open exactly like ciphertext tampering. Used for the
+  // cross-TEE trace context (DESIGN.md §8) — never for model data.
+  util::Status Send(util::ByteSpan plaintext, util::ByteSpan header = {});
+  // On success, `*header` (when non-null) receives the record's
+  // authenticated plaintext header (empty when the sender attached
+  // none).
+  util::Result<util::Bytes> Recv(int64_t timeout_us = 5'000'000,
+                                 util::Bytes* header = nullptr);
 
   void Close() { endpoint_.Close(); }
 

@@ -8,6 +8,15 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +51,45 @@ TEST(JsonTest, DumpAndParseRoundTrip) {
     EXPECT_TRUE(o[4].second.is_null());
     EXPECT_EQ(o[5].second.as_array().size(), 2u);
   }
+}
+
+TEST(JsonTest, EscapeSequencesRoundTrip) {
+  // Every escape class the writer emits: quote, backslash, control
+  // chars (named and \u-encoded), plus 8-bit pass-through.
+  const std::string nasty = "q\"b\\t\tn\nr\rc\x01z\x7f";
+  const std::string dumped = JsonValue(nasty).Dump(0);
+  auto parsed = ParseJson(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->as_string(), nasty);
+  // Explicit \u escape parse.
+  auto uni = ParseJson("\"\\u0041\\u000a\"");
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->as_string(), "A\n");
+}
+
+TEST(JsonTest, NestedArraysRoundTrip) {
+  auto parsed = ParseJson("[[1, [2, [3]]], [], [[\"x\"]]]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue::Array& outer = parsed->as_array();
+  ASSERT_EQ(outer.size(), 3u);
+  EXPECT_EQ(outer[0].as_array()[1].as_array()[1].as_array()[0].as_number(),
+            3.0);
+  EXPECT_TRUE(outer[1].as_array().empty());
+  EXPECT_EQ(outer[2].as_array()[0].as_array()[0].as_string(), "x");
+  // Dump of the parsed tree re-parses to the same shape.
+  auto again = ParseJson(parsed->Dump(2));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Dump(0), parsed->Dump(0));
+}
+
+TEST(JsonTest, FindMissesReturnNull) {
+  auto parsed = ParseJson("{\"present\": 1}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("present"), nullptr);
+  EXPECT_EQ(parsed->Find("absent"), nullptr);
+  // Find on a non-object is a miss, not a crash.
+  EXPECT_EQ(JsonValue(static_cast<int64_t>(3)).Find("x"), nullptr);
+  EXPECT_EQ(JsonValue().Find("x"), nullptr);
 }
 
 TEST(JsonTest, RejectsMalformedInput) {
@@ -290,6 +338,348 @@ TEST(TraceTest, ToJsonIsParseable) {
   auto parsed = ParseJson(buffer.ToJson());
   ASSERT_TRUE(parsed.ok());
   ASSERT_EQ(parsed->as_array().size(), 1u);
+}
+
+TEST(TraceTest, TidIsRecordedAndExported) {
+  TraceBuffer buffer(8);
+  const int32_t here = CurrentTid();
+  EXPECT_GT(here, 0);
+  EXPECT_EQ(CurrentTid(), here);  // stable on re-query
+  { ScopedSpan span("t/local", {}, &buffer); }
+  int32_t other = 0;
+  std::thread([&] {
+    other = CurrentTid();
+    ScopedSpan span("t/remote", {}, &buffer);
+  }).join();
+  EXPECT_NE(other, here);
+
+  auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].tid, here);
+  EXPECT_EQ(spans[1].tid, other);
+
+  auto parsed = ParseJson(buffer.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* tid = parsed->as_array()[0].Find("tid");
+  ASSERT_NE(tid, nullptr);
+  EXPECT_EQ(tid->as_number(), static_cast<double>(here));
+}
+
+TEST(TraceTest, ToJsonOnEmptyAndWrappedBuffers) {
+  TraceBuffer empty(4);
+  auto parsed = ParseJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->as_array().empty());
+
+  // Wrapped ring: ToJson carries exactly the surviving capacity-many
+  // spans, oldest first.
+  TraceBuffer wrapped(3);
+  for (int i = 0; i < 7; ++i) {
+    ScopedSpan span("w" + std::to_string(i), {}, &wrapped);
+  }
+  auto wj = ParseJson(wrapped.ToJson(0));
+  ASSERT_TRUE(wj.ok());
+  ASSERT_EQ(wj->as_array().size(), 3u);
+  EXPECT_EQ(wj->as_array()[0].Find("name")->as_string(), "w4");
+  EXPECT_EQ(wj->as_array()[2].Find("name")->as_string(), "w6");
+
+  wrapped.Clear();
+  EXPECT_TRUE(wrapped.Snapshot().empty());
+  EXPECT_EQ(wrapped.total_recorded(), 0u);
+}
+
+// -------------------------------------------------------- trace context
+
+TEST(TraceContextTest, SpansParentUnderEnclosingSpan) {
+  TraceBuffer buffer(8);
+  const uint64_t trace = NewTraceId();
+  uint64_t outer_id = 0;
+  {
+    TraceContextScope root(trace, 0);
+    ScopedSpan outer("ctx/outer", {}, &buffer);
+    outer_id = outer.context().span_id;
+    EXPECT_EQ(outer.context().trace_id, trace);
+    { ScopedSpan inner("ctx/inner", {}, &buffer); }
+  }
+  // Context restored once the scope closed.
+  EXPECT_FALSE(CurrentTraceContext().valid());
+
+  auto spans = buffer.Snapshot();  // inner completes first
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[0].parent_span_id, outer_id);
+  EXPECT_EQ(spans[1].span_id, outer_id);
+  EXPECT_EQ(spans[1].parent_span_id, 0u);
+  EXPECT_NE(spans[0].span_id, spans[1].span_id);
+}
+
+TEST(TraceContextTest, RemoteParentAdoptedAcrossThreads) {
+  // Monitor side: a dispatch span whose context crosses the "TEE
+  // boundary"; variant side: a thread adopting it via TraceContextScope.
+  TraceBuffer monitor_buf(4), variant_buf(4);
+  TraceContext wire;
+  {
+    TraceContextScope root(NewTraceId(), 0);
+    ScopedSpan dispatch("monitor/admit", {}, &monitor_buf);
+    wire = dispatch.context();
+  }
+  std::thread([&] {
+    TraceContextScope remote(wire);
+    ScopedSpan infer("variant/infer", {}, &variant_buf);
+  }).join();
+
+  auto vspans = variant_buf.Snapshot();
+  ASSERT_EQ(vspans.size(), 1u);
+  EXPECT_EQ(vspans[0].trace_id, wire.trace_id);
+  EXPECT_EQ(vspans[0].parent_span_id, wire.span_id);
+}
+
+TEST(TraceCollectorTest, MergeAndSliceByTraceId) {
+  TraceCollector collector;
+  auto mon = std::make_shared<TraceBuffer>(8);
+  auto tee = std::make_shared<TraceBuffer>(8);
+  collector.Register("monitor", mon);
+  collector.Register("tee/s0.v1", tee);
+
+  const uint64_t t1 = NewTraceId(), t2 = NewTraceId();
+  {
+    TraceContextScope scope(t1, 0);
+    ScopedSpan a("m/one", {}, mon.get());
+  }
+  {
+    TraceContextScope scope(t2, 0);
+    ScopedSpan b("m/two", {}, mon.get());
+    ScopedSpan c("v/two", {}, tee.get());
+  }
+
+  TraceCollector::MergedTrace merged = collector.Merge();
+  ASSERT_EQ(merged.processes.size(), 2u);
+  EXPECT_EQ(merged.processes[0].process, "monitor");  // name order
+  EXPECT_EQ(merged.processes[1].process, "tee/s0.v1");
+  EXPECT_EQ(merged.total_spans(), 3u);
+
+  TraceCollector::MergedTrace slice = merged.Slice(t1);
+  ASSERT_EQ(slice.processes.size(), 1u);  // buffers with no match drop
+  EXPECT_EQ(slice.processes[0].process, "monitor");
+  ASSERT_EQ(slice.total_spans(), 1u);
+  EXPECT_EQ(slice.processes[0].spans[0].name, "m/one");
+
+  auto parsed = ParseJson(merged.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("processes"), nullptr);
+
+  collector.Unregister("tee/s0.v1");
+  EXPECT_EQ(collector.Merge().processes.size(), 1u);
+}
+
+// ------------------------------------------------------------ exporters
+
+TEST(ChromeTraceExporterTest, EmitsValidTraceEventJson) {
+  TraceCollector collector;
+  auto mon = std::make_shared<TraceBuffer>(8);
+  auto tee = std::make_shared<TraceBuffer>(8);
+  collector.Register("monitor", mon);
+  collector.Register("tee/s0.v1", tee);
+  uint64_t span_id = 0;
+  {
+    TraceContextScope scope(NewTraceId(), 0);
+    ScopedSpan a("monitor/admit", {.batch = 5, .tag = {}}, mon.get());
+    span_id = a.context().span_id;
+    ScopedSpan b("variant/infer", {.stage = 0, .batch = 5, .tag = "s0.v1"},
+                 tee.get());
+  }
+
+  ChromeTraceExporter exporter(&collector);
+  auto parsed = ParseJson(exporter.Export());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Two metadata rows (one per process) + two duration events.
+  ASSERT_EQ(events->as_array().size(), 4u);
+
+  int metadata = 0, duration = 0;
+  for (const JsonValue& ev : events->as_array()) {
+    const std::string& ph = ev.Find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(ev.Find("name")->as_string(), "process_name");
+      ASSERT_NE(ev.Find("args"), nullptr);
+      EXPECT_NE(ev.Find("args")->Find("name"), nullptr);
+    } else {
+      ASSERT_EQ(ph, "X");
+      ++duration;
+      EXPECT_NE(ev.Find("ts"), nullptr);
+      EXPECT_NE(ev.Find("dur"), nullptr);
+      EXPECT_GE(ev.Find("pid")->as_number(), 1.0);
+      ASSERT_NE(ev.Find("args"), nullptr);
+    }
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(duration, 2);
+
+  // Ids survive as strings (64-bit safe).
+  for (const JsonValue& ev : events->as_array()) {
+    if (ev.Find("ph")->as_string() != "X") continue;
+    if (ev.Find("name")->as_string() != "monitor/admit") continue;
+    EXPECT_EQ(ev.Find("args")->Find("span_id")->as_string(),
+              std::to_string(span_id));
+  }
+}
+
+TEST(PrometheusExporterTest, TextExpositionFormat) {
+  Registry registry;
+  registry.GetCounter("monitor.divergences_total").Add(3);
+  registry.GetGauge("monitor.verify_queue_depth_hwm").Set(7);
+  Histogram& h = registry.GetHistogram("monitor.batch_latency_us");
+  for (int64_t v : {100, 200, 300}) h.Observe(v);
+
+  PrometheusExporter exporter(&registry);
+  const std::string text = exporter.Export();
+
+  EXPECT_NE(text.find("# TYPE mvtee_monitor_divergences_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvtee_monitor_divergences_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE mvtee_monitor_verify_queue_depth_hwm gauge\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("mvtee_monitor_verify_queue_depth_hwm 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mvtee_monitor_batch_latency_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvtee_monitor_batch_latency_us{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("mvtee_monitor_batch_latency_us_sum 600\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvtee_monitor_batch_latency_us_count 3\n"),
+            std::string::npos);
+
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 6, "mvtee_"), 0) << line;
+    // Value parses as a number.
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+
+  EXPECT_EQ(PrometheusExporter::MetricName("monitor.stage0.verify_us"),
+            "mvtee_monitor_stage0_verify_us");
+  EXPECT_EQ(PrometheusExporter::MetricName("weird-name.1"),
+            "mvtee_weird_name_1");
+}
+
+// ------------------------------------------------------ flight recorder
+
+CheckpointEvidence MakeEvidence(uint64_t trace_id, uint64_t batch,
+                                const std::string& verdict) {
+  CheckpointEvidence ev;
+  ev.trace_id = trace_id;
+  ev.batch = batch;
+  ev.stage = 0;
+  ev.verdict = verdict;
+  ev.v_decide_us = 1000 + static_cast<int64_t>(batch);
+  VariantEvidence a{"s0.v1", true, 0xdeadbeefULL, false, 900, false};
+  VariantEvidence b{"s0.v2", true, 0xfeedfaceULL, false, 950, true};
+  ev.variants = {a, b};
+  return ev;
+}
+
+TEST(FlightRecorderTest, BoundedRingKeepsNewest) {
+  FlightRecorder recorder(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Note(MakeEvidence(1, i, "accepted"));
+  }
+  EXPECT_EQ(recorder.total_noted(), 10u);
+  auto snap = recorder.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().batch, 6u);  // oldest survivor
+  EXPECT_EQ(snap.back().batch, 9u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.total_noted(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpBundleRequiresEvidenceDir) {
+  ::unsetenv("MVTEE_EVIDENCE_DIR");
+  FlightRecorder recorder(4);
+  auto result = recorder.DumpBundle("run-abort", 0, "no dir set");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(FlightRecorderTest, DumpBundleWritesSelfContainedJson) {
+  char dir_template[] = "/tmp/mvtee-evidence-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  ::setenv("MVTEE_EVIDENCE_DIR", dir_template, 1);
+
+  TraceCollector collector;
+  auto buf = std::make_shared<TraceBuffer>(8);
+  collector.Register("monitor", buf);
+  const uint64_t trace = NewTraceId();
+  {
+    TraceContextScope scope(trace, 0);
+    ScopedSpan span("monitor/admit", {}, buf.get());
+  }
+  {
+    TraceContextScope scope(NewTraceId(), 0);  // unrelated trace
+    ScopedSpan span("monitor/other", {}, buf.get());
+  }
+
+  FlightRecorder recorder(8);
+  recorder.Note(MakeEvidence(trace, 0, "accepted"));
+  recorder.Note(MakeEvidence(trace, 1, "divergence"));
+  const uint64_t bundles0 =
+      Registry::Default().GetCounter("recorder.bundles_written").value();
+
+  auto path = recorder.DumpBundle("vote-divergence", trace,
+                                  "stage 0 batch 1: 1/2 variants dissent",
+                                  &collector);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(
+      Registry::Default().GetCounter("recorder.bundles_written").value(),
+      bundles0 + 1);
+
+  std::ifstream in(*path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  auto parsed = ParseJson(content.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->Find("schema")->as_string(), "mvtee-evidence-v1");
+  EXPECT_EQ(parsed->Find("trigger")->as_string(), "vote-divergence");
+  EXPECT_EQ(parsed->Find("trace_id")->as_string(), std::to_string(trace));
+  ASSERT_NE(parsed->Find("metrics"), nullptr);
+
+  const JsonValue* verdicts = parsed->Find("verdicts");
+  ASSERT_NE(verdicts, nullptr);
+  ASSERT_EQ(verdicts->as_array().size(), 2u);
+  const JsonValue& bad = verdicts->as_array()[1];
+  EXPECT_EQ(bad.Find("verdict")->as_string(), "divergence");
+  const JsonValue::Array& variants = bad.Find("variants")->as_array();
+  ASSERT_EQ(variants.size(), 2u);
+  EXPECT_EQ(variants[0].Find("digest")->as_string(), "00000000deadbeef");
+  EXPECT_FALSE(variants[0].Find("dissent")->as_bool());
+  EXPECT_TRUE(variants[1].Find("dissent")->as_bool());
+
+  // The embedded trace is sliced to the incident's trace id.
+  const JsonValue* trace_obj = parsed->Find("trace");
+  ASSERT_NE(trace_obj, nullptr);
+  const JsonValue::Array& procs = trace_obj->Find("processes")->as_array();
+  ASSERT_EQ(procs.size(), 1u);
+  ASSERT_EQ(procs[0].Find("spans")->as_array().size(), 1u);
+  EXPECT_EQ(
+      procs[0].Find("spans")->as_array()[0].Find("name")->as_string(),
+      "monitor/admit");
+
+  ::unsetenv("MVTEE_EVIDENCE_DIR");
+  std::remove(path->c_str());
+  ::rmdir(dir_template);
 }
 
 }  // namespace

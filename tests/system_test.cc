@@ -8,11 +8,16 @@
 #include "core/variant_host.h"
 #include "fault/injectors.h"
 #include "graph/model_zoo.h"
+#include "obs/json.h"
 #include "runtime/executor.h"
 #include "transport/channel.h"
 #include "util/clock.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 // The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
 // test until their removal; silence the migration nudge here only.
@@ -395,6 +400,125 @@ TEST_F(VirtualTimeTest, TamperedResultFrameAbortsRun) {
   EXPECT_LT(util::NowMicros() - wall0, 4'000'000);
   (void)(*monitor)->Shutdown();
   host.JoinAll();
+}
+
+TEST_F(VirtualTimeTest, DivergenceWritesEvidenceBundleWithLinkedTrace) {
+  // End-to-end observability check: a fault-injected divergent run must
+  // leave behind a self-contained evidence bundle whose merged trace is
+  // causally linked across TEEs — monitor and variant spans share the
+  // batch's trace id, and the stage-0 variant/infer spans parent under
+  // the monitor's dispatch (monitor/admit) span.
+  char evidence_dir[] = "/tmp/mvtee-evidence-XXXXXX";
+  ASSERT_NE(::mkdtemp(evidence_dir), nullptr);
+  ASSERT_EQ(::setenv("MVTEE_EVIDENCE_DIR", evidence_dir, 1), 0);
+
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(3, 3, /*replicated=*/true));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  class Corrupt : public runtime::FaultHook {
+   public:
+    void OnNodeComplete(const graph::Node&, Tensor& out) override {
+      if (out.num_elements() > 0) out.data()[0] += 100.0f;
+    }
+  };
+  VariantHost host(&cpu_, bundle_.store);
+  host.SetFaultHook("s0.v1", std::make_shared<Corrupt>());
+
+  MonitorConfig config;  // kUnanimous + kAbort: one dissenter aborts
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE((*monitor)
+                  ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 3),
+                               host)
+                  .ok());
+  auto out = (*monitor)->Run(MakeBatches(1));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kDivergenceDetected);
+  (void)(*monitor)->Shutdown();
+  host.JoinAll();
+  ASSERT_EQ(::unsetenv("MVTEE_EVIDENCE_DIR"), 0);
+
+  // Exactly one incident → exactly one bundle.
+  std::vector<std::filesystem::path> bundles;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(evidence_dir)) {
+    bundles.push_back(entry.path());
+  }
+  ASSERT_EQ(bundles.size(), 1u);
+
+  std::ifstream in(bundles[0]);
+  std::stringstream text;
+  text << in.rdbuf();
+  auto doc = obs::ParseJson(text.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  ASSERT_NE(doc->Find("schema"), nullptr);
+  EXPECT_EQ(doc->Find("schema")->as_string(), "mvtee-evidence-v1");
+  ASSERT_NE(doc->Find("trigger"), nullptr);
+  EXPECT_EQ(doc->Find("trigger")->as_string(), "vote-divergence");
+
+  // The flight recorder captured the divergent checkpoint, with the
+  // corrupted variant marked as the dissenter.
+  const obs::JsonValue* verdicts = doc->Find("verdicts");
+  ASSERT_NE(verdicts, nullptr);
+  bool saw_divergence = false;
+  for (const auto& v : verdicts->as_array()) {
+    if (v.Find("verdict")->as_string() != "divergence") continue;
+    saw_divergence = true;
+    for (const auto& variant : v.Find("variants")->as_array()) {
+      const bool dissent = variant.Find("dissent")->as_bool();
+      EXPECT_EQ(dissent,
+                variant.Find("variant_id")->as_string() == "s0.v1");
+    }
+  }
+  EXPECT_TRUE(saw_divergence);
+
+  // JsonValue stores numbers as doubles; ids compared after the same
+  // uint64→double cast are consistent.
+  ASSERT_NE(doc->Find("trace_id"), nullptr);
+  const double trace_id = static_cast<double>(
+      std::strtoull(doc->Find("trace_id")->as_string().c_str(), nullptr, 10));
+  ASSERT_NE(trace_id, 0.0);
+
+  const obs::JsonValue* trace = doc->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  const obs::JsonValue* processes = trace->Find("processes");
+  ASSERT_NE(processes, nullptr);
+
+  double admit_span_id = 0.0;
+  int variant_spans_under_admit = 0;
+  bool saw_monitor = false, saw_tee = false;
+  for (const auto& proc : processes->as_array()) {
+    const std::string& name = proc.Find("process")->as_string();
+    if (name == "monitor") saw_monitor = true;
+    if (name.rfind("tee/", 0) == 0) saw_tee = true;
+    for (const auto& span : proc.Find("spans")->as_array()) {
+      // Every span in the slice belongs to the aborting batch's trace.
+      EXPECT_EQ(span.Find("trace_id")->as_number(), trace_id);
+      if (name == "monitor" &&
+          span.Find("name")->as_string() == "monitor/admit") {
+        admit_span_id = span.Find("span_id")->as_number();
+      }
+    }
+  }
+  EXPECT_TRUE(saw_monitor);
+  EXPECT_TRUE(saw_tee);
+  ASSERT_NE(admit_span_id, 0.0);
+  for (const auto& proc : processes->as_array()) {
+    const std::string& name = proc.Find("process")->as_string();
+    if (name.rfind("tee/s0.", 0) != 0) continue;
+    for (const auto& span : proc.Find("spans")->as_array()) {
+      if (span.Find("name")->as_string() != "variant/infer") continue;
+      EXPECT_EQ(span.Find("parent_span_id")->as_number(), admit_span_id);
+      ++variant_spans_under_admit;
+    }
+  }
+  // All three stage-0 replicas inferred under the monitor's dispatch.
+  EXPECT_EQ(variant_spans_under_admit, 3);
+
+  std::filesystem::remove_all(evidence_dir);
 }
 
 TEST_F(VirtualTimeTest, EpcExhaustionFailsInitializationGracefully) {

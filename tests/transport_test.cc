@@ -450,5 +450,124 @@ TEST_F(SecureChannelTest, ManyMessagesKeepSequence) {
   }
 }
 
+// ------------------------------------------------- per-frame headers
+
+TEST(PlainMsgChannelTest, HeaderRoundTrip) {
+  auto [a, b] = CreateChannel();
+  PlainMsgChannel sender(std::move(a));
+  PlainMsgChannel receiver(std::move(b));
+
+  ASSERT_TRUE(sender.Send(ToBytes("payload"), ToBytes("ctx")).ok());
+  Bytes header;
+  auto got = receiver.Recv(100'000, &header);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("payload"));
+  EXPECT_EQ(header, ToBytes("ctx"));
+
+  // Headerless convenience form still interoperates.
+  ASSERT_TRUE(sender.Send(ToBytes("plain")).ok());
+  header = ToBytes("stale");
+  got = receiver.Recv(100'000, &header);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("plain"));
+  EXPECT_TRUE(header.empty());
+}
+
+TEST_F(SecureChannelTest, HeaderRoundTrip) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->Send(ToBytes("sealed payload"),
+                           ToBytes("trace-ctx")).ok());
+  Bytes header;
+  auto got = server->Recv(100'000, &header);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, ToBytes("sealed payload"));
+  EXPECT_EQ(header, ToBytes("trace-ctx"));
+
+  // Headerless records still decode, and report an empty header.
+  ASSERT_TRUE(client->Send(ToBytes("no header")).ok());
+  header = ToBytes("stale");
+  got = server->Recv(100'000, &header);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(header.empty());
+}
+
+TEST_F(SecureChannelTest, HeaderIsPlaintextButPayloadIsNot) {
+  // The header rides as *authenticated plaintext* (readable metadata —
+  // trace ids only); the payload must stay sealed.
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  Bytes wire;
+  client->raw_endpoint().SetInterceptor(
+      [&wire](const Bytes& frame) -> std::optional<Bytes> {
+        wire = frame;
+        return frame;
+      });
+  const std::string header = "trace-context-header";
+  const std::string secret = "confidential activations";
+  ASSERT_TRUE(client->Send(ToBytes(secret), ToBytes(header)).ok());
+  ASSERT_TRUE(server->Recv(100'000).ok());
+
+  const std::string wire_str(wire.begin(), wire.end());
+  EXPECT_NE(wire_str.find(header), std::string::npos);
+  EXPECT_EQ(wire_str.find(secret), std::string::npos);
+}
+
+TEST_F(SecureChannelTest, TamperedHeaderRejected) {
+  // The header is bound into the record AAD: flipping one header byte
+  // on the wire must fail the AEAD open, exactly like ciphertext
+  // tampering. Record layout: seq(8) || header_len(2) || header || sealed.
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  client->raw_endpoint().SetInterceptor(
+      [](const Bytes& frame) -> std::optional<Bytes> {
+        Bytes tampered = frame;
+        tampered[10] ^= 0x01;  // first header byte
+        return tampered;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("payload"), ToBytes("trace-ctx")).ok());
+  Bytes header;
+  auto got = server->Recv(100'000, &header);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kAuthenticationFailure);
+}
+
+TEST_F(SecureChannelTest, TruncatedHeaderLengthRejected) {
+  // header_len pointing past the record end must fail closed as an
+  // authentication error, not read out of bounds.
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  client->raw_endpoint().SetInterceptor(
+      [](const Bytes& frame) -> std::optional<Bytes> {
+        Bytes tampered = frame;
+        tampered[8] = 0xff;  // header_len high byte: claims 64 KiB header
+        tampered[9] = 0xff;
+        return tampered;
+      });
+  ASSERT_TRUE(client->Send(ToBytes("payload"), ToBytes("ctx")).ok());
+  auto got = server->Recv(100'000);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kAuthenticationFailure);
+}
+
+TEST_F(SecureChannelTest, SecureMsgChannelHeaderPassThrough) {
+  auto [client, server] = Connect(AnyAttestedPeer(cpu_),
+                                  AnyAttestedPeer(cpu_));
+  ASSERT_NE(client, nullptr);
+  SecureMsgChannel tx(std::move(client));
+  SecureMsgChannel rx(std::move(server));
+  ASSERT_TRUE(tx.Send(ToBytes("frame"), ToBytes("hdr")).ok());
+  Bytes header;
+  auto got = rx.Recv(100'000, &header);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("frame"));
+  EXPECT_EQ(header, ToBytes("hdr"));
+}
+
 }  // namespace
 }  // namespace mvtee::transport
