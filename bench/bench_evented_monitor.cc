@@ -46,7 +46,7 @@ int Main() {
   setup.pool.verify = false;
   setup.variant_counts = {3, 3, 3, 3};
   setup.monitor.vote = core::VotePolicy::kMajority;
-  setup.monitor.response = core::ResponsePolicy::kContinueWithWinner;
+  setup.monitor.reaction = core::ReactionPolicy::ContinueWithWinner();
   setup.host.network = transport::NetworkCostModel::TenGbE();
 
   auto bundle = BuildBenchBundle(model, setup);

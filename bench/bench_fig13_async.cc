@@ -24,7 +24,7 @@ MvteeSetup RealSetup(uint64_t seed) {
   setup.monitor.direct_fastpath = true;
   setup.monitor.check = core::CheckPolicy::Cosine(0.99);
   setup.monitor.vote = core::VotePolicy::kMajority;
-  setup.monitor.response = core::ResponsePolicy::kContinueWithWinner;
+  setup.monitor.reaction = core::ReactionPolicy::ContinueWithWinner();
   setup.host.network = transport::NetworkCostModel::TenGbE();
   // MVX (with the slow variant) on the 2nd and 3rd partitions.
   setup.variant_counts = {1, 3, 3, 1, 1};

@@ -23,7 +23,7 @@ MvteeSetup RealSetup(uint64_t seed) {
   setup.monitor.direct_fastpath = true;
   setup.monitor.check = core::CheckPolicy::Cosine(0.99);
   setup.monitor.vote = core::VotePolicy::kMajority;
-  setup.monitor.response = core::ResponsePolicy::kContinueWithWinner;
+  setup.monitor.reaction = core::ReactionPolicy::ContinueWithWinner();
   setup.monitor.mode = core::ExecMode::kAsync;
   setup.host.network = transport::NetworkCostModel::TenGbE();
   return setup;

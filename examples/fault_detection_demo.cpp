@@ -95,7 +95,7 @@ int main() {
 
     core::MonitorConfig config;
     config.vote = core::VotePolicy::kMajority;
-    config.response = core::ResponsePolicy::kContinueWithWinner;
+    config.reaction = core::ReactionPolicy::ContinueWithWinner();
     auto monitor = core::Monitor::Create(&cpu, config);
     MVTEE_CHECK(monitor.ok());
     MVTEE_CHECK((*monitor)
@@ -137,7 +137,7 @@ int main() {
     }
     core::MonitorConfig config;
     config.vote = core::VotePolicy::kMajority;
-    config.response = core::ResponsePolicy::kContinueWithWinner;
+    config.reaction = core::ReactionPolicy::ContinueWithWinner();
     auto monitor = core::Monitor::Create(&cpu, config);
     MVTEE_CHECK(monitor.ok());
     MVTEE_CHECK((*monitor)

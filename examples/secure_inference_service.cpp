@@ -60,7 +60,7 @@ int main() {
 
   core::MonitorConfig config;
   config.vote = core::VotePolicy::kMajority;
-  config.response = core::ResponsePolicy::kContinueWithWinner;
+  config.reaction = core::ReactionPolicy::ContinueWithWinner();
   config.mode = core::ExecMode::kAsync;
   auto monitor = core::Monitor::Create(&cpu, config);
   if (!monitor.ok()) return 1;

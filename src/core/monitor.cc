@@ -1,5 +1,6 @@
 #include "core/monitor.h"
 
+#include <algorithm>
 #include <set>
 #include <thread>
 
@@ -107,6 +108,7 @@ void Monitor::BindMetrics() {
   m_.batches_completed = &metrics_->GetCounter("monitor.batches_completed");
   m_.batch_latency_us = &metrics_->GetHistogram("monitor.batch_latency_us");
   m_.attest_us = &metrics_->GetHistogram("monitor.attest_us");
+  m_.rebootstrap_us = &metrics_->GetHistogram("supervisor.rebootstrap_us");
   m_.wait_us = &metrics_->GetHistogram("monitor.wait_us");
   m_.verify_job_us = &metrics_->GetHistogram("monitor.verify_job_us");
   m_.verify_queue_depth = &metrics_->GetGauge("monitor.verify_queue_depth");
@@ -232,6 +234,7 @@ util::Status Monitor::ConfigureRoutes(VariantHost& host) {
   model_input_slots_.assign(num_stages, {});
   monitor_forwards_.assign(num_stages, {});
   stage_reports_.assign(num_stages, true);
+  stage_feed_count_.assign(num_stages, 0);
   num_fast_path_stages_ = 0;
   for (const auto& stage : stages_) {
     if (!stage.is_mvx()) ++num_fast_path_stages_;
@@ -284,6 +287,15 @@ util::Status Monitor::ConfigureRoutes(VariantHost& host) {
     }
   }
 
+  // Input-send counts per stage (timeout classification): one send for
+  // the model-input admit plus one per monitor-mediated producer.
+  for (size_t s = 0; s < num_stages; ++s) {
+    if (!model_input_slots_[s].empty()) ++stage_feed_count_[s];
+    for (const auto& target : monitor_forwards_[s]) {
+      ++stage_feed_count_[static_cast<size_t>(target.consumer_stage)];
+    }
+  }
+
   // Ensure every variant whose report flag differs from the default, or
   // that has routes, receives a message. Send everything first, then
   // collect acks (avoids handshake ordering deadlocks).
@@ -321,6 +333,14 @@ util::Status Monitor::Initialize(const OfflineBundle& bundle,
       static_cast<size_t>(bundle.num_stages)) {
     return util::InvalidArgument("selection stage count mismatch");
   }
+  if (config_.reaction.kind == ReactionKind::kQuarantineAndRestart &&
+      config_.direct_fastpath) {
+    // Quarantining reroutes a panel mid-run; variant-to-variant pipes
+    // cannot be re-brokered without tearing the whole pipeline down.
+    return util::InvalidArgument(
+        "ReactionPolicy::QuarantineAndRestart requires monitor-mediated "
+        "routing (direct_fastpath = false)");
+  }
   std::vector<StageState> stages(static_cast<size_t>(bundle.num_stages));
   for (int32_t s = 0; s < bundle.num_stages; ++s) {
     const auto& ids = selection.stage_variant_ids[static_cast<size_t>(s)];
@@ -349,6 +369,19 @@ util::Status Monitor::Initialize(const OfflineBundle& bundle,
       host.options().plaintext_channels ? 0.0
                                         : host.options().crypto_bytes_per_us;
   initialized_ = true;
+  if (config_.reaction.kind == ReactionKind::kQuarantineAndRestart) {
+    // Retain the provisioning material so the supervisor can re-run the
+    // two-stage bootstrap mid-run (bundle copies share the sealed
+    // store; the host reference must stay valid while running).
+    supervisor_ =
+        std::make_unique<Supervisor>(config_.reaction, metrics_);
+    supervisor_->Reset(selection.stage_variant_ids);
+    lifecycle_bundle_ = bundle;
+    lifecycle_host_ = &host;
+  } else {
+    supervisor_.reset();
+    lifecycle_host_ = nullptr;
+  }
   BindMetrics();  // resolves the per-stage instruments
   MVTEE_RETURN_IF_ERROR(ConfigureRoutes(host));
   return util::OkStatus();
@@ -392,6 +425,19 @@ util::Status Monitor::UpdateStage(const OfflineBundle& bundle,
     }
   }
   st.variants = std::move(fresh);
+  if (supervisor_ != nullptr) {
+    // Partial updates change panel membership: rebuild the lifecycle
+    // table from the live selection (all slots restart Healthy).
+    std::vector<std::vector<std::string>> current(stages_.size());
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      for (const auto& conn : stages_[s].variants) {
+        current[s].push_back(conn.id);
+      }
+    }
+    supervisor_->Reset(current);
+    lifecycle_bundle_ = bundle;
+    lifecycle_host_ = &host;
+  }
   // Horizontal scaling may change fast/slow classification.
   MVTEE_RETURN_IF_ERROR(ConfigureRoutes(host));
   return util::OkStatus();
@@ -410,20 +456,30 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::Run(
   return RunStream(batches, options);
 }
 
-util::Result<std::vector<Tensor>> Monitor::RunBatch(
-    const std::vector<Tensor>& inputs) {
-  MVTEE_ASSIGN_OR_RETURN(auto outs, RunStream({inputs}, RunOptions{}));
-  return std::move(outs[0]);
+void Monitor::DeactivateBinding(int32_t stage,
+                                const std::string& variant_id) {
+  std::lock_guard<std::mutex> lock(bindings_mu_);
+  for (auto& b : bindings_) {
+    if (b.stage == stage && b.variant_id == variant_id && b.active) {
+      b.active = false;
+    }
+  }
 }
 
-util::Result<std::vector<std::vector<Tensor>>> Monitor::RunSequential(
-    const std::vector<std::vector<Tensor>>& batches) {
-  return RunStream(batches, RunOptions{.pipelined = false});
-}
-
-util::Result<std::vector<std::vector<Tensor>>> Monitor::RunPipelined(
-    const std::vector<std::vector<Tensor>>& batches) {
-  return RunStream(batches, RunOptions{.pipelined = true});
+void Monitor::RebootstrapSlot(size_t stage, size_t vi) {
+  VariantConn& conn = stages_[stage].variants[vi];
+  supervisor_->BeginRebootstrap(stage, vi);
+  obs::ScopedSpan span("monitor/rebootstrap",
+                       {.stage = static_cast<int32_t>(stage),
+                        .tag = conn.id},
+                       &obs::TraceBuffer::Default(), m_.rebootstrap_us);
+  auto fresh = BindVariant(lifecycle_bundle_, *lifecycle_host_, conn.id);
+  const bool ok = fresh.ok();
+  if (ok) {
+    conn.channel = std::move(fresh->channel);
+    conn.channel->AttachWaiter(wait_set_);
+  }
+  supervisor_->FinishRebootstrap(stage, vi, ok, util::NowMicros());
 }
 
 util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
@@ -520,6 +576,17 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     std::set<size_t> verify_dirty;     // reports arrived while in flight
     bool complete = false;
     int64_t admit_vus = 0;  // virtual admission time
+    // Panel membership, frozen per batch at admission: 0 = excluded
+    // (quarantined / retired), 1 = voting, 2 = shadow (probation).
+    // Mid-batch transitions only affect later batches' masks.
+    std::vector<std::vector<char>> masks;
+    // Shadow (probation) reports, judged against the accepted outputs
+    // once the stage verdict commits — never part of the vote.
+    std::map<size_t, std::vector<std::optional<InferResultMsg>>> shadow;
+    std::map<size_t, std::vector<OutputsSummary>> shadow_sums;
+    // Input sends completed per stage; a stage "owes" reports only once
+    // feeds_done == stage_feed_count_ (timeout classification).
+    std::vector<size_t> feeds_done;
   };
   std::vector<BatchState> bs(num_batches);
   // Cross-validation worker pool (declared after `bs`: destroyed first,
@@ -580,6 +647,72 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     (void)recorder.DumpBundle(trigger, trace_ids[b], detail);
   };
 
+  // --- lifecycle supervision (ReactionKind::kQuarantineAndRestart) ---
+  const bool supervised = supervisor_ != nullptr;
+  bool lifecycle_events = false;       // any transition this run
+  size_t lifecycle_trigger_batch = 0;  // first affected batch (evidence)
+  // Settles a departed slot's owed reports as failures so waiting votes
+  // proceed without the recv timeout. Assigned after handle_result
+  // (mutual recursion: quarantine -> settle -> handle_result).
+  std::function<void(size_t, size_t, const char*)> settle_owed;
+
+  // Lifecycle verdict record ("quarantine" / "rebootstrap" / "readmit" /
+  // "retired") on the affected batch's trace.
+  auto note_lifecycle = [&](size_t s, size_t vi, const char* verdict,
+                            size_t b, const std::string& why) {
+    obs::CheckpointEvidence ev;
+    ev.trace_id = trace_ids[b];
+    ev.batch = base + b;
+    ev.stage = static_cast<int32_t>(s);
+    ev.verdict = verdict;
+    ev.v_decide_us = vclock_us_;
+    (void)why;  // reaches the trace via the rebootstrap/verify spans
+    obs::VariantEvidence ve;
+    ve.variant_id = stages_[s].variants[vi].id;
+    ve.ok = std::string_view(verdict) == "readmit" ||
+            std::string_view(verdict) == "rebootstrap";
+    ve.dissent = !ve.ok;
+    ev.variants.push_back(std::move(ve));
+    recorder.Note(std::move(ev));
+    if (!lifecycle_events) lifecycle_trigger_batch = b;
+    lifecycle_events = true;
+  };
+
+  // Channel teardown + audit for a slot that just left the panel.
+  auto detach_slot = [&](size_t s, size_t vi) {
+    stages_[s].variants[vi].channel->Close();
+    DeactivateBinding(static_cast<int32_t>(s), stages_[s].variants[vi].id);
+  };
+
+  auto on_quarantined = [&](size_t s, size_t vi, size_t b,
+                            const std::string& why) {
+    detach_slot(s, vi);
+    note_lifecycle(s, vi, "quarantine", b, why);
+    if (settle_owed) settle_owed(s, vi, "quarantined");
+  };
+
+  // Hard failure: quarantine when the supervisor allows the shrink.
+  // Returns false when unsupervised, at the panel floor, or on a
+  // fast-path (k == 1) stage — callers keep their old error handling.
+  auto lifecycle_failure = [&](size_t s, size_t vi, size_t b,
+                               FailureKind kind) {
+    if (!supervised || !stages_[s].is_mvx()) return false;
+    if (!supervisor_->ReportFailure(s, vi, kind, util::NowMicros())) {
+      return false;
+    }
+    on_quarantined(s, vi, b, std::string(FailureKindName(kind)));
+    return true;
+  };
+
+  // Checkpoint dissent: Healthy -> Suspect, then Quarantined once
+  // ReactionPolicy::dissent_threshold verdicts accumulate.
+  auto lifecycle_dissent = [&](size_t s, size_t vi, size_t b) {
+    if (!supervised) return;
+    if (supervisor_->ReportDissent(s, vi, util::NowMicros())) {
+      on_quarantined(s, vi, b, "dissent");
+    }
+  };
+
   util::Status run_error = util::OkStatus();
   size_t completed = 0;
   size_t admitted = 0;
@@ -606,6 +739,24 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     handling_cpu0 = util::ThreadCpuMicros();
     send_cpu_excluded = 0;
     bs[b].admit_vus = vnow();
+    // Freeze panel membership for this batch: quarantined slots get no
+    // inputs, probation slots shadow-execute.
+    BatchState& bstate = bs[b];
+    bstate.masks.resize(num_stages);
+    bstate.feeds_done.assign(num_stages, 0);
+    for (size_t s = 0; s < num_stages; ++s) {
+      bstate.masks[s].assign(stages_[s].variants.size(), 1);
+      if (!supervised) continue;
+      for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
+        if (supervisor_->Voting(s, vi)) {
+          bstate.masks[s][vi] = 1;
+        } else if (supervisor_->Shadow(s, vi)) {
+          bstate.masks[s][vi] = 2;
+        } else {
+          bstate.masks[s][vi] = 0;
+        }
+      }
+    }
     for (size_t s = 0; s < num_stages; ++s) {
       if (model_input_slots_[s].empty()) continue;
       InferMsg msg;
@@ -615,7 +766,9 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         msg.inputs.push_back(batches[b][input_idx]);
       }
       util::Bytes frame = EncodeInfer(msg);
-      for (auto& conn : stages_[s].variants) {
+      for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
+        if (bstate.masks[s][vi] == 0) continue;
+        auto& conn = stages_[s].variants[vi];
         PatchVtime(frame, static_cast<uint64_t>(
                               vnow() + charge_boundary(s, frame.size())));
         const int64_t send_cpu0 = util::ThreadCpuMicros();
@@ -623,6 +776,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
         if (!st.ok() && run_error.ok()) run_error = st;
       }
+      ++bstate.feeds_done[s];
     }
     vclock_us_ = vnow();  // the monitor's ingestion path is serial
     ++admitted;
@@ -638,11 +792,16 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     return true;
   };
 
+  // Judges any shadow reports buffered while stage s's verdict was
+  // pending. Assigned after dissents_from_chosen (definition order).
+  std::function<void(size_t, size_t)> judge_pending_shadows;
+
   // Forward declaration pattern via std::function is avoided: forwarding
   // never recurses (targets are plain sends).
   auto on_chosen = [&](size_t s, size_t b) {
     BatchState& state = bs[b];
     event_vbase = state.v_chosen.count(s) ? state.v_chosen[s] : vnow();
+    if (supervised && judge_pending_shadows) judge_pending_shadows(s, b);
     if (!monitor_forwards_[s].empty()) {
       obs::TraceContextScope troot(trace_ids[b], 0);
       obs::ScopedSpan span("monitor/forward",
@@ -662,7 +821,14 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         }
         util::Bytes frame = EncodeInfer(msg);
         const auto consumer = static_cast<size_t>(target.consumer_stage);
-        for (auto& conn : stages_[consumer].variants) {
+        for (size_t vi = 0; vi < stages_[consumer].variants.size(); ++vi) {
+          if (state.masks[consumer][vi] == 0) continue;
+          // A panel member of this batch may have been quarantined
+          // since admission: its channel is closed, skip quietly.
+          if (supervised && !supervisor_->ChannelLive(consumer, vi)) {
+            continue;
+          }
+          auto& conn = stages_[consumer].variants[vi];
           PatchVtime(frame,
                      static_cast<uint64_t>(
                          vnow() + charge_boundary(consumer, frame.size())));
@@ -671,6 +837,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
           if (!st.ok() && run_error.ok()) run_error = st;
         }
+        ++state.feeds_done[consumer];
       }
     }
     if (!state.complete && batch_complete(state)) {
@@ -749,6 +916,42 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     return !ok;
   };
 
+  // Probation verdict: a shadow report either agrees with the accepted
+  // outputs (one step closer to readmission) or dissents (back to
+  // quarantine, or retired once the retry budget is spent).
+  auto judge_shadow_slot = [&](size_t s, size_t b, size_t vi) {
+    BatchState& state = bs[b];
+    auto shit = state.shadow.find(s);
+    if (shit == state.shadow.end() || !shit->second[vi].has_value()) return;
+    InferResultMsg r = std::move(*shit->second[vi]);
+    shit->second[vi].reset();  // judged exactly once
+    const OutputsSummary rsum = state.shadow_sums[s][vi];
+    const bool agreed = r.ok && !dissents_from_chosen(state, s, r, rsum);
+    switch (supervisor_->ReportProbation(s, vi, agreed, util::NowMicros())) {
+      case Supervisor::ProbationOutcome::kReadmitted:
+        note_lifecycle(s, vi, "readmit", b, "probation complete");
+        break;
+      case Supervisor::ProbationOutcome::kRequarantined:
+        detach_slot(s, vi);
+        note_lifecycle(s, vi, "quarantine", b, "probation dissent");
+        break;
+      case Supervisor::ProbationOutcome::kRetired:
+        detach_slot(s, vi);
+        note_lifecycle(s, vi, "retired", b, "retry budget exhausted");
+        break;
+      case Supervisor::ProbationOutcome::kNone:
+        break;
+    }
+  };
+  judge_pending_shadows = [&](size_t s, size_t b) {
+    BatchState& state = bs[b];
+    auto shit = state.shadow.find(s);
+    if (shit == state.shadow.end()) return;
+    for (size_t vi = 0; vi < shit->second.size(); ++vi) {
+      if (shit->second[vi].has_value()) judge_shadow_slot(s, b, vi);
+    }
+  };
+
   // Finalizes an MVX stage verdict from a full panel. The O(k²) Vote
   // runs on the verify pool; the applier (monitor thread) commits the
   // verdict. Settled panel slots are captured by pointer — they are
@@ -758,25 +961,47 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     BatchState& state = bs[b];
     BatchState* st = &state;
     const size_t k = stages_[s].variants.size();
-    std::vector<const InferResultMsg*> settled(k, nullptr);
-    std::vector<OutputsSummary> sums(k);
+    // Participating slots (batch mask == 1). Under supervision, failed
+    // and missing members are excluded from the vote list and recorded
+    // as automatic dissenters: acceptance is decided over the live
+    // panel, so a degraded stage still reaches quorum (dMVX-style).
+    std::vector<size_t> vmap;       // vote-list position -> panel index
+    std::vector<int> auto_dissent;  // participating, excluded from list
+    std::vector<const InferResultMsg*> settled;
+    std::vector<OutputsSummary> sums;
     for (size_t i = 0; i < k; ++i) {
+      if (supervised && state.masks[s][i] != 1) continue;
       const auto& r = state.reports[s][i];
-      if (r.has_value()) settled[i] = &*r;
-      if (i < state.summaries[s].size()) sums[i] = state.summaries[s][i];
+      if (supervised && (!r.has_value() || !r->ok)) {
+        auto_dissent.push_back(static_cast<int>(i));
+        continue;
+      }
+      vmap.push_back(i);
+      settled.push_back(r.has_value() ? &*r : nullptr);
+      sums.push_back(i < state.summaries[s].size() ? state.summaries[s][i]
+                                                   : OutputsSummary{});
+    }
+    VotePolicy vote_policy = config_.vote;
+    if (supervised && config_.reaction.degrade_to_majority) {
+      // The quarantine reaction accepts on majority (the batch serves
+      // from the winning bloc); dissent still drives quarantine.
+      vote_policy = VotePolicy::kMajority;
     }
     const bool prefilter = config_.digest_prefilter;
     const CheckPolicy check = config_.check;
-    const VotePolicy vote_policy = config_.vote;
     obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
     pool.Submit([this, s, b, k, st, base, tid = trace_ids[b],
+                 vmap = std::move(vmap),
+                 auto_dissent = std::move(auto_dissent),
                  settled = std::move(settled),
                  sums = std::move(sums), prefilter, check, vote_policy,
                  verify_hist, &rstats, &run_error, &on_chosen,
                  &note_verify_job, &note_checkpoint, &dump_evidence,
-                 &begin_decision_event]() -> VerifyPool::Apply {
-      std::vector<std::vector<Tensor>> list(k);
-      for (size_t i = 0; i < k; ++i) {
+                 &begin_decision_event,
+                 &lifecycle_dissent]() -> VerifyPool::Apply {
+      const size_t kv = settled.size();
+      std::vector<std::vector<Tensor>> list(kv);
+      for (size_t i = 0; i < kv; ++i) {
         if (settled[i] != nullptr && settled[i]->ok) {
           list[i] = settled[i]->outputs;
         }
@@ -798,27 +1023,38 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       }
       const int64_t verify_cpu = util::ThreadCpuMicros() - cpu0;
       return [this, s, b, k, st, vote, cstats, verify_cpu,
+              vmap = std::move(vmap),
+              auto_dissent = std::move(auto_dissent),
               list = std::move(list), sums = std::move(sums), &rstats,
               &run_error, &on_chosen, &note_verify_job, &note_checkpoint,
-              &dump_evidence, &begin_decision_event]() mutable {
+              &dump_evidence, &begin_decision_event,
+              &lifecycle_dissent]() mutable {
         if (st->voted.count(s)) return;  // quorum decided meanwhile
         st->voted.insert(s);
         note_verify_job(verify_cpu, cstats);
         begin_decision_event(*st, s, verify_cpu);
         rstats.checkpoints_evaluated++;
-        rstats.divergences += vote.dissenters.size();
-        m_.divergences_total->Add(vote.dissenters.size());
+        // Dissenters in panel coordinates: the vote's dissenters mapped
+        // back through vmap plus the auto-excluded failures.
+        std::vector<int> dissent_idx = auto_dissent;
+        for (int d : vote.dissenters) {
+          dissent_idx.push_back(
+              static_cast<int>(vmap[static_cast<size_t>(d)]));
+        }
+        std::sort(dissent_idx.begin(), dissent_idx.end());
+        rstats.divergences += dissent_idx.size();
+        m_.divergences_total->Add(dissent_idx.size());
         note_checkpoint(s, b,
-                        vote.dissenters.empty() ? "accepted" : "divergence",
-                        st->v_chosen[s], vote.dissenters);
-        if (!vote.accepted ||
-            (config_.response == ResponsePolicy::kAbort &&
-             !vote.dissenters.empty())) {
+                        dissent_idx.empty() ? "accepted" : "divergence",
+                        st->v_chosen[s], dissent_idx);
+        if (!vote.accepted || vote.winner < 0 ||
+            (config_.reaction.kind == ReactionKind::kAbort &&
+             !dissent_idx.empty())) {
           if (run_error.ok()) {
             run_error = util::DivergenceDetected(
                 "stage " + std::to_string(s) + " batch " +
                 std::to_string(b) + ": " +
-                std::to_string(vote.dissenters.size()) + "/" +
+                std::to_string(dissent_idx.size()) + "/" +
                 std::to_string(k) + " variants dissent");
           }
           dump_evidence("vote-divergence", b, run_error.message());
@@ -826,6 +1062,9 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         }
         st->chosen[s] = std::move(list[static_cast<size_t>(vote.winner)]);
         st->chosen_summary[s] = sums[static_cast<size_t>(vote.winner)];
+        for (int d : dissent_idx) {
+          lifecycle_dissent(s, static_cast<size_t>(d), b);
+        }
         on_chosen(s, b);
       };
     });
@@ -850,7 +1089,10 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     std::vector<OutputsSummary> sums;
     std::vector<char> in_snapshot(k, 0);
     size_t settled_count = 0;
+    size_t voting_count = 0;  // batch-frozen panel size (mask == 1)
     for (size_t i = 0; i < k; ++i) {
+      if (supervised && state.masks[s][i] != 1) continue;
+      ++voting_count;
       const auto& r = state.reports[s][i];
       if (!r.has_value()) continue;
       in_snapshot[i] = 1;
@@ -866,11 +1108,12 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     pool.Submit([this, s, b, k, st, base, tid = trace_ids[b],
                  outs = std::move(outs),
                  sums = std::move(sums), in_snapshot = std::move(in_snapshot),
-                 settled_count, prefilter, check, verify_hist, &rstats,
+                 settled_count, voting_count, supervised, prefilter, check,
+                 verify_hist, &rstats,
                  &run_error, &on_chosen, &note_verify_job, &note_checkpoint,
                  &dump_evidence,
                  &begin_decision_event, &dissents_from_chosen,
-                 &schedule_quorum,
+                 &schedule_quorum, &lifecycle_dissent,
                  &schedule_full_vote]() -> VerifyPool::Apply {
       const int64_t cpu0 = util::ThreadCpuMicros();
       CheckStats cstats;
@@ -905,21 +1148,25 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       }
       const int64_t verify_cpu = util::ThreadCpuMicros() - cpu0;
       return [this, s, b, k, st, outs, sums, in_snapshot, settled_count,
-              cstats, verify_cpu, best_pos, best_size,
+              voting_count, supervised, cstats, verify_cpu, best_pos,
+              best_size,
               best_bloc = std::move(best_bloc), &rstats, &run_error,
               &on_chosen, &note_verify_job, &note_checkpoint,
               &dump_evidence, &begin_decision_event,
-              &dissents_from_chosen, &schedule_quorum,
+              &dissents_from_chosen, &schedule_quorum, &lifecycle_dissent,
               &schedule_full_vote]() {
         st->verify_inflight.erase(s);
         const bool was_dirty = st->verify_dirty.count(s) > 0;
         st->verify_dirty.erase(s);
         if (st->voted.count(s)) return;
         note_verify_job(verify_cpu, cstats);
-        const size_t quorum = k / 2 + 1;
+        // Quorum over the batch-frozen panel, not the configured k: a
+        // degraded panel keeps making progress.
+        const size_t quorum = voting_count / 2 + 1;
         size_t received_now = 0;
-        for (const auto& r : st->reports[s]) {
-          if (r.has_value()) ++received_now;
+        for (size_t i = 0; i < k; ++i) {
+          if (supervised && st->masks[s][i] != 1) continue;
+          if (st->reports[s][i].has_value()) ++received_now;
         }
         if (best_size >= quorum) {
           st->voted.insert(s);
@@ -956,7 +1203,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
                           dissent_now > 0 ? "divergence" : "accepted",
                           st->v_chosen[s], dissent_idx);
           if (dissent_now > 0 &&
-              config_.response == ResponsePolicy::kAbort) {
+              config_.reaction.kind == ReactionKind::kAbort) {
             if (run_error.ok()) {
               run_error = util::DivergenceDetected(
                   "stage " + std::to_string(s) + " batch " +
@@ -965,9 +1212,13 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
             dump_evidence("vote-divergence", b, run_error.message());
             return;
           }
+          for (int d : dissent_idx) {
+            lifecycle_dissent(s, static_cast<size_t>(d), b);
+          }
           // Reports that landed between snapshot and decision are
           // cross-validated as stragglers.
           for (size_t i = 0; i < k; ++i) {
+            if (supervised && st->masks[s][i] != 1) continue;
             const auto& r = st->reports[s][i];
             if (!r.has_value() || in_snapshot[i]) continue;
             const OutputsSummary rsum =
@@ -978,13 +1229,14 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
               m_.divergences_total->Add(1);
               note_checkpoint(s, b, "late-divergence", st->v_chosen[s],
                               {static_cast<int>(i)});
+              lifecycle_dissent(s, i, b);
             }
           }
           on_chosen(s, b);
           return;
         }
         // No quorum in this snapshot.
-        if (received_now == k) {
+        if (received_now == voting_count) {
           schedule_full_vote(s, b);
           return;
         }
@@ -1060,6 +1312,26 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
 
     // Slow path (MVX panel).
+    const char mk = supervised ? state.masks[s][vi] : char{1};
+    if (mk == 0) return;  // slot was not admitted for this batch
+    if (mk == 2) {
+      // Probation shadow: buffered out of the vote entirely; judged
+      // against the committed verdict (immediately when this stage has
+      // already decided, else when on_chosen drains pending shadows).
+      auto& sh = state.shadow[s];
+      auto& shs = state.shadow_sums[s];
+      if (sh.empty()) {
+        sh.resize(k);
+        shs.resize(k);
+      }
+      if (sh[vi].has_value()) return;
+      if (config_.digest_prefilter && msg.ok) {
+        shs[vi] = SummarizeOutputs(msg.outputs);
+      }
+      sh[vi] = std::move(msg);
+      if (state.voted.count(s)) judge_shadow_slot(s, b, vi);
+      return;
+    }
     auto& panel = state.reports[s];
     auto& sums = state.summaries[s];
     if (panel.empty()) {
@@ -1076,6 +1348,15 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       sums[vi] = SummarizeOutputs(msg.outputs);
     }
     panel[vi] = std::move(msg);
+    if (supervised && !panel[vi]->ok) {
+      // Hard failure report: quarantine now (panel permitting) instead
+      // of waiting for the vote to count the slot as a dissenter.
+      const FailureKind kind =
+          panel[vi]->error.rfind("recv timeout", 0) == 0
+              ? FailureKind::kTimeout
+              : FailureKind::kCrash;
+      lifecycle_failure(s, vi, b, kind);
+    }
 
     if (state.voted.count(s)) {
       // Async straggler: cross-validate against the accepted value.
@@ -1085,17 +1366,20 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         note_checkpoint(s, b, "late-divergence",
                         static_cast<int64_t>(panel[vi]->vtime_us),
                         {static_cast<int>(vi)});
+        lifecycle_dissent(s, vi, b);
       }
       return;
     }
 
-    size_t received = 0;
-    for (const auto& r : panel) {
-      if (r.has_value()) ++received;
+    size_t received = 0, voting = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (supervised && state.masks[s][i] != 1) continue;
+      ++voting;
+      if (panel[i].has_value()) ++received;
     }
 
     if (config_.mode == ExecMode::kSync) {
-      if (received == k) schedule_full_vote(s, b);
+      if (received == voting) schedule_full_vote(s, b);
       return;
     }
 
@@ -1103,13 +1387,42 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     // results received so far (Fig. 8). The bloc scan runs on the
     // verify pool; if one is already in flight for this stage, mark it
     // dirty so its applier re-examines the grown panel.
-    const size_t quorum = k / 2 + 1;
+    const size_t quorum = voting / 2 + 1;
     if (received >= quorum) {
       if (state.verify_inflight.count(s)) {
         state.verify_dirty.insert(s);
       } else {
         schedule_quorum(s, b);
       }
+    }
+  };
+
+  // A quarantined slot may still owe reports to in-flight batches whose
+  // masks froze it as a voter. Settle those as synthesized failures so
+  // their votes proceed immediately instead of waiting out recv_timeout.
+  settle_owed = [&](size_t s, size_t vi, const char* why) {
+    if (!stages_[s].is_mvx()) return;
+    for (size_t b = 0; b < admitted; ++b) {
+      BatchState& state = bs[b];
+      if (state.complete || state.masks.empty()) continue;
+      if (state.masks[s][vi] != 1) continue;
+      if (state.voted.count(s)) continue;
+      // Only stages whose inputs were fully dispatched owe a report.
+      if (stage_feed_count_[s] == 0 ||
+          state.feeds_done[s] < stage_feed_count_[s]) {
+        continue;
+      }
+      const auto pit = state.reports.find(s);
+      if (pit != state.reports.end() && vi < pit->second.size() &&
+          pit->second[vi].has_value()) {
+        continue;  // already settled
+      }
+      InferResultMsg fail;
+      fail.batch_id = base + b;
+      fail.vtime_us = static_cast<uint64_t>(vclock_us_);
+      fail.ok = false;
+      fail.error = why;
+      handle_result(s, vi, std::move(fail));
     }
   };
 
@@ -1164,14 +1477,45 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       progressed = true;
     }
 
+    // 2b) Lifecycle: re-run the two-stage bootstrap for quarantined
+    //     slots whose backoff expired (inline — the handshake shares
+    //     the monitor's enclave context).
+    if (supervised && run_error.ok()) {
+      for (const auto& [qs, qvi] :
+           supervisor_->DueForRebootstrap(util::NowMicros())) {
+        RebootstrapSlot(qs, qvi);
+        const size_t evb = admitted > 0 ? admitted - 1 : 0;
+        const VariantLifecycle after = supervisor_->state(qs, qvi);
+        if (after == VariantLifecycle::kRetired) {
+          note_lifecycle(qs, qvi, "retired", evb,
+                         "bootstrap retry budget exhausted");
+        } else if (after == VariantLifecycle::kProbation) {
+          note_lifecycle(qs, qvi, "rebootstrap", evb,
+                         "re-attested; entering probation");
+        }
+        progressed = true;
+      }
+    }
+
     // 3) Frames.
     for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
       for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
+        if (supervised && !supervisor_->ChannelLive(s, vi)) continue;
         auto frame = stages_[s].variants[vi].channel->Recv(0);
         if (!frame.ok()) {
           const auto code = frame.status().code();
           if (code == util::StatusCode::kDeadlineExceeded) {
             continue;  // no frame pending — the only benign case
+          }
+          // Channel death on a supervised MVX panel is a lifecycle
+          // event, not a run error, while the panel floor allows the
+          // shrink. Tampered/replayed frames kill the CHANNEL's trust
+          // (the variant is quarantined and re-attested from scratch);
+          // without a supervisor they abort the run as before.
+          if (lifecycle_failure(s, vi, admitted > 0 ? admitted - 1 : 0,
+                                FailureKind::kChannel)) {
+            progressed = true;
+            continue;
           }
           if (run_error.ok()) {
             if (code == util::StatusCode::kUnavailable) {
@@ -1212,6 +1556,52 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     } else if (run_error.ok()) {
       const int64_t now = util::NowMicros();
       if (now > idle_deadline) {
+        // A silent variant must not fail the whole batch while the
+        // remaining panel can still satisfy the vote policy: classify
+        // the expiry as per-slot variant failures on every owed voting
+        // slot of a dispatched MVX stage, and let the verdict machinery
+        // (and the supervisor, if any) take it from there. Fast-path
+        // stages have no panel to absorb the loss — they still abort.
+        bool classified = false;
+        if (config_.reaction.kind != ReactionKind::kAbort &&
+            !config_.direct_fastpath) {
+          for (size_t b = 0; b < admitted && run_error.ok(); ++b) {
+            BatchState& state = bs[b];
+            if (state.complete || state.masks.empty()) continue;
+            for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
+              if (!stages_[s].is_mvx()) continue;
+              if (state.voted.count(s)) continue;
+              if (stage_feed_count_[s] == 0 ||
+                  state.feeds_done[s] < stage_feed_count_[s]) {
+                continue;  // inputs not dispatched: nothing is owed
+              }
+              const size_t kk = stages_[s].variants.size();
+              for (size_t vi = 0; vi < kk && run_error.ok(); ++vi) {
+                if (state.masks[s][vi] != 1) continue;
+                const auto pit = state.reports.find(s);
+                if (pit != state.reports.end() &&
+                    vi < pit->second.size() &&
+                    pit->second[vi].has_value()) {
+                  continue;  // already settled
+                }
+                event_vbase = vclock_us_;
+                handling_cpu0 = util::ThreadCpuMicros();
+                send_cpu_excluded = 0;
+                InferResultMsg fail;
+                fail.batch_id = base + b;
+                fail.vtime_us = static_cast<uint64_t>(vclock_us_);
+                fail.ok = false;
+                fail.error = "recv timeout: no report within recv_timeout_us";
+                handle_result(s, vi, std::move(fail));
+                classified = true;
+              }
+            }
+          }
+        }
+        if (classified) {
+          idle_deadline = util::NowMicros() + config_.recv_timeout_us;
+          continue;
+        }
         run_error = util::DeadlineExceeded(
             "no variant progress within recv_timeout (" +
             std::to_string(completed) + "/" +
@@ -1244,6 +1634,13 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
             : "run-abort";
     dump_evidence(trigger, admitted > 0 ? admitted - 1 : 0,
                   run_error.message());
+  }
+  // Lifecycle-only runs (quarantines absorbed without aborting) leave a
+  // bundle too: the ring holds the quarantine AND readmit/retire
+  // verdicts, attributed to the first affected batch's trace.
+  if (lifecycle_events && !evidence_dumped) {
+    dump_evidence("quarantine", lifecycle_trigger_batch,
+                  "variant lifecycle events (run completed)");
   }
 
   // Merge this run into the registry (even on error: partial work shows

@@ -15,7 +15,9 @@
 //  - selective MVX (vertical/horizontal scaling of the MVX config);
 //  - sync and asynchronous cross-validation execution modes (Fig. 8);
 //  - sequential and pipelined batch execution;
-//  - divergence response (abort or continue-with-winner) and statistics.
+//  - divergence reaction (ReactionPolicy: abort, continue-with-winner,
+//    or quarantine + attested re-bootstrap via the lifecycle
+//    supervisor) and statistics.
 #pragma once
 
 #include <atomic>
@@ -28,6 +30,8 @@
 #include "core/consistency.h"
 #include "core/messages.h"
 #include "core/offline.h"
+#include "core/reaction_policy.h"
+#include "core/supervisor.h"
 #include "core/variant_host.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -38,16 +42,40 @@
 namespace mvtee::core {
 
 enum class ExecMode : uint8_t { kSync = 0, kAsync };
-enum class ResponsePolicy : uint8_t {
-  kAbort = 0,            // fail the batch on any rejected vote
-  kContinueWithWinner,   // majority verdicts proceed; rejection still aborts
+
+// Retired divergence-response enum; superseded by ReactionPolicy
+// (reaction_policy.h). Kept one release for the migration shim below.
+enum class [[deprecated(
+    "use core::ReactionPolicy "
+    "(MonitorConfig::reaction)")]] ResponsePolicy : uint8_t {
+  kAbort = 0,
+  kContinueWithWinner,
 };
 
 struct MonitorConfig {
   CheckPolicy check = CheckPolicy::Cosine(0.995);
   VotePolicy vote = VotePolicy::kUnanimous;
   ExecMode mode = ExecMode::kSync;
-  ResponsePolicy response = ResponsePolicy::kAbort;
+  // How the monitor reacts to divergence and variant failure: abort the
+  // run, continue with the winner, or quarantine + re-bootstrap the
+  // dissenting variant (full recovery loop — see reaction_policy.h).
+  ReactionPolicy reaction = ReactionPolicy::Abort();
+
+  // Deprecated shim (one release): maps the retired ResponsePolicy enum
+  // onto `reaction`.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  [[deprecated("assign MonitorConfig::reaction instead")]]
+  void set_response(ResponsePolicy response) {
+    reaction = response == ResponsePolicy::kAbort
+                   ? ReactionPolicy::Abort()
+                   : ReactionPolicy::ContinueWithWinner();
+  }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
   // Fast-path stages stream outputs directly to the next partition's
   // variants over dedicated secure channels instead of via the monitor.
   bool direct_fastpath = false;
@@ -180,24 +208,20 @@ class Monitor {
                           const MvxSelection& selection, VariantHost& host);
 
   // Unified execution entry point: runs `batches` through the pipeline
-  // under the given per-call options (sequential or pipelined
-  // admission, optional deadline, optional stats-snapshot handle).
+  // under the given per-call options and returns each batch's model
+  // outputs in order.
+  //
+  //   Run({inputs})                                  — one batch
+  //   Run(batches)                                   — sequential: each
+  //     batch admitted only once the previous one completed
+  //   Run(batches, RunOptions{.pipelined = true})    — all batches
+  //     streamed through the pipeline simultaneously
+  //
+  // (These three shapes replaced the former RunBatch / RunSequential /
+  // RunPipelined entry points.)
   util::Result<std::vector<std::vector<tensor::Tensor>>> Run(
       const std::vector<std::vector<tensor::Tensor>>& batches,
       const RunOptions& options = RunOptions{});
-
-  // --- deprecated entry points (thin wrappers over Run) ---
-  [[deprecated("use Monitor::Run({inputs}, RunOptions{})")]]
-  util::Result<std::vector<tensor::Tensor>> RunBatch(
-      const std::vector<tensor::Tensor>& inputs);
-
-  [[deprecated("use Monitor::Run(batches, RunOptions{.pipelined = false})")]]
-  util::Result<std::vector<std::vector<tensor::Tensor>>> RunSequential(
-      const std::vector<std::vector<tensor::Tensor>>& batches);
-
-  [[deprecated("use Monitor::Run(batches, RunOptions{.pipelined = true})")]]
-  util::Result<std::vector<std::vector<tensor::Tensor>>> RunPipelined(
-      const std::vector<std::vector<tensor::Tensor>>& batches);
 
   util::Status Shutdown();
 
@@ -208,6 +232,12 @@ class Monitor {
   obs::Registry& metrics() const { return *metrics_; }
   const MonitorConfig& config() const { return config_; }
   const tee::Enclave& enclave() const { return *enclave_; }
+
+  // Lifecycle supervisor (present only under
+  // ReactionKind::kQuarantineAndRestart); per-variant lifecycle state,
+  // quarantine/readmission counters. Stable across runs until the next
+  // Initialize/UpdateStage.
+  const Supervisor* supervisor() const { return supervisor_.get(); }
 
   // Audit log of variant bindings ("appending-only for auditing").
   struct Binding {
@@ -257,6 +287,17 @@ class Monitor {
 
   util::Status ConfigureRoutes(VariantHost& host);
 
+  // Supervisor-driven repair: re-runs the two-stage attested bootstrap
+  // for a quarantined slot against the retained bundle/host (fresh TEE,
+  // new session keys, re-verified second-stage manifest). On success
+  // the slot enters probation; on failure the supervisor schedules the
+  // next backoff step or retires the slot.
+  void RebootstrapSlot(size_t stage, size_t vi);
+
+  // Marks the audit-log binding of a quarantined/retired variant
+  // inactive (the replacement is appended by BindVariant).
+  void DeactivateBinding(int32_t stage, const std::string& variant_id);
+
   // The event-driven engine behind Run.
   util::Result<std::vector<std::vector<tensor::Tensor>>> RunStream(
       const std::vector<std::vector<tensor::Tensor>>& batches,
@@ -288,6 +329,19 @@ class Monitor {
   // Per stage: does the monitor expect kInferResult reports from it?
   std::vector<bool> stage_reports_;
   size_t num_fast_path_stages_ = 0;
+  // Per stage: how many distinct input sends (model-input admit + one
+  // per producer forward) a batch needs before the stage has all its
+  // inputs. Used to tell "variant is owed a report" from "inputs not
+  // dispatched yet" when a recv timeout is being classified.
+  std::vector<size_t> stage_feed_count_;
+
+  // Recovery loop (ReactionKind::kQuarantineAndRestart): lifecycle
+  // state machine plus the provisioning material needed to re-run the
+  // two-stage bootstrap mid-run. The host must outlive the monitor
+  // while the quarantine reaction is configured.
+  std::unique_ptr<Supervisor> supervisor_;
+  OfflineBundle lifecycle_bundle_;
+  VariantHost* lifecycle_host_ = nullptr;
 
   // Observability: all monitor counters live in the metrics registry;
   // ConsumeStats() reads them as a delta against `consumed_base_`.
@@ -305,6 +359,9 @@ class Monitor {
     obs::Counter* batches_completed = nullptr;
     obs::Histogram* batch_latency_us = nullptr;
     obs::Histogram* attest_us = nullptr;
+    // Wall-clock cost of one supervisor-driven attested re-bootstrap
+    // (spawn + attest + handshake + identity + manifest evidence).
+    obs::Histogram* rebootstrap_us = nullptr;
     // Evented-loop instruments: time spent blocked waiting for events
     // vs. cross-validation work, verify-pool backlog, and digest
     // prefilter effectiveness.

@@ -1,0 +1,69 @@
+#include "core/reaction_policy.h"
+
+#include <algorithm>
+
+namespace mvtee::core {
+
+std::string_view ReactionKindName(ReactionKind kind) {
+  switch (kind) {
+    case ReactionKind::kAbort: return "abort";
+    case ReactionKind::kContinueWithWinner: return "continue-with-winner";
+    case ReactionKind::kQuarantineAndRestart: return "quarantine-and-restart";
+  }
+  return "?";
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::Abort() {
+  policy_.kind = ReactionKind::kAbort;
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::ContinueWithWinner() {
+  policy_.kind = ReactionKind::kContinueWithWinner;
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::QuarantineAndRestart() {
+  policy_.kind = ReactionKind::kQuarantineAndRestart;
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::MinPanel(int floor) {
+  policy_.min_panel = std::max(1, floor);
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::ProbationBatches(
+    int batches) {
+  policy_.probation_batches = std::max(1, batches);
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::DissentThreshold(
+    int dissents) {
+  policy_.dissent_threshold = std::max(1, dissents);
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::RetryBudget(int attempts) {
+  policy_.retry_budget = std::max(0, attempts);
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::Backoff(int64_t initial_us,
+                                                          double multiplier,
+                                                          int64_t max_us) {
+  policy_.initial_backoff_us = std::max<int64_t>(0, initial_us);
+  policy_.backoff_multiplier = std::max(1.0, multiplier);
+  policy_.max_backoff_us = std::max<int64_t>(policy_.initial_backoff_us,
+                                             max_us);
+  return *this;
+}
+
+ReactionPolicyBuilder& ReactionPolicyBuilder::DegradeToMajority(
+    bool degrade) {
+  policy_.degrade_to_majority = degrade;
+  return *this;
+}
+
+}  // namespace mvtee::core

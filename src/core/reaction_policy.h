@@ -1,0 +1,118 @@
+// ReactionPolicy: the monitor's divergence-response surface.
+//
+// The paper's monitor does not merely *detect* a compromised variant —
+// it reacts (§4.3): quarantine the dissenter, re-provision it through
+// the two-stage attestable bootstrap (Fig. 6), and keep serving from
+// the surviving panel. This header unifies what used to be the
+// `ResponsePolicy` enum plus loose `MonitorConfig` knobs into a single
+// value type describing the whole reaction, including the recovery
+// loop's tuning (panel floor, probation length, bootstrap backoff and
+// retry budget).
+//
+//   MonitorConfig cfg;
+//   cfg.reaction = ReactionPolicy::Abort();              // fail fast
+//   cfg.reaction = ReactionPolicy::ContinueWithWinner(); // serve winner
+//   cfg.reaction = ReactionPolicy::Builder()             // full loop
+//                      .QuarantineAndRestart()
+//                      .MinPanel(2)
+//                      .ProbationBatches(3)
+//                      .DissentThreshold(1)
+//                      .RetryBudget(2)
+//                      .Backoff(/*initial_us=*/1'000, /*multiplier=*/2.0,
+//                               /*max_us=*/5'000'000)
+//                      .Build();
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mvtee::core {
+
+enum class ReactionKind : uint8_t {
+  // Fail the run on any rejected vote or observed dissent.
+  kAbort = 0,
+  // Majority verdicts proceed with the winner; rejection still aborts.
+  // Lost variants are never recovered.
+  kContinueWithWinner,
+  // Full recovery loop: dissenting/failed variants are quarantined (the
+  // panel shrinks in place, down to `min_panel`), re-bootstrapped
+  // through the attested two-stage protocol with capped exponential
+  // backoff, and re-admitted after shadow-agreeing on
+  // `probation_batches` checkpoints. Exhausting `retry_budget`
+  // bootstrap attempts retires the variant permanently.
+  kQuarantineAndRestart,
+};
+
+std::string_view ReactionKindName(ReactionKind kind);
+
+class ReactionPolicyBuilder;
+
+struct ReactionPolicy {
+  ReactionKind kind = ReactionKind::kAbort;
+
+  // --- kQuarantineAndRestart tuning (ignored by the other kinds) ---
+
+  // Panel floor: a variant is only quarantined while the stage keeps at
+  // least this many voting members afterwards. At the floor a failing
+  // variant stays in the panel (dissenting every batch) rather than
+  // shrinking it further.
+  int min_panel = 1;
+  // Checkpoints a re-bootstrapped variant must shadow-agree on (its
+  // reports compared against the accepted outputs without voting)
+  // before it rejoins the panel.
+  int probation_batches = 2;
+  // Cumulative dissent verdicts before a Suspect variant is
+  // quarantined. 1 quarantines on the first dissent; the default gives
+  // one strike (Healthy -> Suspect) before removal. Hard failures
+  // (crash / recv timeout / channel auth) always quarantine
+  // immediately.
+  int dissent_threshold = 2;
+  // Total bootstrap attempts per variant per run before it is Retired.
+  int retry_budget = 3;
+  // Capped exponential backoff between bootstrap attempts (wall-clock):
+  // attempt n waits min(initial * multiplier^(n-1), max).
+  int64_t initial_backoff_us = 1'000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 5'000'000;
+  // When true (default) a quarantine-mode panel accepts on majority
+  // even if configured kUnanimous — dissent still drives quarantine,
+  // but the batch completes from the winning bloc. When false the
+  // configured vote policy is enforced over the live panel.
+  bool degrade_to_majority = true;
+
+  static ReactionPolicy Abort() { return ReactionPolicy{}; }
+  static ReactionPolicy ContinueWithWinner() {
+    ReactionPolicy p;
+    p.kind = ReactionKind::kContinueWithWinner;
+    return p;
+  }
+  static ReactionPolicy QuarantineAndRestart() {
+    ReactionPolicy p;
+    p.kind = ReactionKind::kQuarantineAndRestart;
+    return p;
+  }
+
+  // Fluent construction, mirroring MvxSelection::Builder.
+  using Builder = ReactionPolicyBuilder;
+};
+
+class ReactionPolicyBuilder {
+ public:
+  ReactionPolicyBuilder& Abort();
+  ReactionPolicyBuilder& ContinueWithWinner();
+  ReactionPolicyBuilder& QuarantineAndRestart();
+  ReactionPolicyBuilder& MinPanel(int floor);
+  ReactionPolicyBuilder& ProbationBatches(int batches);
+  ReactionPolicyBuilder& DissentThreshold(int dissents);
+  ReactionPolicyBuilder& RetryBudget(int attempts);
+  ReactionPolicyBuilder& Backoff(int64_t initial_us, double multiplier,
+                                 int64_t max_us);
+  ReactionPolicyBuilder& DegradeToMajority(bool degrade);
+
+  ReactionPolicy Build() const { return policy_; }
+
+ private:
+  ReactionPolicy policy_;
+};
+
+}  // namespace mvtee::core

@@ -510,8 +510,14 @@ util::Result<transport::Endpoint> VariantHost::SpawnVariantTee(
     threads_.emplace_back(VariantServiceMain, std::move(enclave),
                           std::move(variant_side), this, cpu_, store_,
                           options_);
+    ++spawned_total_;
   }
   return monitor_side;
+}
+
+size_t VariantHost::spawned_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spawned_total_;
 }
 
 crypto::Sha256Digest VariantHost::init_variant_measurement() const {

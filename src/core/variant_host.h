@@ -60,9 +60,17 @@ class VariantHost {
   VariantHost& operator=(const VariantHost&) = delete;
 
   // Places one variant TEE (init-variant stage) and returns the
-  // monitor-side endpoint of its channel.
+  // monitor-side endpoint of its channel. Also the supervisor's respawn
+  // primitive: a quarantined variant's replacement is a brand-new spawn
+  // (fresh enclave, fresh session keys) re-bootstrapped through the same
+  // two-stage protocol; the retired instance's service thread exits when
+  // the monitor closes its channel and is reaped by JoinAll().
   util::Result<transport::Endpoint> SpawnVariantTee(
       tee::TeeType type = tee::TeeType::kSgx2);
+
+  // Total variant TEEs spawned over this host's lifetime (initial panel
+  // + lifecycle respawns). Tests assert re-bootstrap actually re-spawned.
+  size_t spawned_total() const;
 
   // Expected init-variant measurement (public: derived from the public
   // init-variant code and manifest).
@@ -95,8 +103,9 @@ class VariantHost {
   std::shared_ptr<tee::ProtectedStore> store_;
   Options options_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::thread> threads_;
+  size_t spawned_total_ = 0;
   std::map<std::string, std::shared_ptr<runtime::FaultHook>> fault_hooks_;
   uint64_t next_pipe_id_ = 1;
   struct PipeEnds {

@@ -42,7 +42,7 @@ util::Result<CampaignReport> RunVulnerabilityCampaign(
 
   core::MonitorConfig config;
   config.vote = options.vote;
-  config.response = options.response;
+  config.reaction = options.reaction;
   MVTEE_ASSIGN_OR_RETURN(auto monitor, core::Monitor::Create(&cpu, config));
   MVTEE_RETURN_IF_ERROR(monitor->Initialize(
       bundle, core::MvxSelection::Uniform(bundle,
@@ -93,6 +93,81 @@ util::Result<CampaignReport> RunVulnerabilityCampaign(
   for (const auto& hook : hooks) {
     if (hook->fire_count() > 0) report.fault_fired = true;
   }
+  MVTEE_RETURN_IF_ERROR(monitor->Shutdown());
+  host.JoinAll();
+  return report;
+}
+
+util::Result<LifecycleCampaignReport> RunLifecycleCampaign(
+    const graph::Graph& model, const LifecycleCampaignOptions& options) {
+  OfflineOptions offline;
+  offline.num_partitions = options.num_partitions;
+  offline.partition_seed = options.seed;
+  offline.key_seed = options.seed + 1;
+  offline.pool.variants_per_stage = options.variants_per_stage;
+  offline.pool.seed = options.seed + 2;
+  MVTEE_ASSIGN_OR_RETURN(OfflineBundle bundle,
+                         core::RunOfflineTool(model, offline));
+
+  tee::SimulatedCpu cpu{
+      tee::SimulatedCpu::Options{.hardware_key_seed = options.seed + 3}};
+  core::VariantHost host(&cpu, bundle.store);
+
+  // One compromised slot; the shared hook survives respawn, so its fire
+  // budget spans the variant's whole lifecycle.
+  WindowedFaultSpec spec;
+  spec.effect = options.effect;
+  spec.fire_limit = options.fire_limit;
+  spec.seed = options.seed + 17;
+  auto hook = std::make_shared<WindowedFault>(spec);
+  host.SetFaultHook(options.target_variant, hook);
+
+  core::MonitorConfig config;
+  config.reaction = options.reaction;
+  MVTEE_ASSIGN_OR_RETURN(auto monitor, core::Monitor::Create(&cpu, config));
+  MVTEE_RETURN_IF_ERROR(monitor->Initialize(
+      bundle,
+      core::MvxSelection::Uniform(bundle, options.variants_per_stage),
+      host));
+
+  MVTEE_ASSIGN_OR_RETURN(
+      auto reference,
+      runtime::Executor::Create(model, runtime::ReferenceExecutorConfig()));
+
+  LifecycleCampaignReport report;
+  util::Rng rng(options.seed + 29);
+  for (int b = 0; b < options.num_batches; ++b) {
+    std::vector<Tensor> inputs;
+    for (graph::NodeId in : model.inputs()) {
+      inputs.push_back(
+          Tensor::RandomUniform(model.input_shape(in), rng, -1.0f, 1.0f));
+    }
+    // One batch per Run call: the supervisor's quarantine/rebootstrap/
+    // probation machinery spans calls (it lives on the monitor), and the
+    // per-call verdict tells us exactly which batch aborted, if any.
+    auto out = monitor->Run({inputs});
+    if (!out.ok()) {
+      report.aborted = true;
+      report.abort_message = out.status().ToString();
+      continue;
+    }
+    ++report.completed_batches;
+    MVTEE_ASSIGN_OR_RETURN(auto expected, reference->Run(inputs));
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (tensor::CosineSimilarity((*out)[0][i], expected[i]) < 0.99) {
+        report.wrong_output_released = true;
+      }
+    }
+  }
+
+  if (const core::Supervisor* sup = monitor->supervisor()) {
+    report.quarantines = sup->quarantines_total();
+    report.readmissions = sup->readmissions_total();
+    report.retirements = sup->retirements_total();
+    report.slots = sup->Snapshot();
+  }
+  report.spawned_total = host.spawned_total();
+  report.fault_fired = hook->fire_count() > 0;
   MVTEE_RETURN_IF_ERROR(monitor->Shutdown());
   host.JoinAll();
   return report;

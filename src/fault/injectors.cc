@@ -119,6 +119,66 @@ void VulnerabilityFault::OnNodeComplete(const Node& node, Tensor& out) {
   }
 }
 
+WindowedFault::WindowedFault(WindowedFaultSpec spec)
+    : spec_(spec), rng_(spec.seed) {}
+
+bool WindowedFault::Matches(const Node& node) const {
+  if (!spec_.target_op.has_value()) {
+    return node.op == OpType::kConv2d || node.op == OpType::kGemm;
+  }
+  return node.op == *spec_.target_op;
+}
+
+bool WindowedFault::Exhausted() const {
+  return spec_.fire_limit >= 0 &&
+         fires_ >= static_cast<uint64_t>(spec_.fire_limit);
+}
+
+util::Status WindowedFault::OnNodeStart(const Node& node) {
+  if (Exhausted() || !Matches(node)) return util::OkStatus();
+  if (spec_.effect == FaultEffect::kCrash) {
+    ++fires_;
+    return util::Aborted("transient crash in " + node.name);
+  }
+  return util::OkStatus();
+}
+
+void WindowedFault::OnNodeComplete(const Node& node, Tensor& out) {
+  if (Exhausted() || !Matches(node)) return;
+  if (out.num_elements() == 0) return;
+  switch (spec_.effect) {
+    case FaultEffect::kCrash:
+      return;  // handled in OnNodeStart
+    case FaultEffect::kCorruptSilent: {
+      ++fires_;
+      int64_t start = static_cast<int64_t>(
+          rng_.UniformU64(static_cast<uint64_t>(out.num_elements())));
+      int64_t len = std::min<int64_t>(out.num_elements() - start, 8);
+      for (int64_t i = 0; i < len; ++i) {
+        out.data()[start + i] =
+            static_cast<float>(spec_.corruption_magnitude) *
+            (rng_.UniformFloat(-1.0f, 1.0f));
+      }
+      return;
+    }
+    case FaultEffect::kIncorrectResult: {
+      ++fires_;
+      for (int64_t i = 0; i < out.num_elements(); i += 16) {
+        out.data()[i] = -out.data()[i] * 3.0f;
+      }
+      return;
+    }
+    case FaultEffect::kNonFinite: {
+      ++fires_;
+      out.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      if (out.num_elements() > 1) {
+        out.data()[1] = std::numeric_limits<float>::infinity();
+      }
+      return;
+    }
+  }
+}
+
 void BitFlipFault::OnAttach(const runtime::ExecutorConfig& config) {
   armed_ = !spec_.vulnerable_gemm.has_value() ||
            config.gemm == *spec_.vulnerable_gemm;

@@ -107,6 +107,39 @@ class BitFlipFault : public runtime::FaultHook {
   uint64_t fires_ = 0;
 };
 
+// Transient compromise for lifecycle experiments: applies `effect` to
+// matching node executions only while the fire budget lasts, then goes
+// permanently quiet. The hook object survives a variant respawn (the
+// host re-attaches the same shared hook to the replacement instance),
+// so the budget spans the variant's whole lifecycle: a re-provisioned
+// instance whose budget is spent runs clean — the shape the
+// supervisor's probation/readmission path expects. `fire_limit < 0`
+// models a persistent compromise that survives re-provisioning (the
+// retirement path).
+struct WindowedFaultSpec {
+  FaultEffect effect = FaultEffect::kCorruptSilent;
+  std::optional<graph::OpType> target_op;  // unset = first conv/gemm
+  int fire_limit = 1;
+  double corruption_magnitude = 40.0;
+  uint64_t seed = 7;
+};
+
+class WindowedFault : public runtime::FaultHook {
+ public:
+  explicit WindowedFault(WindowedFaultSpec spec);
+  util::Status OnNodeStart(const graph::Node& node) override;
+  void OnNodeComplete(const graph::Node& node, tensor::Tensor& out) override;
+  uint64_t fire_count() const { return fires_; }
+
+ private:
+  bool Matches(const graph::Node& node) const;
+  bool Exhausted() const;
+
+  WindowedFaultSpec spec_;
+  util::Rng rng_;
+  uint64_t fires_ = 0;
+};
+
 // Model-targeted weight attack: flips `num_flips` random bits across a
 // graph's initializers (offline/at-rest analog of bit-flip weight
 // attacks). Returns the number of bits actually flipped.

@@ -13,9 +13,6 @@
 #include "graph/builder.h"
 #include "runtime/executor.h"
 
-// The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
-// test until their removal; silence the migration nudge here only.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace mvtee::core {
 namespace {
@@ -26,6 +23,15 @@ using graph::NodeId;
 using tensor::MaxAbsDiff;
 using tensor::Shape;
 using tensor::Tensor;
+
+// One-batch convenience over the unified Run() surface (replaces the
+// removed RunBatch wrapper): returns the single batch's outputs.
+util::Result<std::vector<Tensor>> RunOne(Monitor& m,
+                                         const std::vector<Tensor>& inputs) {
+  auto all = m.Run({inputs});
+  if (!all.ok()) return all.status();
+  return std::move((*all)[0]);
+}
 
 // --------------------------------------------------------- consistency
 
@@ -311,7 +317,7 @@ TEST_F(MvteeSystemTest, SingleVariantFastPathMatchesReference) {
   Boot(3, 1, MonitorConfig{});
   util::Rng rng(1);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun({input});
   ASSERT_EQ(out->size(), 1u);
@@ -327,7 +333,7 @@ TEST_F(MvteeSystemTest, MultiVariantSlowPathMatchesReference) {
   Boot(3, 3, MonitorConfig{});
   util::Rng rng(2);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun({input});
   EXPECT_GT(tensor::CosineSimilarity((*out)[0], expected[0]), 0.999);
@@ -345,7 +351,7 @@ TEST_F(MvteeSystemTest, SequentialMultipleBatches) {
   for (int i = 0; i < 4; ++i) {
     batches.push_back({Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   }
-  auto outs = monitor_->RunSequential(batches);
+  auto outs = monitor_->Run(batches);
   ASSERT_TRUE(outs.ok()) << outs.status().ToString();
   ASSERT_EQ(outs->size(), 4u);
   for (size_t i = 0; i < 4; ++i) {
@@ -365,7 +371,7 @@ TEST_F(MvteeSystemTest, PipelinedMatchesSequential) {
   for (int i = 0; i < 6; ++i) {
     batches.push_back({Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   }
-  auto pipelined = monitor_->RunPipelined(batches);
+  auto pipelined = monitor_->Run(batches, RunOptions{.pipelined = true});
   ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
   ASSERT_EQ(pipelined->size(), 6u);
   for (size_t i = 0; i < 6; ++i) {
@@ -378,7 +384,7 @@ TEST_F(MvteeSystemTest, PipelinedMatchesSequential) {
 TEST_F(MvteeSystemTest, SelectiveMvxPerStageCounts) {
   Boot(3, 1, MonitorConfig{}, VariantHost::Options{}, {1, 3, 1});
   util::Rng rng(5);
-  auto out = monitor_->RunBatch(
+  auto out = RunOne(*monitor_, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto stats = monitor_->ConsumeStats();
@@ -410,7 +416,7 @@ TEST_F(MvteeSystemTest, DetectsCorruptedVariant) {
           .ok());
 
   util::Rng rng(6);
-  auto out = monitor_->RunBatch(
+  auto out = RunOne(*monitor_, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), util::StatusCode::kDivergenceDetected);
@@ -433,7 +439,7 @@ TEST_F(MvteeSystemTest, MajorityVoteSurvivesCorruptedMinority) {
   host_->SetFaultHook("s1.v1", std::make_shared<Corrupt>());
   MonitorConfig cfg;
   cfg.vote = VotePolicy::kMajority;
-  cfg.response = ResponsePolicy::kContinueWithWinner;
+  cfg.reaction = ReactionPolicy::ContinueWithWinner();
   auto monitor = Monitor::Create(&cpu_, cfg);
   ASSERT_TRUE(monitor.ok());
   monitor_ = std::move(*monitor);
@@ -443,7 +449,7 @@ TEST_F(MvteeSystemTest, MajorityVoteSurvivesCorruptedMinority) {
 
   util::Rng rng(7);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   // Output must match the healthy majority, not the corrupted variant.
   auto expected = ReferenceRun({input});
@@ -471,7 +477,7 @@ TEST_F(MvteeSystemTest, DetectsCrashingVariant) {
   host_->SetFaultHook("s2.v0", std::make_shared<Crash>());
   MonitorConfig cfg;
   cfg.vote = VotePolicy::kMajority;
-  cfg.response = ResponsePolicy::kContinueWithWinner;
+  cfg.reaction = ReactionPolicy::ContinueWithWinner();
   auto monitor = Monitor::Create(&cpu_, cfg);
   ASSERT_TRUE(monitor.ok());
   monitor_ = std::move(*monitor);
@@ -480,7 +486,7 @@ TEST_F(MvteeSystemTest, DetectsCrashingVariant) {
           .ok());
 
   util::Rng rng(8);
-  auto out = monitor_->RunBatch(
+  auto out = RunOne(*monitor_, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   ASSERT_TRUE(out.ok()) << out.status().ToString();  // majority survives
   auto stats = monitor_->ConsumeStats();
@@ -492,14 +498,14 @@ TEST_F(MvteeSystemTest, AsyncModeProducesSameResults) {
   MonitorConfig cfg;
   cfg.mode = ExecMode::kAsync;
   cfg.vote = VotePolicy::kMajority;
-  cfg.response = ResponsePolicy::kContinueWithWinner;
+  cfg.reaction = ReactionPolicy::ContinueWithWinner();
   Boot(3, 3, cfg);
   util::Rng rng(9);
   std::vector<std::vector<Tensor>> batches;
   for (int i = 0; i < 4; ++i) {
     batches.push_back({Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   }
-  auto outs = monitor_->RunSequential(batches);
+  auto outs = monitor_->Run(batches);
   ASSERT_TRUE(outs.ok()) << outs.status().ToString();
   for (size_t i = 0; i < batches.size(); ++i) {
     auto expected = ReferenceRun(batches[i]);
@@ -513,7 +519,7 @@ TEST_F(MvteeSystemTest, PlaintextChannelsWork) {
   Boot(3, 3, MonitorConfig{}, host_opts);
   util::Rng rng(10);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun({input});
   EXPECT_GT(tensor::CosineSimilarity((*out)[0], expected[0]), 0.999);
@@ -523,13 +529,13 @@ TEST_F(MvteeSystemTest, PartialUpdateReplacesStageVariants) {
   Boot(3, 2, MonitorConfig{});
   util::Rng rng(11);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  ASSERT_TRUE(monitor_->RunBatch({input}).ok());
+  ASSERT_TRUE(RunOne(*monitor_, {input}).ok());
 
   // Swap stage 1 to a different pair of pool variants.
   auto status = monitor_->UpdateStage(bundle_, *host_, 1,
                                       {"s1.v2", "s1.v3"});
   ASSERT_TRUE(status.ok()) << status.ToString();
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun({input});
   EXPECT_GT(tensor::CosineSimilarity((*out)[0], expected[0]), 0.999);
@@ -549,7 +555,7 @@ TEST_F(MvteeSystemTest, FullUpdateRebindsEverything) {
       bundle_, MvxSelection::Uniform(bundle_, 3), *host_);
   ASSERT_TRUE(status.ok()) << status.ToString();
   util::Rng rng(12);
-  auto out = monitor_->RunBatch(
+  auto out = RunOne(*monitor_, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
 }
@@ -592,7 +598,7 @@ TEST_F(MvteeSystemTest, DirectFastPathMatchesReference) {
   Boot(3, 1, cfg);
   util::Rng rng(13);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun({input});
   EXPECT_LT(MaxAbsDiff((*out)[0], expected[0]), 1e-3);
@@ -608,7 +614,7 @@ TEST_F(MvteeSystemTest, DirectFastPathWithMvxStage) {
   Boot(3, 1, cfg, VariantHost::Options{}, {1, 3, 1});
   util::Rng rng(14);
   auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
-  auto out = monitor_->RunBatch({input});
+  auto out = RunOne(*monitor_, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun({input});
   EXPECT_GT(tensor::CosineSimilarity((*out)[0], expected[0]), 0.999);
@@ -626,7 +632,7 @@ TEST_F(MvteeSystemTest, DirectFastPathPipelined) {
   for (int i = 0; i < 5; ++i) {
     batches.push_back({Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   }
-  auto outs = monitor_->RunPipelined(batches);
+  auto outs = monitor_->Run(batches, RunOptions{.pipelined = true});
   ASSERT_TRUE(outs.ok()) << outs.status().ToString();
   for (size_t i = 0; i < batches.size(); ++i) {
     auto expected = ReferenceRun(batches[i]);
@@ -657,7 +663,7 @@ TEST_F(MvteeSystemTest, DirectFastPathDetectsCorruption) {
                                    *host_)
                   .ok());
   util::Rng rng(16);
-  auto out = monitor_->RunBatch(
+  auto out = RunOne(*monitor_, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), util::StatusCode::kDivergenceDetected);

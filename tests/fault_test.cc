@@ -212,5 +212,133 @@ TEST(CampaignTest, ServiceSurvivesUnderMajorityVote) {
   EXPECT_FALSE(report->wrong_output_released);
 }
 
+// ------------------------------------------- lifecycle (ISSUE 4 tentpole)
+
+const core::Supervisor::SlotInfo* FindSlot(
+    const LifecycleCampaignReport& report, const std::string& id) {
+  for (const auto& s : report.slots) {
+    if (s.variant_id == id) return &s;
+  }
+  return nullptr;
+}
+
+TEST(WindowedFaultTest, GoesQuietAfterFireBudget) {
+  Graph g = SmallNet();
+  WindowedFaultSpec spec;
+  spec.effect = FaultEffect::kCorruptSilent;
+  spec.fire_limit = 1;
+  auto hook = std::make_shared<WindowedFault>(spec);
+  auto clean = RunWithHook(g, runtime::OrtLikeExecutorConfig(), nullptr);
+  auto dirty = RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook);
+  EXPECT_EQ(hook->fire_count(), 1u);
+  EXPECT_GT(tensor::MaxAbsDiff(clean, dirty), 0.0);
+  // Budget spent: subsequent executions through the same hook run clean.
+  auto after = RunWithHook(g, runtime::OrtLikeExecutorConfig(), hook);
+  EXPECT_EQ(hook->fire_count(), 1u);
+  EXPECT_EQ(tensor::MaxAbsDiff(clean, after), 0.0);
+}
+
+TEST(LifecycleCampaignTest, CrashThenRestartReadmitsAfterProbation) {
+  Graph g = SmallNet();
+  LifecycleCampaignOptions opts;
+  opts.effect = FaultEffect::kCrash;
+  opts.fire_limit = 1;  // transient: the respawned instance runs clean
+  opts.seed = 31;
+  auto report = RunLifecycleCampaign(g, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->fault_fired);
+  // Zero aborts: every batch completes from the surviving panel.
+  EXPECT_FALSE(report->aborted) << report->abort_message;
+  EXPECT_EQ(report->completed_batches, opts.num_batches);
+  EXPECT_FALSE(report->wrong_output_released);
+  // The crashed variant was quarantined, re-bootstrapped (a genuinely
+  // fresh spawn) and re-admitted after probation.
+  EXPECT_GE(report->quarantines, 1u);
+  EXPECT_GE(report->readmissions, 1u);
+  EXPECT_EQ(report->retirements, 0u);
+  EXPECT_GT(report->spawned_total, 6u);  // 2 stages x 3 + >=1 respawn
+  const auto* slot = FindSlot(*report, opts.target_variant);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->state, core::VariantLifecycle::kHealthy);
+  EXPECT_GE(slot->readmissions, 1u);
+}
+
+TEST(LifecycleCampaignTest, TamperThenQuarantineKeepsServingCleanOutputs) {
+  Graph g = SmallNet();
+  LifecycleCampaignOptions opts;
+  opts.effect = FaultEffect::kCorruptSilent;  // output tamper
+  opts.fire_limit = 1;
+  opts.seed = 37;
+  auto report = RunLifecycleCampaign(g, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->fault_fired);
+  EXPECT_FALSE(report->aborted) << report->abort_message;
+  EXPECT_EQ(report->completed_batches, opts.num_batches);
+  // The tampered output never escapes: the majority bloc wins the vote.
+  EXPECT_FALSE(report->wrong_output_released);
+  EXPECT_GE(report->quarantines, 1u);
+  EXPECT_GE(report->readmissions, 1u);
+  const auto* slot = FindSlot(*report, opts.target_variant);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->state, core::VariantLifecycle::kHealthy);
+}
+
+TEST(LifecycleCampaignTest, PersistentFaultExhaustsRetriesAndRetires) {
+  Graph g = SmallNet();
+  LifecycleCampaignOptions opts;
+  opts.effect = FaultEffect::kCorruptSilent;
+  opts.fire_limit = -1;  // survives re-provisioning
+  opts.num_batches = 8;  // room for quarantine -> probation x2 -> retire
+  opts.seed = 41;
+  auto report = RunLifecycleCampaign(g, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->aborted) << report->abort_message;
+  EXPECT_EQ(report->completed_batches, opts.num_batches);
+  EXPECT_FALSE(report->wrong_output_released);
+  // Probation keeps failing until the retry budget (2) is spent.
+  EXPECT_EQ(report->retirements, 1u);
+  EXPECT_EQ(report->readmissions, 0u);
+  EXPECT_GE(report->quarantines, 2u);
+  const auto* slot = FindSlot(*report, opts.target_variant);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->state, core::VariantLifecycle::kRetired);
+  // The stage keeps serving on the floor panel of two voters.
+  int voting = 0;
+  for (const auto& s : report->slots) {
+    if (s.stage == 0 && (s.state == core::VariantLifecycle::kHealthy ||
+                         s.state == core::VariantLifecycle::kSuspect)) {
+      ++voting;
+    }
+  }
+  EXPECT_EQ(voting, 2);
+}
+
+TEST(LifecycleCampaignTest, FloorPanelRefusesToShrinkBelowMinPanel) {
+  Graph g = SmallNet();
+  LifecycleCampaignOptions opts;
+  opts.effect = FaultEffect::kCrash;
+  opts.fire_limit = -1;  // crashes on every attempt, forever
+  opts.num_batches = 6;
+  opts.seed = 43;
+  opts.reaction = core::ReactionPolicy::Builder()
+                      .QuarantineAndRestart()
+                      .MinPanel(3)  // == panel size: shrink always blocked
+                      .DissentThreshold(1)
+                      .RetryBudget(1)
+                      .Backoff(0, 2.0, 1'000)
+                      .Build();
+  auto report = RunLifecycleCampaign(g, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // At the floor the slot stays in the panel (Suspect, auto-dissenting);
+  // majority of the remaining healthy members still carries every batch.
+  EXPECT_EQ(report->quarantines, 0u);
+  EXPECT_FALSE(report->aborted) << report->abort_message;
+  EXPECT_EQ(report->completed_batches, opts.num_batches);
+  EXPECT_FALSE(report->wrong_output_released);
+  const auto* slot = FindSlot(*report, opts.target_variant);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->state, core::VariantLifecycle::kSuspect);
+}
+
 }  // namespace
 }  // namespace mvtee::fault

@@ -9,9 +9,6 @@
 #include "crypto/rand.h"
 #include "graph/builder.h"
 
-// The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
-// test until their removal; silence the migration nudge here only.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace mvtee::core {
 namespace {
@@ -21,6 +18,15 @@ using graph::ModelBuilder;
 using graph::NodeId;
 using tensor::Shape;
 using tensor::Tensor;
+
+// One-batch convenience over the unified Run() surface (replaces the
+// removed RunBatch wrapper): returns the single batch's outputs.
+util::Result<std::vector<Tensor>> RunOne(Monitor& m,
+                                         const std::vector<Tensor>& inputs) {
+  auto all = m.Run({inputs});
+  if (!all.ok()) return all.status();
+  return std::move((*all)[0]);
+}
 
 Graph TestModel(uint64_t seed = 5) {
   ModelBuilder b(seed);
@@ -139,7 +145,7 @@ TEST_F(OwnerProtocolTest, FullProvisioningFlow) {
 
   // The provisioned monitor actually serves inference.
   util::Rng rng(1);
-  auto out = monitor_->RunBatch(
+  auto out = RunOne(*monitor_, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   EXPECT_TRUE(out.ok()) << out.status().ToString();
 
@@ -228,7 +234,7 @@ TEST(KeyRotationTest, DeploymentWorksAfterRotation) {
           ->Initialize(bundle, MvxSelection::Uniform(bundle, 1), host)
           .ok());
   util::Rng rng(2);
-  auto out = (*monitor)->RunBatch(
+  auto out = RunOne(**monitor, 
       {Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng)});
   EXPECT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE((*monitor)->Shutdown().ok());

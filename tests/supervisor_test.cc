@@ -1,0 +1,222 @@
+// Unit tests for the variant lifecycle supervisor and the ReactionPolicy
+// value type (state machine only — the monitor integration is covered by
+// fault_test.cc lifecycle campaigns and system_test.cc).
+#include "core/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reaction_policy.h"
+#include "obs/metrics.h"
+
+namespace mvtee::core {
+namespace {
+
+ReactionPolicy QuarantinePolicy() {
+  return ReactionPolicy::Builder()
+      .QuarantineAndRestart()
+      .MinPanel(1)
+      .ProbationBatches(2)
+      .DissentThreshold(2)
+      .RetryBudget(2)
+      .Backoff(/*initial_us=*/100, /*multiplier=*/2.0, /*max_us=*/1'000)
+      .Build();
+}
+
+std::vector<std::vector<std::string>> OneStage(int k) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < k; ++i) ids.push_back("s0.v" + std::to_string(i));
+  return {ids};
+}
+
+TEST(ReactionPolicyTest, FactoriesSetKind) {
+  EXPECT_EQ(ReactionPolicy::Abort().kind, ReactionKind::kAbort);
+  EXPECT_EQ(ReactionPolicy::ContinueWithWinner().kind,
+            ReactionKind::kContinueWithWinner);
+  EXPECT_EQ(ReactionPolicy::QuarantineAndRestart().kind,
+            ReactionKind::kQuarantineAndRestart);
+}
+
+TEST(ReactionPolicyTest, BuilderClampsOutOfRangeKnobs) {
+  const ReactionPolicy p = ReactionPolicy::Builder()
+                               .QuarantineAndRestart()
+                               .MinPanel(0)
+                               .ProbationBatches(-3)
+                               .DissentThreshold(0)
+                               .RetryBudget(-1)
+                               .Backoff(-5, 0.5, -10)
+                               .Build();
+  EXPECT_EQ(p.min_panel, 1);
+  EXPECT_EQ(p.probation_batches, 1);
+  EXPECT_EQ(p.dissent_threshold, 1);
+  EXPECT_EQ(p.retry_budget, 0);
+  EXPECT_EQ(p.initial_backoff_us, 0);
+  EXPECT_EQ(p.backoff_multiplier, 1.0);
+  EXPECT_GE(p.max_backoff_us, p.initial_backoff_us);
+}
+
+TEST(ReactionPolicyTest, KindNamesAreStable) {
+  EXPECT_EQ(ReactionKindName(ReactionKind::kAbort), "abort");
+  EXPECT_EQ(ReactionKindName(ReactionKind::kQuarantineAndRestart),
+            "quarantine-and-restart");
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  obs::Registry registry_;
+};
+
+TEST_F(SupervisorTest, DissentThresholdGatesQuarantine) {
+  Supervisor sup(QuarantinePolicy(), &registry_);
+  sup.Reset(OneStage(3));
+  // First dissent: Suspect, still voting.
+  EXPECT_FALSE(sup.ReportDissent(0, 1, 1'000));
+  EXPECT_EQ(sup.state(0, 1), VariantLifecycle::kSuspect);
+  EXPECT_TRUE(sup.Voting(0, 1));
+  EXPECT_EQ(sup.ActiveCount(0), 3u);
+  // Second dissent crosses the threshold: quarantined, panel shrinks.
+  EXPECT_TRUE(sup.ReportDissent(0, 1, 2'000));
+  EXPECT_EQ(sup.state(0, 1), VariantLifecycle::kQuarantined);
+  EXPECT_FALSE(sup.Voting(0, 1));
+  EXPECT_FALSE(sup.ChannelLive(0, 1));
+  EXPECT_EQ(sup.ActiveCount(0), 2u);
+  EXPECT_EQ(sup.quarantines_total(), 1u);
+  EXPECT_TRUE(sup.AnyEvents());
+}
+
+TEST_F(SupervisorTest, HardFailureQuarantinesImmediately) {
+  Supervisor sup(QuarantinePolicy(), &registry_);
+  sup.Reset(OneStage(3));
+  EXPECT_TRUE(sup.ReportFailure(0, 2, FailureKind::kCrash, 1'000));
+  EXPECT_EQ(sup.state(0, 2), VariantLifecycle::kQuarantined);
+  // Re-reporting an already-quarantined slot is a no-op.
+  EXPECT_FALSE(sup.ReportFailure(0, 2, FailureKind::kChannel, 2'000));
+  EXPECT_EQ(sup.quarantines_total(), 1u);
+}
+
+TEST_F(SupervisorTest, PanelFloorBlocksShrink) {
+  auto policy = QuarantinePolicy();
+  policy.min_panel = 2;
+  Supervisor sup(policy, &registry_);
+  sup.Reset(OneStage(3));
+  EXPECT_TRUE(sup.ReportFailure(0, 0, FailureKind::kCrash, 1'000));
+  EXPECT_EQ(sup.ActiveCount(0), 2u);
+  // At the floor: the next failing slot stays in the panel as Suspect.
+  EXPECT_FALSE(sup.ReportFailure(0, 1, FailureKind::kCrash, 2'000));
+  EXPECT_EQ(sup.state(0, 1), VariantLifecycle::kSuspect);
+  EXPECT_TRUE(sup.Voting(0, 1));
+  EXPECT_EQ(sup.ActiveCount(0), 2u);
+  EXPECT_EQ(sup.quarantines_total(), 1u);
+}
+
+TEST_F(SupervisorTest, BackoffIsCappedExponential) {
+  Supervisor sup(QuarantinePolicy(), &registry_);
+  sup.Reset(OneStage(3));
+  ASSERT_TRUE(sup.ReportFailure(0, 0, FailureKind::kCrash, 10'000));
+  // attempt 0 done -> initial backoff.
+  EXPECT_EQ(sup.slot(0, 0).next_retry_us, 10'000 + 100);
+  // Not due before the deadline, due after.
+  EXPECT_TRUE(sup.DueForRebootstrap(10'050).empty());
+  auto due = sup.DueForRebootstrap(10'100);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], (std::pair<size_t, size_t>{0, 0}));
+  sup.BeginRebootstrap(0, 0);
+  EXPECT_EQ(sup.state(0, 0), VariantLifecycle::kRebootstrapping);
+  // Failed attempt: backoff doubles (100 * 2^1 = 200), still quarantined.
+  EXPECT_EQ(sup.FinishRebootstrap(0, 0, false, 20'000),
+            VariantLifecycle::kQuarantined);
+  EXPECT_EQ(sup.slot(0, 0).next_retry_us, 20'000 + 200);
+}
+
+TEST_F(SupervisorTest, RetryBudgetExhaustionRetires) {
+  Supervisor sup(QuarantinePolicy(), &registry_);  // retry_budget = 2
+  sup.Reset(OneStage(3));
+  ASSERT_TRUE(sup.ReportFailure(0, 0, FailureKind::kCrash, 0));
+  sup.BeginRebootstrap(0, 0);
+  ASSERT_EQ(sup.FinishRebootstrap(0, 0, false, 1'000),
+            VariantLifecycle::kQuarantined);
+  sup.BeginRebootstrap(0, 0);
+  // Second (budget-final) failure retires the slot permanently.
+  EXPECT_EQ(sup.FinishRebootstrap(0, 0, false, 2'000),
+            VariantLifecycle::kRetired);
+  EXPECT_EQ(sup.retirements_total(), 1u);
+  EXPECT_TRUE(sup.DueForRebootstrap(1'000'000).empty());
+  EXPECT_FALSE(sup.ChannelLive(0, 0));
+}
+
+TEST_F(SupervisorTest, ProbationReadmitsAfterCleanCheckpoints) {
+  Supervisor sup(QuarantinePolicy(), &registry_);  // probation = 2
+  sup.Reset(OneStage(3));
+  ASSERT_TRUE(sup.ReportFailure(0, 1, FailureKind::kTimeout, 0));
+  sup.BeginRebootstrap(0, 1);
+  ASSERT_EQ(sup.FinishRebootstrap(0, 1, true, 1'000),
+            VariantLifecycle::kProbation);
+  EXPECT_TRUE(sup.Shadow(0, 1));
+  EXPECT_TRUE(sup.ChannelLive(0, 1));
+  EXPECT_FALSE(sup.Voting(0, 1));
+  EXPECT_EQ(sup.ReportProbation(0, 1, true, 2'000),
+            Supervisor::ProbationOutcome::kNone);
+  EXPECT_EQ(sup.ReportProbation(0, 1, true, 3'000),
+            Supervisor::ProbationOutcome::kReadmitted);
+  EXPECT_EQ(sup.state(0, 1), VariantLifecycle::kHealthy);
+  EXPECT_TRUE(sup.Voting(0, 1));
+  EXPECT_EQ(sup.slot(0, 1).dissents, 0);  // strikes cleared
+  EXPECT_EQ(sup.readmissions_total(), 1u);
+}
+
+TEST_F(SupervisorTest, ProbationDissentRequarantinesThenRetires) {
+  Supervisor sup(QuarantinePolicy(), &registry_);  // retry_budget = 2
+  sup.Reset(OneStage(3));
+  ASSERT_TRUE(sup.ReportFailure(0, 1, FailureKind::kCrash, 0));
+  sup.BeginRebootstrap(0, 1);  // attempt 1
+  ASSERT_EQ(sup.FinishRebootstrap(0, 1, true, 1'000),
+            VariantLifecycle::kProbation);
+  // Shadow dissent with budget left: back to quarantine.
+  EXPECT_EQ(sup.ReportProbation(0, 1, false, 2'000),
+            Supervisor::ProbationOutcome::kRequarantined);
+  EXPECT_EQ(sup.state(0, 1), VariantLifecycle::kQuarantined);
+  sup.BeginRebootstrap(0, 1);  // attempt 2 (budget spent)
+  ASSERT_EQ(sup.FinishRebootstrap(0, 1, true, 3'000),
+            VariantLifecycle::kProbation);
+  EXPECT_EQ(sup.ReportProbation(0, 1, false, 4'000),
+            Supervisor::ProbationOutcome::kRetired);
+  EXPECT_EQ(sup.state(0, 1), VariantLifecycle::kRetired);
+  EXPECT_EQ(sup.retirements_total(), 1u);
+}
+
+TEST_F(SupervisorTest, MetricsCountTransitions) {
+  Supervisor sup(QuarantinePolicy(), &registry_);
+  sup.Reset(OneStage(3));
+  ASSERT_TRUE(sup.ReportFailure(0, 0, FailureKind::kCrash, 0));
+  sup.BeginRebootstrap(0, 0);
+  ASSERT_EQ(sup.FinishRebootstrap(0, 0, true, 1'000),
+            VariantLifecycle::kProbation);
+  ASSERT_EQ(sup.ReportProbation(0, 0, true, 2'000),
+            Supervisor::ProbationOutcome::kNone);
+  ASSERT_EQ(sup.ReportProbation(0, 0, true, 3'000),
+            Supervisor::ProbationOutcome::kReadmitted);
+  EXPECT_EQ(registry_.GetCounter("supervisor.quarantines_total").value(), 1u);
+  EXPECT_EQ(registry_.GetCounter("supervisor.rebootstraps_total").value(), 1u);
+  EXPECT_EQ(registry_.GetCounter("supervisor.readmissions_total").value(), 1u);
+  EXPECT_EQ(registry_.GetCounter("supervisor.retirements_total").value(), 0u);
+}
+
+TEST_F(SupervisorTest, ResetRestoresHealthyTable) {
+  Supervisor sup(QuarantinePolicy(), &registry_);
+  sup.Reset(OneStage(3));
+  ASSERT_TRUE(sup.ReportFailure(0, 2, FailureKind::kCrash, 0));
+  sup.Reset(OneStage(3));
+  EXPECT_EQ(sup.state(0, 2), VariantLifecycle::kHealthy);
+  EXPECT_EQ(sup.quarantines_total(), 0u);
+  EXPECT_FALSE(sup.AnyEvents());
+  EXPECT_EQ(sup.Snapshot().size(), 3u);
+}
+
+TEST_F(SupervisorTest, LifecycleNamesAreStable) {
+  EXPECT_EQ(LifecycleName(VariantLifecycle::kHealthy), "healthy");
+  EXPECT_EQ(LifecycleName(VariantLifecycle::kQuarantined), "quarantined");
+  EXPECT_EQ(LifecycleName(VariantLifecycle::kRetired), "retired");
+  EXPECT_EQ(FailureKindName(FailureKind::kChannel), "channel");
+}
+
+}  // namespace
+}  // namespace mvtee::core

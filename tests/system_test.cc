@@ -14,14 +14,14 @@
 #include "util/clock.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
-// The deprecated RunBatch/RunSequential/RunPipelined wrappers stay under
-// test until their removal; silence the migration nudge here only.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace mvtee::core {
 namespace {
@@ -29,6 +29,15 @@ namespace {
 using graph::Graph;
 using tensor::Shape;
 using tensor::Tensor;
+
+// One-batch convenience over the unified Run() surface (replaces the
+// removed RunBatch wrapper): returns the single batch's outputs.
+util::Result<std::vector<Tensor>> RunOne(Monitor& m,
+                                         const std::vector<Tensor>& inputs) {
+  auto all = m.Run({inputs});
+  if (!all.ok()) return all.status();
+  return std::move((*all)[0]);
+}
 
 graph::ZooConfig SmallZoo() {
   graph::ZooConfig cfg;
@@ -75,7 +84,7 @@ TEST_P(ZooDeploymentTest, DiversifiedMvxMatchesReference) {
   MonitorConfig config;
   config.check = CheckPolicy::Cosine(0.99);
   config.vote = VotePolicy::kMajority;
-  config.response = ResponsePolicy::kContinueWithWinner;
+  config.reaction = ReactionPolicy::ContinueWithWinner();
   config.direct_fastpath = true;
   auto monitor = Monitor::Create(&cpu, config);
   ASSERT_TRUE(monitor.ok());
@@ -86,7 +95,7 @@ TEST_P(ZooDeploymentTest, DiversifiedMvxMatchesReference) {
 
   util::Rng rng(1);
   auto input = Tensor::RandomUniform(Shape({1, 3, 32, 32}), rng);
-  auto out = (*monitor)->RunBatch({input});
+  auto out = RunOne(**monitor, {input});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto expected = ReferenceRun(model, {input});
   EXPECT_GT(tensor::CosineSimilarity((*out)[0], expected[0]), 0.999);
@@ -159,9 +168,9 @@ TEST_F(VirtualTimeTest, PipelinedBeatsSequentialThroughput) {
   Boot(config);
   auto batches = MakeBatches(10);
 
-  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches).ok());
   auto seq = monitor_->ConsumeStats();
-  ASSERT_TRUE(monitor_->RunPipelined(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches, RunOptions{.pipelined = true}).ok());
   auto pipe = monitor_->ConsumeStats();
 
   EXPECT_GT(seq.ThroughputPerSec(), 0.0);
@@ -174,7 +183,7 @@ TEST_F(VirtualTimeTest, StatsAreMeaningful) {
   MonitorConfig config;
   Boot(config, 3, 3);
   auto batches = MakeBatches(4);
-  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches).ok());
   auto stats = monitor_->ConsumeStats();
   EXPECT_EQ(stats.batch_latency_us.size(), 4u);
   for (int64_t lat : stats.batch_latency_us) EXPECT_GT(lat, 0);
@@ -205,7 +214,7 @@ TEST_F(VirtualTimeTest, SlowVariantDelaysSyncButNotAsyncQuorum) {
     config.mode = mode;
     config.check = CheckPolicy::Cosine(0.99);
     config.vote = VotePolicy::kMajority;
-    config.response = ResponsePolicy::kContinueWithWinner;
+    config.reaction = ReactionPolicy::ContinueWithWinner();
     auto monitor = Monitor::Create(&cpu_, config);
     MVTEE_CHECK(monitor.ok());
     monitor_ = std::move(*monitor);
@@ -215,7 +224,7 @@ TEST_F(VirtualTimeTest, SlowVariantDelaysSyncButNotAsyncQuorum) {
                                  *host_)
                     .ok());
     auto batches = MakeBatches(6);
-    MVTEE_CHECK(monitor_->RunSequential(batches).ok());
+    MVTEE_CHECK(monitor_->Run(batches).ok());
     auto stats = monitor_->ConsumeStats();
     MVTEE_CHECK(monitor_->Shutdown().ok());
     host_->JoinAll();
@@ -252,7 +261,7 @@ TEST_F(VirtualTimeTest, AsyncLateDivergenceDetected) {
   config.mode = ExecMode::kAsync;
   config.check = CheckPolicy::Cosine(0.99);
   config.vote = VotePolicy::kMajority;
-  config.response = ResponsePolicy::kContinueWithWinner;
+  config.reaction = ReactionPolicy::ContinueWithWinner();
   auto monitor = Monitor::Create(&cpu_, config);
   ASSERT_TRUE(monitor.ok());
   monitor_ = std::move(*monitor);
@@ -262,7 +271,7 @@ TEST_F(VirtualTimeTest, AsyncLateDivergenceDetected) {
                                *host_)
                   .ok());
   auto batches = MakeBatches(6);
-  auto out = monitor_->RunSequential(batches);
+  auto out = monitor_->Run(batches);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   auto stats = monitor_->ConsumeStats();
   // Dissent observed — either at a checkpoint or via late validation.
@@ -300,7 +309,7 @@ TEST_F(VirtualTimeTest, VerifyFastPathCatchesNonFinitePoisoning) {
                   ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 1),
                                *host_)
                   .ok());
-  auto out = monitor_->RunBatch(MakeBatches(1)[0]);
+  auto out = RunOne(*monitor_, MakeBatches(1)[0]);
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), util::StatusCode::kDivergenceDetected);
 }
@@ -393,7 +402,7 @@ TEST_F(VirtualTimeTest, TamperedResultFrameAbortsRun) {
                                host)
                   .ok());
   const int64_t wall0 = util::NowMicros();
-  auto out = (*monitor)->RunBatch(MakeBatches(1)[0]);
+  auto out = RunOne(**monitor, MakeBatches(1)[0]);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), util::StatusCode::kAuthenticationFailure);
   // Aborted on detection, not by burning the full recv deadline.
@@ -558,7 +567,7 @@ TEST_F(VirtualTimeTest, ExplicitSelectionPicksNamedVariants) {
   ASSERT_EQ(bindings.size(), 4u);
   EXPECT_EQ(bindings[0].variant_id, "s0.v3");
   EXPECT_EQ(bindings[1].variant_id, "s1.v1");
-  auto out = monitor_->RunBatch(MakeBatches(1)[0]);
+  auto out = RunOne(*monitor_, MakeBatches(1)[0]);
   EXPECT_TRUE(out.ok()) << out.status().ToString();
 }
 
@@ -566,9 +575,9 @@ TEST_F(VirtualTimeTest, RepeatedRunsAccumulateIndependentStats) {
   MonitorConfig config;
   Boot(config, 3, 1);
   auto batches = MakeBatches(3);
-  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches).ok());
   auto first = monitor_->ConsumeStats();
-  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches).ok());
   auto second = monitor_->ConsumeStats();
   EXPECT_EQ(first.batch_latency_us.size(), 3u);
   EXPECT_EQ(second.batch_latency_us.size(), 3u);
@@ -585,7 +594,7 @@ TEST_F(VirtualTimeTest, PlaintextAblationIsNotSlower) {
   MonitorConfig config;
   config.direct_fastpath = true;
   Boot(config);
-  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches).ok());
   auto encrypted = monitor_->ConsumeStats();
   ASSERT_TRUE(monitor_->Shutdown().ok());
   host_->JoinAll();
@@ -600,11 +609,208 @@ TEST_F(VirtualTimeTest, PlaintextAblationIsNotSlower) {
                   ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 1),
                                *host_)
                   .ok());
-  ASSERT_TRUE(monitor_->RunSequential(batches).ok());
+  ASSERT_TRUE(monitor_->Run(batches).ok());
   auto plaintext = monitor_->ConsumeStats();
 
   // Allow generous noise margin; the point is no systematic inversion.
   EXPECT_LT(plaintext.MeanLatencyUs(), encrypted.MeanLatencyUs() * 1.25);
+}
+
+TEST_F(VirtualTimeTest, LifecycleEvidenceBundleRecordsQuarantineAndReadmit) {
+  // Full reaction loop inside ONE Run call: a transient tamper on one
+  // replica trips quarantine, the supervisor re-bootstraps it through
+  // the attested two-stage protocol and re-admits it after a clean
+  // shadow checkpoint — all without aborting. The end-of-run evidence
+  // bundle must carry the quarantine AND readmit verdicts, each linked
+  // to its batch's trace, and the supervisor metrics must move.
+  char evidence_dir[] = "/tmp/mvtee-lifecycle-XXXXXX";
+  ASSERT_NE(::mkdtemp(evidence_dir), nullptr);
+  ASSERT_EQ(::setenv("MVTEE_EVIDENCE_DIR", evidence_dir, 1), 0);
+
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(2, 3, /*replicated=*/true));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  fault::WindowedFaultSpec spec;
+  spec.effect = fault::FaultEffect::kCorruptSilent;
+  spec.fire_limit = 1;  // fires on batch 0, then runs clean
+  auto hook = std::make_shared<fault::WindowedFault>(spec);
+  VariantHost host(&cpu_, bundle_.store);
+  host.SetFaultHook("s0.v1", hook);
+
+  MonitorConfig config;
+  config.reaction = ReactionPolicy::Builder()
+                        .QuarantineAndRestart()
+                        .DissentThreshold(1)
+                        .ProbationBatches(1)
+                        .RetryBudget(2)
+                        .Backoff(/*initial_us=*/0, /*multiplier=*/2.0,
+                                 /*max_us=*/1'000)
+                        .Build();
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE((*monitor)
+                  ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 3),
+                               host)
+                  .ok());
+
+  auto before = obs::Registry::Default().Snapshot();
+  auto batches = MakeBatches(6);
+  auto out = (*monitor)->Run(batches);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto delta = obs::Registry::Default().Snapshot().DeltaSince(before);
+  EXPECT_GE(delta.counters.at("supervisor.quarantines_total"), 1u);
+  EXPECT_GE(delta.counters.at("supervisor.readmissions_total"), 1u);
+
+  // Every released output is the healthy panel's answer.
+  for (size_t b = 0; b < batches.size(); ++b) {
+    auto expected = ReferenceRun(model_, batches[b]);
+    EXPECT_GT(tensor::CosineSimilarity((*out)[b][0], expected[0]), 0.999);
+  }
+  EXPECT_EQ(hook->fire_count(), 1u);
+
+  const Supervisor* sup = (*monitor)->supervisor();
+  ASSERT_NE(sup, nullptr);
+  EXPECT_GE(sup->quarantines_total(), 1u);
+  EXPECT_GE(sup->readmissions_total(), 1u);
+  EXPECT_EQ(sup->state(0, 1), VariantLifecycle::kHealthy);  // readmitted
+
+  ASSERT_TRUE((*monitor)->Shutdown().ok());
+  host.JoinAll();
+  ASSERT_EQ(::unsetenv("MVTEE_EVIDENCE_DIR"), 0);
+
+  // One completed-but-eventful run -> exactly one bundle.
+  std::vector<std::filesystem::path> bundles;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(evidence_dir)) {
+    bundles.push_back(entry.path());
+  }
+  ASSERT_EQ(bundles.size(), 1u);
+
+  std::ifstream in(bundles[0]);
+  std::stringstream text;
+  text << in.rdbuf();
+  auto doc = obs::ParseJson(text.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_NE(doc->Find("schema"), nullptr);
+  EXPECT_EQ(doc->Find("schema")->as_string(), "mvtee-evidence-v1");
+  ASSERT_NE(doc->Find("trigger"), nullptr);
+  EXPECT_EQ(doc->Find("trigger")->as_string(), "quarantine");
+  ASSERT_NE(doc->Find("trace_id"), nullptr);
+  const std::string bundle_trace = doc->Find("trace_id")->as_string();
+  EXPECT_NE(bundle_trace, "0");
+
+  // The retained ring holds the whole lifecycle of s0.v1: quarantine on
+  // the triggering batch's trace (which is also the bundle's trace),
+  // then rebootstrap and readmit on later batches' traces.
+  const obs::JsonValue* verdicts = doc->Find("verdicts");
+  ASSERT_NE(verdicts, nullptr);
+  bool saw_quarantine = false, saw_rebootstrap = false, saw_readmit = false;
+  for (const auto& v : verdicts->as_array()) {
+    const std::string& verdict = v.Find("verdict")->as_string();
+    if (verdict != "quarantine" && verdict != "rebootstrap" &&
+        verdict != "readmit") {
+      continue;
+    }
+    const auto& variants = v.Find("variants")->as_array();
+    ASSERT_EQ(variants.size(), 1u);
+    if (variants[0].Find("variant_id")->as_string() != "s0.v1") continue;
+    const std::string& trace = v.Find("trace_id")->as_string();
+    EXPECT_NE(trace, "0");  // every lifecycle verdict is trace-linked
+    if (verdict == "quarantine") {
+      saw_quarantine = true;
+      EXPECT_EQ(trace, bundle_trace);  // attributed to the first incident
+      EXPECT_TRUE(variants[0].Find("dissent")->as_bool());
+    } else if (verdict == "rebootstrap") {
+      saw_rebootstrap = true;
+    } else {
+      saw_readmit = true;
+      EXPECT_TRUE(variants[0].Find("ok")->as_bool());
+    }
+  }
+  EXPECT_TRUE(saw_quarantine);
+  EXPECT_TRUE(saw_rebootstrap);
+  EXPECT_TRUE(saw_readmit);
+
+  std::filesystem::remove_all(evidence_dir);
+}
+
+TEST_F(VirtualTimeTest, RecvTimeoutBecomesVariantFailureNotRunError) {
+  // A variant that goes silent past recv_timeout_us must cost only its
+  // own panel seat when the remaining replicas still satisfy the vote:
+  // the expiry is classified as a per-slot failure, the slot is
+  // quarantined, and the run completes instead of DeadlineExceeded.
+  // The hook parks the variant's first inference on a latch (released
+  // after Run) rather than a fixed sleep, so the silence outlasts the
+  // recv timeout regardless of scheduler load; respawned instances of
+  // the variant run clean.
+  class HangFirstCall : public runtime::FaultHook {
+   public:
+    util::Status OnNodeStart(const graph::Node&) override {
+      if (first_.exchange(false)) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return released_; });
+      }
+      return util::OkStatus();
+    }
+    void Release() {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+      cv_.notify_all();
+    }
+
+   private:
+    std::atomic<bool> first_{true};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool released_ = false;
+  };
+
+  model_ = graph::BuildModel(graph::ModelKind::kResNet50, SmallZoo());
+  auto bundle = RunOfflineTool(model_, Offline(2, 3, /*replicated=*/true));
+  ASSERT_TRUE(bundle.ok());
+  bundle_ = std::move(*bundle);
+
+  VariantHost host(&cpu_, bundle_.store);
+  auto hang = std::make_shared<HangFirstCall>();
+  host.SetFaultHook("s0.v0", hang);
+
+  MonitorConfig config;
+  // Generous enough that handshakes and healthy inferences never trip
+  // it even on a loaded CI box; the parked variant stays silent past
+  // any value.
+  config.recv_timeout_us = 4'000'000;
+  config.reaction = ReactionPolicy::Builder()
+                        .QuarantineAndRestart()
+                        .DissentThreshold(1)
+                        .Backoff(/*initial_us=*/0, /*multiplier=*/2.0,
+                                 /*max_us=*/1'000)
+                        .Build();
+  auto monitor = Monitor::Create(&cpu_, config);
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE((*monitor)
+                  ->Initialize(bundle_, MvxSelection::Uniform(bundle_, 3),
+                               host)
+                  .ok());
+
+  auto batches = MakeBatches(3);
+  auto out = (*monitor)->Run(batches);
+  hang->Release();  // unpark the quarantined original before teardown
+  ASSERT_TRUE(out.ok()) << out.status().ToString();  // not DeadlineExceeded
+
+  const Supervisor* sup = (*monitor)->supervisor();
+  ASSERT_NE(sup, nullptr);
+  EXPECT_GE(sup->quarantines_total(), 1u);
+  EXPECT_GE(sup->slot(0, 0).quarantines, 1);
+
+  for (size_t b = 0; b < batches.size(); ++b) {
+    auto expected = ReferenceRun(model_, batches[b]);
+    EXPECT_GT(tensor::CosineSimilarity((*out)[b][0], expected[0]), 0.999);
+  }
+
+  ASSERT_TRUE((*monitor)->Shutdown().ok());
+  host.JoinAll();
 }
 
 }  // namespace
