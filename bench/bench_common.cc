@@ -124,11 +124,15 @@ util::Result<Outcome> RunMvtee(
 }
 
 obs::RegistrySnapshot MetricsBaseline() {
+  // Pull the util-side pool/copy counters in before snapshotting so
+  // baseline and dump see consistent data-plane numbers.
+  obs::SyncDataPlaneMetrics();
   return obs::Registry::Default().Snapshot();
 }
 
 void DumpMetricsJson(const std::string& label,
                      const obs::RegistrySnapshot* base) {
+  obs::SyncDataPlaneMetrics();
   obs::RegistrySnapshot snap = obs::Registry::Default().Snapshot();
   if (base != nullptr) snap = snap.DeltaSince(*base);
   // JSONL schema — one self-contained object per line:

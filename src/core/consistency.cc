@@ -139,7 +139,7 @@ OutputsSummary SummarizeOutputs(const std::vector<Tensor>& outputs) {
       FnvMix(h, dims.data(), dims.size() * sizeof(dims[0]));
     }
     const float* data = t.data();
-    const size_t count = t.vec().size();
+    const size_t count = t.storage_size();
     if (count > 0) FnvMix(h, data, count * sizeof(float));
     for (size_t i = 0; i < count; ++i) {
       if (!std::isfinite(data[i])) {

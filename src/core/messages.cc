@@ -1,28 +1,65 @@
 #include "core/messages.h"
 
+#include <memory>
+
 namespace mvtee::core {
 
 namespace {
-void AppendTensors(util::Bytes& out,
-                   const std::vector<tensor::Tensor>& tensors) {
-  util::AppendU32(out, static_cast<uint32_t>(tensors.size()));
-  for (const auto& t : tensors) util::AppendLengthPrefixed(out, t.Serialize());
+// Tensor container: count(4), then per tensor
+//   pad_len(1) || <pad_len zero bytes> || len(4) || tensor bytes
+// pad_len (0-3) is chosen so the tensor's serialized bytes start 4-byte
+// aligned relative to the *frame base*. The inner tensor header is a
+// multiple of 4 bytes, so the float payload is then frame-aligned too,
+// which is what lets a receiver alias it in place via
+// tensor::Tensor::DeserializeView instead of copying.
+uint8_t TensorPad(size_t pos) {
+  // `pos` is the frame-relative offset of the pad_len byte; the tensor
+  // bytes start at pos + 1 + pad + 4.
+  return static_cast<uint8_t>((4 - ((pos + 5) % 4)) % 4);
 }
 
+size_t TensorsEncodedSize(size_t pos,
+                          const std::vector<tensor::Tensor>& tensors) {
+  size_t end = pos + 4;
+  for (const auto& t : tensors) {
+    end += 1 + TensorPad(end) + 4 + t.SerializedSize();
+  }
+  return end - pos;
+}
+
+void AppendTensors(util::Bytes& out, size_t frame_base,
+                   const std::vector<tensor::Tensor>& tensors) {
+  util::AppendU32(out, static_cast<uint32_t>(tensors.size()));
+  for (const auto& t : tensors) {
+    const uint8_t pad = TensorPad(out.size() - frame_base);
+    util::AppendU8(out, pad);
+    for (uint8_t i = 0; i < pad; ++i) util::AppendU8(out, 0);
+    util::AppendU32(out, static_cast<uint32_t>(t.SerializedSize()));
+    t.SerializeInto(out);
+  }
+}
+
+// With a keepalive, decoded tensors are views aliasing the frame buffer
+// (DeserializeView falls back to an owned copy if the payload landed
+// misaligned); without one they are owned copies as before.
 util::Status ReadTensors(util::ByteReader& reader,
-                         std::vector<tensor::Tensor>& out) {
+                         std::vector<tensor::Tensor>& out,
+                         const std::shared_ptr<const void>& keepalive) {
   uint32_t count;
   if (!reader.ReadU32(count) || count > 1024) {
     return util::InvalidArgument("bad tensor count");
   }
   out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    util::Bytes payload;
-    if (!reader.ReadLengthPrefixed(payload)) {
+    uint8_t pad;
+    uint32_t len;
+    util::ByteSpan payload;
+    if (!reader.ReadU8(pad) || pad > 3 || !reader.Skip(pad) ||
+        !reader.ReadU32(len) || !reader.ReadSpan(len, payload)) {
       return util::InvalidArgument("truncated tensor");
     }
     MVTEE_ASSIGN_OR_RETURN(tensor::Tensor t,
-                           tensor::Tensor::Deserialize(payload));
+                           tensor::Tensor::DeserializeView(payload, keepalive));
     out.push_back(std::move(t));
   }
   return util::OkStatus();
@@ -32,6 +69,12 @@ void AppendSlots(util::Bytes& out, const std::vector<uint32_t>& slots) {
   util::AppendU32(out, static_cast<uint32_t>(slots.size()));
   for (uint32_t s : slots) util::AppendU32(out, s);
 }
+
+size_t SlotsSize(const std::vector<uint32_t>& slots) {
+  return 4 + 4 * slots.size();
+}
+
+size_t LpSize(size_t payload) { return 4 + payload; }
 
 bool ReadSlots(util::ByteReader& reader, std::vector<uint32_t>& slots) {
   uint32_t count;
@@ -52,53 +95,108 @@ util::Status ConsumeTag(util::ByteReader& reader, MsgType expected) {
 }
 }  // namespace
 
-util::Bytes EncodeAssignIdentity(const AssignIdentityMsg& msg) {
-  util::Bytes out;
+size_t EncodedSize(const AssignIdentityMsg& msg) {
+  return 1 + LpSize(msg.variant_id.size()) + LpSize(msg.variant_key.size());
+}
+
+void EncodeAssignIdentityInto(const AssignIdentityMsg& msg, util::Bytes& out) {
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kAssignIdentity));
   util::AppendLengthPrefixedStr(out, msg.variant_id);
   util::AppendLengthPrefixed(out, msg.variant_key);
+}
+
+util::Bytes EncodeAssignIdentity(const AssignIdentityMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeAssignIdentityInto(msg, out);
   return out;
 }
 
-util::Bytes EncodeIdentityAck(const IdentityAckMsg& msg) {
-  util::Bytes out;
+size_t EncodedSize(const IdentityAckMsg& msg) {
+  return 1 + LpSize(msg.variant_id.size()) + crypto::kSha256DigestSize + 1 +
+         LpSize(msg.error.size());
+}
+
+void EncodeIdentityAckInto(const IdentityAckMsg& msg, util::Bytes& out) {
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kIdentityAck));
   util::AppendLengthPrefixedStr(out, msg.variant_id);
   util::AppendBytes(out, util::ByteSpan(msg.manifest_hash.data(),
                                         msg.manifest_hash.size()));
   util::AppendU8(out, msg.ok ? 1 : 0);
   util::AppendLengthPrefixedStr(out, msg.error);
+}
+
+util::Bytes EncodeIdentityAck(const IdentityAckMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeIdentityAckInto(msg, out);
   return out;
 }
 
-util::Bytes EncodeInfer(const InferMsg& msg) {
+size_t EncodedSize(const InferMsg& msg) {
+  const size_t head = 1 + 8 + 8 + SlotsSize(msg.slots);
+  return head + TensorsEncodedSize(head, msg.inputs);
+}
+
+void EncodeInferInto(const InferMsg& msg, util::Bytes& out) {
   MVTEE_CHECK(msg.slots.size() == msg.inputs.size());
-  util::Bytes out;
+  const size_t frame_base = out.size();
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kInfer));
   util::AppendU64(out, msg.batch_id);
   util::AppendU64(out, msg.vtime_us);
   AppendSlots(out, msg.slots);
-  AppendTensors(out, msg.inputs);
+  AppendTensors(out, frame_base, msg.inputs);
+}
+
+util::Bytes EncodeInfer(const InferMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeInferInto(msg, out);
   return out;
 }
 
-util::Bytes EncodeInferResult(const InferResultMsg& msg) {
-  util::Bytes out;
+size_t EncodedSize(const InferResultMsg& msg) {
+  const size_t head = 1 + 8 + 8 + 1;
+  return head + TensorsEncodedSize(head, msg.outputs) +
+         LpSize(msg.error.size());
+}
+
+void EncodeInferResultInto(const InferResultMsg& msg, util::Bytes& out) {
+  const size_t frame_base = out.size();
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kInferResult));
   util::AppendU64(out, msg.batch_id);
   util::AppendU64(out, msg.vtime_us);
   util::AppendU8(out, msg.ok ? 1 : 0);
-  AppendTensors(out, msg.outputs);
+  AppendTensors(out, frame_base, msg.outputs);
   util::AppendLengthPrefixedStr(out, msg.error);
+}
+
+util::Bytes EncodeInferResult(const InferResultMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeInferResultInto(msg, out);
   return out;
+}
+
+size_t EncodedSizeShutdown() { return 1; }
+
+void EncodeShutdownInto(util::Bytes& out) {
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kShutdown));
 }
 
 util::Bytes EncodeShutdown() {
   return {static_cast<uint8_t>(MsgType::kShutdown)};
 }
 
-util::Bytes EncodeSetupRoutes(const SetupRoutesMsg& msg) {
-  util::Bytes out;
+size_t EncodedSize(const SetupRoutesMsg& msg) {
+  size_t size = 1 + 4 + 8 * msg.upstream.size() + 4 + 1;
+  for (const auto& down : msg.downstream) {
+    size += 8 + 4 + 8 * down.output_to_slot.size();
+  }
+  return size;
+}
+
+void EncodeSetupRoutesInto(const SetupRoutesMsg& msg, util::Bytes& out) {
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kSetupRoutes));
   util::AppendU32(out, static_cast<uint32_t>(msg.upstream.size()));
   for (const auto& up : msg.upstream) util::AppendU64(out, up.pipe_id);
@@ -112,30 +210,87 @@ util::Bytes EncodeSetupRoutes(const SetupRoutesMsg& msg) {
     }
   }
   util::AppendU8(out, msg.report_to_monitor ? 1 : 0);
+}
+
+util::Bytes EncodeSetupRoutes(const SetupRoutesMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeSetupRoutesInto(msg, out);
   return out;
+}
+
+size_t EncodedSize(const RoutesAckMsg& msg) {
+  return 1 + 1 + LpSize(msg.error.size());
+}
+
+void EncodeRoutesAckInto(const RoutesAckMsg& msg, util::Bytes& out) {
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kRoutesAck));
+  util::AppendU8(out, msg.ok ? 1 : 0);
+  util::AppendLengthPrefixedStr(out, msg.error);
 }
 
 util::Bytes EncodeRoutesAck(const RoutesAckMsg& msg) {
   util::Bytes out;
-  util::AppendU8(out, static_cast<uint8_t>(MsgType::kRoutesAck));
-  util::AppendU8(out, msg.ok ? 1 : 0);
-  util::AppendLengthPrefixedStr(out, msg.error);
+  out.reserve(EncodedSize(msg));
+  EncodeRoutesAckInto(msg, out);
   return out;
 }
 
-util::Bytes EncodeStageData(const StageDataMsg& msg) {
+size_t EncodedSize(const StageDataMsg& msg) {
+  const size_t head = 1 + 8 + 8 + SlotsSize(msg.slots);
+  return head + TensorsEncodedSize(head, msg.tensors);
+}
+
+void EncodeStageDataInto(const StageDataMsg& msg, util::Bytes& out) {
   MVTEE_CHECK(msg.slots.size() == msg.tensors.size());
-  util::Bytes out;
+  const size_t frame_base = out.size();
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kStageData));
   util::AppendU64(out, msg.batch_id);
   util::AppendU64(out, msg.vtime_us);
   AppendSlots(out, msg.slots);
-  AppendTensors(out, msg.tensors);
+  AppendTensors(out, frame_base, msg.tensors);
+}
+
+util::Bytes EncodeStageData(const StageDataMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeStageDataInto(msg, out);
   return out;
+}
+
+util::Status SendFrame(transport::MsgChannel& channel, const InferMsg& msg,
+                       util::ByteSpan header) {
+  return channel.SendEncoded(EncodedSize(msg), header, [&msg](util::Bytes& out) {
+    EncodeInferInto(msg, out);
+  });
+}
+
+util::Status SendFrame(transport::MsgChannel& channel,
+                       const InferResultMsg& msg, util::ByteSpan header) {
+  return channel.SendEncoded(EncodedSize(msg), header, [&msg](util::Bytes& out) {
+    EncodeInferResultInto(msg, out);
+  });
+}
+
+util::Status SendFrame(transport::MsgChannel& channel, const StageDataMsg& msg,
+                       util::ByteSpan header) {
+  return channel.SendEncoded(EncodedSize(msg), header, [&msg](util::Bytes& out) {
+    EncodeStageDataInto(msg, out);
+  });
+}
+
+size_t EncodedSize(const ProvisionMsg& msg) {
+  size_t size = 1 + LpSize(msg.nonce.size()) + LpSize(msg.bundle_config.size()) + 4;
+  for (const auto& stage : msg.stage_variant_ids) {
+    size += 4;
+    for (const auto& id : stage) size += LpSize(id.size());
+  }
+  return size;
 }
 
 util::Bytes EncodeProvision(const ProvisionMsg& msg) {
   util::Bytes out;
+  out.reserve(EncodedSize(msg));
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kProvision));
   util::AppendLengthPrefixed(out, msg.nonce);
   util::AppendLengthPrefixed(out, msg.bundle_config);
@@ -174,8 +329,15 @@ util::Result<ProvisionMsg> DecodeProvision(util::ByteSpan frame) {
   return msg;
 }
 
+size_t EncodedSize(const ProvisionResultMsg& msg) {
+  size_t size = 1 + LpSize(msg.nonce.size()) + 1 + LpSize(msg.error.size()) + 4;
+  for (const auto& id : msg.bound_variant_ids) size += LpSize(id.size());
+  return size;
+}
+
 util::Bytes EncodeProvisionResult(const ProvisionResultMsg& msg) {
   util::Bytes out;
+  out.reserve(EncodedSize(msg));
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kProvisionResult));
   util::AppendLengthPrefixed(out, msg.nonce);
   util::AppendU8(out, msg.ok ? 1 : 0);
@@ -211,8 +373,13 @@ util::Result<ProvisionResultMsg> DecodeProvisionResult(util::ByteSpan frame) {
   return msg;
 }
 
+size_t EncodedSize(const AttestQueryMsg& msg) {
+  return 1 + LpSize(msg.nonce.size());
+}
+
 util::Bytes EncodeAttestQuery(const AttestQueryMsg& msg) {
   util::Bytes out;
+  out.reserve(EncodedSize(msg));
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kAttestQuery));
   util::AppendLengthPrefixed(out, msg.nonce);
   return out;
@@ -228,8 +395,15 @@ util::Result<AttestQueryMsg> DecodeAttestQuery(util::ByteSpan frame) {
   return msg;
 }
 
+size_t EncodedSize(const AttestReplyMsg& msg) {
+  size_t size = 1 + LpSize(msg.nonce.size()) + 4;
+  for (const auto& r : msg.variant_reports) size += LpSize(r.size());
+  return size;
+}
+
 util::Bytes EncodeAttestReply(const AttestReplyMsg& msg) {
   util::Bytes out;
+  out.reserve(EncodedSize(msg));
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kAttestReply));
   util::AppendLengthPrefixed(out, msg.nonce);
   util::AppendU32(out, static_cast<uint32_t>(msg.variant_reports.size()));
@@ -306,7 +480,9 @@ util::Result<IdentityAckMsg> DecodeIdentityAck(util::ByteSpan frame) {
   return msg;
 }
 
-util::Result<InferMsg> DecodeInfer(util::ByteSpan frame) {
+namespace {
+util::Result<InferMsg> DecodeInferImpl(
+    util::ByteSpan frame, const std::shared_ptr<const void>& keepalive) {
   util::ByteReader reader(frame);
   MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kInfer));
   InferMsg msg;
@@ -314,14 +490,15 @@ util::Result<InferMsg> DecodeInfer(util::ByteSpan frame) {
       !ReadSlots(reader, msg.slots)) {
     return util::InvalidArgument("malformed Infer");
   }
-  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.inputs));
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.inputs, keepalive));
   if (msg.slots.size() != msg.inputs.size() || !reader.done()) {
     return util::InvalidArgument("inconsistent Infer");
   }
   return msg;
 }
 
-util::Result<InferResultMsg> DecodeInferResult(util::ByteSpan frame) {
+util::Result<InferResultMsg> DecodeInferResultImpl(
+    util::ByteSpan frame, const std::shared_ptr<const void>& keepalive) {
   util::ByteReader reader(frame);
   MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kInferResult));
   InferResultMsg msg;
@@ -331,11 +508,28 @@ util::Result<InferResultMsg> DecodeInferResult(util::ByteSpan frame) {
     return util::InvalidArgument("malformed InferResult");
   }
   msg.ok = ok != 0;
-  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.outputs));
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.outputs, keepalive));
   if (!reader.ReadLengthPrefixedStr(msg.error) || !reader.done()) {
     return util::InvalidArgument("malformed InferResult tail");
   }
   return msg;
+}
+}  // namespace
+
+util::Result<InferMsg> DecodeInfer(util::ByteSpan frame) {
+  return DecodeInferImpl(frame, nullptr);
+}
+
+util::Result<InferMsg> DecodeInfer(const transport::InFrame& frame) {
+  return DecodeInferImpl(frame.span(), frame.keepalive());
+}
+
+util::Result<InferResultMsg> DecodeInferResult(util::ByteSpan frame) {
+  return DecodeInferResultImpl(frame, nullptr);
+}
+
+util::Result<InferResultMsg> DecodeInferResult(const transport::InFrame& frame) {
+  return DecodeInferResultImpl(frame.span(), frame.keepalive());
 }
 
 util::Result<SetupRoutesMsg> DecodeSetupRoutes(util::ByteSpan frame) {
@@ -394,7 +588,9 @@ util::Result<RoutesAckMsg> DecodeRoutesAck(util::ByteSpan frame) {
   return msg;
 }
 
-util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame) {
+namespace {
+util::Result<StageDataMsg> DecodeStageDataImpl(
+    util::ByteSpan frame, const std::shared_ptr<const void>& keepalive) {
   util::ByteReader reader(frame);
   MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kStageData));
   StageDataMsg msg;
@@ -402,11 +598,20 @@ util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame) {
       !ReadSlots(reader, msg.slots)) {
     return util::InvalidArgument("malformed StageData");
   }
-  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.tensors));
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.tensors, keepalive));
   if (msg.slots.size() != msg.tensors.size() || !reader.done()) {
     return util::InvalidArgument("inconsistent StageData");
   }
   return msg;
+}
+}  // namespace
+
+util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame) {
+  return DecodeStageDataImpl(frame, nullptr);
+}
+
+util::Result<StageDataMsg> DecodeStageData(const transport::InFrame& frame) {
+  return DecodeStageDataImpl(frame.span(), frame.keepalive());
 }
 
 util::Bytes EncodeTraceContext(const obs::TraceContext& ctx) {

@@ -11,6 +11,7 @@
 #include "crypto/sha256.h"
 #include "obs/trace.h"
 #include "tensor/tensor.h"
+#include "transport/msg_channel.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -103,6 +104,48 @@ util::Bytes EncodeSetupRoutes(const SetupRoutesMsg& msg);
 util::Bytes EncodeRoutesAck(const RoutesAckMsg& msg);
 util::Bytes EncodeStageData(const StageDataMsg& msg);
 
+// ---- single-pass encoding (zero-copy data plane, DESIGN.md §10) ----
+//
+// EncodedSize() returns the exact length Encode*/Encode*Into produce
+// for a message, so a sender can acquire one right-sized pooled buffer
+// and write the whole record (header + payload) in a single pass.
+// Encode*Into appends to `out`; tensor containers insert 0-3 zero pad
+// bytes before each tensor so its float payload lands 4-byte aligned
+// relative to the frame start (out.size() at entry) — the property
+// that lets the receiver alias tensors in the opened record.
+size_t EncodedSize(const AssignIdentityMsg& msg);
+size_t EncodedSize(const IdentityAckMsg& msg);
+size_t EncodedSize(const InferMsg& msg);
+size_t EncodedSize(const InferResultMsg& msg);
+size_t EncodedSizeShutdown();
+size_t EncodedSize(const SetupRoutesMsg& msg);
+size_t EncodedSize(const RoutesAckMsg& msg);
+size_t EncodedSize(const StageDataMsg& msg);
+
+void EncodeAssignIdentityInto(const AssignIdentityMsg& msg, util::Bytes& out);
+void EncodeIdentityAckInto(const IdentityAckMsg& msg, util::Bytes& out);
+void EncodeInferInto(const InferMsg& msg, util::Bytes& out);
+void EncodeInferResultInto(const InferResultMsg& msg, util::Bytes& out);
+void EncodeShutdownInto(util::Bytes& out);
+void EncodeSetupRoutesInto(const SetupRoutesMsg& msg, util::Bytes& out);
+void EncodeRoutesAckInto(const RoutesAckMsg& msg, util::Bytes& out);
+void EncodeStageDataInto(const StageDataMsg& msg, util::Bytes& out);
+
+// Encodes the message straight into the channel's pooled wire buffer
+// (no intermediate frame) and sends it.
+util::Status SendFrame(transport::MsgChannel& channel, const InferMsg& msg,
+                       util::ByteSpan header = {});
+util::Status SendFrame(transport::MsgChannel& channel,
+                       const InferResultMsg& msg, util::ByteSpan header = {});
+util::Status SendFrame(transport::MsgChannel& channel, const StageDataMsg& msg,
+                       util::ByteSpan header = {});
+
+// Zero-copy decode of a pooled frame: tensors in the result are views
+// aliasing the frame's buffer (pinned via its keepalive), not copies.
+util::Result<InferMsg> DecodeInfer(const transport::InFrame& frame);
+util::Result<InferResultMsg> DecodeInferResult(const transport::InFrame& frame);
+util::Result<StageDataMsg> DecodeStageData(const transport::InFrame& frame);
+
 // ---- owner <-> monitor provisioning (Fig. 6 steps 2-3 and 8) ----
 
 struct ProvisionMsg {
@@ -130,6 +173,10 @@ struct AttestReplyMsg {
   std::vector<util::Bytes> variant_reports;
 };
 
+size_t EncodedSize(const ProvisionMsg& msg);
+size_t EncodedSize(const ProvisionResultMsg& msg);
+size_t EncodedSize(const AttestQueryMsg& msg);
+size_t EncodedSize(const AttestReplyMsg& msg);
 util::Bytes EncodeProvision(const ProvisionMsg& msg);
 util::Bytes EncodeProvisionResult(const ProvisionResultMsg& msg);
 util::Bytes EncodeAttestQuery(const AttestQueryMsg& msg);

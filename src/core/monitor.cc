@@ -765,14 +765,17 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         msg.slots.push_back(slot);
         msg.inputs.push_back(batches[b][input_idx]);
       }
-      util::Bytes frame = EncodeInfer(msg);
+      // Encoded straight into each variant's pooled wire buffer; the
+      // vtime stamp depends only on the (identical) frame size, so it
+      // is set per variant before the single-pass encode.
+      const size_t frame_size = EncodedSize(msg);
       for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
         if (bstate.masks[s][vi] == 0) continue;
         auto& conn = stages_[s].variants[vi];
-        PatchVtime(frame, static_cast<uint64_t>(
-                              vnow() + charge_boundary(s, frame.size())));
+        msg.vtime_us = static_cast<uint64_t>(
+            vnow() + charge_boundary(s, frame_size));
         const int64_t send_cpu0 = util::ThreadCpuMicros();
-        util::Status st = conn.channel->Send(frame, tctx);
+        util::Status st = SendFrame(*conn.channel, msg, tctx);
         send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
         if (!st.ok() && run_error.ok()) run_error = st;
       }
@@ -819,7 +822,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           msg.slots.push_back(slot);
           msg.inputs.push_back(outputs[out_idx]);
         }
-        util::Bytes frame = EncodeInfer(msg);
+        const size_t frame_size = EncodedSize(msg);
         const auto consumer = static_cast<size_t>(target.consumer_stage);
         for (size_t vi = 0; vi < stages_[consumer].variants.size(); ++vi) {
           if (state.masks[consumer][vi] == 0) continue;
@@ -829,11 +832,10 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
             continue;
           }
           auto& conn = stages_[consumer].variants[vi];
-          PatchVtime(frame,
-                     static_cast<uint64_t>(
-                         vnow() + charge_boundary(consumer, frame.size())));
+          msg.vtime_us = static_cast<uint64_t>(
+              vnow() + charge_boundary(consumer, frame_size));
           const int64_t send_cpu0 = util::ThreadCpuMicros();
-          util::Status st = conn.channel->Send(frame, tctx);
+          util::Status st = SendFrame(*conn.channel, msg, tctx);
           send_cpu_excluded += util::ThreadCpuMicros() - send_cpu0;
           if (!st.ok() && run_error.ok()) run_error = st;
         }
@@ -1501,7 +1503,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
       for (size_t vi = 0; vi < stages_[s].variants.size(); ++vi) {
         if (supervised && !supervisor_->ChannelLive(s, vi)) continue;
-        auto frame = stages_[s].variants[vi].channel->Recv(0);
+        auto frame = stages_[s].variants[vi].channel->RecvPooled(0);
         if (!frame.ok()) {
           const auto code = frame.status().code();
           if (code == util::StatusCode::kDeadlineExceeded) {
@@ -1536,7 +1538,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
           continue;
         }
         progressed = true;
-        auto type = PeekType(*frame);
+        auto type = PeekType(frame->span());
         if (!type.ok() || *type != MsgType::kInferResult) continue;
         handling_cpu0 = util::ThreadCpuMicros();
         send_cpu_excluded = 0;

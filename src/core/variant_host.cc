@@ -313,19 +313,19 @@ void RunAssembledBatch(VariantState& state, uint64_t batch,
         data.slots.push_back(slot);
         data.tensors.push_back(result.outputs[output]);
       }
-      util::Bytes frame = EncodeStageData(data);
-      PatchVtime(frame, static_cast<uint64_t>(
-                            v_done + BoundaryMicros(options, frame.size())));
-      (void)down.channel->Send(frame, tctx);
+      // vtime depends only on the encoded size, so it is stamped before
+      // the single-pass encode into the pooled wire buffer.
+      data.vtime_us = static_cast<uint64_t>(
+          v_done + BoundaryMicros(options, EncodedSize(data)));
+      (void)SendFrame(*down.channel, data, tctx);
     }
   }
   // Failures are always surfaced to the monitor; successful outputs only
   // when this variant is on a reporting (slow-path / model-output) role.
   if (state.report_to_monitor || !result.ok) {
-    util::Bytes frame = EncodeInferResult(result);
-    PatchVtime(frame, static_cast<uint64_t>(
-                          v_done + BoundaryMicros(options, frame.size())));
-    (void)monitor_channel.Send(frame, tctx);
+    result.vtime_us = static_cast<uint64_t>(
+        v_done + BoundaryMicros(options, EncodedSize(result)));
+    (void)SendFrame(monitor_channel, result, tctx);
   }
   state.vclock_us = v_done;
 }
@@ -369,7 +369,7 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
 
     // 1. Monitor channel (non-blocking poll).
     util::Bytes header;
-    auto frame = monitor_channel->Recv(0, &header);
+    auto frame = monitor_channel->RecvPooled(0, &header);
     if (!frame.ok() &&
         frame.status().code() == util::StatusCode::kUnavailable) {
       teardown();
@@ -377,14 +377,14 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
     }
     if (frame.ok()) {
       progressed = true;
-      auto type = PeekType(*frame);
+      auto type = PeekType(frame->span());
       if (!type.ok()) {
         teardown();
         return;
       }
       switch (*type) {
         case MsgType::kAssignIdentity: {
-          auto msg = DecodeAssignIdentity(*frame);
+          auto msg = DecodeAssignIdentity(frame->span());
           IdentityAckMsg ack;
           if (!msg.ok()) {
             ack.ok = false;
@@ -404,7 +404,7 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
           break;
         }
         case MsgType::kSetupRoutes: {
-          auto msg = DecodeSetupRoutes(*frame);
+          auto msg = DecodeSetupRoutes(frame->span());
           RoutesAckMsg ack;
           if (!msg.ok()) {
             ack.ok = false;
@@ -450,10 +450,10 @@ void VariantServiceMain(std::unique_ptr<tee::Enclave> enclave,
     // 2. Upstream fast-path pipes (non-blocking poll).
     for (auto& up : state.upstream) {
       util::Bytes up_header;
-      auto data_frame = up.channel->Recv(0, &up_header);
+      auto data_frame = up.channel->RecvPooled(0, &up_header);
       if (!data_frame.ok()) continue;
       progressed = true;
-      auto msg = DecodeStageData(*data_frame);
+      auto msg = DecodeStageData(*data_frame);  // tensors alias the frame
       if (!msg.ok() || !state.executor) continue;
       state.vclock_us =
           std::max(state.vclock_us, static_cast<int64_t>(msg->vtime_us));

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/dataplane_stats.h"
+
 namespace mvtee::crypto {
 
 namespace {
@@ -152,8 +154,8 @@ void AesGcm::ComputeTag(util::ByteSpan nonce, util::ByteSpan aad,
   for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ e_j0[i];
 }
 
-util::Bytes AesGcm::Seal(util::ByteSpan nonce, util::ByteSpan aad,
-                         util::ByteSpan plaintext) const {
+void AesGcm::SealInPlace(util::ByteSpan nonce, util::ByteSpan aad,
+                         uint8_t* buf, size_t plaintext_len) const {
   MVTEE_CHECK(nonce.size() == kGcmNonceSize);
 
   uint8_t j0[16];
@@ -161,27 +163,27 @@ util::Bytes AesGcm::Seal(util::ByteSpan nonce, util::ByteSpan aad,
   j0[12] = j0[13] = j0[14] = 0;
   j0[15] = 1;
 
-  util::Bytes out(plaintext.size() + kGcmTagSize);
-  CtrCrypt(j0, plaintext, out.data());
+  // CTR encryption is an elementwise XOR with the keystream, so writing
+  // the ciphertext over the plaintext it came from is well-defined.
+  CtrCrypt(j0, util::ByteSpan(buf, plaintext_len), buf);
 
   uint8_t tag[16];
-  ComputeTag(nonce, aad, util::ByteSpan(out.data(), plaintext.size()), tag);
-  std::memcpy(out.data() + plaintext.size(), tag, kGcmTagSize);
-  return out;
+  ComputeTag(nonce, aad, util::ByteSpan(buf, plaintext_len), tag);
+  std::memcpy(buf + plaintext_len, tag, kGcmTagSize);
 }
 
-util::Result<util::Bytes> AesGcm::Open(
-    util::ByteSpan nonce, util::ByteSpan aad,
-    util::ByteSpan ciphertext_with_tag) const {
+util::Result<size_t> AesGcm::OpenInPlace(util::ByteSpan nonce,
+                                         util::ByteSpan aad, uint8_t* buf,
+                                         size_t len) const {
   if (nonce.size() != kGcmNonceSize) {
     return util::InvalidArgument("GCM nonce must be 12 bytes");
   }
-  if (ciphertext_with_tag.size() < kGcmTagSize) {
+  if (len < kGcmTagSize) {
     return util::AuthenticationFailure("ciphertext shorter than tag");
   }
-  size_t ct_len = ciphertext_with_tag.size() - kGcmTagSize;
-  util::ByteSpan ciphertext(ciphertext_with_tag.data(), ct_len);
-  util::ByteSpan tag(ciphertext_with_tag.data() + ct_len, kGcmTagSize);
+  const size_t ct_len = len - kGcmTagSize;
+  util::ByteSpan ciphertext(buf, ct_len);
+  util::ByteSpan tag(buf + ct_len, kGcmTagSize);
 
   uint8_t expected_tag[16];
   ComputeTag(nonce, aad, ciphertext, expected_tag);
@@ -193,10 +195,30 @@ util::Result<util::Bytes> AesGcm::Open(
   std::memcpy(j0, nonce.data(), 12);
   j0[12] = j0[13] = j0[14] = 0;
   j0[15] = 1;
+  CtrCrypt(j0, ciphertext, buf);
+  return ct_len;
+}
 
-  util::Bytes plaintext(ct_len);
-  CtrCrypt(j0, ciphertext, plaintext.data());
-  return plaintext;
+util::Bytes AesGcm::Seal(util::ByteSpan nonce, util::ByteSpan aad,
+                         util::ByteSpan plaintext) const {
+  util::Bytes out(plaintext.size() + kGcmTagSize);
+  if (!plaintext.empty()) {
+    std::memcpy(out.data(), plaintext.data(), plaintext.size());
+  }
+  util::CountDataPlaneCopy(plaintext.size());
+  SealInPlace(nonce, aad, out.data(), plaintext.size());
+  return out;
+}
+
+util::Result<util::Bytes> AesGcm::Open(
+    util::ByteSpan nonce, util::ByteSpan aad,
+    util::ByteSpan ciphertext_with_tag) const {
+  util::Bytes work(ciphertext_with_tag.begin(), ciphertext_with_tag.end());
+  util::CountDataPlaneCopy(work.size());
+  auto pt_len = OpenInPlace(nonce, aad, work.data(), work.size());
+  if (!pt_len.ok()) return pt_len.status();
+  work.resize(*pt_len);
+  return work;
 }
 
 }  // namespace mvtee::crypto

@@ -31,6 +31,21 @@ class AesGcm {
   util::Result<util::Bytes> Open(util::ByteSpan nonce, util::ByteSpan aad,
                                  util::ByteSpan ciphertext_with_tag) const;
 
+  // Zero-copy variants for the pooled data plane: the caller's buffer
+  // holds plaintext_len bytes of plaintext and at least kGcmTagSize
+  // spare bytes after them. SealInPlace encrypts buf[0..plaintext_len)
+  // in place (CTR is a self-inverse XOR stream, so aliasing is safe)
+  // and writes the tag at buf[plaintext_len..plaintext_len+16).
+  void SealInPlace(util::ByteSpan nonce, util::ByteSpan aad, uint8_t* buf,
+                   size_t plaintext_len) const;
+
+  // Inverse: buf holds ciphertext || tag (total `len` bytes). Verifies
+  // the tag first, then decrypts in place; on success returns the
+  // plaintext length (len - kGcmTagSize) and buf[0..plaintext_len)
+  // holds plaintext. On failure the ciphertext is left untouched.
+  util::Result<size_t> OpenInPlace(util::ByteSpan nonce, util::ByteSpan aad,
+                                   uint8_t* buf, size_t len) const;
+
  private:
   void GHashBlock(uint64_t& zh, uint64_t& zl, const uint8_t block[16]) const;
   void GHash(util::ByteSpan aad, util::ByteSpan data, uint8_t out[16]) const;

@@ -79,6 +79,9 @@ std::string PrometheusExporter::MetricName(const std::string& dotted) {
 }
 
 std::string PrometheusExporter::Export() const {
+  // The default registry aggregates the whole process: fold in the
+  // data-plane instrumentation kept outside obs before snapshotting.
+  if (registry_ == &Registry::Default()) SyncDataPlaneMetrics();
   return FromSnapshot(registry_->Snapshot());
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "obs/json.h"
+#include "util/buffer_pool.h"
+#include "util/dataplane_stats.h"
 
 namespace mvtee::obs {
 
@@ -275,6 +278,25 @@ RegistrySnapshot RegistrySnapshot::DeltaSince(
     // cumulative values are kept as an approximation of the window.
   }
   return delta;
+}
+
+void SyncDataPlaneMetrics(Registry& registry) {
+  // Serialized so concurrent syncs cannot double-apply a delta.
+  static std::mutex sync_mu;
+  std::lock_guard<std::mutex> lk(sync_mu);
+  const util::BufferPool::Stats s = util::BufferPool::Default().stats();
+  auto sync_counter = [&registry](std::string_view name, uint64_t total) {
+    Counter& c = registry.GetCounter(name);
+    const uint64_t current = c.value();
+    if (total > current) c.Add(total - current);
+  };
+  sync_counter("pool.hits", s.hits);
+  sync_counter("pool.misses", s.misses);
+  sync_counter("dataplane.bytes_copied", util::DataPlaneBytesCopied());
+  registry.GetGauge("pool.bytes_in_use")
+      .Set(static_cast<int64_t>(s.bytes_in_use));
+  registry.GetGauge("pool.bytes_in_use_hwm")
+      .Set(static_cast<int64_t>(s.bytes_in_use_hwm));
 }
 
 }  // namespace mvtee::obs

@@ -140,4 +140,12 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+// Mirrors the data-plane instrumentation that lives outside obs (the
+// util buffer pool and copy counter cannot depend on this library) into
+// `registry`: pool.{hits,misses}, pool.bytes_in_use{,_hwm} and
+// dataplane.bytes_copied. Call before snapshotting/exporting; safe to
+// call repeatedly and from multiple threads (counters advance by
+// deltas, gauges take the latest value).
+void SyncDataPlaneMetrics(Registry& registry = Registry::Default());
+
 }  // namespace mvtee::obs

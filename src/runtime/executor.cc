@@ -183,9 +183,9 @@ util::Result<Tensor> Executor::ExecuteNode(
         // and touch every element — modeling sanitizer instrumentation.
         const Tensor& x = in(0);
         const Tensor* w = weight(0);
-        MVTEE_CHECK(static_cast<int64_t>(x.vec().size()) ==
+        MVTEE_CHECK(static_cast<int64_t>(x.storage_size()) ==
                     x.shape().num_elements());
-        MVTEE_CHECK(static_cast<int64_t>(w->vec().size()) ==
+        MVTEE_CHECK(static_cast<int64_t>(w->storage_size()) ==
                     w->shape().num_elements());
         float guard = 0.0f;
         for (int64_t i = 0; i < x.num_elements(); ++i) {
@@ -270,12 +270,12 @@ util::Result<Tensor> Executor::ExecuteNode(
       const NodeId src = node.inputs[0];
       if (last_use_[static_cast<size_t>(src)] == node.id &&
           !is_output_[static_cast<size_t>(src)]) {
-        std::vector<float> data =
-            std::move(env[static_cast<size_t>(src)]->vec());
+        Tensor stolen = std::move(*env[static_cast<size_t>(src)]);
         env[static_cast<size_t>(src)].reset();
-        return Tensor(tensor::Shape(std::move(dims)), std::move(data));
+        return Tensor::Reshape(std::move(stolen),
+                               tensor::Shape(std::move(dims)));
       }
-      return Tensor(tensor::Shape(std::move(dims)), in(0).vec());
+      return Tensor::Reshape(in(0), tensor::Shape(std::move(dims)));
     }
   }
   return util::Internal("unknown op");

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace mvtee::runtime {
@@ -32,12 +33,18 @@ void GemmNaive(const float* a, const float* b, float* c, int64_t m, int64_t n,
   }
 }
 
-void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
-                 int64_t n, int64_t k) {
-  constexpr int64_t kTile = 64;
-  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
-    const int64_t i_end = std::min(i0 + kTile, m);
+constexpr int64_t kTile = 64;
+
+// Computes output rows [row0, row1) with the blocked backend's loop
+// order. Rows are independent (each reads shared A/B rows, writes a
+// disjoint C range) and a row's accumulation order does not depend on
+// which shard runs it — the basis for bitwise-deterministic sharding.
+void GemmBlockedRows(const float* a, const float* b, float* c, int64_t row0,
+                     int64_t row1, int64_t n, int64_t k) {
+  std::memset(c + row0 * n, 0,
+              static_cast<size_t>((row1 - row0) * n) * sizeof(float));
+  for (int64_t i0 = row0; i0 < row1; i0 += kTile) {
+    const int64_t i_end = std::min(i0 + kTile, row1);
     for (int64_t p0 = 0; p0 < k; p0 += kTile) {
       const int64_t p_end = std::min(p0 + kTile, k);
       for (int64_t j0 = 0; j0 < n; j0 += kTile) {
@@ -55,6 +62,28 @@ void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
       }
     }
   }
+}
+
+// Worthwhile fan-out: more than one row tile and enough multiply-adds
+// that the pool handoff is noise (~4M MACs).
+bool WorthSharding(int64_t m, int64_t n, int64_t k) {
+  return m > kTile && m * n * k >= (int64_t{1} << 22);
+}
+
+void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
+                 int64_t n, int64_t k, util::ThreadPool* pool) {
+  if (pool == nullptr || !WorthSharding(m, n, k)) {
+    GemmBlockedRows(a, b, c, 0, m, n, k);
+    return;
+  }
+  static obs::Counter& parallel_tiles =
+      obs::Registry::Default().GetCounter("gemm.parallel_tiles");
+  const size_t tiles = static_cast<size_t>((m + kTile - 1) / kTile);
+  parallel_tiles.Add(tiles);
+  pool->ParallelFor(tiles, [&](size_t t) {
+    const int64_t row0 = static_cast<int64_t>(t) * kTile;
+    GemmBlockedRows(a, b, c, row0, std::min(row0 + kTile, m), n, k);
+  });
 }
 
 void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
@@ -90,9 +119,14 @@ void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
 
 void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
           int64_t m, int64_t n, int64_t k) {
+  Gemm(backend, a, b, c, m, n, k, &util::ThreadPool::Shared());
+}
+
+void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
+          int64_t m, int64_t n, int64_t k, util::ThreadPool* pool) {
   switch (backend) {
     case GemmBackend::kNaive: GemmNaive(a, b, c, m, n, k); return;
-    case GemmBackend::kBlocked: GemmBlocked(a, b, c, m, n, k); return;
+    case GemmBackend::kBlocked: GemmBlocked(a, b, c, m, n, k, pool); return;
     case GemmBackend::kTransposed: GemmTransposed(a, b, c, m, n, k); return;
   }
   MVTEE_CHECK(false);

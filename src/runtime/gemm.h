@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/thread_pool.h"
+
 namespace mvtee::runtime {
 
 enum class GemmBackend : uint8_t {
@@ -22,9 +24,17 @@ enum class GemmBackend : uint8_t {
 
 std::string_view GemmBackendName(GemmBackend backend);
 
-// Plain GEMM. C is fully overwritten.
+// Plain GEMM. C is fully overwritten. The default entry point shards
+// the blocked backend's independent row tiles across the process-wide
+// worker pool (util::ThreadPool::Shared) when the product is large
+// enough to amortize the fan-out; pass an explicit pool (or nullptr to
+// force serial) via the second overload. Row sharding preserves each
+// output row's accumulation order, so the parallel result is bitwise
+// identical to the serial one.
 void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
           int64_t m, int64_t n, int64_t k);
+void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
+          int64_t m, int64_t n, int64_t k, util::ThreadPool* pool);
 
 // Bounds-checked GEMM used by hardened ("sanitizer") variants: every
 // access is validated against the declared extents; out-of-contract

@@ -345,7 +345,9 @@ Tensor Flatten(const Tensor& x) {
   MVTEE_CHECK(x.shape().rank() >= 2);
   int64_t rest = 1;
   for (int64_t i = 1; i < x.shape().rank(); ++i) rest *= x.shape().dim(i);
-  return Tensor(Shape({x.shape().dim(0), rest}), x.vec());
+  // Pure reshape: alias the input's storage (views included) instead of
+  // copying the element vector.
+  return Tensor::Reshape(x, Shape({x.shape().dim(0), rest}));
 }
 
 Tensor Softmax(const Tensor& x) {

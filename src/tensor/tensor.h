@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,17 +70,47 @@ class Tensor {
   static Tensor RandomNormal(Shape shape, util::Rng& rng,
                              float stddev = 1.0f);
 
+  // Non-owning view over external float storage, kept alive by
+  // `keepalive` (typically a PooledBuffer share holding the opened
+  // record). Reads go straight to the aliased memory; the first
+  // mutating access copies into owned storage (copy-on-write).
+  static Tensor View(Shape shape, const float* data, size_t count,
+                     std::shared_ptr<const void> keepalive);
+
+  // Reinterprets `t`'s elements under a new shape without copying:
+  // views stay views (sharing the keepalive), owned storage is moved.
+  static Tensor Reshape(Tensor t, Shape new_shape);
+
   const Shape& shape() const { return shape_; }
   int64_t num_elements() const { return shape_.num_elements(); }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return storage_size() == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  bool is_view() const { return view_ != nullptr; }
+  // Number of stored floats (== num_elements() for any constructed
+  // tensor; distinct from vec().size(), which is zero for views).
+  size_t storage_size() const { return view_ ? view_size_ : data_.size(); }
 
-  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float* data() {
+    EnsureOwned();
+    return data_.data();
+  }
+  const float* data() const { return view_ ? view_ : data_.data(); }
+  std::vector<float>& vec() {
+    EnsureOwned();
+    return data_;
+  }
+  const std::vector<float>& vec() const {
+    // Views have no backing vector; use data()/storage_size() on read
+    // paths that must stay zero-copy.
+    MVTEE_CHECK(view_ == nullptr);
+    return data_;
+  }
+
+  float& at(int64_t i) {
+    EnsureOwned();
+    return data_[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const { return data()[static_cast<size_t>(i)]; }
 
   // 4-D accessors for NCHW tensors.
   float& at4(int64_t n, int64_t c, int64_t h, int64_t w);
@@ -89,18 +120,34 @@ class Tensor {
   float& at2(int64_t r, int64_t c);
   float at2(int64_t r, int64_t c) const;
 
-  size_t byte_size() const { return data_.size() * sizeof(float); }
+  size_t byte_size() const { return storage_size() * sizeof(float); }
 
   util::Bytes Serialize() const;
-  static util::Result<Tensor> Deserialize(util::ByteSpan data);
+  // Exact size of Serialize()'s output; lets callers pre-size one
+  // pooled buffer for a whole message.
+  size_t SerializedSize() const;
+  // Appends the serialized form to `out` (single pass, no temporary).
+  void SerializeInto(util::Bytes& out) const;
 
-  friend bool operator==(const Tensor& a, const Tensor& b) {
-    return a.shape_ == b.shape_ && a.data_ == b.data_;
-  }
+  static util::Result<Tensor> Deserialize(util::ByteSpan data);
+  // Zero-copy deserialize: the result aliases `data`'s float payload
+  // (pinned by `keepalive`) when it is 4-byte aligned, and falls back
+  // to an owned copy otherwise.
+  static util::Result<Tensor> DeserializeView(
+      util::ByteSpan data, std::shared_ptr<const void> keepalive);
+
+  friend bool operator==(const Tensor& a, const Tensor& b);
 
  private:
+  void EnsureOwned();
+
   Shape shape_;
   std::vector<float> data_;
+  // View state: when view_ is set, data_ is empty and keepalive_ pins
+  // the aliased storage.
+  const float* view_ = nullptr;
+  size_t view_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
 };
 
 // ---- Consistency metrics (the checkpoint verifier's vocabulary, §5.2) ----

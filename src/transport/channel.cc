@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/dataplane_stats.h"
+
 namespace mvtee::transport {
 
 uint64_t WaitSet::Epoch() const {
@@ -29,7 +31,7 @@ uint64_t WaitSet::WaitFor(uint64_t epoch, int64_t timeout_us) {
 
 namespace internal {
 
-void MessageQueue::Push(util::Bytes frame) {
+void MessageQueue::Push(util::PooledBuffer frame) {
   std::shared_ptr<WaitSet> waiter;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -41,12 +43,12 @@ void MessageQueue::Push(util::Bytes frame) {
   if (waiter) waiter->Notify();
 }
 
-std::optional<util::Bytes> MessageQueue::Pop(int64_t timeout_us) {
+std::optional<util::PooledBuffer> MessageQueue::Pop(int64_t timeout_us) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
                [&] { return !frames_.empty() || closed_; });
   if (frames_.empty()) return std::nullopt;
-  util::Bytes frame = std::move(frames_.front());
+  util::PooledBuffer frame = std::move(frames_.front());
   frames_.pop_front();
   return frame;
 }
@@ -89,26 +91,46 @@ void MessageQueue::SetWaiter(std::shared_ptr<WaitSet> waiter) {
 util::Status Endpoint::Send(util::ByteSpan frame) {
   if (!valid()) return util::FailedPrecondition("endpoint not connected");
   util::Bytes payload(frame.begin(), frame.end());
+  util::CountDataPlaneCopy(payload.size());
+  return SendPooled(util::PooledBuffer::Adopt(std::move(payload)));
+}
+
+util::Status Endpoint::SendPooled(util::PooledBuffer frame) {
+  if (!valid()) return util::FailedPrecondition("endpoint not connected");
   if (interceptor_) {
-    auto result = interceptor_(payload);
+    // Interceptors (tamper/drop attackers, ablation hooks) operate on
+    // plain Bytes; whatever they return is re-wrapped. This copy only
+    // exists when an interceptor is installed.
+    auto result = interceptor_(frame.bytes());
     if (!result.has_value()) return util::OkStatus();  // dropped on the wire
-    payload = std::move(*result);
+    util::CountDataPlaneCopy(result->size());
+    frame = util::PooledBuffer::Adopt(std::move(*result));
   }
   if (cost_.latency_us > 0 || cost_.bytes_per_us > 0) {
     double us = cost_.latency_us;
     if (cost_.bytes_per_us > 0) {
-      us += static_cast<double>(payload.size()) / cost_.bytes_per_us;
+      us += static_cast<double>(frame.size()) / cost_.bytes_per_us;
     }
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<int64_t>(us)));
   }
-  bytes_sent_ += payload.size();
+  bytes_sent_ += frame.size();
   frames_sent_ += 1;
-  tx_->Push(std::move(payload));
+  tx_->Push(std::move(frame));
   return util::OkStatus();
 }
 
 util::Result<util::Bytes> Endpoint::Recv(int64_t timeout_us) {
+  auto frame = RecvPooled(timeout_us);
+  if (!frame.ok()) return frame.status();
+  util::Bytes out = frame->TakeBytes();
+  // TakeBytes moves when it solely owns a non-pooled buffer and copies
+  // otherwise (the handle still holds the storage in that case).
+  if (*frame) util::CountDataPlaneCopy(out.size());
+  return out;
+}
+
+util::Result<util::PooledBuffer> Endpoint::RecvPooled(int64_t timeout_us) {
   if (!valid()) return util::FailedPrecondition("endpoint not connected");
   auto frame = rx_->Pop(timeout_us);
   if (!frame.has_value()) {
@@ -117,7 +139,7 @@ util::Result<util::Bytes> Endpoint::Recv(int64_t timeout_us) {
     }
     return util::DeadlineExceeded("recv timeout");
   }
-  return *frame;
+  return std::move(*frame);
 }
 
 void Endpoint::Close() {
@@ -126,7 +148,7 @@ void Endpoint::Close() {
 }
 
 void Endpoint::InjectRaw(util::Bytes frame) {
-  if (tx_) tx_->Push(std::move(frame));
+  if (tx_) tx_->Push(util::PooledBuffer::Adopt(std::move(frame)));
 }
 
 void Endpoint::AttachWaiter(std::shared_ptr<WaitSet> waiter) {

@@ -17,10 +17,34 @@
 #include <optional>
 #include <utility>
 
+#include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
 namespace mvtee::transport {
+
+// A received frame backed by a refcounted (usually pooled) buffer,
+// with [off, off+len) delimiting the interesting region — the whole
+// frame for plain channels, the opened plaintext for secure ones.
+// Tensor views alias this region and pin it via keepalive().
+struct InFrame {
+  util::PooledBuffer buf;
+  size_t off = 0;
+  size_t len = 0;
+
+  util::ByteSpan span() const {
+    if (!buf) return util::ByteSpan();
+    return util::ByteSpan(buf.data() + off, len);
+  }
+  std::shared_ptr<const void> keepalive() const { return buf.keepalive(); }
+
+  static InFrame Adopt(util::Bytes frame) {
+    InFrame f;
+    f.buf = util::PooledBuffer::Adopt(std::move(frame));
+    f.len = f.buf.size();
+    return f;
+  }
+};
 
 // Condition-variable-backed poll set: the readiness/wakeup primitive
 // behind the evented monitor loop. Producers (message queues, worker
@@ -67,10 +91,12 @@ inline double WireMicros(const NetworkCostModel& m, size_t bytes) {
 namespace internal {
 class MessageQueue {
  public:
-  void Push(util::Bytes frame);
+  // Queues carry refcounted pooled buffers, so a frame moves from
+  // sender to receiver without its bytes being copied.
+  void Push(util::PooledBuffer frame);
   // Blocks up to timeout; nullopt on timeout, error state on close+empty
   // is signalled via closed() by the caller.
-  std::optional<util::Bytes> Pop(int64_t timeout_us);
+  std::optional<util::PooledBuffer> Pop(int64_t timeout_us);
   void Close();
   bool closed_and_empty();
   // True if a Pop(0) would yield a frame or an error (closed + drained).
@@ -81,7 +107,7 @@ class MessageQueue {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<util::Bytes> frames_;
+  std::deque<util::PooledBuffer> frames_;
   bool closed_ = false;
   std::shared_ptr<WaitSet> waiter_;
 };
@@ -96,12 +122,21 @@ class Endpoint {
  public:
   Endpoint() = default;
 
-  // Sends one frame (applies cost model + interceptor).
+  // Sends one frame (applies cost model + interceptor). Copies `frame`
+  // into a fresh buffer; the zero-copy path is SendPooled.
   util::Status Send(util::ByteSpan frame);
+
+  // Zero-copy send: moves the buffer into the peer's queue (applies
+  // cost model + interceptor; an installed interceptor forces one copy
+  // since it works on plain Bytes).
+  util::Status SendPooled(util::PooledBuffer frame);
 
   // Receives one frame; kDeadlineExceeded on timeout, kUnavailable if
   // the peer closed and the queue drained.
   util::Result<util::Bytes> Recv(int64_t timeout_us = 5'000'000);
+
+  // Zero-copy receive: hands back the sender's buffer.
+  util::Result<util::PooledBuffer> RecvPooled(int64_t timeout_us = 5'000'000);
 
   void Close();
   bool valid() const { return tx_ != nullptr; }

@@ -9,6 +9,7 @@
 // protected, never confidential, never model data.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,28 @@ class MsgChannel {
   util::Result<util::Bytes> Recv(int64_t timeout_us) {
     return Recv(timeout_us, nullptr);
   }
+  // Zero-copy forms. SendEncoded writes the frame directly into one
+  // pooled wire buffer via `encode` (which must append exactly
+  // `frame_len` bytes); RecvPooled returns the received frame as a
+  // region of the pooled wire buffer, so tensor views can alias it.
+  // The defaults here fall back to the copying Send/Recv, so transports
+  // gain the fast path by overriding.
+  virtual util::Status SendEncoded(
+      size_t frame_len, util::ByteSpan header,
+      const std::function<void(util::Bytes&)>& encode) {
+    util::Bytes frame;
+    frame.reserve(frame_len);
+    encode(frame);
+    return Send(frame, header);
+  }
+  virtual util::Result<InFrame> RecvPooled(int64_t timeout_us,
+                                           util::Bytes* header) {
+    MVTEE_ASSIGN_OR_RETURN(util::Bytes frame, Recv(timeout_us, header));
+    return InFrame::Adopt(std::move(frame));
+  }
+  util::Result<InFrame> RecvPooled(int64_t timeout_us) {
+    return RecvPooled(timeout_us, nullptr);
+  }
   virtual void Close() = 0;
   virtual uint64_t bytes_sent() const = 0;
   // Evented receive: register a WaitSet notified when this channel
@@ -44,33 +67,55 @@ class PlainMsgChannel : public MsgChannel {
   explicit PlainMsgChannel(Endpoint endpoint)
       : endpoint_(std::move(endpoint)) {}
   using MsgChannel::Recv;
+  using MsgChannel::RecvPooled;
   using MsgChannel::Send;
-  // Plaintext framing: header_len(2) || header || frame inside the
-  // endpoint message (no integrity protection — ablation only).
-  util::Status Send(util::ByteSpan frame, util::ByteSpan header) override {
+  // Plaintext framing: header_len(4) || header || frame inside the
+  // endpoint message (no integrity protection — ablation only). The
+  // length field is 32-bit so the frame starts 4-byte aligned in the
+  // wire buffer, mirroring the secure record layout.
+  util::Status SendEncoded(
+      size_t frame_len, util::ByteSpan header,
+      const std::function<void(util::Bytes&)>& encode) override {
     if (header.size() > 0xffff) {
       return util::InvalidArgument("frame header exceeds 64 KiB");
     }
-    util::Bytes wire;
-    wire.reserve(2 + header.size() + frame.size());
-    util::AppendU16(wire, static_cast<uint16_t>(header.size()));
-    util::AppendBytes(wire, header);
-    util::AppendBytes(wire, frame);
-    return endpoint_.Send(wire);
+    const size_t wire_size = 4 + header.size() + frame_len;
+    util::PooledBuffer wire = util::BufferPool::Default().Acquire(wire_size);
+    util::Bytes& out = wire.bytes();
+    out.clear();
+    util::AppendU32(out, static_cast<uint32_t>(header.size()));
+    util::AppendBytes(out, header);
+    encode(out);
+    MVTEE_CHECK(out.size() == wire_size);
+    return endpoint_.SendPooled(std::move(wire));
+  }
+  util::Status Send(util::ByteSpan frame, util::ByteSpan header) override {
+    return SendEncoded(frame.size(), header, [&](util::Bytes& out) {
+      util::AppendBytes(out, frame);
+    });
+  }
+  util::Result<InFrame> RecvPooled(int64_t timeout_us,
+                                   util::Bytes* header) override {
+    MVTEE_ASSIGN_OR_RETURN(util::PooledBuffer wire,
+                           endpoint_.RecvPooled(timeout_us));
+    util::ByteReader reader(wire.span());
+    uint32_t header_len;
+    util::ByteSpan hdr;
+    if (!reader.ReadU32(header_len) || !reader.ReadSpan(header_len, hdr)) {
+      return util::InvalidArgument("malformed plaintext frame header");
+    }
+    if (header != nullptr) header->assign(hdr.begin(), hdr.end());
+    InFrame frame;
+    frame.off = reader.position();
+    frame.len = reader.remaining();
+    frame.buf = std::move(wire);
+    return frame;
   }
   util::Result<util::Bytes> Recv(int64_t timeout_us,
                                  util::Bytes* header) override {
-    MVTEE_ASSIGN_OR_RETURN(util::Bytes wire, endpoint_.Recv(timeout_us));
-    util::ByteReader reader(wire);
-    uint16_t header_len;
-    util::Bytes hdr;
-    if (!reader.ReadU16(header_len) || !reader.ReadBytes(header_len, hdr)) {
-      return util::InvalidArgument("malformed plaintext frame header");
-    }
-    util::Bytes frame;
-    reader.ReadBytes(reader.remaining(), frame);
-    if (header != nullptr) *header = std::move(hdr);
-    return frame;
+    MVTEE_ASSIGN_OR_RETURN(InFrame frame, RecvPooled(timeout_us, header));
+    util::ByteSpan payload = frame.span();
+    return util::Bytes(payload.begin(), payload.end());
   }
   void Close() override { endpoint_.Close(); }
   uint64_t bytes_sent() const override { return endpoint_.bytes_sent(); }
@@ -88,6 +133,7 @@ class SecureMsgChannel : public MsgChannel {
   explicit SecureMsgChannel(std::unique_ptr<SecureChannel> channel)
       : channel_(std::move(channel)) {}
   using MsgChannel::Recv;
+  using MsgChannel::RecvPooled;
   using MsgChannel::Send;
   util::Status Send(util::ByteSpan frame, util::ByteSpan header) override {
     return channel_->Send(frame, header);
@@ -95,6 +141,15 @@ class SecureMsgChannel : public MsgChannel {
   util::Result<util::Bytes> Recv(int64_t timeout_us,
                                  util::Bytes* header) override {
     return channel_->Recv(timeout_us, header);
+  }
+  util::Status SendEncoded(
+      size_t frame_len, util::ByteSpan header,
+      const std::function<void(util::Bytes&)>& encode) override {
+    return channel_->SendEncoded(frame_len, header, encode);
+  }
+  util::Result<InFrame> RecvPooled(int64_t timeout_us,
+                                   util::Bytes* header) override {
+    return channel_->RecvPooled(timeout_us, header);
   }
   void Close() override { channel_->Close(); }
   uint64_t bytes_sent() const override { return channel_->bytes_sent(); }

@@ -1,10 +1,13 @@
 #include "transport/secure_channel.h"
 
+#include <cstring>
+
 #include "crypto/hmac.h"
 #include "crypto/rand.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
+#include "util/dataplane_stats.h"
 
 namespace mvtee::transport {
 
@@ -20,6 +23,7 @@ struct ChannelMetrics {
   obs::Counter* records_sealed;
   obs::Counter* records_opened;
   obs::Counter* auth_failures;
+  obs::Counter* bytes_sealed_total;
 
   static ChannelMetrics& Get() {
     static ChannelMetrics* m = [] {
@@ -32,6 +36,7 @@ struct ChannelMetrics {
       out->records_sealed = &reg.GetCounter("channel.records_sealed");
       out->records_opened = &reg.GetCounter("channel.records_opened");
       out->auth_failures = &reg.GetCounter("channel.auth_failures");
+      out->bytes_sealed_total = &reg.GetCounter("channel.bytes_sealed_total");
       return out;
     }();
     return *m;
@@ -205,57 +210,85 @@ util::Result<std::unique_ptr<SecureChannel>> SecureChannel::HandshakeInternal(
 }
 
 namespace {
-util::Bytes RecordNonce(uint64_t seq) {
-  util::Bytes nonce(crypto::kGcmNonceSize, 0);
+void WriteRecordNonce(uint64_t seq, uint8_t out[crypto::kGcmNonceSize]) {
+  std::memset(out, 0, crypto::kGcmNonceSize);
   for (int i = 0; i < 8; ++i) {
-    nonce[4 + i] = static_cast<uint8_t>(seq >> (56 - 8 * i));
+    out[4 + i] = static_cast<uint8_t>(seq >> (56 - 8 * i));
   }
-  return nonce;
 }
 
 // AAD = seq || header: the sequence number pins the record's position
 // in the stream and the authenticated plaintext header is integrity-
 // bound without being encrypted. A header flipped on the wire makes the
-// AEAD open fail exactly like ciphertext tampering.
-util::Bytes RecordAad(uint64_t seq, util::ByteSpan header) {
-  util::Bytes aad;
-  util::AppendU64(aad, seq);
-  util::AppendBytes(aad, header);
-  return aad;
+// AEAD open fail exactly like ciphertext tampering. Written into a
+// reused per-channel scratch so the record path allocates nothing.
+void BuildRecordAad(uint64_t seq, util::ByteSpan header,
+                    util::Bytes& scratch) {
+  scratch.clear();
+  util::AppendU64(scratch, seq);
+  util::AppendBytes(scratch, header);
 }
+
+constexpr size_t kRecordPrefixSize = 8 + 4;  // seq(8) || header_len(4)
 }  // namespace
 
-// Record layout: seq(8) || header_len(2) || header || sealed. The
-// header travels in the clear but is covered by the AAD above.
-util::Status SecureChannel::Send(util::ByteSpan plaintext,
-                                 util::ByteSpan header) {
+// Record layout: seq(8) || header_len(4) || header || sealed. The
+// header travels in the clear but is covered by the AAD above; the
+// header_len field is 32-bit so the frame that follows starts 4-byte
+// aligned within the record (a requirement for zero-copy float views
+// on the receive side).
+util::Status SecureChannel::SendEncoded(
+    size_t payload_len, util::ByteSpan header,
+    const std::function<void(util::Bytes&)>& encode) {
   if (header.size() > 0xffff) {
     return util::InvalidArgument("record header exceeds 64 KiB");
   }
   const uint64_t seq = send_seq_++;
-  util::Bytes record;
-  util::AppendU64(record, seq);
-  util::AppendU16(record, static_cast<uint16_t>(header.size()));
-  util::AppendBytes(record, header);
+  const size_t record_size = kRecordPrefixSize + header.size() + payload_len +
+                             crypto::kGcmTagSize;
+  util::PooledBuffer record = util::BufferPool::Default().Acquire(record_size);
+  util::Bytes& out = record.bytes();
+  out.clear();  // capacity is retained; appends below cannot reallocate
+  util::AppendU64(out, seq);
+  util::AppendU32(out, static_cast<uint32_t>(header.size()));
+  util::AppendBytes(out, header);
+  encode(out);
+  MVTEE_CHECK(out.size() == record_size - crypto::kGcmTagSize);
+  out.resize(record_size);
+
+  uint8_t nonce[crypto::kGcmNonceSize];
+  WriteRecordNonce(seq, nonce);
+  BuildRecordAad(seq, header, send_aad_scratch_);
   ChannelMetrics& cm = ChannelMetrics::Get();
   const int64_t cpu0 = util::ThreadCpuMicros();
-  util::Bytes sealed =
-      send_cipher_.Seal(RecordNonce(seq), RecordAad(seq, header), plaintext);
+  send_cipher_.SealInPlace(util::ByteSpan(nonce, crypto::kGcmNonceSize),
+                           send_aad_scratch_,
+                           out.data() + kRecordPrefixSize + header.size(),
+                           payload_len);
   cm.seal_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
   cm.records_sealed->Add(1);
-  util::AppendBytes(record, sealed);
-  cm.bytes_sent->Add(record.size());
-  return endpoint_.Send(record);
+  cm.bytes_sealed_total->Add(payload_len);
+  cm.bytes_sent->Add(record_size);
+  return endpoint_.SendPooled(std::move(record));
 }
 
-util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us,
-                                              util::Bytes* header) {
-  MVTEE_ASSIGN_OR_RETURN(util::Bytes record, endpoint_.Recv(timeout_us));
+util::Status SecureChannel::Send(util::ByteSpan plaintext,
+                                 util::ByteSpan header) {
+  return SendEncoded(plaintext.size(), header, [&](util::Bytes& out) {
+    util::AppendBytes(out, plaintext);
+    util::CountDataPlaneCopy(plaintext.size());
+  });
+}
+
+util::Result<InFrame> SecureChannel::RecvPooled(int64_t timeout_us,
+                                                util::Bytes* header) {
+  MVTEE_ASSIGN_OR_RETURN(util::PooledBuffer record,
+                         endpoint_.RecvPooled(timeout_us));
   ChannelMetrics& cm = ChannelMetrics::Get();
-  util::ByteReader reader(record);
+  util::ByteReader reader(record.span());
   uint64_t seq;
-  uint16_t header_len;
-  if (!reader.ReadU64(seq) || !reader.ReadU16(header_len)) {
+  uint32_t header_len;
+  if (!reader.ReadU64(seq) || !reader.ReadU32(header_len)) {
     cm.auth_failures->Add(1);
     return util::AuthenticationFailure("malformed record");
   }
@@ -265,29 +298,45 @@ util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us,
                                 " != expected " +
                                 std::to_string(recv_seq_));
   }
-  util::Bytes hdr;
-  if (!reader.ReadBytes(header_len, hdr)) {
+  util::ByteSpan hdr;
+  if (!reader.ReadSpan(header_len, hdr)) {
     cm.auth_failures->Add(1);
     return util::AuthenticationFailure("truncated record header");
   }
-  util::Bytes sealed;
-  reader.ReadBytes(reader.remaining(), sealed);
+  const size_t sealed_off = reader.position();
+  const size_t sealed_len = reader.remaining();
+  uint8_t nonce[crypto::kGcmNonceSize];
+  WriteRecordNonce(seq, nonce);
+  BuildRecordAad(seq, hdr, recv_aad_scratch_);
   const int64_t cpu0 = util::ThreadCpuMicros();
-  auto plaintext =
-      recv_cipher_.Open(RecordNonce(seq), RecordAad(seq, hdr), sealed);
+  auto pt_len = recv_cipher_.OpenInPlace(
+      util::ByteSpan(nonce, crypto::kGcmNonceSize), recv_aad_scratch_,
+      record.data() + sealed_off, sealed_len);
   cm.open_us->Add(static_cast<uint64_t>(util::ThreadCpuMicros() - cpu0));
-  if (!plaintext.ok()) {
+  if (!pt_len.ok()) {
     // A record that fails to open is an authentication failure, not a
     // successfully opened record — this includes any bit flipped in the
     // plaintext header, which only participates via the AAD.
     cm.auth_failures->Add(1);
-    return plaintext.status();
+    return pt_len.status();
   }
   cm.records_opened->Add(1);
   cm.bytes_recvd->Add(record.size());
   recv_seq_ += 1;
-  if (header != nullptr) *header = std::move(hdr);
-  return plaintext;
+  if (header != nullptr) header->assign(hdr.begin(), hdr.end());
+  InFrame frame;
+  frame.off = sealed_off;
+  frame.len = *pt_len;
+  frame.buf = std::move(record);
+  return frame;
+}
+
+util::Result<util::Bytes> SecureChannel::Recv(int64_t timeout_us,
+                                              util::Bytes* header) {
+  MVTEE_ASSIGN_OR_RETURN(InFrame frame, RecvPooled(timeout_us, header));
+  util::ByteSpan pt = frame.span();
+  util::CountDataPlaneCopy(pt.size());
+  return util::Bytes(pt.begin(), pt.end());
 }
 
 }  // namespace mvtee::transport

@@ -73,6 +73,21 @@ class SecureChannel {
   util::Result<util::Bytes> Recv(int64_t timeout_us = 5'000'000,
                                  util::Bytes* header = nullptr);
 
+  // Zero-copy send: acquires one pooled record sized for
+  // seq || header_len || header || payload || tag, writes the record
+  // prefix, invokes `encode` to append exactly `payload_len` bytes of
+  // plaintext, seals in place (tag appended) and moves the buffer into
+  // the transport queue. The AAD binding (seq || header) is identical
+  // to Send's.
+  util::Status SendEncoded(size_t payload_len, util::ByteSpan header,
+                           const std::function<void(util::Bytes&)>& encode);
+
+  // Zero-copy receive: verifies and decrypts the record *in place* and
+  // returns an InFrame whose span() is the plaintext, aliasing the
+  // pooled record buffer (pin it via keepalive() for tensor views).
+  util::Result<InFrame> RecvPooled(int64_t timeout_us = 5'000'000,
+                                   util::Bytes* header = nullptr);
+
   void Close() { endpoint_.Close(); }
 
   const tee::AttestationReport& peer_report() const { return peer_report_; }
@@ -103,6 +118,12 @@ class SecureChannel {
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
   tee::AttestationReport peer_report_;
+  // Per-channel AAD scratch (seq || header), reused across records so
+  // the hot path allocates nothing. Send and Recv each run on one
+  // thread (the channel is not thread-safe), so separate scratches keep
+  // the two directions independent.
+  util::Bytes send_aad_scratch_;
+  util::Bytes recv_aad_scratch_;
 };
 
 }  // namespace mvtee::transport

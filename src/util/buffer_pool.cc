@@ -1,0 +1,146 @@
+#include "util/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace mvtee::util {
+
+namespace internal {
+
+PoolChunk::~PoolChunk() {
+  if (pool != nullptr) pool->Release(std::move(bytes), charged);
+}
+
+}  // namespace internal
+
+PooledBuffer PooledBuffer::Adopt(Bytes b) {
+  PooledBuffer out;
+  out.chunk_ = std::make_shared<internal::PoolChunk>();
+  out.chunk_->bytes = std::move(b);
+  return out;
+}
+
+Bytes PooledBuffer::TakeBytes() {
+  if (!chunk_) return Bytes();
+  if (chunk_->pool == nullptr && chunk_.use_count() == 1) {
+    Bytes out = std::move(chunk_->bytes);
+    chunk_.reset();
+    return out;
+  }
+  Bytes out = chunk_->bytes;
+  return out;
+}
+
+BufferPool::BufferPool(size_t max_retained_bytes)
+    : max_retained_bytes_(max_retained_bytes) {}
+
+BufferPool::~BufferPool() = default;
+
+size_t BufferPool::ClassIndex(size_t n) {
+  if (n <= (size_t{1} << kMinClassShift)) return 0;
+  return static_cast<size_t>(std::bit_width(n - 1)) - kMinClassShift;
+}
+
+size_t BufferPool::ClassBytes(size_t cls) {
+  return size_t{1} << (kMinClassShift + cls);
+}
+
+PooledBuffer BufferPool::Acquire(size_t n) {
+  const size_t cls = ClassIndex(n);
+  Bytes storage;
+  size_t charged = 0;
+  bool hit = false;
+  if (cls < kNumClasses) {
+    charged = ClassBytes(cls);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& fl = free_lists_[cls];
+    if (!fl.empty()) {
+      // Buffers are filed by the floor class of their capacity, so
+      // anything in free_lists_[cls] has capacity >= ClassBytes(cls) >= n.
+      storage = std::move(fl.back());
+      fl.pop_back();
+      retained_bytes_ -= charged;
+      hit = true;
+    }
+  } else {
+    charged = n;  // oversize: charged at exact size, never retained
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    storage.reserve(charged);
+  }
+  storage.resize(n);
+
+  uint64_t in_use =
+      bytes_in_use_.fetch_add(charged, std::memory_order_relaxed) + charged;
+  uint64_t hwm = bytes_in_use_hwm_.load(std::memory_order_relaxed);
+  while (in_use > hwm && !bytes_in_use_hwm_.compare_exchange_weak(
+                             hwm, in_use, std::memory_order_relaxed)) {
+  }
+
+  PooledBuffer out;
+  out.chunk_ = std::make_shared<internal::PoolChunk>();
+  out.chunk_->bytes = std::move(storage);
+  out.chunk_->pool = this;
+  out.chunk_->charged = charged;
+  return out;
+}
+
+void BufferPool::Release(Bytes b, size_t charged) {
+  bytes_in_use_.fetch_sub(charged, std::memory_order_relaxed);
+  // File by the floor class of the capacity so a later pop from that
+  // class is guaranteed to satisfy its request without reallocating.
+  // Sub-minimum and oversize buffers are never retained.
+  if (b.capacity() < (size_t{1} << kMinClassShift) ||
+      b.capacity() > ClassBytes(kNumClasses - 1)) {
+    return;
+  }
+  size_t cls = static_cast<size_t>(std::bit_width(b.capacity())) - 1;
+  if (cls < kMinClassShift) return;
+  cls -= kMinClassShift;
+  if (cls >= kNumClasses) return;  // oversize buffers are not retained
+  const size_t retain_charge = ClassBytes(cls);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (retained_bytes_ + retain_charge > max_retained_bytes_) return;
+  retained_bytes_ += retain_charge;
+  free_lists_[cls].push_back(std::move(b));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  s.bytes_in_use_hwm = bytes_in_use_hwm_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  s.retained_bytes = retained_bytes_;
+  return s;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& fl : free_lists_) fl.clear();
+  retained_bytes_ = 0;
+}
+
+BufferPool& BufferPool::Default() {
+  static BufferPool* pool = [] {
+    size_t retain = 64ull << 20;
+    if (const char* e = std::getenv("MVTEE_POOL_RETAIN_BYTES")) {
+      retain = static_cast<size_t>(std::strtoull(e, nullptr, 10));
+    }
+    if (const char* e = std::getenv("MVTEE_POOL");
+        e != nullptr && std::strcmp(e, "0") == 0) {
+      retain = 0;
+    }
+    return new BufferPool(retain);
+  }();
+  return *pool;
+}
+
+}  // namespace mvtee::util

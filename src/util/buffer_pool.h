@@ -1,0 +1,135 @@
+// Size-classed, thread-safe buffer pool backing the zero-copy data
+// plane (DESIGN.md §10).
+//
+// Every record crossing a TEE boundary lives in one PooledBuffer: the
+// sender encodes the frame straight into it, the AEAD seals it in
+// place, the transport queues move the refcounted handle instead of
+// copying bytes, and the receiver's tensor views alias the opened
+// record until the last reference dies — at which point the underlying
+// storage returns to the pool for reuse. Enclave memory (EPC) makes
+// per-message heap churn disproportionately expensive, so buffers are
+// recycled in power-of-two size classes with hit/miss/high-water
+// accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mvtee::util {
+
+class BufferPool;
+
+namespace internal {
+// Shared state behind a PooledBuffer. The destructor of the last
+// reference returns the storage to its pool (or frees it, for adopted
+// buffers and when retention is full).
+struct PoolChunk {
+  Bytes bytes;
+  BufferPool* pool = nullptr;  // null: adopted plain heap buffer
+  size_t charged = 0;          // capacity charged to pool accounting
+  ~PoolChunk();
+};
+}  // namespace internal
+
+// Refcounted handle to a pool-recycled (or adopted) byte buffer.
+// Copies share the same storage; the buffer is recycled when the last
+// handle — including keepalive() shares held by tensor views — dies.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+
+  // Wraps an existing heap buffer (no pool involvement) so transports
+  // can carry legacy frames and pooled frames uniformly.
+  static PooledBuffer Adopt(Bytes b);
+
+  Bytes& bytes() { return chunk_->bytes; }
+  const Bytes& bytes() const { return chunk_->bytes; }
+  uint8_t* data() { return chunk_->bytes.data(); }
+  const uint8_t* data() const { return chunk_->bytes.data(); }
+  size_t size() const { return chunk_ ? chunk_->bytes.size() : 0; }
+  ByteSpan span() const {
+    return chunk_ ? ByteSpan(chunk_->bytes) : ByteSpan();
+  }
+
+  // Opaque share that pins the storage alive (tensor-view keepalive).
+  std::shared_ptr<const void> keepalive() const { return chunk_; }
+
+  bool unique() const { return chunk_ && chunk_.use_count() == 1; }
+  explicit operator bool() const { return chunk_ != nullptr; }
+  void reset() { chunk_.reset(); }
+
+  // Moves the bytes out when this handle solely owns a non-pooled
+  // buffer (the legacy fast case); copies otherwise so pooled storage
+  // is never leaked out of the recycling discipline.
+  Bytes TakeBytes();
+
+ private:
+  friend class BufferPool;
+  std::shared_ptr<internal::PoolChunk> chunk_;
+};
+
+// Thread-safe pool of byte buffers in power-of-two size classes.
+class BufferPool {
+ public:
+  // `max_retained_bytes` caps the idle storage kept for reuse (0 =
+  // recycle nothing: every release frees).
+  explicit BufferPool(size_t max_retained_bytes = 64ull << 20);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a buffer with size() == n (capacity is the class size).
+  // Contents are unspecified — callers overwrite.
+  PooledBuffer Acquire(size_t n);
+
+  struct Stats {
+    uint64_t hits = 0;            // acquires served from a freelist
+    uint64_t misses = 0;          // acquires that allocated fresh
+    uint64_t bytes_in_use = 0;    // capacity currently checked out
+    uint64_t bytes_in_use_hwm = 0;
+    uint64_t retained_bytes = 0;  // idle capacity parked in freelists
+  };
+  Stats stats() const;
+
+  uint64_t total_acquires() const {
+    return hits_.load(std::memory_order_relaxed) +
+           misses_.load(std::memory_order_relaxed);
+  }
+
+  // Frees every retained buffer (stats survive).
+  void Trim();
+
+  // Process-wide pool used by the production data plane. Honors
+  // MVTEE_POOL_RETAIN_BYTES (idle-capacity cap) and MVTEE_POOL=0
+  // (retention off — every buffer is freed on release, for A/B runs).
+  static BufferPool& Default();
+
+ private:
+  friend struct internal::PoolChunk;
+  void Release(Bytes b, size_t charged);
+
+  static size_t ClassIndex(size_t n);  // may be >= kNumClasses (oversize)
+  static size_t ClassBytes(size_t cls);
+
+  static constexpr size_t kMinClassShift = 9;   // 512 B
+  static constexpr size_t kMaxClassShift = 26;  // 64 MiB
+  static constexpr size_t kNumClasses = kMaxClassShift - kMinClassShift + 1;
+
+  const size_t max_retained_bytes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> bytes_in_use_{0};
+  std::atomic<uint64_t> bytes_in_use_hwm_{0};
+
+  mutable std::mutex mu_;
+  size_t retained_bytes_ = 0;
+  std::vector<Bytes> free_lists_[kNumClasses];
+};
+
+}  // namespace mvtee::util

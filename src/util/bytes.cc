@@ -124,6 +124,13 @@ bool ByteReader::ReadBytes(size_t n, Bytes& out) {
   return true;
 }
 
+bool ByteReader::ReadSpan(size_t n, ByteSpan& out) {
+  if (remaining() < n) return false;
+  out = data_.subspan(pos_, n);
+  pos_ += n;
+  return true;
+}
+
 bool ByteReader::ReadLengthPrefixed(Bytes& out) {
   size_t save = pos_;
   uint32_t len;

@@ -53,6 +53,9 @@ class ByteReader {
   bool ReadU64(uint64_t& v);
   bool ReadF32(float& v);
   bool ReadBytes(size_t n, Bytes& out);
+  // Zero-copy variant: `out` aliases the underlying buffer, valid only
+  // while it stays alive (pin pooled buffers via keepalive()).
+  bool ReadSpan(size_t n, ByteSpan& out);
   bool ReadLengthPrefixed(Bytes& out);
   bool ReadLengthPrefixedStr(std::string& out);
   bool Skip(size_t n);

@@ -1,0 +1,31 @@
+// Process-wide accounting of bytes memcpy'd on the data plane.
+//
+// Every place that still copies record/tensor payloads (legacy
+// Serialize/Deserialize, the allocating Seal/Open wrappers, transport
+// fallbacks) charges the copied byte count here; the pooled zero-copy
+// paths charge nothing. bench_data_plane diffs this counter around a
+// checkpoint round trip to prove the copy reduction, and the obs
+// exporters publish it as `dataplane.bytes_copied`. Lives in util
+// (header-only atomic) because util cannot depend on obs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mvtee::util {
+
+inline std::atomic<uint64_t>& DataPlaneCopyCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+inline void CountDataPlaneCopy(size_t n) {
+  DataPlaneCopyCounter().fetch_add(n, std::memory_order_relaxed);
+}
+
+inline uint64_t DataPlaneBytesCopied() {
+  return DataPlaneCopyCounter().load(std::memory_order_relaxed);
+}
+
+}  // namespace mvtee::util

@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mvtee::util {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunShard(Job* job) {
+  for (;;) {
+    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    (*job->fn)(i);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->n) {
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || job_ != nullptr; });
+    if (stop_) return;
+    Job* job = job_;
+    // Attach under mu_: once the caller (or another worker) clears
+    // job_, no new worker can reach the job, so the caller's wait for
+    // active == 0 bounds the job's lifetime.
+    job->active.fetch_add(1, std::memory_order_acq_rel);
+    lk.unlock();
+    RunShard(job);
+    {
+      std::lock_guard<std::mutex> jlk(job->mu);
+      if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        job->cv.notify_all();
+      }
+    }
+    lk.lock();
+    // All indices are claimed once RunShard returns; stop waking
+    // workers for this job.
+    if (job_ == job) job_ = nullptr;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+  }
+  cv_.notify_all();
+  RunShard(&job);  // the caller participates
+  {
+    // Unpublish before waiting so no further worker can attach; any
+    // already-attached worker is counted in `active` and waited out.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (job_ == &job) job_ = nullptr;
+  }
+  std::unique_lock<std::mutex> jlk(job.mu);
+  job.cv.wait(jlk, [&job, n] {
+    return job.done.load(std::memory_order_acquire) == n &&
+           job.active.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t threads = std::min<size_t>(
+        std::max(1u, std::thread::hardware_concurrency()), 8);
+    if (const char* e = std::getenv("MVTEE_THREADS")) {
+      threads = static_cast<size_t>(std::strtoull(e, nullptr, 10));
+    }
+    const size_t workers = threads > 1 ? threads - 1 : 0;
+    return new ThreadPool(workers);
+  }();
+  return *pool;
+}
+
+}  // namespace mvtee::util

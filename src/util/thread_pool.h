@@ -1,0 +1,63 @@
+// Shared worker pool for data-parallel compute (DESIGN.md §10).
+//
+// One pool per process, shared by every variant host: multi-variant
+// redundancy already multiplies compute by the variant count, so
+// per-variant pools would oversubscribe the machine. Sizing comes from
+// MVTEE_THREADS (default: hardware_concurrency, capped at 8). With
+// zero workers ParallelFor degrades to an inline serial loop, so the
+// pool is safe to use unconditionally.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvtee::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` threads (0 = everything runs inline on the
+  // caller).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Runs fn(0..n-1), distributing indices over the workers plus the
+  // calling thread, and returns once every index has completed. Not
+  // reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Process-wide pool sized by MVTEE_THREADS ("1" or "0" → no workers,
+  // everything inline).
+  static ThreadPool& Shared();
+
+ private:
+  struct Job {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};    // next index to claim
+    std::atomic<size_t> done{0};    // indices completed
+    std::atomic<size_t> active{0};  // workers currently inside RunShard
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void WorkerLoop();
+  static void RunShard(Job* job);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Job* job_ = nullptr;  // guarded by mu_
+  bool stop_ = false;   // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mvtee::util

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "crypto/aead.h"
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
@@ -298,6 +300,67 @@ TEST(GcmTest, LargePayloadRoundTrip) {
   auto opened = gcm.Open(nonce, {}, sealed);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(*opened, pt);
+}
+
+TEST(GcmTest, InPlaceSealMatchesCopyingSeal) {
+  Bytes key(32, 0x55);
+  Bytes nonce(12, 0x66);
+  auto aad = util::ToBytes("record header");
+  AesGcm gcm(key);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{16}, size_t{4097}}) {
+    Bytes pt(len);
+    for (size_t i = 0; i < len; ++i) pt[i] = static_cast<uint8_t>(i * 7 + 3);
+    const Bytes sealed = gcm.Seal(nonce, aad, pt);
+
+    Bytes buf = pt;
+    buf.resize(len + kGcmTagSize);
+    gcm.SealInPlace(nonce, aad, buf.data(), len);
+    EXPECT_EQ(buf, sealed) << len;
+
+    // In-place open restores the plaintext prefix.
+    auto n = gcm.OpenInPlace(nonce, aad, buf.data(), buf.size());
+    ASSERT_TRUE(n.ok()) << len;
+    EXPECT_EQ(*n, len);
+    EXPECT_TRUE(std::equal(pt.begin(), pt.end(), buf.begin()));
+  }
+}
+
+TEST(GcmTest, InPlaceOpenRejectsExactlyLikeOpen) {
+  Bytes key(32, 0x55);
+  Bytes nonce(12, 0x66);
+  auto aad = util::ToBytes("seq||header");
+  auto pt = util::ToBytes("tensor payload bytes for parity checking");
+  AesGcm gcm(key);
+  const Bytes sealed = gcm.Seal(nonce, aad, pt);
+
+  // Bit flips anywhere (ciphertext or tag) fail both entry points with
+  // the same taxonomy, and the in-place buffer stays untouched.
+  for (size_t i : {size_t{0}, sealed.size() / 2, sealed.size() - 1}) {
+    Bytes corrupt = sealed;
+    corrupt[i] ^= 0x01;
+    const Bytes before = corrupt;
+    auto copy_r = gcm.Open(nonce, aad, corrupt);
+    auto r = gcm.OpenInPlace(nonce, aad, corrupt.data(), corrupt.size());
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(copy_r.ok());
+    EXPECT_EQ(r.status().code(), copy_r.status().code());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kAuthenticationFailure);
+    EXPECT_EQ(corrupt, before) << "failed open must not decrypt in place";
+  }
+
+  // AAD tampering parity.
+  Bytes sealed2 = sealed;
+  EXPECT_FALSE(gcm.Open(nonce, util::ToBytes("other"), sealed2).ok());
+  EXPECT_FALSE(gcm.OpenInPlace(nonce, util::ToBytes("other"), sealed2.data(),
+                               sealed2.size())
+                   .ok());
+
+  // Truncation parity (shorter than a tag, and truncated ciphertext).
+  for (size_t keep : {size_t{0}, kGcmTagSize - 1, sealed.size() - 1}) {
+    Bytes cut(sealed.begin(), sealed.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(gcm.Open(nonce, aad, cut).ok());
+    EXPECT_FALSE(gcm.OpenInPlace(nonce, aad, cut.data(), cut.size()).ok());
+  }
 }
 
 // ----------------------------------------------------------------- X25519

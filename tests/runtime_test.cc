@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 
 #include "graph/builder.h"
 #include "graph/model_zoo.h"
@@ -71,6 +72,49 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, GemmBackendTest,
                          [](const auto& info) {
                            return std::string(GemmBackendName(info.param));
                          });
+
+TEST(GemmParallelTest, BitwiseIdenticalToSerial) {
+  util::Rng rng(0x6e3a);
+  util::ThreadPool pool(4);
+  // Sizes straddling the sharding threshold, including non-multiples of
+  // the 64-row tile; each output row's accumulation order is shard-
+  // independent, so parallel results must match serial ones bit for bit.
+  const int64_t sizes[][3] = {
+      {65, 64, 64}, {128, 128, 128}, {200, 96, 160}, {257, 129, 70}};
+  for (const auto& [m, n, k] : sizes) {
+    std::vector<float> a(static_cast<size_t>(m * k)),
+        b(static_cast<size_t>(k * n));
+    for (auto& v : a) v = rng.UniformFloat(-0.5f, 0.5f);
+    for (auto& v : b) v = rng.UniformFloat(-0.5f, 0.5f);
+    std::vector<float> serial(static_cast<size_t>(m * n), -1.0f);
+    std::vector<float> parallel(static_cast<size_t>(m * n), 1.0f);
+    Gemm(GemmBackend::kBlocked, a.data(), b.data(), serial.data(), m, n, k,
+         nullptr);
+    Gemm(GemmBackend::kBlocked, a.data(), b.data(), parallel.data(), m, n, k,
+         &pool);
+    ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(GemmParallelTest, SharedPoolDefaultMatchesSerial) {
+  util::Rng rng(0x77);
+  const int64_t m = 192, n = 80, k = 300;  // above the fan-out threshold
+  std::vector<float> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = rng.UniformFloat(-0.5f, 0.5f);
+  for (auto& v : b) v = rng.UniformFloat(-0.5f, 0.5f);
+  std::vector<float> serial(static_cast<size_t>(m * n));
+  std::vector<float> pooled(static_cast<size_t>(m * n));
+  Gemm(GemmBackend::kBlocked, a.data(), b.data(), serial.data(), m, n, k,
+       nullptr);
+  Gemm(GemmBackend::kBlocked, a.data(), b.data(), pooled.data(), m, n, k);
+  EXPECT_EQ(std::memcmp(serial.data(), pooled.data(),
+                        serial.size() * sizeof(float)),
+            0);
+}
 
 TEST(GemmCheckedTest, MatchesUnchecked) {
   std::vector<float> a(6), b(6), c1(4), c2(4);

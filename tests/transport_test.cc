@@ -519,14 +519,14 @@ TEST_F(SecureChannelTest, HeaderIsPlaintextButPayloadIsNot) {
 TEST_F(SecureChannelTest, TamperedHeaderRejected) {
   // The header is bound into the record AAD: flipping one header byte
   // on the wire must fail the AEAD open, exactly like ciphertext
-  // tampering. Record layout: seq(8) || header_len(2) || header || sealed.
+  // tampering. Record layout: seq(8) || header_len(4) || header || sealed.
   auto [client, server] = Connect(AnyAttestedPeer(cpu_),
                                   AnyAttestedPeer(cpu_));
   ASSERT_NE(client, nullptr);
   client->raw_endpoint().SetInterceptor(
       [](const Bytes& frame) -> std::optional<Bytes> {
         Bytes tampered = frame;
-        tampered[10] ^= 0x01;  // first header byte
+        tampered[12] ^= 0x01;  // first header byte
         return tampered;
       });
   ASSERT_TRUE(client->Send(ToBytes("payload"), ToBytes("trace-ctx")).ok());
@@ -545,8 +545,8 @@ TEST_F(SecureChannelTest, TruncatedHeaderLengthRejected) {
   client->raw_endpoint().SetInterceptor(
       [](const Bytes& frame) -> std::optional<Bytes> {
         Bytes tampered = frame;
-        tampered[8] = 0xff;  // header_len high byte: claims 64 KiB header
-        tampered[9] = 0xff;
+        tampered[10] = 0xff;  // header_len low bytes: claims a 64 KiB header
+        tampered[11] = 0xff;
         return tampered;
       });
   ASSERT_TRUE(client->Send(ToBytes("payload"), ToBytes("ctx")).ok());

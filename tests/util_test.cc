@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
+#include <vector>
 
+#include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mvtee::util {
 namespace {
@@ -229,6 +233,156 @@ TEST(BytesTest, ConstantTimeEqual) {
   EXPECT_FALSE(ConstantTimeEqual(a, c));
   EXPECT_FALSE(ConstantTimeEqual(a, d));
   EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(BytesTest, ReadSpanAliasesWithoutCopy) {
+  Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader reader(buf);
+  ByteSpan head, tail;
+  ASSERT_TRUE(reader.ReadSpan(2, head));
+  ASSERT_TRUE(reader.ReadSpan(3, tail));
+  EXPECT_EQ(head.data(), buf.data());
+  EXPECT_EQ(tail.data(), buf.data() + 2);
+  EXPECT_TRUE(reader.done());
+  EXPECT_FALSE(reader.ReadSpan(1, head));
+}
+
+TEST(BufferPoolTest, RoundUpToClassAndRecycle) {
+  BufferPool pool(1 << 20);
+  PooledBuffer b = pool.Acquire(700);
+  EXPECT_EQ(b.size(), 700u);
+  EXPECT_GE(b.bytes().capacity(), 1024u);  // next power-of-two class
+  const uint8_t* storage = b.data();
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.bytes_in_use, 1024u);
+  b.reset();  // released back to the pool
+  s = pool.stats();
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  EXPECT_EQ(s.retained_bytes, 1024u);
+  // Any size in the same class reuses the retained storage.
+  PooledBuffer c = pool.Acquire(1000);
+  EXPECT_EQ(c.data(), storage);
+  s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.retained_bytes, 0u);
+}
+
+TEST(BufferPoolTest, SizeClassAccountingIsExact) {
+  BufferPool pool(1 << 30);
+  // Sub-minimum, mid-class, exact-class and oversize requests.
+  const size_t sizes[] = {1, 700, 4096, (1u << 26) + 1};
+  const size_t charged[] = {512, 1024, 4096, (1u << 26) + 1};
+  std::vector<PooledBuffer> held;
+  size_t expect_in_use = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    held.push_back(pool.Acquire(sizes[i]));
+    expect_in_use += charged[i];
+    EXPECT_EQ(pool.stats().bytes_in_use, expect_in_use) << sizes[i];
+  }
+  EXPECT_EQ(pool.stats().bytes_in_use_hwm, expect_in_use);
+  held.clear();
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  // Oversize buffers are never retained.
+  EXPECT_EQ(s.retained_bytes, 512u + 1024u + 4096u);
+  EXPECT_EQ(s.bytes_in_use_hwm, expect_in_use);  // high-water survives
+  pool.Trim();
+  EXPECT_EQ(pool.stats().retained_bytes, 0u);
+}
+
+TEST(BufferPoolTest, RetentionCapAndAdoptedBuffers) {
+  BufferPool pool(0);  // retain nothing
+  pool.Acquire(512).reset();
+  EXPECT_EQ(pool.stats().retained_bytes, 0u);
+
+  // Adopted buffers never touch pool accounting.
+  Bytes plain = {9, 9, 9};
+  PooledBuffer adopted = PooledBuffer::Adopt(std::move(plain));
+  EXPECT_EQ(adopted.size(), 3u);
+  EXPECT_TRUE(adopted.unique());
+  Bytes back = adopted.TakeBytes();  // sole owner: moves, no copy
+  EXPECT_EQ(back.size(), 3u);
+}
+
+TEST(BufferPoolTest, KeepaliveSharesStorage) {
+  BufferPool pool(1 << 20);
+  PooledBuffer b = pool.Acquire(100);
+  std::shared_ptr<const void> pin = b.keepalive();
+  b.reset();
+  // The keepalive still pins the storage: not yet back in the pool.
+  EXPECT_EQ(pool.stats().bytes_in_use, 512u);
+  pin.reset();
+  EXPECT_EQ(pool.stats().bytes_in_use, 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentAcquireReleaseIsConsistent) {
+  BufferPool pool(4 << 20);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      Rng rng(0xb0f5eed + static_cast<uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        const size_t n = 1 + rng.NextU64() % 8192;
+        PooledBuffer b = pool.Acquire(n);
+        ASSERT_EQ(b.size(), n);
+        b.data()[0] = static_cast<uint8_t>(t);  // touch the storage
+        b.data()[n - 1] = static_cast<uint8_t>(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.bytes_in_use, 0u);  // everything released
+  EXPECT_GT(s.hits, 0u);          // recycling actually happened
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(64, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 64u * 50);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleIndexJobs) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  size_t seen = 1234;
+  pool.ParallelFor(1, [&](size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
 }
 
 }  // namespace
