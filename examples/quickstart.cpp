@@ -4,7 +4,7 @@
 //   2. Run the offline MVX tool: partition, diversify, encrypt.
 //   3. Boot the platform: simulated CPU, variant host, monitor TEE.
 //   4. Initialize — attestation, key distribution, two-stage bootstrap.
-//   5. Run protected inference.
+//   5. Open a session against the monitor's request loop and submit.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -60,31 +60,42 @@ int main() {
   std::printf("initialized: %zu attested variant bindings\n",
               (*monitor)->bindings().size());
 
-  // 5. Protected inference through the unified Run entry point; the
-  //    stats handle returns this call's own counters.
+  // 5. Protected inference through the long-lived request API: start
+  //    the request loop, open a session, submit one request and wait on
+  //    its future. (One-shot batch vectors still work through the
+  //    Run() compatibility wrapper.)
   util::Rng rng(1);
   auto input = tensor::Tensor::RandomUniform(
       tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng);
-  core::RunStats stats;
-  auto output =
-      (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
-  if (!output.ok()) {
+  if (!(*monitor)->StartService().ok()) return 1;
+  auto session = (*monitor)->OpenSession();
+  if (!session.ok()) return 1;
+  auto pending = (*session)->Submit({{input}});
+  if (!pending.ok()) {
+    std::printf("submit rejected: %s\n",
+                pending.status().ToString().c_str());
+    return 1;
+  }
+  core::InferenceResponse response = pending->get();
+  if (!response.status.ok()) {
     std::printf("inference failed: %s\n",
-                output.status().ToString().c_str());
+                response.status.ToString().c_str());
     return 1;
   }
 
   // Top-1 class of the (softmax) output.
-  const tensor::Tensor& probs = (*output)[0][0];
+  const tensor::Tensor& probs = response.outputs[0];
   int64_t best = 0;
   for (int64_t i = 1; i < probs.num_elements(); ++i) {
     if (probs.at(i) > probs.at(best)) best = i;
   }
   std::printf(
       "inference OK: top-1 class %lld (p=%.4f), %llu checkpoints verified, "
-      "0 divergences\n",
+      "served in %lld us\n",
       static_cast<long long>(best), probs.at(best),
-      static_cast<unsigned long long>(stats.checkpoints_evaluated));
+      static_cast<unsigned long long>(
+          (*monitor)->ConsumeStats().checkpoints_evaluated),
+      static_cast<long long>(response.latency_us));
 
   (void)(*monitor)->Shutdown();
   host.JoinAll();

@@ -1,16 +1,20 @@
 // A cloud secure-inference service walk-through (paper Figure 2 + 6).
 //
-// Plays all three roles end to end:
+// Plays all four roles end to end:
 //   - the MODEL OWNER runs the offline tool, holds the variant keys, and
 //     later orders a partial variant update;
 //   - the (untrusted) ORCHESTRATOR places init-variant TEEs and can only
 //     see encrypted files;
-//   - the MONITOR attests every TEE, distributes keys, streams user
-//     batches through the pipelined partition DAG, and audits bindings.
+//   - the MONITOR attests every TEE, distributes keys, interleaves
+//     concurrent user sessions through the pipelined partition DAG, and
+//     audits bindings;
+//   - USERS attest the monitor over the RA-TLS front end and submit
+//     encrypted inference requests over per-session AEAD channels.
 //
 // Build & run:  ./build/examples/secure_inference_service
 #include <cstdio>
 
+#include <atomic>
 #include <thread>
 
 #include "core/monitor.h"
@@ -18,6 +22,8 @@
 #include "core/owner.h"
 #include "core/variant_host.h"
 #include "graph/model_zoo.h"
+#include "obs/metrics.h"
+#include "service/inference_service.h"
 #include "transport/channel.h"
 
 using namespace mvtee;
@@ -95,28 +101,61 @@ int main() {
                 static_cast<unsigned long long>(b.enclave_report_id));
   }
 
-  // ------------------------------------------------ streaming service
-  std::printf("\n[service] streaming 16 user batches through the "
-              "pipeline...\n");
-  util::Rng rng(7);
-  std::vector<std::vector<tensor::Tensor>> batches;
-  for (int i = 0; i < 16; ++i) {
-    batches.push_back({tensor::Tensor::RandomUniform(
-        tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng)});
-  }
-  core::RunStats stats;
-  auto outputs = (*monitor)->Run(
-      batches, core::RunOptions{.pipelined = true, .stats = &stats});
-  if (!outputs.ok()) {
-    std::printf("service failed: %s\n", outputs.status().ToString().c_str());
+  // ---------------------------------------- attested service front end
+  // The monitor now serves a long-lived request API: a Listener accepts
+  // client connections, each client attests the monitor (its RA-TLS
+  // report binds the session key into report_data), derives per-session
+  // AEAD keys, and submits encrypted requests. Concurrent sessions are
+  // coalesced by the admission loop into shared pipelined passes.
+  std::printf("\n[service] opening the attested front end; 8 users x 2 "
+              "encrypted requests each...\n");
+  transport::Listener listener;
+  auto service = service::InferenceService::Start(**monitor, listener);
+  if (!service.ok()) {
+    std::printf("service start failed: %s\n",
+                service.status().ToString().c_str());
     return 1;
   }
-  std::printf("[service] %zu results | %.1f batches/s (virtual) | "
-              "%.2f ms/result | %llu checkpoints | %llu divergences\n",
-              outputs->size(), stats.ThroughputPerSec(),
-              stats.MeanLatencyUs() / 1000.0,
-              static_cast<unsigned long long>(stats.checkpoints_evaluated),
-              static_cast<unsigned long long>(stats.divergences));
+
+  std::atomic<int> completed{0};
+  std::atomic<int64_t> latency_sum_us{0};
+  std::vector<std::thread> users;
+  for (int u = 0; u < 8; ++u) {
+    users.emplace_back([&, u] {
+      // Every user independently verifies the monitor's measurement
+      // before trusting it with plaintext inputs.
+      auto client = service::InferenceClient::Connect(
+          listener, cpu, (*monitor)->enclave().measurement());
+      if (!client.ok()) return;
+      util::Rng rng(100 + static_cast<uint64_t>(u));
+      for (int r = 0; r < 2; ++r) {
+        auto result = (*client)->Infer({tensor::Tensor::RandomUniform(
+            tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng)});
+        if (result.ok()) {
+          completed.fetch_add(1);
+          latency_sum_us.fetch_add((*client)->last_latency_us());
+        }
+      }
+      (*client)->Disconnect();
+    });
+  }
+  for (auto& t : users) t.join();
+  (*service)->Stop();
+
+  obs::Registry& reg = (*monitor)->metrics();
+  std::printf("[service] %d/16 requests served | %.2f ms/request | "
+              "%llu admission groups (coalesced from %llu requests) | "
+              "%llu rejected\n",
+              completed.load(),
+              completed.load() > 0
+                  ? latency_sum_us.load() / 1000.0 / completed.load()
+                  : 0.0,
+              static_cast<unsigned long long>(
+                  reg.GetCounter("service.groups_total").value()),
+              static_cast<unsigned long long>(
+                  reg.GetCounter("service.requests_total").value()),
+              static_cast<unsigned long long>(
+                  reg.GetCounter("service.rejected_total").value()));
 
   // -------------------------------------------------- partial update
   std::printf("\n[owner] rotating stage 1 to fresh variants (partial "
@@ -126,7 +165,10 @@ int main() {
     std::printf("update failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  auto post_update = (*monitor)->Run({batches[0]});
+  // The Run() compatibility wrapper drives the same request loop.
+  util::Rng rng(7);
+  auto post_update = (*monitor)->Run({{tensor::Tensor::RandomUniform(
+      tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng)}});
   std::printf("[service] post-update inference: %s\n",
               post_update.ok() ? "OK" : post_update.status().ToString().c_str());
 

@@ -279,6 +279,62 @@ util::Status SendFrame(transport::MsgChannel& channel, const StageDataMsg& msg,
   });
 }
 
+size_t EncodedSize(const SessionSubmitMsg& msg) {
+  const size_t head = 1 + 8 + 8;
+  return head + TensorsEncodedSize(head, msg.inputs);
+}
+
+void EncodeSessionSubmitInto(const SessionSubmitMsg& msg, util::Bytes& out) {
+  const size_t frame_base = out.size();
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kSessionSubmit));
+  util::AppendU64(out, msg.seq);
+  util::AppendU64(out, static_cast<uint64_t>(msg.deadline_us));
+  AppendTensors(out, frame_base, msg.inputs);
+}
+
+util::Bytes EncodeSessionSubmit(const SessionSubmitMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeSessionSubmitInto(msg, out);
+  return out;
+}
+
+size_t EncodedSize(const SessionReplyMsg& msg) {
+  const size_t head = 1 + 8 + 1 + 8 + LpSize(msg.error.size());
+  return head + TensorsEncodedSize(head, msg.outputs);
+}
+
+void EncodeSessionReplyInto(const SessionReplyMsg& msg, util::Bytes& out) {
+  const size_t frame_base = out.size();
+  util::AppendU8(out, static_cast<uint8_t>(MsgType::kSessionReply));
+  util::AppendU64(out, msg.seq);
+  util::AppendU8(out, msg.code);
+  util::AppendU64(out, static_cast<uint64_t>(msg.latency_us));
+  util::AppendLengthPrefixedStr(out, msg.error);
+  AppendTensors(out, frame_base, msg.outputs);
+}
+
+util::Bytes EncodeSessionReply(const SessionReplyMsg& msg) {
+  util::Bytes out;
+  out.reserve(EncodedSize(msg));
+  EncodeSessionReplyInto(msg, out);
+  return out;
+}
+
+util::Status SendFrame(transport::MsgChannel& channel,
+                       const SessionSubmitMsg& msg, util::ByteSpan header) {
+  return channel.SendEncoded(EncodedSize(msg), header, [&msg](util::Bytes& out) {
+    EncodeSessionSubmitInto(msg, out);
+  });
+}
+
+util::Status SendFrame(transport::MsgChannel& channel,
+                       const SessionReplyMsg& msg, util::ByteSpan header) {
+  return channel.SendEncoded(EncodedSize(msg), header, [&msg](util::Bytes& out) {
+    EncodeSessionReplyInto(msg, out);
+  });
+}
+
 size_t EncodedSize(const ProvisionMsg& msg) {
   size_t size = 1 + LpSize(msg.nonce.size()) + LpSize(msg.bundle_config.size()) + 4;
   for (const auto& stage : msg.stage_variant_ids) {
@@ -445,7 +501,7 @@ util::Result<MsgType> PeekType(util::ByteSpan frame) {
   if (frame.empty()) return util::InvalidArgument("empty frame");
   uint8_t tag = frame[0];
   if (tag < static_cast<uint8_t>(MsgType::kAssignIdentity) ||
-      tag > static_cast<uint8_t>(MsgType::kAttestReply)) {
+      tag > static_cast<uint8_t>(MsgType::kSessionReply)) {
     return util::InvalidArgument("unknown message type " +
                                  std::to_string(tag));
   }
@@ -612,6 +668,62 @@ util::Result<StageDataMsg> DecodeStageData(util::ByteSpan frame) {
 
 util::Result<StageDataMsg> DecodeStageData(const transport::InFrame& frame) {
   return DecodeStageDataImpl(frame.span(), frame.keepalive());
+}
+
+namespace {
+util::Result<SessionSubmitMsg> DecodeSessionSubmitImpl(
+    util::ByteSpan frame, const std::shared_ptr<const void>& keepalive) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kSessionSubmit));
+  SessionSubmitMsg msg;
+  uint64_t deadline;
+  if (!reader.ReadU64(msg.seq) || !reader.ReadU64(deadline)) {
+    return util::InvalidArgument("malformed SessionSubmit");
+  }
+  msg.deadline_us = static_cast<int64_t>(deadline);
+  if (msg.deadline_us < 0) {
+    return util::InvalidArgument("negative SessionSubmit deadline");
+  }
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.inputs, keepalive));
+  if (!reader.done()) return util::InvalidArgument("SessionSubmit tail");
+  return msg;
+}
+
+util::Result<SessionReplyMsg> DecodeSessionReplyImpl(
+    util::ByteSpan frame, const std::shared_ptr<const void>& keepalive) {
+  util::ByteReader reader(frame);
+  MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kSessionReply));
+  SessionReplyMsg msg;
+  uint64_t latency;
+  if (!reader.ReadU64(msg.seq) || !reader.ReadU8(msg.code) ||
+      !reader.ReadU64(latency) ||
+      msg.code > static_cast<uint8_t>(util::StatusCode::kHandshakeFailure) ||
+      !reader.ReadLengthPrefixedStr(msg.error)) {
+    return util::InvalidArgument("malformed SessionReply");
+  }
+  msg.latency_us = static_cast<int64_t>(latency);
+  MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.outputs, keepalive));
+  if (!reader.done()) return util::InvalidArgument("SessionReply tail");
+  return msg;
+}
+}  // namespace
+
+util::Result<SessionSubmitMsg> DecodeSessionSubmit(util::ByteSpan frame) {
+  return DecodeSessionSubmitImpl(frame, nullptr);
+}
+
+util::Result<SessionSubmitMsg> DecodeSessionSubmit(
+    const transport::InFrame& frame) {
+  return DecodeSessionSubmitImpl(frame.span(), frame.keepalive());
+}
+
+util::Result<SessionReplyMsg> DecodeSessionReply(util::ByteSpan frame) {
+  return DecodeSessionReplyImpl(frame, nullptr);
+}
+
+util::Result<SessionReplyMsg> DecodeSessionReply(
+    const transport::InFrame& frame) {
+  return DecodeSessionReplyImpl(frame.span(), frame.keepalive());
 }
 
 util::Bytes EncodeTraceContext(const obs::TraceContext& ctx) {

@@ -30,6 +30,8 @@ enum class MsgType : uint8_t {
   kProvisionResult,     // monitor -> owner: init outcome bound to nonce
   kAttestQuery,         // user/owner -> monitor: combined attestation
   kAttestReply,         // monitor -> user/owner: all bound TEE reports
+  kSessionSubmit,       // client -> service: one inference request
+  kSessionReply,        // service -> client: outputs or an error
 };
 
 struct AssignIdentityMsg {
@@ -172,6 +174,50 @@ struct AttestReplyMsg {
   // measurements), attested collectively through the monitor.
   std::vector<util::Bytes> variant_reports;
 };
+
+// ---- client <-> service session requests (DESIGN.md §11) ----
+//
+// Carried over the per-session RA-TLS channel established by the
+// inference service front end. The channel already binds a per-record
+// monotonic sequence number into the AAD; `seq` additionally names the
+// request inside the session's application-level sequence space, so the
+// service can pair replies to requests and detect replayed/reordered
+// Submit frames even if a future transport multiplexes records.
+
+struct SessionSubmitMsg {
+  uint64_t seq = 0;
+  // Relative per-request budget, microseconds; 0 = unbounded. Flows
+  // into the monitor's RunOptions.deadline_us machinery.
+  int64_t deadline_us = 0;
+  std::vector<tensor::Tensor> inputs;  // one model-input batch
+};
+
+struct SessionReplyMsg {
+  uint64_t seq = 0;  // echoes the request
+  uint8_t code = 0;  // util::StatusCode of the outcome
+  int64_t latency_us = 0;  // admission -> completion, service clock
+  std::string error;
+  std::vector<tensor::Tensor> outputs;
+};
+
+size_t EncodedSize(const SessionSubmitMsg& msg);
+size_t EncodedSize(const SessionReplyMsg& msg);
+void EncodeSessionSubmitInto(const SessionSubmitMsg& msg, util::Bytes& out);
+void EncodeSessionReplyInto(const SessionReplyMsg& msg, util::Bytes& out);
+util::Bytes EncodeSessionSubmit(const SessionSubmitMsg& msg);
+util::Bytes EncodeSessionReply(const SessionReplyMsg& msg);
+util::Result<SessionSubmitMsg> DecodeSessionSubmit(util::ByteSpan frame);
+util::Result<SessionSubmitMsg> DecodeSessionSubmit(
+    const transport::InFrame& frame);
+util::Result<SessionReplyMsg> DecodeSessionReply(util::ByteSpan frame);
+util::Result<SessionReplyMsg> DecodeSessionReply(
+    const transport::InFrame& frame);
+util::Status SendFrame(transport::MsgChannel& channel,
+                       const SessionSubmitMsg& msg,
+                       util::ByteSpan header = {});
+util::Status SendFrame(transport::MsgChannel& channel,
+                       const SessionReplyMsg& msg,
+                       util::ByteSpan header = {});
 
 size_t EncodedSize(const ProvisionMsg& msg);
 size_t EncodedSize(const ProvisionResultMsg& msg);

@@ -1,6 +1,8 @@
 #include "core/monitor.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <set>
 #include <thread>
 
@@ -11,6 +13,143 @@
 namespace mvtee::core {
 
 using tensor::Tensor;
+
+namespace internal {
+
+// State shared between the monitor's request loop and every Session
+// handle. Sessions hold it by shared_ptr so a handle outliving a
+// stopped (or destroyed) monitor degrades to fast-fail Submits instead
+// of dangling.
+struct ServiceState {
+  struct Item {
+    bool legacy = false;
+    uint64_t session_id = 0;
+    uint64_t seq = 0;
+    // One batch for a session submit; the whole vector for a legacy
+    // Run() group.
+    std::vector<std::vector<Tensor>> batches;
+    RunOptions options;          // legacy groups only
+    int64_t deadline_abs_us = 0; // submits only; 0 = unbounded
+    int64_t enqueue_us = 0;
+    std::promise<InferenceResponse> response;  // submits
+    std::promise<util::Result<std::vector<std::vector<Tensor>>>>
+        group_result;  // legacy groups
+  };
+
+  struct SessionInfo {
+    uint64_t expected_seq = 0;
+    bool aborted = false;  // sequence violation: session is dead
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  size_t queued_submits = 0;  // non-legacy items (the bounded part)
+  bool accepting = false;
+  size_t queue_max = 64;
+  uint64_t next_session_id = 1;
+  std::map<uint64_t, SessionInfo> sessions;
+
+  // Service instruments (default registry; pointer-stable).
+  obs::Gauge* sessions_active = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Counter* rejected_total = nullptr;
+  obs::Counter* requests_total = nullptr;
+  obs::Counter* groups_total = nullptr;
+  obs::Histogram* request_latency_us = nullptr;
+
+  void BindMetrics(obs::Registry& reg) {
+    sessions_active = &reg.GetGauge("service.sessions_active");
+    queue_depth = &reg.GetGauge("service.admission_queue_depth");
+    rejected_total = &reg.GetCounter("service.rejected_total");
+    requests_total = &reg.GetCounter("service.requests_total");
+    groups_total = &reg.GetCounter("service.groups_total");
+    request_latency_us = &reg.GetHistogram("service.request_latency_us");
+  }
+};
+
+}  // namespace internal
+
+Session::Session(std::shared_ptr<internal::ServiceState> state, uint64_t id)
+    : state_(std::move(state)), id_(id) {}
+
+Session::~Session() { Close(); }
+
+void Session::Close() {
+  if (!state_) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->sessions.erase(id_) > 0) state_->sessions_active->Add(-1);
+  }
+  state_.reset();
+}
+
+util::Result<std::future<InferenceResponse>> Session::Submit(
+    InferenceRequest request) {
+  auto result = SubmitSequenced(std::move(request), next_seq_);
+  // Mirror the server-side rule: the sequence number is consumed by any
+  // in-order submission, including one rejected at admission or by a
+  // stopped service (only sequence violations leave it unconsumed).
+  const util::StatusCode code = result.status().code();
+  if (result.ok() || code == util::StatusCode::kAdmissionRejected ||
+      code == util::StatusCode::kUnavailable) {
+    ++next_seq_;
+  }
+  return result;
+}
+
+util::Result<std::future<InferenceResponse>> Session::SubmitSequenced(
+    InferenceRequest request, uint64_t seq) {
+  if (!state_) return util::FailedPrecondition("session closed");
+  internal::ServiceState& st = *state_;
+  std::future<InferenceResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    auto it = st.sessions.find(id_);
+    if (it == st.sessions.end()) {
+      return util::FailedPrecondition("session closed");
+    }
+    if (it->second.aborted) {
+      return util::ReplayDetected("session aborted by sequence violation");
+    }
+    if (seq != it->second.expected_seq) {
+      // A replayed (or reordered) Submit must never execute twice;
+      // the whole session is condemned, not just the request.
+      it->second.aborted = true;
+      return util::ReplayDetected(
+          "submit sequence " + std::to_string(seq) + " != expected " +
+          std::to_string(it->second.expected_seq));
+    }
+    // Any in-order frame consumes its sequence number, whatever its
+    // admission outcome: the client increments on send, before it can
+    // know whether the request was admitted, so a rejected request must
+    // not desynchronize the session's sequence space.
+    it->second.expected_seq = seq + 1;
+    if (!st.accepting) return util::Unavailable("service stopped");
+    if (st.queued_submits >= st.queue_max) {
+      st.rejected_total->Add(1);
+      return util::AdmissionRejected(
+          "admission queue full (" + std::to_string(st.queued_submits) +
+          " queued, max " + std::to_string(st.queue_max) + ")");
+    }
+
+    internal::ServiceState::Item item;
+    item.session_id = id_;
+    item.seq = seq;
+    item.enqueue_us = util::NowMicros();
+    item.deadline_abs_us = request.deadline_us > 0
+                               ? item.enqueue_us + request.deadline_us
+                               : 0;
+    item.batches.push_back(std::move(request.inputs));
+    future = item.response.get_future();
+    st.queue.push_back(std::move(item));
+    st.queued_submits += 1;
+    st.queue_depth->Set(static_cast<int64_t>(st.queued_submits));
+    st.requests_total->Add(1);
+  }
+  st.cv.notify_one();
+  return future;
+}
 
 MvxSelection MvxSelection::Uniform(const OfflineBundle& bundle,
                                    int variants_per_stage) {
@@ -329,6 +468,7 @@ util::Status Monitor::ConfigureRoutes(VariantHost& host) {
 util::Status Monitor::Initialize(const OfflineBundle& bundle,
                                  const MvxSelection& selection,
                                  VariantHost& host) {
+  StopService();  // reconfiguration requires a quiesced request loop
   if (selection.stage_variant_ids.size() !=
       static_cast<size_t>(bundle.num_stages)) {
     return util::InvalidArgument("selection stage count mismatch");
@@ -390,6 +530,7 @@ util::Status Monitor::Initialize(const OfflineBundle& bundle,
 util::Status Monitor::UpdateStage(const OfflineBundle& bundle,
                                   VariantHost& host, int32_t stage,
                                   const std::vector<std::string>& ids) {
+  StopService();  // reconfiguration requires a quiesced request loop
   if (!initialized_) return util::FailedPrecondition("not initialized");
   if (config_.direct_fastpath) {
     return util::Unimplemented(
@@ -450,10 +591,181 @@ util::Status Monitor::FullUpdate(const OfflineBundle& bundle,
   return Initialize(bundle, selection, host);
 }
 
+util::Status Monitor::StartService(const ServiceConfig& config) {
+  std::lock_guard<std::mutex> lock(service_ctl_mu_);
+  if (service_running_) return util::OkStatus();
+  if (!initialized_) return util::FailedPrecondition("not initialized");
+  if (!service_) service_ = std::make_shared<internal::ServiceState>();
+  service_->BindMetrics(*metrics_);
+  {
+    std::lock_guard<std::mutex> state_lock(service_->mu);
+    service_->accepting = true;
+    service_->queue_max = config.admission_queue_max;
+  }
+  service_config_ = config;
+  service_thread_ = std::thread(&Monitor::ServiceLoop, this);
+  service_running_ = true;
+  return util::OkStatus();
+}
+
+void Monitor::StopService() {
+  std::lock_guard<std::mutex> lock(service_ctl_mu_);
+  if (!service_running_) return;
+  {
+    std::lock_guard<std::mutex> state_lock(service_->mu);
+    service_->accepting = false;
+  }
+  service_->cv.notify_all();
+  service_thread_.join();
+  service_running_ = false;
+}
+
+util::Result<std::unique_ptr<Session>> Monitor::OpenSession() {
+  std::shared_ptr<internal::ServiceState> state;
+  {
+    std::lock_guard<std::mutex> lock(service_ctl_mu_);
+    if (!service_running_) {
+      return util::FailedPrecondition("service not started");
+    }
+    state = service_;
+  }
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    id = state->next_session_id++;
+    state->sessions[id] = internal::ServiceState::SessionInfo{};
+    state->sessions_active->Add(1);
+  }
+  return std::unique_ptr<Session>(new Session(std::move(state), id));
+}
+
+void Monitor::ServiceLoop() {
+  internal::ServiceState& st = *service_;
+  for (;;) {
+    std::vector<internal::ServiceState::Item> group;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      st.cv.wait(lock, [&] { return !st.queue.empty() || !st.accepting; });
+      if (!st.accepting) {
+        // Drain: everything still queued fails fast instead of running
+        // against a pipeline about to be reconfigured.
+        while (!st.queue.empty()) {
+          internal::ServiceState::Item item = std::move(st.queue.front());
+          st.queue.pop_front();
+          if (item.legacy) {
+            item.group_result.set_value(
+                util::Unavailable("service stopped"));
+          } else {
+            InferenceResponse response;
+            response.status = util::Unavailable("service stopped");
+            response.seq = item.seq;
+            item.response.set_value(std::move(response));
+          }
+        }
+        st.queued_submits = 0;
+        st.queue_depth->Set(0);
+        return;
+      }
+      // One admission group: a legacy Run() vector travels alone (its
+      // options — sequential admission, deadlines, stats handle — are
+      // group-scoped); session submits coalesce up to max_inflight into
+      // one pipelined pass.
+      if (st.queue.front().legacy) {
+        group.push_back(std::move(st.queue.front()));
+        st.queue.pop_front();
+      } else {
+        while (!st.queue.empty() && !st.queue.front().legacy &&
+               group.size() < service_config_.max_inflight) {
+          group.push_back(std::move(st.queue.front()));
+          st.queue.pop_front();
+          st.queued_submits -= 1;
+        }
+      }
+      st.queue_depth->Set(static_cast<int64_t>(st.queued_submits));
+      st.groups_total->Add(1);
+    }
+
+    if (group.front().legacy) {
+      internal::ServiceState::Item& item = group.front();
+      item.group_result.set_value(RunStream(item.batches, item.options));
+      continue;
+    }
+
+    // Coalesced session submits: drop already-expired requests, run the
+    // rest as one pipelined group whose run deadline is the *largest*
+    // remaining per-request budget (so a short budget cannot truncate a
+    // neighbor's), unbounded if any member is unbounded.
+    const int64_t now = util::NowMicros();
+    std::vector<std::vector<Tensor>> batches;
+    std::vector<size_t> live;
+    int64_t group_budget_us = 0;
+    bool unbounded = false;
+    for (size_t i = 0; i < group.size(); ++i) {
+      internal::ServiceState::Item& item = group[i];
+      if (item.deadline_abs_us != 0 && now >= item.deadline_abs_us) {
+        InferenceResponse response;
+        response.status =
+            util::DeadlineExceeded("request expired in admission queue");
+        response.seq = item.seq;
+        response.latency_us = now - item.enqueue_us;
+        item.response.set_value(std::move(response));
+        continue;
+      }
+      if (item.deadline_abs_us == 0) {
+        unbounded = true;
+      } else {
+        group_budget_us =
+            std::max(group_budget_us, item.deadline_abs_us - now);
+      }
+      live.push_back(i);
+      batches.push_back(std::move(item.batches.front()));
+    }
+    if (live.empty()) continue;
+
+    RunOptions options;
+    options.pipelined = true;
+    options.deadline_us = unbounded ? 0 : group_budget_us;
+    auto result = RunStream(batches, options);
+    const int64_t done = util::NowMicros();
+    for (size_t j = 0; j < live.size(); ++j) {
+      internal::ServiceState::Item& item = group[live[j]];
+      InferenceResponse response;
+      response.seq = item.seq;
+      response.latency_us = done - item.enqueue_us;
+      if (result.ok()) {
+        response.outputs = std::move((*result)[j]);
+        st.request_latency_us->Observe(response.latency_us);
+      } else if (item.deadline_abs_us != 0 && done >= item.deadline_abs_us) {
+        response.status =
+            util::DeadlineExceeded("request deadline passed: " +
+                                   result.status().ToString());
+      } else {
+        response.status = result.status();
+      }
+      item.response.set_value(std::move(response));
+    }
+  }
+}
+
 util::Result<std::vector<std::vector<Tensor>>> Monitor::Run(
     const std::vector<std::vector<Tensor>>& batches,
     const RunOptions& options) {
-  return RunStream(batches, options);
+  if (!initialized_) return util::FailedPrecondition("not initialized");
+  MVTEE_RETURN_IF_ERROR(StartService(service_config_));
+  std::future<util::Result<std::vector<std::vector<Tensor>>>> future;
+  {
+    std::lock_guard<std::mutex> lock(service_->mu);
+    if (!service_->accepting) return util::Unavailable("service stopped");
+    internal::ServiceState::Item item;
+    item.legacy = true;
+    item.batches = batches;
+    item.options = options;
+    item.enqueue_us = util::NowMicros();
+    future = item.group_result.get_future();
+    service_->queue.push_back(std::move(item));
+  }
+  service_->cv.notify_one();
+  return future.get();
 }
 
 void Monitor::DeactivateBinding(int32_t stage,
@@ -1682,6 +1994,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
 }
 
 util::Status Monitor::Shutdown() {
+  StopService();
   if (!initialized_) return util::OkStatus();
   for (auto& stage : stages_) {
     for (auto& conn : stage.variants) {

@@ -21,10 +21,12 @@
 #pragma once
 
 #include <atomic>
+#include <future>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/consistency.h"
@@ -43,15 +45,6 @@ namespace mvtee::core {
 
 enum class ExecMode : uint8_t { kSync = 0, kAsync };
 
-// Retired divergence-response enum; superseded by ReactionPolicy
-// (reaction_policy.h). Kept one release for the migration shim below.
-enum class [[deprecated(
-    "use core::ReactionPolicy "
-    "(MonitorConfig::reaction)")]] ResponsePolicy : uint8_t {
-  kAbort = 0,
-  kContinueWithWinner,
-};
-
 struct MonitorConfig {
   CheckPolicy check = CheckPolicy::Cosine(0.995);
   VotePolicy vote = VotePolicy::kUnanimous;
@@ -60,22 +53,6 @@ struct MonitorConfig {
   // run, continue with the winner, or quarantine + re-bootstrap the
   // dissenting variant (full recovery loop — see reaction_policy.h).
   ReactionPolicy reaction = ReactionPolicy::Abort();
-
-  // Deprecated shim (one release): maps the retired ResponsePolicy enum
-  // onto `reaction`.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  [[deprecated("assign MonitorConfig::reaction instead")]]
-  void set_response(ResponsePolicy response) {
-    reaction = response == ResponsePolicy::kAbort
-                   ? ReactionPolicy::Abort()
-                   : ReactionPolicy::ContinueWithWinner();
-  }
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
   // Fast-path stages stream outputs directly to the next partition's
   // variants over dedicated secure channels instead of via the monitor.
   bool direct_fastpath = false;
@@ -165,8 +142,8 @@ struct RunStats {
   }
 };
 
-// Per-call options for Monitor::Run — the unified execution entry point
-// that replaced the RunBatch / RunSequential / RunPipelined triplet.
+// Per-call options for Monitor::Run — the batch-vector compatibility
+// wrapper over the long-lived request loop (see Session below).
 struct RunOptions {
   // false: batches admitted strictly one after another (next admitted
   // only once the previous completed). true: all batches streamed
@@ -180,6 +157,90 @@ struct RunOptions {
   // (a per-run delta) without consuming the monitor's cumulative
   // stats — ConsumeStats() is unaffected.
   RunStats* stats = nullptr;
+};
+
+// ---- long-lived request API (service front end, DESIGN.md §11) ----
+//
+// The monitor's execution engine is driven by a single service loop:
+// clients open Sessions and Submit individual requests; the loop admits
+// queued requests in coalesced pipelined groups through the MVX
+// pipeline. Monitor::Run(batches) is a thin compatibility wrapper that
+// opens an internal session, submits the whole batch vector as one
+// admission group, and drains it — byte-identical semantics to the old
+// one-shot entry point.
+
+// One inference request: a single model-input batch plus an optional
+// relative wall-clock budget.
+struct InferenceRequest {
+  std::vector<tensor::Tensor> inputs;
+  // Microseconds from submission; 0 = unbounded. An expired request is
+  // failed with kDeadlineExceeded instead of being admitted; a live one
+  // bounds its admission group's RunOptions.deadline_us.
+  int64_t deadline_us = 0;
+};
+
+struct InferenceResponse {
+  util::Status status;
+  std::vector<tensor::Tensor> outputs;
+  uint64_t seq = 0;        // the request's position in its session
+  int64_t latency_us = 0;  // submission -> completion, wall clock
+};
+
+// Admission-side knobs for the monitor's request loop.
+struct ServiceConfig {
+  // Submissions queued beyond this bound are rejected with
+  // kAdmissionRejected (bounded backpressure; counted in
+  // service.rejected_total). Legacy Run() groups are exempt — they
+  // carry their own caller-side flow control.
+  size_t admission_queue_max = 64;
+  // Max requests coalesced into one pipelined pass; higher values
+  // interleave more concurrent sessions per pipeline traversal.
+  size_t max_inflight = 8;
+};
+
+namespace internal {
+struct ServiceState;
+}  // namespace internal
+
+// A client-facing request handle bound to one session: Submit stamps
+// each request with the session's next application-level sequence
+// number (the per-session sequence space layered above the secure
+// channel's per-record seq||header AAD binding) and returns a future
+// that resolves when the request clears the pipeline. A Session is
+// driven from one thread at a time; distinct Sessions are independent
+// and may submit concurrently.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Stamps the next sequence number and submits. Fails fast (no future)
+  // with kAdmissionRejected when the queue is full, kUnavailable when
+  // the service is stopped, kReplayDetected once the session aborted.
+  util::Result<std::future<InferenceResponse>> Submit(
+      InferenceRequest request);
+
+  // Wire-facing form: the caller (the service front end decoding
+  // kSessionSubmit frames) supplies the sequence number. A repeat or
+  // gap aborts the whole session with kReplayDetected — a replayed
+  // Submit frame must not yield a second execution.
+  util::Result<std::future<InferenceResponse>> SubmitSequenced(
+      InferenceRequest request, uint64_t seq);
+
+  // Unregisters the session (service.sessions_active drops). Queued
+  // requests still complete; further Submits fail. Idempotent.
+  void Close();
+
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Monitor;
+  Session(std::shared_ptr<internal::ServiceState> state, uint64_t id);
+
+  std::shared_ptr<internal::ServiceState> state_;
+  uint64_t id_ = 0;
+  uint64_t next_seq_ = 0;
 };
 
 class Monitor {
@@ -207,9 +268,24 @@ class Monitor {
   util::Status FullUpdate(const OfflineBundle& bundle,
                           const MvxSelection& selection, VariantHost& host);
 
-  // Unified execution entry point: runs `batches` through the pipeline
-  // under the given per-call options and returns each batch's model
-  // outputs in order.
+  // Starts the long-lived request loop (idempotent; requires an
+  // initialized monitor). Run() and OpenSession() start it lazily with
+  // a default ServiceConfig when needed.
+  util::Status StartService(const ServiceConfig& config = ServiceConfig{});
+
+  // Stops the request loop: still-queued requests fail with
+  // kUnavailable, in-flight groups finish, the loop thread joins.
+  // Idempotent; implied by Initialize/UpdateStage/FullUpdate/Shutdown
+  // so reconfiguration always sees a quiesced pipeline.
+  void StopService();
+
+  // Opens a session against the request loop. Sessions may outlive a
+  // stopped service (their Submits then fail with kUnavailable).
+  util::Result<std::unique_ptr<Session>> OpenSession();
+
+  // Compatibility wrapper over the request loop: opens an internal
+  // session, submits `batches` as ONE admission group executed exactly
+  // like the old one-shot call (same options, same stats), and drains.
   //
   //   Run({inputs})                                  — one batch
   //   Run(batches)                                   — sequential: each
@@ -217,8 +293,9 @@ class Monitor {
   //   Run(batches, RunOptions{.pipelined = true})    — all batches
   //     streamed through the pipeline simultaneously
   //
-  // (These three shapes replaced the former RunBatch / RunSequential /
-  // RunPipelined entry points.)
+  // StartService/StopService/OpenSession/Run are control-plane calls:
+  // drive them from one thread. Session::Submit on open sessions is
+  // safe from any thread.
   util::Result<std::vector<std::vector<tensor::Tensor>>> Run(
       const std::vector<std::vector<tensor::Tensor>>& batches,
       const RunOptions& options = RunOptions{});
@@ -298,10 +375,15 @@ class Monitor {
   // inactive (the replacement is appended by BindVariant).
   void DeactivateBinding(int32_t stage, const std::string& variant_id);
 
-  // The event-driven engine behind Run.
+  // The event-driven engine behind the request loop: one admission
+  // group = one call.
   util::Result<std::vector<std::vector<tensor::Tensor>>> RunStream(
       const std::vector<std::vector<tensor::Tensor>>& batches,
       const RunOptions& options);
+
+  // The request loop body (service thread): pops admission groups and
+  // feeds them to RunStream.
+  void ServiceLoop();
 
   // Resolves the monitor-level and per-stage metric instruments.
   void BindMetrics();
@@ -396,6 +478,15 @@ class Monitor {
 
   mutable std::mutex bindings_mu_;
   std::vector<Binding> bindings_;
+
+  // Request-loop state (shared with Sessions, which may outlive a
+  // stopped service) and the loop thread. service_ctl_mu_ guards the
+  // start/stop control path so session threads can OpenSession safely.
+  std::mutex service_ctl_mu_;
+  std::shared_ptr<internal::ServiceState> service_;
+  std::thread service_thread_;
+  bool service_running_ = false;
+  ServiceConfig service_config_;
 };
 
 }  // namespace mvtee::core

@@ -3,8 +3,8 @@
 // The paper's monitor does not merely *detect* a compromised variant —
 // it reacts (§4.3): quarantine the dissenter, re-provision it through
 // the two-stage attestable bootstrap (Fig. 6), and keep serving from
-// the surviving panel. This header unifies what used to be the
-// `ResponsePolicy` enum plus loose `MonitorConfig` knobs into a single
+// the surviving panel. This header unifies a retired response enum
+// plus loose `MonitorConfig` knobs into a single
 // value type describing the whole reaction, including the recovery
 // loop's tuning (panel floor, probation length, bootstrap backoff and
 // retry budget).

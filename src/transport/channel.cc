@@ -159,6 +159,42 @@ bool Endpoint::Readable() const {
   return rx_ && rx_->readable();
 }
 
+Endpoint Listener::Connect() {
+  auto [client, server] = CreateChannel(cost_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      client.Close();
+      return std::move(client);
+    }
+    pending_.push_back(std::move(server));
+  }
+  cv_.notify_one();
+  return std::move(client);
+}
+
+util::Result<Endpoint> Listener::Accept(int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+               [&] { return !pending_.empty() || closed_; });
+  if (!pending_.empty()) {
+    Endpoint ep = std::move(pending_.front());
+    pending_.pop_front();
+    return ep;
+  }
+  if (closed_) return util::Unavailable("listener closed");
+  return util::DeadlineExceeded("accept timeout");
+}
+
+void Listener::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    pending_.clear();
+  }
+  cv_.notify_all();
+}
+
 std::pair<Endpoint, Endpoint> CreateChannel(const NetworkCostModel& cost) {
   auto a_to_b = std::make_shared<internal::MessageQueue>();
   auto b_to_a = std::make_shared<internal::MessageQueue>();

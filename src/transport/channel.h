@@ -176,4 +176,35 @@ class Endpoint {
 std::pair<Endpoint, Endpoint> CreateChannel(
     const NetworkCostModel& cost = NetworkCostModel::Free());
 
+// Accept queue for client-facing services: stands in for a listening
+// TCP socket. Connect() creates a fresh duplex channel (under the
+// listener's cost model), enqueues the server end for Accept(), and
+// hands the client end back to the dialer. Like the channels it mints,
+// the listener is *untrusted* — anyone can connect; it is the attested
+// handshake run over the accepted endpoint that gates service access.
+class Listener {
+ public:
+  explicit Listener(NetworkCostModel cost = NetworkCostModel::Free())
+      : cost_(cost) {}
+
+  // Dials the listener: returns the client end of a new channel. The
+  // server end becomes visible to Accept(). Dialing a closed listener
+  // returns an already-closed endpoint (the RA-TLS handshake over it
+  // fails with kUnavailable, like connecting to a dead port).
+  Endpoint Connect();
+
+  // Blocks for the next queued connection; kDeadlineExceeded on
+  // timeout, kUnavailable once Close()d and drained.
+  util::Result<Endpoint> Accept(int64_t timeout_us = 5'000'000);
+
+  void Close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Endpoint> pending_;
+  bool closed_ = false;
+  NetworkCostModel cost_;
+};
+
 }  // namespace mvtee::transport

@@ -21,6 +21,8 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kAttestationFailure: return "ATTESTATION_FAILURE";
     case StatusCode::kReplayDetected: return "REPLAY_DETECTED";
     case StatusCode::kDivergenceDetected: return "DIVERGENCE_DETECTED";
+    case StatusCode::kAdmissionRejected: return "ADMISSION_REJECTED";
+    case StatusCode::kHandshakeFailure: return "HANDSHAKE_FAILURE";
   }
   return "UNKNOWN";
 }

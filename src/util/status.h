@@ -34,6 +34,9 @@ enum class StatusCode {
   kAttestationFailure,     // quote/report verification failed
   kReplayDetected,         // stale nonce or sequence number
   kDivergenceDetected,     // MVX checkpoint cross-check failed
+  // Service-front-end codes (DESIGN.md §7 taxonomy, §11 service).
+  kAdmissionRejected,      // admission queue full (backpressure)
+  kHandshakeFailure,       // session establishment failed
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -112,6 +115,12 @@ inline Status ReplayDetected(std::string msg) {
 }
 inline Status DivergenceDetected(std::string msg) {
   return Status(StatusCode::kDivergenceDetected, std::move(msg));
+}
+inline Status AdmissionRejected(std::string msg) {
+  return Status(StatusCode::kAdmissionRejected, std::move(msg));
+}
+inline Status HandshakeFailure(std::string msg) {
+  return Status(StatusCode::kHandshakeFailure, std::move(msg));
 }
 
 // Result<T>: either a value or a non-OK Status.

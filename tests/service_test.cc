@@ -1,0 +1,518 @@
+// Service front end tests (DESIGN.md §11): attested session
+// establishment, per-session key isolation and sequence spaces,
+// admission backpressure, deadlines, and the Run() compatibility
+// wrapper over the long-lived request loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/monitor.h"
+#include "core/offline.h"
+#include "core/variant_host.h"
+#include "graph/builder.h"
+#include "obs/metrics.h"
+#include "service/inference_service.h"
+#include "tensor/tensor.h"
+#include "transport/channel.h"
+#include "transport/secure_channel.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace mvtee::service {
+namespace {
+
+using core::InferenceRequest;
+using core::InferenceResponse;
+using core::Monitor;
+using core::MonitorConfig;
+using core::MvxSelection;
+using core::OfflineBundle;
+using core::OfflineOptions;
+using core::RunOfflineTool;
+using core::VariantHost;
+using graph::Graph;
+using graph::ModelBuilder;
+using graph::NodeId;
+using tensor::MaxAbsDiff;
+using tensor::Shape;
+using tensor::Tensor;
+using util::StatusCode;
+
+Graph TestModel(uint64_t seed = 5) {
+  ModelBuilder b(seed);
+  NodeId x = b.Input("img", Shape({1, 3, 16, 16}));
+  x = b.ConvBnRelu(x, 8, 3, 1, 1);
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Gemm(x, 10);
+  x = b.Softmax(x);
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+OfflineOptions SmallOffline(int partitions = 2, int variants = 2) {
+  OfflineOptions opts;
+  opts.num_partitions = partitions;
+  opts.partition_seed = 11;
+  opts.key_seed = 99;
+  opts.pool.variants_per_stage = variants;
+  opts.pool.seed = 7;
+  return opts;
+}
+
+Tensor TestInput(uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+}
+
+// Spins until `counter` reaches `target` (service-loop progress is
+// asynchronous; the pop that we wait for bumps service.groups_total
+// before the group starts executing).
+bool WaitForCounter(const obs::Counter& counter, uint64_t target,
+                    int64_t timeout_us = 5'000'000) {
+  const int64_t give_up = util::NowMicros() + timeout_us;
+  while (counter.value() < target) {
+    if (util::NowMicros() > give_up) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+// Full deployment fixture: offline tool -> host -> monitor. Wire tests
+// layer a Listener + InferenceService on top.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = RunOfflineTool(TestModel(), SmallOffline());
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+    bundle_ = std::move(*bundle);
+    host_ = std::make_unique<VariantHost>(&cpu_, bundle_.store);
+    auto monitor = Monitor::Create(&cpu_, MonitorConfig{});
+    ASSERT_TRUE(monitor.ok());
+    monitor_ = std::move(*monitor);
+    auto status =
+        monitor_->Initialize(bundle_, MvxSelection::Uniform(bundle_, 2),
+                             *host_);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  void TearDown() override {
+    if (monitor_) ASSERT_TRUE(monitor_->Shutdown().ok());
+    if (host_) host_->JoinAll();
+  }
+
+  tee::SimulatedCpu cpu_{tee::SimulatedCpu::Options{.hardware_key_seed = 3}};
+  OfflineBundle bundle_;
+  std::unique_ptr<VariantHost> host_;
+  std::unique_ptr<Monitor> monitor_;
+};
+
+// ------------------------------------------------ in-process sessions
+
+TEST_F(ServiceTest, SessionSubmitMatchesRunWrapper) {
+  const Tensor input = TestInput();
+  auto direct = monitor_->Run({{input}});
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto future = (*session)->Submit({{input}});
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  InferenceResponse response = future->get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.seq, 0u);
+  EXPECT_GT(response.latency_us, 0);
+  ASSERT_EQ(response.outputs.size(), (*direct)[0].size());
+  EXPECT_LT(MaxAbsDiff(response.outputs[0], (*direct)[0][0]), 1e-6f);
+}
+
+TEST_F(ServiceTest, OpenSessionRequiresRunningService) {
+  // Before any Run()/StartService() the request loop is down.
+  auto session = monitor_->OpenSession();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(monitor_->StartService().ok());
+  EXPECT_TRUE(monitor_->OpenSession().ok());
+}
+
+TEST_F(ServiceTest, SequenceViolationAbortsSession) {
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  // In-order first sequence number works...
+  auto ok = (*session)->SubmitSequenced({{TestInput()}}, 0);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->get().status.ok());
+  // ...a replay of seq 0 condemns the session...
+  auto replay = (*session)->SubmitSequenced({{TestInput()}}, 0);
+  EXPECT_EQ(replay.status().code(), StatusCode::kReplayDetected);
+  // ...including subsequent well-formed submits.
+  auto after = (*session)->SubmitSequenced({{TestInput()}}, 1);
+  EXPECT_EQ(after.status().code(), StatusCode::kReplayDetected);
+}
+
+TEST_F(ServiceTest, AdmissionOverflowRejectedWithTaxonomyCode) {
+  core::ServiceConfig config;
+  config.admission_queue_max = 0;  // every queued submit overflows
+  ASSERT_TRUE(monitor_->StartService(config).ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  obs::Counter& rejected =
+      monitor_->metrics().GetCounter("service.rejected_total");
+  const uint64_t before = rejected.value();
+  auto result = (*session)->Submit({{TestInput()}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_EQ(rejected.value(), before + 1);
+  // Backpressure is not session-fatal: the rejected submit consumed its
+  // sequence number but did not condemn the session — after a restart
+  // with a sane bound the same session keeps working.
+  monitor_->StopService();
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto retry = (*session)->Submit({{TestInput()}});
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(retry->get().status.ok());
+}
+
+TEST_F(ServiceTest, StoppedServiceFailsSubmits) {
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  monitor_->StopService();
+  auto result = (*session)->Submit({{TestInput()}});
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServiceTest, RunWrapperKeepsWorkingAcrossReconfiguration) {
+  const Tensor input = TestInput();
+  auto first = monitor_->Run({{input}});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // UpdateStage quiesces the request loop; the next Run() restarts it.
+  auto ids = bundle_.StageVariantIds(0);
+  ASSERT_GE(ids.size(), 2u);
+  ASSERT_TRUE(
+      monitor_->UpdateStage(bundle_, *host_, 0, {ids[0], ids[1]}).ok());
+  auto second = monitor_->Run({{input}});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_LT(MaxAbsDiff((*first)[0][0], (*second)[0][0]), 1e-6f);
+}
+
+TEST_F(ServiceTest, QueuedSubmitsCoalesceIntoOneGroup) {
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  obs::Counter& groups =
+      monitor_->metrics().GetCounter("service.groups_total");
+  const uint64_t base = groups.value();
+
+  // Occupy the loop with a legacy group, then queue three submits while
+  // it runs: they must drain as ONE coalesced pipelined group.
+  std::vector<std::vector<Tensor>> batches;
+  for (int i = 0; i < 16; ++i) batches.push_back({TestInput()});
+  auto legacy = std::async(std::launch::async, [&] {
+    return monitor_->Run(batches, core::RunOptions{.pipelined = true});
+  });
+  ASSERT_TRUE(WaitForCounter(groups, base + 1));  // legacy group popped
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto submitted = (*session)->Submit({{TestInput(7 + i)}});
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  ASSERT_TRUE(legacy.get().ok());
+  for (auto& f : futures) {
+    InferenceResponse response = f.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_FALSE(response.outputs.empty());
+  }
+  EXPECT_EQ(groups.value(), base + 2);  // legacy + one coalesced group
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineFailsInAdmissionQueue) {
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  obs::Counter& groups =
+      monitor_->metrics().GetCounter("service.groups_total");
+  const uint64_t base = groups.value();
+  // Hold the loop busy with a legacy group so the dated submit expires
+  // while queued.
+  std::vector<std::vector<Tensor>> batches;
+  for (int i = 0; i < 16; ++i) batches.push_back({TestInput()});
+  auto legacy = std::async(std::launch::async, [&] {
+    return monitor_->Run(batches, core::RunOptions{.pipelined = true});
+  });
+  ASSERT_TRUE(WaitForCounter(groups, base + 1));
+
+  InferenceRequest request;
+  request.inputs = {TestInput()};
+  request.deadline_us = 1;  // expires long before the legacy group ends
+  auto future = (*session)->Submit(std::move(request));
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  ASSERT_TRUE(legacy.get().ok());
+  InferenceResponse response = future->get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+// --------------------------------------------- wire sessions (RA-TLS)
+
+TEST_F(ServiceTest, AttestedHandshakeAndEncryptedInference) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  auto client = InferenceClient::Connect(listener, cpu_,
+                                         monitor_->enclave().measurement());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // The handshake surfaced the monitor's hardware-signed report with
+  // the session key bound into report_data.
+  EXPECT_TRUE(cpu_.VerifyReport((*client)->monitor_report()).ok());
+  EXPECT_EQ((*client)->monitor_report().measurement,
+            monitor_->enclave().measurement());
+
+  const Tensor input = TestInput();
+  auto reference = monitor_->Run({{input}});
+  ASSERT_TRUE(reference.ok());
+  auto outputs = (*client)->Infer({input});
+  ASSERT_TRUE(outputs.ok()) << outputs.status().ToString();
+  ASSERT_EQ(outputs->size(), (*reference)[0].size());
+  EXPECT_LT(MaxAbsDiff((*outputs)[0], (*reference)[0][0]), 1e-6f);
+  EXPECT_GT((*client)->last_latency_us(), 0);
+
+  (*client)->Disconnect();
+  (*service)->Stop();
+}
+
+TEST_F(ServiceTest, WrongMeasurementRejected) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok());
+  obs::Registry& reg = monitor_->metrics();
+  const uint64_t auth_before =
+      reg.GetCounter("channel.auth_failures").value();
+  const uint64_t hs_before =
+      reg.GetCounter("service.handshake_failures").value();
+
+  crypto::Sha256Digest wrong{};
+  wrong[0] = 0xab;
+  auto client = InferenceClient::Connect(listener, cpu_, wrong, 2'000'000);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kAttestationFailure);
+  (*service)->Stop();
+  // Server-side the dead session is a distinct taxonomy event, counted
+  // in both service.handshake_failures and channel.auth_failures.
+  EXPECT_GE(reg.GetCounter("service.handshake_failures").value(),
+            hs_before + 1);
+  EXPECT_GE(reg.GetCounter("channel.auth_failures").value(),
+            auth_before + 1);
+}
+
+TEST_F(ServiceTest, TamperedMonitorKeyRejected) {
+  // A host attacker splicing the monitor's handshake key (or replaying
+  // a stale hello) cannot survive the client's report check: the
+  // report_data binds H(pubkey || role) under the hardware MAC.
+  transport::Listener listener;
+  std::thread server([&] {
+    auto endpoint = listener.Accept(5'000'000);
+    if (!endpoint.ok()) return;
+    endpoint->SetInterceptor(
+        [](const util::Bytes& frame) -> std::optional<util::Bytes> {
+          util::Bytes tampered = frame;
+          tampered[8] ^= 0x01;  // inside the server's X25519 public key
+          return tampered;
+        });
+    (void)transport::SecureChannel::Handshake(
+        std::move(*endpoint), transport::SecureChannel::Role::kServer,
+        monitor_->enclave(), transport::AllowUnattestedPeer(), 2'000'000);
+  });
+  auto client = InferenceClient::Connect(
+      listener, cpu_, monitor_->enclave().measurement(), 2'000'000);
+  server.join();
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kAttestationFailure);
+}
+
+TEST_F(ServiceTest, SessionKeyIsolationAcrossSessions) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok());
+
+  auto a = InferenceClient::Connect(listener, cpu_,
+                                    monitor_->enclave().measurement());
+  auto b = InferenceClient::Connect(listener, cpu_,
+                                    monitor_->enclave().measurement());
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Capture session A's encrypted Submit record off the wire.
+  util::Bytes captured;
+  (*a)->raw_endpoint().SetInterceptor(
+      [&captured](const util::Bytes& frame) -> std::optional<util::Bytes> {
+        captured = frame;
+        return frame;
+      });
+  ASSERT_TRUE((*a)->Infer({TestInput()}).ok());
+  ASSERT_FALSE(captured.empty());
+  (*a)->raw_endpoint().SetInterceptor(nullptr);
+
+  obs::Counter& auth =
+      monitor_->metrics().GetCounter("channel.auth_failures");
+  const uint64_t before = auth.value();
+  // Injecting A's ciphertext into B's session must fail the AEAD open
+  // (per-session HKDF keys) and kill session B.
+  (*b)->raw_endpoint().InjectRaw(captured);
+  auto poisoned = (*b)->Infer({TestInput()}, /*deadline_us=*/0,
+                              /*recv_timeout_us=*/5'000'000);
+  EXPECT_FALSE(poisoned.ok());
+  EXPECT_GE(auth.value(), before + 1);
+
+  // Session A is unaffected.
+  EXPECT_TRUE((*a)->Infer({TestInput()}).ok());
+  (*service)->Stop();
+}
+
+TEST_F(ServiceTest, ReplayedSubmitFrameAbortsSession) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok());
+  auto client = InferenceClient::Connect(listener, cpu_,
+                                         monitor_->enclave().measurement());
+  ASSERT_TRUE(client.ok());
+
+  util::Bytes captured;
+  (*client)->raw_endpoint().SetInterceptor(
+      [&captured](const util::Bytes& frame) -> std::optional<util::Bytes> {
+        captured = frame;
+        return frame;
+      });
+  ASSERT_TRUE((*client)->Infer({TestInput()}).ok());
+  ASSERT_FALSE(captured.empty());
+  (*client)->raw_endpoint().SetInterceptor(nullptr);
+
+  obs::Counter& auth =
+      monitor_->metrics().GetCounter("channel.auth_failures");
+  const uint64_t before = auth.value();
+  // The identical record re-injected: its record sequence number is
+  // stale, the channel flags the replay and the service tears the
+  // session down — the request never executes twice.
+  (*client)->raw_endpoint().InjectRaw(captured);
+  auto after = (*client)->Infer({TestInput()}, /*deadline_us=*/0,
+                                /*recv_timeout_us=*/5'000'000);
+  EXPECT_FALSE(after.ok());
+  EXPECT_GE(auth.value(), before + 1);
+  (*service)->Stop();
+}
+
+TEST_F(ServiceTest, WireAdmissionRejectionKeepsSessionAlive) {
+  transport::Listener listener;
+  ServiceOptions options;
+  options.admission.admission_queue_max = 0;  // reject everything
+  auto service = InferenceService::Start(*monitor_, listener, options);
+  ASSERT_TRUE(service.ok());
+  auto client = InferenceClient::Connect(listener, cpu_,
+                                         monitor_->enclave().measurement());
+  ASSERT_TRUE(client.ok());
+  // Reject-with-status backpressure: the client keeps getting explicit
+  // kAdmissionRejected replies on the SAME session (a reply at all
+  // proves the session survived the previous rejection).
+  for (int i = 0; i < 3; ++i) {
+    auto outputs = (*client)->Infer({TestInput()});
+    ASSERT_FALSE(outputs.ok());
+    EXPECT_EQ(outputs.status().code(), StatusCode::kAdmissionRejected);
+  }
+  (*client)->Disconnect();
+  (*service)->Stop();
+}
+
+TEST_F(ServiceTest, EightConcurrentSessionsInterleave) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok());
+
+  constexpr int kSessions = 8;
+  constexpr int kRequests = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int c = 0; c < kSessions; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = InferenceClient::Connect(
+          listener, cpu_, monitor_->enclave().measurement());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        auto outputs =
+            (*client)->Infer({TestInput(static_cast<uint64_t>(c + 1))});
+        if (!outputs.ok() || outputs->empty()) failures.fetch_add(1);
+      }
+      (*client)->Disconnect();
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  obs::Registry& reg = monitor_->metrics();
+  EXPECT_GE(reg.GetCounter("service.requests_total").value(),
+            static_cast<uint64_t>(kSessions * kRequests));
+  (*service)->Stop();
+  EXPECT_EQ(reg.GetGauge("service.sessions_active").value(), 0);
+}
+
+// ------------------------------------------------- wire-format basics
+
+TEST(SessionMessagesTest, SubmitRoundTrip) {
+  core::SessionSubmitMsg msg;
+  msg.seq = 42;
+  msg.deadline_us = 1'000'000;
+  msg.inputs = {TestInput()};
+  util::Bytes frame = core::EncodeSessionSubmit(msg);
+  EXPECT_EQ(frame.size(), core::EncodedSize(msg));
+  auto type = core::PeekType(frame);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, core::MsgType::kSessionSubmit);
+  auto decoded = core::DecodeSessionSubmit(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->deadline_us, 1'000'000);
+  ASSERT_EQ(decoded->inputs.size(), 1u);
+  EXPECT_LT(MaxAbsDiff(decoded->inputs[0], msg.inputs[0]), 1e-9f);
+}
+
+TEST(SessionMessagesTest, ReplyRoundTripCarriesTaxonomyCode) {
+  core::SessionReplyMsg msg;
+  msg.seq = 7;
+  msg.code = static_cast<uint8_t>(StatusCode::kAdmissionRejected);
+  msg.error = "admission queue full";
+  msg.latency_us = 1234;
+  util::Bytes frame = core::EncodeSessionReply(msg);
+  EXPECT_EQ(frame.size(), core::EncodedSize(msg));
+  auto decoded = core::DecodeSessionReply(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 7u);
+  EXPECT_EQ(static_cast<StatusCode>(decoded->code),
+            StatusCode::kAdmissionRejected);
+  EXPECT_EQ(decoded->error, "admission queue full");
+  EXPECT_EQ(decoded->latency_us, 1234);
+}
+
+TEST(SessionMessagesTest, TaxonomyCodesHaveDistinctNames) {
+  EXPECT_EQ(util::StatusCodeName(StatusCode::kAdmissionRejected),
+            "ADMISSION_REJECTED");
+  EXPECT_EQ(util::StatusCodeName(StatusCode::kHandshakeFailure),
+            "HANDSHAKE_FAILURE");
+  EXPECT_EQ(util::AdmissionRejected("x").code(),
+            StatusCode::kAdmissionRejected);
+  EXPECT_EQ(util::HandshakeFailure("x").code(),
+            StatusCode::kHandshakeFailure);
+}
+
+}  // namespace
+}  // namespace mvtee::service
