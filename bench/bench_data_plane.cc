@@ -9,11 +9,18 @@
 //      view decode, diffing util::DataPlaneBytesCopied() to prove the
 //      per-tensor copy reduction (acceptance floor: >= 2x fewer bytes).
 //   3. GEMM: the blocked backend serial vs sharded across a 4-worker
-//      util::ThreadPool (acceptance floor: >= 2x speedup at 256x256+).
+//      util::ThreadPool (acceptance floor: >= 2x speedup at 256x256+),
+//      plus the kAvx2 backend serial vs blocked serial (acceptance
+//      floor: >= 5x on hosts where the vector kernel dispatches).
+//   4. SIMD dispatch: AES-GCM accel vs forced-scalar on the same
+//      payload (acceptance floor: >= 10x where AES-NI dispatches).
 //
 // Results go to stdout and to a machine-readable JSON summary at
 // $MVTEE_BENCH_JSON (default ./BENCH_data_plane.json) so CI can archive
-// a baseline next to the observability artifacts.
+// a baseline next to the observability artifacts. Every floor the run
+// could not fail (host too small / no SIMD) is recorded as
+// floor_applies=false + floor_waived=true next to the detected CPU
+// features, so baseline comparisons can tell "passed" from "waived".
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -30,6 +37,7 @@
 #include "transport/msg_channel.h"
 #include "transport/secure_channel.h"
 #include "util/buffer_pool.h"
+#include "util/cpu_features.h"
 #include "util/dataplane_stats.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -102,6 +110,56 @@ AeadResult RunAead(size_t payload, int inner_iters) {
     }
   });
   out.inplace_mbps = bytes_per_run / inplace_s / 1e6;
+  return out;
+}
+
+// AES-GCM dispatch delta: the same seal+open round trip with the
+// runtime dispatcher allowed to pick AES-NI/PCLMUL vs forced onto the
+// portable 8-bit-table path. Ciphertext is identical either way; only
+// throughput moves.
+struct AeadDispatchResult {
+  size_t payload = 0;
+  bool accelerated = false;  // did the fast path actually dispatch?
+  double accel_mbps = 0.0;
+  double scalar_mbps = 0.0;
+  double speedup() const {
+    return scalar_mbps > 0 ? accel_mbps / scalar_mbps : 0.0;
+  }
+};
+
+AeadDispatchResult RunAeadDispatch(size_t payload) {
+  util::Rng rng(payload ^ 0x51d);
+  Bytes key(32), nonce(crypto::kGcmNonceSize), aad(24), buf(payload);
+  for (auto* b : {&key, &nonce, &aad, &buf}) {
+    for (auto& byte : *b) byte = static_cast<uint8_t>(rng.NextU64());
+  }
+  crypto::AesGcm gcm(key);
+  buf.resize(payload + crypto::kGcmTagSize);
+
+  AeadDispatchResult out;
+  out.payload = payload;
+  out.accelerated = crypto::AesGcmAccelerated();
+  auto round_trip = [&] {
+    gcm.SealInPlace(nonce, aad, buf.data(), payload);
+    auto n = gcm.OpenInPlace(nonce, aad, buf.data(), buf.size());
+    MVTEE_CHECK(n.ok() && *n == payload);
+  };
+  const int iters = out.accelerated ? 16 : 4;
+  round_trip();
+  out.accel_mbps = static_cast<double>(payload) * iters /
+                   TimeMedian(3, [&] {
+                     for (int i = 0; i < iters; ++i) round_trip();
+                   }) /
+                   1e6;
+  {
+    util::ScopedForceScalar force_scalar;
+    round_trip();
+    out.scalar_mbps = static_cast<double>(payload) * 4 /
+                      TimeMedian(3, [&] {
+                        for (int i = 0; i < 4; ++i) round_trip();
+                      }) /
+                      1e6;
+  }
   return out;
 }
 
@@ -224,10 +282,15 @@ struct GemmResult {
   int64_t m = 0, n = 0, k = 0;
   size_t threads = 0;
   unsigned hw_threads = 0;  // what the host can actually run in parallel
+  bool avx2_dispatched = false;  // did kAvx2 take the vector path?
   double serial_gflops = 0.0;
   double parallel_gflops = 0.0;
+  double avx2_serial_gflops = 0.0;
   double speedup() const {
     return serial_gflops > 0 ? parallel_gflops / serial_gflops : 0.0;
+  }
+  double avx2_speedup() const {
+    return serial_gflops > 0 ? avx2_serial_gflops / serial_gflops : 0.0;
   }
 };
 
@@ -256,17 +319,25 @@ GemmResult RunGemm(int64_t m, int64_t n, int64_t k, size_t threads) {
     runtime::Gemm(runtime::GemmBackend::kBlocked, a.data(), b.data(),
                   c.data(), m, n, k, &pool);
   };
-  serial();    // warm caches
-  parallel();  // warm pool
+  auto avx2_serial = [&] {
+    runtime::Gemm(runtime::GemmBackend::kAvx2, a.data(), b.data(), c.data(),
+                  m, n, k, nullptr);
+  };
+  serial();       // warm caches
+  parallel();     // warm pool
+  avx2_serial();  // warm packed-panel path
+  out.avx2_dispatched = runtime::GemmAvx2Accelerated();
   out.serial_gflops = flops / TimeMedian(5, serial) / 1e9;
   out.parallel_gflops = flops / TimeMedian(5, parallel) / 1e9;
+  out.avx2_serial_gflops = flops / TimeMedian(5, avx2_serial) / 1e9;
   return out;
 }
 
 // --------------------------------------------------------------- main
 
 void WriteJson(const std::vector<AeadResult>& aead,
-               const RoundTripResult& rt, const GemmResult& gemm) {
+               const AeadDispatchResult& aead_disp, const RoundTripResult& rt,
+               const GemmResult& gemm) {
   const char* path = std::getenv("MVTEE_BENCH_JSON");
   if (path == nullptr) path = "BENCH_data_plane.json";
   std::FILE* f = std::fopen(path, "w");
@@ -274,7 +345,10 @@ void WriteJson(const std::vector<AeadResult>& aead,
     std::printf("could not open %s for writing\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"data_plane\",\n  \"aead\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"data_plane\",\n");
+  std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+               util::CpuFeatureString().c_str());
+  std::fprintf(f, "  \"aead\": [\n");
   for (size_t i = 0; i < aead.size(); ++i) {
     std::fprintf(f,
                  "    {\"payload_bytes\": %zu, \"legacy_mbps\": %.1f, "
@@ -282,9 +356,24 @@ void WriteJson(const std::vector<AeadResult>& aead,
                  aead[i].payload, aead[i].legacy_mbps, aead[i].inplace_mbps,
                  i + 1 < aead.size() ? "," : "");
   }
+  const bool aead_floor_applies = aead_disp.accelerated;
   std::fprintf(
       f,
-      "  ],\n  \"checkpoint_round_trip\": {\n"
+      "  ],\n  \"aead_dispatch\": {\n"
+      "    \"payload_bytes\": %zu,\n"
+      "    \"accelerated\": %s,\n"
+      "    \"accel_mbps\": %.1f,\n"
+      "    \"scalar_mbps\": %.1f,\n"
+      "    \"speedup_x\": %.2f,\n"
+      "    \"floor_applies\": %s,\n"
+      "    \"floor_waived\": %s\n  },\n",
+      aead_disp.payload, aead_disp.accelerated ? "true" : "false",
+      aead_disp.accel_mbps, aead_disp.scalar_mbps, aead_disp.speedup(),
+      aead_floor_applies ? "true" : "false",
+      aead_floor_applies ? "false" : "true");
+  std::fprintf(
+      f,
+      "  \"checkpoint_round_trip\": {\n"
       "    \"tensors\": %zu,\n    \"payload_bytes\": %llu,\n"
       "    \"legacy_copied_bytes\": %llu,\n"
       "    \"pooled_copied_bytes\": %llu,\n"
@@ -294,15 +383,29 @@ void WriteJson(const std::vector<AeadResult>& aead,
       static_cast<unsigned long long>(rt.legacy_copied),
       static_cast<unsigned long long>(rt.pooled_copied), rt.copy_ratio(),
       rt.legacy_mbps, rt.pooled_mbps);
+  const bool parallel_floor_applies = gemm.hw_threads >= 4;
+  const bool avx2_floor_applies = gemm.avx2_dispatched;
   std::fprintf(
       f,
       "  \"gemm\": {\n    \"m\": %lld, \"n\": %lld, \"k\": %lld,\n"
       "    \"threads\": %zu,\n    \"hw_threads\": %u,\n"
       "    \"serial_gflops\": %.2f,\n"
-      "    \"parallel_gflops\": %.2f,\n    \"speedup_x\": %.2f\n  }\n}\n",
+      "    \"parallel_gflops\": %.2f,\n    \"speedup_x\": %.2f,\n"
+      "    \"parallel_floor_applies\": %s,\n"
+      "    \"parallel_floor_waived\": %s,\n"
+      "    \"avx2_dispatched\": %s,\n"
+      "    \"avx2_serial_gflops\": %.2f,\n"
+      "    \"avx2_speedup_x\": %.2f,\n"
+      "    \"avx2_floor_applies\": %s,\n"
+      "    \"avx2_floor_waived\": %s\n  }\n}\n",
       static_cast<long long>(gemm.m), static_cast<long long>(gemm.n),
       static_cast<long long>(gemm.k), gemm.threads, gemm.hw_threads,
-      gemm.serial_gflops, gemm.parallel_gflops, gemm.speedup());
+      gemm.serial_gflops, gemm.parallel_gflops, gemm.speedup(),
+      parallel_floor_applies ? "true" : "false",
+      parallel_floor_applies ? "false" : "true",
+      gemm.avx2_dispatched ? "true" : "false", gemm.avx2_serial_gflops,
+      gemm.avx2_speedup(), avx2_floor_applies ? "true" : "false",
+      avx2_floor_applies ? "false" : "true");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -326,6 +429,17 @@ int Main() {
                 r.legacy_mbps, r.inplace_mbps,
                 r.legacy_mbps > 0 ? r.inplace_mbps / r.legacy_mbps : 0.0);
   }
+
+  // 1b. AES-GCM dispatch delta (AES-NI/PCLMUL vs portable tables).
+  const AeadDispatchResult aead_disp = RunAeadDispatch(1 << 20);
+  std::printf("\nAES-GCM dispatch [%s]: accel %.1f MB/s vs scalar %.1f MB/s"
+              " | %.2fx (floor: 10x)%s\n",
+              util::CpuFeatureString().c_str(), aead_disp.accel_mbps,
+              aead_disp.scalar_mbps, aead_disp.speedup(),
+              aead_disp.accelerated
+                  ? (aead_disp.speedup() >= 10.0 ? ""
+                                                 : "  ** BELOW FLOOR **")
+                  : "  (floor waived: no AES-NI dispatch)");
 
   // 2. Checkpoint round trip over an attested secure channel.
   ChannelPair pair;
@@ -368,10 +482,19 @@ int Main() {
                   ? ""
                   : gemm_floor_applies ? "  ** BELOW FLOOR **"
                                        : "  (floor waived: host too small)");
+  std::printf("avx2 serial: %6.2f GFLOP/s | vs blocked serial %.2fx "
+              "(floor: 5x)%s\n",
+              gemm.avx2_serial_gflops, gemm.avx2_speedup(),
+              gemm.avx2_dispatched
+                  ? (gemm.avx2_speedup() >= 5.0 ? ""
+                                                : "  ** BELOW FLOOR **")
+                  : "  (floor waived: no AVX2 dispatch)");
 
-  WriteJson(aead, rt, gemm);
+  WriteJson(aead, aead_disp, rt, gemm);
   const bool ok = rt.copy_ratio() >= 2.0 &&
-                  (!gemm_floor_applies || gemm.speedup() >= 2.0);
+                  (!gemm_floor_applies || gemm.speedup() >= 2.0) &&
+                  (!gemm.avx2_dispatched || gemm.avx2_speedup() >= 5.0) &&
+                  (!aead_disp.accelerated || aead_disp.speedup() >= 10.0);
   return ok ? 0 : 1;
 }
 

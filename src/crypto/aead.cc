@@ -1,16 +1,33 @@
 #include "crypto/aead.h"
 
+#include <array>
 #include <cstring>
 
+#include "crypto/aes_accel.h"
+#include "util/cpu_features.h"
 #include "util/dataplane_stats.h"
 
 namespace mvtee::crypto {
 
 namespace {
-// Reduction constants for the 4-bit GHASH table method.
-constexpr uint64_t kLast4[16] = {
-    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
-    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+// Reduction constants for the 8-bit GHASH table method: kRem8[b] is the
+// fold-back of the byte shifted out of the 128-bit window, XORed into
+// the top 16 bits of the state. Bit j of the byte contributes
+// (0xE1 << 56) >> (7 - j), i.e. 0x01C2 << j in the 16-bit frame —
+// the 8-bit generalization of the classic 4-bit kLast4 table.
+constexpr std::array<uint16_t, 256> MakeRem8() {
+  std::array<uint16_t, 256> t{};
+  for (int b = 0; b < 256; ++b) {
+    uint32_t v = 0;
+    for (int j = 0; j < 8; ++j) {
+      if (b & (1 << j)) v ^= 0x01c2u << j;
+    }
+    t[static_cast<size_t>(b)] = static_cast<uint16_t>(v);
+  }
+  return t;
+}
+constexpr std::array<uint16_t, 256> kRem8 = MakeRem8();
 
 inline uint64_t LoadU64BE(const uint8_t* p) {
   uint64_t v = 0;
@@ -32,29 +49,36 @@ inline void Inc32(uint8_t block[16]) {
 }
 }  // namespace
 
+bool AesGcmAccelerated() {
+  return accel::Compiled() && util::UseAesGcmAccel();
+}
+
 AesGcm::AesGcm(util::ByteSpan key) : aes_(key) {
   MVTEE_CHECK(key.size() == 16 || key.size() == 32);
 
   uint8_t h[16] = {0};
   aes_.EncryptBlock(h, h);
+  std::memcpy(h_, h, 16);
 
   uint64_t vh = LoadU64BE(h);
   uint64_t vl = LoadU64BE(h + 8);
 
-  hl_[8] = vl;
-  hh_[8] = vh;
+  // 8-bit Shoup tables: base entries at the single-bit indices are
+  // H · x^{-j} (index 0x80 >> j), every other index is the XOR of its
+  // set bits' bases.
   hh_[0] = 0;
   hl_[0] = 0;
-
-  for (int i = 4; i > 0; i >>= 1) {
+  hh_[0x80] = vh;
+  hl_[0x80] = vl;
+  for (int i = 0x40; i > 0; i >>= 1) {
     uint32_t t = static_cast<uint32_t>(vl & 1) * 0xe1000000U;
     vl = (vh << 63) | (vl >> 1);
     vh = (vh >> 1) ^ (static_cast<uint64_t>(t) << 32);
     hl_[i] = vl;
     hh_[i] = vh;
   }
-  for (int i = 2; i <= 8; i *= 2) {
-    uint64_t base_h = hh_[i], base_l = hl_[i];
+  for (int i = 2; i <= 0x80; i *= 2) {
+    const uint64_t base_h = hh_[i], base_l = hl_[i];
     for (int j = 1; j < i; ++j) {
       hh_[i + j] = base_h ^ hh_[j];
       hl_[i + j] = base_l ^ hl_[j];
@@ -62,40 +86,34 @@ AesGcm::AesGcm(util::ByteSpan key) : aes_(key) {
   }
 }
 
-void AesGcm::GHashBlock(uint64_t& zh, uint64_t& zl,
-                        const uint8_t block[16]) const {
-  uint8_t x[16];
-  // XOR the running value into the block (GHASH chaining).
-  uint64_t yh = zh ^ LoadU64BE(block);
-  uint64_t yl = zl ^ LoadU64BE(block + 8);
-  StoreU64BE(x, yh);
-  StoreU64BE(x + 8, yl);
-
-  uint8_t lo = x[15] & 0xf;
-  uint64_t rzh = hh_[lo];
-  uint64_t rzl = hl_[lo];
-
-  for (int i = 15; i >= 0; --i) {
-    lo = x[i] & 0xf;
-    uint8_t hi = (x[i] >> 4) & 0xf;
-
-    if (i != 15) {
-      uint8_t rem = static_cast<uint8_t>(rzl & 0xf);
-      rzl = (rzh << 60) | (rzl >> 4);
-      rzh = rzh >> 4;
-      rzh ^= kLast4[rem] << 48;
-      rzh ^= hh_[lo];
-      rzl ^= hl_[lo];
-    }
-    uint8_t rem = static_cast<uint8_t>(rzl & 0xf);
-    rzl = (rzh << 60) | (rzl >> 4);
-    rzh = rzh >> 4;
-    rzh ^= kLast4[rem] << 48;
-    rzh ^= hh_[hi];
-    rzl ^= hl_[hi];
+void AesGcm::GHashBlocks(uint64_t& zh, uint64_t& zl, const uint8_t* blocks,
+                         size_t nblocks) const {
+  if (AesGcmAccelerated()) {
+    accel::GhashBlocks(h_, zh, zl, blocks, nblocks);
+    return;
   }
-  zh = rzh;
-  zl = rzl;
+  uint8_t x[16];
+  for (size_t b = 0; b < nblocks; ++b) {
+    // XOR the running value into the block (GHASH chaining), then
+    // multiply by H one byte digit at a time.
+    const uint64_t yh = zh ^ LoadU64BE(blocks + 16 * b);
+    const uint64_t yl = zl ^ LoadU64BE(blocks + 16 * b + 8);
+    StoreU64BE(x, yh);
+    StoreU64BE(x + 8, yl);
+
+    uint64_t rzh = hh_[x[15]];
+    uint64_t rzl = hl_[x[15]];
+    for (int i = 14; i >= 0; --i) {
+      const uint8_t rem = static_cast<uint8_t>(rzl & 0xff);
+      rzl = (rzh << 56) | (rzl >> 8);
+      rzh = rzh >> 8;
+      rzh ^= static_cast<uint64_t>(kRem8[rem]) << 48;
+      rzh ^= hh_[x[i]];
+      rzl ^= hl_[x[i]];
+    }
+    zh = rzh;
+    zl = rzl;
+  }
 }
 
 void AesGcm::GHash(util::ByteSpan aad, util::ByteSpan data,
@@ -104,12 +122,12 @@ void AesGcm::GHash(util::ByteSpan aad, util::ByteSpan data,
   uint8_t block[16];
 
   auto process = [&](util::ByteSpan d) {
-    size_t i = 0;
-    for (; i + 16 <= d.size(); i += 16) GHashBlock(zh, zl, d.data() + i);
-    if (i < d.size()) {
+    const size_t full = d.size() / 16;
+    if (full > 0) GHashBlocks(zh, zl, d.data(), full);
+    if (full * 16 < d.size()) {
       std::memset(block, 0, 16);
-      std::memcpy(block, d.data() + i, d.size() - i);
-      GHashBlock(zh, zl, block);
+      std::memcpy(block, d.data() + full * 16, d.size() - full * 16);
+      GHashBlocks(zh, zl, block, 1);
     }
   };
 
@@ -118,7 +136,7 @@ void AesGcm::GHash(util::ByteSpan aad, util::ByteSpan data,
 
   StoreU64BE(block, static_cast<uint64_t>(aad.size()) * 8);
   StoreU64BE(block + 8, static_cast<uint64_t>(data.size()) * 8);
-  GHashBlock(zh, zl, block);
+  GHashBlocks(zh, zl, block, 1);
 
   StoreU64BE(out, zh);
   StoreU64BE(out + 8, zl);
@@ -126,6 +144,11 @@ void AesGcm::GHash(util::ByteSpan aad, util::ByteSpan data,
 
 void AesGcm::CtrCrypt(const uint8_t j0[16], util::ByteSpan in,
                       uint8_t* out) const {
+  if (AesGcmAccelerated()) {
+    accel::CtrXor(aes_.round_key_words(), aes_.rounds(), j0, in.data(), out,
+                  in.size());
+    return;
+  }
   uint8_t counter[16];
   std::memcpy(counter, j0, 16);
   uint8_t keystream[16];

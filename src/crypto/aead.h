@@ -47,16 +47,27 @@ class AesGcm {
                                    uint8_t* buf, size_t len) const;
 
  private:
-  void GHashBlock(uint64_t& zh, uint64_t& zl, const uint8_t block[16]) const;
+  // Folds `nblocks` full 16-byte blocks into the running GHASH state,
+  // dispatching per call between PCLMUL and the 8-bit tables. Both
+  // paths compute the same exact GF(2^128) arithmetic, so ciphertext
+  // and tags are identical regardless of which one runs.
+  void GHashBlocks(uint64_t& zh, uint64_t& zl, const uint8_t* blocks,
+                   size_t nblocks) const;
   void GHash(util::ByteSpan aad, util::ByteSpan data, uint8_t out[16]) const;
   void CtrCrypt(const uint8_t j0[16], util::ByteSpan in, uint8_t* out) const;
   void ComputeTag(util::ByteSpan nonce, util::ByteSpan aad,
                   util::ByteSpan ciphertext, uint8_t tag[16]) const;
 
   Aes aes_;
-  // Shoup 4-bit GHASH tables for H = E(K, 0).
-  uint64_t hl_[16];
-  uint64_t hh_[16];
+  uint8_t h_[16];  // H = E(K, 0): the PCLMUL path's multiplier
+  // Shoup 8-bit GHASH tables (4 KiB) for the portable path.
+  uint64_t hl_[256];
+  uint64_t hh_[256];
 };
+
+// True when Seal/Open/SealInPlace/OpenInPlace run the AES-NI + PCLMUL
+// fast path on this host (TU compiled in, CPUID approves, MVTEE_SIMD
+// not 0). Output bytes are identical either way.
+bool AesGcmAccelerated();
 
 }  // namespace mvtee::crypto

@@ -24,6 +24,11 @@ class Aes {
 
   int rounds() const { return rounds_; }
 
+  // Raw expanded schedule, 4 big-endian words per round key — consumed
+  // by the AES-NI TU (crypto/aes_accel.cc) to rebuild its native-order
+  // round keys; the schedule itself is computed once, portably.
+  const uint32_t* round_key_words() const { return round_keys_; }
+
  private:
   void ExpandKey(util::ByteSpan key);
 

@@ -1,0 +1,200 @@
+// AES-NI pipelined CTR + PCLMUL GHASH. Compiled with -maes -mpclmul
+// -mssse3 (per-file, see crypto/CMakeLists.txt); only reached after
+// runtime CPUID dispatch (util::UseAesGcmAccel) approves.
+#include "crypto/aes_accel.h"
+
+#if defined(__AES__) && defined(__PCLMUL__) && defined(__SSSE3__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace mvtee::crypto::accel {
+
+bool Compiled() { return true; }
+
+namespace {
+
+// Round keys are kept as big-endian words by the portable schedule;
+// AESENC wants them in state byte order (word bytes MSB-first).
+inline __m128i LoadRoundKey(const uint32_t* w) {
+  uint8_t b[16];
+  for (int c = 0; c < 4; ++c) {
+    b[4 * c + 0] = static_cast<uint8_t>(w[c] >> 24);
+    b[4 * c + 1] = static_cast<uint8_t>(w[c] >> 16);
+    b[4 * c + 2] = static_cast<uint8_t>(w[c] >> 8);
+    b[4 * c + 3] = static_cast<uint8_t>(w[c]);
+  }
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+}
+
+inline void Inc32(uint8_t ctr[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++ctr[i] != 0) break;
+  }
+}
+
+inline __m128i EncryptOne(__m128i block, const __m128i* rk, int rounds) {
+  block = _mm_xor_si128(block, rk[0]);
+  for (int r = 1; r < rounds; ++r) block = _mm_aesenc_si128(block, rk[r]);
+  return _mm_aesenclast_si128(block, rk[rounds]);
+}
+
+// GF(2^128) carry-less multiply with GCM's reflected bit order
+// (Intel CLMUL white paper, "gfmul" for byte-reversed operands):
+// 4 CLMULs build the 256-bit product, a 1-bit left shift accounts for
+// the reflection, then a two-phase shift-based reduction folds the
+// result modulo x^128 + x^7 + x^2 + x + 1.
+inline __m128i GfMul(__m128i a, __m128i b) {
+  __m128i tmp3 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i tmp4 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i tmp5 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i tmp6 = _mm_clmulepi64_si128(a, b, 0x11);
+
+  tmp4 = _mm_xor_si128(tmp4, tmp5);
+  tmp5 = _mm_slli_si128(tmp4, 8);
+  tmp4 = _mm_srli_si128(tmp4, 8);
+  tmp3 = _mm_xor_si128(tmp3, tmp5);
+  tmp6 = _mm_xor_si128(tmp6, tmp4);
+
+  __m128i tmp7 = _mm_srli_epi32(tmp3, 31);
+  __m128i tmp8 = _mm_srli_epi32(tmp6, 31);
+  tmp3 = _mm_slli_epi32(tmp3, 1);
+  tmp6 = _mm_slli_epi32(tmp6, 1);
+
+  __m128i tmp9 = _mm_srli_si128(tmp7, 12);
+  tmp8 = _mm_slli_si128(tmp8, 4);
+  tmp7 = _mm_slli_si128(tmp7, 4);
+  tmp3 = _mm_or_si128(tmp3, tmp7);
+  tmp6 = _mm_or_si128(tmp6, tmp8);
+  tmp6 = _mm_or_si128(tmp6, tmp9);
+
+  tmp7 = _mm_slli_epi32(tmp3, 31);
+  tmp8 = _mm_slli_epi32(tmp3, 30);
+  tmp9 = _mm_slli_epi32(tmp3, 25);
+  tmp7 = _mm_xor_si128(tmp7, tmp8);
+  tmp7 = _mm_xor_si128(tmp7, tmp9);
+  tmp8 = _mm_srli_si128(tmp7, 4);
+  tmp7 = _mm_slli_si128(tmp7, 12);
+  tmp3 = _mm_xor_si128(tmp3, tmp7);
+
+  __m128i tmp2 = _mm_srli_epi32(tmp3, 1);
+  tmp4 = _mm_srli_epi32(tmp3, 2);
+  tmp5 = _mm_srli_epi32(tmp3, 7);
+  tmp2 = _mm_xor_si128(tmp2, tmp4);
+  tmp2 = _mm_xor_si128(tmp2, tmp5);
+  tmp2 = _mm_xor_si128(tmp2, tmp8);
+  tmp3 = _mm_xor_si128(tmp3, tmp2);
+  return _mm_xor_si128(tmp6, tmp3);
+}
+
+inline __m128i ByteSwap(__m128i x) {
+  const __m128i mask = _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                    12, 13, 14, 15);
+  return _mm_shuffle_epi8(x, mask);
+}
+
+inline void StoreU64BE(uint8_t* p, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+inline uint64_t LoadU64BE(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void CtrXor(const uint32_t* round_key_words, int rounds,
+            const uint8_t j0[16], const uint8_t* in, uint8_t* out,
+            size_t len) {
+  __m128i rk[15];
+  for (int r = 0; r <= rounds; ++r) {
+    rk[r] = LoadRoundKey(round_key_words + 4 * r);
+  }
+  uint8_t ctr[16];
+  std::memcpy(ctr, j0, 16);
+
+  size_t off = 0;
+  // 8-block pipeline: AESENC latency is ~4 cycles with 1-2/cycle
+  // throughput, so interleaving 8 independent streams keeps the unit
+  // saturated instead of serializing on one block's round chain.
+  while (len - off >= 8 * 16) {
+    __m128i s[8];
+    for (int b = 0; b < 8; ++b) {
+      Inc32(ctr);
+      s[b] = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctr)), rk[0]);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      for (int b = 0; b < 8; ++b) s[b] = _mm_aesenc_si128(s[b], rk[r]);
+    }
+    for (int b = 0; b < 8; ++b) s[b] = _mm_aesenclast_si128(s[b], rk[rounds]);
+    for (int b = 0; b < 8; ++b) {
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off + 16 * b));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16 * b),
+                       _mm_xor_si128(d, s[b]));
+    }
+    off += 8 * 16;
+  }
+  while (len - off >= 16) {
+    Inc32(ctr);
+    const __m128i ks = EncryptOne(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctr)), rk, rounds);
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off),
+                     _mm_xor_si128(d, ks));
+    off += 16;
+  }
+  if (off < len) {
+    Inc32(ctr);
+    uint8_t ks[16];
+    const __m128i e = EncryptOne(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctr)), rk, rounds);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(ks), e);
+    for (size_t i = 0; off + i < len; ++i) out[off + i] = in[off + i] ^ ks[i];
+  }
+}
+
+void GhashBlocks(const uint8_t h[16], uint64_t& zh, uint64_t& zl,
+                 const uint8_t* blocks, size_t nblocks) {
+  const __m128i hv =
+      ByteSwap(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)));
+  uint8_t y_bytes[16];
+  StoreU64BE(y_bytes, zh);
+  StoreU64BE(y_bytes + 8, zl);
+  __m128i y =
+      ByteSwap(_mm_loadu_si128(reinterpret_cast<const __m128i*>(y_bytes)));
+  for (size_t i = 0; i < nblocks; ++i) {
+    const __m128i x = ByteSwap(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(blocks + 16 * i)));
+    y = GfMul(_mm_xor_si128(y, x), hv);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(y_bytes), ByteSwap(y));
+  zh = LoadU64BE(y_bytes);
+  zl = LoadU64BE(y_bytes + 8);
+}
+
+}  // namespace mvtee::crypto::accel
+
+#else  // missing AES-NI/PCLMUL/SSSE3 flags: stubs so the TU links.
+
+namespace mvtee::crypto::accel {
+
+bool Compiled() { return false; }
+
+void CtrXor(const uint32_t*, int, const uint8_t[16], const uint8_t*,
+            uint8_t*, size_t) {}
+
+void GhashBlocks(const uint8_t[16], uint64_t&, uint64_t&, const uint8_t*,
+                 size_t) {}
+
+}  // namespace mvtee::crypto::accel
+
+#endif

@@ -1,0 +1,34 @@
+// Internal interface of the AES-NI + PCLMUL TU (aes_accel.cc).
+//
+// aes_accel.cc is the only crypto TU compiled with -maes -mpclmul
+// -mssse3; its functions must only be reached after the caller has
+// consulted util::UseAesGcmAccel(). On targets without those flags the
+// TU compiles to stubs and Compiled() returns false, leaving AES-GCM on
+// the portable 8-bit-table path. GCM is exact, so both paths produce
+// identical ciphertext and tags byte for byte — dispatch here is purely
+// a throughput decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mvtee::crypto::accel {
+
+// True when this binary carries the AES-NI/PCLMUL implementations.
+bool Compiled();
+
+// CTR keystream XOR with pipelined 8-block AES-NI encryption.
+// `round_key_words` is Aes::round_key_words() (big-endian words);
+// the 32-bit counter in j0[12..16) is incremented *before* each block,
+// matching AesGcm::CtrCrypt. in/out may alias.
+void CtrXor(const uint32_t* round_key_words, int rounds,
+            const uint8_t j0[16], const uint8_t* in, uint8_t* out,
+            size_t len);
+
+// GHASH over `nblocks` full 16-byte blocks with carry-less multiply:
+// folds each block into the running state held as big-endian halves
+// (zh, zl), exactly like the portable table path.
+void GhashBlocks(const uint8_t h[16], uint64_t& zh, uint64_t& zl,
+                 const uint8_t* blocks, size_t nblocks);
+
+}  // namespace mvtee::crypto::accel

@@ -42,6 +42,22 @@ ExecutorConfig TvmLikeExecutorConfig() {
   return cfg;
 }
 
+ExecutorConfig MklLikeExecutorConfig() {
+  ExecutorConfig cfg;
+  cfg.name = "mkl";
+  cfg.conv_algo = ConvAlgo::kIm2col;
+  // The vectorized library analog: FMA accumulation gives this preset a
+  // fourth distinct rounding profile (fused multiply-adds round once per
+  // step), bitwise different from all scalar backends yet numerically
+  // close — exactly the diversity the threshold checks expect. Runtime
+  // dispatch only swaps vector vs scalar-fmaf execution of the *same*
+  // order, so host capability never changes this variant's outputs.
+  cfg.gemm = GemmBackend::kAvx2;
+  cfg.fold_batch_norm = true;
+  cfg.inplace_activations = true;
+  return cfg;
+}
+
 ExecutorConfig HardenedExecutorConfig() {
   ExecutorConfig cfg;
   cfg.name = "hardened";

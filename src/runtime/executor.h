@@ -41,6 +41,7 @@ ExecutorConfig ReferenceExecutorConfig();
 ExecutorConfig OrtLikeExecutorConfig();      // optimized: fold + fuse + blocked
 ExecutorConfig TvmLikeExecutorConfig();      // tiled/compiled: transposed GEMM
 ExecutorConfig HardenedExecutorConfig();     // bounds-checked, slower
+ExecutorConfig MklLikeExecutorConfig();      // vectorized: AVX2/FMA packed panels
 
 // Fault hook: the seam where the fault-injection substrate attaches.
 // Production variants run with no hook installed.

@@ -1,10 +1,13 @@
 #include "runtime/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "runtime/gemm_avx2.h"
+#include "util/cpu_features.h"
 #include "util/status.h"
 
 namespace mvtee::runtime {
@@ -14,8 +17,13 @@ std::string_view GemmBackendName(GemmBackend backend) {
     case GemmBackend::kNaive: return "naive";
     case GemmBackend::kBlocked: return "blocked";
     case GemmBackend::kTransposed: return "transposed";
+    case GemmBackend::kAvx2: return "avx2";
   }
   return "unknown";
+}
+
+bool GemmAvx2Accelerated() {
+  return internal::Avx2KernelCompiled() && util::UseAvx2Gemm();
 }
 
 namespace {
@@ -86,6 +94,74 @@ void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
   });
 }
 
+// Scalar twin of the AVX2 microkernel for C columns [j0, j1): each
+// C[i][j] is one fused-multiply-add chain over p = 0..k-1. fmaf rounds
+// once per step exactly like vfmadd, so this path is bitwise identical
+// to the vector path — it serves both as the portable fallback and as
+// the tail-column handler next to the 16-wide panels.
+void GemmAvx2ScalarCols(const float* a, const float* b, float* c,
+                        int64_t row0, int64_t row1, int64_t j0, int64_t j1,
+                        int64_t n, int64_t k) {
+  for (int64_t i = row0; i < row1; ++i) {
+    const float* a_row = a + i * k;
+    for (int64_t j = j0; j < j1; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc = std::fmaf(a_row[p], b[p * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t n,
+              int64_t k, util::ThreadPool* pool) {
+  const int64_t full_cols =
+      (n / internal::kAvx2PanelCols) * internal::kAvx2PanelCols;
+  const bool vectorized = GemmAvx2Accelerated() && full_cols > 0;
+
+  // Pack B's full panels once (column panels of 16, contiguous along
+  // p) so the microkernel streams two cache lines per k step; shards
+  // share the packed copy read-only.
+  std::vector<float> packed;
+  if (vectorized) {
+    packed.resize(static_cast<size_t>(full_cols * k));
+    for (int64_t panel = 0; panel < full_cols / internal::kAvx2PanelCols;
+         ++panel) {
+      for (int64_t p = 0; p < k; ++p) {
+        std::memcpy(
+            packed.data() + (panel * k + p) * internal::kAvx2PanelCols,
+            b + p * n + panel * internal::kAvx2PanelCols,
+            static_cast<size_t>(internal::kAvx2PanelCols) * sizeof(float));
+      }
+    }
+  }
+
+  auto compute_rows = [&](int64_t row0, int64_t row1) {
+    if (vectorized) {
+      internal::GemmAvx2KernelRows(a, packed.data(), c, row0, row1, n, k);
+    } else if (full_cols > 0) {
+      GemmAvx2ScalarCols(a, b, c, row0, row1, 0, full_cols, n, k);
+    }
+    if (full_cols < n) {
+      GemmAvx2ScalarCols(a, b, c, row0, row1, full_cols, n, n, k);
+    }
+  };
+
+  if (pool == nullptr || !WorthSharding(m, n, k)) {
+    compute_rows(0, m);
+    return;
+  }
+  static obs::Counter& parallel_tiles =
+      obs::Registry::Default().GetCounter("gemm.parallel_tiles");
+  const size_t tiles = static_cast<size_t>((m + kTile - 1) / kTile);
+  parallel_tiles.Add(tiles);
+  pool->ParallelFor(tiles, [&](size_t t) {
+    const int64_t row0 = static_cast<int64_t>(t) * kTile;
+    compute_rows(row0, std::min(row0 + kTile, m));
+  });
+}
+
 void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
                     int64_t n, int64_t k) {
   std::vector<float> bt(static_cast<size_t>(n * k));
@@ -128,6 +204,7 @@ void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
     case GemmBackend::kNaive: GemmNaive(a, b, c, m, n, k); return;
     case GemmBackend::kBlocked: GemmBlocked(a, b, c, m, n, k, pool); return;
     case GemmBackend::kTransposed: GemmTransposed(a, b, c, m, n, k); return;
+    case GemmBackend::kAvx2: GemmAvx2(a, b, c, m, n, k, pool); return;
   }
   MVTEE_CHECK(false);
 }
@@ -136,15 +213,22 @@ void GemmChecked(GemmBackend backend, const float* a, size_t a_size,
                  const float* b, size_t b_size, float* c, size_t c_size,
                  int64_t m, int64_t n, int64_t k) {
   MVTEE_CHECK(m >= 0 && n >= 0 && k >= 0);
-  MVTEE_CHECK(a_size >= static_cast<size_t>(m * k));
-  MVTEE_CHECK(b_size >= static_cast<size_t>(k * n));
-  MVTEE_CHECK(c_size >= static_cast<size_t>(m * n));
+  // Adversarially large extents must not slip past the bounds check by
+  // overflowing the products, so multiply with overflow detection and
+  // abort on wrap — this function exists to catch exactly such inputs.
+  int64_t mk = 0, kn = 0, mn = 0;
+  MVTEE_CHECK(!__builtin_mul_overflow(m, k, &mk));
+  MVTEE_CHECK(!__builtin_mul_overflow(k, n, &kn));
+  MVTEE_CHECK(!__builtin_mul_overflow(m, n, &mn));
+  MVTEE_CHECK(a_size >= static_cast<size_t>(mk));
+  MVTEE_CHECK(b_size >= static_cast<size_t>(kn));
+  MVTEE_CHECK(c_size >= static_cast<size_t>(mn));
   // With extents proven, reuse the unchecked kernels; the checked entry
   // point also pays a deliberate per-element validation pass to model
   // sanitizer-instrumented builds.
   float guard = 0.0f;
-  for (size_t i = 0; i < static_cast<size_t>(m * k); ++i) guard = guard + a[i] * 0.0f;
-  for (size_t i = 0; i < static_cast<size_t>(k * n); ++i) guard = guard + b[i] * 0.0f;
+  for (size_t i = 0; i < static_cast<size_t>(mk); ++i) guard = guard + a[i] * 0.0f;
+  for (size_t i = 0; i < static_cast<size_t>(kn); ++i) guard = guard + b[i] * 0.0f;
   static volatile float g_guard_sink [[maybe_unused]];
   g_guard_sink = guard;
   Gemm(backend, a, b, c, m, n, k);

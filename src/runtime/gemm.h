@@ -2,11 +2,20 @@
 //
 // The paper's instance-level diversity comes from different acceleration
 // libraries (OpenBLAS vs Eigen vs MKL) under different runtimes. Here the
-// same role is played by three genuinely distinct GEMM implementations
+// same role is played by four genuinely distinct GEMM implementations
 // with different loop orders, memory access patterns and floating-point
 // accumulation orders — so diversified variants produce *bitwise
 // different but numerically close* results, exactly the situation
 // MVTEE's threshold-based checkpoint checks are designed for.
+//
+// kAvx2 is the vectorized member of the family: a packed-panel FMA
+// microkernel compiled into its own TU with -mavx2 -mfma and selected
+// through util::cpu_features runtime dispatch. Its scalar fallback
+// (compiled unconditionally, fmaf-based) reproduces the microkernel's
+// fused-multiply-add accumulation order exactly, so a given input
+// yields bitwise identical results whether the host dispatches the
+// vector path or the fallback — dispatch is a speed decision, never a
+// diversity axis.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +29,8 @@ enum class GemmBackend : uint8_t {
   kNaive = 0,      // textbook i-j-k ("reference BLAS")
   kBlocked,        // cache-tiled i-k-j ("OpenBLAS-like")
   kTransposed,     // B transposed then row-dot ("Eigen-like")
+  kAvx2,           // packed-panel FMA microkernel ("MKL-like"), runtime
+                   // dispatched with a bitwise-identical scalar fallback
 };
 
 std::string_view GemmBackendName(GemmBackend backend);
@@ -43,5 +54,10 @@ void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
 void GemmChecked(GemmBackend backend, const float* a, size_t a_size,
                  const float* b, size_t b_size, float* c, size_t c_size,
                  int64_t m, int64_t n, int64_t k);
+
+// True when the kAvx2 backend will run its vector microkernel on this
+// host (TU compiled in, CPUID says AVX2+FMA, MVTEE_SIMD not 0). When
+// false, kAvx2 still works through the scalar fmaf fallback.
+bool GemmAvx2Accelerated();
 
 }  // namespace mvtee::runtime

@@ -1,0 +1,32 @@
+// Internal interface of the AVX2/FMA GEMM microkernel TU (gemm_avx2.cc).
+//
+// gemm_avx2.cc is the only runtime TU compiled with -mavx2 -mfma; it
+// must contain nothing that executes before the caller has consulted
+// util::UseAvx2Gemm(). On targets where those flags are unavailable the
+// TU compiles to a stub whose Avx2KernelCompiled() returns false and
+// the kAvx2 backend runs its scalar fmaf fallback (gemm.cc), which
+// reproduces the microkernel's accumulation order bitwise.
+#pragma once
+
+#include <cstdint>
+
+namespace mvtee::runtime::internal {
+
+// Microkernel geometry. 16 columns = two YMM accumulators per row;
+// 6 rows fills the register file (12 accumulators + 2 B loads + 1
+// broadcast out of 16 YMM registers).
+inline constexpr int64_t kAvx2PanelCols = 16;
+inline constexpr int64_t kAvx2RowBlock = 6;
+
+// True when this binary carries the vector microkernel.
+bool Avx2KernelCompiled();
+
+// Computes C rows [row0,row1) over the full 16-column panels of
+// `packed_b` (layout: packed_b[(panel*k + p)*16 + lane], covering
+// columns [0, 16*(n/16))). Tail columns are the caller's job. Each
+// C[i][j] accumulates p = 0..k-1 as a single fused-multiply-add chain —
+// the contract the scalar fallback mirrors with fmaf.
+void GemmAvx2KernelRows(const float* a, const float* packed_b, float* c,
+                        int64_t row0, int64_t row1, int64_t n, int64_t k);
+
+}  // namespace mvtee::runtime::internal

@@ -1,0 +1,81 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mvtee::util {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.aes = __builtin_cpu_supports("aes");
+  f.pclmul = __builtin_cpu_supports("pclmul");
+  f.ssse3 = __builtin_cpu_supports("ssse3");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+bool SimdEnabledFromEnv() {
+  const char* e = std::getenv("MVTEE_SIMD");
+  // Only "0" disables; absent or any other value keeps dispatch on.
+  return e == nullptr || !(e[0] == '0' && e[1] == '\0');
+}
+
+// Tri-state so ScopedForceScalar can restore the env-derived default.
+std::atomic<bool> g_force_scalar{false};
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+bool SimdEnabled() {
+  static const bool env_enabled = SimdEnabledFromEnv();
+  return env_enabled && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+bool UseAvx2Gemm() {
+  const CpuFeatures& f = HostCpuFeatures();
+  return f.avx2 && f.fma && SimdEnabled();
+}
+
+bool UseAesGcmAccel() {
+  const CpuFeatures& f = HostCpuFeatures();
+  return f.aes && f.pclmul && f.ssse3 && SimdEnabled();
+}
+
+std::string CpuFeatureString() {
+  const CpuFeatures& f = HostCpuFeatures();
+  std::string out;
+  auto add = [&](bool has, const char* name) {
+    if (!has) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(f.avx2, "avx2");
+  add(f.fma, "fma");
+  add(f.aes, "aes");
+  add(f.pclmul, "pclmul");
+  add(f.ssse3, "ssse3");
+  add(f.avx512f, "avx512f");
+  if (out.empty()) out = "scalar";
+  return out;
+}
+
+ScopedForceScalar::ScopedForceScalar() {
+  g_force_scalar.store(true, std::memory_order_relaxed);
+}
+
+ScopedForceScalar::~ScopedForceScalar() {
+  g_force_scalar.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace mvtee::util

@@ -1,7 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/logging.h"
 
 namespace mvtee::util {
 
@@ -87,13 +90,47 @@ void ThreadPool::ParallelFor(size_t n,
   });
 }
 
+size_t ThreadPool::ResolveThreadCount(const char* env_value,
+                                      size_t hardware) {
+  if (env_value == nullptr) return hardware;
+  // strtoull accepts leading whitespace, '+'/'-' signs and partial
+  // parses; reject all of those explicitly so "abc", "-3" or "4q" fall
+  // back to the hardware default with a diagnostic instead of silently
+  // becoming 0 (or a huge wrapped-around) workers.
+  const char* p = env_value;
+  if (*p == '\0') {
+    MVTEE_WLOG << "MVTEE_THREADS is empty; using default " << hardware;
+    return hardware;
+  }
+  for (const char* q = p; *q != '\0'; ++q) {
+    if (*q < '0' || *q > '9') {
+      MVTEE_WLOG << "MVTEE_THREADS=\"" << env_value
+                 << "\" is not a non-negative integer; using default "
+                 << hardware;
+      return hardware;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  // One thread per hardware context is already the useful maximum; a
+  // four-digit cap just guards against typos spawning thousands of
+  // OS threads.
+  constexpr unsigned long long kMaxThreads = 4096;
+  if (errno == ERANGE || *end != '\0' || v == 0 || v > kMaxThreads) {
+    MVTEE_WLOG << "MVTEE_THREADS=\"" << env_value << "\" out of range (1-"
+               << kMaxThreads << "); using default " << hardware;
+    return hardware;
+  }
+  return static_cast<size_t>(v);
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* pool = [] {
-    size_t threads = std::min<size_t>(
-        std::max(1u, std::thread::hardware_concurrency()), 8);
-    if (const char* e = std::getenv("MVTEE_THREADS")) {
-      threads = static_cast<size_t>(std::strtoull(e, nullptr, 10));
-    }
+    const size_t hardware =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    const size_t threads =
+        ResolveThreadCount(std::getenv("MVTEE_THREADS"), hardware);
     const size_t workers = threads > 1 ? threads - 1 : 0;
     return new ThreadPool(workers);
   }();

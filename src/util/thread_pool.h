@@ -3,9 +3,11 @@
 // One pool per process, shared by every variant host: multi-variant
 // redundancy already multiplies compute by the variant count, so
 // per-variant pools would oversubscribe the machine. Sizing comes from
-// MVTEE_THREADS (default: hardware_concurrency, capped at 8). With
-// zero workers ParallelFor degrades to an inline serial loop, so the
-// pool is safe to use unconditionally.
+// MVTEE_THREADS (default: hardware_concurrency — uncapped, wide
+// servers get every core). A malformed MVTEE_THREADS value is rejected
+// with a logged warning and the default is used instead of silently
+// collapsing to zero workers. With zero workers ParallelFor degrades
+// to an inline serial loop, so the pool is safe to use unconditionally.
 #pragma once
 
 #include <atomic>
@@ -38,6 +40,12 @@ class ThreadPool {
   // Process-wide pool sized by MVTEE_THREADS ("1" or "0" → no workers,
   // everything inline).
   static ThreadPool& Shared();
+
+  // Resolves a MVTEE_THREADS value against the hardware default.
+  // `env_value` may be nullptr (unset). Non-numeric, negative,
+  // empty or absurdly large values are rejected with a logged warning
+  // and `hardware` is returned. Exposed for tests; Shared() uses it.
+  static size_t ResolveThreadCount(const char* env_value, size_t hardware);
 
  private:
   struct Job {

@@ -72,7 +72,7 @@ util::Result<VariantSpec> VariantSpec::Deserialize(util::ByteSpan data) {
     return util::InvalidArgument("truncated exec config");
   }
   if (conv_algo > static_cast<uint8_t>(runtime::ConvAlgo::kIm2col) ||
-      gemm > static_cast<uint8_t>(runtime::GemmBackend::kTransposed)) {
+      gemm > static_cast<uint8_t>(runtime::GemmBackend::kAvx2)) {
     return util::InvalidArgument("bad exec config enums");
   }
   spec.exec_config.conv_algo = static_cast<runtime::ConvAlgo>(conv_algo);
@@ -152,6 +152,12 @@ const std::vector<Recipe>& Recipes() {
       {"ort-decomposed",
        runtime::OrtLikeExecutorConfig,
        {GraphTransform::kInsertDummyOps, GraphTransform::kSplitConv}},
+      // Appended last so existing pools (vi < 5) keep their recipes:
+      // the vectorized "fourth library" joins the rotation for wider
+      // panels without reshuffling anyone else's diversity assignment.
+      {"mkl-avx2",
+       runtime::MklLikeExecutorConfig,
+       {GraphTransform::kReorderCommutative}},
   };
   return recipes;
 }

@@ -9,6 +9,7 @@
 #include "crypto/sha256.h"
 #include "crypto/x25519.h"
 #include "util/bytes.h"
+#include "util/cpu_features.h"
 
 namespace mvtee::crypto {
 namespace {
@@ -322,6 +323,124 @@ TEST(GcmTest, InPlaceSealMatchesCopyingSeal) {
     ASSERT_TRUE(n.ok()) << len;
     EXPECT_EQ(*n, len);
     EXPECT_TRUE(std::equal(pt.begin(), pt.end(), buf.begin()));
+  }
+}
+
+// ------------------------------------------------- GCM SIMD dispatch
+//
+// AES-GCM must be a single cipher with two speeds: whatever mix of
+// AES-NI/PCLMUL and portable table code the dispatcher picks, the
+// ciphertext and tag are bitwise identical. These run in one process
+// and flip the path with ScopedForceScalar; CI additionally reruns the
+// whole suite under MVTEE_SIMD=0 so the portable path is exercised as
+// the default on its own leg.
+
+TEST(GcmDispatchTest, NistKatsPassOnForcedScalarPath) {
+  util::ScopedForceScalar force_scalar;
+  ASSERT_FALSE(AesGcmAccelerated());
+  // GCM spec test case 4 (AES-128, AAD, partial final block).
+  {
+    AesGcm gcm(FromHex("feffe9928665731c6d6a8f9467308308"));
+    auto sealed = gcm.Seal(
+        FromHex("cafebabefacedbaddecaf888"),
+        FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2"),
+        FromHex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"));
+    EXPECT_EQ(HexEncode(sealed),
+              "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+              "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+              "5bc94fbc3221a5db94fae95ae7121a47");
+  }
+  // GCM spec test case 16 (AES-256).
+  {
+    AesGcm gcm(FromHex(
+        "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"));
+    auto sealed = gcm.Seal(
+        FromHex("cafebabefacedbaddecaf888"),
+        FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2"),
+        FromHex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"));
+    EXPECT_EQ(HexEncode(sealed),
+              "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+              "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+              "76fc6ece0f4e1768cddf8853bb2d551b");
+  }
+}
+
+TEST(GcmDispatchTest, SealBitwiseIdenticalAcrossPaths) {
+  Bytes key(32, 0x7a);
+  Bytes nonce(12, 0x1b);
+  AesGcm gcm(key);
+  // Lengths probing every CTR/GHASH code path: empty, AAD-only, sub-
+  // block, exact block multiples (the 8-block pipelined main loop and
+  // its single-block remainder), and ragged tails.
+  const std::pair<size_t, size_t> shapes[] = {
+      {0, 0},    {0, 20},   {1, 0},    {15, 7},  {16, 0},   {16, 16},
+      {17, 3},   {32, 0},   {33, 13},  {112, 0}, {128, 24}, {129, 5},
+      {4096, 20} };
+  for (const auto& [pt_len, aad_len] : shapes) {
+    Bytes pt(pt_len), aad(aad_len);
+    for (size_t i = 0; i < pt_len; ++i) pt[i] = static_cast<uint8_t>(i * 13);
+    for (size_t i = 0; i < aad_len; ++i) aad[i] = static_cast<uint8_t>(i + 5);
+
+    const Bytes fast = gcm.Seal(nonce, aad, pt);
+    Bytes scalar;
+    {
+      util::ScopedForceScalar force_scalar;
+      ASSERT_FALSE(AesGcmAccelerated());
+      scalar = gcm.Seal(nonce, aad, pt);
+    }
+    ASSERT_EQ(HexEncode(fast), HexEncode(scalar))
+        << "pt=" << pt_len << " aad=" << aad_len;
+
+    // Cross-path open: bytes sealed on one path authenticate on the
+    // other (what actually happens when peers run different silicon).
+    {
+      util::ScopedForceScalar force_scalar;
+      auto opened = gcm.Open(nonce, aad, fast);
+      ASSERT_TRUE(opened.ok()) << "pt=" << pt_len;
+      EXPECT_EQ(*opened, pt);
+    }
+    auto opened = gcm.Open(nonce, aad, scalar);
+    ASSERT_TRUE(opened.ok()) << "pt=" << pt_len;
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(GcmDispatchTest, InPlacePathsMatchAcrossDispatch) {
+  Bytes key(32, 0x42);
+  Bytes nonce(12, 0x99);
+  auto aad = util::ToBytes("frame header");
+  AesGcm gcm(key);
+  for (size_t len : {size_t{0}, size_t{16}, size_t{129}, size_t{4097}}) {
+    Bytes pt(len);
+    for (size_t i = 0; i < len; ++i) pt[i] = static_cast<uint8_t>(i * 31 + 1);
+
+    Bytes fast = pt;
+    fast.resize(len + kGcmTagSize);
+    gcm.SealInPlace(nonce, aad, fast.data(), len);
+
+    Bytes scalar = pt;
+    scalar.resize(len + kGcmTagSize);
+    {
+      util::ScopedForceScalar force_scalar;
+      gcm.SealInPlace(nonce, aad, scalar.data(), len);
+    }
+    ASSERT_EQ(fast, scalar) << len;
+
+    // Open each buffer on the opposite path it was sealed on.
+    {
+      util::ScopedForceScalar force_scalar;
+      auto n = gcm.OpenInPlace(nonce, aad, fast.data(), fast.size());
+      ASSERT_TRUE(n.ok()) << len;
+      EXPECT_EQ(*n, len);
+    }
+    auto n = gcm.OpenInPlace(nonce, aad, scalar.data(), scalar.size());
+    ASSERT_TRUE(n.ok()) << len;
+    EXPECT_EQ(*n, len);
+    EXPECT_TRUE(std::equal(pt.begin(), pt.end(), scalar.begin())) << len;
   }
 }
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "graph/builder.h"
@@ -8,6 +10,7 @@
 #include "runtime/executor.h"
 #include "runtime/gemm.h"
 #include "runtime/kernels.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 
 namespace mvtee::runtime {
@@ -68,10 +71,81 @@ TEST_P(GemmBackendTest, NonSquareAndOddSizes) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, GemmBackendTest,
                          ::testing::Values(GemmBackend::kNaive,
                                            GemmBackend::kBlocked,
-                                           GemmBackend::kTransposed),
+                                           GemmBackend::kTransposed,
+                                           GemmBackend::kAvx2),
                          [](const auto& info) {
                            return std::string(GemmBackendName(info.param));
                          });
+
+TEST(GemmAvx2Test, DispatchPathsAreBitwiseIdentical) {
+  // The whole point of the scalar fallback: MVTEE_SIMD=0 (or a host
+  // without AVX2) must produce the exact same bits as the vector
+  // kernel, so dispatch is a speed decision and never a diversity axis.
+  util::Rng rng(0xa2f);
+  for (auto [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {3, 5, 7}, {6, 16, 4}, {17, 16, 9}, {65, 63, 66}, {64, 48, 32}}) {
+    std::vector<float> a(static_cast<size_t>(m) * k),
+        b(static_cast<size_t>(k) * n);
+    for (auto& v : a) v = rng.UniformFloat(-1, 1);
+    for (auto& v : b) v = rng.UniformFloat(-1, 1);
+    std::vector<float> fast(static_cast<size_t>(m) * n, -1.0f);
+    std::vector<float> scalar(static_cast<size_t>(m) * n, 1.0f);
+    Gemm(GemmBackend::kAvx2, a.data(), b.data(), fast.data(), m, n, k);
+    {
+      util::ScopedForceScalar force_scalar;
+      ASSERT_FALSE(GemmAvx2Accelerated());
+      Gemm(GemmBackend::kAvx2, a.data(), b.data(), scalar.data(), m, n, k);
+    }
+    ASSERT_EQ(std::memcmp(fast.data(), scalar.data(),
+                          fast.size() * sizeof(float)),
+              0)
+        << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(GemmAvx2Test, ParallelBitwiseIdenticalToSerial) {
+  util::Rng rng(0x517);
+  util::ThreadPool pool(4);
+  for (auto [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {128, 128, 128}, {200, 96, 160}, {257, 129, 70}}) {
+    std::vector<float> a(static_cast<size_t>(m) * k),
+        b(static_cast<size_t>(k) * n);
+    for (auto& v : a) v = rng.UniformFloat(-0.5f, 0.5f);
+    for (auto& v : b) v = rng.UniformFloat(-0.5f, 0.5f);
+    std::vector<float> serial(static_cast<size_t>(m) * n);
+    std::vector<float> parallel(static_cast<size_t>(m) * n);
+    Gemm(GemmBackend::kAvx2, a.data(), b.data(), serial.data(), m, n, k,
+         nullptr);
+    Gemm(GemmBackend::kAvx2, a.data(), b.data(), parallel.data(), m, n, k,
+         &pool);
+    ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(GemmAvx2Test, CloseToNaiveButDistinctRoundingProfile) {
+  // kAvx2 is the fourth diversity backend: numerically close to naive
+  // (threshold voting tolerates it) while its FMA accumulation gives a
+  // different bit pattern on deep reductions.
+  const int m = 64, n = 64, k = 512;
+  util::Rng rng(0xbeef);
+  std::vector<float> a(static_cast<size_t>(m) * k),
+      b(static_cast<size_t>(k) * n);
+  for (auto& v : a) v = rng.UniformFloat(-1, 1);
+  for (auto& v : b) v = rng.UniformFloat(-1, 1);
+  std::vector<float> avx2(static_cast<size_t>(m) * n),
+      naive(static_cast<size_t>(m) * n);
+  Gemm(GemmBackend::kAvx2, a.data(), b.data(), avx2.data(), m, n, k);
+  Gemm(GemmBackend::kNaive, a.data(), b.data(), naive.data(), m, n, k);
+  float max_diff = 0;
+  for (size_t i = 0; i < avx2.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(avx2[i] - naive[i]));
+  }
+  EXPECT_LT(max_diff, 1e-3f);
+  EXPECT_NE(avx2, naive);  // fused rounding differs from two-step
+}
 
 TEST(GemmParallelTest, BitwiseIdenticalToSerial) {
   util::Rng rng(0x6e3a);
@@ -125,6 +199,20 @@ TEST(GemmCheckedTest, MatchesUnchecked) {
   GemmChecked(GemmBackend::kBlocked, a.data(), a.size(), b.data(), b.size(),
               c2.data(), c2.size(), 2, 2, 3);
   EXPECT_EQ(c1, c2);
+}
+
+TEST(GemmCheckedDeathTest, DimensionProductOverflowAborts) {
+  // Regression: m*k near INT64_MAX used to wrap around in the bounds
+  // validation, so a huge bogus shape could pass the size checks and
+  // index out of bounds. The overflow itself must now trip the check.
+  float a[1] = {0}, b[1] = {0}, c[1] = {0};
+  const int64_t big = (int64_t{1} << 62) + 11;  // big * 4 wraps int64
+  EXPECT_DEATH(GemmChecked(GemmBackend::kNaive, a, 1, b, 1, c, 1,
+                           /*m=*/big, /*n=*/1, /*k=*/4),
+               "mul_overflow");
+  EXPECT_DEATH(GemmChecked(GemmBackend::kNaive, a, 1, b, 1, c, 1,
+                           /*m=*/1, /*n=*/big, /*k=*/4),
+               "mul_overflow");
 }
 
 // ---------------------------------------------------------------- kernels
@@ -360,7 +448,8 @@ TEST(ExecutorTest, AllPresetsAgreeNumerically) {
   std::vector<Tensor> results;
   for (const auto& cfg :
        {ReferenceExecutorConfig(), OrtLikeExecutorConfig(),
-        TvmLikeExecutorConfig(), HardenedExecutorConfig()}) {
+        TvmLikeExecutorConfig(), HardenedExecutorConfig(),
+        MklLikeExecutorConfig()}) {
     auto exec = Executor::Create(g, cfg);
     ASSERT_TRUE(exec.ok());
     auto out = (*exec)->Run({input});

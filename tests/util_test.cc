@@ -7,6 +7,7 @@
 
 #include "util/buffer_pool.h"
 #include "util/bytes.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -383,6 +384,43 @@ TEST(ThreadPoolTest, EmptyAndSingleIndexJobs) {
   size_t seen = 1234;
   pool.ParallelFor(1, [&](size_t i) { seen = i; });
   EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountUsesHardwareWhenUnset) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(nullptr, 16), 16u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(nullptr, 1), 1u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountHonorsValidOverride) {
+  // No silent cap: values above the old 8-thread ceiling stick.
+  EXPECT_EQ(ThreadPool::ResolveThreadCount("12", 64), 12u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount("96", 8), 96u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount("1", 8), 1u);
+}
+
+TEST(CpuFeaturesTest, ScopedForceScalarDisablesEveryDispatchPredicate) {
+  ScopedForceScalar force_scalar;
+  EXPECT_FALSE(SimdEnabled());
+  EXPECT_FALSE(UseAvx2Gemm());
+  EXPECT_FALSE(UseAesGcmAccel());
+}
+
+TEST(CpuFeaturesTest, FeatureStringIsStableAndNonEmpty) {
+  const std::string s = CpuFeatureString();
+  EXPECT_FALSE(s.empty());  // at minimum "scalar"
+  EXPECT_EQ(s, CpuFeatureString());
+  const CpuFeatures& f = HostCpuFeatures();
+  EXPECT_EQ(f.avx2, s.find("avx2") != std::string::npos);
+  EXPECT_EQ(f.pclmul, s.find("pclmul") != std::string::npos);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountRejectsMalformedValues) {
+  // Malformed or out-of-range values fall back to hardware concurrency
+  // (with a warning) instead of being misparsed or treated as 0.
+  for (const char* bad : {"", "abc", "4x", " 8", "8 ", "-2", "+4", "0x10",
+                          "3.5", "0", "99999999999999999999", "5000"}) {
+    EXPECT_EQ(ThreadPool::ResolveThreadCount(bad, 6), 6u) << "value: " << bad;
+  }
 }
 
 }  // namespace
