@@ -8,11 +8,22 @@
 // requests per wall-clock second across all sessions), plus how many
 // coalesced admission groups served them.
 //
+// Per-phase latency breakdown (DESIGN.md §12): alongside the
+// client-side end-to-end percentiles, the summary reports server-side
+// p50/p99 of the queue-wait, infer and verify phases, read from the
+// live service.{queue_wait,infer,verify}_us histograms.
+//
+// Introspection plane: the bench starts an AdminServer next to the
+// service; with MVTEE_ADMIN_PORT set it serves /healthz /metrics
+// /status on loopback TCP, and MVTEE_ADMIN_LINGER_MS keeps the loaded
+// deployment alive after the run so CI can scrape it with curl.
+//
 // Results go to stdout and to a machine-readable JSON summary at
 // $MVTEE_BENCH_JSON (default ./BENCH_serving.json) so CI can archive a
 // baseline next to the other bench artifacts.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +32,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/watchdog.h"
+#include "service/admin.h"
 #include "service/inference_service.h"
 #include "transport/channel.h"
 #include "util/rng.h"
@@ -40,6 +53,13 @@ struct ServingResult {
   double goodput_rps = 0.0;  // completed requests / wall second
   uint64_t admission_groups = 0;
   uint64_t rejected = 0;
+  // Server-side phase breakdown, from the live registry histograms.
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double infer_p50_ms = 0.0;
+  double infer_p99_ms = 0.0;
+  double verify_p50_ms = 0.0;
+  double verify_p99_ms = 0.0;
 };
 
 double PercentileMs(std::vector<int64_t> latencies_us, double q) {
@@ -66,12 +86,20 @@ void WriteJson(const ServingResult& r) {
                "  \"p99_ms\": %.2f,\n"
                "  \"goodput_rps\": %.2f,\n"
                "  \"admission_groups\": %llu,\n"
-               "  \"rejected\": %llu\n"
+               "  \"rejected\": %llu,\n"
+               "  \"queue_wait_p50_ms\": %.2f,\n"
+               "  \"queue_wait_p99_ms\": %.2f,\n"
+               "  \"infer_p50_ms\": %.2f,\n"
+               "  \"infer_p99_ms\": %.2f,\n"
+               "  \"verify_p50_ms\": %.2f,\n"
+               "  \"verify_p99_ms\": %.2f\n"
                "}\n",
                r.sessions, r.requests_total, r.requests_ok, r.p50_ms,
                r.p99_ms, r.goodput_rps,
                static_cast<unsigned long long>(r.admission_groups),
-               static_cast<unsigned long long>(r.rejected));
+               static_cast<unsigned long long>(r.rejected),
+               r.queue_wait_p50_ms, r.queue_wait_p99_ms, r.infer_p50_ms,
+               r.infer_p99_ms, r.verify_p50_ms, r.verify_p99_ms);
   std::fclose(f);
   std::printf("json summary: %s\n", path);
 }
@@ -110,6 +138,17 @@ int Main() {
                 service.status().ToString().c_str());
     return 1;
   }
+  // Introspection plane next to the service: in-process admin listener
+  // always; loopback TCP when MVTEE_ADMIN_PORT is set (0 = ephemeral).
+  transport::Listener admin_listener;
+  auto admin = service::AdminServer::Start(**monitor, admin_listener);
+  if (!admin.ok()) {
+    std::printf("admin start failed: %s\n", admin.status().ToString().c_str());
+    return 1;
+  }
+  if ((*admin)->tcp_port() >= 0) {
+    std::printf("admin endpoint: http://127.0.0.1:%d\n", (*admin)->tcp_port());
+  }
   obs::Registry& reg = (*monitor)->metrics();
   const uint64_t groups_base =
       reg.GetCounter("service.groups_total").value();
@@ -145,6 +184,19 @@ int Main() {
   }
   for (auto& t : sessions) t.join();
   const int64_t wall_us = util::NowMicros() - t0;
+
+  // With MVTEE_ADMIN_LINGER_MS set, keep the loaded deployment alive so
+  // an external scraper (CI curl) can hit the admin endpoints while the
+  // histograms, sessions and supervisor panel still reflect the run.
+  const int64_t linger_ms = obs::StallWatchdog::ResolveKnob(
+      "MVTEE_ADMIN_LINGER_MS", std::getenv("MVTEE_ADMIN_LINGER_MS"), 0,
+      3'600'000, 0);
+  if (linger_ms > 0) {
+    std::printf("lingering %lld ms for admin scrapes...\n",
+                static_cast<long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   (*service)->Stop();
 
   ServingResult result;
@@ -161,6 +213,18 @@ int Main() {
       reg.GetCounter("service.groups_total").value() - groups_base;
   result.rejected =
       reg.GetCounter("service.rejected_total").value() - rejected_base;
+  const obs::HistogramStats queue_wait =
+      reg.GetHistogram("service.queue_wait_us").Stats();
+  const obs::HistogramStats infer =
+      reg.GetHistogram("service.infer_us").Stats();
+  const obs::HistogramStats verify =
+      reg.GetHistogram("service.verify_us").Stats();
+  result.queue_wait_p50_ms = queue_wait.p50 / 1000.0;
+  result.queue_wait_p99_ms = queue_wait.p99 / 1000.0;
+  result.infer_p50_ms = infer.p50 / 1000.0;
+  result.infer_p99_ms = infer.p99 / 1000.0;
+  result.verify_p50_ms = verify.p50 / 1000.0;
+  result.verify_p99_ms = verify.p99 / 1000.0;
 
   std::printf(
       "%d sessions x %d requests: %d ok | p50 %.2f ms | p99 %.2f ms | "
@@ -169,8 +233,14 @@ int Main() {
       result.p50_ms, result.p99_ms, result.goodput_rps,
       static_cast<unsigned long long>(result.admission_groups),
       static_cast<unsigned long long>(result.rejected));
+  std::printf(
+      "phase breakdown (server-side): queue-wait p50 %.2f / p99 %.2f ms | "
+      "infer p50 %.2f / p99 %.2f ms | verify p50 %.2f / p99 %.2f ms\n",
+      result.queue_wait_p50_ms, result.queue_wait_p99_ms, result.infer_p50_ms,
+      result.infer_p99_ms, result.verify_p50_ms, result.verify_p99_ms);
   WriteJson(result);
 
+  (*admin)->Stop();
   (void)(*monitor)->Shutdown();
   host.JoinAll();
   return result.requests_ok == result.requests_total ? 0 : 1;

@@ -8,6 +8,7 @@
 
 #include "core/verify_pool.h"
 #include "obs/flight_recorder.h"
+#include "obs/timeline.h"
 #include "util/clock.h"
 
 namespace mvtee::core {
@@ -53,18 +54,35 @@ struct ServiceState {
   // Service instruments (default registry; pointer-stable).
   obs::Gauge* sessions_active = nullptr;
   obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* queue_depth_hwm = nullptr;
+  obs::Gauge* inflight = nullptr;
   obs::Counter* rejected_total = nullptr;
   obs::Counter* requests_total = nullptr;
   obs::Counter* groups_total = nullptr;
   obs::Histogram* request_latency_us = nullptr;
+  // Per-request latency breakdown (DESIGN.md §12): one histogram per
+  // lifecycle phase. reply_us is bound here but observed by the service
+  // front end (the reply seal happens outside the monitor).
+  obs::Histogram* queue_wait_us = nullptr;
+  obs::Histogram* coalesce_us = nullptr;
+  obs::Histogram* infer_us = nullptr;
+  obs::Histogram* verify_us = nullptr;
+  obs::Histogram* reply_us = nullptr;
 
   void BindMetrics(obs::Registry& reg) {
     sessions_active = &reg.GetGauge("service.sessions_active");
     queue_depth = &reg.GetGauge("service.admission_queue_depth");
+    queue_depth_hwm = &reg.GetGauge("service.admission_queue_depth_hwm");
+    inflight = &reg.GetGauge("service.inflight");
     rejected_total = &reg.GetCounter("service.rejected_total");
     requests_total = &reg.GetCounter("service.requests_total");
     groups_total = &reg.GetCounter("service.groups_total");
     request_latency_us = &reg.GetHistogram("service.request_latency_us");
+    queue_wait_us = &reg.GetHistogram("service.queue_wait_us");
+    coalesce_us = &reg.GetHistogram("service.coalesce_us");
+    infer_us = &reg.GetHistogram("service.infer_us");
+    verify_us = &reg.GetHistogram("service.verify_us");
+    reply_us = &reg.GetHistogram("service.reply_us");
   }
 };
 
@@ -144,7 +162,9 @@ util::Result<std::future<InferenceResponse>> Session::SubmitSequenced(
     future = item.response.get_future();
     st.queue.push_back(std::move(item));
     st.queued_submits += 1;
-    st.queue_depth->Set(static_cast<int64_t>(st.queued_submits));
+    const auto depth = static_cast<int64_t>(st.queued_submits);
+    st.queue_depth->Set(depth);
+    if (depth > st.queue_depth_hwm->value()) st.queue_depth_hwm->Set(depth);
     st.requests_total->Add(1);
   }
   st.cv.notify_one();
@@ -256,6 +276,7 @@ void Monitor::BindMetrics() {
   m_.divergences_total = &metrics_->GetCounter("monitor.divergences_total");
   m_.verify_queue_depth_hwm =
       &metrics_->GetGauge("monitor.verify_queue_depth_hwm");
+  m_.loop_heartbeat = &metrics_->GetCounter("monitor.loop_heartbeat");
   for (size_t s = 0; s < stages_.size(); ++s) {
     const std::string prefix = "monitor.stage" + std::to_string(s) + ".";
     StageMetrics& sm = stages_[s].metrics;
@@ -639,6 +660,27 @@ util::Result<std::unique_ptr<Session>> Monitor::OpenSession() {
   return std::unique_ptr<Session>(new Session(std::move(state), id));
 }
 
+Monitor::ServiceStatusSnapshot Monitor::ServiceStatus() {
+  ServiceStatusSnapshot out;
+  std::shared_ptr<internal::ServiceState> state;
+  {
+    std::lock_guard<std::mutex> lock(service_ctl_mu_);
+    out.running = service_running_;
+    out.max_inflight = service_config_.max_inflight;
+    state = service_;
+  }
+  if (!state) return out;
+  std::lock_guard<std::mutex> state_lock(state->mu);
+  out.accepting = state->accepting;
+  out.queue_depth = state->queued_submits;
+  out.queue_max = state->queue_max;
+  out.sessions.reserve(state->sessions.size());
+  for (const auto& [id, info] : state->sessions) {
+    out.sessions.push_back({id, info.expected_seq, info.aborted});
+  }
+  return out;
+}
+
 void Monitor::ServiceLoop() {
   internal::ServiceState& st = *service_;
   for (;;) {
@@ -684,10 +726,14 @@ void Monitor::ServiceLoop() {
       st.queue_depth->Set(static_cast<int64_t>(st.queued_submits));
       st.groups_total->Add(1);
     }
+    m_.loop_heartbeat->Add(1);
+    const int64_t pop_us = util::NowMicros();
 
     if (group.front().legacy) {
       internal::ServiceState::Item& item = group.front();
+      st.inflight->Set(static_cast<int64_t>(item.batches.size()));
       item.group_result.set_value(RunStream(item.batches, item.options));
+      st.inflight->Set(0);
       continue;
     }
 
@@ -708,6 +754,7 @@ void Monitor::ServiceLoop() {
             util::DeadlineExceeded("request expired in admission queue");
         response.seq = item.seq;
         response.latency_us = now - item.enqueue_us;
+        st.queue_wait_us->Observe(now - item.enqueue_us);
         item.response.set_value(std::move(response));
         continue;
       }
@@ -725,13 +772,32 @@ void Monitor::ServiceLoop() {
     RunOptions options;
     options.pipelined = true;
     options.deadline_us = unbounded ? 0 : group_budget_us;
+    RunStats group_stats;
+    std::vector<uint64_t> group_trace_ids;
+    options.stats = &group_stats;
+    options.trace_ids = &group_trace_ids;
+    const int64_t run_start = util::NowMicros();
+    // Group-scoped phases: coalescing (group assembly since the pop)
+    // and the pipelined MVX pass are shared by every member; queue wait
+    // and verify CPU are per request.
+    const int64_t group_coalesce_us = run_start - pop_us;
+    st.inflight->Set(static_cast<int64_t>(live.size()));
     auto result = RunStream(batches, options);
+    st.inflight->Set(0);
     const int64_t done = util::NowMicros();
+    const int64_t group_infer_us = done - run_start;
     for (size_t j = 0; j < live.size(); ++j) {
       internal::ServiceState::Item& item = group[live[j]];
+      const int64_t queue_wait = pop_us - item.enqueue_us;
+      const int64_t verify =
+          j < group_stats.batch_verify_us.size()
+              ? group_stats.batch_verify_us[j]
+              : 0;
       InferenceResponse response;
       response.seq = item.seq;
       response.latency_us = done - item.enqueue_us;
+      response.trace_id =
+          j < group_trace_ids.size() ? group_trace_ids[j] : 0;
       if (result.ok()) {
         response.outputs = std::move((*result)[j]);
         st.request_latency_us->Observe(response.latency_us);
@@ -742,6 +808,21 @@ void Monitor::ServiceLoop() {
       } else {
         response.status = result.status();
       }
+      st.queue_wait_us->Observe(queue_wait);
+      st.coalesce_us->Observe(group_coalesce_us);
+      st.infer_us->Observe(group_infer_us);
+      st.verify_us->Observe(verify);
+      obs::RequestTimeline timeline;
+      timeline.trace_id = response.trace_id;
+      timeline.session_id = item.session_id;
+      timeline.seq = item.seq;
+      timeline.enqueue_wall_us = item.enqueue_us;
+      timeline.queue_wait_us = queue_wait;
+      timeline.coalesce_us = group_coalesce_us;
+      timeline.infer_us = group_infer_us;
+      timeline.verify_us = verify;
+      timeline.ok = result.ok();
+      obs::TimelineLog::Default().Note(std::move(timeline));
       item.response.set_value(std::move(response));
     }
   }
@@ -815,6 +896,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // channel headers — every variant-side span share a batch's id.
   std::vector<uint64_t> trace_ids(num_batches);
   for (auto& t : trace_ids) t = obs::NewTraceId();
+  if (options.trace_ids != nullptr) *options.trace_ids = trace_ids;
   const int64_t run_vstart = vclock_us_;
   const int64_t wall_start = util::NowMicros();
   obs::ScopedSpan run_span("monitor/run",
@@ -822,6 +904,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // This call's own statistics; merged into the metrics registry (and
   // the ConsumeStats() backlog) when the run finishes.
   RunStats rstats;
+  rstats.batch_verify_us.assign(num_batches, 0);
   auto channel_bytes = [&] {
     uint64_t total = 0;
     for (const auto& stage : stages_) {
@@ -1182,11 +1265,14 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   };
 
   // Aggregate prefilter/verify-cost bookkeeping (applied on the
-  // monitor thread by job appliers).
-  auto note_verify_job = [&](int64_t verify_cpu, const CheckStats& cstats) {
+  // monitor thread by job appliers). `b` attributes the verification
+  // CPU to its batch for the per-request latency breakdown.
+  auto note_verify_job = [&](size_t b, int64_t verify_cpu,
+                             const CheckStats& cstats) {
     m_.verify_job_us->Observe(verify_cpu);
     m_.prefilter_hits->Add(cstats.prefilter_hits);
     m_.full_checks->Add(cstats.full_checks);
+    rstats.batch_verify_us[b] += verify_cpu;
   };
 
   // The decision verdict is its own virtual-time event, parallel to
@@ -1345,7 +1431,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
               &lifecycle_dissent]() mutable {
         if (st->voted.count(s)) return;  // quorum decided meanwhile
         st->voted.insert(s);
-        note_verify_job(verify_cpu, cstats);
+        note_verify_job(b, verify_cpu, cstats);
         begin_decision_event(*st, s, verify_cpu);
         rstats.checkpoints_evaluated++;
         // Dissenters in panel coordinates: the vote's dissenters mapped
@@ -1473,7 +1559,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         const bool was_dirty = st->verify_dirty.count(s) > 0;
         st->verify_dirty.erase(s);
         if (st->voted.count(s)) return;
-        note_verify_job(verify_cpu, cstats);
+        note_verify_job(b, verify_cpu, cstats);
         // Quorum over the batch-frozen panel, not the configured k: a
         // degraded panel keeps making progress.
         const size_t quorum = voting_count / 2 + 1;
@@ -1756,6 +1842,11 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   int64_t idle_deadline = util::NowMicros() + config_.recv_timeout_us;
   while ((completed < num_batches || pool.pending() > 0) &&
          run_error.ok()) {
+    // Liveness beacon for the stall watchdog: the loop either makes
+    // progress below or parks in a bounded (≤100ms) WaitFor, so a
+    // healthy loop beats continuously while work is pending.
+    m_.loop_heartbeat->Add(1);
+    if (config_.loop_tick_hook) config_.loop_tick_hook();
     if (options.deadline_us > 0 &&
         util::NowMicros() - wall_start > options.deadline_us) {
       run_error = util::DeadlineExceeded(

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -75,6 +76,11 @@ struct MonitorConfig {
   // pairwise element-wise checks when digests match (byte-identical
   // replicas) — the all-agree case becomes O(k) hashes, not O(k²) scans.
   bool digest_prefilter = true;
+  // Fault-injection seam: called once per event-loop iteration, right
+  // after the monitor.loop_heartbeat increment. A test hook that blocks
+  // here simulates a wedged event loop (the stall the watchdog exists
+  // to catch). Null in production.
+  std::function<void()> loop_tick_hook;
 };
 
 // Which pool variants the monitor activates per stage ("MVX
@@ -121,6 +127,10 @@ struct MvxSelection {
 struct RunStats {
   int64_t wall_us = 0;
   std::vector<int64_t> batch_latency_us;
+  // Cross-validation CPU attributed per batch (admission order, one
+  // slot per batch of the run). Feeds the per-request verify phase of
+  // the latency breakdown; not part of ConsumeStats deltas.
+  std::vector<int64_t> batch_verify_us;
   uint64_t checkpoints_evaluated = 0;  // slow-path votes
   uint64_t fast_path_forwards = 0;     // unverified stage traversals
   uint64_t divergences = 0;            // dissent observed at a checkpoint
@@ -157,6 +167,10 @@ struct RunOptions {
   // (a per-run delta) without consuming the monitor's cumulative
   // stats — ConsumeStats() is unaffected.
   RunStats* stats = nullptr;
+  // Optional out-param: the distributed-trace id minted for each batch
+  // (admission order). Lets the request loop hand trace-id exemplars
+  // back to per-request timelines.
+  std::vector<uint64_t>* trace_ids = nullptr;
 };
 
 // ---- long-lived request API (service front end, DESIGN.md §11) ----
@@ -184,6 +198,10 @@ struct InferenceResponse {
   std::vector<tensor::Tensor> outputs;
   uint64_t seq = 0;        // the request's position in its session
   int64_t latency_us = 0;  // submission -> completion, wall clock
+  // Server-side distributed-trace id of the batch this request rode in
+  // (0 when it never reached the pipeline). Not part of the wire reply;
+  // the service front end uses it to stamp timelines and logs.
+  uint64_t trace_id = 0;
 };
 
 // Admission-side knobs for the monitor's request loop.
@@ -301,6 +319,24 @@ class Monitor {
       const RunOptions& options = RunOptions{});
 
   util::Status Shutdown();
+
+  // Point-in-time view of the request loop, served read-only by the
+  // admin /status endpoint. Safe from any thread; cheap (two brief
+  // lock acquisitions, no pipeline interaction).
+  struct ServiceStatusSnapshot {
+    bool running = false;    // loop thread alive
+    bool accepting = false;  // admitting new submits
+    size_t queue_depth = 0;  // queued (non-legacy) submits
+    size_t queue_max = 0;
+    size_t max_inflight = 0;
+    struct SessionStatus {
+      uint64_t id = 0;
+      uint64_t next_seq = 0;  // next expected sequence number
+      bool aborted = false;   // condemned by a sequence violation
+    };
+    std::vector<SessionStatus> sessions;
+  };
+  ServiceStatusSnapshot ServiceStatus();
 
   // Snapshot-and-reset of the cumulative run statistics, sourced from
   // the metrics registry (delta since the previous consume).
@@ -457,6 +493,10 @@ class Monitor {
     // backlog ever observed.
     obs::Counter* divergences_total = nullptr;
     obs::Gauge* verify_queue_depth_hwm = nullptr;
+    // Liveness beacon: bumped once per request-loop and event-loop
+    // iteration. The stall watchdog samples it; sustained silence while
+    // work is pending means the loop is wedged.
+    obs::Counter* loop_heartbeat = nullptr;
   };
   MonitorMetrics m_{};
   mutable std::mutex stats_mu_;

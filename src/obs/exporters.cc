@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "obs/json.h"
 
@@ -78,6 +79,38 @@ std::string PrometheusExporter::MetricName(const std::string& dotted) {
   return out;
 }
 
+std::string PrometheusExporter::EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusExporter::EscapeHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string PrometheusExporter::Export() const {
   // The default registry aggregates the whole process: fold in the
   // data-plane instrumentation kept outside obs before snapshotting.
@@ -92,16 +125,31 @@ std::string PrometheusExporter::FromSnapshot(const RegistrySnapshot& snap) {
     std::snprintf(line, sizeof(line), "%s %.17g\n", name.c_str(), v);
     out += line;
   };
+  // Dotted names sanitize many-to-one ("a.b" and "a_b" both become
+  // mvtee_a_b); a repeated # TYPE line for the same exposition name is a
+  // parse error, so later colliders are dropped rather than emitted.
+  std::set<std::string> emitted;
+  auto claim = [&emitted](const std::string& n) {
+    return emitted.insert(n).second;
+  };
+  auto header = [&](const std::string& n, const std::string& dotted,
+                    const char* type) {
+    out += "# HELP " + n + " " + EscapeHelpText("MVTEE metric " + dotted) +
+           "\n";
+    out += "# TYPE " + n + " " + type + "\n";
+  };
   for (const auto& [name, value] : snap.counters) {
     const std::string n = MetricName(name);
-    out += "# TYPE " + n + " counter\n";
+    if (!claim(n)) continue;
+    header(n, name, "counter");
     std::snprintf(line, sizeof(line), "%s %llu\n", n.c_str(),
                   static_cast<unsigned long long>(value));
     out += line;
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string n = MetricName(name);
-    out += "# TYPE " + n + " gauge\n";
+    if (!claim(n)) continue;
+    header(n, name, "gauge");
     std::snprintf(line, sizeof(line), "%s %lld\n", n.c_str(),
                   static_cast<long long>(value));
     out += line;
@@ -111,7 +159,8 @@ std::string PrometheusExporter::FromSnapshot(const RegistrySnapshot& snap) {
   // buckets themselves are an implementation detail.
   for (const auto& [name, st] : snap.histograms) {
     const std::string n = MetricName(name);
-    out += "# TYPE " + n + " summary\n";
+    if (!claim(n)) continue;
+    header(n, name, "summary");
     append_num(n + "{quantile=\"0.5\"}", st.p50);
     append_num(n + "{quantile=\"0.95\"}", st.p95);
     append_num(n + "{quantile=\"0.99\"}", st.p99);

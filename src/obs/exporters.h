@@ -56,6 +56,11 @@ class PrometheusExporter : public Exporter {
   static std::string FromSnapshot(const RegistrySnapshot& snap);
   // "monitor.stage0.verify_us" -> "mvtee_monitor_stage0_verify_us".
   static std::string MetricName(const std::string& dotted);
+  // Text exposition 0.0.4 label-value escaping: backslash, double quote
+  // and newline become \\, \" and \n.
+  static std::string EscapeLabelValue(const std::string& value);
+  // HELP-text escaping: backslash and newline become \\ and \n.
+  static std::string EscapeHelpText(const std::string& text);
 
  private:
   const Registry* registry_;

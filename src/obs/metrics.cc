@@ -44,6 +44,40 @@ void AtomicMax(std::atomic<int64_t>& slot, int64_t v) {
   }
 }
 
+using BucketArray = std::array<uint64_t, Histogram::kNumBuckets + 1>;
+
+// Percentile over a point-in-time copy of the bucket array. `n` must be
+// the sum of `buckets` so the rank math and the caller's count agree
+// exactly — a live scrape must never report quantiles for one instant
+// and a count for another.
+double PercentileFromBuckets(const BucketArray& buckets, uint64_t n,
+                             int64_t lo, int64_t hi, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  if (n == 0) return 0;
+  // Rank of the q-th sample, 1-based.
+  const double rank = q * static_cast<double>(n - 1) + 1.0;
+  const auto& bounds = BucketBounds();
+  double cumulative = 0;
+  for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Interpolate within [bucket lower, bucket upper].
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = i < Histogram::kNumBuckets
+                               ? static_cast<double>(bounds[i])
+                               : static_cast<double>(hi);
+      const double frac = (rank - cumulative) / in_bucket;
+      const double est = lower + (upper - lower) * frac;
+      return std::clamp(est, static_cast<double>(lo),
+                        static_cast<double>(hi));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(hi);
+}
+
 }  // namespace
 
 int64_t Histogram::BucketBound(size_t i) {
@@ -71,45 +105,39 @@ void Histogram::Observe(int64_t value) {
 }
 
 double Histogram::Percentile(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
-  const uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0;
-  const int64_t lo = min_.load(std::memory_order_relaxed);
-  const int64_t hi = max_.load(std::memory_order_relaxed);
-  // Rank of the q-th sample, 1-based.
-  const double rank = q * static_cast<double>(n - 1) + 1.0;
-  const auto& bounds = BucketBounds();
-  double cumulative = 0;
+  BucketArray buckets;
+  uint64_t n = 0;
   for (size_t i = 0; i <= kNumBuckets; ++i) {
-    const double in_bucket =
-        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
-    if (in_bucket == 0) continue;
-    if (cumulative + in_bucket >= rank) {
-      // Interpolate within [bucket lower, bucket upper].
-      const double lower =
-          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
-      const double upper = i < kNumBuckets ? static_cast<double>(bounds[i])
-                                           : static_cast<double>(hi);
-      const double frac = (rank - cumulative) / in_bucket;
-      const double est = lower + (upper - lower) * frac;
-      return std::clamp(est, static_cast<double>(lo),
-                        static_cast<double>(hi));
-    }
-    cumulative += in_bucket;
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += buckets[i];
   }
-  return static_cast<double>(hi);
+  return PercentileFromBuckets(buckets, n,
+                               min_.load(std::memory_order_relaxed),
+                               max_.load(std::memory_order_relaxed), q);
 }
 
 HistogramStats Histogram::Stats() const {
+  // One pass over the bucket array; the count is derived from that same
+  // copy, so p50/p95/p99 and count describe the same instant even while
+  // other threads keep observing (a live /metrics scrape depends on
+  // this). sum/min/max are read adjacently — they can trail the bucket
+  // snapshot by in-flight observations but never contradict the count
+  // by more than that race window.
+  BucketArray buckets;
+  uint64_t n = 0;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += buckets[i];
+  }
   HistogramStats s;
-  s.count = count_.load(std::memory_order_relaxed);
-  if (s.count == 0) return s;
+  s.count = n;
+  if (n == 0) return s;
   s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
   s.min = min_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);
-  s.p50 = Percentile(0.50);
-  s.p95 = Percentile(0.95);
-  s.p99 = Percentile(0.99);
+  s.p50 = PercentileFromBuckets(buckets, n, s.min, s.max, 0.50);
+  s.p95 = PercentileFromBuckets(buckets, n, s.min, s.max, 0.95);
+  s.p99 = PercentileFromBuckets(buckets, n, s.min, s.max, 0.99);
   return s;
 }
 

@@ -1,0 +1,95 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace mvtee::obs {
+
+TimelineLog::TimelineLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimelineLog::Note(RequestTimeline timeline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(timeline));
+  } else {
+    ring_[next_ % capacity_] = std::move(timeline);
+  }
+  ++next_;
+}
+
+void TimelineLog::NoteReply(uint64_t trace_id, int64_t reply_us) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = ring_.size();
+  // Newest first: the reply lands right after its entry was noted, so
+  // the scan almost always terminates on the first probe.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = n < capacity_
+                           ? n - 1 - i
+                           : static_cast<size_t>((next_ - 1 - i) % capacity_);
+    if (ring_[idx].trace_id == trace_id) {
+      ring_[idx].reply_us = reply_us;
+      return;
+    }
+  }
+}
+
+std::vector<RequestTimeline> TimelineLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTimeline> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<RequestTimeline> TimelineLog::SlowestK(size_t k) const {
+  std::vector<RequestTimeline> all = Snapshot();
+  std::stable_sort(all.begin(), all.end(),
+                   [](const RequestTimeline& a, const RequestTimeline& b) {
+                     return a.total_us() > b.total_us();
+                   });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+uint64_t TimelineLog::total_noted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+void TimelineLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+TimelineLog& TimelineLog::Default() {
+  static TimelineLog* log = new TimelineLog();  // leaked: outlives teardown
+  return *log;
+}
+
+JsonValue TimelineToJson(const RequestTimeline& t) {
+  JsonValue::Object fields;
+  fields.emplace_back("trace_id", std::to_string(t.trace_id));
+  fields.emplace_back("session_id", t.session_id);
+  fields.emplace_back("seq", t.seq);
+  fields.emplace_back("enqueue_wall_us", t.enqueue_wall_us);
+  fields.emplace_back("queue_wait_us", t.queue_wait_us);
+  fields.emplace_back("coalesce_us", t.coalesce_us);
+  fields.emplace_back("infer_us", t.infer_us);
+  fields.emplace_back("verify_us", t.verify_us);
+  fields.emplace_back("reply_us", t.reply_us);
+  fields.emplace_back("total_us", t.total_us());
+  fields.emplace_back("ok", t.ok);
+  return JsonValue(std::move(fields));
+}
+
+}  // namespace mvtee::obs

@@ -1,0 +1,81 @@
+// Per-request latency breakdown (DESIGN.md §12): a RequestTimeline is
+// stamped through the service request lifecycle — queue wait →
+// coalesce → variant infer → verify → reply seal — and retained in a
+// bounded TimelineLog ring. The per-phase aggregates live in the
+// metrics registry as histograms (service.queue_wait_us, …); the ring
+// keeps the *exemplars*: each entry carries the request's trace id, so
+// a slow p99 request can be pulled up in the merged cross-TEE trace
+// (TraceCollector::Merge().Slice(trace_id)) instead of being an
+// anonymous bucket increment.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvtee::obs {
+
+class JsonValue;
+
+// Phase durations of one service request, all in microseconds of wall
+// clock. A phase the request never reached (e.g. reply for a failed
+// request) stays 0.
+struct RequestTimeline {
+  uint64_t trace_id = 0;    // links into the merged trace
+  uint64_t session_id = 0;  // owning monitor session
+  uint64_t seq = 0;         // position in its session's sequence space
+  int64_t enqueue_wall_us = 0;  // wall clock at admission-queue entry
+  int64_t queue_wait_us = 0;    // enqueue -> popped by the request loop
+  int64_t coalesce_us = 0;      // group assembly (shared by the group)
+  int64_t infer_us = 0;         // pipelined MVX pass (shared by the group)
+  int64_t verify_us = 0;        // cross-validation CPU of this batch
+  int64_t reply_us = 0;         // reply encode + seal + send
+  bool ok = false;              // request completed with outputs
+
+  int64_t total_us() const {
+    return queue_wait_us + coalesce_us + infer_us + reply_us;
+  }
+};
+
+// Bounded, thread-safe ring of recently completed request timelines.
+// The monitor's request loop Note()s an entry when a request clears the
+// pipeline; the service front end patches in the reply-seal phase via
+// NoteReply() once the sealed reply record went out.
+class TimelineLog {
+ public:
+  explicit TimelineLog(size_t capacity = 512);
+
+  void Note(RequestTimeline timeline);
+
+  // Patches reply_us into the retained entry with `trace_id` (newest
+  // first). A request already evicted from the ring is dropped — the
+  // service.reply_us histogram still aggregates it.
+  void NoteReply(uint64_t trace_id, int64_t reply_us);
+
+  // Retained timelines, oldest first.
+  std::vector<RequestTimeline> Snapshot() const;
+
+  // The k slowest retained timelines by total_us, slowest first — the
+  // exemplars an operator chases: each carries the trace id to slice
+  // the merged trace with.
+  std::vector<RequestTimeline> SlowestK(size_t k) const;
+
+  uint64_t total_noted() const;
+  void Clear();
+
+  // Process-wide log the monitor's request loop notes into.
+  static TimelineLog& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RequestTimeline> ring_;
+  size_t capacity_;
+  uint64_t next_ = 0;
+};
+
+// {"trace_id": "...", "seq": n, "queue_wait_us": n, ...} — trace ids as
+// strings (JSON numbers are doubles and must not round).
+JsonValue TimelineToJson(const RequestTimeline& t);
+
+}  // namespace mvtee::obs

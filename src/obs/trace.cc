@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/json.h"
+#include "util/logging.h"
 
 namespace mvtee::obs {
 
@@ -18,6 +19,16 @@ thread_local TraceContext t_context{};
 std::atomic<uint64_t> g_next_trace_id{1};
 std::atomic<uint64_t> g_next_span_id{1};
 std::atomic<int32_t> g_next_tid{1};
+
+uint64_t LogTraceId() { return t_context.trace_id; }
+
+// Stamp log lines with the live trace id. The provider slot is a
+// constant-initialized atomic in util, so installing from a static
+// initializer here is order-safe.
+const bool g_log_provider_installed = [] {
+  util::SetLogTraceIdProvider(&LogTraceId);
+  return true;
+}();
 }  // namespace
 
 uint64_t NewTraceId() {

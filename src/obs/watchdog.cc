@@ -1,0 +1,208 @@
+#include "obs/watchdog.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace mvtee::obs {
+
+int64_t StallWatchdog::ResolveKnob(const char* knob, const char* env_value,
+                                   int64_t min, int64_t max,
+                                   int64_t fallback) {
+  if (env_value == nullptr) return fallback;
+  // strtoll accepts leading whitespace, '+'/'-' signs and partial
+  // parses; reject all of those explicitly (same seam style as
+  // ThreadPool::ResolveThreadCount) so "abc", "-3" or "4q" fall back
+  // with a diagnostic instead of silently becoming 0.
+  const char* p = env_value;
+  if (*p == '\0') {
+    MVTEE_WLOG << knob << " is empty; using default " << fallback;
+    return fallback;
+  }
+  for (const char* q = p; *q != '\0'; ++q) {
+    if (*q < '0' || *q > '9') {
+      MVTEE_WLOG << knob << "='" << env_value
+                 << "' is not a non-negative integer; using default "
+                 << fallback;
+      return fallback;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(p, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0' || v < min ||
+      v > max) {
+    MVTEE_WLOG << knob << "='" << env_value << "' out of range [" << min
+               << ", " << max << "]; using default " << fallback;
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
+WatchdogOptions WatchdogOptions::FromEnv(WatchdogOptions base) {
+  base.poll_interval_us =
+      StallWatchdog::ResolveKnob("MVTEE_WATCHDOG_POLL_MS",
+                                 std::getenv("MVTEE_WATCHDOG_POLL_MS"), 1,
+                                 60'000, base.poll_interval_us / 1000) *
+      1000;
+  base.stall_threshold_us =
+      StallWatchdog::ResolveKnob("MVTEE_WATCHDOG_STALL_MS",
+                                 std::getenv("MVTEE_WATCHDOG_STALL_MS"), 1,
+                                 3'600'000, base.stall_threshold_us / 1000) *
+      1000;
+  base.queue_depth_alarm = StallWatchdog::ResolveKnob(
+      "MVTEE_WATCHDOG_QUEUE_ALARM", std::getenv("MVTEE_WATCHDOG_QUEUE_ALARM"),
+      0, 1'000'000, base.queue_depth_alarm);
+  base.verify_backlog_alarm = StallWatchdog::ResolveKnob(
+      "MVTEE_WATCHDOG_VERIFY_ALARM",
+      std::getenv("MVTEE_WATCHDOG_VERIFY_ALARM"), 0, 1'000'000,
+      base.verify_backlog_alarm);
+  return base;
+}
+
+StallWatchdog::StallWatchdog(Registry& registry, WatchdogOptions options,
+                             FlightRecorder* recorder)
+    : registry_(registry), options_(options), recorder_(recorder) {
+  heartbeat_ = &registry_.GetCounter("monitor.loop_heartbeat");
+  queue_depth_ = &registry_.GetGauge("service.admission_queue_depth");
+  inflight_ = &registry_.GetGauge("service.inflight");
+  verify_depth_ = &registry_.GetGauge("monitor.verify_queue_depth");
+  ticks_ = &registry_.GetCounter("watchdog.ticks_total");
+  stall_alarms_ = &registry_.GetCounter("watchdog.stall_alarms_total");
+  queue_alarms_ = &registry_.GetCounter("watchdog.queue_alarms_total");
+  verify_alarms_ =
+      &registry_.GetCounter("watchdog.verify_backlog_alarms_total");
+  stall_bundles_ = &registry_.GetCounter("watchdog.stall_bundles_total");
+  healthy_gauge_ = &registry_.GetGauge("watchdog.healthy");
+  healthy_gauge_->Set(1);
+  last_heartbeat_ = heartbeat_->value();
+  last_advance_us_ = util::NowMicros();
+}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&StallWatchdog::Loop, this);
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+}
+
+void StallWatchdog::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::microseconds(options_.poll_interval_us),
+                   [this] { return stop_; });
+      if (stop_) return;
+    }
+    Evaluate(util::NowMicros());
+  }
+}
+
+StallWatchdog::Health StallWatchdog::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+void StallWatchdog::Evaluate(int64_t now_us) {
+  const uint64_t beat = heartbeat_->value();
+  const int64_t queue = queue_depth_->value();
+  const int64_t inflight = inflight_->value();
+  const int64_t verify = verify_depth_->value();
+
+  std::string dump_reason;  // non-empty: dump a stall bundle (outside mu_)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticks_->Add(1);
+    if (beat != last_heartbeat_) {
+      last_heartbeat_ = beat;
+      last_advance_us_ = now_us;
+      // The loop moved again: the episode ends and re-arms the bundle.
+      stalled_ = false;
+      bundle_dumped_ = false;
+    }
+    const int64_t silent_us = now_us - last_advance_us_;
+    const bool busy = queue > 0 || inflight > 0;
+    const bool stall_now = busy && silent_us >= options_.stall_threshold_us;
+    if (stall_now && !stalled_) {
+      stalled_ = true;
+      stall_alarms_->Add(1);
+    }
+    const bool queue_now = options_.queue_depth_alarm > 0 &&
+                           queue >= options_.queue_depth_alarm;
+    if (queue_now && !queue_alarmed_) queue_alarms_->Add(1);
+    queue_alarmed_ = queue_now;
+    const bool verify_now = options_.verify_backlog_alarm > 0 &&
+                            verify >= options_.verify_backlog_alarm;
+    if (verify_now && !verify_alarmed_) verify_alarms_->Add(1);
+    verify_alarmed_ = verify_now;
+
+    health_.healthy = !stalled_ && !queue_now && !verify_now;
+    health_.heartbeat = beat;
+    health_.silent_for_us = silent_us;
+    health_.queue_depth = queue;
+    health_.inflight = inflight;
+    health_.verify_queue_depth = verify;
+    health_.stall_alarms = stall_alarms_->value();
+    if (health_.healthy) {
+      health_.reason.clear();
+    } else if (stalled_) {
+      health_.reason = "event loop silent for " +
+                       std::to_string(silent_us) + "us with " +
+                       std::to_string(queue) + " queued / " +
+                       std::to_string(inflight) + " inflight";
+    } else if (queue_now) {
+      health_.reason = "admission queue depth " + std::to_string(queue) +
+                       " >= alarm " +
+                       std::to_string(options_.queue_depth_alarm);
+    } else {
+      health_.reason = "verify backlog " + std::to_string(verify) +
+                       " >= alarm " +
+                       std::to_string(options_.verify_backlog_alarm);
+    }
+    healthy_gauge_->Set(health_.healthy ? 1 : 0);
+    if (stalled_ && !bundle_dumped_) {
+      bundle_dumped_ = true;
+      dump_reason = health_.reason;
+    }
+  }
+  if (!dump_reason.empty()) {
+    // Outside mu_: DumpBundle merges traces and snapshots the registry,
+    // which must not serialize against health() readers. The sustained
+    // stall leaves the same forensic artifact a divergence would.
+    auto dumped = recorder_->DumpBundle("watchdog-stall", /*trace_id=*/0,
+                                        dump_reason);
+    if (dumped.ok()) {
+      stall_bundles_->Add(1);
+      MVTEE_WLOG << "watchdog stall bundle: " << *dumped << " ("
+                 << dump_reason << ")";
+    } else {
+      MVTEE_WLOG << "watchdog stall (" << dump_reason
+                 << "); no evidence bundle: "
+                 << dumped.status().ToString();
+    }
+  }
+}
+
+}  // namespace mvtee::obs

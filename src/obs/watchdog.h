@@ -1,0 +1,129 @@
+// Stall watchdog (DESIGN.md §12): a background sentinel over the
+// monitor's event-loop heartbeat and the service backpressure gauges.
+//
+// The monitor bumps `monitor.loop_heartbeat` once per event-loop (and
+// request-loop) iteration. The watchdog samples it every
+// poll_interval_us together with the admission-queue depth, the
+// inflight gauge and the verify-pool backlog, and raises three alarm
+// classes:
+//
+//   stall          — the heartbeat has been silent for at least
+//                    stall_threshold_us while work is pending
+//                    (queue depth or inflight > 0). Idle silence is
+//                    healthy: an empty service parks in cv.wait.
+//   queue          — admission-queue depth at/above queue_depth_alarm.
+//   verify backlog — monitor.verify_queue_depth at/above
+//                    verify_backlog_alarm.
+//
+// Every alarm increments its watchdog.*_total counter on the rising
+// edge and holds /healthz unhealthy while active; a *sustained stall*
+// additionally dumps a FlightRecorder evidence bundle (trigger
+// "watchdog-stall", once per stall episode — re-armed when the
+// heartbeat advances) so the wedged state leaves the same forensic
+// artifact a divergence would.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace mvtee::obs {
+
+struct WatchdogOptions {
+  int64_t poll_interval_us = 20'000;
+  // Sustained event-loop silence (with work pending) that flips
+  // /healthz and dumps the stall bundle.
+  int64_t stall_threshold_us = 2'000'000;
+  // Admission-queue depth alarm; 0 disables.
+  int64_t queue_depth_alarm = 48;
+  // Verify-pool backlog alarm; 0 disables.
+  int64_t verify_backlog_alarm = 256;
+
+  // Applies the MVTEE_WATCHDOG_{POLL_MS,STALL_MS,QUEUE_ALARM,
+  // VERIFY_ALARM} env knobs on top of `base`. Values are validated
+  // strictly (ResolveKnob); an invalid value keeps the base with a
+  // logged warning.
+  static WatchdogOptions FromEnv(WatchdogOptions base);
+  static WatchdogOptions FromEnv() { return FromEnv(WatchdogOptions{}); }
+};
+
+class StallWatchdog {
+ public:
+  // Point-in-time health verdict, served by /healthz.
+  struct Health {
+    bool healthy = true;
+    std::string reason;  // empty when healthy
+    uint64_t heartbeat = 0;
+    int64_t silent_for_us = 0;  // since the last heartbeat advance
+    int64_t queue_depth = 0;
+    int64_t inflight = 0;
+    int64_t verify_queue_depth = 0;
+    uint64_t stall_alarms = 0;  // episodes since Start
+  };
+
+  // Observes `registry` (where the monitor's heartbeat and gauges
+  // live); stall bundles go through `recorder`. Does not start the
+  // sampling thread — call Start().
+  explicit StallWatchdog(Registry& registry,
+                         WatchdogOptions options = WatchdogOptions{},
+                         FlightRecorder* recorder = &FlightRecorder::Default());
+  ~StallWatchdog();
+
+  void Start();
+  void Stop();  // joins the sampling thread; idempotent
+
+  Health health() const;
+
+  // Runs one sampling step inline (no thread needed) — test seam, also
+  // exercised by the thread loop.
+  void Evaluate(int64_t now_us);
+
+  // Strict env-knob parsing in the ResolveThreadCount style: rejects
+  // signs, whitespace, partial parses and out-of-range values with a
+  // logged warning naming `knob`, returning `fallback`. `env_value`
+  // may be nullptr (unset). Exposed for tests.
+  static int64_t ResolveKnob(const char* knob, const char* env_value,
+                             int64_t min, int64_t max, int64_t fallback);
+
+ private:
+  Registry& registry_;
+  WatchdogOptions options_;
+  FlightRecorder* recorder_;
+
+  // Sampled instruments (pointer-stable for the registry's lifetime).
+  Counter* heartbeat_ = nullptr;          // monitor.loop_heartbeat
+  Gauge* queue_depth_ = nullptr;          // service.admission_queue_depth
+  Gauge* inflight_ = nullptr;             // service.inflight
+  Gauge* verify_depth_ = nullptr;         // monitor.verify_queue_depth
+  // Published instruments.
+  Counter* ticks_ = nullptr;              // watchdog.ticks_total
+  Counter* stall_alarms_ = nullptr;       // watchdog.stall_alarms_total
+  Counter* queue_alarms_ = nullptr;       // watchdog.queue_alarms_total
+  Counter* verify_alarms_ = nullptr;      // watchdog.verify_backlog_alarms_total
+  Counter* stall_bundles_ = nullptr;      // watchdog.stall_bundles_total
+  Gauge* healthy_gauge_ = nullptr;        // watchdog.healthy (1|0)
+
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+
+  // Evaluation state (under mu_).
+  uint64_t last_heartbeat_ = 0;
+  int64_t last_advance_us_ = 0;  // wall time the heartbeat last moved
+  bool stalled_ = false;         // inside a stall episode
+  bool bundle_dumped_ = false;   // this episode already left evidence
+  bool queue_alarmed_ = false;
+  bool verify_alarmed_ = false;
+  Health health_{};
+};
+
+}  // namespace mvtee::obs

@@ -1,0 +1,119 @@
+// Live introspection plane (DESIGN.md §12): a read-only admin endpoint
+// for an operator of a running InferenceService, plus the stall
+// watchdog guarding its event loop.
+//
+// Deliberately OUTSIDE the attested channel: the admin surface is
+// plaintext, unauthenticated and read-only — it is what a curl, a
+// Prometheus scraper or a Kubernetes liveness probe talks to, none of
+// which can run the RA-TLS handshake. The hard rule that makes this
+// safe is what the endpoint serves: aggregate metrics, health verdicts
+// and lifecycle states only. It must never expose key material, tensor
+// data, or plaintext request bodies (trace ids and phase durations are
+// fine; payloads are not).
+//
+//   GET /healthz  200/503 + JSON     liveness: watchdog verdict +
+//                                    variant lifecycle panel
+//   GET /metrics  Prometheus 0.0.4   live registry scrape (consistent
+//                                    point-in-time histogram snapshots)
+//   GET /status   JSON               sessions, queue depth/HWM,
+//                                    inflight, lifecycle states, uptime,
+//                                    build/CPU provenance, timeline
+//                                    exemplars (trace ids + phases)
+//
+// The server listens on an in-process transport::Listener (one "GET
+// /path" frame in, one full HTTP/1.0 response text out — see AdminGet)
+// and, when MVTEE_ADMIN_PORT is set, additionally bridges the same
+// handler to a real loopback TCP socket so external tools can scrape a
+// running bench/service.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/monitor.h"
+#include "obs/watchdog.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace mvtee::service {
+
+struct AdminOptions {
+  obs::WatchdogOptions watchdog;
+  // Loopback TCP bridge port: -1 disables, 0 binds an ephemeral port.
+  int tcp_port = -1;
+
+  // Applies MVTEE_ADMIN_PORT and the MVTEE_WATCHDOG_* knobs on top of
+  // `base` (strict validation; invalid values keep the base).
+  static AdminOptions FromEnv(AdminOptions base);
+  static AdminOptions FromEnv() { return FromEnv(AdminOptions{}); }
+};
+
+class AdminServer {
+ public:
+  struct HttpResponse {
+    int code = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  // Serves `listener` (and the TCP bridge, when configured) against
+  // `monitor`'s introspection surfaces; starts the stall watchdog. The
+  // monitor and listener must outlive the returned server.
+  static util::Result<std::unique_ptr<AdminServer>> Start(
+      core::Monitor& monitor, transport::Listener& listener,
+      AdminOptions options = AdminOptions::FromEnv());
+
+  // Closes the listener + TCP socket, joins the serving threads, stops
+  // the watchdog. Idempotent.
+  void Stop();
+  ~AdminServer();
+
+  // The shared request handler behind both transports. `request_line`
+  // is the HTTP request line ("GET /healthz" — an HTTP-version suffix
+  // is tolerated). Exposed for tests.
+  HttpResponse Handle(const std::string& request_line);
+
+  // Serializes `r` as a full HTTP/1.0 response (status line, headers,
+  // Content-Length, body).
+  static std::string RenderHttp(const HttpResponse& r);
+
+  // Bound TCP bridge port, or -1 when the bridge is disabled.
+  int tcp_port() const { return tcp_port_; }
+
+  const obs::StallWatchdog& watchdog() const { return watchdog_; }
+
+ private:
+  AdminServer(core::Monitor& monitor, transport::Listener& listener,
+              AdminOptions options);
+
+  void AcceptLoop();  // in-process transport
+  void TcpLoop();     // loopback bridge
+  util::Status BindTcp(int port);
+
+  HttpResponse Healthz();
+  HttpResponse Metrics();
+  HttpResponse Status();
+
+  core::Monitor& monitor_;
+  transport::Listener& listener_;
+  AdminOptions options_;
+  obs::StallWatchdog watchdog_;
+  int64_t start_us_ = 0;
+
+  std::mutex mu_;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+  std::thread tcp_thread_;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+};
+
+// Client helper for the in-process admin transport: dials `listener`,
+// sends "GET <path>", returns the full HTTP response text.
+util::Result<std::string> AdminGet(transport::Listener& listener,
+                                   const std::string& path,
+                                   int64_t timeout_us = 2'000'000);
+
+}  // namespace mvtee::service

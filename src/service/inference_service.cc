@@ -4,6 +4,8 @@
 
 #include "core/messages.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "util/clock.h"
 
 namespace mvtee::service {
 
@@ -14,6 +16,7 @@ InferenceService::InferenceService(core::Monitor& monitor,
   obs::Registry& reg = monitor.metrics();
   auth_failures_ = &reg.GetCounter("channel.auth_failures");
   handshake_failures_ = &reg.GetCounter("service.handshake_failures");
+  reply_us_ = &reg.GetHistogram("service.reply_us");
 }
 
 util::Result<std::unique_ptr<InferenceService>> InferenceService::Start(
@@ -152,7 +155,14 @@ void InferenceService::ServeSession(transport::Endpoint endpoint) {
     reply.error = response.status.message();
     reply.latency_us = response.latency_us;
     reply.outputs = std::move(response.outputs);
-    if (!core::SendFrame(*channel, reply).ok()) break;
+    // Reply-seal phase of the latency breakdown: encode + AEAD seal +
+    // send, patched into the request's retained timeline by trace id.
+    const int64_t reply_start = util::NowMicros();
+    const bool sent = core::SendFrame(*channel, reply).ok();
+    const int64_t reply_elapsed = util::NowMicros() - reply_start;
+    reply_us_->Observe(reply_elapsed);
+    obs::TimelineLog::Default().NoteReply(response.trace_id, reply_elapsed);
+    if (!sent) break;
   }
   channel->Close();
 }

@@ -70,6 +70,7 @@ class InferenceService {
 
   obs::Counter* auth_failures_ = nullptr;       // channel.auth_failures
   obs::Counter* handshake_failures_ = nullptr;  // service.handshake_failures
+  obs::Histogram* reply_us_ = nullptr;          // service.reply_us
 
   std::mutex mu_;
   bool stopped_ = false;

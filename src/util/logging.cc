@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 namespace mvtee::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<uint64_t (*)()> g_trace_provider{nullptr};
 std::mutex g_mutex;
+std::once_flag g_env_once;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -24,10 +27,51 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+// Applies MVTEE_LOG_LEVEL exactly once. Called from Get/SetLogLevel, so
+// the diagnostic for a bad value cannot go through MVTEE_WLOG (whose
+// level check re-enters GetLogLevel under the same once flag) —
+// ResolveLogLevel emits via internal::EmitLog directly.
+void ApplyEnvLevelOnce() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("MVTEE_LOG_LEVEL")) {
+      g_level.store(ResolveLogLevel(env, g_level.load()));
+    }
+  });
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  // Run the env application first so it cannot later be (mis)read as
+  // overriding this explicit choice.
+  ApplyEnvLevelOnce();
+  g_level.store(level);
+}
+
+LogLevel GetLogLevel() {
+  ApplyEnvLevelOnce();
+  return g_level.load();
+}
+
+LogLevel ResolveLogLevel(const char* env_value, LogLevel fallback) {
+  if (env_value == nullptr) return fallback;
+  const std::string v(env_value);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn") return LogLevel::kWarning;
+  if (v == "error") return LogLevel::kError;
+  if (LogLevel::kWarning >= g_level.load()) {
+    internal::EmitLog(LogLevel::kWarning, __FILE__, __LINE__,
+                      "MVTEE_LOG_LEVEL='" + v +
+                          "' is not one of debug|info|warning|error; "
+                          "keeping current level");
+  }
+  return fallback;
+}
+
+void SetLogTraceIdProvider(uint64_t (*provider)()) {
+  g_trace_provider.store(provider, std::memory_order_release);
+}
 
 namespace internal {
 void EmitLog(LogLevel level, const char* file, int line,
@@ -36,11 +80,22 @@ void EmitLog(LogLevel level, const char* file, int line,
   auto now = duration_cast<microseconds>(
                  steady_clock::now().time_since_epoch())
                  .count();
+  uint64_t trace_id = 0;
+  if (auto* provider = g_trace_provider.load(std::memory_order_acquire)) {
+    trace_id = provider();
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s %10lld.%06lld %s:%d] %s\n", LevelTag(level),
-               static_cast<long long>(now / 1000000),
-               static_cast<long long>(now % 1000000), Basename(file), line,
-               message.c_str());
+  if (trace_id != 0) {
+    std::fprintf(stderr, "[%s %10lld.%06lld %s:%d t=%llu] %s\n",
+                 LevelTag(level), static_cast<long long>(now / 1000000),
+                 static_cast<long long>(now % 1000000), Basename(file), line,
+                 static_cast<unsigned long long>(trace_id), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %10lld.%06lld %s:%d] %s\n", LevelTag(level),
+                 static_cast<long long>(now / 1000000),
+                 static_cast<long long>(now % 1000000), Basename(file), line,
+                 message.c_str());
+  }
 }
 }  // namespace internal
 

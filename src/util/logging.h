@@ -1,6 +1,15 @@
 // Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// The minimum level defaults to warning and can be lowered/raised with
+// MVTEE_LOG_LEVEL=debug|info|warning|error (applied once, lazily, on
+// the first GetLogLevel/SetLogLevel; an explicit SetLogLevel always
+// wins). When a distributed-trace context is live on the emitting
+// thread (obs::TraceContextScope / an open span), the line carries the
+// active trace id so service logs can be joined against the merged
+// trace and the /status timeline exemplars.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
@@ -13,6 +22,18 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
 // Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Strict parse of a log-level name: "debug", "info", "warning" (or
+// "warn"), "error". nullptr (unset) returns `fallback` silently; any
+// other value — wrong case, surrounding whitespace, abbreviations —
+// warns and returns `fallback`, mirroring the ResolveThreadCount env
+// seam. Exposed for tests; the env knob goes through this.
+LogLevel ResolveLogLevel(const char* env_value, LogLevel fallback);
+
+// Installs the callback EmitLog queries for the active trace id (0 =
+// none, omit). Wired from obs/trace.cc at static-init; logging itself
+// must not depend on obs.
+void SetLogTraceIdProvider(uint64_t (*provider)());
 
 namespace internal {
 void EmitLog(LogLevel level, const char* file, int line,

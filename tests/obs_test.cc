@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -19,7 +20,11 @@
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "util/clock.h"
+#include "util/logging.h"
 
 namespace mvtee::obs {
 namespace {
@@ -680,6 +685,404 @@ TEST(FlightRecorderTest, DumpBundleWritesSelfContainedJson) {
   ::unsetenv("MVTEE_EVIDENCE_DIR");
   std::remove(path->c_str());
   ::rmdir(dir_template);
+}
+
+
+// ------------------------------------------------------------ timeline
+
+RequestTimeline MakeTimeline(uint64_t trace_id, uint64_t seq,
+                             int64_t infer_us) {
+  RequestTimeline t;
+  t.trace_id = trace_id;
+  t.session_id = 1;
+  t.seq = seq;
+  t.enqueue_wall_us = 1'000'000 + static_cast<int64_t>(seq);
+  t.queue_wait_us = 10;
+  t.coalesce_us = 2;
+  t.infer_us = infer_us;
+  t.verify_us = 5;
+  t.ok = true;
+  return t;
+}
+
+TEST(TimelineLogTest, SnapshotIsOldestFirstAndBounded) {
+  TimelineLog log(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    log.Note(MakeTimeline(100 + i, i, 1000));
+  }
+  EXPECT_EQ(log.total_noted(), 10u);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().seq, 6u);  // oldest survivor
+  EXPECT_EQ(snap.back().seq, 9u);
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.total_noted(), 0u);
+}
+
+TEST(TimelineLogTest, NoteReplyPatchesNewestMatchOnly) {
+  TimelineLog log(8);
+  log.Note(MakeTimeline(7, 0, 1000));
+  log.Note(MakeTimeline(8, 1, 1000));
+  log.Note(MakeTimeline(7, 2, 1000));  // same trace id, newer entry
+  log.NoteReply(7, 333);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].reply_us, 0);  // older entry untouched
+  EXPECT_EQ(snap[1].reply_us, 0);
+  EXPECT_EQ(snap[2].reply_us, 333);
+  // A trace id already evicted (or never noted) is silently dropped.
+  log.NoteReply(424242, 1);
+}
+
+TEST(TimelineLogTest, SlowestKRanksByTotalTime) {
+  TimelineLog log(16);
+  for (uint64_t i = 0; i < 6; ++i) {
+    log.Note(MakeTimeline(i, i, static_cast<int64_t>(1000 * (i + 1))));
+  }
+  auto slowest = log.SlowestK(3);
+  ASSERT_EQ(slowest.size(), 3u);
+  EXPECT_EQ(slowest[0].trace_id, 5u);
+  EXPECT_EQ(slowest[1].trace_id, 4u);
+  EXPECT_EQ(slowest[2].trace_id, 3u);
+  // k beyond the retained count clamps.
+  EXPECT_EQ(log.SlowestK(100).size(), 6u);
+}
+
+TEST(TimelineLogTest, ToJsonKeepsTraceIdExact) {
+  // A trace id above 2^53 would round if serialized as a JSON number.
+  RequestTimeline t = MakeTimeline(0xffffffffffffffffULL, 3, 1000);
+  t.reply_us = 9;
+  JsonValue json = TimelineToJson(t);
+  EXPECT_EQ(json.Find("trace_id")->as_string(), "18446744073709551615");
+  EXPECT_EQ(json.Find("seq")->as_number(), 3.0);
+  EXPECT_EQ(json.Find("infer_us")->as_number(), 1000.0);
+  EXPECT_EQ(json.Find("reply_us")->as_number(), 9.0);
+  auto reparsed = ParseJson(json.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(WatchdogKnobTest, ResolveKnobStrictParsing) {
+  auto resolve = [](const char* v) {
+    return StallWatchdog::ResolveKnob("TEST_KNOB", v, 1, 60'000, 42);
+  };
+  EXPECT_EQ(resolve(nullptr), 42);  // unset: silent default
+  EXPECT_EQ(resolve(""), 42);
+  EXPECT_EQ(resolve("abc"), 42);
+  EXPECT_EQ(resolve("-3"), 42);   // signs rejected
+  EXPECT_EQ(resolve("+3"), 42);
+  EXPECT_EQ(resolve(" 5"), 42);   // whitespace rejected
+  EXPECT_EQ(resolve("4q"), 42);   // partial parse rejected
+  EXPECT_EQ(resolve("3.5"), 42);
+  EXPECT_EQ(resolve("0"), 42);    // below min
+  EXPECT_EQ(resolve("60001"), 42);  // above max
+  EXPECT_EQ(resolve("99999999999999999999999"), 42);  // overflow
+  EXPECT_EQ(resolve("1"), 1);
+  EXPECT_EQ(resolve("25"), 25);
+  EXPECT_EQ(resolve("60000"), 60'000);
+}
+
+TEST(WatchdogKnobTest, OptionsFromEnvAppliesValidValues) {
+  ::setenv("MVTEE_WATCHDOG_POLL_MS", "5", 1);
+  ::setenv("MVTEE_WATCHDOG_STALL_MS", "150", 1);
+  ::setenv("MVTEE_WATCHDOG_QUEUE_ALARM", "bogus", 1);  // keeps default
+  ::unsetenv("MVTEE_WATCHDOG_VERIFY_ALARM");
+  WatchdogOptions opts = WatchdogOptions::FromEnv();
+  EXPECT_EQ(opts.poll_interval_us, 5'000);
+  EXPECT_EQ(opts.stall_threshold_us, 150'000);
+  EXPECT_EQ(opts.queue_depth_alarm, WatchdogOptions{}.queue_depth_alarm);
+  EXPECT_EQ(opts.verify_backlog_alarm,
+            WatchdogOptions{}.verify_backlog_alarm);
+  ::unsetenv("MVTEE_WATCHDOG_POLL_MS");
+  ::unsetenv("MVTEE_WATCHDOG_STALL_MS");
+  ::unsetenv("MVTEE_WATCHDOG_QUEUE_ALARM");
+}
+
+// Evaluate() is driven with a synthetic clock: the first heartbeat
+// advance re-baselines last_advance to the fake `now`, after which
+// silence is measured against it.
+TEST(WatchdogTest, IdleSilenceStaysHealthy) {
+  Registry reg;
+  WatchdogOptions opts;
+  opts.stall_threshold_us = 100'000;
+  FlightRecorder recorder(4);
+  StallWatchdog dog(reg, opts, &recorder);
+  const int64_t t0 = 1'000'000'000;
+  reg.GetCounter("monitor.loop_heartbeat").Add(1);
+  dog.Evaluate(t0);  // baseline
+  // Way past the threshold, but queue and inflight are both 0: an idle
+  // loop parked in cv.wait is healthy, not stalled.
+  dog.Evaluate(t0 + 10 * opts.stall_threshold_us);
+  EXPECT_TRUE(dog.health().healthy);
+  EXPECT_EQ(reg.GetCounter("watchdog.stall_alarms_total").value(), 0u);
+  EXPECT_EQ(reg.GetGauge("watchdog.healthy").value(), 1);
+}
+
+TEST(WatchdogTest, BusySilenceFlipsUnhealthyAndRearms) {
+  Registry reg;
+  WatchdogOptions opts;
+  opts.stall_threshold_us = 100'000;
+  FlightRecorder recorder(4);
+  StallWatchdog dog(reg, opts, &recorder);
+  Counter& beat = reg.GetCounter("monitor.loop_heartbeat");
+  Gauge& queue = reg.GetGauge("service.admission_queue_depth");
+  const int64_t t0 = 1'000'000'000;
+  beat.Add(1);
+  dog.Evaluate(t0);  // baseline
+  queue.Set(2);
+  dog.Evaluate(t0 + opts.stall_threshold_us - 1);
+  EXPECT_TRUE(dog.health().healthy);  // not yet sustained
+  dog.Evaluate(t0 + opts.stall_threshold_us);
+  StallWatchdog::Health h = dog.health();
+  EXPECT_FALSE(h.healthy);
+  EXPECT_NE(h.reason.find("event loop silent"), std::string::npos);
+  EXPECT_EQ(h.stall_alarms, 1u);
+  EXPECT_EQ(reg.GetGauge("watchdog.healthy").value(), 0);
+  // Holding the stall does not double-count the episode.
+  dog.Evaluate(t0 + 2 * opts.stall_threshold_us);
+  EXPECT_EQ(dog.health().stall_alarms, 1u);
+  // The heartbeat advancing ends the episode...
+  beat.Add(1);
+  dog.Evaluate(t0 + 3 * opts.stall_threshold_us);
+  EXPECT_TRUE(dog.health().healthy);
+  // ...and a second sustained stall is a second episode.
+  dog.Evaluate(t0 + 5 * opts.stall_threshold_us);
+  EXPECT_EQ(dog.health().stall_alarms, 2u);
+}
+
+TEST(WatchdogTest, SustainedStallDumpsOneEvidenceBundle) {
+  char dir_template[] = "/tmp/mvtee-watchdog-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  ::setenv("MVTEE_EVIDENCE_DIR", dir_template, 1);
+
+  Registry reg;
+  WatchdogOptions opts;
+  opts.stall_threshold_us = 100'000;
+  FlightRecorder recorder(8);
+  recorder.Note(MakeEvidence(1, 0, "accepted"));
+  StallWatchdog dog(reg, opts, &recorder);
+  Counter& beat = reg.GetCounter("monitor.loop_heartbeat");
+  reg.GetGauge("service.inflight").Set(1);
+  const int64_t t0 = 1'000'000'000;
+  beat.Add(1);
+  dog.Evaluate(t0);
+  dog.Evaluate(t0 + opts.stall_threshold_us);
+  Counter& bundles = reg.GetCounter("watchdog.stall_bundles_total");
+  EXPECT_EQ(bundles.value(), 1u);
+  // The episode dumps exactly once, however long it lasts.
+  dog.Evaluate(t0 + 2 * opts.stall_threshold_us);
+  dog.Evaluate(t0 + 3 * opts.stall_threshold_us);
+  EXPECT_EQ(bundles.value(), 1u);
+  // Recovery re-arms: the NEXT sustained stall leaves fresh evidence.
+  beat.Add(1);
+  dog.Evaluate(t0 + 4 * opts.stall_threshold_us);
+  dog.Evaluate(t0 + 6 * opts.stall_threshold_us);
+  EXPECT_EQ(bundles.value(), 2u);
+
+  // The bundles are well-formed evidence files in the evidence dir.
+  int bundle_files = 0;
+  std::string dir(dir_template);
+  ::DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    ++bundle_files;
+    std::ifstream in(dir + "/" + name);
+    std::stringstream content;
+    content << in.rdbuf();
+    auto parsed = ParseJson(content.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Find("trigger")->as_string(), "watchdog-stall");
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  EXPECT_EQ(bundle_files, 2);
+  ::unsetenv("MVTEE_EVIDENCE_DIR");
+  ::rmdir(dir_template);
+}
+
+TEST(WatchdogTest, QueueAndVerifyBacklogAlarms) {
+  Registry reg;
+  WatchdogOptions opts;
+  opts.queue_depth_alarm = 4;
+  opts.verify_backlog_alarm = 8;
+  FlightRecorder recorder(4);
+  StallWatchdog dog(reg, opts, &recorder);
+  Counter& beat = reg.GetCounter("monitor.loop_heartbeat");
+  Gauge& queue = reg.GetGauge("service.admission_queue_depth");
+  Gauge& verify = reg.GetGauge("monitor.verify_queue_depth");
+  int64_t now = 1'000'000'000;
+  auto tick = [&] {  // heartbeat keeps advancing: no stall in play
+    beat.Add(1);
+    dog.Evaluate(now += 1000);
+  };
+  tick();
+  EXPECT_TRUE(dog.health().healthy);
+  queue.Set(4);
+  tick();
+  EXPECT_FALSE(dog.health().healthy);
+  EXPECT_NE(dog.health().reason.find("admission queue depth"),
+            std::string::npos);
+  EXPECT_EQ(reg.GetCounter("watchdog.queue_alarms_total").value(), 1u);
+  tick();  // held condition: rising-edge counter does not re-fire
+  EXPECT_EQ(reg.GetCounter("watchdog.queue_alarms_total").value(), 1u);
+  queue.Set(0);
+  verify.Set(9);
+  tick();
+  EXPECT_FALSE(dog.health().healthy);
+  EXPECT_NE(dog.health().reason.find("verify backlog"), std::string::npos);
+  EXPECT_EQ(reg.GetCounter("watchdog.verify_backlog_alarms_total").value(),
+            1u);
+  verify.Set(0);
+  tick();
+  EXPECT_TRUE(dog.health().healthy);
+}
+
+TEST(WatchdogTest, BackgroundThreadTicks) {
+  Registry reg;
+  WatchdogOptions opts;
+  opts.poll_interval_us = 2'000;
+  FlightRecorder recorder(4);
+  StallWatchdog dog(reg, opts, &recorder);
+  dog.Start();
+  Counter& ticks = reg.GetCounter("watchdog.ticks_total");
+  const int64_t give_up = util::NowMicros() + 5'000'000;
+  while (ticks.value() < 3 && util::NowMicros() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  dog.Stop();
+  dog.Stop();  // idempotent
+  EXPECT_GE(ticks.value(), 3u);
+}
+
+// --------------------------------------- prometheus 0.0.4 conformance
+
+TEST(PrometheusExporterTest, LabelAndHelpEscaping) {
+  EXPECT_EQ(PrometheusExporter::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusExporter::EscapeLabelValue("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(PrometheusExporter::EscapeHelpText("a\\b\nc"), "a\\\\b\\nc");
+  // HELP text keeps double quotes unescaped per the 0.0.4 spec.
+  EXPECT_EQ(PrometheusExporter::EscapeHelpText("say \"hi\""),
+            "say \"hi\"");
+}
+
+TEST(PrometheusExporterTest, HelpAndTypePrecedeEveryMetric) {
+  Registry reg;
+  reg.GetCounter("a.count_total").Add(1);
+  reg.GetGauge("a.depth").Set(2);
+  reg.GetHistogram("a.lat_us").Observe(10);
+  const std::string text = PrometheusExporter(&reg).Export();
+  for (const char* name :
+       {"mvtee_a_count_total", "mvtee_a_depth", "mvtee_a_lat_us"}) {
+    const size_t help = text.find("# HELP " + std::string(name) + " ");
+    const size_t type = text.find("# TYPE " + std::string(name) + " ");
+    const size_t sample = text.find("\n" + std::string(name));
+    ASSERT_NE(help, std::string::npos) << name;
+    ASSERT_NE(type, std::string::npos) << name;
+    ASSERT_NE(sample, std::string::npos) << name;
+    EXPECT_LT(help, type) << name;
+    EXPECT_LT(type, sample) << name;
+  }
+}
+
+TEST(PrometheusExporterTest, CollidingSanitizedNamesEmitOnce) {
+  // "q.depth" and "q_depth" both sanitize to mvtee_q_depth; emitting
+  // both would duplicate the # TYPE line, which parsers reject.
+  Registry reg;
+  reg.GetGauge("q.depth").Set(1);
+  reg.GetGauge("q_depth").Set(2);
+  reg.GetCounter("other_total").Add(1);
+  const std::string text = PrometheusExporter(&reg).Export();
+  size_t type_lines = 0, pos = 0;
+  while ((pos = text.find("# TYPE mvtee_q_depth gauge", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  // And exactly one sample line for the name.
+  size_t samples = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("mvtee_q_depth ", 0) == 0) ++samples;
+  }
+  EXPECT_EQ(samples, 1u);
+}
+
+// ------------------------------ histogram snapshot consistency (TSan)
+
+TEST(HistogramTest, StatsAreSelfConsistentUnderConcurrentObserve) {
+  Registry reg;
+  Histogram& h = reg.GetHistogram("stress.lat_us");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      uint64_t x = 88172645463325252ULL + static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.Observe(static_cast<int64_t>(x % 100'000));
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    HistogramStats s = h.Stats();
+    // Quantiles and count come from ONE bucket-array snapshot: they
+    // must be mutually ordered and inside the observed range even
+    // while writers race.
+    EXPECT_GE(s.count, last_count);
+    last_count = s.count;
+    if (s.count == 0) continue;
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_GE(s.p50, 0.0);
+    EXPECT_LT(s.p99, 200'000.0);  // top bucket bound for 100k samples
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  HistogramStats final = h.Stats();
+  EXPECT_EQ(final.count, h.count());
+  EXPECT_LE(final.p50, final.p95);
+}
+
+
+// ------------------------------------------- trace ids in log lines
+
+TEST(TraceContextTest, LiveScopeStampsLogLines) {
+  // obs/trace.cc wires the provider at static init: any log emitted
+  // under a live TraceContextScope carries the active trace id.
+  const uint64_t id = NewTraceId();
+  ::testing::internal::CaptureStderr();
+  {
+    TraceContextScope scope(id, 0);
+    MVTEE_WLOG << "inside-scope";
+  }
+  MVTEE_WLOG << "outside-scope";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  std::istringstream lines(captured);
+  std::string line;
+  bool saw_inside = false, saw_outside = false;
+  while (std::getline(lines, line)) {
+    if (line.find("inside-scope") != std::string::npos) {
+      saw_inside = true;
+      EXPECT_NE(line.find("t=" + std::to_string(id)), std::string::npos)
+          << line;
+    }
+    if (line.find("outside-scope") != std::string::npos) {
+      saw_outside = true;
+      EXPECT_EQ(line.find("t="), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_inside);
+  EXPECT_TRUE(saw_outside);
 }
 
 }  // namespace

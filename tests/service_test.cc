@@ -11,12 +11,23 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
 #include "core/messages.h"
 #include "core/monitor.h"
 #include "core/offline.h"
 #include "core/variant_host.h"
 #include "graph/builder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/watchdog.h"
+#include "service/admin.h"
 #include "service/inference_service.h"
 #include "tensor/tensor.h"
 #include "transport/channel.h"
@@ -512,6 +523,296 @@ TEST(SessionMessagesTest, TaxonomyCodesHaveDistinctNames) {
             StatusCode::kAdmissionRejected);
   EXPECT_EQ(util::HandshakeFailure("x").code(),
             StatusCode::kHandshakeFailure);
+}
+
+
+// ------------------------------------------- live introspection plane
+
+// "HTTP/1.0 200 OK\r\nheaders\r\n\r\nbody" -> (200, body).
+std::pair<int, std::string> SplitHttp(const std::string& wire) {
+  const size_t space = wire.find(' ');
+  const int code = std::stoi(wire.substr(space + 1));
+  const size_t blank = wire.find("\r\n\r\n");
+  return {code, blank == std::string::npos ? "" : wire.substr(blank + 4)};
+}
+
+TEST_F(ServiceTest, AdminEndpointsServeLiveState) {
+  obs::TimelineLog::Default().Clear();
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  transport::Listener admin_listener;
+  AdminOptions admin_opts;  // no TCP bridge, default watchdog
+  auto admin = AdminServer::Start(*monitor_, admin_listener, admin_opts);
+  ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+  EXPECT_EQ((*admin)->tcp_port(), -1);
+
+  // Put real traffic through so the phase histograms have samples.
+  auto client = InferenceClient::Connect(listener, cpu_,
+                                         monitor_->enclave().measurement());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    auto result = (*client)->Infer({TestInput(static_cast<uint64_t>(i))});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  // /healthz: healthy verdict with the live heartbeat.
+  auto healthz = AdminGet(admin_listener, "/healthz");
+  ASSERT_TRUE(healthz.ok()) << healthz.status().ToString();
+  auto [hcode, hbody] = SplitHttp(*healthz);
+  EXPECT_EQ(hcode, 200);
+  auto hjson = obs::ParseJson(hbody);
+  ASSERT_TRUE(hjson.ok()) << hjson.status().ToString();
+  EXPECT_TRUE(hjson->Find("healthy")->as_bool());
+  EXPECT_GT(hjson->Find("heartbeat")->as_number(), 0.0);
+
+  // /metrics: live Prometheus scrape carrying the per-phase breakdown.
+  auto metrics = AdminGet(admin_listener, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  auto [mcode, mbody] = SplitHttp(*metrics);
+  EXPECT_EQ(mcode, 200);
+  EXPECT_NE(metrics->find("text/plain; version=0.0.4"), std::string::npos);
+  for (const char* phase :
+       {"mvtee_service_queue_wait_us", "mvtee_service_infer_us",
+        "mvtee_service_verify_us", "mvtee_service_reply_us"}) {
+    EXPECT_NE(mbody.find("# TYPE " + std::string(phase) + " summary\n"),
+              std::string::npos)
+        << phase;
+    EXPECT_NE(mbody.find(std::string(phase) + "{quantile=\"0.5\"} "),
+              std::string::npos)
+        << phase;
+  }
+  // The three completed requests landed in every per-request phase
+  // histogram (the fixture panel is k=2, so verification really ran).
+  for (const char* phase :
+       {"mvtee_service_queue_wait_us_count", "mvtee_service_infer_us_count",
+        "mvtee_service_verify_us_count", "mvtee_service_reply_us_count"}) {
+    const size_t pos = mbody.find(std::string(phase) + " ");
+    ASSERT_NE(pos, std::string::npos) << phase;
+    const size_t eol = mbody.find('\n', pos);
+    const int count = std::stoi(
+        mbody.substr(pos + std::string(phase).size() + 1,
+                     eol - pos - std::string(phase).size() - 1));
+    EXPECT_GE(count, 3) << phase;
+  }
+  EXPECT_GT(monitor_->metrics().GetHistogram("service.verify_us").Stats().sum,
+            0.0);
+
+  // /status: sessions, queue accounting, provenance, exemplars.
+  auto status = AdminGet(admin_listener, "/status");
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  auto [scode, sbody] = SplitHttp(*status);
+  EXPECT_EQ(scode, 200);
+  auto sjson = obs::ParseJson(sbody);
+  ASSERT_TRUE(sjson.ok()) << sjson.status().ToString();
+  EXPECT_GT(sjson->Find("uptime_us")->as_number(), 0.0);
+  const obs::JsonValue* svc = sjson->Find("service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_TRUE(svc->Find("running")->as_bool());
+  EXPECT_TRUE(svc->Find("accepting")->as_bool());
+  ASSERT_EQ(svc->Find("sessions")->as_array().size(), 1u);
+  EXPECT_EQ(svc->Find("sessions")->as_array()[0].Find("next_seq")
+                ->as_number(),
+            3.0);
+  const obs::JsonValue* build = sjson->Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_TRUE(build->Find("cpu_features")->is_string());
+  const obs::JsonValue* timelines = sjson->Find("timelines");
+  ASSERT_NE(timelines, nullptr);
+  EXPECT_EQ(timelines->Find("total_noted")->as_number(), 3.0);
+  const auto& slowest = timelines->Find("slowest")->as_array();
+  ASSERT_GE(slowest.size(), 1u);
+  EXPECT_GT(slowest[0].Find("infer_us")->as_number(), 0.0);
+  EXPECT_NE(slowest[0].Find("trace_id")->as_string(), "0");
+
+  // Unknown paths 404; malformed request lines too.
+  auto missing = AdminGet(admin_listener, "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(SplitHttp(*missing).first, 404);
+
+  (*client)->Disconnect();
+  (*service)->Stop();
+  (*admin)->Stop();
+}
+
+TEST_F(ServiceTest, ConcurrentScrapeDuringLoadStaysConsistent) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  transport::Listener admin_listener;
+  auto admin =
+      AdminServer::Start(*monitor_, admin_listener, AdminOptions{});
+  ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+
+  // Load: two client sessions hammering Infer while a scraper reads
+  // /metrics and /status. TSan builds get real interleaving here; all
+  // builds assert every scrape stays well-formed mid-mutation.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = InferenceClient::Connect(
+          listener, cpu_, monitor_->enclave().measurement());
+      if (!client.ok()) return;
+      uint64_t seed = 100 + static_cast<uint64_t>(c);
+      while (!stop.load()) {
+        (void)(*client)->Infer({TestInput(seed++)});
+      }
+      (*client)->Disconnect();
+    });
+  }
+  for (int i = 0; i < 25; ++i) {
+    auto scrape = AdminGet(admin_listener, "/metrics");
+    ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+    auto [code, body] = SplitHttp(*scrape);
+    ASSERT_EQ(code, 200);
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      ASSERT_FALSE(line.empty());
+      if (line[0] == '#') continue;
+      const size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      ASSERT_EQ(line.compare(0, 6, "mvtee_"), 0) << line;
+      ASSERT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    }
+    auto status = AdminGet(admin_listener, "/status");
+    ASSERT_TRUE(status.ok());
+    auto parsed = obs::ParseJson(SplitHttp(*status).second);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  (*service)->Stop();
+  (*admin)->Stop();
+}
+
+// Wedges the monitor's event loop through the fault-injection seam and
+// asserts the full detection chain: heartbeat freezes -> watchdog flips
+// /healthz to 503 and dumps a stall evidence bundle -> releasing the
+// loop recovers /healthz to 200.
+TEST(AdminStallTest, InjectedEventLoopStallFlipsHealthzAndLeavesEvidence) {
+  char dir_template[] = "/tmp/mvtee-stall-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  ::setenv("MVTEE_EVIDENCE_DIR", dir_template, 1);
+
+  auto bundle = RunOfflineTool(TestModel(), SmallOffline());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  tee::SimulatedCpu cpu{tee::SimulatedCpu::Options{.hardware_key_seed = 3}};
+  VariantHost host(&cpu, bundle->store);
+
+  // The gate the hook blocks on; armed mid-test, released for recovery.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool wedged = false;
+  MonitorConfig config;
+  config.loop_tick_hook = [&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return !wedged; });
+  };
+  auto monitor = Monitor::Create(&cpu, config);
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE((*monitor)
+                  ->Initialize(*bundle, MvxSelection::Uniform(*bundle, 2),
+                               host)
+                  .ok());
+
+  transport::Listener listener;
+  auto service = InferenceService::Start(**monitor, listener);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  transport::Listener admin_listener;
+  AdminOptions admin_opts;
+  admin_opts.watchdog.poll_interval_us = 5'000;
+  admin_opts.watchdog.stall_threshold_us = 50'000;
+  auto admin = AdminServer::Start(**monitor, admin_listener, admin_opts);
+  ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+
+  auto client = InferenceClient::Connect(
+      listener, cpu, (*monitor)->enclave().measurement());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // Sanity: un-wedged requests flow and /healthz is 200.
+  ASSERT_TRUE((*client)->Infer({TestInput()}).ok());
+  auto healthz = AdminGet(admin_listener, "/healthz");
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_EQ(SplitHttp(*healthz).first, 200);
+  const uint64_t bundles_before =
+      (*monitor)->metrics().GetCounter("watchdog.stall_bundles_total")
+          .value();
+
+  // Arm the gate and submit: the request pops (inflight goes up), the
+  // event loop hits the hook and freezes mid-run.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    wedged = true;
+  }
+  auto stalled = std::async(std::launch::async, [&] {
+    return (*client)->Infer({TestInput(2)});
+  });
+
+  // The watchdog must flip /healthz within a few thresholds.
+  int code = 200;
+  std::string body;
+  const int64_t give_up = util::NowMicros() + 10'000'000;
+  while (util::NowMicros() < give_up) {
+    auto probe = AdminGet(admin_listener, "/healthz");
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    std::tie(code, body) = SplitHttp(*probe);
+    if (code == 503) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(code, 503) << body;
+  auto verdict = obs::ParseJson(body);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_FALSE(verdict->Find("healthy")->as_bool());
+  EXPECT_NE(verdict->Find("reason")->as_string().find("event loop silent"),
+            std::string::npos);
+
+  // The sustained stall left a forensic bundle.
+  ASSERT_TRUE(WaitForCounter(
+      (*monitor)->metrics().GetCounter("watchdog.stall_bundles_total"),
+      bundles_before + 1));
+
+  // Release the loop: the wedged request completes and health recovers.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    wedged = false;
+  }
+  gate_cv.notify_all();
+  auto result = stalled.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  code = 503;
+  const int64_t recover_by = util::NowMicros() + 10'000'000;
+  while (util::NowMicros() < recover_by) {
+    auto probe = AdminGet(admin_listener, "/healthz");
+    ASSERT_TRUE(probe.ok());
+    code = SplitHttp(*probe).first;
+    if (code == 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(code, 200);
+
+  (*client)->Disconnect();
+  (*service)->Stop();
+  (*admin)->Stop();
+  ASSERT_TRUE((*monitor)->Shutdown().ok());
+  host.JoinAll();
+
+  // The evidence files are watchdog-stall bundles; clean up the dir.
+  int bundle_files = 0;
+  const std::string dir(dir_template);
+  ::DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    ++bundle_files;
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  EXPECT_GE(bundle_files, 1);
+  ::unsetenv("MVTEE_EVIDENCE_DIR");
+  ::rmdir(dir_template);
 }
 
 }  // namespace

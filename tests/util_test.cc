@@ -8,6 +8,7 @@
 #include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/cpu_features.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -421,6 +422,60 @@ TEST(ThreadPoolTest, ResolveThreadCountRejectsMalformedValues) {
                           "3.5", "0", "99999999999999999999", "5000"}) {
     EXPECT_EQ(ThreadPool::ResolveThreadCount(bad, 6), 6u) << "value: " << bad;
   }
+}
+
+
+// -------------------------------------------------------------- logging
+
+TEST(LoggingTest, ResolveLogLevelStrictParsing) {
+  const LogLevel fb = LogLevel::kWarning;
+  EXPECT_EQ(ResolveLogLevel(nullptr, fb), fb);  // unset: silent default
+  EXPECT_EQ(ResolveLogLevel("debug", fb), LogLevel::kDebug);
+  EXPECT_EQ(ResolveLogLevel("info", fb), LogLevel::kInfo);
+  EXPECT_EQ(ResolveLogLevel("warning", fb), LogLevel::kWarning);
+  EXPECT_EQ(ResolveLogLevel("warn", fb), LogLevel::kWarning);
+  EXPECT_EQ(ResolveLogLevel("error", fb), LogLevel::kError);
+  // Wrong case, whitespace, abbreviations and junk all fall back.
+  EXPECT_EQ(ResolveLogLevel("DEBUG", fb), fb);
+  EXPECT_EQ(ResolveLogLevel("Info", fb), fb);
+  EXPECT_EQ(ResolveLogLevel(" info", fb), fb);
+  EXPECT_EQ(ResolveLogLevel("info ", fb), fb);
+  EXPECT_EQ(ResolveLogLevel("inf", fb), fb);
+  EXPECT_EQ(ResolveLogLevel("", fb), fb);
+  EXPECT_EQ(ResolveLogLevel("2", fb), fb);
+  EXPECT_EQ(ResolveLogLevel("verbose", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggingTest, SetLogLevelGatesEmission) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MVTEE_WLOG << "should be dropped";
+  MVTEE_ELOG << "should appear";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should be dropped"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+  SetLogLevel(before);
+}
+
+uint64_t FakeTraceId() { return 424242; }
+uint64_t NoTraceId() { return 0; }
+
+TEST(LoggingTest, TraceIdProviderStampsLogLines) {
+  SetLogTraceIdProvider(&FakeTraceId);
+  ::testing::internal::CaptureStderr();
+  MVTEE_WLOG << "with-context";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("t=424242"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("with-context"), std::string::npos);
+
+  // A provider reporting no live context (0) omits the field entirely.
+  SetLogTraceIdProvider(&NoTraceId);
+  ::testing::internal::CaptureStderr();
+  MVTEE_WLOG << "no-context";
+  captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("t="), std::string::npos) << captured;
+  SetLogTraceIdProvider(nullptr);
 }
 
 }  // namespace
