@@ -73,14 +73,19 @@ int main() {
                     ->Initialize(bundle,
                                  core::MvxSelection::Uniform(bundle, 3), host)
                     .ok());
-    core::RunStats stats;
-    auto out =
-        (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
+    MVTEE_CHECK((*monitor)->StartService().ok());
+    auto session = (*monitor)->OpenSession();
+    MVTEE_CHECK(session.ok());
+    auto pending = (*session)->Submit({{input}});
+    MVTEE_CHECK(pending.ok());
+    core::InferenceResponse response = pending->get();
     std::printf("     result: %s\n",
-                out.ok() ? "ACCEPTED (!!)" : out.status().ToString().c_str());
+                response.status.ok() ? "ACCEPTED (!!)"
+                                     : response.status.ToString().c_str());
     std::printf("     divergences observed: %llu — attack detected before "
                 "any output left the system\n\n",
-                static_cast<unsigned long long>(stats.divergences));
+                static_cast<unsigned long long>(
+                    (*monitor)->ConsumeStats().divergences));
     (void)(*monitor)->Shutdown();
     host.JoinAll();
   }
@@ -102,10 +107,13 @@ int main() {
                     ->Initialize(bundle,
                                  core::MvxSelection::Uniform(bundle, 3), host)
                     .ok());
-    core::RunStats stats;
-    auto out =
-        (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
-    MVTEE_CHECK(out.ok());
+    MVTEE_CHECK((*monitor)->StartService().ok());
+    auto session = (*monitor)->OpenSession();
+    MVTEE_CHECK(session.ok());
+    auto pending = (*session)->Submit({{input}});
+    MVTEE_CHECK(pending.ok());
+    core::InferenceResponse response = pending->get();
+    MVTEE_CHECK(response.status.ok());
 
     // Compare against the unprotected reference.
     auto ref_exec =
@@ -114,9 +122,10 @@ int main() {
     auto expected = (*ref_exec)->Run({input});
     MVTEE_CHECK(expected.ok());
     std::printf("     result: served (cosine vs ground truth: %.6f)\n",
-                tensor::CosineSimilarity((*out)[0][0], (*expected)[0]));
+                tensor::CosineSimilarity(response.outputs[0], (*expected)[0]));
     std::printf("     divergences: %llu — corrupted variant outvoted\n\n",
-                static_cast<unsigned long long>(stats.divergences));
+                static_cast<unsigned long long>(
+                    (*monitor)->ConsumeStats().divergences));
     (void)(*monitor)->Shutdown();
     host.JoinAll();
   }
@@ -144,14 +153,18 @@ int main() {
                     ->Initialize(bundle,
                                  core::MvxSelection::Uniform(bundle, 3), host)
                     .ok());
-    core::RunStats stats;
-    auto out =
-        (*monitor)->Run({{input}}, core::RunOptions{.stats = &stats});
+    MVTEE_CHECK((*monitor)->StartService().ok());
+    auto session = (*monitor)->OpenSession();
+    MVTEE_CHECK(session.ok());
+    auto pending = (*session)->Submit({{input}});
+    MVTEE_CHECK(pending.ok());
+    core::InferenceResponse response = pending->get();
     std::printf("     result: %s | variant failures: %llu | service "
                 "survived: %s\n",
-                out.ok() ? "served" : "refused",
-                static_cast<unsigned long long>(stats.variant_failures),
-                out.ok() ? "yes" : "no");
+                response.status.ok() ? "served" : "refused",
+                static_cast<unsigned long long>(
+                    (*monitor)->ConsumeStats().variant_failures),
+                response.status.ok() ? "yes" : "no");
     (void)(*monitor)->Shutdown();
     host.JoinAll();
   }

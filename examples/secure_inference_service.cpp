@@ -165,12 +165,22 @@ int main() {
     std::printf("update failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  // The Run() compatibility wrapper drives the same request loop.
+  // The session API drives the restarted request loop directly.
   util::Rng rng(7);
-  auto post_update = (*monitor)->Run({{tensor::Tensor::RandomUniform(
-      tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng)}});
-  std::printf("[service] post-update inference: %s\n",
-              post_update.ok() ? "OK" : post_update.status().ToString().c_str());
+  std::string post_update = "OK";
+  if (auto ok = (*monitor)->StartService(); !ok.ok()) {
+    post_update = ok.ToString();
+  } else if (auto session = (*monitor)->OpenSession(); !session.ok()) {
+    post_update = session.status().ToString();
+  } else if (auto pending = (*session)->Submit({{tensor::Tensor::RandomUniform(
+                 tensor::Shape({1, 3, zoo.input_hw, zoo.input_hw}), rng)}});
+             !pending.ok()) {
+    post_update = pending.status().ToString();
+  } else if (core::InferenceResponse response = pending->get();
+             !response.status.ok()) {
+    post_update = response.status.ToString();
+  }
+  std::printf("[service] post-update inference: %s\n", post_update.c_str());
 
   int active = 0, retired = 0;
   for (const auto& b : (*monitor)->bindings()) {

@@ -280,7 +280,8 @@ util::Status SendFrame(transport::MsgChannel& channel, const StageDataMsg& msg,
 }
 
 size_t EncodedSize(const SessionSubmitMsg& msg) {
-  const size_t head = 1 + 8 + 8;
+  const size_t head = 1 + 8 + 8 + 4 + LpSize(msg.tenant.size()) +
+                      LpSize(msg.model.size());
   return head + TensorsEncodedSize(head, msg.inputs);
 }
 
@@ -289,6 +290,9 @@ void EncodeSessionSubmitInto(const SessionSubmitMsg& msg, util::Bytes& out) {
   util::AppendU8(out, static_cast<uint8_t>(MsgType::kSessionSubmit));
   util::AppendU64(out, msg.seq);
   util::AppendU64(out, static_cast<uint64_t>(msg.deadline_us));
+  util::AppendU32(out, static_cast<uint32_t>(msg.priority));
+  util::AppendLengthPrefixedStr(out, msg.tenant);
+  util::AppendLengthPrefixedStr(out, msg.model);
   AppendTensors(out, frame_base, msg.inputs);
 }
 
@@ -677,13 +681,18 @@ util::Result<SessionSubmitMsg> DecodeSessionSubmitImpl(
   MVTEE_RETURN_IF_ERROR(ConsumeTag(reader, MsgType::kSessionSubmit));
   SessionSubmitMsg msg;
   uint64_t deadline;
-  if (!reader.ReadU64(msg.seq) || !reader.ReadU64(deadline)) {
+  uint32_t priority;
+  if (!reader.ReadU64(msg.seq) || !reader.ReadU64(deadline) ||
+      !reader.ReadU32(priority) ||
+      !reader.ReadLengthPrefixedStr(msg.tenant) ||
+      !reader.ReadLengthPrefixedStr(msg.model)) {
     return util::InvalidArgument("malformed SessionSubmit");
   }
+  // A negative deadline is NOT a decode error: the server answers it
+  // with kAdmissionRejected so the session (and its sequence space)
+  // survives a client clock skew.
   msg.deadline_us = static_cast<int64_t>(deadline);
-  if (msg.deadline_us < 0) {
-    return util::InvalidArgument("negative SessionSubmit deadline");
-  }
+  msg.priority = static_cast<int32_t>(priority);
   MVTEE_RETURN_IF_ERROR(ReadTensors(reader, msg.inputs, keepalive));
   if (!reader.done()) return util::InvalidArgument("SessionSubmit tail");
   return msg;

@@ -186,9 +186,18 @@ struct AttestReplyMsg {
 
 struct SessionSubmitMsg {
   uint64_t seq = 0;
-  // Relative per-request budget, microseconds; 0 = unbounded. Flows
-  // into the monitor's RunOptions.deadline_us machinery.
+  // Relative per-request budget, microseconds; 0 = no deadline. A
+  // negative value decodes fine (it consumes the seq) and is rejected
+  // at admission with kAdmissionRejected — an expired budget is a
+  // client-side condition, not a malformed frame.
   int64_t deadline_us = 0;
+  // Scheduling hints (DESIGN.md §13): plaintext-equivalent labels for
+  // the multi-tenant scheduler. They steer WFQ/quota/EDF ordering only
+  // and are never bound into the attested channel's AAD — a forged
+  // label can skew fairness for the forging client, never integrity.
+  std::string tenant;    // "" = shared default tenant
+  int32_t priority = 0;  // higher dispatches earlier within a tenant
+  std::string model;     // model-zoo route ("" = the service default)
   std::vector<tensor::Tensor> inputs;  // one model-input batch
 };
 

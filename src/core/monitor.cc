@@ -10,6 +10,8 @@
 #include "obs/flight_recorder.h"
 #include "obs/timeline.h"
 #include "util/clock.h"
+#include "util/knobs.h"
+#include "util/logging.h"
 
 namespace mvtee::core {
 
@@ -26,12 +28,19 @@ struct ServiceState {
     bool legacy = false;
     uint64_t session_id = 0;
     uint64_t seq = 0;
+    // Monotone arrival ticket across all sessions: the scheduler's
+    // FIFO reference (what EDF/priority "preempt").
+    uint64_t ticket = 0;
     // One batch for a session submit; the whole vector for a legacy
     // Run() group.
     std::vector<std::vector<Tensor>> batches;
     RunOptions options;          // legacy groups only
     int64_t deadline_abs_us = 0; // submits only; 0 = unbounded
     int64_t enqueue_us = 0;
+    // Scheduling metadata (submits only).
+    std::string tenant;
+    int32_t priority = 0;
+    std::string model;
     std::promise<InferenceResponse> response;  // submits
     std::promise<util::Result<std::vector<std::vector<Tensor>>>>
         group_result;  // legacy groups
@@ -49,7 +58,11 @@ struct ServiceState {
   bool accepting = false;
   size_t queue_max = 64;
   uint64_t next_session_id = 1;
+  uint64_t next_ticket = 1;
   std::map<uint64_t, SessionInfo> sessions;
+  // The monitor's event wait set: enqueues notify it so a serving
+  // stream parked in WaitFor wakes for the new work.
+  std::shared_ptr<transport::WaitSet> waker;
 
   // Service instruments (default registry; pointer-stable).
   obs::Gauge* sessions_active = nullptr;
@@ -68,8 +81,27 @@ struct ServiceState {
   obs::Histogram* infer_us = nullptr;
   obs::Histogram* verify_us = nullptr;
   obs::Histogram* reply_us = nullptr;
+  // Scheduler instruments (DESIGN.md §13): pipeline occupancy at each
+  // formation, queue-order preemptions, requests answered after (or
+  // expired at) their deadline, and per-tenant goodput (resolved on
+  // demand as scheduler.tenant.<name>.goodput_total).
+  obs::Registry* registry = nullptr;
+  obs::Histogram* sched_occupancy = nullptr;
+  obs::Counter* sched_preemptions = nullptr;
+  obs::Counter* sched_deadline_misses = nullptr;
+
+  obs::Counter& TenantGoodput(const std::string& tenant) {
+    return registry->GetCounter("scheduler.tenant." +
+                                (tenant.empty() ? "default" : tenant) +
+                                ".goodput_total");
+  }
 
   void BindMetrics(obs::Registry& reg) {
+    registry = &reg;
+    sched_occupancy = &reg.GetHistogram("scheduler.batch_occupancy");
+    sched_preemptions = &reg.GetCounter("scheduler.preemptions_total");
+    sched_deadline_misses =
+        &reg.GetCounter("scheduler.deadline_misses_total");
     sessions_active = &reg.GetGauge("service.sessions_active");
     queue_depth = &reg.GetGauge("service.admission_queue_depth");
     queue_depth_hwm = &reg.GetGauge("service.admission_queue_depth_hwm");
@@ -144,6 +176,17 @@ util::Result<std::future<InferenceResponse>> Session::SubmitSequenced(
     // not desynchronize the session's sequence space.
     it->second.expected_seq = seq + 1;
     if (!st.accepting) return util::Unavailable("service stopped");
+    if (request.deadline_us < 0) {
+      // End-to-end deadline semantics: 0 means "no deadline"; a
+      // negative budget is expired before it starts and must never
+      // enter the pipeline (the sequence number above is still
+      // consumed, like any other admission rejection).
+      st.rejected_total->Add(1);
+      st.sched_deadline_misses->Add(1);
+      return util::AdmissionRejected(
+          "deadline_us " + std::to_string(request.deadline_us) +
+          " already expired at submit (0 = no deadline)");
+    }
     if (st.queued_submits >= st.queue_max) {
       st.rejected_total->Add(1);
       return util::AdmissionRejected(
@@ -154,10 +197,14 @@ util::Result<std::future<InferenceResponse>> Session::SubmitSequenced(
     internal::ServiceState::Item item;
     item.session_id = id_;
     item.seq = seq;
+    item.ticket = st.next_ticket++;
     item.enqueue_us = util::NowMicros();
     item.deadline_abs_us = request.deadline_us > 0
                                ? item.enqueue_us + request.deadline_us
                                : 0;
+    item.tenant = std::move(request.tenant);
+    item.priority = request.priority;
+    item.model = std::move(request.model);
     item.batches.push_back(std::move(request.inputs));
     future = item.response.get_future();
     st.queue.push_back(std::move(item));
@@ -168,6 +215,13 @@ util::Result<std::future<InferenceResponse>> Session::SubmitSequenced(
     st.requests_total->Add(1);
   }
   st.cv.notify_one();
+  // Wake a serving stream parked on the monitor's wait set.
+  std::shared_ptr<transport::WaitSet> waker;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    waker = st.waker;
+  }
+  if (waker) waker->Notify();
   return future;
 }
 
@@ -616,14 +670,17 @@ util::Status Monitor::StartService(const ServiceConfig& config) {
   std::lock_guard<std::mutex> lock(service_ctl_mu_);
   if (service_running_) return util::OkStatus();
   if (!initialized_) return util::FailedPrecondition("not initialized");
+  util::KnobRegistry::Default().WarnUnknownOnce();
   if (!service_) service_ = std::make_shared<internal::ServiceState>();
   service_->BindMetrics(*metrics_);
+  service_config_ = config;
+  service_config_.scheduler = SchedulerConfig::FromEnv(config.scheduler);
   {
     std::lock_guard<std::mutex> state_lock(service_->mu);
     service_->accepting = true;
     service_->queue_max = config.admission_queue_max;
+    service_->waker = wait_set_;
   }
-  service_config_ = config;
   service_thread_ = std::thread(&Monitor::ServiceLoop, this);
   service_running_ = true;
   return util::OkStatus();
@@ -637,6 +694,7 @@ void Monitor::StopService() {
     service_->accepting = false;
   }
   service_->cv.notify_all();
+  wait_set_->Notify();  // a parked serving stream quiesces promptly
   service_thread_.join();
   service_running_ = false;
 }
@@ -666,7 +724,11 @@ Monitor::ServiceStatusSnapshot Monitor::ServiceStatus() {
   {
     std::lock_guard<std::mutex> lock(service_ctl_mu_);
     out.running = service_running_;
-    out.max_inflight = service_config_.max_inflight;
+    out.max_batch = service_config_.scheduler.max_batch;
+    out.continuous = service_config_.scheduler.continuous;
+    out.edf = service_config_.scheduler.edf;
+    out.batch_window_us = service_config_.scheduler.batch_window_us;
+    out.tenant_quota_pct = service_config_.scheduler.tenant_quota_pct;
     state = service_;
   }
   if (!state) return out;
@@ -683,8 +745,11 @@ Monitor::ServiceStatusSnapshot Monitor::ServiceStatus() {
 
 void Monitor::ServiceLoop() {
   internal::ServiceState& st = *service_;
+  // The formation policy lives as long as the loop so WFQ virtual
+  // times carry fairness memory across serving streams.
+  BatchFormer former(service_config_.scheduler);
   for (;;) {
-    std::vector<internal::ServiceState::Item> group;
+    bool legacy_next = false;
     {
       std::unique_lock<std::mutex> lock(st.mu);
       st.cv.wait(lock, [&] { return !st.queue.empty() || !st.accepting; });
@@ -708,130 +773,248 @@ void Monitor::ServiceLoop() {
         st.queue_depth->Set(0);
         return;
       }
-      // One admission group: a legacy Run() vector travels alone (its
-      // options — sequential admission, deadlines, stats handle — are
-      // group-scoped); session submits coalesce up to max_inflight into
-      // one pipelined pass.
-      if (st.queue.front().legacy) {
-        group.push_back(std::move(st.queue.front()));
-        st.queue.pop_front();
-      } else {
-        while (!st.queue.empty() && !st.queue.front().legacy &&
-               group.size() < service_config_.max_inflight) {
-          group.push_back(std::move(st.queue.front()));
-          st.queue.pop_front();
-          st.queued_submits -= 1;
-        }
-      }
-      st.queue_depth->Set(static_cast<int64_t>(st.queued_submits));
-      st.groups_total->Add(1);
+      legacy_next = st.queue.front().legacy;
     }
     m_.loop_heartbeat->Add(1);
-    const int64_t pop_us = util::NowMicros();
 
-    if (group.front().legacy) {
-      internal::ServiceState::Item& item = group.front();
+    if (legacy_next) {
+      // A legacy Run() vector travels alone as one exclusive classic
+      // pass (its options — sequential admission, deadlines, stats
+      // handle — are group-scoped).
+      internal::ServiceState::Item item;
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        item = std::move(st.queue.front());
+        st.queue.pop_front();
+        st.groups_total->Add(1);
+      }
       st.inflight->Set(static_cast<int64_t>(item.batches.size()));
       item.group_result.set_value(RunStream(item.batches, item.options));
       st.inflight->Set(0);
       continue;
     }
 
-    // Coalesced session submits: drop already-expired requests, run the
-    // rest as one pipelined group whose run deadline is the *largest*
-    // remaining per-request budget (so a short budget cannot truncate a
-    // neighbor's), unbounded if any member is unbounded.
+    // Continuous serving stream: the scheduler forms batches and the
+    // stream admits them as slots free, until the service stops, a
+    // legacy group reaches the queue head, or the queue runs dry. A
+    // stream error fails only that stream's in-flight requests; the
+    // loop then starts a fresh stream for whatever is still queued.
+    (void)ServeStream(former);
+  }
+}
+
+util::Status Monitor::ServeStream(BatchFormer& former) {
+  internal::ServiceState& st = *service_;
+  const SchedulerConfig& sched = service_config_.scheduler;
+
+  // One admitted, not-yet-answered request per pipeline slot.
+  struct Pending {
+    internal::ServiceState::Item item;
+    int64_t admit_us = 0;
+  };
+  std::map<size_t, Pending> live;  // stream batch index -> request
+  std::map<std::string, size_t> inflight_per_tenant;
+  size_t next_index = 0;
+  int64_t window_recheck_us = 0;
+
+  auto answer = [&](internal::ServiceState::Item& item,
+                    InferenceResponse response, int64_t queue_wait,
+                    int64_t infer_us, int64_t verify_us, bool ok) {
+    st.queue_wait_us->Observe(queue_wait);
+    st.coalesce_us->Observe(0);  // formation is per-slot, not per-pass
+    st.infer_us->Observe(infer_us);
+    st.verify_us->Observe(verify_us);
+    obs::RequestTimeline timeline;
+    timeline.trace_id = response.trace_id;
+    timeline.session_id = item.session_id;
+    timeline.seq = item.seq;
+    timeline.enqueue_wall_us = item.enqueue_us;
+    timeline.queue_wait_us = queue_wait;
+    timeline.coalesce_us = 0;
+    timeline.infer_us = infer_us;
+    timeline.verify_us = verify_us;
+    timeline.ok = ok;
+    obs::TimelineLog::Default().Note(std::move(timeline));
+    item.response.set_value(std::move(response));
+  };
+
+  StreamFeed feed;
+  feed.max_inflight = std::max<size_t>(1, sched.max_batch);
+  feed.quiesce = [&] {
+    std::lock_guard<std::mutex> lock(st.mu);
+    return !st.accepting || st.queue.empty() || st.queue.front().legacy;
+  };
+  feed.next_wake_us = [&] { return window_recheck_us; };
+  feed.refill = [&](size_t free_slots,
+                    std::vector<std::vector<Tensor>>* out) -> size_t {
+    window_recheck_us = 0;
+    // PR 6 parity mode: a new group forms only against an empty
+    // pipeline (the drain barrier the continuous scheduler removes).
+    if (!sched.continuous && !live.empty()) return 0;
     const int64_t now = util::NowMicros();
-    std::vector<std::vector<Tensor>> batches;
-    std::vector<size_t> live;
-    int64_t group_budget_us = 0;
-    bool unbounded = false;
-    for (size_t i = 0; i < group.size(); ++i) {
-      internal::ServiceState::Item& item = group[i];
+
+    // Pull the submits ahead of any legacy barrier out of the queue;
+    // unpicked ones are put back in arrival order below.
+    std::vector<internal::ServiceState::Item> window;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (!st.accepting) return 0;
+      while (!st.queue.empty() && !st.queue.front().legacy) {
+        window.push_back(std::move(st.queue.front()));
+        st.queue.pop_front();
+      }
+    }
+    if (window.empty()) return 0;
+
+    // Reject expired / malformed requests before formation: they must
+    // never occupy a pipeline slot.
+    std::vector<internal::ServiceState::Item> viable;
+    for (auto& item : window) {
       if (item.deadline_abs_us != 0 && now >= item.deadline_abs_us) {
+        st.sched_deadline_misses->Add(1);
         InferenceResponse response;
         response.status =
             util::DeadlineExceeded("request expired in admission queue");
         response.seq = item.seq;
         response.latency_us = now - item.enqueue_us;
-        st.queue_wait_us->Observe(now - item.enqueue_us);
-        item.response.set_value(std::move(response));
+        answer(item, std::move(response), now - item.enqueue_us, 0, 0,
+               false);
         continue;
       }
-      if (item.deadline_abs_us == 0) {
-        unbounded = true;
-      } else {
-        group_budget_us =
-            std::max(group_budget_us, item.deadline_abs_us - now);
+      if (static_cast<int64_t>(item.batches.front().size()) !=
+          num_model_inputs_) {
+        InferenceResponse response;
+        response.status = util::InvalidArgument(
+            "expected " + std::to_string(num_model_inputs_) +
+            " model inputs per request");
+        response.seq = item.seq;
+        response.latency_us = now - item.enqueue_us;
+        answer(item, std::move(response), now - item.enqueue_us, 0, 0,
+               false);
+        continue;
       }
-      live.push_back(i);
-      batches.push_back(std::move(item.batches.front()));
+      viable.push_back(std::move(item));
     }
-    if (live.empty()) continue;
 
-    RunOptions options;
-    options.pipelined = true;
-    options.deadline_us = unbounded ? 0 : group_budget_us;
-    RunStats group_stats;
-    std::vector<uint64_t> group_trace_ids;
-    options.stats = &group_stats;
-    options.trace_ids = &group_trace_ids;
-    const int64_t run_start = util::NowMicros();
-    // Group-scoped phases: coalescing (group assembly since the pop)
-    // and the pipelined MVX pass are shared by every member; queue wait
-    // and verify CPU are per request.
-    const int64_t group_coalesce_us = run_start - pop_us;
-    st.inflight->Set(static_cast<int64_t>(live.size()));
-    auto result = RunStream(batches, options);
-    st.inflight->Set(0);
-    const int64_t done = util::NowMicros();
-    const int64_t group_infer_us = done - run_start;
-    for (size_t j = 0; j < live.size(); ++j) {
-      internal::ServiceState::Item& item = group[live[j]];
-      const int64_t queue_wait = pop_us - item.enqueue_us;
-      const int64_t verify =
-          j < group_stats.batch_verify_us.size()
-              ? group_stats.batch_verify_us[j]
-              : 0;
-      InferenceResponse response;
-      response.seq = item.seq;
-      response.latency_us = done - item.enqueue_us;
-      response.trace_id =
-          j < group_trace_ids.size() ? group_trace_ids[j] : 0;
-      if (result.ok()) {
-        response.outputs = std::move((*result)[j]);
-        st.request_latency_us->Observe(response.latency_us);
-      } else if (item.deadline_abs_us != 0 && done >= item.deadline_abs_us) {
-        response.status =
-            util::DeadlineExceeded("request deadline passed: " +
-                                   result.status().ToString());
-      } else {
-        response.status = result.status();
+    BatchPlan plan;
+    if (!viable.empty()) {
+      std::vector<SchedEntry> entries;
+      entries.reserve(viable.size());
+      for (const auto& item : viable) {
+        SchedEntry e;
+        e.id = item.ticket;
+        e.tenant = item.tenant;
+        e.priority = item.priority;
+        e.deadline_abs_us = item.deadline_abs_us;
+        e.enqueue_us = item.enqueue_us;
+        entries.push_back(std::move(e));
       }
-      st.queue_wait_us->Observe(queue_wait);
-      st.coalesce_us->Observe(group_coalesce_us);
-      st.infer_us->Observe(group_infer_us);
-      st.verify_us->Observe(verify);
-      obs::RequestTimeline timeline;
-      timeline.trace_id = response.trace_id;
-      timeline.session_id = item.session_id;
-      timeline.seq = item.seq;
-      timeline.enqueue_wall_us = item.enqueue_us;
-      timeline.queue_wait_us = queue_wait;
-      timeline.coalesce_us = group_coalesce_us;
-      timeline.infer_us = group_infer_us;
-      timeline.verify_us = verify;
-      timeline.ok = result.ok();
-      obs::TimelineLog::Default().Note(std::move(timeline));
-      item.response.set_value(std::move(response));
+      plan = former.Form(entries, now, free_slots, inflight_per_tenant);
+      window_recheck_us = plan.recheck_at_us;
     }
+
+    std::vector<char> picked(viable.size(), 0);
+    for (size_t i : plan.picks) picked[i] = 1;
+    for (size_t i : plan.picks) {
+      internal::ServiceState::Item& item = viable[i];
+      ++inflight_per_tenant[item.tenant];
+      out->push_back(std::move(item.batches.front()));
+      live.emplace(next_index++, Pending{std::move(item), now});
+    }
+
+    // Put unpicked submits back at the queue head, original order.
+    size_t requeued = 0;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      for (size_t i = viable.size(); i-- > 0;) {
+        if (picked[i]) continue;
+        st.queue.push_front(std::move(viable[i]));
+        ++requeued;
+      }
+      st.queued_submits = 0;
+      for (const auto& qi : st.queue) {
+        if (!qi.legacy) ++st.queued_submits;
+      }
+      st.queue_depth->Set(static_cast<int64_t>(st.queued_submits));
+    }
+    (void)requeued;
+
+    if (!plan.picks.empty()) {
+      st.groups_total->Add(1);
+      st.sched_preemptions->Add(plan.preemptions);
+      st.sched_occupancy->Observe(static_cast<int64_t>(live.size()));
+      st.inflight->Set(static_cast<int64_t>(live.size()));
+    }
+    return plan.picks.size();
+  };
+  feed.deliver = [&](size_t b, std::vector<Tensor> outputs,
+                     int64_t verify_us, uint64_t trace_id) {
+    auto it = live.find(b);
+    if (it == live.end()) return;
+    Pending& p = it->second;
+    const int64_t done = util::NowMicros();
+    InferenceResponse response;
+    response.seq = p.item.seq;
+    response.latency_us = done - p.item.enqueue_us;
+    response.trace_id = trace_id;
+    response.outputs = std::move(outputs);
+    if (p.item.deadline_abs_us != 0 && done > p.item.deadline_abs_us) {
+      // Late success: still answered (the work is done and verified),
+      // but it is a scheduler deadline miss — goodput counts it out.
+      st.sched_deadline_misses->Add(1);
+    }
+    st.request_latency_us->Observe(response.latency_us);
+    st.TenantGoodput(p.item.tenant).Add(1);
+    answer(p.item, std::move(response), p.admit_us - p.item.enqueue_us,
+           done - p.admit_us, verify_us, true);
+    auto tit = inflight_per_tenant.find(p.item.tenant);
+    if (tit != inflight_per_tenant.end() && tit->second > 0) --tit->second;
+    live.erase(it);
+    st.inflight->Set(static_cast<int64_t>(live.size()));
+  };
+
+  RunOptions options;
+  options.pipelined = true;
+  auto result = RunStream({}, options, &feed);
+  util::Status status = result.status();
+
+  // A stream abort leaves admitted-but-unanswered requests: fail each
+  // with the stream error (or its own deadline, when that is the
+  // truer story). Requests answered before the abort keep their
+  // results — stream failure is not retroactive.
+  const int64_t done = util::NowMicros();
+  for (auto& [b, p] : live) {
+    InferenceResponse response;
+    response.seq = p.item.seq;
+    response.latency_us = done - p.item.enqueue_us;
+    if (!status.ok() && p.item.deadline_abs_us != 0 &&
+        done >= p.item.deadline_abs_us) {
+      st.sched_deadline_misses->Add(1);
+      response.status = util::DeadlineExceeded(
+          "request deadline passed: " + status.ToString());
+    } else if (!status.ok()) {
+      response.status = status;
+    } else {
+      response.status = util::Unavailable("serving stream ended");
+    }
+    answer(p.item, std::move(response), p.admit_us - p.item.enqueue_us,
+           done - p.admit_us, 0, false);
   }
+  live.clear();
+  st.inflight->Set(0);
+  return status;
 }
 
 util::Result<std::vector<std::vector<Tensor>>> Monitor::Run(
     const std::vector<std::vector<Tensor>>& batches,
     const RunOptions& options) {
   if (!initialized_) return util::FailedPrecondition("not initialized");
+  static std::once_flag deprecation_once;
+  std::call_once(deprecation_once, [] {
+    MVTEE_WLOG << "Monitor::Run(batches) is deprecated and will be removed "
+               << "next release; use OpenSession() + Session::Submit "
+               << "(migration table in README)";
+  });
   MVTEE_RETURN_IF_ERROR(StartService(service_config_));
   std::future<util::Result<std::vector<std::vector<Tensor>>>> future;
   {
@@ -846,6 +1029,15 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::Run(
     service_->queue.push_back(std::move(item));
   }
   service_->cv.notify_one();
+  {
+    // Wake a parked serving stream so it quiesces for the legacy pass.
+    std::shared_ptr<transport::WaitSet> waker;
+    {
+      std::lock_guard<std::mutex> lock(service_->mu);
+      waker = service_->waker;
+    }
+    if (waker) waker->Notify();
+  }
   return future.get();
 }
 
@@ -877,20 +1069,27 @@ void Monitor::RebootstrapSlot(size_t stage, size_t vi) {
 
 util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     const std::vector<std::vector<Tensor>>& batches,
-    const RunOptions& options) {
+    const RunOptions& options, StreamFeed* feed) {
   const bool pipelined = options.pipelined;
   if (!initialized_) return util::FailedPrecondition("not initialized");
   const size_t num_batches = batches.size();
-  if (num_batches == 0) return std::vector<std::vector<Tensor>>{};
-  for (const auto& b : batches) {
-    if (static_cast<int64_t>(b.size()) != num_model_inputs_) {
-      return util::InvalidArgument("expected " +
-                                   std::to_string(num_model_inputs_) +
-                                   " model inputs per batch");
+  if (feed == nullptr) {
+    if (num_batches == 0) return std::vector<std::vector<Tensor>>{};
+    for (const auto& b : batches) {
+      if (static_cast<int64_t>(b.size()) != num_model_inputs_) {
+        return util::InvalidArgument("expected " +
+                                     std::to_string(num_model_inputs_) +
+                                     " model inputs per batch");
+      }
     }
   }
   const size_t num_stages = stages_.size();
-  const uint64_t base = next_batch_id_.fetch_add(num_batches);
+  // Feed mode allocates batch ids lazily, one per admitted request;
+  // RunStream calls are serialized on the service thread so the ids
+  // stay contiguous from `base`.
+  const uint64_t base = feed != nullptr
+                            ? next_batch_id_.load()
+                            : next_batch_id_.fetch_add(num_batches);
   // One distributed trace per inference batch (DESIGN.md §8): the
   // monitor's admit/forward/verify spans and — via the authenticated
   // channel headers — every variant-side span share a batch's id.
@@ -904,7 +1103,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // This call's own statistics; merged into the metrics registry (and
   // the ConsumeStats() backlog) when the run finishes.
   RunStats rstats;
-  rstats.batch_verify_us.assign(num_batches, 0);
+  rstats.batch_verify_us.assign(num_batches, 0);  // grows per feed admit
   auto channel_bytes = [&] {
     uint64_t total = 0;
     for (const auto& stage : stages_) {
@@ -982,8 +1181,18 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     // Input sends completed per stage; a stage "owes" reports only once
     // feeds_done == stage_feed_count_ (timeout classification).
     std::vector<size_t> feeds_done;
+    // Verify-pool jobs holding pointers into this state (worker side or
+    // queued applier). GC of a completed batch waits for zero.
+    size_t jobs_inflight = 0;
   };
-  std::vector<BatchState> bs(num_batches);
+  // Deque: pointer-stable across both the feed's push_back growth and
+  // the sliding-window pop_front GC (workers hold BatchState*).
+  std::deque<BatchState> bs;
+  if (feed == nullptr) bs.resize(num_batches);
+  // Stream indices below window_base are completed, GC'd batches; live
+  // state for batch b is bat(b).
+  size_t window_base = 0;
+  auto bat = [&](size_t b) -> BatchState& { return bs[b - window_base]; };
   // Cross-validation worker pool (declared after `bs`: destroyed first,
   // so in-flight jobs never outlive the state they read). Completed
   // jobs notify the wait set so the loop below wakes up.
@@ -1007,7 +1216,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     ev.stage = static_cast<int32_t>(s);
     ev.verdict = std::move(verdict);
     ev.v_decide_us = v_decide;
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     const size_t k = stages_[s].variants.size();
     const auto rit = state.reports.find(s);
     const auto sit = state.summaries.find(s);
@@ -1117,7 +1326,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // virtual time.
   int64_t last_completion_vus = run_vstart;
 
-  auto admit = [&](size_t b) {
+  auto admit = [&](size_t b, const std::vector<Tensor>& inputs) {
     // Root of batch b's distributed trace; the span's context rides to
     // every variant in the sends' authenticated plaintext headers.
     obs::TraceContextScope troot(trace_ids[b], 0);
@@ -1133,10 +1342,10 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     event_vbase = vclock_us_;
     handling_cpu0 = util::ThreadCpuMicros();
     send_cpu_excluded = 0;
-    bs[b].admit_vus = vnow();
+    bat(b).admit_vus = vnow();
     // Freeze panel membership for this batch: quarantined slots get no
     // inputs, probation slots shadow-execute.
-    BatchState& bstate = bs[b];
+    BatchState& bstate = bat(b);
     bstate.masks.resize(num_stages);
     bstate.feeds_done.assign(num_stages, 0);
     for (size_t s = 0; s < num_stages; ++s) {
@@ -1158,7 +1367,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       msg.batch_id = base + b;
       for (const auto& [slot, input_idx] : model_input_slots_[s]) {
         msg.slots.push_back(slot);
-        msg.inputs.push_back(batches[b][input_idx]);
+        msg.inputs.push_back(inputs[input_idx]);
       }
       // Encoded straight into each variant's pooled wire buffer; the
       // vtime stamp depends only on the (identical) frame size, so it
@@ -1197,7 +1406,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // Forward declaration pattern via std::function is avoided: forwarding
   // never recurses (targets are plain sends).
   auto on_chosen = [&](size_t s, size_t b) {
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     event_vbase = state.v_chosen.count(s) ? state.v_chosen[s] : vnow();
     if (supervised && judge_pending_shadows) judge_pending_shadows(s, b);
     if (!monitor_forwards_[s].empty()) {
@@ -1255,6 +1464,44 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
                     : vcomplete - state.admit_vus);
       rstats.fast_path_forwards += silent_fast_stages;
       last_completion_vus = std::max(last_completion_vus, vcomplete);
+      if (feed != nullptr) {
+        // Continuous streams are long-lived: merge accumulated counters
+        // into the registry at every completion (add-and-reset, the
+        // end-of-run flush adds the remainder), so /metrics and
+        // ConsumeStats() reflect delivered work without waiting for the
+        // stream to quiesce — a loaded stream may not quiesce for hours,
+        // and the requester's future resolves before the stream ends.
+        m_.checkpoints_evaluated->Add(rstats.checkpoints_evaluated);
+        m_.fast_path_forwards->Add(rstats.fast_path_forwards);
+        m_.divergences->Add(rstats.divergences);
+        m_.late_divergences->Add(rstats.late_divergences);
+        m_.variant_failures->Add(rstats.variant_failures);
+        m_.batches_completed->Add(rstats.batch_latency_us.size());
+        for (int64_t lat : rstats.batch_latency_us) {
+          m_.batch_latency_us->Observe(lat);
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          pending_latencies_.insert(pending_latencies_.end(),
+                                    rstats.batch_latency_us.begin(),
+                                    rstats.batch_latency_us.end());
+        }
+        rstats.checkpoints_evaluated = 0;
+        rstats.fast_path_forwards = 0;
+        rstats.divergences = 0;
+        rstats.late_divergences = 0;
+        rstats.variant_failures = 0;
+        rstats.batch_latency_us.clear();
+        // Continuous delivery: the requester gets its answer the moment
+        // its batch completes — in-flight neighbors keep running.
+        std::vector<Tensor> outs;
+        for (const auto& src : model_outputs_) {
+          outs.push_back(state.chosen[static_cast<size_t>(src.stage)]
+                                     [static_cast<size_t>(src.index)]);
+        }
+        feed->deliver(b, std::move(outs), rstats.batch_verify_us[b],
+                      trace_ids[b]);
+      }
       // Sequential pacing: the next admission can only happen after this
       // completion is observed. The admission itself is deferred to the
       // event loop (its own top-level event) — calling admit() here
@@ -1320,7 +1567,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // outputs (one step closer to readmission) or dissents (back to
   // quarantine, or retired once the retry budget is spent).
   auto judge_shadow_slot = [&](size_t s, size_t b, size_t vi) {
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     auto shit = state.shadow.find(s);
     if (shit == state.shadow.end() || !shit->second[vi].has_value()) return;
     InferResultMsg r = std::move(*shit->second[vi]);
@@ -1344,7 +1591,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
   };
   judge_pending_shadows = [&](size_t s, size_t b) {
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     auto shit = state.shadow.find(s);
     if (shit == state.shadow.end()) return;
     for (size_t vi = 0; vi < shit->second.size(); ++vi) {
@@ -1358,7 +1605,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // final once written (duplicate frames are dropped on ingestion), so
   // workers never race the ingestion thread writing other slots.
   auto schedule_full_vote = [&](size_t s, size_t b) {
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     BatchState* st = &state;
     const size_t k = stages_[s].variants.size();
     // Participating slots (batch mask == 1). Under supervision, failed
@@ -1390,6 +1637,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     const bool prefilter = config_.digest_prefilter;
     const CheckPolicy check = config_.check;
     obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
+    ++state.jobs_inflight;  // released by the applier (monitor thread)
     pool.Submit([this, s, b, k, st, base, tid = trace_ids[b],
                  vmap = std::move(vmap),
                  auto_dissent = std::move(auto_dissent),
@@ -1429,6 +1677,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
               &run_error, &on_chosen, &note_verify_job, &note_checkpoint,
               &dump_evidence, &begin_decision_event,
               &lifecycle_dissent]() mutable {
+        --st->jobs_inflight;
         if (st->voted.count(s)) return;  // quorum decided meanwhile
         st->voted.insert(s);
         note_verify_job(b, verify_cpu, cstats);
@@ -1477,7 +1726,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // applier can reschedule recursively.
   std::function<void(size_t, size_t)> schedule_quorum =
       [&](size_t s, size_t b) {
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     BatchState* st = &state;
     const size_t k = stages_[s].variants.size();
     state.verify_inflight.insert(s);
@@ -1505,6 +1754,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     const bool prefilter = config_.digest_prefilter;
     const CheckPolicy check = config_.check;
     obs::Histogram* verify_hist = stages_[s].metrics.verify_us;
+    ++state.jobs_inflight;  // released by the applier (monitor thread)
     pool.Submit([this, s, b, k, st, base, tid = trace_ids[b],
                  outs = std::move(outs),
                  sums = std::move(sums), in_snapshot = std::move(in_snapshot),
@@ -1555,6 +1805,7 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
               &dump_evidence, &begin_decision_event,
               &dissents_from_chosen, &schedule_quorum, &lifecycle_dissent,
               &schedule_full_vote]() {
+        --st->jobs_inflight;
         st->verify_inflight.erase(s);
         const bool was_dirty = st->verify_dirty.count(s) > 0;
         st->verify_dirty.erase(s);
@@ -1646,11 +1897,12 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   };
 
   auto handle_result = [&](size_t s, size_t vi, InferResultMsg&& msg) {
-    if (msg.batch_id < base || msg.batch_id >= base + num_batches) {
-      return;  // stale frame from an earlier (aborted) run
+    if (msg.batch_id < base + window_base ||
+        msg.batch_id >= base + (feed != nullptr ? admitted : num_batches)) {
+      return;  // stale frame: earlier (aborted) run, or a GC'd batch
     }
     const size_t b = static_cast<size_t>(msg.batch_id - base);
-    BatchState& state = bs[b];
+    BatchState& state = bat(b);
     const size_t k = stages_[s].variants.size();
 
     if (!msg.ok) rstats.variant_failures++;
@@ -1802,8 +2054,8 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
   // their votes proceed immediately instead of waiting out recv_timeout.
   settle_owed = [&](size_t s, size_t vi, const char* why) {
     if (!stages_[s].is_mvx()) return;
-    for (size_t b = 0; b < admitted; ++b) {
-      BatchState& state = bs[b];
+    for (size_t b = window_base; b < admitted; ++b) {
+      BatchState& state = bat(b);
       if (state.complete || state.masks.empty()) continue;
       if (state.masks[s][vi] != 1) continue;
       if (state.voted.count(s)) continue;
@@ -1826,22 +2078,31 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
     }
   };
 
-  // Admission.
-  if (pipelined) {
-    for (size_t b = 0; b < num_batches; ++b) admit(b);
-  } else {
-    admit(0);
+  // Admission. Feed mode starts empty: the loop's refill step admits.
+  if (feed == nullptr) {
+    if (pipelined) {
+      for (size_t b = 0; b < num_batches; ++b) admit(b, batches[b]);
+    } else {
+      admit(0, batches[0]);
+    }
   }
 
   // Evented loop: drain completed verify verdicts, run any deferred
-  // sequential admission, poll every variant channel without blocking,
-  // then — only if nothing happened — block on the shared wait set
-  // until a frame lands or a verify job completes. The run is done when
-  // every batch completed AND the verify pool drained (pending verdicts
-  // still carry stats).
+  // sequential admission (or feed refill), poll every variant channel
+  // without blocking, then — only if nothing happened — block on the
+  // shared wait set until a frame lands or a verify job completes. A
+  // one-shot run is done when every batch completed AND the verify
+  // pool drained (pending verdicts still carry stats); a feed stream
+  // additionally keeps serving until the feed quiesces.
   int64_t idle_deadline = util::NowMicros() + config_.recv_timeout_us;
-  while ((completed < num_batches || pool.pending() > 0) &&
-         run_error.ok()) {
+  auto work_remains = [&] {
+    if (feed != nullptr) {
+      return completed < admitted || pool.pending() > 0 ||
+             !feed->quiesce();
+    }
+    return completed < num_batches || pool.pending() > 0;
+  };
+  while (work_remains() && run_error.ok()) {
     // Liveness beacon for the stall watchdog: the loop either makes
     // progress below or parks in a bounded (≤100ms) WaitFor, so a
     // healthy loop beats continuously while work is pending.
@@ -1873,13 +2134,43 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       m_.verify_queue_depth_hwm->Set(qdepth);
     }
 
+    // 1b) Sliding-window GC (feed mode): a completed batch's state is
+    //     reclaimed once no verify job can still read it. Late frames
+    //     for reclaimed ids are dropped by handle_result's guard.
+    while (feed != nullptr && !bs.empty() && bs.front().complete &&
+           bs.front().jobs_inflight == 0) {
+      bs.pop_front();
+      ++window_base;
+    }
+
     // 2) Deferred sequential admission: its own top-level event (never
     //    nested inside the result event that completed the previous
     //    batch — that would clobber the virtual-time bases).
-    if (!pipelined && run_error.ok() && admitted < num_batches &&
-        completed == admitted) {
-      admit(admitted);
+    if (feed == nullptr && !pipelined && run_error.ok() &&
+        admitted < num_batches && completed == admitted) {
+      admit(admitted, batches[admitted]);
       progressed = true;
+    }
+
+    // 2a) Feed refill: continuous admission — pull scheduler-formed
+    //     work into every free pipeline slot (its own top-level
+    //     virtual-time event per admission, like 2).
+    if (feed != nullptr && run_error.ok()) {
+      const size_t inflight = admitted - completed;
+      if (inflight < feed->max_inflight) {
+        std::vector<std::vector<Tensor>> fresh;
+        const size_t got =
+            feed->refill(feed->max_inflight - inflight, &fresh);
+        for (size_t i = 0; i < got; ++i) {
+          (void)next_batch_id_.fetch_add(1);  // == base + admitted
+          const size_t b = admitted;          // admit() advances it
+          bs.emplace_back();
+          trace_ids.push_back(obs::NewTraceId());
+          rstats.batch_verify_us.push_back(0);
+          admit(b, fresh[i]);
+          progressed = true;
+        }
+      }
     }
 
     // 2b) Lifecycle: re-run the two-stage bootstrap for quarantined
@@ -1960,6 +2251,12 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
       idle_deadline = util::NowMicros() + config_.recv_timeout_us;
     } else if (run_error.ok()) {
       const int64_t now = util::NowMicros();
+      if (feed != nullptr && completed == admitted &&
+          pool.pending() == 0) {
+        // An idle stream owes nothing: waiting for work is not a
+        // variant stall.
+        idle_deadline = now + config_.recv_timeout_us;
+      }
       if (now > idle_deadline) {
         // A silent variant must not fail the whole batch while the
         // remaining panel can still satisfy the vote policy: classify
@@ -1970,8 +2267,9 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         bool classified = false;
         if (config_.reaction.kind != ReactionKind::kAbort &&
             !config_.direct_fastpath) {
-          for (size_t b = 0; b < admitted && run_error.ok(); ++b) {
-            BatchState& state = bs[b];
+          for (size_t b = window_base; b < admitted && run_error.ok();
+               ++b) {
+            BatchState& state = bat(b);
             if (state.complete || state.masks.empty()) continue;
             for (size_t s = 0; s < num_stages && run_error.ok(); ++s) {
               if (!stages_[s].is_mvx()) continue;
@@ -2010,12 +2308,19 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
         run_error = util::DeadlineExceeded(
             "no variant progress within recv_timeout (" +
             std::to_string(completed) + "/" +
-            std::to_string(num_batches) + " batches complete)");
+            std::to_string(feed != nullptr ? admitted : num_batches) +
+            " batches complete)");
         break;
       }
       int64_t slice = idle_deadline - now;
       if (options.deadline_us > 0) {
         slice = std::min(slice, options.deadline_us - (now - wall_start));
+      }
+      if (feed != nullptr) {
+        // Wake early for a batch-window expiry so held admissions are
+        // re-examined on time.
+        const int64_t wake = feed->next_wake_us();
+        if (wake > 0) slice = std::min(slice, wake - now);
       }
       // Bounded so deadline checks stay live even without events.
       slice = std::max<int64_t>(1, std::min<int64_t>(slice, 100'000));
@@ -2073,11 +2378,14 @@ util::Result<std::vector<std::vector<Tensor>>> Monitor::RunStream(
 
   MVTEE_RETURN_IF_ERROR(run_error);
 
+  // Feed-mode results were delivered per batch as they completed.
+  if (feed != nullptr) return std::vector<std::vector<Tensor>>{};
+
   std::vector<std::vector<Tensor>> all(num_batches);
   for (size_t b = 0; b < num_batches; ++b) {
     for (const auto& src : model_outputs_) {
       all[b].push_back(
-          bs[b].chosen[static_cast<size_t>(src.stage)]
+          bat(b).chosen[static_cast<size_t>(src.stage)]
               [static_cast<size_t>(src.index)]);
     }
   }

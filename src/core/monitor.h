@@ -34,6 +34,7 @@
 #include "core/messages.h"
 #include "core/offline.h"
 #include "core/reaction_policy.h"
+#include "core/scheduler.h"
 #include "core/supervisor.h"
 #include "core/variant_host.h"
 #include "obs/metrics.h"
@@ -183,14 +184,29 @@ struct RunOptions {
 // admission group, and drains it — byte-identical semantics to the old
 // one-shot entry point.
 
-// One inference request: a single model-input batch plus an optional
+// One inference request: a single model-input batch plus scheduling
+// metadata (tenant / priority / model routing) and an optional
 // relative wall-clock budget.
 struct InferenceRequest {
   std::vector<tensor::Tensor> inputs;
-  // Microseconds from submission; 0 = unbounded. An expired request is
-  // failed with kDeadlineExceeded instead of being admitted; a live one
-  // bounds its admission group's RunOptions.deadline_us.
+  // Microseconds from submission; 0 = no deadline (end to end: the
+  // request is never expired). Negative values are rejected at Submit
+  // with kAdmissionRejected — an already-expired deadline must not
+  // enter the pipeline. A request whose deadline passes while it waits
+  // in the admission queue fails with kDeadlineExceeded; one that
+  // completes after its deadline is still answered, but counted in
+  // scheduler.deadline_misses_total.
   int64_t deadline_us = 0;
+  // Tenant label for fair queuing and per-tenant quotas. A plaintext
+  // scheduling hint: it never enters the attested channel's AAD and
+  // grants no authority (DESIGN.md §13). "" schedules as one shared
+  // tenant.
+  std::string tenant;
+  // Higher dispatches earlier among equal-deadline work.
+  int32_t priority = 0;
+  // Model-zoo routing key for multi-model front ends
+  // (service::Scheduler); ignored by a single-model Monitor.
+  std::string model;
 };
 
 struct InferenceResponse {
@@ -204,16 +220,20 @@ struct InferenceResponse {
   uint64_t trace_id = 0;
 };
 
-// Admission-side knobs for the monitor's request loop.
+// Configuration of the monitor's request loop, split into front-end
+// admission settings (here) and the batch-formation policy
+// (SchedulerConfig — continuous batching, WFQ/quota fairness, EDF;
+// see core/scheduler.h). The former ServiceConfig::max_inflight is
+// now SchedulerConfig::max_batch.
 struct ServiceConfig {
   // Submissions queued beyond this bound are rejected with
   // kAdmissionRejected (bounded backpressure; counted in
   // service.rejected_total). Legacy Run() groups are exempt — they
   // carry their own caller-side flow control.
   size_t admission_queue_max = 64;
-  // Max requests coalesced into one pipelined pass; higher values
-  // interleave more concurrent sessions per pipeline traversal.
-  size_t max_inflight = 8;
+  // Batch formation: continuous admission, max concurrent pipeline
+  // slots, batch window, per-tenant quota/weights, EDF.
+  SchedulerConfig scheduler;
 };
 
 namespace internal {
@@ -301,9 +321,14 @@ class Monitor {
   // stopped service (their Submits then fail with kUnavailable).
   util::Result<std::unique_ptr<Session>> OpenSession();
 
-  // Compatibility wrapper over the request loop: opens an internal
-  // session, submits `batches` as ONE admission group executed exactly
-  // like the old one-shot call (same options, same stats), and drains.
+  // DEPRECATED compatibility wrapper over the request loop — use
+  // OpenSession() + Session::Submit instead (README has the old→new
+  // migration table). Kept one release for existing callers; new code
+  // and all in-tree examples/benches use the session API.
+  //
+  // Opens an internal session, submits `batches` as ONE admission
+  // group executed exactly like the old one-shot call (same options,
+  // same stats), and drains.
   //
   //   Run({inputs})                                  — one batch
   //   Run(batches)                                   — sequential: each
@@ -328,7 +353,12 @@ class Monitor {
     bool accepting = false;  // admitting new submits
     size_t queue_depth = 0;  // queued (non-legacy) submits
     size_t queue_max = 0;
-    size_t max_inflight = 0;
+    size_t max_batch = 0;    // concurrent pipeline slots (scheduler)
+    // Scheduler policy in force (for /status).
+    bool continuous = false;
+    bool edf = false;
+    int64_t batch_window_us = 0;
+    int tenant_quota_pct = 100;
     struct SessionStatus {
       uint64_t id = 0;
       uint64_t next_seq = 0;  // next expected sequence number
@@ -411,15 +441,51 @@ class Monitor {
   // inactive (the replacement is appended by BindVariant).
   void DeactivateBinding(int32_t stage, const std::string& variant_id);
 
+  // Continuous-feed hooks for RunStream: when non-null, the stream
+  // starts empty and pulls work from the feed whenever a pipeline slot
+  // frees, delivering each batch's result as soon as it completes (no
+  // full-queue barrier). Completed batch state is garbage-collected
+  // behind a sliding window. Legacy Run() passes run with feed ==
+  // nullptr and keep their one-shot semantics.
+  struct StreamFeed {
+    // Concurrent pipeline slots (SchedulerConfig::max_batch).
+    size_t max_inflight = 1;
+    // Pulls up to free_slots new batches (scheduler formation). Each
+    // appended batch is admitted immediately with the next batch
+    // index. Returns the number appended.
+    std::function<size_t(size_t free_slots,
+                         std::vector<std::vector<tensor::Tensor>>* out)>
+        refill;
+    // Delivers batch `b` (stream-local index) on the monitor thread
+    // the moment it completes.
+    std::function<void(size_t b, std::vector<tensor::Tensor> outputs,
+                       int64_t verify_us, uint64_t trace_id)>
+        deliver;
+    // True once the stream should stop pulling and return when the
+    // last inflight batch drains (service stopping, legacy group at
+    // the queue head, or the queue went idle).
+    std::function<bool()> quiesce;
+    // Earliest absolute wall time the feed wants a refill poll (batch
+    // window expiry); 0 = none.
+    std::function<int64_t()> next_wake_us;
+  };
+
   // The event-driven engine behind the request loop: one admission
-  // group = one call.
+  // group = one call (feed == nullptr), or one long-lived continuous
+  // serving stream (feed != nullptr).
   util::Result<std::vector<std::vector<tensor::Tensor>>> RunStream(
       const std::vector<std::vector<tensor::Tensor>>& batches,
-      const RunOptions& options);
+      const RunOptions& options, StreamFeed* feed = nullptr);
 
-  // The request loop body (service thread): pops admission groups and
-  // feeds them to RunStream.
+  // The request loop body (service thread): runs continuous serving
+  // streams (scheduler-formed batches through RunStream's feed hooks)
+  // and interleaves exclusive legacy Run() passes.
   void ServiceLoop();
+
+  // One continuous serving stream: admits scheduler-formed requests
+  // until quiesced (stop / legacy barrier / idle queue). Returns the
+  // stream's terminal status (OK on a clean quiesce).
+  util::Status ServeStream(BatchFormer& former);
 
   // Resolves the monitor-level and per-stage metric instruments.
   void BindMetrics();

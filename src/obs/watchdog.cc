@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/clock.h"
+#include "util/knobs.h"
 #include "util/logging.h"
 
 namespace mvtee::obs {
@@ -13,34 +14,10 @@ namespace mvtee::obs {
 int64_t StallWatchdog::ResolveKnob(const char* knob, const char* env_value,
                                    int64_t min, int64_t max,
                                    int64_t fallback) {
-  if (env_value == nullptr) return fallback;
-  // strtoll accepts leading whitespace, '+'/'-' signs and partial
-  // parses; reject all of those explicitly (same seam style as
-  // ThreadPool::ResolveThreadCount) so "abc", "-3" or "4q" fall back
-  // with a diagnostic instead of silently becoming 0.
-  const char* p = env_value;
-  if (*p == '\0') {
-    MVTEE_WLOG << knob << " is empty; using default " << fallback;
-    return fallback;
-  }
-  for (const char* q = p; *q != '\0'; ++q) {
-    if (*q < '0' || *q > '9') {
-      MVTEE_WLOG << knob << "='" << env_value
-                 << "' is not a non-negative integer; using default "
-                 << fallback;
-      return fallback;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(p, &end, 10);
-  if (errno == ERANGE || end == nullptr || *end != '\0' || v < min ||
-      v > max) {
-    MVTEE_WLOG << knob << "='" << env_value << "' out of range [" << min
-               << ", " << max << "]; using default " << fallback;
-    return fallback;
-  }
-  return static_cast<int64_t>(v);
+  // The strict parser moved to util::ResolveKnob so the whole knob
+  // table (util::KnobRegistry) can share it; this shim keeps existing
+  // callers working.
+  return util::ResolveKnob(knob, env_value, min, max, fallback);
 }
 
 WatchdogOptions WatchdogOptions::FromEnv(WatchdogOptions base) {

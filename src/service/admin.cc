@@ -19,6 +19,7 @@
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/cpu_features.h"
+#include "util/knobs.h"
 #include "util/logging.h"
 
 namespace mvtee::service {
@@ -49,7 +50,7 @@ std::string IdString(uint64_t id) { return std::to_string(id); }
 
 AdminOptions AdminOptions::FromEnv(AdminOptions base) {
   base.watchdog = obs::WatchdogOptions::FromEnv(base.watchdog);
-  base.tcp_port = static_cast<int>(obs::StallWatchdog::ResolveKnob(
+  base.tcp_port = static_cast<int>(util::ResolveKnob(
       "MVTEE_ADMIN_PORT", std::getenv("MVTEE_ADMIN_PORT"), 0, 65'535,
       base.tcp_port));
   return base;
@@ -179,9 +180,22 @@ AdminServer::HttpResponse AdminServer::Status() {
   svc.emplace_back("queue_depth_hwm",
                    reg.GetGauge("service.admission_queue_depth_hwm").value());
   svc.emplace_back("queue_max", static_cast<uint64_t>(status.queue_max));
-  svc.emplace_back("max_inflight",
-                   static_cast<uint64_t>(status.max_inflight));
   svc.emplace_back("inflight", reg.GetGauge("service.inflight").value());
+
+  // Scheduler policy in force plus its live counters (DESIGN.md §13).
+  obs::JsonValue::Object sched;
+  sched.emplace_back("continuous", status.continuous);
+  sched.emplace_back("edf", status.edf);
+  sched.emplace_back("max_batch", static_cast<uint64_t>(status.max_batch));
+  sched.emplace_back("batch_window_us", status.batch_window_us);
+  sched.emplace_back("tenant_quota_pct",
+                     static_cast<uint64_t>(status.tenant_quota_pct));
+  sched.emplace_back("preemptions",
+                     reg.GetCounter("scheduler.preemptions_total").value());
+  sched.emplace_back(
+      "deadline_misses",
+      reg.GetCounter("scheduler.deadline_misses_total").value());
+  svc.emplace_back("scheduler", std::move(sched));
   obs::JsonValue::Array sessions;
   for (const auto& s : status.sessions) {
     obs::JsonValue::Object sess;
@@ -216,6 +230,20 @@ AdminServer::HttpResponse AdminServer::Status() {
     }
     body.emplace_back("variants", std::move(variants));
   }
+
+  // Every MVTEE_* knob the process honors — one authoritative table
+  // (util::KnobRegistry), with the raw and effective values.
+  obs::JsonValue::Array knobs;
+  for (const auto& view : util::KnobRegistry::Default().Snapshot()) {
+    obs::JsonValue::Object k;
+    k.emplace_back("name", std::string(view.desc->name));
+    k.emplace_back("set", view.set);
+    if (view.set) k.emplace_back("raw", view.raw);
+    k.emplace_back("value", view.value);
+    k.emplace_back("doc", std::string(view.desc->doc));
+    knobs.emplace_back(std::move(k));
+  }
+  body.emplace_back("knobs", std::move(knobs));
 
   obs::TimelineLog& log = obs::TimelineLog::Default();
   obs::JsonValue::Object timelines;

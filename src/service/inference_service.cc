@@ -140,6 +140,9 @@ void InferenceService::ServeSession(transport::Endpoint endpoint) {
     core::InferenceRequest request;
     request.inputs = std::move(msg->inputs);
     request.deadline_us = msg->deadline_us;
+    request.tenant = std::move(msg->tenant);
+    request.priority = msg->priority;
+    request.model = std::move(msg->model);
     auto submitted = (*session)->SubmitSequenced(std::move(request), msg->seq);
     if (!submitted.ok()) {
       reply.code = static_cast<uint8_t>(submitted.status().code());
@@ -194,10 +197,30 @@ util::Result<std::unique_ptr<InferenceClient>> InferenceClient::Connect(
 util::Result<std::vector<tensor::Tensor>> InferenceClient::Infer(
     std::vector<tensor::Tensor> inputs, int64_t deadline_us,
     int64_t recv_timeout_us) {
+  InferOptions options;
+  options.deadline_us = deadline_us;
+  options.recv_timeout_us = recv_timeout_us;
+  return Infer(std::move(inputs), options);
+}
+
+util::Result<std::vector<tensor::Tensor>> InferenceClient::Infer(
+    std::vector<tensor::Tensor> inputs, const InferOptions& options) {
   if (disconnected_) return util::FailedPrecondition("client disconnected");
+  if (options.deadline_us < 0) {
+    // Validated before any frame leaves: an already-expired budget must
+    // not consume a sequence number or a network round trip.
+    return util::AdmissionRejected(
+        "deadline_us " + std::to_string(options.deadline_us) +
+        " already expired at submit (0 = no deadline)");
+  }
+  const int64_t deadline_us = options.deadline_us;
+  const int64_t recv_timeout_us = options.recv_timeout_us;
   core::SessionSubmitMsg msg;
   msg.seq = next_seq_;
   msg.deadline_us = deadline_us;
+  msg.tenant = options.tenant;
+  msg.priority = options.priority;
+  msg.model = options.model;
   msg.inputs = std::move(inputs);
   MVTEE_RETURN_IF_ERROR(core::SendFrame(channel_, msg));
   next_seq_ += 1;

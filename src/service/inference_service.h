@@ -96,13 +96,30 @@ class InferenceClient {
       const crypto::Sha256Digest& expected_monitor_measurement,
       int64_t timeout_us = 5'000'000);
 
+  // Per-request options for Infer.
+  struct InferOptions {
+    // Relative budget, microseconds; 0 = no deadline. A negative value
+    // is rejected client-side with kAdmissionRejected before any frame
+    // is sent (no sequence number is consumed).
+    int64_t deadline_us = 0;
+    // Local wait bound for the reply record.
+    int64_t recv_timeout_us = 60'000'000;
+    // Scheduling hints for the multi-tenant scheduler (DESIGN.md §13):
+    // fairness/ordering labels only, never authenticated inputs.
+    std::string tenant;
+    int32_t priority = 0;
+    std::string model;
+  };
+
   // Submits one encrypted request and blocks for the reply.
-  // `deadline_us` is the relative per-request budget (0 = unbounded)
-  // enforced by the monitor's admission loop; `recv_timeout_us` bounds
-  // the local wait for the reply record.
+  // `deadline_us` is the relative per-request budget (0 = no deadline)
+  // enforced at admission; `recv_timeout_us` bounds the local wait for
+  // the reply record.
   util::Result<std::vector<tensor::Tensor>> Infer(
       std::vector<tensor::Tensor> inputs, int64_t deadline_us = 0,
       int64_t recv_timeout_us = 60'000'000);
+  util::Result<std::vector<tensor::Tensor>> Infer(
+      std::vector<tensor::Tensor> inputs, const InferOptions& options);
 
   // The monitor's attestation report captured during the handshake.
   const tee::AttestationReport& monitor_report();

@@ -1,0 +1,68 @@
+#include "service/scheduler.h"
+
+#include <utility>
+
+namespace mvtee::service {
+
+Scheduler::Scheduler(std::vector<ModelEntry> models)
+    : models_(std::move(models)) {
+  for (const auto& entry : models_) {
+    names_.push_back(entry.name);
+    routes_[entry.name] = entry.monitor;
+  }
+}
+
+util::Result<std::unique_ptr<Scheduler>> Scheduler::Start(
+    std::vector<ModelEntry> models, const core::ServiceConfig& config) {
+  if (models.empty()) {
+    return util::InvalidArgument("scheduler needs at least one model");
+  }
+  for (const auto& entry : models) {
+    if (entry.monitor == nullptr) {
+      return util::InvalidArgument("model '" + entry.name +
+                                   "' has no monitor");
+    }
+  }
+  // Start (or confirm) every monitor's request loop. The loops are
+  // per-monitor threads — the zoo serves all models concurrently.
+  for (const auto& entry : models) {
+    MVTEE_RETURN_IF_ERROR(entry.monitor->StartService(config));
+  }
+  return std::unique_ptr<Scheduler>(new Scheduler(std::move(models)));
+}
+
+core::Monitor* Scheduler::Route(const std::string& model) const {
+  if (model.empty()) return models_.front().monitor;
+  auto it = routes_.find(model);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+util::Result<std::unique_ptr<SchedulerSession>> Scheduler::OpenSession() {
+  return std::unique_ptr<SchedulerSession>(new SchedulerSession(this));
+}
+
+util::Result<std::future<core::InferenceResponse>> SchedulerSession::Submit(
+    core::InferenceRequest request) {
+  if (scheduler_ == nullptr) {
+    return util::FailedPrecondition("session closed");
+  }
+  core::Monitor* monitor = scheduler_->Route(request.model);
+  if (monitor == nullptr) {
+    return util::InvalidArgument("unknown model '" + request.model + "'");
+  }
+  auto it = sessions_.find(monitor);
+  if (it == sessions_.end()) {
+    MVTEE_ASSIGN_OR_RETURN(std::unique_ptr<core::Session> session,
+                           monitor->OpenSession());
+    it = sessions_.emplace(monitor, std::move(session)).first;
+  }
+  return it->second->Submit(std::move(request));
+}
+
+void SchedulerSession::Close() {
+  for (auto& [monitor, session] : sessions_) session->Close();
+  sessions_.clear();
+  scheduler_ = nullptr;
+}
+
+}  // namespace mvtee::service

@@ -1,0 +1,99 @@
+// Multi-model serving orchestrator (DESIGN.md §13).
+//
+// One MVTEE monitor serves one partitioned model. A deployment that
+// serves a model zoo runs several monitors — each with its own variant
+// panel, sequence spaces and continuous-batching request loop — and
+// needs a front-of-house router: service::Scheduler.
+//
+//   Scheduler
+//     ├── "resnet18"    -> Monitor A (its own service loop thread)
+//     ├── "mobilenetv3" -> Monitor B (its own service loop thread)
+//     └── default ("")  -> the first registered model
+//
+// Every registered monitor's request loop runs CONCURRENTLY; the
+// scheduler adds no cross-model serialization. Per-model fairness
+// (WFQ, quotas, EDF) is enforced inside each monitor's BatchFormer;
+// the scheduler's job is routing and session fan-out only.
+//
+// A SchedulerSession is the multi-model analogue of core::Session: it
+// routes each InferenceRequest by `request.model` and lazily opens one
+// core::Session per routed monitor. Sequence spaces therefore stay
+// strictly per (session, model) — requests to different models never
+// share a sequence space or an admission queue, so a slow model cannot
+// poison another model's replay detection.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+
+namespace mvtee::service {
+
+class SchedulerSession;
+
+class Scheduler {
+ public:
+  // One model-zoo entry. The monitor must be initialized and must
+  // outlive the scheduler.
+  struct ModelEntry {
+    std::string name;
+    core::Monitor* monitor = nullptr;
+  };
+
+  // Starts every monitor's request loop with `config` (each monitor
+  // may also be pre-started with its own config — StartService is
+  // idempotent while running). The first entry is the default route
+  // for requests with an empty model.
+  static util::Result<std::unique_ptr<Scheduler>> Start(
+      std::vector<ModelEntry> models, const core::ServiceConfig& config);
+
+  // The monitor serving `model` ("" = default); nullptr when unknown.
+  core::Monitor* Route(const std::string& model) const;
+
+  const std::vector<std::string>& model_names() const { return names_; }
+
+  // Opens a multi-model session (per-model core::Sessions are opened
+  // lazily on first use).
+  util::Result<std::unique_ptr<SchedulerSession>> OpenSession();
+
+ private:
+  explicit Scheduler(std::vector<ModelEntry> models);
+
+  std::vector<ModelEntry> models_;
+  std::vector<std::string> names_;
+  std::map<std::string, core::Monitor*> routes_;
+};
+
+// One client's handle across the model zoo. Like core::Session, driven
+// from one thread at a time.
+class SchedulerSession {
+ public:
+  // Routes by request.model and submits into that monitor's admission
+  // queue. Unknown models fail fast with kInvalidArgument; everything
+  // else carries core::Session::Submit semantics (kAdmissionRejected on
+  // a full queue or expired deadline, etc.).
+  util::Result<std::future<core::InferenceResponse>> Submit(
+      core::InferenceRequest request);
+
+  // Closes every underlying per-model session. Idempotent.
+  void Close();
+
+  ~SchedulerSession() { Close(); }
+
+ private:
+  friend class Scheduler;
+  explicit SchedulerSession(const Scheduler* scheduler)
+      : scheduler_(scheduler) {}
+
+  const Scheduler* scheduler_;
+  // Lazily opened core sessions, keyed by the monitor they belong to
+  // (two model names routing to one monitor share a session).
+  std::map<core::Monitor*, std::unique_ptr<core::Session>> sessions_;
+};
+
+}  // namespace mvtee::service

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/knobs.h"
+
 namespace mvtee::util {
 
 namespace internal {
@@ -130,14 +132,10 @@ void BufferPool::Trim() {
 
 BufferPool& BufferPool::Default() {
   static BufferPool* pool = [] {
-    size_t retain = 64ull << 20;
-    if (const char* e = std::getenv("MVTEE_POOL_RETAIN_BYTES")) {
-      retain = static_cast<size_t>(std::strtoull(e, nullptr, 10));
-    }
-    if (const char* e = std::getenv("MVTEE_POOL");
-        e != nullptr && std::strcmp(e, "0") == 0) {
-      retain = 0;
-    }
+    const KnobRegistry& knobs = KnobRegistry::Default();
+    size_t retain =
+        static_cast<size_t>(knobs.Int("MVTEE_POOL_RETAIN_BYTES"));
+    if (knobs.Int("MVTEE_POOL") == 0) retain = 0;
     return new BufferPool(retain);
   }();
   return *pool;

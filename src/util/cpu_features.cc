@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "util/knobs.h"
+
 namespace mvtee::util {
 
 namespace {
@@ -22,9 +24,9 @@ CpuFeatures Detect() {
 }
 
 bool SimdEnabledFromEnv() {
-  const char* e = std::getenv("MVTEE_SIMD");
-  // Only "0" disables; absent or any other value keeps dispatch on.
-  return e == nullptr || !(e[0] == '0' && e[1] == '\0');
+  // Strict 0/1 via the knob table; malformed values warn and keep
+  // dispatch on (the registered default).
+  return KnobRegistry::Default().Int("MVTEE_SIMD") != 0;
 }
 
 // Tri-state so ScopedForceScalar can restore the env-derived default.

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "util/knobs.h"
 #include "util/logging.h"
 
 namespace mvtee::util {
@@ -130,7 +131,8 @@ ThreadPool& ThreadPool::Shared() {
     const size_t hardware =
         std::max<size_t>(1, std::thread::hardware_concurrency());
     const size_t threads =
-        ResolveThreadCount(std::getenv("MVTEE_THREADS"), hardware);
+        ResolveThreadCount(KnobRegistry::Default().Raw("MVTEE_THREADS"),
+                           hardware);
     const size_t workers = threads > 1 ? threads - 1 : 0;
     return new ThreadPool(workers);
   }();

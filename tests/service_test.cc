@@ -29,6 +29,7 @@
 #include "obs/watchdog.h"
 #include "service/admin.h"
 #include "service/inference_service.h"
+#include "service/scheduler.h"
 #include "tensor/tensor.h"
 #include "transport/channel.h"
 #include "transport/secure_channel.h"
@@ -272,6 +273,107 @@ TEST_F(ServiceTest, ExpiredDeadlineFailsInAdmissionQueue) {
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST_F(ServiceTest, NegativeDeadlineRejectedAtSubmitKeepsSessionAlive) {
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  obs::Counter& misses =
+      monitor_->metrics().GetCounter("scheduler.deadline_misses_total");
+  const uint64_t before = misses.value();
+
+  InferenceRequest request;
+  request.inputs = {TestInput()};
+  request.deadline_us = -1;  // expired before it starts
+  auto rejected = (*session)->Submit(std::move(request));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_EQ(misses.value(), before + 1);
+
+  // Fail-fast, not session-fatal: the rejection consumed seq 0 like any
+  // other admission rejection, and 0 still means "no deadline".
+  auto retry = (*session)->Submit({{TestInput()}});
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  InferenceResponse response = retry->get();
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.seq, 1u);
+}
+
+TEST_F(ServiceTest, TenantGoodputAndOccupancyInstruments) {
+  ASSERT_TRUE(monitor_->StartService().ok());
+  auto session = monitor_->OpenSession();
+  ASSERT_TRUE(session.ok());
+  obs::Registry& reg = monitor_->metrics();
+  const uint64_t acme_before =
+      reg.GetCounter("scheduler.tenant.acme.goodput_total").value();
+
+  InferenceRequest request;
+  request.inputs = {TestInput()};
+  request.tenant = "acme";
+  request.priority = 2;
+  auto future = (*session)->Submit(std::move(request));
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  EXPECT_TRUE(future->get().status.ok());
+
+  // On-time completion counts toward the tenant's goodput, and the
+  // dispatch recorded a batch-occupancy sample.
+  EXPECT_EQ(reg.GetCounter("scheduler.tenant.acme.goodput_total").value(),
+            acme_before + 1);
+  EXPECT_GE(reg.GetHistogram("scheduler.batch_occupancy").Stats().count, 1u);
+}
+
+TEST_F(ServiceTest, CrossSessionCoalescingKeepsSequenceSpacesIsolated) {
+  // Reference outputs per input, computed through the legacy wrapper.
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  for (uint64_t i = 0; i < 6; ++i) {
+    inputs.push_back(TestInput(20 + i));
+    auto ref = monitor_->Run({{inputs.back()}});
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    expected.push_back((*ref)[0][0]);
+  }
+
+  auto a = monitor_->OpenSession();
+  auto b = monitor_->OpenSession();
+  ASSERT_TRUE(a.ok() && b.ok());
+  obs::Counter& groups =
+      monitor_->metrics().GetCounter("service.groups_total");
+  const uint64_t base = groups.value();
+
+  // Hold the loop busy so the six submits below queue up and the
+  // continuous scheduler coalesces them across both sessions.
+  std::vector<std::vector<Tensor>> batches;
+  for (int i = 0; i < 16; ++i) batches.push_back({TestInput()});
+  auto legacy = std::async(std::launch::async, [&] {
+    return monitor_->Run(batches, core::RunOptions{.pipelined = true});
+  });
+  ASSERT_TRUE(WaitForCounter(groups, base + 1));
+
+  // Interleave submissions: a, b, a, b, ...
+  std::vector<std::future<InferenceResponse>> futures;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto& session = (i % 2 == 0) ? *a : *b;
+    InferenceRequest request;
+    request.inputs = {inputs[i]};
+    request.tenant = (i % 2 == 0) ? "even" : "odd";
+    auto submitted = session->Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  ASSERT_TRUE(legacy.get().ok());
+
+  // Every reply carries its own session's payload (no cross-session
+  // mixing in the shared stream) and its own session's sequence number
+  // (each session's space advances 0,1,2 independently).
+  for (size_t i = 0; i < futures.size(); ++i) {
+    InferenceResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.outputs.size(), 1u);
+    EXPECT_LT(MaxAbsDiff(response.outputs[0], expected[i]), 1e-6f)
+        << "reply " << i << " carries another request's payload";
+    EXPECT_EQ(response.seq, static_cast<uint64_t>(i / 2));
+  }
+}
+
 // --------------------------------------------- wire sessions (RA-TLS)
 
 TEST_F(ServiceTest, AttestedHandshakeAndEncryptedInference) {
@@ -477,6 +579,159 @@ TEST_F(ServiceTest, EightConcurrentSessionsInterleave) {
   EXPECT_EQ(reg.GetGauge("service.sessions_active").value(), 0);
 }
 
+TEST_F(ServiceTest, ClientRejectsExpiredDeadlineWithoutSpendingSequence) {
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto client = InferenceClient::Connect(listener, cpu_,
+                                         monitor_->enclave().measurement());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // An already-expired budget is rejected before any frame leaves: no
+  // network round trip, no sequence number consumed.
+  int frames = 0;
+  (*client)->raw_endpoint().SetInterceptor(
+      [&frames](const util::Bytes& frame) -> std::optional<util::Bytes> {
+        ++frames;
+        return frame;
+      });
+  InferenceClient::InferOptions options;
+  options.deadline_us = -5;
+  auto rejected = (*client)->Infer({TestInput()}, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_EQ(frames, 0);
+  (*client)->raw_endpoint().SetInterceptor(nullptr);
+
+  // The session's sequence space never moved, so it keeps working.
+  EXPECT_TRUE((*client)->Infer({TestInput()}).ok());
+  (*client)->Disconnect();
+  (*service)->Stop();
+}
+
+TEST_F(ServiceTest, CoalescedWireSessionsNeverMixKeysOrPayloads) {
+  // System test for the continuous scheduler: concurrent attested
+  // sessions whose requests coalesce into shared MVX batches must each
+  // get back exactly their own answer — decrypted under their own
+  // per-session AEAD keys and matched to their own inputs.
+  constexpr int kClients = 3;
+  constexpr int kRequests = 4;
+  std::vector<std::vector<Tensor>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRequests; ++r) {
+      auto ref =
+          monitor_->Run({{TestInput(static_cast<uint64_t>(100 * c + r))}});
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      expected[c].push_back((*ref)[0][0]);
+    }
+  }
+
+  transport::Listener listener;
+  auto service = InferenceService::Start(*monitor_, listener);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = InferenceClient::Connect(
+          listener, cpu_, monitor_->enclave().measurement());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        InferenceClient::InferOptions options;
+        options.tenant = "tenant-" + std::to_string(c);
+        auto outputs = (*client)->Infer(
+            {TestInput(static_cast<uint64_t>(100 * c + r))}, options);
+        if (!outputs.ok() || outputs->size() != 1) {
+          failures.fetch_add(1);
+        } else if (MaxAbsDiff((*outputs)[0], expected[c][r]) > 1e-6f) {
+          mismatches.fetch_add(1);
+        }
+      }
+      (*client)->Disconnect();
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // No AEAD open failed along the way: a cross-session payload mix-up
+  // on the wire would have surfaced as an auth failure or a mismatch.
+  (*service)->Stop();
+}
+
+// ------------------------------- multi-model zoo (service::Scheduler)
+
+TEST_F(ServiceTest, SchedulerRoutesModelsAndRejectsUnknown) {
+  // Second model with different weights, its own monitor and host.
+  auto bundle2 = RunOfflineTool(TestModel(/*seed=*/6), SmallOffline());
+  ASSERT_TRUE(bundle2.ok()) << bundle2.status().ToString();
+  VariantHost host2(&cpu_, bundle2->store);
+  auto monitor2 = Monitor::Create(&cpu_, MonitorConfig{});
+  ASSERT_TRUE(monitor2.ok());
+  ASSERT_TRUE((*monitor2)
+                  ->Initialize(*bundle2, MvxSelection::Uniform(*bundle2, 2),
+                               host2)
+                  .ok());
+
+  const Tensor input = TestInput();
+  auto ref_alpha = monitor_->Run({{input}});
+  auto ref_beta = (*monitor2)->Run({{input}});
+  ASSERT_TRUE(ref_alpha.ok() && ref_beta.ok());
+  // Different weight seeds: routing errors are observable.
+  ASSERT_GT(MaxAbsDiff((*ref_alpha)[0][0], (*ref_beta)[0][0]), 1e-6f);
+
+  auto scheduler = Scheduler::Start(
+      {{"alpha", monitor_.get()}, {"beta", monitor2->get()}},
+      core::ServiceConfig{});
+  ASSERT_TRUE(scheduler.ok()) << scheduler.status().ToString();
+  EXPECT_EQ((*scheduler)->Route(""), monitor_.get());
+  EXPECT_EQ((*scheduler)->Route("beta"), monitor2->get());
+  EXPECT_EQ((*scheduler)->Route("nope"), nullptr);
+
+  auto session = (*scheduler)->OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Submit to both models concurrently — each monitor's loop runs
+  // independently, and replies come from the routed model's pipeline.
+  InferenceRequest to_beta;
+  to_beta.inputs = {input};
+  to_beta.model = "beta";
+  auto beta_future = (*session)->Submit(std::move(to_beta));
+  ASSERT_TRUE(beta_future.ok()) << beta_future.status().ToString();
+  InferenceRequest to_default;
+  to_default.inputs = {input};  // empty model -> first registered entry
+  auto default_future = (*session)->Submit(std::move(to_default));
+  ASSERT_TRUE(default_future.ok()) << default_future.status().ToString();
+
+  InferenceResponse beta_response = beta_future->get();
+  ASSERT_TRUE(beta_response.status.ok()) << beta_response.status.ToString();
+  EXPECT_LT(MaxAbsDiff(beta_response.outputs[0], (*ref_beta)[0][0]), 1e-6f);
+  InferenceResponse default_response = default_future->get();
+  ASSERT_TRUE(default_response.status.ok());
+  EXPECT_LT(MaxAbsDiff(default_response.outputs[0], (*ref_alpha)[0][0]),
+            1e-6f);
+  // Per-(session, model) sequence spaces: both submits were each
+  // model-session's first, so both replies carry seq 0.
+  EXPECT_EQ(beta_response.seq, 0u);
+  EXPECT_EQ(default_response.seq, 0u);
+
+  InferenceRequest unknown;
+  unknown.inputs = {input};
+  unknown.model = "nope";
+  auto bad = (*session)->Submit(std::move(unknown));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  (*session)->Close();
+  ASSERT_TRUE((*monitor2)->Shutdown().ok());
+  host2.JoinAll();
+}
+
 // ------------------------------------------------- wire-format basics
 
 TEST(SessionMessagesTest, SubmitRoundTrip) {
@@ -495,6 +750,29 @@ TEST(SessionMessagesTest, SubmitRoundTrip) {
   EXPECT_EQ(decoded->deadline_us, 1'000'000);
   ASSERT_EQ(decoded->inputs.size(), 1u);
   EXPECT_LT(MaxAbsDiff(decoded->inputs[0], msg.inputs[0]), 1e-9f);
+}
+
+TEST(SessionMessagesTest, SubmitRoundTripCarriesSchedulingHints) {
+  core::SessionSubmitMsg msg;
+  msg.seq = 9;
+  // Negative deadlines DECODE fine — the server answers the submit with
+  // kAdmissionRejected instead of tearing the channel down, so client
+  // clock skew cannot condemn a session.
+  msg.deadline_us = -250;
+  msg.priority = 3;
+  msg.tenant = "tenant-a";
+  msg.model = "resnet18";
+  msg.inputs = {TestInput()};
+  util::Bytes frame = core::EncodeSessionSubmit(msg);
+  EXPECT_EQ(frame.size(), core::EncodedSize(msg));
+  auto decoded = core::DecodeSessionSubmit(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->deadline_us, -250);
+  EXPECT_EQ(decoded->priority, 3);
+  EXPECT_EQ(decoded->tenant, "tenant-a");
+  EXPECT_EQ(decoded->model, "resnet18");
+  ASSERT_EQ(decoded->inputs.size(), 1u);
 }
 
 TEST(SessionMessagesTest, ReplyRoundTripCarriesTaxonomyCode) {
