@@ -87,6 +87,7 @@ NodeId Graph::AddNode(const std::string& name, OpType op,
 }
 
 void Graph::AddInitializer(const std::string& name, Tensor value) {
+  MVTEE_CHECK(!initializers_frozen_);
   initializers_[name] = std::move(value);
 }
 
@@ -101,6 +102,7 @@ const Tensor* Graph::FindInitializer(const std::string& name) const {
 }
 
 Tensor* Graph::MutableInitializer(const std::string& name) {
+  MVTEE_CHECK(!initializers_frozen_);
   auto it = initializers_.find(name);
   return it == initializers_.end() ? nullptr : &it->second;
 }
@@ -384,6 +386,7 @@ size_t Graph::ParameterBytes() const {
 }
 
 size_t Graph::DropUnusedInitializers() {
+  MVTEE_CHECK(!initializers_frozen_);
   std::set<std::string> used;
   for (const Node& n : nodes_) {
     for (const auto& w : n.weights) used.insert(w);

@@ -87,6 +87,31 @@ struct Node {
 
 class Graph {
  public:
+  Graph() = default;
+  // Copying yields a fresh, mutable graph: freezing marks the weight
+  // set of one specific instance immutable (a PackedWeightCache aliases
+  // its bytes), and a value copy shares no such aliases. Moves carry
+  // the frozen state with the instance.
+  Graph(const Graph& other)
+      : nodes_(other.nodes_),
+        inputs_(other.inputs_),
+        outputs_(other.outputs_),
+        initializers_(other.initializers_),
+        input_shapes_(other.input_shapes_) {}
+  Graph& operator=(const Graph& other) {
+    if (this != &other) {
+      nodes_ = other.nodes_;
+      inputs_ = other.inputs_;
+      outputs_ = other.outputs_;
+      initializers_ = other.initializers_;
+      input_shapes_ = other.input_shapes_;
+      initializers_frozen_ = false;
+    }
+    return *this;
+  }
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
   // --- construction ---
   NodeId AddInput(const std::string& name, tensor::Shape shape);
   NodeId AddNode(const std::string& name, OpType op,
@@ -110,7 +135,16 @@ class Graph {
     return initializers_;
   }
   const tensor::Tensor* FindInitializer(const std::string& name) const;
+  // Aborts once FreezeInitializers() has been called (as do
+  // AddInitializer/DropUnusedInitializers): frozen weights back packed
+  // caches by pointer, so any later mutation would serve stale bytes.
   tensor::Tensor* MutableInitializer(const std::string& name);
+
+  // Marks the weight set immutable for the rest of this instance's
+  // life. Executors freeze their private copy after all graph passes
+  // (BN folding) have run and before the PackedWeightCache binds.
+  void FreezeInitializers() { initializers_frozen_ = true; }
+  bool initializers_frozen() const { return initializers_frozen_; }
   const tensor::Shape& input_shape(NodeId id) const;
 
   // Consumers of each node (recomputed on demand after mutation).
@@ -147,6 +181,7 @@ class Graph {
   std::vector<NodeId> outputs_;
   std::map<std::string, tensor::Tensor> initializers_;
   std::map<NodeId, tensor::Shape> input_shapes_;
+  bool initializers_frozen_ = false;
 };
 
 }  // namespace mvtee::graph

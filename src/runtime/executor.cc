@@ -160,6 +160,11 @@ Executor::Executor(Graph graph, ExecutorConfig config)
           "executor.op." + std::string(graph::OpTypeName(node.op)) + "_us");
     }
   }
+  // Pack constant GEMM operands once for this executor's backend; the
+  // graph copy is frozen by Create, so the cached bytes cannot go
+  // stale. Honors MVTEE_PACK_CACHE=0 (stays unbound; hot path falls
+  // back to per-call packing with bitwise-identical outputs).
+  pack_cache_.Bind(graph_, config_.gemm);
 }
 
 util::Result<std::unique_ptr<Executor>> Executor::Create(
@@ -171,6 +176,9 @@ util::Result<std::unique_ptr<Executor>> Executor::Create(
   }
   Graph private_copy = graph;  // value copy; passes mutate it
   if (config.fold_batch_norm) FoldBatchNormPass(private_copy);
+  // All weight-mutating passes have run; freeze before the weight
+  // cache aliases initializer storage.
+  private_copy.FreezeInitializers();
   return std::unique_ptr<Executor>(
       new Executor(std::move(private_copy), std::move(config)));
 }
@@ -210,12 +218,14 @@ util::Result<Tensor> Executor::ExecuteNode(
         static volatile float g_guard_sink [[maybe_unused]];
   g_guard_sink = guard;
       }
+      pack_cache_.TouchConv(node.weights[0]);
       return Conv2d(in(0), *weight(0), bias, params, config_.conv_algo,
                     config_.gemm);
     }
     case OpType::kGemm: {
       const Tensor* bias = node.weights.size() >= 2 ? weight(1) : nullptr;
-      return FullyConnected(in(0), *weight(0), bias, config_.gemm);
+      return FullyConnected(in(0), *weight(0), bias, config_.gemm,
+                            pack_cache_.FindGemm(node.weights[0]));
     }
     case OpType::kRelu: return Relu(in(0));
     case OpType::kRelu6: return Relu6(in(0));
@@ -340,21 +350,17 @@ util::Result<std::vector<Tensor>> Executor::Run(
       Tensor t = std::move(*env[static_cast<size_t>(node.inputs[0])]);
       env[static_cast<size_t>(node.inputs[0])].reset();
       float* d = t.data();
+      // Same dispatched primitives the copying kernels use (AVX2 tier
+      // with bitwise-identical scalar fallback), applied in place.
       switch (node.op) {
         case OpType::kRelu:
-          for (int64_t i = 0; i < t.num_elements(); ++i) {
-            d[i] = d[i] > 0 ? d[i] : 0.0f;
-          }
+          elementwise::Relu(d, d, t.num_elements());
           break;
         case OpType::kRelu6:
-          for (int64_t i = 0; i < t.num_elements(); ++i) {
-            d[i] = std::min(6.0f, std::max(0.0f, d[i]));
-          }
+          elementwise::Relu6(d, d, t.num_elements());
           break;
         case OpType::kHardSwish:
-          for (int64_t i = 0; i < t.num_elements(); ++i) {
-            d[i] = d[i] * std::min(6.0f, std::max(0.0f, d[i] + 3.0f)) / 6.0f;
-          }
+          elementwise::HardSwish(d, d, t.num_elements());
           break;
         default:
           break;

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/kernels.h"
+#include "runtime/pack_cache.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -91,6 +92,9 @@ class Executor {
 
   const ExecutorConfig& config() const { return config_; }
   const graph::Graph& graph() const { return graph_; }
+  // Prepacked constant-weight cache bound to this executor's frozen
+  // graph copy (pack.{hits,misses,bytes} in the default registry).
+  const PackedWeightCache& pack_cache() const { return pack_cache_; }
 
  private:
   Executor(graph::Graph graph, ExecutorConfig config);
@@ -100,6 +104,7 @@ class Executor {
 
   graph::Graph graph_;
   ExecutorConfig config_;
+  PackedWeightCache pack_cache_;
   std::shared_ptr<FaultHook> fault_hook_;
   obs::TraceBuffer* trace_ = &obs::TraceBuffer::Default();
   // Per-op-type kernel-time histograms ("executor.op.<Name>_us" in the

@@ -7,7 +7,9 @@
 
 #include "obs/metrics.h"
 #include "runtime/gemm_avx2.h"
+#include "runtime/scratch.h"
 #include "util/cpu_features.h"
+#include "util/dataplane_stats.h"
 #include "util/status.h"
 
 namespace mvtee::runtime {
@@ -114,6 +116,47 @@ void GemmAvx2ScalarCols(const float* a, const float* b, float* c,
   }
 }
 
+// Scalar twin of the microkernel over a *packed* panel region: the
+// same fmaf chain as GemmAvx2ScalarCols, addressed through the panel
+// layout instead of row-major B. Serves the prepacked entry point when
+// dispatch is forced scalar.
+void GemmAvx2ScalarPanels(const float* a, const float* panels, float* c,
+                          int64_t row0, int64_t row1, int64_t full_cols,
+                          int64_t n, int64_t k) {
+  for (int64_t i = row0; i < row1; ++i) {
+    const float* a_row = a + i * k;
+    for (int64_t j = 0; j < full_cols; ++j) {
+      const int64_t panel = j / internal::kAvx2PanelCols;
+      const int64_t lane = j % internal::kAvx2PanelCols;
+      const float* bp = panels + panel * k * internal::kAvx2PanelCols + lane;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc = std::fmaf(a_row[p], bp[p * internal::kAvx2PanelCols], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+// Tail columns of the packed layout (stored column-major after the
+// panels): same fmaf chain again, so packed and unpacked kAvx2 agree
+// bitwise on every column.
+void GemmAvx2ScalarTail(const float* a, const float* tail, float* c,
+                        int64_t row0, int64_t row1, int64_t full_cols,
+                        int64_t n, int64_t k) {
+  for (int64_t i = row0; i < row1; ++i) {
+    const float* a_row = a + i * k;
+    for (int64_t j = full_cols; j < n; ++j) {
+      const float* b_col = tail + (j - full_cols) * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc = std::fmaf(a_row[p], b_col[p], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
 void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t n,
               int64_t k, util::ThreadPool* pool) {
   const int64_t full_cols =
@@ -122,15 +165,18 @@ void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t n,
 
   // Pack B's full panels once (column panels of 16, contiguous along
   // p) so the microkernel streams two cache lines per k step; shards
-  // share the packed copy read-only.
-  std::vector<float> packed;
+  // share the packed copy read-only. Scratch comes from the buffer
+  // pool: a steady-state caller recycles the same chunk instead of
+  // paying a heap round trip per call. (Constant operands skip this
+  // entirely via GemmPrepacked.)
+  util::PooledBuffer packed;
   if (vectorized) {
-    packed.resize(static_cast<size_t>(full_cols * k));
+    packed = AcquireFloatScratch(static_cast<size_t>(full_cols * k));
     for (int64_t panel = 0; panel < full_cols / internal::kAvx2PanelCols;
          ++panel) {
       for (int64_t p = 0; p < k; ++p) {
         std::memcpy(
-            packed.data() + (panel * k + p) * internal::kAvx2PanelCols,
+            FloatScratch(packed) + (panel * k + p) * internal::kAvx2PanelCols,
             b + p * n + panel * internal::kAvx2PanelCols,
             static_cast<size_t>(internal::kAvx2PanelCols) * sizeof(float));
       }
@@ -139,7 +185,8 @@ void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t n,
 
   auto compute_rows = [&](int64_t row0, int64_t row1) {
     if (vectorized) {
-      internal::GemmAvx2KernelRows(a, packed.data(), c, row0, row1, n, k);
+      internal::GemmAvx2KernelRows(a, FloatScratch(packed), c, row0, row1, n,
+                                   k);
     } else if (full_cols > 0) {
       GemmAvx2ScalarCols(a, b, c, row0, row1, 0, full_cols, n, k);
     }
@@ -162,18 +209,15 @@ void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t n,
   });
 }
 
-void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
-                    int64_t n, int64_t k) {
-  std::vector<float> bt(static_cast<size_t>(n * k));
-  for (int64_t p = 0; p < k; ++p) {
-    for (int64_t j = 0; j < n; ++j) {
-      bt[j * k + p] = b[p * n + j];
-    }
-  }
+// Inner product phase of the transposed backend over an already
+// column-major B (bt[j*k + p]); shared by the per-call transpose path
+// and the prepacked path.
+void GemmTransposedFromBt(const float* a, const float* bt, float* c,
+                          int64_t m, int64_t n, int64_t k) {
   for (int64_t i = 0; i < m; ++i) {
     const float* a_row = a + i * k;
     for (int64_t j = 0; j < n; ++j) {
-      const float* b_col = bt.data() + j * k;
+      const float* b_col = bt + j * k;
       // Four-way partial sums: a distinct accumulation order from the
       // other backends (and measurably faster than strict sequential).
       float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
@@ -191,7 +235,148 @@ void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
   }
 }
 
+void GemmTransposed(const float* a, const float* b, float* c, int64_t m,
+                    int64_t n, int64_t k) {
+  util::PooledBuffer bt = AcquireFloatScratch(static_cast<size_t>(n * k));
+  float* btp = FloatScratch(bt);
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      btp[j * k + p] = b[p * n + j];
+    }
+  }
+  GemmTransposedFromBt(a, btp, c, m, n, k);
+}
+
+// Packs B (presented through `get(p, j)`) into `backend`'s hot-path
+// layout. One code path serves both row-major B and W^T-without-
+// materializing sources.
+template <typename Get>
+PackedGemmB PackInto(GemmBackend backend, Get get, int64_t n, int64_t k,
+                     util::BufferPool* pool) {
+  PackedGemmB out;
+  out.n = n;
+  out.k = k;
+  out.backend = backend;
+  const size_t floats = static_cast<size_t>(n * k);
+  out.storage = pool->Acquire(floats * sizeof(float));
+  float* dst = reinterpret_cast<float*>(out.storage.data());
+  switch (backend) {
+    case GemmBackend::kNaive:
+    case GemmBackend::kBlocked:
+      for (int64_t p = 0; p < k; ++p) {
+        for (int64_t j = 0; j < n; ++j) dst[p * n + j] = get(p, j);
+      }
+      break;
+    case GemmBackend::kTransposed:
+      for (int64_t j = 0; j < n; ++j) {
+        for (int64_t p = 0; p < k; ++p) dst[j * k + p] = get(p, j);
+      }
+      break;
+    case GemmBackend::kAvx2: {
+      const int64_t full_cols =
+          (n / internal::kAvx2PanelCols) * internal::kAvx2PanelCols;
+      for (int64_t panel = 0; panel < full_cols / internal::kAvx2PanelCols;
+           ++panel) {
+        for (int64_t p = 0; p < k; ++p) {
+          float* row = dst + (panel * k + p) * internal::kAvx2PanelCols;
+          for (int64_t lane = 0; lane < internal::kAvx2PanelCols; ++lane) {
+            row[lane] = get(p, panel * internal::kAvx2PanelCols + lane);
+          }
+        }
+      }
+      float* tail = dst + full_cols * k;
+      for (int64_t j = full_cols; j < n; ++j) {
+        for (int64_t p = 0; p < k; ++p) {
+          tail[(j - full_cols) * k + p] = get(p, j);
+        }
+      }
+      break;
+    }
+  }
+  // Bind-time copies are data-plane work too; charging them here keeps
+  // dataplane.bytes_copied honest about where bytes move (once per
+  // bind, never per inference).
+  util::CountDataPlaneCopy(floats * sizeof(float));
+  return out;
+}
+
+void GemmAvx2Prepacked(const float* a, const PackedGemmB& packed, float* c,
+                       int64_t m, util::ThreadPool* pool) {
+  const int64_t n = packed.n, k = packed.k;
+  const int64_t full_cols =
+      (n / internal::kAvx2PanelCols) * internal::kAvx2PanelCols;
+  const bool vectorized = GemmAvx2Accelerated() && full_cols > 0;
+  const float* panels = packed.data();
+  const float* tail = packed.data() + full_cols * k;
+
+  auto compute_rows = [&](int64_t row0, int64_t row1) {
+    if (vectorized) {
+      internal::GemmAvx2KernelRows(a, panels, c, row0, row1, n, k);
+    } else if (full_cols > 0) {
+      GemmAvx2ScalarPanels(a, panels, c, row0, row1, full_cols, n, k);
+    }
+    if (full_cols < n) {
+      GemmAvx2ScalarTail(a, tail, c, row0, row1, full_cols, n, k);
+    }
+  };
+
+  if (pool == nullptr || !WorthSharding(m, n, k)) {
+    compute_rows(0, m);
+    return;
+  }
+  static obs::Counter& parallel_tiles =
+      obs::Registry::Default().GetCounter("gemm.parallel_tiles");
+  const size_t tiles = static_cast<size_t>((m + kTile - 1) / kTile);
+  parallel_tiles.Add(tiles);
+  pool->ParallelFor(tiles, [&](size_t t) {
+    const int64_t row0 = static_cast<int64_t>(t) * kTile;
+    compute_rows(row0, std::min(row0 + kTile, m));
+  });
+}
+
 }  // namespace
+
+PackedGemmB PackGemmB(GemmBackend backend, const float* b, int64_t n,
+                      int64_t k, util::BufferPool* pool) {
+  MVTEE_CHECK(n > 0 && k > 0 && pool != nullptr);
+  return PackInto(
+      backend, [&](int64_t p, int64_t j) { return b[p * n + j]; }, n, k,
+      pool);
+}
+
+PackedGemmB PackGemmWeightTransposed(GemmBackend backend, const float* w,
+                                     int64_t n, int64_t k,
+                                     util::BufferPool* pool) {
+  MVTEE_CHECK(n > 0 && k > 0 && pool != nullptr);
+  return PackInto(
+      backend, [&](int64_t p, int64_t j) { return w[j * k + p]; }, n, k,
+      pool);
+}
+
+void GemmPrepacked(const float* a, const PackedGemmB& packed, float* c,
+                   int64_t m) {
+  GemmPrepacked(a, packed, c, m, &util::ThreadPool::Shared());
+}
+
+void GemmPrepacked(const float* a, const PackedGemmB& packed, float* c,
+                   int64_t m, util::ThreadPool* pool) {
+  MVTEE_CHECK(packed);
+  switch (packed.backend) {
+    case GemmBackend::kNaive:
+      GemmNaive(a, packed.data(), c, m, packed.n, packed.k);
+      return;
+    case GemmBackend::kBlocked:
+      GemmBlocked(a, packed.data(), c, m, packed.n, packed.k, pool);
+      return;
+    case GemmBackend::kTransposed:
+      GemmTransposedFromBt(a, packed.data(), c, m, packed.n, packed.k);
+      return;
+    case GemmBackend::kAvx2:
+      GemmAvx2Prepacked(a, packed, c, m, pool);
+      return;
+  }
+  MVTEE_CHECK(false);
+}
 
 void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
           int64_t m, int64_t n, int64_t k) {

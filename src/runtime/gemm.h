@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/buffer_pool.h"
 #include "util/thread_pool.h"
 
 namespace mvtee::runtime {
@@ -46,6 +47,50 @@ void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
           int64_t m, int64_t n, int64_t k);
 void Gemm(GemmBackend backend, const float* a, const float* b, float* c,
           int64_t m, int64_t n, int64_t k, util::ThreadPool* pool);
+
+// A constant B operand packed once into the layout its backend consumes
+// on the hot path, so per-call Gemm() setup (the kAvx2 panel pack, the
+// kTransposed B transpose, the FC weight transpose) happens exactly once
+// at model bind time. Storage is a BufferPool keepalive chunk: the pool
+// charges the bytes (pool.* accounting) and the chunk returns to the
+// pool when the owning cache dies. n*k floats for every backend:
+//   kNaive/kBlocked : row-major B[k][n] (these backends stream B as-is;
+//                     packing from a weight just caches the transpose)
+//   kTransposed     : bt[j*k + p] (column-major B == row-major B^T)
+//   kAvx2           : full 16-column panels [(panel*k + p)*16 + lane]
+//                     followed by the tail columns column-major
+struct PackedGemmB {
+  util::PooledBuffer storage;
+  int64_t n = 0;
+  int64_t k = 0;
+  GemmBackend backend = GemmBackend::kNaive;
+
+  const float* data() const {
+    return reinterpret_cast<const float*>(storage.data());
+  }
+  size_t bytes() const { return storage.size(); }
+  explicit operator bool() const { return static_cast<bool>(storage); }
+};
+
+// Packs a row-major B[k][n] for `backend`.
+PackedGemmB PackGemmB(GemmBackend backend, const float* b, int64_t n,
+                      int64_t k, util::BufferPool* pool);
+
+// Packs the B = W^T operand of y = x W^T directly from a row-major FC
+// weight W[n][k] ([OUT, IN]) without materializing the transpose.
+PackedGemmB PackGemmWeightTransposed(GemmBackend backend, const float* w,
+                                     int64_t n, int64_t k,
+                                     util::BufferPool* pool);
+
+// Gemm over a prepacked B. Bitwise identical to Gemm() with the same
+// backend on the unpacked operand: packing only relocates B's values;
+// every backend's accumulation order is unchanged, including the kAvx2
+// scalar fallback, which reads the packed panels with the same fmaf
+// chain the vector microkernel uses. Performs no allocation.
+void GemmPrepacked(const float* a, const PackedGemmB& packed, float* c,
+                   int64_t m);
+void GemmPrepacked(const float* a, const PackedGemmB& packed, float* c,
+                   int64_t m, util::ThreadPool* pool);
 
 // Bounds-checked GEMM used by hardened ("sanitizer") variants: every
 // access is validated against the declared extents; out-of-contract

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "runtime/kernels_avx2.h"
+#include "runtime/scratch.h"
+#include "util/cpu_features.h"
 
 namespace mvtee::runtime {
 
@@ -19,7 +24,23 @@ std::string_view ConvAlgoName(ConvAlgo algo) {
 
 namespace {
 
+// Dispatch gate for the elementwise AVX2 tier: the binary must carry
+// the vector TU and the host/policy must allow SIMD. Evaluated per
+// call (SimdEnabled is dynamic under ScopedForceScalar).
+bool UseVectorElementwise() {
+  return internal::Avx2ElementwiseCompiled() && util::UseAvx2Elementwise();
+}
+
+// Window geometry is validated before any output dim is computed: a
+// non-positive stride, negative padding or non-positive kernel would
+// silently produce garbage shapes (division by zero or negative
+// extents), so they abort loudly instead (ISSUE: OutDim accepted
+// stride <= 0 without complaint).
 int64_t OutDim(int64_t in, int64_t k, int64_t stride, int64_t pad) {
+  MVTEE_CHECK(stride > 0);
+  MVTEE_CHECK(pad >= 0);
+  MVTEE_CHECK(k > 0);
+  MVTEE_CHECK(in > 0);
   return (in + 2 * pad - k) / stride + 1;
 }
 
@@ -70,45 +91,70 @@ void ConvIm2col(const Tensor& input, const Tensor& weight, const float* bias,
   const int64_t patch = CG * KH * KW;
   const int64_t cols = OH * OW;
 
-  std::vector<float> col(static_cast<size_t>(patch * cols));
-  std::vector<float> result(static_cast<size_t>(oc_per_group * cols));
+  // 1x1/stride-1/no-padding convs (projection layers, SE blocks) have a
+  // column matrix that IS the input group block: channels of one group
+  // are contiguous, so col[cg][oh*OW+ow] == in_plane[oh*W+ow] exactly.
+  // Feed the input to the GEMM directly — the fill and the col scratch
+  // vanish, and the GEMM reads identical values, so outputs stay
+  // bitwise identical to the filled path.
+  const bool identity_cols =
+      KH == 1 && KW == 1 && p.stride == 1 && p.padding == 0;
+
+  // Scratch from the buffer pool: steady-state inference recycles these
+  // chunks (pool.hits) instead of hitting the heap per call.
+  util::PooledBuffer col_buf;
+  if (!identity_cols) {
+    col_buf = AcquireFloatScratch(static_cast<size_t>(patch * cols));
+  }
+  util::PooledBuffer result_buf =
+      AcquireFloatScratch(static_cast<size_t>(oc_per_group * cols));
+  float* col = identity_cols ? nullptr : FloatScratch(col_buf);
+  float* result = FloatScratch(result_buf);
 
   for (int64_t n = 0; n < N; ++n) {
     for (int64_t g = 0; g < p.groups; ++g) {
-      // im2col for this (batch, group).
-      for (int64_t cg = 0; cg < CG; ++cg) {
-        const int64_t c = g * CG + cg;
-        const float* in_plane = input.data() + (n * C + c) * H * W;
-        for (int64_t kh = 0; kh < KH; ++kh) {
-          for (int64_t kw = 0; kw < KW; ++kw) {
-            float* col_row =
-                col.data() + ((cg * KH + kh) * KW + kw) * cols;
-            for (int64_t oh = 0; oh < OH; ++oh) {
-              const int64_t ih = oh * p.stride + kh - p.padding;
-              if (ih < 0 || ih >= H) {
-                std::fill(col_row + oh * OW, col_row + (oh + 1) * OW, 0.0f);
-                continue;
-              }
-              for (int64_t ow = 0; ow < OW; ++ow) {
-                const int64_t iw = ow * p.stride + kw - p.padding;
-                col_row[oh * OW + ow] =
-                    (iw < 0 || iw >= W) ? 0.0f : in_plane[ih * W + iw];
+      const float* cols_matrix;
+      if (identity_cols) {
+        cols_matrix = input.data() + (n * C + g * CG) * H * W;
+      } else {
+        // im2col for this (batch, group).
+        for (int64_t cg = 0; cg < CG; ++cg) {
+          const int64_t c = g * CG + cg;
+          const float* in_plane = input.data() + (n * C + c) * H * W;
+          for (int64_t kh = 0; kh < KH; ++kh) {
+            for (int64_t kw = 0; kw < KW; ++kw) {
+              float* col_row = col + ((cg * KH + kh) * KW + kw) * cols;
+              for (int64_t oh = 0; oh < OH; ++oh) {
+                const int64_t ih = oh * p.stride + kh - p.padding;
+                if (ih < 0 || ih >= H) {
+                  std::fill(col_row + oh * OW, col_row + (oh + 1) * OW, 0.0f);
+                  continue;
+                }
+                for (int64_t ow = 0; ow < OW; ++ow) {
+                  const int64_t iw = ow * p.stride + kw - p.padding;
+                  col_row[oh * OW + ow] =
+                      (iw < 0 || iw >= W) ? 0.0f : in_plane[ih * W + iw];
+                }
               }
             }
           }
         }
+        cols_matrix = col;
       }
       // GEMM: weight[g] (oc_per_group x patch) * col (patch x cols).
       const float* w_group = weight.data() + g * oc_per_group * patch;
-      Gemm(gemm, w_group, col.data(), result.data(), oc_per_group, cols,
-           patch);
-      // Scatter into output with bias.
+      Gemm(gemm, w_group, cols_matrix, result, oc_per_group, cols, patch);
+      // Scatter into output with bias (vectorized broadcast-add).
       for (int64_t ocg = 0; ocg < oc_per_group; ++ocg) {
         const int64_t oc = g * oc_per_group + ocg;
-        const float b = bias ? bias[oc] : 0.0f;
         float* out_plane = out.data() + (n * OC + oc) * OH * OW;
-        const float* res_row = result.data() + ocg * cols;
-        for (int64_t i = 0; i < cols; ++i) out_plane[i] = res_row[i] + b;
+        const float* res_row = result + ocg * cols;
+        if (bias) {
+          elementwise::AddScalar(res_row, bias[oc], out_plane, cols);
+        } else {
+          std::memcpy(out_plane, res_row,
+                      static_cast<size_t>(cols) * sizeof(float));
+        }
       }
     }
   }
@@ -128,6 +174,8 @@ Tensor ElementwiseUnary(const Tensor& x, F f) {
 Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
               const ConvParams& params, ConvAlgo algo, GemmBackend gemm) {
   MVTEE_CHECK(input.shape().rank() == 4 && weight.shape().rank() == 4);
+  MVTEE_CHECK(params.groups > 0);
+  MVTEE_CHECK(weight.shape().dim(0) % params.groups == 0);
   MVTEE_CHECK(input.shape().dim(1) ==
               weight.shape().dim(1) * params.groups);
   const int64_t OH = OutDim(input.shape().dim(2), weight.shape().dim(2),
@@ -148,34 +196,58 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
 
 Tensor FullyConnected(const Tensor& input, const Tensor& weight,
                       const Tensor* bias, GemmBackend gemm) {
+  return FullyConnected(input, weight, bias, gemm, nullptr);
+}
+
+Tensor FullyConnected(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, GemmBackend gemm,
+                      const PackedGemmB* packed) {
   MVTEE_CHECK(input.shape().rank() == 2 && weight.shape().rank() == 2);
   const int64_t N = input.shape().dim(0), IN = input.shape().dim(1),
                 OUT = weight.shape().dim(0);
   MVTEE_CHECK(weight.shape().dim(1) == IN);
-  // Transpose W to [IN, OUT] then GEMM x[N,IN] * wt[IN,OUT].
-  std::vector<float> wt(static_cast<size_t>(IN * OUT));
-  for (int64_t o = 0; o < OUT; ++o) {
-    for (int64_t i = 0; i < IN; ++i) {
-      wt[i * OUT + o] = weight.data()[o * IN + i];
-    }
-  }
   Tensor out(Shape({N, OUT}));
-  Gemm(gemm, input.data(), wt.data(), out.data(), N, OUT, IN);
+  if (packed != nullptr) {
+    // Cached weight: B = W^T is already in the backend's hot-path
+    // layout, so the per-call transpose (and any backend-side packing)
+    // is skipped entirely. Bitwise identical to the cold path below —
+    // packing only relocates values, never reorders accumulation.
+    MVTEE_CHECK(packed->backend == gemm);
+    MVTEE_CHECK(packed->n == OUT && packed->k == IN);
+    GemmPrepacked(input.data(), *packed, out.data(), N);
+  } else {
+    // Transpose W to [IN, OUT] then GEMM x[N,IN] * wt[IN,OUT]; the
+    // transpose scratch comes from the buffer pool.
+    util::PooledBuffer wt_buf =
+        AcquireFloatScratch(static_cast<size_t>(IN * OUT));
+    float* wt = FloatScratch(wt_buf);
+    for (int64_t o = 0; o < OUT; ++o) {
+      for (int64_t i = 0; i < IN; ++i) {
+        wt[i * OUT + o] = weight.data()[o * IN + i];
+      }
+    }
+    Gemm(gemm, input.data(), wt, out.data(), N, OUT, IN);
+  }
   if (bias) {
+    // Row-wise vector add of the bias (out += b per row).
     for (int64_t n = 0; n < N; ++n) {
-      for (int64_t o = 0; o < OUT; ++o) out.data()[n * OUT + o] += bias->at(o);
+      float* out_row = out.data() + n * OUT;
+      elementwise::Add(out_row, bias->data(), out_row, OUT);
     }
   }
   return out;
 }
 
 Tensor Relu(const Tensor& x) {
-  return ElementwiseUnary(x, [](float v) { return v > 0 ? v : 0.0f; });
+  Tensor out(x.shape());
+  elementwise::Relu(x.data(), out.data(), x.num_elements());
+  return out;
 }
 
 Tensor Relu6(const Tensor& x) {
-  return ElementwiseUnary(
-      x, [](float v) { return std::min(6.0f, std::max(0.0f, v)); });
+  Tensor out(x.shape());
+  elementwise::Relu6(x.data(), out.data(), x.num_elements());
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& x) {
@@ -184,9 +256,9 @@ Tensor Sigmoid(const Tensor& x) {
 }
 
 Tensor HardSwish(const Tensor& x) {
-  return ElementwiseUnary(x, [](float v) {
-    return v * std::min(6.0f, std::max(0.0f, v + 3.0f)) / 6.0f;
-  });
+  Tensor out(x.shape());
+  elementwise::HardSwish(x.data(), out.data(), x.num_elements());
+  return out;
 }
 
 Tensor Tanh(const Tensor& x) {
@@ -285,9 +357,7 @@ Tensor BatchNorm(const Tensor& x, const Tensor& scale, const Tensor& bias,
 Tensor Add(const Tensor& a, const Tensor& b) {
   MVTEE_CHECK(a.shape() == b.shape());
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.num_elements(); ++i) {
-    out.data()[i] = a.at(i) + b.at(i);
-  }
+  elementwise::Add(a.data(), b.data(), out.data(), a.num_elements());
   return out;
 }
 
@@ -357,21 +427,102 @@ Tensor Softmax(const Tensor& x) {
   for (int64_t n = 0; n < N; ++n) {
     const float* row = x.data() + n * D;
     float* out_row = out.data() + n * D;
-    float max_v = row[0];
-    for (int64_t i = 1; i < D; ++i) max_v = std::max(max_v, row[i]);
+    // Max and normalize passes dispatch to the AVX2 tier; the exp and
+    // double-precision sum passes stay scalar on purpose — libm's exp
+    // has no bitwise-identical vector twin, and dispatch must never
+    // change a variant's numeric profile.
+    const float max_v = elementwise::MaxReduce(row, D);
     double sum = 0;
     for (int64_t i = 0; i < D; ++i) {
       out_row[i] = std::exp(row[i] - max_v);
       sum += out_row[i];
     }
     const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t i = 0; i < D; ++i) out_row[i] *= inv;
+    elementwise::MulScalar(out_row, inv, D);
   }
   return out;
 }
 
 Tensor Scale(const Tensor& x, float alpha, float beta) {
-  return ElementwiseUnary(x, [=](float v) { return v * alpha + beta; });
+  Tensor out(x.shape());
+  elementwise::Scale(x.data(), alpha, beta, out.data(), x.num_elements());
+  return out;
 }
+
+namespace elementwise {
+
+// Scalar fallbacks mirror the vector tier's per-element semantics
+// exactly (see kernels_avx2.h); both sides round once per operation,
+// so the memcmp parity tests hold for arbitrary inputs.
+
+void Relu(const float* in, float* out, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::ReluAvx2(in, out, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] = in[i] > 0 ? in[i] : 0.0f;
+}
+
+void Relu6(const float* in, float* out, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::Relu6Avx2(in, out, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = std::min(6.0f, std::max(0.0f, in[i]));
+  }
+}
+
+void HardSwish(const float* in, float* out, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::HardSwishAvx2(in, out, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = in[i] * std::min(6.0f, std::max(0.0f, in[i] + 3.0f)) / 6.0f;
+  }
+}
+
+void Add(const float* a, const float* b, float* out, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::AddAvx2(a, b, out, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void AddScalar(const float* in, float s, float* out, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::AddScalarAvx2(in, s, out, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] = in[i] + s;
+}
+
+void Scale(const float* in, float alpha, float beta, float* out, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::ScaleAvx2(in, alpha, beta, out, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] = in[i] * alpha + beta;
+}
+
+float MaxReduce(const float* x, int64_t n) {
+  MVTEE_CHECK(n >= 1);
+  if (UseVectorElementwise()) return internal::MaxReduceAvx2(x, n);
+  float m = x[0];
+  for (int64_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+void MulScalar(float* data, float s, int64_t n) {
+  if (UseVectorElementwise()) {
+    internal::MulScalarAvx2(data, s, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) data[i] *= s;
+}
+
+}  // namespace elementwise
 
 }  // namespace mvtee::runtime

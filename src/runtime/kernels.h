@@ -23,14 +23,25 @@ struct ConvParams {
   int64_t groups = 1;
 };
 
+// Aborts (MVTEE_CHECK) unless stride > 0, padding >= 0, groups > 0 and
+// the kernel extents yield positive output dims — garbage conv params
+// must fail loudly, never compute a garbage shape.
 tensor::Tensor Conv2d(const tensor::Tensor& input, const tensor::Tensor& weight,
                       const tensor::Tensor* bias, const ConvParams& params,
                       ConvAlgo algo, GemmBackend gemm);
 
-// y = x W^T + b, x:[N,IN], w:[OUT,IN].
+// y = x W^T + b, x:[N,IN], w:[OUT,IN]. The second overload consumes a
+// weight prepacked with PackGemmWeightTransposed (the PackedWeightCache
+// hot path): bitwise identical to the first, but the per-call W
+// transpose and any backend-side packing are skipped. Pass nullptr to
+// fall back to the self-contained path.
 tensor::Tensor FullyConnected(const tensor::Tensor& input,
                               const tensor::Tensor& weight,
                               const tensor::Tensor* bias, GemmBackend gemm);
+tensor::Tensor FullyConnected(const tensor::Tensor& input,
+                              const tensor::Tensor& weight,
+                              const tensor::Tensor* bias, GemmBackend gemm,
+                              const PackedGemmB* packed);
 
 tensor::Tensor Relu(const tensor::Tensor& x);
 tensor::Tensor Relu6(const tensor::Tensor& x);
@@ -56,5 +67,22 @@ tensor::Tensor Concat(const std::vector<const tensor::Tensor*>& xs);
 tensor::Tensor Flatten(const tensor::Tensor& x);
 tensor::Tensor Softmax(const tensor::Tensor& x);
 tensor::Tensor Scale(const tensor::Tensor& x, float alpha, float beta);
+
+// Dispatched elementwise primitives shared by the tensor kernels above
+// and the executor's in-place activation fast path. Each selects the
+// AVX2 tier (kernels_avx2.cc) when util::UseAvx2Elementwise() allows
+// and the scalar fallback otherwise; the two are bitwise identical for
+// every input, so dispatch never shows up in checkpoint comparisons.
+// All tolerate exact aliasing (in == out).
+namespace elementwise {
+void Relu(const float* in, float* out, int64_t n);
+void Relu6(const float* in, float* out, int64_t n);
+void HardSwish(const float* in, float* out, int64_t n);
+void Add(const float* a, const float* b, float* out, int64_t n);
+void AddScalar(const float* in, float s, float* out, int64_t n);
+void Scale(const float* in, float alpha, float beta, float* out, int64_t n);
+float MaxReduce(const float* x, int64_t n);  // n >= 1
+void MulScalar(float* data, float s, int64_t n);
+}  // namespace elementwise
 
 }  // namespace mvtee::runtime

@@ -1,0 +1,141 @@
+// AVX2 elementwise/activation kernels. Compiled with -mavx2 only — see
+// kernels_avx2.h for why -mfma must stay off this TU.
+#include "runtime/kernels_avx2.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace mvtee::runtime::internal {
+
+bool Avx2ElementwiseCompiled() { return true; }
+
+namespace {
+
+// relu(v) = (v > 0) ? v : +0. cmp_gt is false for NaN and for v == ±0,
+// so the masked AND yields +0 exactly where the scalar ternary does.
+inline __m256 ReluV(__m256 v) {
+  return _mm256_and_ps(v, _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_GT_OQ));
+}
+
+}  // namespace
+
+void ReluAvx2(const float* in, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, ReluV(_mm256_loadu_ps(in + i)));
+  }
+  for (; i < n; ++i) out[i] = in[i] > 0 ? in[i] : 0.0f;
+}
+
+void Relu6Avx2(const float* in, float* out, int64_t n) {
+  // std::min(6, u) == (u < 6) ? u : 6 == minps(u, 6) (u is never NaN
+  // after ReluV, so the NaN-propagation asymmetry of minps is moot).
+  const __m256 six = _mm256_set1_ps(6.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     _mm256_min_ps(ReluV(_mm256_loadu_ps(in + i)), six));
+  }
+  for (; i < n; ++i) out[i] = std::min(6.0f, std::max(0.0f, in[i]));
+}
+
+void HardSwishAvx2(const float* in, float* out, int64_t n) {
+  const __m256 three = _mm256_set1_ps(3.0f);
+  const __m256 six = _mm256_set1_ps(6.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(in + i);
+    const __m256 u =
+        _mm256_min_ps(ReluV(_mm256_add_ps(v, three)), six);
+    _mm256_storeu_ps(out + i,
+                     _mm256_div_ps(_mm256_mul_ps(v, u), six));
+  }
+  for (; i < n; ++i) {
+    out[i] = in[i] * std::min(6.0f, std::max(0.0f, in[i] + 3.0f)) / 6.0f;
+  }
+}
+
+void AddAvx2(const float* a, const float* b, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void AddScalarAvx2(const float* in, float s, float* out, int64_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(in + i), sv));
+  }
+  for (; i < n; ++i) out[i] = in[i] + s;
+}
+
+void ScaleAvx2(const float* in, float alpha, float beta, float* out,
+               int64_t n) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  const __m256 bv = _mm256_set1_ps(beta);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(in + i), av), bv));
+  }
+  for (; i < n; ++i) out[i] = in[i] * alpha + beta;
+}
+
+float MaxReduceAvx2(const float* x, int64_t n) {
+  int64_t i;
+  float m;
+  if (n >= 8) {
+    __m256 acc = _mm256_loadu_ps(x);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm256_max_ps(acc, _mm256_loadu_ps(x + i));
+    }
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 m4 = _mm_max_ps(lo, hi);
+    m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+    m = _mm_cvtss_f32(m4);
+  } else {
+    m = x[0];
+    i = 1;
+  }
+  for (; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+void MulScalarAvx2(float* data, float s, int64_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(data + i, _mm256_mul_ps(_mm256_loadu_ps(data + i), sv));
+  }
+  for (; i < n; ++i) data[i] *= s;
+}
+
+}  // namespace mvtee::runtime::internal
+
+#else  // !__AVX2__: stub so the TU links everywhere.
+
+namespace mvtee::runtime::internal {
+
+bool Avx2ElementwiseCompiled() { return false; }
+
+void ReluAvx2(const float*, float*, int64_t) {}
+void Relu6Avx2(const float*, float*, int64_t) {}
+void HardSwishAvx2(const float*, float*, int64_t) {}
+void AddAvx2(const float*, const float*, float*, int64_t) {}
+void AddScalarAvx2(const float*, float, float*, int64_t) {}
+void ScaleAvx2(const float*, float, float, float*, int64_t) {}
+float MaxReduceAvx2(const float* x, int64_t) { return x[0]; }
+void MulScalarAvx2(float*, float, int64_t) {}
+
+}  // namespace mvtee::runtime::internal
+
+#endif

@@ -1,0 +1,42 @@
+// Internal interface of the AVX2 elementwise kernel TU (kernels_avx2.cc).
+//
+// kernels_avx2.cc is compiled with -mavx2 and deliberately WITHOUT
+// -mfma: every operation here (compare/blend, min/max, add, mul, div)
+// rounds exactly once per element, and with contraction impossible the
+// vector tier is bitwise identical to the scalar fallbacks in
+// kernels.cc for every input — including NaN and signed-zero corners,
+// which the intrinsic operand orders below are chosen to reproduce.
+// Dispatch (util::UseAvx2Elementwise) is therefore a speed decision,
+// never a diversity axis, same rule as the GEMM microkernel.
+//
+// Softmax's exp and double-precision sum passes intentionally stay
+// scalar in kernels.cc: libm's exp has no vector twin with identical
+// rounding, and changing it would alter every variant's numeric
+// profile. Only the max pass and the final normalize pass (pure
+// single-rounding ops) are vectorized.
+#pragma once
+
+#include <cstdint>
+
+namespace mvtee::runtime::internal {
+
+// True when this binary carries the vector elementwise kernels.
+bool Avx2ElementwiseCompiled();
+
+// All kernels tolerate exact aliasing (in == out).
+void ReluAvx2(const float* in, float* out, int64_t n);
+void Relu6Avx2(const float* in, float* out, int64_t n);
+void HardSwishAvx2(const float* in, float* out, int64_t n);
+void AddAvx2(const float* a, const float* b, float* out, int64_t n);
+// out[i] = in[i] + s — the conv bias-scatter shape.
+void AddScalarAvx2(const float* in, float s, float* out, int64_t n);
+// out[i] = in[i] * alpha + beta (mul then add, never fused).
+void ScaleAvx2(const float* in, float alpha, float beta, float* out,
+               int64_t n);
+// Max over x[0..n) (n >= 1). Matches the sequential scalar reduction
+// bitwise for finite inputs (max is exact and order-independent); the
+// Softmax caller is insensitive to the ±0 corner because exp(±0) == 1.
+float MaxReduceAvx2(const float* x, int64_t n);
+void MulScalarAvx2(float* data, float s, int64_t n);
+
+}  // namespace mvtee::runtime::internal

@@ -1,0 +1,117 @@
+#include "runtime/pack_cache.h"
+
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "util/buffer_pool.h"
+#include "util/knobs.h"
+
+namespace mvtee::runtime {
+
+namespace {
+
+std::atomic<bool> g_disable_pack_cache{false};
+
+obs::Counter& PackHits() {
+  static obs::Counter& c = obs::Registry::Default().GetCounter("pack.hits");
+  return c;
+}
+
+obs::Counter& PackMisses() {
+  static obs::Counter& c = obs::Registry::Default().GetCounter("pack.misses");
+  return c;
+}
+
+obs::Gauge& PackBytes() {
+  static obs::Gauge& g = obs::Registry::Default().GetGauge("pack.bytes");
+  return g;
+}
+
+}  // namespace
+
+bool PackedWeightCache::EnabledFromEnv() {
+  // Latched once like MVTEE_SIMD: the knob decides a process-lifetime
+  // policy, and re-reading the environment per bind would let the
+  // table's strict parse be bypassed mid-run.
+  static const bool enabled =
+      util::KnobRegistry::Default().Int("MVTEE_PACK_CACHE") != 0;
+  return enabled;
+}
+
+bool PackCacheEnabled() {
+  return PackedWeightCache::EnabledFromEnv() &&
+         !g_disable_pack_cache.load(std::memory_order_relaxed);
+}
+
+PackedWeightCache::~PackedWeightCache() {
+  if (packed_bytes_ > 0) {
+    PackBytes().Add(-static_cast<int64_t>(packed_bytes_));
+  }
+}
+
+void PackedWeightCache::Bind(const graph::Graph& graph, GemmBackend backend) {
+  MVTEE_CHECK(!bound_);
+  if (!EnabledFromEnv()) return;
+  backend_ = backend;
+  util::BufferPool& pool = util::BufferPool::Default();
+  for (const graph::Node& node : graph.nodes()) {
+    if (node.weights.empty()) continue;
+    const tensor::Tensor* w = graph.FindInitializer(node.weights[0]);
+    if (w == nullptr) continue;
+    if (node.op == graph::OpType::kGemm && w->shape().rank() == 2) {
+      const int64_t out = w->shape().dim(0), in = w->shape().dim(1);
+      if (out <= 0 || in <= 0) continue;
+      PackedGemmB packed =
+          PackGemmWeightTransposed(backend, w->data(), out, in, &pool);
+      packed_bytes_ += packed.bytes();
+      gemm_entries_.emplace(node.weights[0], std::move(packed));
+    } else if (node.op == graph::OpType::kConv2d &&
+               w->shape().rank() == 4) {
+      // The im2col lowering consumes conv weights as the GEMM A operand
+      // in initializer layout — per-group panels W_g[oc/groups, patch]
+      // are already contiguous, so there is nothing to relocate. The
+      // alias entry pins the validated geometry (and hit accounting)
+      // without duplicating bytes.
+      const int64_t groups = node.attrs.GetInt("groups", 1);
+      if (groups <= 0 || w->shape().dim(0) % groups != 0) continue;
+      conv_entries_.insert(node.weights[0]);
+    }
+  }
+  if (packed_bytes_ > 0) {
+    PackBytes().Add(static_cast<int64_t>(packed_bytes_));
+  }
+  bound_ = true;
+}
+
+const PackedGemmB* PackedWeightCache::FindGemm(const std::string& name) const {
+  if (!bound_ || !PackCacheEnabled()) {
+    PackMisses().Add();
+    return nullptr;
+  }
+  auto it = gemm_entries_.find(name);
+  if (it == gemm_entries_.end()) {
+    PackMisses().Add();
+    return nullptr;
+  }
+  PackHits().Add();
+  return &it->second;
+}
+
+bool PackedWeightCache::TouchConv(const std::string& name) const {
+  if (!bound_ || !PackCacheEnabled() || conv_entries_.count(name) == 0) {
+    PackMisses().Add();
+    return false;
+  }
+  PackHits().Add();
+  return true;
+}
+
+ScopedDisablePackCache::ScopedDisablePackCache() {
+  g_disable_pack_cache.store(true, std::memory_order_relaxed);
+}
+
+ScopedDisablePackCache::~ScopedDisablePackCache() {
+  g_disable_pack_cache.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace mvtee::runtime

@@ -1,0 +1,90 @@
+// Executor-owned cache of prepacked constant GEMM operands.
+//
+// Model weights never change between requests, yet the pre-cache hot
+// path repaid a per-call setup tax on every inference: FullyConnected
+// transposed W, kTransposed re-transposed B, kAvx2 re-packed its
+// 16-column panels. PackedWeightCache performs that work exactly once
+// at model bind time: every kGemm initializer is packed into its
+// backend's hot-path layout (PackGemmWeightTransposed) and stored in a
+// util::BufferPool keepalive chunk, keyed by tensor identity — the
+// initializer's name inside the executor's private, frozen graph copy
+// (Graph::FreezeInitializers guarantees the cached bytes can never go
+// stale). Conv weights need no relayout — im2col consumes them as the
+// GEMM A operand in initializer order — so Bind validates their
+// per-group geometry once and records zero-byte alias entries, which
+// keeps pack.{hits,misses} accounting uniform across op types.
+//
+// Knob: MVTEE_PACK_CACHE=0 (strict KnobRegistry row) disables binding;
+// ScopedDisablePackCache forces cache-off lookups process-wide for
+// A/B tests. Outputs are bitwise identical either way — packing only
+// relocates values, never reorders accumulation.
+//
+// Instruments (obs default registry, exported via /status and
+// Prometheus): pack.hits / pack.misses per hot-path lookup, pack.bytes
+// for the bytes currently held by live caches.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "graph/ir.h"
+#include "runtime/gemm.h"
+
+namespace mvtee::runtime {
+
+class PackedWeightCache {
+ public:
+  PackedWeightCache() = default;
+  ~PackedWeightCache();
+  PackedWeightCache(const PackedWeightCache&) = delete;
+  PackedWeightCache& operator=(const PackedWeightCache&) = delete;
+
+  // Packs the constant GEMM operands of `graph` for `backend`. Call
+  // after all graph passes have run and the initializers are frozen.
+  // No-op (cache stays unbound) when MVTEE_PACK_CACHE=0.
+  void Bind(const graph::Graph& graph, GemmBackend backend);
+
+  // Hot-path lookup for a kGemm weight. Returns the packed operand, or
+  // nullptr when the cache is unbound/disabled or the name is unknown.
+  // Counts pack.hits / pack.misses.
+  const PackedGemmB* FindGemm(const std::string& name) const;
+
+  // Hot-path touch for a kConv2d weight's alias entry (geometry was
+  // validated at bind). Returns true on a hit; counts hits/misses.
+  bool TouchConv(const std::string& name) const;
+
+  bool bound() const { return bound_; }
+  size_t entries() const {
+    return gemm_entries_.size() + conv_entries_.size();
+  }
+  size_t packed_bytes() const { return packed_bytes_; }
+
+  // MVTEE_PACK_CACHE via the strict knob table (default on).
+  static bool EnabledFromEnv();
+
+ private:
+  bool bound_ = false;
+  GemmBackend backend_ = GemmBackend::kNaive;
+  std::map<std::string, PackedGemmB> gemm_entries_;
+  std::set<std::string> conv_entries_;
+  size_t packed_bytes_ = 0;
+};
+
+// True when lookups may serve cached entries: the env knob allows it
+// and no ScopedDisablePackCache is live.
+bool PackCacheEnabled();
+
+// RAII test/bench hook: forces cache-off lookups process-wide while
+// live, as if MVTEE_PACK_CACHE=0 had been set (bound caches keep their
+// storage; they just stop serving). Not reentrancy-counted — do not
+// nest. Mirrors util::ScopedForceScalar.
+class ScopedDisablePackCache {
+ public:
+  ScopedDisablePackCache();
+  ~ScopedDisablePackCache();
+  ScopedDisablePackCache(const ScopedDisablePackCache&) = delete;
+  ScopedDisablePackCache& operator=(const ScopedDisablePackCache&) = delete;
+};
+
+}  // namespace mvtee::runtime

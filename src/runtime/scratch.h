@@ -1,0 +1,29 @@
+// Pool-backed float scratch for kernel internals.
+//
+// Kernels that need per-call working memory (im2col column matrices,
+// per-call B-operand packing, weight transposes on the uncached path)
+// draw it from util::BufferPool::Default() instead of fresh heap
+// vectors, so a steady-state inference loop recycles the same chunks —
+// visible as pool.hits with zero pool.misses growth in /metrics, which
+// is how the zero-alloc hot-path claim is verified. PooledBuffer bytes
+// come from operator new (>= 16-byte alignment), so reinterpreting as
+// float is well-defined for both scalar and unaligned AVX access.
+#pragma once
+
+#include "util/buffer_pool.h"
+
+namespace mvtee::runtime {
+
+inline util::PooledBuffer AcquireFloatScratch(size_t count) {
+  return util::BufferPool::Default().Acquire(count * sizeof(float));
+}
+
+inline float* FloatScratch(util::PooledBuffer& b) {
+  return reinterpret_cast<float*>(b.data());
+}
+
+inline const float* FloatScratch(const util::PooledBuffer& b) {
+  return reinterpret_cast<const float*>(b.data());
+}
+
+}  // namespace mvtee::runtime

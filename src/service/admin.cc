@@ -13,9 +13,12 @@
 #include <utility>
 
 #include "core/supervisor.h"
+#include "crypto/aead.h"
 #include "obs/exporters.h"
 #include "obs/json.h"
 #include "obs/timeline.h"
+#include "runtime/gemm.h"
+#include "runtime/pack_cache.h"
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/cpu_features.h"
@@ -170,7 +173,27 @@ AdminServer::HttpResponse AdminServer::Status() {
   obs::JsonValue::Object build;
   build.emplace_back("cpu_features", util::CpuFeatureString());
   build.emplace_back("simd_enabled", util::SimdEnabled());
+  // Structured dispatch provenance: which accelerated tiers actually
+  // run on this host right now, plus detected-but-not-yet-dispatched
+  // ISA bits (avx512f is surfaced so deployments can see the headroom;
+  // a full AVX-512 GEMM tier remains a ROADMAP item).
+  obs::JsonValue::Object simd;
+  simd.emplace_back("avx2_gemm", runtime::GemmAvx2Accelerated());
+  simd.emplace_back("avx2_elementwise", util::UseAvx2Elementwise());
+  simd.emplace_back("aes_gcm", crypto::AesGcmAccelerated());
+  simd.emplace_back("avx512f_detected_unused",
+                    util::HostCpuFeatures().avx512f);
+  build.emplace_back("simd_dispatch", std::move(simd));
   body.emplace_back("build", std::move(build));
+
+  // Prepacked constant-weight cache (DESIGN.md §14): hits/misses are
+  // hot-path lookups, bytes is the storage held by live caches.
+  obs::JsonValue::Object pack;
+  pack.emplace_back("enabled", runtime::PackCacheEnabled());
+  pack.emplace_back("hits", reg.GetCounter("pack.hits").value());
+  pack.emplace_back("misses", reg.GetCounter("pack.misses").value());
+  pack.emplace_back("bytes", reg.GetGauge("pack.bytes").value());
+  body.emplace_back("pack", std::move(pack));
 
   const core::Monitor::ServiceStatusSnapshot status = monitor_.ServiceStatus();
   obs::JsonValue::Object svc;

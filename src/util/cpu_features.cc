@@ -54,6 +54,10 @@ bool UseAesGcmAccel() {
   return f.aes && f.pclmul && f.ssse3 && SimdEnabled();
 }
 
+bool UseAvx2Elementwise() {
+  return HostCpuFeatures().avx2 && SimdEnabled();
+}
+
 std::string CpuFeatureString() {
   const CpuFeatures& f = HostCpuFeatures();
   std::string out;

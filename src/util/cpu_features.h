@@ -40,6 +40,10 @@ bool SimdEnabled();
 // Dispatch predicates combining compiled-in TU + CPUID + SimdEnabled().
 bool UseAvx2Gemm();
 bool UseAesGcmAccel();
+// Elementwise/activation kernels need AVX2 only (no FMA: their vector
+// tier is written mul-then-add so it stays bitwise identical to the
+// scalar TU, which cannot contract into fused multiply-adds).
+bool UseAvx2Elementwise();
 
 // Space-separated list of detected features ("avx2 fma aes pclmul ..."),
 // or "scalar" when none — recorded into bench JSON so a baseline says

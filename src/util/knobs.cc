@@ -57,6 +57,8 @@ std::vector<KnobDesc> BuiltinTable() {
        "worker threads per pool (0/unset = hardware concurrency)"},
       {"MVTEE_SIMD", Kind::kInt, 0, 1, 1, "1",
        "runtime SIMD dispatch (0 forces scalar kernels)"},
+      {"MVTEE_PACK_CACHE", Kind::kInt, 0, 1, 1, "1",
+       "prepacked constant-weight cache (0 repacks per call)"},
       {"MVTEE_POOL", Kind::kInt, 0, 1, 1, "1",
        "tensor buffer pooling (0 disables retention)"},
       {"MVTEE_POOL_RETAIN_BYTES", Kind::kInt, 0, kMax64, 64ll << 20,

@@ -241,5 +241,43 @@ TEST(ModelZooTest, DepthScalingChangesNodeCount) {
   EXPECT_LT(a.num_nodes(), b.num_nodes());
 }
 
+// ------------------------------------------------- frozen initializers
+
+TEST(GraphFreezeTest, FreezeBlocksEveryMutationPath) {
+  // Once an executor binds its PackedWeightCache the cached bytes must
+  // never go stale, so the frozen graph aborts on any initializer
+  // mutation instead of silently diverging from the cache.
+  Graph g = TinyMlp();
+  ASSERT_FALSE(g.initializers_frozen());
+  const std::string name = g.initializers().begin()->first;
+  g.FreezeInitializers();
+  EXPECT_TRUE(g.initializers_frozen());
+  EXPECT_DEATH(g.MutableInitializer(name), "");
+  EXPECT_DEATH(g.AddInitializer("fresh", Tensor(Shape({1}), {1.0f})), "");
+  EXPECT_DEATH(g.DropUnusedInitializers(), "");
+  // Read-only access stays open.
+  EXPECT_NE(g.FindInitializer(name), nullptr);
+}
+
+TEST(GraphFreezeTest, CopyIsAFreshMutableGraph) {
+  // Variant generation copies the template graph and perturbs weights;
+  // a copy of a frozen graph must therefore start unfrozen, while a
+  // move keeps the flag (it is the same graph changing hands).
+  Graph g = TinyMlp();
+  g.FreezeInitializers();
+  Graph copy = g;
+  EXPECT_FALSE(copy.initializers_frozen());
+  EXPECT_TRUE(g.initializers_frozen());
+  const std::string name = copy.initializers().begin()->first;
+  EXPECT_NE(copy.MutableInitializer(name), nullptr);  // no abort
+  Graph assigned;
+  assigned = g;
+  EXPECT_FALSE(assigned.initializers_frozen());
+  Graph moved = std::move(copy);
+  EXPECT_FALSE(moved.initializers_frozen());
+  Graph moved_frozen = std::move(g);
+  EXPECT_TRUE(moved_frozen.initializers_frozen());
+}
+
 }  // namespace
 }  // namespace mvtee::graph

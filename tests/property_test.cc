@@ -3,6 +3,7 @@
 // compositions, plus decoder robustness against truncation/corruption.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 
 #include "core/consistency.h"
@@ -13,6 +14,9 @@
 #include "graph/model_zoo.h"
 #include "partition/partition.h"
 #include "runtime/executor.h"
+#include "runtime/kernels.h"
+#include "runtime/pack_cache.h"
+#include "util/cpu_features.h"
 #include "tee/enclave.h"
 #include "variant/spec.h"
 
@@ -434,6 +438,84 @@ TEST(VoteProperty, NonFiniteVariantDissentsUnderSummary) {
     EXPECT_EQ(fast.dissenters[0], 2);
   }
 }
+
+// ------------------------------------------------------- conv geometry
+
+struct ConvCase {
+  int64_t channels, height, out_channels, kernel, stride, padding, groups;
+};
+
+class ConvGeometrySweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometrySweep, AlgorithmsAgreeAndTogglesAreBitwiseNoOps) {
+  // Two properties per geometry: (1) kDirect and kIm2col stay within
+  // float tolerance of each other (they are distinct lowerings, not
+  // twins); (2) for EACH algorithm, SIMD dispatch and the pack cache
+  // are speed knobs only — toggling them must reproduce the exact bits.
+  const ConvCase c = GetParam();
+  util::Rng rng(static_cast<uint64_t>(
+      c.channels * 1'000'000 + c.kernel * 10'000 + c.stride * 1'000 +
+      c.padding * 100 + c.groups));
+  const Tensor x =
+      Tensor::RandomUniform(Shape({2, c.channels, c.height, c.height}), rng);
+  const Tensor w = Tensor::RandomUniform(
+      Shape({c.out_channels, c.channels / c.groups, c.kernel, c.kernel}),
+      rng);
+  const Tensor b = Tensor::RandomUniform(Shape({c.out_channels}), rng);
+  runtime::ConvParams p;
+  p.stride = c.stride;
+  p.padding = c.padding;
+  p.groups = c.groups;
+
+  auto run = [&](runtime::ConvAlgo algo) {
+    return runtime::Conv2d(x, w, &b, p, algo,
+                           runtime::GemmBackend::kAvx2);
+  };
+  const Tensor direct = run(runtime::ConvAlgo::kDirect);
+  const Tensor im2col = run(runtime::ConvAlgo::kIm2col);
+  ASSERT_EQ(direct.shape(), im2col.shape());
+  EXPECT_LT(tensor::MaxAbsDiff(direct, im2col), 1e-4);
+
+  for (auto algo : {runtime::ConvAlgo::kDirect, runtime::ConvAlgo::kIm2col}) {
+    const Tensor base = run(algo);
+    {
+      util::ScopedForceScalar force_scalar;
+      const Tensor scalar = run(algo);
+      EXPECT_EQ(std::memcmp(base.data(), scalar.data(), base.byte_size()), 0)
+          << runtime::ConvAlgoName(algo) << " under forced scalar";
+    }
+    {
+      runtime::ScopedDisablePackCache cache_off;
+      const Tensor uncached = run(algo);
+      EXPECT_EQ(std::memcmp(base.data(), uncached.data(), base.byte_size()),
+                0)
+          << runtime::ConvAlgoName(algo) << " with pack cache disabled";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConvGeometrySweep,
+    ::testing::Values(
+        ConvCase{8, 9, 8, 3, 1, 1, 1},     // the common 3x3 same-conv
+        ConvCase{8, 9, 8, 3, 2, 1, 1},     // strided
+        ConvCase{8, 9, 8, 3, 3, 2, 1},     // stride 3, fat padding
+        ConvCase{8, 9, 8, 3, 1, 0, 1},     // valid conv (shrinking)
+        ConvCase{8, 9, 16, 1, 1, 0, 1},    // 1x1: identity-cols fast path
+        ConvCase{8, 9, 16, 1, 2, 0, 1},    // 1x1 strided: no fast path
+        ConvCase{8, 9, 16, 1, 1, 1, 1},    // 1x1 padded: no fast path
+        ConvCase{8, 9, 8, 3, 1, 1, 4},     // grouped
+        ConvCase{8, 9, 8, 3, 2, 1, 8},     // depthwise, strided
+        ConvCase{4, 7, 4, 5, 1, 2, 2},     // 5x5 grouped on odd input
+        ConvCase{4, 5, 4, 5, 1, 0, 1}),    // kernel == input extent
+    [](const auto& info) {
+      const ConvCase& c = info.param;
+      return "c" + std::to_string(c.channels) + "h" +
+             std::to_string(c.height) + "o" + std::to_string(c.out_channels) +
+             "k" + std::to_string(c.kernel) + "s" + std::to_string(c.stride) +
+             "p" + std::to_string(c.padding) + "g" +
+             std::to_string(c.groups);
+    });
 
 }  // namespace
 }  // namespace mvtee

@@ -4,12 +4,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <memory>
 
 #include "graph/builder.h"
 #include "graph/model_zoo.h"
 #include "runtime/executor.h"
 #include "runtime/gemm.h"
 #include "runtime/kernels.h"
+#include "runtime/pack_cache.h"
+#include "util/buffer_pool.h"
 #include "util/cpu_features.h"
 #include "util/rng.h"
 
@@ -729,6 +733,303 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ZooExecutionTest,
                            }
                            return name;
                          });
+
+// ------------------------------------------------- conv param checks
+
+TEST(ConvParamDeathTest, GarbageParamsAbort) {
+  // Garbage conv geometry must fail loudly at the kernel boundary, not
+  // compute a garbage output shape (OutDim with stride 0 would divide
+  // by zero; negative padding would read out of bounds).
+  util::Rng rng(21);
+  Tensor x = Tensor::RandomUniform(Shape({1, 4, 8, 8}), rng);
+  Tensor w = Tensor::RandomUniform(Shape({4, 4, 3, 3}), rng);
+  auto run = [&](int64_t stride, int64_t padding, int64_t groups) {
+    ConvParams p;
+    p.stride = stride;
+    p.padding = padding;
+    p.groups = groups;
+    Conv2d(x, w, nullptr, p, ConvAlgo::kDirect, GemmBackend::kNaive);
+  };
+  EXPECT_DEATH(run(0, 1, 1), "stride");
+  EXPECT_DEATH(run(-2, 1, 1), "stride");
+  EXPECT_DEATH(run(1, -1, 1), "pad");
+  EXPECT_DEATH(run(1, 1, 0), "groups");
+  // groups must divide the output-channel count.
+  EXPECT_DEATH(run(1, 1, 3), "groups");
+}
+
+TEST(ConvParamDeathTest, KernelLargerThanPaddedInputAborts) {
+  util::Rng rng(22);
+  Tensor x = Tensor::RandomUniform(Shape({1, 1, 2, 2}), rng);
+  Tensor w = Tensor::RandomUniform(Shape({1, 1, 5, 5}), rng);
+  ConvParams p;  // 5x5 kernel over an unpadded 2x2 input
+  EXPECT_DEATH(Conv2d(x, w, nullptr, p, ConvAlgo::kDirect,
+                      GemmBackend::kNaive),
+               "");
+}
+
+// ------------------------------------------------- prepacked weights
+
+TEST(PackedGemmTest, PrepackedBitwiseMatchesRepackOnEveryBackend) {
+  // The cache only relocates bytes; the accumulation order per output
+  // element is untouched, so prepacked FullyConnected must reproduce
+  // the self-contained path bit for bit — on every backend, and with
+  // SIMD dispatch both allowed and forced off.
+  util::Rng rng(31);
+  const int64_t m = 3, out_dim = 33, in_dim = 47;
+  Tensor x = Tensor::RandomUniform(Shape({m, in_dim}), rng);
+  Tensor w = Tensor::RandomUniform(Shape({out_dim, in_dim}), rng);
+  Tensor b = Tensor::RandomUniform(Shape({out_dim}), rng);
+  for (GemmBackend backend :
+       {GemmBackend::kNaive, GemmBackend::kBlocked, GemmBackend::kTransposed,
+        GemmBackend::kAvx2}) {
+    PackedGemmB packed = PackGemmWeightTransposed(
+        backend, w.data(), out_dim, in_dim, &util::BufferPool::Default());
+    ASSERT_TRUE(static_cast<bool>(packed));
+    EXPECT_EQ(packed.n, out_dim);
+    EXPECT_EQ(packed.k, in_dim);
+    for (bool force_scalar : {false, true}) {
+      std::unique_ptr<util::ScopedForceScalar> scalar;
+      if (force_scalar) scalar = std::make_unique<util::ScopedForceScalar>();
+      Tensor repack = FullyConnected(x, w, &b, backend, nullptr);
+      Tensor cached = FullyConnected(x, w, &b, backend, &packed);
+      ASSERT_EQ(repack.shape(), cached.shape());
+      EXPECT_EQ(std::memcmp(repack.data(), cached.data(), repack.byte_size()),
+                0)
+          << GemmBackendName(backend)
+          << (force_scalar ? " (forced scalar)" : "");
+    }
+  }
+}
+
+TEST(PackedGemmTest, GemmPrepackedMatchesGemmOnEveryBackend) {
+  // Same property one layer down: PackGemmB + GemmPrepacked vs the
+  // one-shot Gemm entry point on a raw row-major B.
+  util::Rng rng(32);
+  for (auto [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {1, 17, 19}, {6, 16, 4}, {5, 40, 23}}) {
+    std::vector<float> a(static_cast<size_t>(m) * k),
+        b(static_cast<size_t>(k) * n);
+    for (auto& v : a) v = rng.UniformFloat(-1, 1);
+    for (auto& v : b) v = rng.UniformFloat(-1, 1);
+    for (GemmBackend backend :
+         {GemmBackend::kNaive, GemmBackend::kBlocked,
+          GemmBackend::kTransposed, GemmBackend::kAvx2}) {
+      PackedGemmB packed = PackGemmB(backend, b.data(), n, k,
+                                     &util::BufferPool::Default());
+      std::vector<float> direct(static_cast<size_t>(m) * n, -1.0f);
+      std::vector<float> pre(static_cast<size_t>(m) * n, 1.0f);
+      Gemm(backend, a.data(), b.data(), direct.data(), m, n, k);
+      GemmPrepacked(a.data(), packed, pre.data(), m);
+      EXPECT_EQ(std::memcmp(direct.data(), pre.data(),
+                            direct.size() * sizeof(float)),
+                0)
+          << GemmBackendName(backend) << " " << m << "x" << n << "x" << k;
+    }
+  }
+}
+
+TEST(PackedGemmDeathTest, BackendMismatchAborts) {
+  util::Rng rng(33);
+  Tensor x = Tensor::RandomUniform(Shape({1, 8}), rng);
+  Tensor w = Tensor::RandomUniform(Shape({4, 8}), rng);
+  PackedGemmB packed = PackGemmWeightTransposed(
+      GemmBackend::kNaive, w.data(), 4, 8, &util::BufferPool::Default());
+  EXPECT_DEATH(FullyConnected(x, w, nullptr, GemmBackend::kAvx2, &packed),
+               "");
+}
+
+// ------------------------------------------------- pack cache
+
+std::string FirstWeightName(const Graph& g, graph::OpType op) {
+  for (const auto& node : g.nodes()) {
+    if (node.op == op && !node.weights.empty()) return node.weights[0];
+  }
+  return "";
+}
+
+TEST(PackCacheTest, BindPacksConstantGemmWeights) {
+  Graph g = SmallConvNet();
+  PackedWeightCache cache;
+  cache.Bind(g, GemmBackend::kAvx2);
+  if (!PackedWeightCache::EnabledFromEnv()) {
+    // MVTEE_PACK_CACHE=0 CI leg: bind must be a no-op and every lookup
+    // a (counted) miss.
+    EXPECT_FALSE(cache.bound());
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.FindGemm(FirstWeightName(g, graph::OpType::kGemm)),
+              nullptr);
+    return;
+  }
+  ASSERT_TRUE(cache.bound());
+  EXPECT_GT(cache.entries(), 0u);
+  EXPECT_GT(cache.packed_bytes(), 0u);
+
+  const std::string gemm_w = FirstWeightName(g, graph::OpType::kGemm);
+  ASSERT_FALSE(gemm_w.empty());
+  const PackedGemmB* packed = cache.FindGemm(gemm_w);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(packed->backend, GemmBackend::kAvx2);
+  const Tensor* w = g.FindInitializer(gemm_w);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(packed->n, w->shape().dim(0));
+  EXPECT_EQ(packed->k, w->shape().dim(1));
+
+  const std::string conv_w = FirstWeightName(g, graph::OpType::kConv2d);
+  ASSERT_FALSE(conv_w.empty());
+  EXPECT_TRUE(cache.TouchConv(conv_w));
+  EXPECT_FALSE(cache.TouchConv("no-such-weight"));
+  EXPECT_EQ(cache.FindGemm("no-such-weight"), nullptr);
+}
+
+TEST(PackCacheTest, ScopedDisableForcesColdLookups) {
+  if (!PackedWeightCache::EnabledFromEnv()) {
+    GTEST_SKIP() << "MVTEE_PACK_CACHE=0: nothing to scope-disable";
+  }
+  Graph g = SmallConvNet();
+  PackedWeightCache cache;
+  cache.Bind(g, GemmBackend::kBlocked);
+  const std::string gemm_w = FirstWeightName(g, graph::OpType::kGemm);
+  ASSERT_NE(cache.FindGemm(gemm_w), nullptr);
+  {
+    ScopedDisablePackCache off;
+    EXPECT_FALSE(PackCacheEnabled());
+    EXPECT_EQ(cache.FindGemm(gemm_w), nullptr);
+    EXPECT_FALSE(cache.TouchConv(FirstWeightName(g, graph::OpType::kConv2d)));
+  }
+  EXPECT_NE(cache.FindGemm(gemm_w), nullptr);
+}
+
+TEST(PackCacheTest, ExecutorOutputsBitwiseIdenticalWithCacheDisabled) {
+  // MVTEE_PACK_CACHE is a speed knob, never a diversity axis: the same
+  // executor must produce the same bits with the cache on and off.
+  Graph g = SmallConvNet();
+  util::Rng rng(41);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto exec = Executor::Create(g, OrtLikeExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ((*exec)->pack_cache().bound(),
+            PackedWeightCache::EnabledFromEnv());
+  auto hot = (*exec)->Run({input});
+  ASSERT_TRUE(hot.ok());
+  util::Result<std::vector<Tensor>> cold(util::Internal("unset"));
+  {
+    ScopedDisablePackCache off;
+    cold = (*exec)->Run({input});
+  }
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ((*hot)[0], (*cold)[0]);
+}
+
+TEST(PackCacheTest, SteadyStateInferenceTakesNoFreshPoolAllocations) {
+  // After one warm-up inference every Gemm/Conv scratch acquisition
+  // must be served from the BufferPool freelists: zero fresh
+  // allocations on the steady-state path.
+  Graph g = SmallConvNet();
+  util::Rng rng(42);
+  auto input = Tensor::RandomUniform(Shape({1, 3, 16, 16}), rng);
+  auto exec = Executor::Create(g, MklLikeExecutorConfig());
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE((*exec)->Run({input}).ok());  // warm scratch sizes
+  ASSERT_TRUE((*exec)->Run({input}).ok());
+  const util::BufferPool::Stats before = util::BufferPool::Default().stats();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*exec)->Run({input}).ok());
+  }
+  const util::BufferPool::Stats after = util::BufferPool::Default().stats();
+  EXPECT_EQ(after.misses - before.misses, 0u);
+  EXPECT_GT(after.hits - before.hits, 0u);
+}
+
+// ------------------------------------------------- elementwise dispatch
+
+std::vector<float> TrickyFloats() {
+  // Exercise every special the AVX2 tier must reproduce exactly:
+  // signed zeros, NaN, infinities, denormals and values around the
+  // relu6/hardswish breakpoints (-3, 0, 3, 6).
+  std::vector<float> v = {
+      0.0f, -0.0f, 1.0f, -1.0f, 6.0f, -6.0f, 5.9999995f, 6.0000005f,
+      3.0f, -3.0f, 2.9999998f, -2.9999998f, 1e-40f, -1e-40f,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::max(), std::numeric_limits<float>::lowest(),
+      std::numeric_limits<float>::denorm_min()};
+  util::Rng rng(51);
+  while (v.size() < 103) v.push_back(rng.UniformFloat(-10, 10));
+  return v;
+}
+
+TEST(ElementwiseDispatchTest, VectorAndScalarTiersAreBitwiseIdentical) {
+  const std::vector<float> in = TrickyFloats();
+  const std::vector<float> rhs = [&] {
+    std::vector<float> r = in;
+    std::reverse(r.begin(), r.end());
+    return r;
+  }();
+  const int64_t n = static_cast<int64_t>(in.size());
+  const size_t bytes = in.size() * sizeof(float);
+
+  auto run_all = [&](std::vector<std::vector<float>>& outs) {
+    outs.assign(7, std::vector<float>(in.size(), -99.0f));
+    elementwise::Relu(in.data(), outs[0].data(), n);
+    elementwise::Relu6(in.data(), outs[1].data(), n);
+    elementwise::HardSwish(in.data(), outs[2].data(), n);
+    elementwise::Add(in.data(), rhs.data(), outs[3].data(), n);
+    elementwise::AddScalar(in.data(), 0.625f, outs[4].data(), n);
+    elementwise::Scale(in.data(), 1.25f, -0.375f, outs[5].data(), n);
+    outs[6] = in;
+    elementwise::MulScalar(outs[6].data(), 0.8125f, n);
+  };
+  // MaxReduce's bitwise contract covers finite inputs (maxps and
+  // std::max diverge on NaN by design of the ISA); mask the NaN here.
+  std::vector<float> finite = in;
+  for (auto& v : finite) {
+    if (std::isnan(v)) v = 0.5f;
+  }
+  std::vector<std::vector<float>> fast, scalar;
+  run_all(fast);
+  const float fast_max = elementwise::MaxReduce(finite.data(), n);
+  {
+    util::ScopedForceScalar force_scalar;
+    EXPECT_FALSE(util::UseAvx2Elementwise());
+    run_all(scalar);
+    const float scalar_max = elementwise::MaxReduce(finite.data(), n);
+    EXPECT_EQ(std::memcmp(&fast_max, &scalar_max, sizeof(float)), 0);
+  }
+  const char* names[] = {"relu", "relu6",     "hardswish", "add",
+                         "adds", "scale",     "muls"};
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(std::memcmp(fast[i].data(), scalar[i].data(), bytes), 0)
+        << names[i];
+  }
+}
+
+TEST(ElementwiseDispatchTest, ToleratesAliasing) {
+  const std::vector<float> in = TrickyFloats();
+  const int64_t n = static_cast<int64_t>(in.size());
+  std::vector<float> separate(in.size());
+  elementwise::HardSwish(in.data(), separate.data(), n);
+  std::vector<float> aliased = in;
+  elementwise::HardSwish(aliased.data(), aliased.data(), n);
+  EXPECT_EQ(std::memcmp(separate.data(), aliased.data(),
+                        in.size() * sizeof(float)),
+            0);
+}
+
+TEST(ElementwiseDispatchTest, SoftmaxBitwiseStableAcrossDispatch) {
+  util::Rng rng(52);
+  Tensor x = Tensor::RandomUniform(Shape({5, 37}), rng);
+  Tensor fast = Softmax(x);
+  util::ScopedForceScalar force_scalar;
+  Tensor scalar = Softmax(x);
+  EXPECT_EQ(std::memcmp(fast.data(), scalar.data(), fast.byte_size()), 0);
+}
+
+TEST(ElementwiseDispatchTest, MaxReduceEmptyAborts) {
+  const float x = 1.0f;
+  EXPECT_DEATH(elementwise::MaxReduce(&x, 0), "");
+}
 
 }  // namespace
 }  // namespace mvtee::runtime

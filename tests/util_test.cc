@@ -8,6 +8,7 @@
 #include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/cpu_features.h"
+#include "util/knobs.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -476,6 +477,55 @@ TEST(LoggingTest, TraceIdProviderStampsLogLines) {
   captured = ::testing::internal::GetCapturedStderr();
   EXPECT_EQ(captured.find("t="), std::string::npos) << captured;
   SetLogTraceIdProvider(nullptr);
+}
+
+// ------------------------------------------------- kernel-layer knobs
+
+TEST(KnobRegistryTest, SimdKnobRejectsGarbageStrictly) {
+  // MVTEE_SIMD resolves through the strict knob table: anything but
+  // "0"/"1" warns and falls back to the default (dispatch stays ON),
+  // never silently parses to 0 and turns SIMD off.
+  const KnobRegistry& knobs = KnobRegistry::Default();
+  ASSERT_NE(knobs.Find("MVTEE_SIMD"), nullptr);
+  EXPECT_EQ(knobs.IntFrom("MVTEE_SIMD", nullptr), 1);
+  EXPECT_EQ(knobs.IntFrom("MVTEE_SIMD", "0"), 0);
+  EXPECT_EQ(knobs.IntFrom("MVTEE_SIMD", "1"), 1);
+  for (const char* bad : {"", "2", "-1", "yes", "true", "0x0", " 0", "01x"}) {
+    EXPECT_EQ(knobs.IntFrom("MVTEE_SIMD", bad), 1) << "value: " << bad;
+  }
+}
+
+TEST(KnobRegistryTest, PackCacheKnobRegisteredAndStrict) {
+  const KnobRegistry& knobs = KnobRegistry::Default();
+  const KnobDesc* d = knobs.Find("MVTEE_PACK_CACHE");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->def, 1);  // cache on by default
+  EXPECT_EQ(knobs.IntFrom("MVTEE_PACK_CACHE", "0"), 0);
+  for (const char* bad : {"", "2", "off", "-1"}) {
+    EXPECT_EQ(knobs.IntFrom("MVTEE_PACK_CACHE", bad), 1) << "value: " << bad;
+  }
+}
+
+TEST(CpuFeaturesTest, Avx512DetectedButUnusedIsSurfaced) {
+  // AVX-512 has no kernel tier yet (ROADMAP): detection must show up
+  // in the provenance string so /status can report it as unused, but
+  // no dispatch predicate may key on it.
+  const CpuFeatures& f = HostCpuFeatures();
+  EXPECT_EQ(f.avx512f, CpuFeatureString().find("avx512f") != std::string::npos);
+  if (!f.avx2 && f.avx512f) {
+    // Hypothetical avx512-only host: the AVX2 tiers must stay off.
+    EXPECT_FALSE(UseAvx2Gemm());
+    EXPECT_FALSE(UseAvx2Elementwise());
+  }
+}
+
+TEST(CpuFeaturesTest, ElementwiseDispatchFollowsSimdToggle) {
+  // UseAvx2Elementwise needs only avx2 (no FMA: contraction would
+  // break bitwise identity) and obeys the same kill switches as the
+  // other predicates.
+  EXPECT_EQ(UseAvx2Elementwise(), HostCpuFeatures().avx2 && SimdEnabled());
+  ScopedForceScalar force_scalar;
+  EXPECT_FALSE(UseAvx2Elementwise());
 }
 
 }  // namespace
